@@ -1,0 +1,30 @@
+// Shared helpers for the bench binaries.
+//
+// Every bench regenerates one table or figure of the paper's evaluation and
+// prints it through support::Table so outputs are uniform and diffable. A
+// single optional command-line argument scales the workloads (default 1.0,
+// the evaluation size); runs are deterministic for a given scale.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "support/table.h"
+
+namespace cicmon::bench {
+
+inline double parse_scale(int argc, char** argv, double fallback = 1.0) {
+  if (argc > 1) {
+    const double value = std::atof(argv[1]);
+    if (value > 0.0) return value;
+  }
+  return fallback;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("reproduces: %s\n\n", paper_ref.c_str());
+}
+
+}  // namespace cicmon::bench

@@ -1,0 +1,86 @@
+// §6.3 fault analysis: detection outcome of random bit flips by injection
+// site, with and without the monitor, and detection strength by hash
+// function for multi-bit faults.
+#include "bench_common.h"
+#include "fault/campaign.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace cicmon;
+
+fault::CampaignSummary campaign(const casm_::Image& image, bool monitoring,
+                                fault::FaultSite site, unsigned bits, unsigned trials,
+                                hash::HashKind kind = hash::HashKind::kXor) {
+  cpu::CpuConfig config;
+  config.monitoring = monitoring;
+  config.cic.iht_entries = 16;
+  config.cic.hash_kind = kind;
+  fault::CampaignRunner runner(image, config);
+  return runner.run_random(site, bits, trials, /*seed=*/2026);
+}
+
+std::string pct(double fraction) { return support::Table::fmt_pct(fraction); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::parse_scale(argc, argv, 0.15);
+  bench::print_header("Fault-injection outcomes by site and hash strength",
+                      "Section 6.3 (error model and detection analysis)");
+
+  const casm_::Image image = workloads::build_workload("sha", {scale, 42});
+  const unsigned trials = 120;
+
+  // --- Outcome taxonomy per injection site, monitor on vs off ---
+  support::Table sites({"site", "monitor", "mismatch", "miss", "baseline", "wrong-out",
+                        "benign", "hang", "detect(effective)"});
+  for (const fault::FaultSite site :
+       {fault::FaultSite::kMemoryText, fault::FaultSite::kFetchBus,
+        fault::FaultSite::kFetchBusPaired, fault::FaultSite::kICacheLine,
+        fault::FaultSite::kPostIdLatch}) {
+    for (const bool monitoring : {true, false}) {
+      const fault::CampaignSummary s = campaign(image, monitoring, site, 1, trials);
+      sites.add_row({std::string(fault::fault_site_name(site)), monitoring ? "on" : "off",
+                     support::Table::fmt_u64(s.detected_mismatch),
+                     support::Table::fmt_u64(s.detected_miss),
+                     support::Table::fmt_u64(s.detected_baseline),
+                     support::Table::fmt_u64(s.wrong_output),
+                     support::Table::fmt_u64(s.benign), support::Table::fmt_u64(s.hang),
+                     pct(s.detection_rate_effective())});
+    }
+  }
+  std::fputs(sites.render().c_str(), stdout);
+  std::printf(
+      "\npaper claims: flips before the check point (memory/bus/icache) are\n"
+      "caught by the monitor; post-ID flips escape it (only baseline traps).\n\n");
+
+  // --- Detection by hash function (§3.4 / §6.3) ---
+  //
+  // Single-word faults (any mask) always change a XOR fold, so every unit
+  // detects them; the discriminating pattern is the *paired* same-lane
+  // corruption of two words in one block, which aliases under plain XOR.
+  support::Table hashes(
+      {"hash", "1-word 1b", "1-word 4b", "paired 1b", "paired 2b", "paired 4b"});
+  for (const hash::HashKind kind :
+       {hash::HashKind::kXor, hash::HashKind::kAdd, hash::HashKind::kRotXor,
+        hash::HashKind::kRotXorKeyed, hash::HashKind::kFletcher32, hash::HashKind::kCrc32}) {
+    std::vector<std::string> row{std::string(hash::hash_kind_name(kind))};
+    for (const unsigned bits : {1U, 4U}) {
+      row.push_back(
+          pct(campaign(image, true, fault::FaultSite::kFetchBus, bits, trials, kind)
+                  .detection_rate_effective()));
+    }
+    for (const unsigned bits : {1U, 2U, 4U}) {
+      row.push_back(
+          pct(campaign(image, true, fault::FaultSite::kFetchBusPaired, bits, trials, kind)
+                  .detection_rate_effective()));
+    }
+    hashes.add_row(row);
+  }
+  std::fputs(hashes.render().c_str(), stdout);
+  std::printf(
+      "\npaper claims: XOR always detects odd-weight errors; even-weight errors\n"
+      "can alias (same-lane pairs), which the rotate/keyed variants close.\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 6: IHT miss rate of the nine applications for table sizes
+// 1 / 8 / 16 / 32 (replacement: LRU victims, demand refill — see
+// os::RefillMode for the policy discussion).
+#include "bench_common.h"
+#include "sim/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace cicmon;
+  const double scale = bench::parse_scale(argc, argv);
+  bench::print_header("IHT miss rate vs table size",
+                      "Figure 6 (miss rate, 1/8/16/32 entries)");
+
+  const std::vector<unsigned> sizes{1, 8, 16, 32};
+  const auto rows = sim::fig6_miss_rates(sizes, scale);
+
+  support::Table table({"benchmark", "1", "8", "16", "32"});
+  for (const sim::Fig6Row& row : rows) {
+    table.add_row({row.workload, support::Table::fmt_pct(row.miss_rates[0]),
+                   support::Table::fmt_pct(row.miss_rates[1]),
+                   support::Table::fmt_pct(row.miss_rates[2]),
+                   support::Table::fmt_pct(row.miss_rates[3])});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\npaper shape: miss rate falls steeply by 8 entries for several apps\n"
+      "and is near zero for all apps by 32; stringsearch stays worst.\n");
+  return 0;
+}

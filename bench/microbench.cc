@@ -1,0 +1,62 @@
+// google-benchmark microbenchmarks of the simulator's own hot paths —
+// simulation throughput (instructions/second), HASHFU steps, and IHT
+// lookups — so regressions in the substrate itself are visible.
+#include <benchmark/benchmark.h>
+
+#include "cic/iht.h"
+#include "cpu/cpu.h"
+#include "hash/hash_unit.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace cicmon;
+
+void BM_SimulateBitcount(benchmark::State& state) {
+  const bool monitoring = state.range(0) != 0;
+  const casm_::Image image = workloads::build_workload("bitcount", {0.2, 42});
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    cpu::CpuConfig config;
+    config.monitoring = monitoring;
+    config.cic.iht_entries = 16;
+    cpu::Cpu cpu(config, image);
+    const cpu::RunResult r = cpu.run();
+    instructions += r.instructions;
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
+  state.SetLabel(monitoring ? "monitored" : "baseline");
+}
+BENCHMARK(BM_SimulateBitcount)->Arg(0)->Arg(1);
+
+void BM_HashStep(benchmark::State& state) {
+  const auto kind = static_cast<hash::HashKind>(state.range(0));
+  const auto unit = hash::make_hash_unit(kind, 0x5EED);
+  std::uint32_t value = 0x12345678;
+  for (auto _ : state) {
+    value = unit->step(value, value * 2654435761U);
+    benchmark::DoNotOptimize(value);
+  }
+  state.SetLabel(std::string(hash::hash_kind_name(kind)));
+}
+BENCHMARK(BM_HashStep)
+    ->Arg(static_cast<int>(hash::HashKind::kXor))
+    ->Arg(static_cast<int>(hash::HashKind::kRotXor))
+    ->Arg(static_cast<int>(hash::HashKind::kCrc32));
+
+void BM_IhtLookup(benchmark::State& state) {
+  const auto entries = static_cast<unsigned>(state.range(0));
+  cic::Iht iht(entries, cic::ReplacePolicy::kLru);
+  for (unsigned i = 0; i < entries; ++i) iht.fill(i * 16, i * 16 + 12, i);
+  std::uint32_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iht.lookup(key * 16, key * 16 + 12, key));
+    key = (key + 1) % entries;
+  }
+}
+BENCHMARK(BM_IhtLookup)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

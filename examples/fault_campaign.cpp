@@ -1,0 +1,47 @@
+// Soft-error study: sweeps multi-bit fault campaigns over a workload and
+// prints how detection decomposes between the monitor and the baseline
+// microarchitecture as faults get wider — the reliability half of the
+// paper's motivation (§1's transient-fault trend).
+//
+//   $ ./examples/fault_campaign [workload] [trials]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "fault/campaign.h"
+#include "support/table.h"
+#include "workloads/workloads.h"
+
+using namespace cicmon;
+
+int main(int argc, char** argv) {
+  const std::string workload = argc > 1 ? argv[1] : "dijkstra";
+  const unsigned trials = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 150;
+
+  const casm_::Image image = workloads::build_workload(workload, {0.1, 42});
+  cpu::CpuConfig config;
+  config.monitoring = true;
+  config.cic.iht_entries = 16;
+  fault::CampaignRunner runner(image, config);
+
+  std::printf("workload %s: %llu golden instructions, %u trials per cell\n\n",
+              workload.c_str(), static_cast<unsigned long long>(runner.golden_instructions()),
+              trials);
+
+  support::Table table({"flips", "monitor", "baseline trap", "wrong output", "benign",
+                        "hang", "effective detection"});
+  for (const unsigned bits : {1U, 2U, 3U, 4U, 6U, 8U}) {
+    const fault::CampaignSummary s =
+        runner.run_random(fault::FaultSite::kFetchBus, bits, trials, 1234);
+    table.add_row({support::Table::fmt_u64(bits),
+                   support::Table::fmt_u64(s.detected_mismatch + s.detected_miss),
+                   support::Table::fmt_u64(s.detected_baseline),
+                   support::Table::fmt_u64(s.wrong_output), support::Table::fmt_u64(s.benign),
+                   support::Table::fmt_u64(s.hang),
+                   support::Table::fmt_pct(s.detection_rate_effective())});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nXOR guarantee: odd flip counts within one word can never alias, and\n"
+              "random even-weight masks in a single word still change the checksum.\n");
+  return 0;
+}

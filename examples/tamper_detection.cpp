@@ -1,0 +1,83 @@
+// Tamper-detection walkthrough: attacks a real workload (AES encryption) at
+// every point of the fetch path and reports where each attack is caught —
+// the paper's §3.2 location argument, live.
+//
+//   $ ./examples/tamper_detection
+#include <cstdio>
+
+#include "fault/campaign.h"
+#include "workloads/workloads.h"
+
+using namespace cicmon;
+
+namespace {
+
+void report(const char* label, const fault::TrialResult& trial) {
+  std::printf("  %-34s -> %s\n", label, std::string(outcome_name(trial.outcome)).c_str());
+}
+
+}  // namespace
+
+int main() {
+  const casm_::Image image = workloads::build_workload("rijndael", {0.05, 42});
+
+  cpu::CpuConfig config;
+  config.monitoring = true;
+  config.cic.iht_entries = 16;
+  fault::CampaignRunner runner(image, config);
+  std::printf("victim: rijndael (AES-128), %llu instructions golden\n\n",
+              static_cast<unsigned long long>(runner.golden_instructions()));
+
+  std::printf("attacks before the check point (must be detected):\n");
+  {
+    fault::FaultSpec spec;
+    spec.site = fault::FaultSite::kMemoryText;
+    spec.target_address = image.text_base + 64;  // inside aes_ark
+    spec.xor_mask = 1U << 2;
+    report("rewrite code byte in memory", runner.run_trial(spec));
+  }
+  {
+    fault::FaultSpec spec;
+    spec.site = fault::FaultSite::kFetchBus;
+    spec.trigger_index = runner.golden_instructions() / 3;
+    spec.xor_mask = 1U << 14;
+    report("corrupt a word on the fetch bus", runner.run_trial(spec));
+  }
+  {
+    fault::FaultSpec spec;
+    spec.site = fault::FaultSite::kICacheLine;
+    spec.trigger_index = runner.golden_instructions() / 2;
+    spec.xor_mask = 1;
+    report("flip a resident i-cache bit", runner.run_trial(spec));
+  }
+
+  std::printf("\nattack after the check point (the monitor's §3.2 blind spot):\n");
+  {
+    fault::FaultSpec spec;
+    spec.site = fault::FaultSite::kPostIdLatch;
+    spec.trigger_index = runner.golden_instructions() / 4;
+    spec.xor_mask = 1U << 16;
+    report("corrupt the latched instruction", runner.run_trial(spec));
+  }
+
+  std::printf("\nsame attacks with the monitor disabled:\n");
+  cpu::CpuConfig off;
+  fault::CampaignRunner plain(image, off);
+  {
+    fault::FaultSpec spec;
+    spec.site = fault::FaultSite::kMemoryText;
+    spec.target_address = image.text_base + 64;
+    spec.xor_mask = 1U << 2;
+    report("rewrite code byte in memory", plain.run_trial(spec));
+  }
+
+  std::printf("\nstatistical view (120 random single-bit bus faults):\n");
+  const fault::CampaignSummary with_cic =
+      runner.run_random(fault::FaultSite::kFetchBus, 1, 120, 7);
+  const fault::CampaignSummary without =
+      plain.run_random(fault::FaultSite::kFetchBus, 1, 120, 7);
+  std::printf("  monitored : %.1f%% of consequential faults detected in hardware\n",
+              100.0 * with_cic.detection_rate_effective());
+  std::printf("  baseline  : %.1f%%\n", 100.0 * without.detection_rate_effective());
+  return 0;
+}

@@ -1,0 +1,139 @@
+#include "area/area_model.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace cicmon::area {
+namespace {
+
+// Textbook NAND2-equivalent costs for the component library.
+constexpr double kGePerFlop = 5.0;
+constexpr double kGePerSramBit = 1.5;   // 6T cell + array overhead, GE-equivalent
+constexpr double kGePerCamBit = 3.0;    // storage + match transistor pair
+constexpr double kGePerAdderBit = 7.0;
+constexpr double kGePerComparatorBit = 3.0;
+constexpr double kGePerMuxBit = 2.0;
+
+// Synthesis of ASIP-Meister-generated RTL is flop-heavy and unoptimized; the
+// paper's own Table 2 slope (≈37k area units per IHT entry at 0.18µ, i.e.
+// ≈3.7k GE/entry against this library's ≈0.77k hand-inventory estimate)
+// implies this factor over a hand-crafted design. Applied to the CIC
+// components only, so the calibration is visible and ablatable.
+constexpr double kGeneratedRtlFactor = 4.8;
+
+}  // namespace
+
+double AreaBreakdown::total_ge() const {
+  double total = 0.0;
+  for (const Component& c : components) total += c.gate_equivalents;
+  return total;
+}
+
+void AreaBreakdown::absorb(const AreaBreakdown& other, const std::string& prefix) {
+  for (const Component& c : other.components) {
+    components.push_back({prefix + c.name, c.gate_equivalents});
+  }
+}
+
+AreaBreakdown baseline_datapath() {
+  AreaBreakdown b;
+  // Core datapath.
+  b.add("gpr-file 32x32 (2R/1W, flop-based)", 32 * 32 * (kGePerFlop + 3.0) + 500);
+  b.add("alu 32b (add/sub/logic/slt)", 1400);
+  b.add("barrel shifter 32b", 900);
+  b.add("multiplier 32x32", 18000);
+  b.add("divider 32b (iterative)", 6200);
+  b.add("pc / ppc / hi / lo registers", 4 * 32 * kGePerFlop);
+  b.add("pipeline latches (6 stages x ~128b)", 6 * 128 * kGePerFlop);
+  b.add("decode + control", 3500);
+  b.add("branch/target adders", 2 * 32 * kGePerAdderBit);
+  b.add("bypass/select muxes", 6 * 32 * kGePerMuxBit * 4);
+  // On-chip memories (the dominant cell area, as in the paper's netlist).
+  b.add("i-mem 8KiB", 8 * 1024 * 8 * kGePerSramBit);
+  b.add("d-mem 8KiB", 8 * 1024 * 8 * kGePerSramBit);
+  return b;
+}
+
+AreaBreakdown cic_inventory(unsigned iht_entries, const hash::HashHwProfile& hash_profile) {
+  support::check(iht_entries >= 1, "CIC needs at least one IHT entry");
+  AreaBreakdown b;
+  // Fixed logic, present at any table size.
+  b.add("sta register 32b", 32 * kGePerFlop * kGeneratedRtlFactor);
+  b.add("rhash register 32b", 32 * kGePerFlop * kGeneratedRtlFactor);
+  b.add("hashfu step logic", hash_profile.gate_equivalents * kGeneratedRtlFactor);
+  b.add("lookup comparator 32b (hash)", 32 * kGePerComparatorBit * kGeneratedRtlFactor);
+  b.add("exception + control fsm", 450 * kGeneratedRtlFactor);
+  // Per-entry CAM cost: 96b of CAM storage (start, end, hash), the address
+  // match network, the result priority mux, and LRU state + update logic.
+  const double per_entry =
+      (96 * kGePerCamBit +                // storage + match cells
+       64 * kGePerComparatorBit +         // address-pair match reduction
+       32 * kGePerMuxBit +                // hash read-out mux slice
+       8 * kGePerFlop + 180) *            // LRU stamp + replacement logic
+      kGeneratedRtlFactor;
+  b.add("iht entries x" + std::to_string(iht_entries), per_entry * iht_entries);
+  return b;
+}
+
+double TimingPaths::critical() const {
+  return std::max({if_path, id_path, ex_path, mem_path});
+}
+
+TimingPaths stage_paths(bool monitored, unsigned iht_entries,
+                        const hash::HashHwProfile& hash_profile) {
+  TimingPaths p;
+  // Gate-delay inventories of the stage-limiting paths. The EX path of the
+  // generated single-issue core dominates (the paper measures ~37.9ns at
+  // 0.18µ), so IF/ID have slack the monitoring logic can hide in (§4.3.1).
+  p.ex_path = 270;          // regfile read + ripple ALU + bypass + setup
+  p.mem_path = 180;         // address add + SRAM access
+  p.if_path = 120;          // i-mem access + IR setup
+  p.id_path = 140;          // decode tree + register fetch
+  if (monitored) {
+    // HASHFU folds the new word into RHASH after the fetch mux.
+    p.if_path += hash_profile.depth_gate_delays;
+    // CAM match: 96b XOR + AND-reduction (~log depth) + priority mux over
+    // the entries + hash comparator.
+    const double match_tree = 7;  // log2(96) rounding
+    const double priority = iht_entries > 1 ? 2.0 * (31 - __builtin_clz(iht_entries)) : 2.0;
+    p.id_path += match_tree + priority + 6 /* hash compare + exception gate */;
+  }
+  return p;
+}
+
+DesignReport evaluate_design(const TechLibrary& tech, unsigned iht_entries,
+                             hash::HashKind hash_kind) {
+  const bool monitored = iht_entries > 0;
+  AreaBreakdown inventory = baseline_datapath();
+  hash::HashHwProfile profile;
+  if (monitored) {
+    profile = hash::make_hash_unit(hash_kind)->hw_profile();
+    inventory.absorb(cic_inventory(iht_entries, profile), "cic/");
+  }
+
+  DesignReport report;
+  report.name = monitored ? "cic-" + std::to_string(iht_entries) : "baseline";
+  report.cell_area_um2 = inventory.total_ge() * tech.um2_per_ge;
+  report.min_period_ns =
+      stage_paths(monitored, std::max(1U, iht_entries), profile).critical() *
+      tech.ns_per_gate_delay;
+  return report;
+}
+
+std::vector<DesignReport> table2_rows(const TechLibrary& tech,
+                                      const std::vector<unsigned>& entry_counts,
+                                      hash::HashKind hash_kind) {
+  std::vector<DesignReport> rows;
+  rows.push_back(evaluate_design(tech, 0, hash_kind));
+  const DesignReport& base = rows.front();
+  for (unsigned entries : entry_counts) {
+    DesignReport r = evaluate_design(tech, entries, hash_kind);
+    r.area_overhead_vs_baseline = r.cell_area_um2 / base.cell_area_um2 - 1.0;
+    r.period_overhead_vs_baseline = r.min_period_ns / base.min_period_ns - 1.0;
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+}  // namespace cicmon::area

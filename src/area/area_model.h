@@ -1,0 +1,87 @@
+// Analytical standard-cell area/timing model (the Table 2 substitute).
+//
+// The paper synthesizes ASIP-Meister-generated VHDL with Synopsys DC and a
+// TSMC 0.18µ library. Neither tool is available offline, so Table 2 is
+// reproduced with a gate-equivalent (GE, NAND2-equivalent) inventory of the
+// same structures:
+//
+//  * a baseline single-issue 6-stage PISA datapath (register file, ALU,
+//    shifter, multiplier/divider, pipeline latches, control), calibrated so
+//    its cell area lands on the paper's 0.18µ scale (~2.1M area units);
+//  * the Code Integrity Checker: per-IHT-entry CAM storage + match logic +
+//    LRU state, plus the fixed HASHFU / STA / RHASH / comparator / control.
+//
+// Two properties of Table 2 are structural, and the model reproduces both
+// mechanically: total area grows linearly in the entry count, and the cycle
+// time does not move because the monitoring paths (IF: fetch + hash step;
+// ID: decode + CAM match) stay shorter than the EX-stage critical path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hash/hash_unit.h"
+
+namespace cicmon::area {
+
+// 0.18µ-class technology constants.
+struct TechLibrary {
+  double um2_per_ge = 10.0;        // cell area of one NAND2 equivalent
+  double ns_per_gate_delay = 0.14; // loaded gate delay
+
+  static TechLibrary tsmc180() { return {}; }
+};
+
+struct Component {
+  std::string name;
+  double gate_equivalents = 0.0;
+};
+
+struct AreaBreakdown {
+  std::vector<Component> components;
+
+  double total_ge() const;
+  void add(std::string name, double ge) { components.push_back({std::move(name), ge}); }
+  // Merges another breakdown under a prefix ("cic/..." etc.).
+  void absorb(const AreaBreakdown& other, const std::string& prefix);
+};
+
+// Gate-equivalent inventory of the baseline 6-stage PISA datapath.
+AreaBreakdown baseline_datapath();
+
+// Inventory of the Code Integrity Checker for a given IHT size and HASHFU.
+AreaBreakdown cic_inventory(unsigned iht_entries, const hash::HashHwProfile& hash_profile);
+
+// Stage path delays in gate-delay units; min period is the max of them.
+struct TimingPaths {
+  double if_path = 0.0;   // fetch + (when monitored) the HASHFU step
+  double id_path = 0.0;   // decode + (when monitored) CAM match + compare
+  double ex_path = 0.0;   // register read + ALU + bypass — the critical path
+  double mem_path = 0.0;
+
+  double critical() const;
+};
+
+TimingPaths stage_paths(bool monitored, unsigned iht_entries,
+                        const hash::HashHwProfile& hash_profile);
+
+// A synthesized design point: the rows of Table 2.
+struct DesignReport {
+  std::string name;
+  double cell_area_um2 = 0.0;
+  double min_period_ns = 0.0;
+  double area_overhead_vs_baseline = 0.0;   // fraction; 0 for the baseline
+  double period_overhead_vs_baseline = 0.0; // fraction
+};
+
+// Evaluates the baseline (iht_entries == 0) or a monitored variant.
+DesignReport evaluate_design(const TechLibrary& tech, unsigned iht_entries,
+                             hash::HashKind hash_kind);
+
+// All four Table 2 rows (baseline, 1, 8, 16) plus any extra entry counts.
+std::vector<DesignReport> table2_rows(const TechLibrary& tech,
+                                      const std::vector<unsigned>& entry_counts,
+                                      hash::HashKind hash_kind);
+
+}  // namespace cicmon::area

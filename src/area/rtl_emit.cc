@@ -1,0 +1,87 @@
+#include "area/rtl_emit.h"
+
+#include <sstream>
+
+namespace cicmon::area {
+namespace {
+
+const char* hash_step_expression(hash::HashKind kind) {
+  switch (kind) {
+    case hash::HashKind::kXor: return "rhash_q xor instr_word";
+    case hash::HashKind::kAdd: return "std_logic_vector(unsigned(rhash_q) + unsigned(instr_word))";
+    case hash::HashKind::kRotXor:
+    case hash::HashKind::kRotXorKeyed:
+      return "(rhash_q(30 downto 0) & rhash_q(31)) xor instr_word";
+    case hash::HashKind::kFletcher32: return "fletcher_step(rhash_q, instr_word)";
+    case hash::HashKind::kCrc32: return "crc32_word(rhash_q, instr_word)";
+    case hash::HashKind::kMulXor: return "mulxor_step(rhash_q, instr_word)";
+  }
+  return "rhash_q xor instr_word";
+}
+
+}  // namespace
+
+std::string emit_vhdl_sketch(unsigned iht_entries, hash::HashKind hash_kind) {
+  std::ostringstream out;
+  out << "-- Code Integrity Checker, generated sketch (" << iht_entries
+      << "-entry IHT, HASHFU = " << hash::hash_kind_name(hash_kind) << ")\n"
+      << "library ieee;\nuse ieee.std_logic_1164.all;\nuse ieee.numeric_std.all;\n\n";
+
+  out << "entity cic_regs is\n"
+         "  port (clk, rst      : in  std_logic;\n"
+         "        sta_we        : in  std_logic;  -- [start==0] guard resolved upstream\n"
+         "        current_pc    : in  std_logic_vector(31 downto 0);\n"
+         "        rhash_we      : in  std_logic;\n"
+         "        rhash_d       : in  std_logic_vector(31 downto 0);\n"
+         "        block_reset   : in  std_logic;  -- Figure 4: STA.reset / RHASH.reset\n"
+         "        sta_q, rhash_q: out std_logic_vector(31 downto 0));\n"
+         "end cic_regs;\n\n";
+
+  out << "entity hashfu is\n"
+         "  port (rhash_q    : in  std_logic_vector(31 downto 0);\n"
+         "        instr_word : in  std_logic_vector(31 downto 0);\n"
+         "        nhash      : out std_logic_vector(31 downto 0));\n"
+         "end hashfu;\n\n"
+         "architecture rtl of hashfu is\n"
+         "begin\n"
+         "  nhash <= "
+      << hash_step_expression(hash_kind)
+      << ";  -- single-cycle HASHFU.ope (Figure 3)\n"
+         "end rtl;\n\n";
+
+  out << "entity ihtbb is\n"
+         "  generic (ENTRIES : natural := " << iht_entries << ");\n"
+         "  port (clk        : in  std_logic;\n"
+         "        lkp_start  : in  std_logic_vector(31 downto 0);  -- STA\n"
+         "        lkp_end    : in  std_logic_vector(31 downto 0);  -- PPC\n"
+         "        lkp_hash   : in  std_logic_vector(31 downto 0);  -- RHASH\n"
+         "        fill_en    : in  std_logic;                      -- OS refill port\n"
+         "        fill_tuple : in  std_logic_vector(95 downto 0);\n"
+         "        found      : out std_logic;                      -- address CAM hit\n"
+         "        match      : out std_logic);                     -- hash agrees\n"
+         "end ihtbb;\n\n"
+         "architecture rtl of ihtbb is\n"
+         "  type tuple_array is array (0 to ENTRIES-1) of std_logic_vector(95 downto 0);\n"
+         "  signal entries_q : tuple_array;\n"
+         "  signal valid_q   : std_logic_vector(ENTRIES-1 downto 0);\n"
+         "begin\n"
+         "  -- parallel (Addst, Addend) match; hash comparison on the hit way\n"
+         "  -- (COMP of Figure 2); LRU stamps updated on address match.\n"
+         "end rtl;\n\n";
+
+  out << "entity cic_exceptions is\n"
+         "  port (found, match : in  std_logic;\n"
+         "        is_flow_ctl  : in  std_logic;  -- ID-stage qualifier\n"
+         "        exception0   : out std_logic;  -- hash miss  -> OS FHT search\n"
+         "        exception1   : out std_logic); -- mismatch   -> terminate\n"
+         "end cic_exceptions;\n\n"
+         "architecture rtl of cic_exceptions is\n"
+         "begin\n"
+         "  exception0 <= is_flow_ctl and not found;\n"
+         "  exception1 <= is_flow_ctl and found and not match;\n"
+         "end rtl;\n";
+
+  return out.str();
+}
+
+}  // namespace cicmon::area

@@ -1,0 +1,20 @@
+// VHDL sketch emitter — the "ASIP Meister HDL generator" step of Figure 5.
+//
+// The real flow captures the ISA + monitoring microoperations in a GUI and
+// generates synthesizable VHDL. This emitter renders the same CIC hardware
+// (STA/RHASH registers, HASHFU, IHT CAM, comparator, exception port) as a
+// compact VHDL entity set so the design-flow example can show the artefact
+// the flow would hand to synthesis. The area/timing numbers come from the
+// analytical model (area_model.h), not from this text.
+#pragma once
+
+#include <string>
+
+#include "hash/hash_unit.h"
+
+namespace cicmon::area {
+
+// Complete monitoring-subsystem sketch for the given configuration.
+std::string emit_vhdl_sketch(unsigned iht_entries, hash::HashKind hash_kind);
+
+}  // namespace cicmon::area

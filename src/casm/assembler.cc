@@ -1,0 +1,457 @@
+#include "casm/assembler.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "isa/instruction.h"
+#include "isa/registers.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace cicmon::casm_ {
+
+using isa::Mnemonic;
+using isa::OperandPattern;
+using support::CicError;
+using support::check;
+
+namespace {
+
+struct Statement {
+  int line = 0;
+  std::string mnemonic;               // lower-case opcode or directive
+  std::vector<std::string> operands;  // raw operand strings
+  std::uint32_t address = 0;          // assigned in pass 1
+};
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw CicError("asm line " + std::to_string(line) + ": " + message);
+}
+
+unsigned parse_reg_or_fail(std::string_view text, int line) {
+  auto reg = isa::parse_reg(text);
+  if (!reg) fail(line, "bad register '" + std::string(text) + "'");
+  return *reg;
+}
+
+// Splits operands on commas, respecting that offsets like 8($sp) contain no
+// commas. Quoted strings (for .asciiz) are kept intact.
+std::vector<std::string> split_operands(std::string_view text, int line) {
+  std::vector<std::string> out;
+  std::string current;
+  bool in_quote = false;
+  for (char c : text) {
+    if (c == '"') in_quote = !in_quote;
+    if (c == ',' && !in_quote) {
+      const auto trimmed = support::trim(current);
+      if (!trimmed.empty()) out.emplace_back(trimmed);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (in_quote) fail(line, "unterminated string literal");
+  const auto trimmed = support::trim(current);
+  if (!trimmed.empty()) out.emplace_back(trimmed);
+  return out;
+}
+
+// How many hardware instructions a (pseudo-)statement expands to.
+unsigned statement_size(const Statement& s) {
+  if (s.mnemonic == "li" || s.mnemonic == "la") return 2;  // fixed lui+ori form
+  if (s.mnemonic == "blt" || s.mnemonic == "bge" || s.mnemonic == "bgt" ||
+      s.mnemonic == "ble")
+    return 2;  // slt + branch
+  return 1;
+}
+
+class Assembler {
+ public:
+  explicit Assembler(std::string_view source) : source_(source) {}
+
+  Image run() {
+    parse();
+    layout();
+    encode();
+    auto main_it = image_.symbols.find("main");
+    image_.entry = main_it != image_.symbols.end() ? main_it->second : image_.text_base;
+    return std::move(image_);
+  }
+
+ private:
+  enum class Section { kText, kData };
+
+  void parse() {
+    int line_number = 0;
+    std::size_t pos = 0;
+    Section section = Section::kText;
+    while (pos <= source_.size()) {
+      const std::size_t eol = source_.find('\n', pos);
+      std::string_view line = source_.substr(
+          pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+      pos = eol == std::string_view::npos ? source_.size() + 1 : eol + 1;
+      ++line_number;
+
+      // Strip comments.
+      for (std::string_view marker : {"#", "//", ";"}) {
+        const std::size_t c = line.find(marker);
+        if (c != std::string_view::npos) line = line.substr(0, c);
+      }
+      line = support::trim(line);
+      if (line.empty()) continue;
+
+      // Labels (possibly several per line).
+      while (true) {
+        const std::size_t colon = line.find(':');
+        if (colon == std::string_view::npos) break;
+        const std::string_view name = support::trim(line.substr(0, colon));
+        if (name.empty() || name.find(' ') != std::string_view::npos) break;
+        pending_labels_.emplace_back(std::string(name), section, line_number);
+        line = support::trim(line.substr(colon + 1));
+      }
+      if (line.empty()) continue;
+
+      const std::size_t space = line.find_first_of(" \t");
+      std::string head = support::to_lower(
+          space == std::string_view::npos ? line : line.substr(0, space));
+      const std::string_view rest =
+          space == std::string_view::npos ? std::string_view{} : support::trim(line.substr(space));
+
+      if (head == ".text") { flush_labels(Section::kText); section = Section::kText; continue; }
+      if (head == ".data") { flush_labels(Section::kData); section = Section::kData; continue; }
+      if (head == ".globl" || head == ".global" || head == ".align") continue;
+
+      Statement s;
+      s.line = line_number;
+      s.mnemonic = head;
+      s.operands = split_operands(rest, line_number);
+      if (section == Section::kText) {
+        attach_labels_to_text();
+        text_statements_.push_back(std::move(s));
+      } else {
+        attach_labels_to_data();
+        data_statements_.push_back(std::move(s));
+      }
+    }
+    // Trailing labels bind to the end of their section.
+    attach_labels_to_text();
+    attach_labels_to_data();
+  }
+
+  // Labels seen before any statement of a section bind to the next statement
+  // in that section; flush when the section switches.
+  void flush_labels(Section) {}
+
+  void attach_labels_to_text() {
+    for (auto& [name, section, line] : pending_labels_) {
+      if (section == Section::kText)
+        text_labels_.emplace_back(name, static_cast<std::uint32_t>(text_statements_.size()));
+    }
+    drop_pending(Section::kText);
+  }
+
+  void attach_labels_to_data() {
+    for (auto& [name, section, line] : pending_labels_) {
+      if (section == Section::kData)
+        data_labels_.emplace_back(name, static_cast<std::uint32_t>(data_statements_.size()));
+    }
+    drop_pending(Section::kData);
+  }
+
+  void drop_pending(Section section) {
+    std::vector<std::tuple<std::string, Section, int>> keep;
+    for (auto& entry : pending_labels_) {
+      if (std::get<1>(entry) != section) keep.push_back(std::move(entry));
+    }
+    pending_labels_ = std::move(keep);
+  }
+
+  void layout() {
+    // Text addresses.
+    std::uint32_t address = image_.text_base;
+    std::vector<std::uint32_t> stmt_addr;
+    for (Statement& s : text_statements_) {
+      s.address = address;
+      stmt_addr.push_back(address);
+      address += statement_size(s) * 4;
+    }
+    stmt_addr.push_back(address);
+    for (const auto& [name, index] : text_labels_) {
+      define_symbol(name, stmt_addr[index]);
+    }
+
+    // Data: emit now (data layout is independent of label addresses), noting
+    // addresses of data labels as we go.
+    std::map<std::uint32_t, std::vector<std::string>> labels_at;
+    for (const auto& [name, index] : data_labels_) labels_at[index].push_back(name);
+    for (std::uint32_t i = 0; i <= data_statements_.size(); ++i) {
+      auto it = labels_at.find(i);
+      if (it != labels_at.end()) {
+        while (image_.data.size() % 4 != 0) image_.data.push_back(0);
+        for (const std::string& name : it->second) {
+          define_symbol(name, image_.data_base + static_cast<std::uint32_t>(image_.data.size()));
+        }
+      }
+      if (i < data_statements_.size()) emit_data(data_statements_[i]);
+    }
+  }
+
+  void define_symbol(const std::string& name, std::uint32_t address) {
+    if (!image_.symbols.emplace(name, address).second) {
+      throw CicError("duplicate label: " + name);
+    }
+  }
+
+  void emit_data(const Statement& s) {
+    if (s.mnemonic == ".word") {
+      while (image_.data.size() % 4 != 0) image_.data.push_back(0);
+      for (const std::string& op : s.operands) {
+        std::int64_t v = 0;
+        if (!support::parse_int(op, &v)) fail(s.line, "bad .word value '" + op + "'");
+        const auto w = static_cast<std::uint32_t>(v);
+        image_.data.push_back(static_cast<std::uint8_t>(w));
+        image_.data.push_back(static_cast<std::uint8_t>(w >> 8));
+        image_.data.push_back(static_cast<std::uint8_t>(w >> 16));
+        image_.data.push_back(static_cast<std::uint8_t>(w >> 24));
+      }
+    } else if (s.mnemonic == ".byte") {
+      for (const std::string& op : s.operands) {
+        std::int64_t v = 0;
+        if (!support::parse_int(op, &v)) fail(s.line, "bad .byte value '" + op + "'");
+        image_.data.push_back(static_cast<std::uint8_t>(v));
+      }
+    } else if (s.mnemonic == ".asciiz") {
+      if (s.operands.size() != 1 || s.operands[0].size() < 2 || s.operands[0].front() != '"' ||
+          s.operands[0].back() != '"')
+        fail(s.line, ".asciiz requires one quoted string");
+      for (std::size_t i = 1; i + 1 < s.operands[0].size(); ++i)
+        image_.data.push_back(static_cast<std::uint8_t>(s.operands[0][i]));
+      image_.data.push_back(0);
+    } else if (s.mnemonic == ".space") {
+      std::int64_t v = 0;
+      if (s.operands.size() != 1 || !support::parse_int(s.operands[0], &v) || v < 0)
+        fail(s.line, ".space requires a non-negative size");
+      image_.data.insert(image_.data.end(), static_cast<std::size_t>(v), 0);
+    } else {
+      fail(s.line, "unknown data directive '" + s.mnemonic + "'");
+    }
+  }
+
+  std::uint32_t symbol_or_value(const std::string& text, int line) const {
+    auto it = image_.symbols.find(text);
+    if (it != image_.symbols.end()) return it->second;
+    std::int64_t v = 0;
+    if (!support::parse_int(text, &v)) fail(line, "unknown symbol '" + text + "'");
+    return static_cast<std::uint32_t>(v);
+  }
+
+  std::int32_t imm_or_fail(const std::string& text, int line) const {
+    std::int64_t v = 0;
+    if (!support::parse_int(text, &v)) {
+      // Allow symbols as immediates (e.g. lui of a symbol's high half is rare
+      // in hand-written code; labels mostly appear in branches).
+      auto it = image_.symbols.find(text);
+      if (it == image_.symbols.end()) fail(line, "bad immediate '" + text + "'");
+      return static_cast<std::int32_t>(it->second);
+    }
+    return static_cast<std::int32_t>(v);
+  }
+
+  std::uint16_t branch_offset(const std::string& target, std::uint32_t branch_addr,
+                              int line) const {
+    std::int64_t delta;
+    auto it = image_.symbols.find(target);
+    if (it != image_.symbols.end()) {
+      delta = (static_cast<std::int64_t>(it->second) - branch_addr - 4) / 4;
+    } else {
+      std::int64_t v = 0;
+      if (!support::parse_int(target, &v)) fail(line, "unknown branch target '" + target + "'");
+      delta = v / 4;  // numeric byte offset relative to PC+4
+    }
+    if (delta < -32768 || delta > 32767) fail(line, "branch target out of range");
+    return static_cast<std::uint16_t>(delta);
+  }
+
+  // Parses "off($base)" into {offset, base}.
+  std::pair<std::int32_t, unsigned> mem_operand(const std::string& text, int line) const {
+    const std::size_t open = text.find('(');
+    const std::size_t close = text.find(')');
+    if (open == std::string::npos || close == std::string::npos || close < open)
+      fail(line, "bad memory operand '" + text + "'");
+    const std::string offset_text(support::trim(std::string_view(text).substr(0, open)));
+    const unsigned base =
+        parse_reg_or_fail(std::string_view(text).substr(open + 1, close - open - 1), line);
+    std::int32_t offset = 0;
+    if (!offset_text.empty()) {
+      std::int64_t v = 0;
+      if (!support::parse_int(offset_text, &v)) fail(line, "bad offset '" + offset_text + "'");
+      offset = static_cast<std::int32_t>(v);
+    }
+    return {offset, base};
+  }
+
+  void encode() {
+    for (const Statement& s : text_statements_) {
+      if (encode_pseudo(s)) continue;
+      auto m = isa::mnemonic_by_name(s.mnemonic);
+      if (!m) fail(s.line, "unknown instruction '" + s.mnemonic + "'");
+      encode_hw(*m, s);
+    }
+  }
+
+  void want_ops(const Statement& s, std::size_t n) {
+    if (s.operands.size() != n)
+      fail(s.line, s.mnemonic + " expects " + std::to_string(n) + " operand(s)");
+  }
+
+  bool encode_pseudo(const Statement& s) {
+    const auto& ops = s.operands;
+    if (s.mnemonic == "nop") {
+      emit(0);
+      return true;
+    }
+    if (s.mnemonic == "move") {
+      want_ops(s, 2);
+      emit(isa::encode_r(Mnemonic::kAddu, parse_reg_or_fail(ops[0], s.line),
+                         parse_reg_or_fail(ops[1], s.line), isa::kZero));
+      return true;
+    }
+    if (s.mnemonic == "li" || s.mnemonic == "la") {
+      want_ops(s, 2);
+      const unsigned rt = parse_reg_or_fail(ops[0], s.line);
+      const std::uint32_t value = s.mnemonic == "la"
+                                      ? symbol_or_value(ops[1], s.line)
+                                      : static_cast<std::uint32_t>(imm_or_fail(ops[1], s.line));
+      emit(isa::encode_i(Mnemonic::kLui, rt, 0, static_cast<std::uint16_t>(value >> 16)));
+      emit(isa::encode_i(Mnemonic::kOri, rt, rt, static_cast<std::uint16_t>(value & 0xFFFFU)));
+      return true;
+    }
+    if (s.mnemonic == "b") {
+      want_ops(s, 1);
+      emit(isa::encode_i(Mnemonic::kBeq, 0, 0, branch_offset(ops[0], s.address, s.line)));
+      return true;
+    }
+    if (s.mnemonic == "beqz" || s.mnemonic == "bnez") {
+      want_ops(s, 2);
+      const unsigned rs = parse_reg_or_fail(ops[0], s.line);
+      const Mnemonic m = s.mnemonic == "beqz" ? Mnemonic::kBeq : Mnemonic::kBne;
+      emit(isa::encode_i(m, 0, rs, branch_offset(ops[1], s.address, s.line)));
+      return true;
+    }
+    if (s.mnemonic == "blt" || s.mnemonic == "bge" || s.mnemonic == "bgt" ||
+        s.mnemonic == "ble") {
+      want_ops(s, 3);
+      unsigned rs = parse_reg_or_fail(ops[0], s.line);
+      unsigned rt = parse_reg_or_fail(ops[1], s.line);
+      if (s.mnemonic == "bgt" || s.mnemonic == "ble") std::swap(rs, rt);
+      emit(isa::encode_r(Mnemonic::kSlt, isa::kAt, rs, rt));
+      const Mnemonic m = (s.mnemonic == "blt" || s.mnemonic == "bgt") ? Mnemonic::kBne
+                                                                      : Mnemonic::kBeq;
+      // The branch is the second instruction of the pair.
+      emit(isa::encode_i(m, 0, isa::kAt, branch_offset(ops[2], s.address + 4, s.line)));
+      return true;
+    }
+    return false;
+  }
+
+  void encode_hw(Mnemonic m, const Statement& s) {
+    const isa::OpcodeInfo& row = isa::info(m);
+    const auto& ops = s.operands;
+    auto reg = [&](std::size_t i) { return parse_reg_or_fail(ops[i], s.line); };
+    switch (row.operands) {
+      case OperandPattern::kRdRsRt:
+        want_ops(s, 3);
+        emit(isa::encode_r(m, reg(0), reg(1), reg(2)));
+        break;
+      case OperandPattern::kRdRtShamt: {
+        want_ops(s, 3);
+        const std::int32_t shamt = imm_or_fail(ops[2], s.line);
+        if (shamt < 0 || shamt > 31) fail(s.line, "shift amount out of range");
+        emit(isa::encode_r(m, reg(0), 0, reg(1), static_cast<unsigned>(shamt)));
+        break;
+      }
+      case OperandPattern::kRdRtRs:
+        want_ops(s, 3);
+        emit(isa::encode_r(m, reg(0), reg(2), reg(1)));
+        break;
+      case OperandPattern::kRs:
+        want_ops(s, 1);
+        emit(isa::encode_r(m, 0, reg(0), 0));
+        break;
+      case OperandPattern::kRdRs:
+        want_ops(s, 2);
+        emit(isa::encode_r(m, reg(0), reg(1), 0));
+        break;
+      case OperandPattern::kRd:
+        want_ops(s, 1);
+        emit(isa::encode_r(m, reg(0), 0, 0));
+        break;
+      case OperandPattern::kRsRt:
+        want_ops(s, 2);
+        emit(isa::encode_r(m, 0, reg(0), reg(1)));
+        break;
+      case OperandPattern::kRtRsImm: {
+        want_ops(s, 3);
+        const std::int32_t imm = imm_or_fail(ops[2], s.line);
+        if (imm < -32768 || imm > 65535) fail(s.line, "immediate out of range");
+        emit(isa::encode_i(m, reg(0), reg(1), static_cast<std::uint16_t>(imm)));
+        break;
+      }
+      case OperandPattern::kRsRtLabel:
+        want_ops(s, 3);
+        emit(isa::encode_i(m, reg(1), reg(0), branch_offset(ops[2], s.address, s.line)));
+        break;
+      case OperandPattern::kRsLabel:
+        want_ops(s, 2);
+        emit(isa::encode_i(m, 0, reg(0), branch_offset(ops[1], s.address, s.line)));
+        break;
+      case OperandPattern::kRtImm: {
+        want_ops(s, 2);
+        const std::int32_t imm = imm_or_fail(ops[1], s.line);
+        if (imm < 0 || imm > 65535) fail(s.line, "lui immediate out of range");
+        emit(isa::encode_i(m, reg(0), 0, static_cast<std::uint16_t>(imm)));
+        break;
+      }
+      case OperandPattern::kRtOffBase: {
+        want_ops(s, 2);
+        const auto [offset, base] = mem_operand(ops[1], s.line);
+        if (offset < -32768 || offset > 32767) fail(s.line, "memory offset out of range");
+        emit(isa::encode_i(m, reg(0), base, static_cast<std::uint16_t>(offset)));
+        break;
+      }
+      case OperandPattern::kLabel: {
+        want_ops(s, 1);
+        const std::uint32_t target = symbol_or_value(ops[0], s.line);
+        if ((target & 3U) != 0) fail(s.line, "jump target must be word aligned");
+        emit(isa::encode_j(m, target >> 2));
+        break;
+      }
+      case OperandPattern::kNone:
+        want_ops(s, 0);
+        emit(isa::encode_r(m, 0, 0, 0));
+        break;
+    }
+  }
+
+  void emit(std::uint32_t word) { image_.text.push_back(word); }
+
+  std::string_view source_;
+  Image image_;
+  std::vector<Statement> text_statements_;
+  std::vector<Statement> data_statements_;
+  std::vector<std::pair<std::string, std::uint32_t>> text_labels_;  // name -> stmt index
+  std::vector<std::pair<std::string, std::uint32_t>> data_labels_;
+  std::vector<std::tuple<std::string, Section, int>> pending_labels_;
+};
+
+}  // namespace
+
+Image assemble(std::string_view source) { return Assembler(source).run(); }
+
+}  // namespace cicmon::casm_

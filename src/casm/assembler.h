@@ -1,0 +1,28 @@
+// Text assembler front end.
+//
+// Assembles a MIPS-flavoured assembly dialect into an Image. Supported
+// syntax:
+//
+//   .text / .data            section switches
+//   label:                   labels (text or data)
+//   .word  v, v, ...         32-bit data values
+//   .byte  v, v, ...         8-bit data values
+//   .asciiz "text"           NUL-terminated string
+//   .space N                 N zero bytes
+//   addu $rd, $rs, $rt       hardware instructions (full opcode catalogue)
+//   beq  $rs, $rt, label     branch targets as labels or numeric offsets
+//   li / la / move / nop / b / beqz / bnez   common pseudo-instructions
+//   # comment, // comment
+//
+// Errors are reported with 1-based line numbers via CicError.
+#pragma once
+
+#include <string_view>
+
+#include "casm/image.h"
+
+namespace cicmon::casm_ {
+
+Image assemble(std::string_view source);
+
+}  // namespace cicmon::casm_

@@ -1,0 +1,181 @@
+// Programmatic assembler (builder API).
+//
+// The workload kernels (src/workloads) are written against this API: it
+// plays the role MiBench's C sources + gcc played for the paper. It offers
+// labels with forward references, named functions, a data section, the full
+// hardware instruction set, and the usual assembler pseudo-instructions
+// (li/la/move/bgt/... expanded exactly as a MIPS assembler would, using $at).
+//
+// Example:
+//   Asm a;
+//   a.func("main");
+//   a.li(isa::kT0, 10);
+//   Label loop = a.bound_label();
+//   a.addiu(isa::kT0, isa::kT0, -1);
+//   a.bne(isa::kT0, isa::kZero, loop);
+//   a.sys_exit(0);
+//   Image image = a.finalize();
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "casm/image.h"
+#include "isa/instruction.h"
+#include "isa/registers.h"
+
+namespace cicmon::casm_ {
+
+// System-call codes (placed in $v0; argument in $a0).
+enum class Sys : std::uint32_t {
+  kExit = 0,     // a0 = exit code
+  kPutInt = 1,   // a0 = signed integer to print
+  kPutChar = 2,  // a0 = character to print
+  kCheck = 3,    // a0 = observed value, a1 = expected value (self-check trap)
+};
+
+struct Label {
+  std::uint32_t id = 0;
+};
+
+class Asm {
+ public:
+  Asm();
+
+  // --- Labels and symbols ---
+  Label label();                 // fresh, unbound
+  void bind(Label l);            // bind at the current text address
+  Label bound_label();           // fresh label bound here
+  void func(const std::string& name);  // define a function entry here
+  std::uint32_t here() const;    // current text address
+
+  // --- Raw emission ---
+  void emit(std::uint32_t word);
+
+  // --- R-type ---
+  void sll(unsigned rd, unsigned rt, unsigned shamt);
+  void srl(unsigned rd, unsigned rt, unsigned shamt);
+  void sra(unsigned rd, unsigned rt, unsigned shamt);
+  void sllv(unsigned rd, unsigned rt, unsigned rs);
+  void srlv(unsigned rd, unsigned rt, unsigned rs);
+  void srav(unsigned rd, unsigned rt, unsigned rs);
+  void jr(unsigned rs);
+  void jalr(unsigned rd, unsigned rs);
+  void syscall();
+  void break_();
+  void mfhi(unsigned rd);
+  void mthi(unsigned rs);
+  void mflo(unsigned rd);
+  void mtlo(unsigned rs);
+  void mult(unsigned rs, unsigned rt);
+  void multu(unsigned rs, unsigned rt);
+  void div(unsigned rs, unsigned rt);
+  void divu(unsigned rs, unsigned rt);
+  void addu(unsigned rd, unsigned rs, unsigned rt);
+  void subu(unsigned rd, unsigned rs, unsigned rt);
+  void and_(unsigned rd, unsigned rs, unsigned rt);
+  void or_(unsigned rd, unsigned rs, unsigned rt);
+  void xor_(unsigned rd, unsigned rs, unsigned rt);
+  void nor(unsigned rd, unsigned rs, unsigned rt);
+  void slt(unsigned rd, unsigned rs, unsigned rt);
+  void sltu(unsigned rd, unsigned rs, unsigned rt);
+
+  // --- I-type ---
+  void addiu(unsigned rt, unsigned rs, std::int32_t imm);
+  void slti(unsigned rt, unsigned rs, std::int32_t imm);
+  void sltiu(unsigned rt, unsigned rs, std::int32_t imm);
+  void andi(unsigned rt, unsigned rs, std::uint32_t imm);
+  void ori(unsigned rt, unsigned rs, std::uint32_t imm);
+  void xori(unsigned rt, unsigned rs, std::uint32_t imm);
+  void lui(unsigned rt, std::uint32_t imm);
+  void lb(unsigned rt, std::int32_t offset, unsigned base);
+  void lbu(unsigned rt, std::int32_t offset, unsigned base);
+  void lh(unsigned rt, std::int32_t offset, unsigned base);
+  void lhu(unsigned rt, std::int32_t offset, unsigned base);
+  void lw(unsigned rt, std::int32_t offset, unsigned base);
+  void sb(unsigned rt, std::int32_t offset, unsigned base);
+  void sh(unsigned rt, std::int32_t offset, unsigned base);
+  void sw(unsigned rt, std::int32_t offset, unsigned base);
+  void beq(unsigned rs, unsigned rt, Label target);
+  void bne(unsigned rs, unsigned rt, Label target);
+  void blez(unsigned rs, Label target);
+  void bgtz(unsigned rs, Label target);
+  void bltz(unsigned rs, Label target);
+  void bgez(unsigned rs, Label target);
+
+  // --- J-type ---
+  void j(Label target);
+  void jal(Label target);
+  void jal(const std::string& function);  // forward references allowed
+
+  // --- Pseudo-instructions (expanded like a MIPS assembler, $at scratch) ---
+  void nop();
+  void move(unsigned rd, unsigned rs);
+  void li(unsigned rt, std::uint32_t value);
+  void la(unsigned rt, const std::string& data_symbol);
+  void neg(unsigned rd, unsigned rs);
+  void not_(unsigned rd, unsigned rs);
+  void b(Label target);                         // unconditional branch
+  void beqz(unsigned rs, Label target);
+  void bnez(unsigned rs, Label target);
+  void blt(unsigned rs, unsigned rt, Label target);
+  void bge(unsigned rs, unsigned rt, Label target);
+  void bgt(unsigned rs, unsigned rt, Label target);
+  void ble(unsigned rs, unsigned rt, Label target);
+  void bltu(unsigned rs, unsigned rt, Label target);
+  void bgeu(unsigned rs, unsigned rt, Label target);
+
+  // --- Calling convention helpers ---
+  void push(unsigned reg);              // sp -= 4; [sp] = reg
+  void pop(unsigned reg);               // reg = [sp]; sp += 4
+  void call(const std::string& function) { jal(function); }
+  void ret() { jr(isa::kRa); }
+
+  // --- System calls ---
+  void sys(Sys code);
+  void sys_exit(std::uint32_t code);
+  void sys_print_int(unsigned reg);
+  void sys_print_char(char c);
+  // Traps (via Sys::kCheck) if reg != expected; workloads use this to verify
+  // their own output so a silently-wrong simulation fails tests.
+  void check_eq(unsigned reg, std::uint32_t expected);
+
+  // --- Data section ---
+  std::uint32_t data_word(std::uint32_t value);
+  std::uint32_t data_words(std::span<const std::uint32_t> values);
+  std::uint32_t data_words(std::initializer_list<std::uint32_t> values);
+  std::uint32_t data_bytes(std::span<const std::uint8_t> bytes);
+  std::uint32_t data_asciiz(const std::string& text);
+  std::uint32_t data_space(std::uint32_t size_bytes, std::uint8_t fill = 0);
+  void data_symbol(const std::string& name);  // name the current data address
+  std::uint32_t data_address(const std::string& name) const;
+
+  // --- Finalization ---
+  // Patches all fixups; throws CicError on unbound labels, undefined
+  // functions, or out-of-range branch offsets. Entry point is "main" if
+  // defined, else the first instruction.
+  Image finalize();
+
+ private:
+  struct Fixup {
+    enum class Kind { kBranch, kJump } kind;
+    std::uint32_t text_index;
+    std::uint32_t label_id;
+  };
+
+  std::uint32_t addr_of(std::uint32_t text_index) const;
+  Label func_label(const std::string& name);
+  void patch(const Fixup& fixup);
+
+  Image image_;
+  std::vector<std::int64_t> label_addr_;  // -1 = unbound
+  std::vector<Fixup> fixups_;
+  std::map<std::string, Label> func_labels_;
+  bool finalized_ = false;
+};
+
+}  // namespace cicmon::casm_

@@ -1,0 +1,40 @@
+// Loadable program image.
+//
+// The output of both assembler front ends. The image is what the OS loader
+// consumes; the static hash generator (src/cfg) reads `text` to build the
+// Full Hash Table that gets attached to the image — mirroring the paper's
+// "hash values ... attached to the application code and data" (§3.3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cicmon::casm_ {
+
+// Default memory map (PISA/SimpleScalar-like).
+inline constexpr std::uint32_t kTextBase = 0x0040'0000;
+inline constexpr std::uint32_t kDataBase = 0x1000'0000;
+inline constexpr std::uint32_t kStackTop = 0x7FFF'FF00;
+
+struct Image {
+  std::uint32_t entry = kTextBase;
+  std::uint32_t text_base = kTextBase;
+  std::vector<std::uint32_t> text;  // instruction words
+  std::uint32_t data_base = kDataBase;
+  std::vector<std::uint8_t> data;
+  std::map<std::string, std::uint32_t> symbols;  // name -> address
+
+  std::uint32_t text_end() const {
+    return text_base + static_cast<std::uint32_t>(text.size()) * 4;
+  }
+  bool contains_text(std::uint32_t address) const {
+    return address >= text_base && address < text_end() && (address & 3U) == 0;
+  }
+  std::uint32_t word_at(std::uint32_t address) const {
+    return text[(address - text_base) / 4];
+  }
+};
+
+}  // namespace cicmon::casm_

@@ -1,0 +1,83 @@
+#include "cfg/check_region.h"
+
+#include <algorithm>
+#include <set>
+
+#include "isa/instruction.h"
+#include "support/error.h"
+
+namespace cicmon::cfg {
+
+std::vector<std::uint32_t> find_leaders(const casm_::Image& image) {
+  std::set<std::uint32_t> leaders;
+  const std::uint32_t text_end = image.text_end();
+
+  auto add_if_text = [&](std::uint32_t address) {
+    if (address >= image.text_base && address < text_end) leaders.insert(address);
+  };
+
+  add_if_text(image.entry);
+
+  // Named function entries cover register-indirect transfers (jr/jalr through
+  // function pointers); symbols outside text (data labels) are ignored.
+  for (const auto& [name, address] : image.symbols) add_if_text(address);
+
+  for (std::uint32_t addr = image.text_base; addr < text_end; addr += 4) {
+    const isa::Instruction instr = isa::decode(image.word_at(addr));
+    if (!instr.flow_control()) continue;
+    // The instruction after a flow-control instruction starts a new region
+    // whether or not the transfer is taken (no delay slots in this pipeline).
+    add_if_text(addr + 4);
+    switch (instr.info().cls) {
+      case isa::InstrClass::kBranch:
+        add_if_text(instr.branch_target(addr));
+        break;
+      case isa::InstrClass::kJump:
+        add_if_text(instr.jump_target(addr));
+        break;
+      case isa::InstrClass::kJumpReg:
+        break;  // targets covered by function symbols / fall-through leaders
+      default:
+        break;
+    }
+  }
+
+  return {leaders.begin(), leaders.end()};
+}
+
+std::uint32_t hash_range(const casm_::Image& image, const hash::HashFunctionUnit& unit,
+                         std::uint32_t start, std::uint32_t end) {
+  support::check(image.contains_text(start) && image.contains_text(end) && start <= end,
+                 "hash_range: address range outside the text section");
+  std::uint32_t state = unit.init();
+  for (std::uint32_t addr = start; addr <= end; addr += 4) {
+    state = unit.step(state, image.word_at(addr));
+  }
+  return state;
+}
+
+std::vector<CheckRegion> enumerate_check_regions(const casm_::Image& image,
+                                                 const hash::HashFunctionUnit& unit) {
+  const std::uint32_t text_end = image.text_end();
+  std::vector<CheckRegion> regions;
+
+  for (std::uint32_t leader : find_leaders(image)) {
+    // Walk forward to the terminating flow-control instruction.
+    std::optional<std::uint32_t> end;
+    for (std::uint32_t addr = leader; addr < text_end; addr += 4) {
+      if (isa::decode(image.word_at(addr)).flow_control()) {
+        end = addr;
+        break;
+      }
+    }
+    if (!end.has_value()) continue;  // falls off text: never looked up
+    regions.push_back(CheckRegion{leader, *end, hash_range(image, unit, leader, *end)});
+  }
+
+  std::sort(regions.begin(), regions.end(), [](const CheckRegion& a, const CheckRegion& b) {
+    return a.start != b.start ? a.start < b.start : a.end < b.end;
+  });
+  return regions;
+}
+
+}  // namespace cicmon::cfg

@@ -1,0 +1,67 @@
+// Static check-region analysis over a program image.
+//
+// The hardware monitor hashes instruction words from the first fetch after a
+// reset (the register STA latches that address) up to and including the
+// flow-control instruction whose ID stage performs the IHT lookup (its
+// address is in PPC). The static generator must therefore enumerate exactly
+// the dynamic units the monitor will present:
+//
+//   check region = [leader, next flow-control instruction at or after leader]
+//
+// where a *leader* is any address the processor can start hashing from: the
+// program entry point, every static branch/jump target, every fall-through
+// successor of a flow-control instruction, and every named function entry
+// (covering register-indirect calls; return addresses are fall-throughs of
+// the jal and are thus already leaders).
+//
+// Several leaders inside one textbook basic block share the same end address
+// — the monitor genuinely produces such overlapping regions when a block is
+// entered mid-way (e.g. the backward-branch target of a loop whose header is
+// also reached by fall-through), so the Full Hash Table must carry them all.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "casm/image.h"
+#include "hash/hash_unit.h"
+
+namespace cicmon::cfg {
+
+// One statically enumerated monitoring unit: instructions in
+// [start, end] inclusive, both instruction-word-aligned addresses, with the
+// expected hash of that word sequence. This is the paper's IHT/FHT tuple
+// (Addst, Addend, Hash).
+struct CheckRegion {
+  std::uint32_t start = 0;
+  std::uint32_t end = 0;
+  std::uint32_t hash = 0;
+
+  // Number of instruction words covered.
+  std::uint32_t length_words() const { return (end - start) / 4 + 1; }
+
+  friend bool operator==(const CheckRegion&, const CheckRegion&) = default;
+};
+
+// All leader addresses of the image's text section, sorted ascending.
+// Exposed separately from region enumeration so tests and the workload
+// characterisation bench can inspect the control-flow structure.
+std::vector<std::uint32_t> find_leaders(const casm_::Image& image);
+
+// Enumerates every check region of the image (one per leader), computing
+// expected hashes with `unit`. Regions are sorted by (start, end).
+//
+// A leader whose region would run past the end of the text section (no
+// terminating flow-control instruction) is dropped: the monitor can never
+// look such a region up, because lookups only happen in the ID stage of a
+// flow-control instruction.
+std::vector<CheckRegion> enumerate_check_regions(const casm_::Image& image,
+                                                 const hash::HashFunctionUnit& unit);
+
+// Recomputes the dynamic hash of an arbitrary address range from the image
+// (what the hardware would accumulate fetching [start, end] in order).
+std::uint32_t hash_range(const casm_::Image& image, const hash::HashFunctionUnit& unit,
+                         std::uint32_t start, std::uint32_t end);
+
+}  // namespace cicmon::cfg

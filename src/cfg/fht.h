@@ -1,0 +1,62 @@
+// Full Hash Table (FHT).
+//
+// The complete set of expected (Addst, Addend, Hash) records for a program,
+// "attached to the application code and data" (§3.3) and loaded into
+// OS-managed memory when the application starts. The on-chip IHT acts as a
+// cache of this table; the OS exception handler searches it on a hash miss.
+//
+// Lookup is keyed by (start, end): the handler must distinguish "record
+// exists but the dynamic hash disagrees" (tampering → terminate) from
+// "no record at all" (execution reached a block the static analysis never
+// produced → terminate). Both outcomes need the record's identity, not its
+// hash, so the hash is the payload, not part of the key.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cfg/check_region.h"
+#include "hash/hash_unit.h"
+
+namespace cicmon::cfg {
+
+class FullHashTable {
+ public:
+  FullHashTable() = default;
+  explicit FullHashTable(std::vector<CheckRegion> records);
+
+  // Expected hash for the region [start, end], or nullopt if the static
+  // analysis produced no such region.
+  std::optional<std::uint32_t> expected_hash(std::uint32_t start, std::uint32_t end) const;
+
+  // Records with start addresses in [from, to), in address order — the OS
+  // refill handler uses this to prefetch the neighbourhood of a miss.
+  std::span<const CheckRegion> records() const { return records_; }
+
+  // Index of the record with the given (start, end), or npos.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t find(std::uint32_t start, std::uint32_t end) const;
+
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  const CheckRegion& record(std::size_t index) const { return records_[index]; }
+
+  // --- Binary serialization (the bytes attached to the image) ---
+  //
+  // Layout: "FHT1" magic, uint32 record count, then (start, end, hash)
+  // little-endian word triples. The loader rejects malformed blobs.
+  std::vector<std::uint8_t> serialize() const;
+  static FullHashTable deserialize(std::span<const std::uint8_t> bytes);
+
+ private:
+  std::vector<CheckRegion> records_;  // sorted by (start, end)
+};
+
+// Convenience: enumerate check regions of `image` under `unit` and build the
+// table — the paper's "special program or OS application loader" that
+// computes hashes after binary code is generated.
+FullHashTable build_fht(const casm_::Image& image, const hash::HashFunctionUnit& unit);
+
+}  // namespace cicmon::cfg

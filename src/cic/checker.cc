@@ -1,0 +1,16 @@
+#include "cic/checker.h"
+
+namespace cicmon::cic {
+
+CodeIntegrityChecker::CodeIntegrityChecker(const CicConfig& config)
+    : config_(config),
+      hashfu_(hash::make_hash_unit(config.hash_kind, config.hash_key)),
+      iht_(config.iht_entries, config.replace_policy, config.rng_seed) {}
+
+uop::IhtLookupResult CodeIntegrityChecker::lookup(std::uint32_t start, std::uint32_t end,
+                                                  std::uint32_t hash) {
+  last_lookup_ = LookupKey{start, end, hash};
+  return iht_.lookup(start, end, hash);
+}
+
+}  // namespace cicmon::cic

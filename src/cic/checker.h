@@ -1,0 +1,65 @@
+// Code Integrity Checker (CIC) — the monitoring hardware of Figure 2.
+//
+// Bundles the datapath-visible monitoring resources: the HASHFU the IF-stage
+// microoperations step the running hash through, the IHTbb CAM the ID-stage
+// lookup microoperation probes, and the exception signals. The CPU's
+// Datapath implementation forwards the three monitoring ports here.
+//
+// The CIC also latches the key of the most recent lookup: when the lookup
+// raises a miss exception, the OS handler needs (start, end, dynamic hash)
+// to search the FHT — in hardware these values are exactly what was driven
+// onto the CAM's match lines, so latching them costs three registers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cic/iht.h"
+#include "hash/hash_unit.h"
+#include "uop/interp.h"
+
+namespace cicmon::cic {
+
+struct CicConfig {
+  unsigned iht_entries = 8;
+  ReplacePolicy replace_policy = ReplacePolicy::kLru;
+  hash::HashKind hash_kind = hash::HashKind::kXor;
+  std::uint32_t hash_key = 0;   // per-process random value (kRotXorKeyed)
+  std::uint64_t rng_seed = 1;   // for ReplacePolicy::kRandom
+};
+
+// Key of an IHT lookup, latched for the exception handler.
+struct LookupKey {
+  std::uint32_t start = 0;
+  std::uint32_t end = 0;
+  std::uint32_t hash = 0;
+};
+
+class CodeIntegrityChecker {
+ public:
+  explicit CodeIntegrityChecker(const CicConfig& config);
+
+  // --- Monitoring ports (wired into uop::Datapath) ---
+  std::uint32_t hash_step(std::uint32_t old_hash, std::uint32_t instr_word) const {
+    return hashfu_->step(old_hash, instr_word);
+  }
+  uop::IhtLookupResult lookup(std::uint32_t start, std::uint32_t end, std::uint32_t hash);
+
+  // --- OS-side access ---
+  Iht& iht() { return iht_; }
+  const Iht& iht() const { return iht_; }
+  const LookupKey& last_lookup() const { return last_lookup_; }
+  const hash::HashFunctionUnit& hash_unit() const { return *hashfu_; }
+  const CicConfig& config() const { return config_; }
+
+  // Hardware reset value of RHASH at the start of a basic block.
+  std::uint32_t rhash_init() const { return hashfu_->init(); }
+
+ private:
+  CicConfig config_;
+  std::unique_ptr<hash::HashFunctionUnit> hashfu_;
+  Iht iht_;
+  LookupKey last_lookup_;
+};
+
+}  // namespace cicmon::cic

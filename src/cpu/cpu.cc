@@ -1,0 +1,387 @@
+#include "cpu/cpu.h"
+
+#include "support/bitops.h"
+#include "support/error.h"
+
+namespace cicmon::cpu {
+namespace {
+
+constexpr unsigned kV0 = 2;
+constexpr unsigned kA0 = 4;
+constexpr unsigned kA1 = 5;
+
+std::size_t sp(uop::SpecialReg r) { return static_cast<std::size_t>(r); }
+
+// True if `instr` consumes GPR `reg` in its ID or EX stage — the window in
+// which a just-loaded value is not yet available without a bubble. Store
+// data (rt of sb/sh/sw) is consumed in MEM and forwards without stalling.
+bool consumes_early(const isa::Instruction& instr, unsigned reg) {
+  if (reg == 0 || !instr.valid()) return false;
+  switch (instr.info().operands) {
+    case isa::OperandPattern::kRdRsRt:
+    case isa::OperandPattern::kRsRt:
+    case isa::OperandPattern::kRsRtLabel:
+      return instr.rs == reg || instr.rt == reg;
+    case isa::OperandPattern::kRdRtShamt:
+      return instr.rt == reg;
+    case isa::OperandPattern::kRdRtRs:
+      return instr.rt == reg || instr.rs == reg;
+    case isa::OperandPattern::kRs:
+    case isa::OperandPattern::kRdRs:
+    case isa::OperandPattern::kRtRsImm:
+    case isa::OperandPattern::kRsLabel:
+      return instr.rs == reg;
+    case isa::OperandPattern::kRtOffBase:
+      return instr.rs == reg;  // address base; stored rt forwards at MEM
+    case isa::OperandPattern::kRd:
+    case isa::OperandPattern::kRtImm:
+    case isa::OperandPattern::kLabel:
+    case isa::OperandPattern::kNone:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view exit_reason_name(ExitReason reason) {
+  switch (reason) {
+    case ExitReason::kExit: return "exit";
+    case ExitReason::kMonitorTerminated: return "monitor-terminated";
+    case ExitReason::kIllegalInstruction: return "illegal-instruction";
+    case ExitReason::kWildPc: return "wild-pc";
+    case ExitReason::kSelfCheckFailed: return "self-check-failed";
+    case ExitReason::kWatchdog: return "watchdog";
+  }
+  return "?";
+}
+
+Cpu::Cpu(const CpuConfig& config, const casm_::Image& image)
+    : config_(config),
+      spec_(uop::build_isa_uops()),
+      memory_(),
+      fetch_(&memory_, config.icache) {
+  if (config_.monitoring) {
+    uop::embed_monitoring(&spec_);
+    cic_.emplace(config_.cic);
+    os::LoadedProgram program = os::os_load(image, &memory_, cic_->hash_unit());
+    os_.emplace(config_.os, std::move(program.fht));
+    special_[sp(uop::SpecialReg::kRhash)] = cic_->rhash_init();
+  } else {
+    memory_.load_image(image);
+  }
+  special_[sp(uop::SpecialReg::kCpc)] = image.entry;
+  gpr_[isa::kSp] = casm_::kStackTop;
+  gpr_[isa::kGp] = image.data_base;
+  text_base_ = image.text_base;
+  text_end_ = image.text_end();
+}
+
+Cpu::~Cpu() = default;
+
+std::uint32_t Cpu::special(uop::SpecialReg reg) const { return special_[sp(reg)]; }
+
+std::uint32_t Cpu::read_special(uop::SpecialReg r) { return special_[sp(r)]; }
+
+void Cpu::write_special(uop::SpecialReg r, std::uint32_t value) { special_[sp(r)] = value; }
+
+void Cpu::reset_special(uop::SpecialReg r) {
+  // RHASH resets to the HASHFU's initial state (the per-process key for the
+  // keyed unit); everything else resets to zero.
+  special_[sp(r)] =
+      (r == uop::SpecialReg::kRhash && cic_) ? cic_->rhash_init() : 0;
+}
+
+std::uint32_t Cpu::read_gpr(unsigned index) { return gpr_[index & 31U]; }
+
+void Cpu::write_gpr(unsigned index, std::uint32_t value) {
+  if ((index & 31U) == 0) return;  // r0 is hard-wired to zero
+  gpr_[index & 31U] = value;
+}
+
+std::uint32_t Cpu::fetch_instr(std::uint32_t address) { return fetch_.fetch(address); }
+
+std::uint32_t Cpu::load(std::uint32_t address, uop::MemWidth width, bool sign) {
+  switch (width) {
+    case uop::MemWidth::kByte: {
+      const std::uint8_t v = memory_.read8(address);
+      return sign ? static_cast<std::uint32_t>(static_cast<std::int32_t>(static_cast<std::int8_t>(v)))
+                  : v;
+    }
+    case uop::MemWidth::kHalf: {
+      const std::uint16_t v = memory_.read16(address);
+      return sign
+                 ? static_cast<std::uint32_t>(static_cast<std::int32_t>(static_cast<std::int16_t>(v)))
+                 : v;
+    }
+    case uop::MemWidth::kWord:
+      return memory_.read32(address);
+  }
+  return 0;
+}
+
+void Cpu::store(std::uint32_t address, uop::MemWidth width, std::uint32_t value) {
+  if (checkpoint_.valid) {
+    std::uint32_t old = 0;
+    switch (width) {
+      case uop::MemWidth::kByte: old = memory_.read8(address); break;
+      case uop::MemWidth::kHalf: old = memory_.read16(address); break;
+      case uop::MemWidth::kWord: old = memory_.read32(address); break;
+    }
+    checkpoint_.store_log.push_back({address, width, old});
+  }
+  switch (width) {
+    case uop::MemWidth::kByte:
+      memory_.write8(address, static_cast<std::uint8_t>(value));
+      break;
+    case uop::MemWidth::kHalf:
+      memory_.write16(address, static_cast<std::uint16_t>(value));
+      break;
+    case uop::MemWidth::kWord:
+      memory_.write32(address, value);
+      break;
+  }
+}
+
+std::uint32_t Cpu::hash_step(std::uint32_t old_hash, std::uint32_t instr_word) {
+  return cic_->hash_step(old_hash, instr_word);
+}
+
+uop::IhtLookupResult Cpu::iht_lookup(std::uint32_t start, std::uint32_t end,
+                                     std::uint32_t hash) {
+  if (observer_) observer_(start, end);
+  return cic_->lookup(start, end, hash);
+}
+
+void Cpu::raise_monitor_exception(std::uint8_t code) { pending_exc_ = code; }
+
+void Cpu::set_pc(std::uint32_t target) {
+  special_[sp(uop::SpecialReg::kCpc)] = target;
+  pc_redirected_ = true;
+}
+
+void Cpu::syscall() {
+  const auto code = static_cast<casm_::Sys>(gpr_[kV0]);
+  const std::uint32_t a0 = gpr_[kA0];
+  const std::uint32_t a1 = gpr_[kA1];
+  switch (code) {
+    case casm_::Sys::kExit:
+      terminate(ExitReason::kExit, a0);
+      break;
+    case casm_::Sys::kPutInt:
+      result_.console += std::to_string(static_cast<std::int32_t>(a0));
+      break;
+    case casm_::Sys::kPutChar:
+      result_.console += static_cast<char>(a0);
+      break;
+    case casm_::Sys::kCheck:
+      if (a0 != a1) {
+        result_.check_observed = a0;
+        result_.check_expected = a1;
+        terminate(ExitReason::kSelfCheckFailed, 1);
+      }
+      break;
+  }
+}
+
+void Cpu::illegal_instruction() {
+  // In recovery mode the decode trap is just another detection point inside
+  // the checkpointed region: retry before giving up (a transient fetch fault
+  // refetches a valid instruction).
+  if (try_rollback()) return;
+  terminate(ExitReason::kIllegalInstruction, 0);
+}
+
+void Cpu::terminate(ExitReason reason, std::uint32_t code) {
+  running_ = false;
+  result_.reason = reason;
+  result_.exit_code = code;
+  if (cic_) result_.iht = cic_->iht().stats();
+  if (os_) result_.os = os_->stats();
+}
+
+void Cpu::checkpoint_block(std::uint32_t block_start) {
+  checkpoint_.valid = true;
+  checkpoint_.block_start = block_start;
+  checkpoint_.gpr = gpr_;
+  checkpoint_.hi = special_[sp(uop::SpecialReg::kHi)];
+  checkpoint_.lo = special_[sp(uop::SpecialReg::kLo)];
+  checkpoint_.console_length = result_.console.size();
+  checkpoint_.store_log.clear();
+}
+
+bool Cpu::try_rollback() {
+  if (!config_.recovery.enabled || !checkpoint_.valid) return false;
+  if (checkpoint_.block_start == retry_block_) {
+    if (consecutive_retries_ >= config_.recovery.max_retries_per_block) return false;
+    ++consecutive_retries_;
+  } else {
+    retry_block_ = checkpoint_.block_start;
+    consecutive_retries_ = 1;
+  }
+
+  // Undo the block's memory effects (reverse order), restore registers and
+  // console output, refetch through a cold I-cache, and restart the block.
+  for (auto it = checkpoint_.store_log.rbegin(); it != checkpoint_.store_log.rend(); ++it) {
+    switch (it->width) {
+      case uop::MemWidth::kByte:
+        memory_.write8(it->address, static_cast<std::uint8_t>(it->old_value));
+        break;
+      case uop::MemWidth::kHalf:
+        memory_.write16(it->address, static_cast<std::uint16_t>(it->old_value));
+        break;
+      case uop::MemWidth::kWord:
+        memory_.write32(it->address, it->old_value);
+        break;
+    }
+  }
+  gpr_ = checkpoint_.gpr;
+  special_[sp(uop::SpecialReg::kHi)] = checkpoint_.hi;
+  special_[sp(uop::SpecialReg::kLo)] = checkpoint_.lo;
+  result_.console.resize(checkpoint_.console_length);
+  if (mem::ICache* icache = fetch_.icache()) icache->invalidate_all();
+
+  special_[sp(uop::SpecialReg::kCpc)] = checkpoint_.block_start;
+  special_[sp(uop::SpecialReg::kSta)] = 0;
+  special_[sp(uop::SpecialReg::kRhash)] = cic_->rhash_init();
+  checkpoint_.valid = false;  // a fresh checkpoint is taken on re-entry
+  result_.cycles += config_.recovery.recovery_cycles;
+  result_.monitor_cycles += config_.recovery.recovery_cycles;
+  ++result_.recoveries;
+  rolled_back_ = true;
+  return true;
+}
+
+void Cpu::handle_pending_monitor_exception() {
+  if (!pending_exc_.has_value()) return;
+  const std::uint8_t code = *pending_exc_;
+  pending_exc_.reset();
+  const cic::LookupKey key = cic_->last_lookup();
+  const os::ExceptionOutcome outcome = (code == uop::kExcHashMiss)
+                                           ? os_->handle_hash_miss(key, &cic_->iht())
+                                           : os_->handle_hash_mismatch(key);
+  result_.cycles += outcome.cycles;
+  result_.monitor_cycles += outcome.cycles;
+  if (outcome.terminate) {
+    // Recovery mode (§7 future work): attempt a block rollback before
+    // giving up — transient fetch faults vanish on re-execution.
+    if (try_rollback()) return;
+    result_.monitor_cause = outcome.cause;
+    terminate(ExitReason::kMonitorTerminated, 0);
+  }
+}
+
+void Cpu::account_hazards(const isa::Instruction& instr) {
+  // Redirect bubble: the front end refetches after a control transfer
+  // resolves in ID.
+  if (pc_redirected_ && config_.timing.frontend_stages > 1) {
+    const std::uint64_t bubble = config_.timing.frontend_stages - 1;
+    result_.cycles += bubble;
+    result_.branch_bubbles += bubble;
+  }
+
+  // Load-use: the previous instruction was a load whose destination this
+  // instruction consumes in ID/EX.
+  if (prev_load_dst_ != 0 && consumes_early(instr, prev_load_dst_)) {
+    result_.cycles += config_.timing.load_use_stall;
+    result_.load_use_stalls += config_.timing.load_use_stall;
+  }
+  prev_load_dst_ = 0;
+  if (instr.valid()) {
+    const isa::InstrClass cls = instr.info().cls;
+    if (cls == isa::InstrClass::kLoad) prev_load_dst_ = instr.rt;
+    if (cls == isa::InstrClass::kMulDiv) {
+      const bool is_div =
+          instr.mnemonic == isa::Mnemonic::kDiv || instr.mnemonic == isa::Mnemonic::kDivu;
+      hilo_ready_cycle_ =
+          result_.cycles + (is_div ? config_.timing.div_latency : config_.timing.mult_latency);
+    }
+    if ((instr.mnemonic == isa::Mnemonic::kMfhi || instr.mnemonic == isa::Mnemonic::kMflo) &&
+        result_.cycles < hilo_ready_cycle_) {
+      const std::uint64_t stall = hilo_ready_cycle_ - result_.cycles;
+      result_.cycles += stall;
+      result_.muldiv_stalls += stall;
+    }
+  }
+}
+
+std::optional<RunResult> Cpu::step() {
+  if (!running_) return finish_result();
+
+  if (result_.instructions >= config_.max_instructions) {
+    terminate(ExitReason::kWatchdog, 0);
+    return finish_result();
+  }
+
+  const std::uint32_t addr = special_[sp(uop::SpecialReg::kCpc)];
+  if (addr < text_base_ || addr >= text_end_ || (addr & 3U) != 0) {
+    terminate(ExitReason::kWildPc, 0);
+    return finish_result();
+  }
+
+  uop::ExecContext ctx;
+  ctx.instr_addr = addr;
+
+  // A zero STA means this fetch opens a new check region: checkpoint the
+  // architectural state so the region can be rolled back (recovery mode).
+  if (config_.recovery.enabled && config_.monitoring &&
+      special_[sp(uop::SpecialReg::kSta)] == 0) {
+    checkpoint_block(addr);
+  }
+
+  // --- IF: shared fetch program (hash step included when monitored) ---
+  uop::execute_stage(spec_.fetch, uop::Stage::kIF, ctx, *this);
+  const std::uint64_t icache_stall = fetch_.take_stall_cycles();
+  result_.cycles += icache_stall;
+  result_.icache_stall_cycles += icache_stall;
+
+  std::uint32_t word = ctx.temps[1];  // the fetched (possibly tampered) word
+  if (post_id_fault_.has_value() && result_.instructions == post_id_fault_->index) {
+    // The hash above saw the clean word; execution proceeds on the flipped
+    // one — a fault in a latch downstream of the check point.
+    word ^= post_id_fault_->xor_mask;
+  }
+  ctx.instr = isa::decode(word);
+
+  // PPC tracks the instruction occupying ID (Figure 4 reads the block's end
+  // address from it).
+  special_[sp(uop::SpecialReg::kPpc)] = addr;
+
+  const uop::InstrUops& program = spec_.program(ctx.instr.mnemonic);
+  pc_redirected_ = false;
+
+  uop::execute_stage(program.ops, uop::Stage::kID, ctx, *this);
+  handle_pending_monitor_exception();
+  if (!running_) return finish_result();
+  if (rolled_back_) {
+    // The faulting block was rewound; this instruction never happened.
+    rolled_back_ = false;
+    return std::nullopt;
+  }
+
+  uop::execute_stage(program.ops, uop::Stage::kEX, ctx, *this);
+  if (!running_) return finish_result();
+  uop::execute_stage(program.ops, uop::Stage::kMEM, ctx, *this);
+  uop::execute_stage(program.ops, uop::Stage::kWB, ctx, *this);
+  if (!running_) return finish_result();
+
+  ++result_.instructions;
+  ++result_.cycles;
+  account_hazards(ctx.instr);
+  return std::nullopt;
+}
+
+RunResult Cpu::finish_result() {
+  if (cic_) result_.iht = cic_->iht().stats();
+  if (os_) result_.os = os_->stats();
+  return result_;
+}
+
+RunResult Cpu::run() {
+  while (running_) {
+    if (auto done = step(); done.has_value()) return *done;
+  }
+  return finish_result();
+}
+
+}  // namespace cicmon::cpu

@@ -1,0 +1,225 @@
+// In-order single-issue CPU executing through microoperation programs.
+//
+// The simulator is timing-directed functional: instructions execute in
+// program order, each running the IF..WB slices of its microoperation
+// program against the Datapath, while a cycle model layers pipeline timing
+// on top (branch redirect bubbles, load-use stalls, multi-cycle multiply/
+// divide, I-cache refills, and OS monitoring-exception costs).
+//
+// Stage slices execute oldest-instruction-first, which encodes the hardware
+// ordering the monitor relies on: the ID-stage lookup/reset microoperations
+// of a flow-control instruction complete before the IF-stage hash step of
+// the next fetched instruction, so RHASH covers exactly one check region.
+// (A pipelined implementation achieves the same with same-cycle forwarding
+// of the reset; the paper's Figure 4 presumes it.)
+//
+// Monitoring is enabled by constructing the CPU with CpuConfig::monitoring
+// set: the ISA microoperation spec is passed through the embedding pass of
+// Section 5, a CodeIntegrityChecker is instantiated, and an OsMonitor is
+// attached to service its exceptions. The *binary is identical* in both
+// configurations — the scheme's central claim.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "casm/builder.h"
+#include "casm/image.h"
+#include "isa/registers.h"
+#include "cic/checker.h"
+#include "mem/fetch_path.h"
+#include "mem/memory.h"
+#include "os/loader.h"
+#include "os/monitor_os.h"
+#include "uop/interp.h"
+#include "uop/monitor_pass.h"
+#include "uop/uop.h"
+
+namespace cicmon::cpu {
+
+// Pipeline timing parameters (single-issue, in-order; the paper's baseline
+// is a 6-stage PISA pipeline — `frontend_stages` sets the fetch depth that
+// determines the redirect bubble).
+struct TimingConfig {
+  unsigned frontend_stages = 2;      // IF stages before ID; redirect bubble = this value - 1
+  unsigned load_use_stall = 1;       // bubble when a load's value is consumed next
+  unsigned mult_latency = 4;         // cycles until HI/LO is readable after mult
+  unsigned div_latency = 12;         // cycles until HI/LO is readable after div
+};
+
+// Architectural recovery (the paper's §7 future work): with recovery
+// enabled, the CPU checkpoints architectural state (GPRs, HI/LO, a store
+// undo-log, console length) at every check-region start. When the monitor
+// terminates a block, the machine rolls the block back, invalidates the
+// I-cache, and re-executes from the region start — a *transient* fetch-path
+// fault (bus glitch, cache soft error) refetches clean code and the program
+// completes correctly; *persistent* corruption (rewritten memory) fails
+// again and terminates once the retry budget is exhausted.
+struct RecoveryConfig {
+  bool enabled = false;
+  unsigned max_retries_per_block = 3;
+  std::uint64_t recovery_cycles = 150;  // rollback + refetch cost per attempt
+};
+
+struct CpuConfig {
+  bool monitoring = false;
+  cic::CicConfig cic;
+  os::OsConfig os;
+  mem::ICacheConfig icache;          // disabled by default
+  TimingConfig timing;
+  RecoveryConfig recovery;
+  std::uint64_t max_instructions = 200'000'000;  // watchdog for fault campaigns
+};
+
+enum class ExitReason : std::uint8_t {
+  kExit,                // program ran sys_exit
+  kMonitorTerminated,   // OS killed it on a monitoring exception
+  kIllegalInstruction,  // baseline decode trap (invalid opcode)
+  kWildPc,              // fetch left the text section (baseline crash)
+  kSelfCheckFailed,     // workload's check_eq observed a wrong value
+  kWatchdog,            // max_instructions exceeded
+};
+
+std::string_view exit_reason_name(ExitReason reason);
+
+struct RunResult {
+  ExitReason reason = ExitReason::kExit;
+  std::uint32_t exit_code = 0;
+  os::TerminationCause monitor_cause = os::TerminationCause::kNone;
+
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;          // total, including monitor exception cost
+  std::uint64_t monitor_cycles = 0;  // portion charged by OS exception handling
+  std::uint64_t recoveries = 0;      // successful block rollbacks (recovery mode)
+  std::uint64_t branch_bubbles = 0;
+  std::uint64_t load_use_stalls = 0;
+  std::uint64_t muldiv_stalls = 0;
+  std::uint64_t icache_stall_cycles = 0;
+
+  cic::IhtStats iht;                 // zero when monitoring is off
+  os::OsMonitorStats os;
+
+  std::string console;               // syscall output
+  std::uint32_t check_observed = 0;  // valid when reason == kSelfCheckFailed
+  std::uint32_t check_expected = 0;
+
+  // Cycles attributable to the application alone (what the "No CIC" baseline
+  // of Table 1 reports when monitoring is off).
+  std::uint64_t app_cycles() const { return cycles - monitor_cycles; }
+};
+
+// Post-decode fault: at dynamic instruction `index` (0-based), the pipeline
+// latch downstream of ID XORs `xor_mask` into the instruction word —
+// execution semantics change, but the IF-stage hash saw the clean word.
+// Models the §3.2 limitation.
+struct PostIdFault {
+  std::uint64_t index = 0;
+  std::uint32_t xor_mask = 1;
+};
+
+class Cpu final : private uop::Datapath {
+ public:
+  // Loads `image` (text, data, attached FHT if present) and prepares the
+  // configured machine. The image is not modified.
+  Cpu(const CpuConfig& config, const casm_::Image& image);
+  ~Cpu() override;
+
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  // Runs to completion (or termination / watchdog). Callable once.
+  RunResult run();
+
+  // Single-step interface for tests: executes one instruction. Returns
+  // nullopt while the program is still running.
+  std::optional<RunResult> step();
+  RunResult finish_result();  // result so far (after a terminal step)
+
+  // --- Fault-injection and observation hooks ---
+  mem::Memory& memory() { return memory_; }
+  mem::FetchPath& fetch_path() { return fetch_; }
+  void set_post_id_fault(const PostIdFault& fault) { post_id_fault_ = fault; }
+  // Invoked at every IHT lookup with (start, end) — the dynamic block trace.
+  using LookupObserver = std::function<void(std::uint32_t, std::uint32_t)>;
+  void set_lookup_observer(LookupObserver observer) { observer_ = std::move(observer); }
+
+  // --- State inspection for tests ---
+  std::uint32_t gpr(unsigned index) const { return gpr_[index]; }
+  std::uint32_t special(uop::SpecialReg reg) const;
+  const cic::CodeIntegrityChecker* checker() const { return cic_ ? &*cic_ : nullptr; }
+  const os::OsMonitor* os_monitor() const { return os_ ? &*os_ : nullptr; }
+  bool running() const { return running_; }
+
+ private:
+  // uop::Datapath implementation.
+  std::uint32_t read_special(uop::SpecialReg r) override;
+  void write_special(uop::SpecialReg r, std::uint32_t value) override;
+  void reset_special(uop::SpecialReg r) override;
+  std::uint32_t read_gpr(unsigned index) override;
+  void write_gpr(unsigned index, std::uint32_t value) override;
+  std::uint32_t fetch_instr(std::uint32_t address) override;
+  std::uint32_t load(std::uint32_t address, uop::MemWidth width, bool sign) override;
+  void store(std::uint32_t address, uop::MemWidth width, std::uint32_t value) override;
+  std::uint32_t hash_step(std::uint32_t old_hash, std::uint32_t instr_word) override;
+  uop::IhtLookupResult iht_lookup(std::uint32_t start, std::uint32_t end,
+                                  std::uint32_t hash) override;
+  void raise_monitor_exception(std::uint8_t code) override;
+  void set_pc(std::uint32_t target) override;
+  void syscall() override;
+  void illegal_instruction() override;
+
+  void terminate(ExitReason reason, std::uint32_t code);
+  void account_hazards(const isa::Instruction& instr);
+  void handle_pending_monitor_exception();
+  void checkpoint_block(std::uint32_t block_start);
+  bool try_rollback();
+
+  CpuConfig config_;
+  uop::IsaUopSpec spec_;
+  mem::Memory memory_;
+  mem::FetchPath fetch_;
+  std::optional<cic::CodeIntegrityChecker> cic_;
+  std::optional<os::OsMonitor> os_;
+  LookupObserver observer_;
+
+  std::array<std::uint32_t, isa::kNumGpr> gpr_{};
+  std::array<std::uint32_t, 7> special_{};  // indexed by SpecialReg
+
+  RunResult result_;
+  bool running_ = true;
+  bool pc_redirected_ = false;               // set_pc ran this instruction
+  std::optional<std::uint8_t> pending_exc_;  // monitor exception raised in ID
+  std::optional<PostIdFault> post_id_fault_;
+  std::uint64_t hilo_ready_cycle_ = 0;
+  // Destination GPR of the immediately preceding load, for load-use stalls
+  // (0 = none; register 0 can never be a true dependency).
+  unsigned prev_load_dst_ = 0;
+  std::uint32_t text_base_ = 0;
+  std::uint32_t text_end_ = 0;
+
+  // --- Block-granular checkpoint for recovery mode ---
+  struct StoreUndo {
+    std::uint32_t address;
+    uop::MemWidth width;
+    std::uint32_t old_value;
+  };
+  struct Checkpoint {
+    bool valid = false;
+    std::uint32_t block_start = 0;
+    std::array<std::uint32_t, isa::kNumGpr> gpr{};
+    std::uint32_t hi = 0;
+    std::uint32_t lo = 0;
+    std::size_t console_length = 0;
+    std::vector<StoreUndo> store_log;
+  };
+  Checkpoint checkpoint_;
+  bool rolled_back_ = false;
+  std::uint32_t retry_block_ = 0;
+  unsigned consecutive_retries_ = 0;
+};
+
+}  // namespace cicmon::cpu

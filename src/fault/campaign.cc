@@ -1,0 +1,193 @@
+#include "fault/campaign.h"
+
+#include "support/bitops.h"
+#include "support/error.h"
+
+namespace cicmon::fault {
+namespace {
+
+// XOR mask with exactly `bits` distinct set positions.
+std::uint32_t random_mask(support::Rng& rng, unsigned bits) {
+  support::check(bits >= 1 && bits <= 32, "fault mask needs 1..32 bits");
+  std::uint32_t mask = 0;
+  while (support::popcount32(mask) < bits) {
+    mask |= 1U << rng.below(32);
+  }
+  return mask;
+}
+
+// Bus tamper that XORs a mask into one transfer, or into two consecutive
+// transfers (the same-lane pattern that can alias under plain XOR).
+class OneShotBusTamper final : public mem::BusTamper {
+ public:
+  OneShotBusTamper(std::uint64_t trigger_transfer, std::uint32_t mask, bool paired)
+      : trigger_(trigger_transfer), mask_(mask), paired_(paired) {}
+
+  std::uint32_t on_transfer(std::uint32_t, std::uint32_t word) override {
+    const std::uint64_t n = count_++;
+    const bool hit = n == trigger_ || (paired_ && n == trigger_ + 1);
+    return hit ? word ^ mask_ : word;
+  }
+
+ private:
+  std::uint64_t trigger_;
+  std::uint32_t mask_;
+  bool paired_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace
+
+std::string_view fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kMemoryText: return "memory-text";
+    case FaultSite::kFetchBus: return "fetch-bus";
+    case FaultSite::kFetchBusPaired: return "fetch-bus-paired";
+    case FaultSite::kICacheLine: return "icache-line";
+    case FaultSite::kPostIdLatch: return "post-id-latch";
+  }
+  return "?";
+}
+
+std::string_view outcome_name(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kDetectedMismatch: return "detected-mismatch";
+    case Outcome::kDetectedMiss: return "detected-miss";
+    case Outcome::kDetectedBaseline: return "detected-baseline";
+    case Outcome::kWrongOutput: return "wrong-output";
+    case Outcome::kBenign: return "benign";
+    case Outcome::kHang: return "hang";
+  }
+  return "?";
+}
+
+void CampaignSummary::add(Outcome outcome) {
+  ++trials;
+  switch (outcome) {
+    case Outcome::kDetectedMismatch: ++detected_mismatch; break;
+    case Outcome::kDetectedMiss: ++detected_miss; break;
+    case Outcome::kDetectedBaseline: ++detected_baseline; break;
+    case Outcome::kWrongOutput: ++wrong_output; break;
+    case Outcome::kBenign: ++benign; break;
+    case Outcome::kHang: ++hang; break;
+  }
+}
+
+double CampaignSummary::detection_rate_effective() const {
+  const std::uint64_t effective = trials - benign;
+  return effective == 0 ? 1.0 : static_cast<double>(detected()) / static_cast<double>(effective);
+}
+
+double CampaignSummary::detection_rate_total() const {
+  return trials == 0 ? 0.0 : static_cast<double>(detected()) / static_cast<double>(trials);
+}
+
+CampaignRunner::CampaignRunner(const casm_::Image& image, const cpu::CpuConfig& config)
+    : image_(image), config_(config) {
+  cpu::Cpu golden(config_, image_);
+  const cpu::RunResult result = golden.run();
+  support::check(result.reason == cpu::ExitReason::kExit,
+                 "campaign golden run did not exit cleanly");
+  golden_instructions_ = result.instructions;
+  golden_console_ = result.console;
+  golden_exit_code_ = result.exit_code;
+}
+
+TrialResult CampaignRunner::run_trial(const FaultSpec& spec) {
+  cpu::CpuConfig config = config_;
+  // A corrupted loop counter can spin forever; bound each trial well above
+  // the golden length so hangs are classified, not waited out.
+  config.max_instructions = golden_instructions_ * 4 + 100'000;
+  if (spec.site == FaultSite::kICacheLine) config.icache.enabled = true;
+
+  cpu::Cpu cpu(config, image_);
+
+  OneShotBusTamper tamper(spec.trigger_index, spec.xor_mask,
+                          spec.site == FaultSite::kFetchBusPaired);
+  switch (spec.site) {
+    case FaultSite::kMemoryText: {
+      // The loader has already computed/loaded the expected hashes from the
+      // clean binary (the OS checkpoint); the attack strikes afterwards.
+      const std::uint32_t word = cpu.memory().read32(spec.target_address);
+      cpu.memory().write32(spec.target_address, word ^ spec.xor_mask);
+      break;
+    }
+    case FaultSite::kFetchBus:
+    case FaultSite::kFetchBusPaired:
+      cpu.fetch_path().set_bus_tamper(&tamper);
+      break;
+    case FaultSite::kPostIdLatch:
+      cpu.set_post_id_fault({spec.trigger_index, spec.xor_mask});
+      break;
+    case FaultSite::kICacheLine:
+      break;  // injected mid-run below
+  }
+
+  support::Rng icache_rng(spec.trigger_index * 0x9E3779B97F4A7C15ULL + spec.xor_mask);
+  bool icache_pending = spec.site == FaultSite::kICacheLine;
+
+  std::optional<cpu::RunResult> result;
+  std::uint64_t executed = 0;
+  while (!result.has_value()) {
+    if (icache_pending && executed >= spec.trigger_index) {
+      mem::ICache* icache = cpu.fetch_path().icache();
+      if (icache != nullptr) {
+        for (unsigned flip = 0; flip < support::popcount32(spec.xor_mask); ++flip) {
+          icache->flip_random_resident_bit(icache_rng);
+        }
+      }
+      icache_pending = false;
+    }
+    result = cpu.step();
+    ++executed;
+  }
+
+  TrialResult out;
+  out.spec = spec;
+  out.exit_reason = result->reason;
+  switch (result->reason) {
+    case cpu::ExitReason::kMonitorTerminated:
+      out.outcome = (result->monitor_cause == os::TerminationCause::kNotInFht)
+                        ? Outcome::kDetectedMiss
+                        : Outcome::kDetectedMismatch;
+      break;
+    case cpu::ExitReason::kIllegalInstruction:
+    case cpu::ExitReason::kWildPc:
+      out.outcome = Outcome::kDetectedBaseline;
+      break;
+    case cpu::ExitReason::kSelfCheckFailed:
+      out.outcome = Outcome::kWrongOutput;
+      break;
+    case cpu::ExitReason::kWatchdog:
+      out.outcome = Outcome::kHang;
+      break;
+    case cpu::ExitReason::kExit:
+      out.outcome =
+          (result->console == golden_console_ && result->exit_code == golden_exit_code_)
+              ? Outcome::kBenign
+              : Outcome::kWrongOutput;
+      break;
+  }
+  return out;
+}
+
+CampaignSummary CampaignRunner::run_random(FaultSite site, unsigned bits, unsigned trials,
+                                           std::uint64_t seed) {
+  support::Rng rng(seed);
+  CampaignSummary summary;
+  const std::uint32_t text_words = static_cast<std::uint32_t>(image_.text.size());
+  for (unsigned t = 0; t < trials; ++t) {
+    FaultSpec spec;
+    spec.site = site;
+    spec.xor_mask = random_mask(rng, bits);
+    spec.trigger_index = rng.below(golden_instructions_);
+    if (site == FaultSite::kMemoryText) {
+      spec.target_address =
+          image_.text_base + 4 * static_cast<std::uint32_t>(rng.below(text_words));
+    }
+    summary.add(run_trial(spec).outcome);
+  }
+  return summary;
+}
+
+}  // namespace cicmon::fault

@@ -1,0 +1,96 @@
+// Fault-injection campaign runner.
+//
+// Runs a program once clean (the golden run), then many times with one
+// injected fault each, classifying every trial by how the fault was — or
+// was not — caught. The classification separates the paper's claims:
+//
+//  * faults striking before the check point (memory, bus, I-cache) must be
+//    caught by the monitor (hash mismatch, or hash miss when the flip
+//    rewrites control flow into unknown regions);
+//  * some flips are caught by the baseline microarchitecture itself
+//    (invalid opcode / wild PC), which the paper credits in §6.3;
+//  * post-ID faults escape the monitor by construction (§3.2);
+//  * flips in never-executed words, or that hash-alias, escape entirely.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "casm/image.h"
+#include "cpu/cpu.h"
+#include "fault/fault.h"
+#include "support/rng.h"
+
+namespace cicmon::fault {
+
+enum class Outcome : std::uint8_t {
+  kDetectedMismatch,  // monitor: hash mismatch (IHT or FHT)
+  kDetectedMiss,      // monitor: block unknown to the FHT
+  kDetectedBaseline,  // illegal opcode or wild PC (baseline trap)
+  kWrongOutput,       // escaped all checks, produced wrong results
+  kBenign,            // ran to completion with correct results
+  kHang,              // watchdog expired (corrupted loop condition)
+};
+
+std::string_view outcome_name(Outcome outcome);
+
+// True for outcomes where execution was stopped by *some* hardware check.
+constexpr bool is_detected(Outcome outcome) {
+  return outcome == Outcome::kDetectedMismatch || outcome == Outcome::kDetectedMiss ||
+         outcome == Outcome::kDetectedBaseline;
+}
+
+struct TrialResult {
+  Outcome outcome = Outcome::kBenign;
+  cpu::ExitReason exit_reason = cpu::ExitReason::kExit;
+  FaultSpec spec;
+};
+
+struct CampaignSummary {
+  std::uint64_t trials = 0;
+  std::uint64_t detected_mismatch = 0;
+  std::uint64_t detected_miss = 0;
+  std::uint64_t detected_baseline = 0;
+  std::uint64_t wrong_output = 0;
+  std::uint64_t benign = 0;
+  std::uint64_t hang = 0;
+
+  void add(Outcome outcome);
+  std::uint64_t detected() const {
+    return detected_mismatch + detected_miss + detected_baseline;
+  }
+  // Detection probability among trials where the fault mattered at all
+  // (benign trials — unexecuted or harmless flips — excluded).
+  double detection_rate_effective() const;
+  // Detection probability over all trials.
+  double detection_rate_total() const;
+};
+
+class CampaignRunner {
+ public:
+  // `config` is the machine to attack (monitoring on or off); the image is
+  // shared by all trials (each trial loads a fresh copy into its own CPU).
+  CampaignRunner(const casm_::Image& image, const cpu::CpuConfig& config);
+
+  // Runs one trial with an explicit fault.
+  TrialResult run_trial(const FaultSpec& spec);
+
+  // Runs `trials` random injections at `site`, each flipping `bits` distinct
+  // bits of one instruction word. Deterministic for a given seed.
+  CampaignSummary run_random(FaultSite site, unsigned bits, unsigned trials,
+                             std::uint64_t seed);
+
+  // Golden-run facts (available after construction).
+  std::uint64_t golden_instructions() const { return golden_instructions_; }
+  const std::string& golden_console() const { return golden_console_; }
+
+ private:
+  casm_::Image image_;
+  cpu::CpuConfig config_;
+  std::uint64_t golden_instructions_ = 0;
+  std::string golden_console_;
+  std::uint32_t golden_exit_code_ = 0;
+};
+
+}  // namespace cicmon::fault

@@ -1,0 +1,147 @@
+#include "hash/hash_unit.h"
+
+#include <array>
+
+#include "support/bitops.h"
+#include "support/error.h"
+
+namespace cicmon::hash {
+namespace {
+
+using support::rotl32;
+
+// Gate-equivalent estimates for one 32-bit step, consistent with the
+// component library in src/area (NAND2-equivalent units; a 2-input XOR
+// counts ~2.5 GE, a 32-bit carry-propagate adder ~300 GE, a 32x32 multiplier
+// is far beyond a fetch-stage cycle budget).
+constexpr HashHwProfile kXorProfile{32 * 2.5, 1.5, true};
+constexpr HashHwProfile kAddProfile{310.0, 10.0, true};
+constexpr HashHwProfile kRotXorProfile{32 * 2.5, 1.5, true};   // rotate is wiring
+constexpr HashHwProfile kFletcherProfile{2 * 170.0, 9.0, true};  // two 16-bit adders
+constexpr HashHwProfile kCrc32Profile{650.0, 6.0, true};  // XOR network, table-free
+constexpr HashHwProfile kMulXorProfile{5200.0, 28.0, false};  // 32x32 multiplier
+
+class XorUnit final : public HashFunctionUnit {
+ public:
+  std::string_view name() const override { return "xor"; }
+  HashKind kind() const override { return HashKind::kXor; }
+  std::uint32_t step(std::uint32_t state, std::uint32_t word) const override {
+    return state ^ word;
+  }
+  HashHwProfile hw_profile() const override { return kXorProfile; }
+};
+
+class AddUnit final : public HashFunctionUnit {
+ public:
+  std::string_view name() const override { return "add"; }
+  HashKind kind() const override { return HashKind::kAdd; }
+  std::uint32_t step(std::uint32_t state, std::uint32_t word) const override {
+    return state + word;
+  }
+  HashHwProfile hw_profile() const override { return kAddProfile; }
+};
+
+class RotXorUnit final : public HashFunctionUnit {
+ public:
+  explicit RotXorUnit(std::uint32_t key, bool keyed) : key_(key), keyed_(keyed) {}
+  std::string_view name() const override { return keyed_ ? "rotxor-keyed" : "rotxor"; }
+  HashKind kind() const override {
+    return keyed_ ? HashKind::kRotXorKeyed : HashKind::kRotXor;
+  }
+  std::uint32_t init() const override { return keyed_ ? key_ : 0; }
+  std::uint32_t step(std::uint32_t state, std::uint32_t word) const override {
+    return rotl32(state, 1) ^ word;
+  }
+  HashHwProfile hw_profile() const override { return kRotXorProfile; }
+
+ private:
+  std::uint32_t key_;
+  bool keyed_;
+};
+
+class Fletcher32Unit final : public HashFunctionUnit {
+ public:
+  std::string_view name() const override { return "fletcher32"; }
+  HashKind kind() const override { return HashKind::kFletcher32; }
+  std::uint32_t step(std::uint32_t state, std::uint32_t word) const override {
+    // State packs (sum2 << 16) | sum1, both mod 65535; the word is folded in
+    // as two 16-bit halves, matching the classic Fletcher-32 definition.
+    std::uint32_t sum1 = state & 0xFFFFU;
+    std::uint32_t sum2 = state >> 16;
+    sum1 = (sum1 + (word & 0xFFFFU)) % 65535U;
+    sum2 = (sum2 + sum1) % 65535U;
+    sum1 = (sum1 + (word >> 16)) % 65535U;
+    sum2 = (sum2 + sum1) % 65535U;
+    return (sum2 << 16) | sum1;
+  }
+  HashHwProfile hw_profile() const override { return kFletcherProfile; }
+};
+
+class Crc32Unit final : public HashFunctionUnit {
+ public:
+  Crc32Unit() {
+    // Standard reflected CRC-32 (polynomial 0xEDB88320) byte table.
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1U) ? 0xEDB8'8320U : 0U);
+      }
+      table_[i] = crc;
+    }
+  }
+  std::string_view name() const override { return "crc32"; }
+  HashKind kind() const override { return HashKind::kCrc32; }
+  std::uint32_t init() const override { return 0xFFFF'FFFFU; }
+  std::uint32_t step(std::uint32_t state, std::uint32_t word) const override {
+    // Word consumed little-endian byte order (the memory byte order).
+    std::uint32_t crc = state;
+    for (int b = 0; b < 4; ++b) {
+      const std::uint8_t byte = static_cast<std::uint8_t>(word >> (8 * b));
+      crc = (crc >> 8) ^ table_[(crc ^ byte) & 0xFFU];
+    }
+    return crc;
+  }
+  HashHwProfile hw_profile() const override { return kCrc32Profile; }
+
+ private:
+  std::array<std::uint32_t, 256> table_{};
+};
+
+class MulXorUnit final : public HashFunctionUnit {
+ public:
+  std::string_view name() const override { return "mulxor"; }
+  HashKind kind() const override { return HashKind::kMulXor; }
+  std::uint32_t init() const override { return 0x9E37'79B9U; }
+  std::uint32_t step(std::uint32_t state, std::uint32_t word) const override {
+    std::uint32_t mixed = (state ^ word) * 0x9E37'79B1U;
+    return mixed ^ (mixed >> 15);
+  }
+  HashHwProfile hw_profile() const override { return kMulXorProfile; }
+};
+
+constexpr std::array<HashKind, 7> kAllKinds = {
+    HashKind::kXor,        HashKind::kAdd,   HashKind::kRotXor, HashKind::kRotXorKeyed,
+    HashKind::kFletcher32, HashKind::kCrc32, HashKind::kMulXor};
+
+}  // namespace
+
+std::unique_ptr<HashFunctionUnit> make_hash_unit(HashKind kind, std::uint32_t key) {
+  switch (kind) {
+    case HashKind::kXor: return std::make_unique<XorUnit>();
+    case HashKind::kAdd: return std::make_unique<AddUnit>();
+    case HashKind::kRotXor: return std::make_unique<RotXorUnit>(0, false);
+    case HashKind::kRotXorKeyed: return std::make_unique<RotXorUnit>(key, true);
+    case HashKind::kFletcher32: return std::make_unique<Fletcher32Unit>();
+    case HashKind::kCrc32: return std::make_unique<Crc32Unit>();
+    case HashKind::kMulXor: return std::make_unique<MulXorUnit>();
+  }
+  throw support::CicError("make_hash_unit: unknown kind");
+}
+
+std::span<const HashKind> all_hash_kinds() { return kAllKinds; }
+
+std::string_view hash_kind_name(HashKind kind) {
+  return make_hash_unit(kind)->name();
+}
+
+}  // namespace cicmon::hash

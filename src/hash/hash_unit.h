@@ -1,0 +1,75 @@
+// Hash functional units (the paper's HASHFU).
+//
+// The HASHFU folds each fetched instruction word into the 32-bit RHASH
+// register in the IF stage, so a unit must be a *streaming* compressor with a
+// 32-bit state and a single-cycle-feasible step. The paper uses plain XOR
+// (§3.4) and names two extension directions: a process-dependent random value
+// (§6.3) and "more secure yet efficient hash algorithms" (§7). All of those
+// are implemented here, each annotated with a hardware profile consumed by
+// the area/timing model (src/area) so the ablation bench can weigh strength
+// against cost.
+//
+// Full cryptographic hashes (SHA-1, MD5 — see sha1.h/md5.h) cannot keep up
+// with the pipeline (§3.4); they are implemented for the offline detection-
+// probability comparison in the fault-analysis bench, not as HASHFU options.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace cicmon::hash {
+
+enum class HashKind : std::uint8_t {
+  kXor,          // paper's checksum: RHASH ^= instr
+  kAdd,          // modular additive checksum
+  kRotXor,       // rotate-left-1 then XOR (order-sensitive XOR)
+  kRotXorKeyed,  // ROTXOR seeded with a per-process random value (§6.3)
+  kFletcher32,   // two 16-bit running sums packed into the 32-bit state
+  kCrc32,        // CRC-32 (IEEE 802.3 polynomial), word-at-a-time
+  kMulXor,       // multiply-xor mixer (Knuth multiplicative constant)
+};
+
+// Gate-level footprint of a unit's combinational step logic, in NAND2 gate
+// equivalents, for the area model; depth in gate delays for the timing model.
+struct HashHwProfile {
+  double gate_equivalents = 0.0;
+  double depth_gate_delays = 0.0;
+  bool single_cycle_feasible = true;
+};
+
+class HashFunctionUnit {
+ public:
+  virtual ~HashFunctionUnit() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual HashKind kind() const = 0;
+
+  // Initial RHASH value at the start of a basic block (hardware reset value).
+  virtual std::uint32_t init() const { return 0; }
+
+  // One HASHFU.ope(ohashv, instr) step.
+  virtual std::uint32_t step(std::uint32_t state, std::uint32_t instr_word) const = 0;
+
+  // Folds a whole instruction sequence; this is what the static hash
+  // generator computes for the FHT.
+  std::uint32_t hash_block(std::span<const std::uint32_t> words) const {
+    std::uint32_t state = init();
+    for (std::uint32_t w : words) state = step(state, w);
+    return state;
+  }
+
+  virtual HashHwProfile hw_profile() const = 0;
+};
+
+// Factory. `key` is only used by kRotXorKeyed (the per-process random value).
+std::unique_ptr<HashFunctionUnit> make_hash_unit(HashKind kind, std::uint32_t key = 0);
+
+// All kinds, for sweeps.
+std::span<const HashKind> all_hash_kinds();
+
+std::string_view hash_kind_name(HashKind kind);
+
+}  // namespace cicmon::hash

@@ -1,0 +1,141 @@
+#include "hash/md5.h"
+
+#include <cstring>
+
+#include "support/bitops.h"
+
+namespace cicmon::hash {
+namespace {
+
+using support::rotl32;
+
+// Per-round shift amounts.
+constexpr std::uint8_t kShifts[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// K[i] = floor(2^32 * |sin(i + 1)|).
+constexpr std::uint32_t kSines[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+}  // namespace
+
+void Md5::reset() {
+  state_ = {0x6745'2301U, 0xEFCD'AB89U, 0x98BA'DCFEU, 0x1032'5476U};
+  length_bits_ = 0;
+  buffered_ = 0;
+}
+
+void Md5::process_block(const std::uint8_t* block) {
+  std::uint32_t m[16];
+  for (int i = 0; i < 16; ++i) {
+    m[i] = static_cast<std::uint32_t>(block[4 * i]) |
+           (static_cast<std::uint32_t>(block[4 * i + 1]) << 8) |
+           (static_cast<std::uint32_t>(block[4 * i + 2]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * i + 3]) << 24);
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  for (int i = 0; i < 64; ++i) {
+    std::uint32_t f;
+    int g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    const std::uint32_t temp = d;
+    d = c;
+    c = b;
+    b = b + rotl32(a + f + kSines[i] + m[g], kShifts[i]);
+    a = temp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md5::update(std::span<const std::uint8_t> bytes) {
+  length_bits_ += static_cast<std::uint64_t>(bytes.size()) * 8;
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(bytes.size(), 64 - buffered_);
+    std::memcpy(buffer_.data() + buffered_, bytes.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == 64) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (offset + 64 <= bytes.size()) {
+    process_block(bytes.data() + offset);
+    offset += 64;
+  }
+  if (offset < bytes.size()) {
+    std::memcpy(buffer_.data(), bytes.data() + offset, bytes.size() - offset);
+    buffered_ = bytes.size() - offset;
+  }
+}
+
+std::array<std::uint8_t, 16> Md5::digest() {
+  const std::uint64_t length = length_bits_;
+  const std::uint8_t pad_byte = 0x80;
+  update({&pad_byte, 1});
+  const std::uint8_t zero = 0x00;
+  while (buffered_ != 56) update({&zero, 1});
+  std::array<std::uint8_t, 8> length_bytes{};
+  for (int i = 0; i < 8; ++i) {
+    length_bytes[i] = static_cast<std::uint8_t>(length >> (8 * i));  // little-endian
+  }
+  update(length_bytes);
+
+  std::array<std::uint8_t, 16> out{};
+  for (int i = 0; i < 4; ++i) {
+    out[4 * i] = static_cast<std::uint8_t>(state_[i]);
+    out[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(state_[i] >> 24);
+  }
+  return out;
+}
+
+std::array<std::uint8_t, 16> Md5::hash_words(std::span<const std::uint32_t> words) {
+  Md5 md5;
+  for (std::uint32_t w : words) {
+    const std::array<std::uint8_t, 4> bytes = {
+        static_cast<std::uint8_t>(w), static_cast<std::uint8_t>(w >> 8),
+        static_cast<std::uint8_t>(w >> 16), static_cast<std::uint8_t>(w >> 24)};
+    md5.update(bytes);
+  }
+  return md5.digest();
+}
+
+std::uint32_t Md5::hash_words_truncated32(std::span<const std::uint32_t> words) {
+  const auto d = hash_words(words);
+  return static_cast<std::uint32_t>(d[0]) | (static_cast<std::uint32_t>(d[1]) << 8) |
+         (static_cast<std::uint32_t>(d[2]) << 16) | (static_cast<std::uint32_t>(d[3]) << 24);
+}
+
+}  // namespace cicmon::hash

@@ -1,0 +1,34 @@
+// MD5 (RFC 1321).
+//
+// Second cryptographic comparator in the fault-analysis experiment (the paper
+// names "MD5, SHA-1, etc." as the sophisticated options, §3.4). Complete,
+// self-contained implementation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace cicmon::hash {
+
+class Md5 {
+ public:
+  Md5() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> bytes);
+  std::array<std::uint8_t, 16> digest();
+
+  static std::array<std::uint8_t, 16> hash_words(std::span<const std::uint32_t> words);
+  static std::uint32_t hash_words_truncated32(std::span<const std::uint32_t> words);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> state_{};
+  std::uint64_t length_bits_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace cicmon::hash

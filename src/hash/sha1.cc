@@ -1,0 +1,122 @@
+#include "hash/sha1.h"
+
+#include <cstring>
+
+#include "support/bitops.h"
+
+namespace cicmon::hash {
+
+using support::rotl32;
+
+void Sha1::reset() {
+  state_ = {0x6745'2301U, 0xEFCD'AB89U, 0x98BA'DCFEU, 0x1032'5476U, 0xC3D2'E1F0U};
+  length_bits_ = 0;
+  buffered_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = (static_cast<std::uint32_t>(block[4 * t]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * t + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * t + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * t + 3]);
+  }
+  for (int t = 16; t < 80; ++t) {
+    w[t] = rotl32(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3], e = state_[4];
+  for (int t = 0; t < 80; ++t) {
+    std::uint32_t f, k;
+    if (t < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A82'7999U;
+    } else if (t < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9'EBA1U;
+    } else if (t < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1B'BCDCU;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62'C1D6U;
+    }
+    const std::uint32_t temp = rotl32(a, 5) + f + e + k + w[t];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = temp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(std::span<const std::uint8_t> bytes) {
+  length_bits_ += static_cast<std::uint64_t>(bytes.size()) * 8;
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(bytes.size(), 64 - buffered_);
+    std::memcpy(buffer_.data() + buffered_, bytes.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == 64) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (offset + 64 <= bytes.size()) {
+    process_block(bytes.data() + offset);
+    offset += 64;
+  }
+  if (offset < bytes.size()) {
+    std::memcpy(buffer_.data(), bytes.data() + offset, bytes.size() - offset);
+    buffered_ = bytes.size() - offset;
+  }
+}
+
+std::array<std::uint8_t, 20> Sha1::digest() {
+  // Padding: 0x80, zeros, 64-bit big-endian length.
+  const std::uint64_t length = length_bits_;
+  const std::uint8_t pad_byte = 0x80;
+  update({&pad_byte, 1});
+  const std::uint8_t zero = 0x00;
+  while (buffered_ != 56) update({&zero, 1});
+  std::array<std::uint8_t, 8> length_bytes{};
+  for (int i = 0; i < 8; ++i) {
+    length_bytes[i] = static_cast<std::uint8_t>(length >> (56 - 8 * i));
+  }
+  update(length_bytes);
+
+  std::array<std::uint8_t, 20> out{};
+  for (int i = 0; i < 5; ++i) {
+    out[4 * i] = static_cast<std::uint8_t>(state_[i] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+  return out;
+}
+
+std::array<std::uint8_t, 20> Sha1::hash_words(std::span<const std::uint32_t> words) {
+  Sha1 sha;
+  for (std::uint32_t w : words) {
+    const std::array<std::uint8_t, 4> bytes = {
+        static_cast<std::uint8_t>(w), static_cast<std::uint8_t>(w >> 8),
+        static_cast<std::uint8_t>(w >> 16), static_cast<std::uint8_t>(w >> 24)};
+    sha.update(bytes);
+  }
+  return sha.digest();
+}
+
+std::uint32_t Sha1::hash_words_truncated32(std::span<const std::uint32_t> words) {
+  const auto d = hash_words(words);
+  return (static_cast<std::uint32_t>(d[0]) << 24) | (static_cast<std::uint32_t>(d[1]) << 16) |
+         (static_cast<std::uint32_t>(d[2]) << 8) | static_cast<std::uint32_t>(d[3]);
+}
+
+}  // namespace cicmon::hash

@@ -1,0 +1,42 @@
+// SHA-1 (FIPS 180-1).
+//
+// Used as the gold-standard comparator in the fault-analysis experiment
+// (§3.4/§6.3): the paper cites SHA-1's 2^-80 undetected-error probability but
+// rejects it for the pipeline because a cryptographic engine cannot keep up
+// with fetch. This is a complete, self-contained implementation — no OpenSSL.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace cicmon::hash {
+
+class Sha1 {
+ public:
+  Sha1() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> bytes);
+  // Finalizes and returns the 20-byte digest. The object must be reset()
+  // before reuse.
+  std::array<std::uint8_t, 20> digest();
+
+  // Convenience: digest of a word sequence (little-endian serialization,
+  // matching the instruction memory byte order).
+  static std::array<std::uint8_t, 20> hash_words(std::span<const std::uint32_t> words);
+
+  // First 4 digest bytes as a big-endian 32-bit value — the "truncated SHA-1"
+  // used when comparing 32-bit detection strength on equal footing.
+  static std::uint32_t hash_words_truncated32(std::span<const std::uint32_t> words);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_{};
+  std::uint64_t length_bits_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace cicmon::hash

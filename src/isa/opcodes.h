@@ -1,0 +1,105 @@
+// Opcode catalogue for the PISA-like ISA.
+//
+// The ISA is a classic 32-bit, fixed-width, three-format RISC encoding
+// (modeled after SimpleScalar's PISA, itself MIPS-derived):
+//
+//   R-type:  opcode(6)=0 | rs(5) | rt(5) | rd(5) | shamt(5) | funct(6)
+//   I-type:  opcode(6)   | rs(5) | rt(5) | imm(16)
+//   J-type:  opcode(6)   | target(26)
+//
+// A single data-driven table describes every instruction: encoding fields,
+// assembler operand pattern, and semantic class. The decoder, assembler,
+// disassembler, microoperation expander, and pipeline all consume this table,
+// so adding an instruction (the ASIP customization path of Section 5 of the
+// paper) is a one-row change.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace cicmon::isa {
+
+enum class Mnemonic : std::uint8_t {
+  // R-type ALU / shifts / jumps-through-register.
+  kSll, kSrl, kSra, kSllv, kSrlv, kSrav,
+  kJr, kJalr,
+  kSyscall, kBreak,
+  kMfhi, kMthi, kMflo, kMtlo,
+  kMult, kMultu, kDiv, kDivu,
+  kAdd, kAddu, kSub, kSubu, kAnd, kOr, kXor, kNor, kSlt, kSltu,
+  // REGIMM branches.
+  kBltz, kBgez,
+  // I-type branches / ALU-immediate / memory.
+  kBeq, kBne, kBlez, kBgtz,
+  kAddi, kAddiu, kSlti, kSltiu, kAndi, kOri, kXori, kLui,
+  kLb, kLh, kLw, kLbu, kLhu, kSb, kSh, kSw,
+  // J-type.
+  kJ, kJal,
+  kInvalid,
+};
+
+enum class Format : std::uint8_t { kR, kI, kJ };
+
+// How the assembler parses / the disassembler prints operands.
+enum class OperandPattern : std::uint8_t {
+  kRdRsRt,    // add  $rd, $rs, $rt
+  kRdRtShamt, // sll  $rd, $rt, shamt
+  kRdRtRs,    // sllv $rd, $rt, $rs
+  kRs,        // jr   $rs / mthi $rs
+  kRdRs,      // jalr $rd, $rs
+  kRd,        // mfhi $rd
+  kRsRt,      // mult $rs, $rt
+  kRtRsImm,   // addi $rt, $rs, imm
+  kRsRtLabel, // beq  $rs, $rt, label
+  kRsLabel,   // blez $rs, label / bltz $rs, label
+  kRtImm,     // lui  $rt, imm
+  kRtOffBase, // lw   $rt, off($rs)
+  kLabel,     // j    label
+  kNone,      // syscall / break / nop
+};
+
+// Semantic class; drives hazard handling, microoperation expansion, and —
+// crucially for the paper — the flow-control property that terminates a
+// basic block.
+enum class InstrClass : std::uint8_t {
+  kAlu,      // single-cycle integer ops (incl. shifts, slt, lui)
+  kMulDiv,   // multi-cycle multiply/divide writing HI/LO
+  kHiLo,     // HI/LO moves
+  kLoad,
+  kStore,
+  kBranch,   // conditional PC-relative branches
+  kJump,     // j / jal (absolute)
+  kJumpReg,  // jr / jalr (register-indirect)
+  kSyscall,
+  kBreak,
+};
+
+struct OpcodeInfo {
+  Mnemonic mnemonic;
+  std::string_view name;
+  Format format;
+  std::uint8_t opcode;   // bits [31:26]
+  std::uint8_t funct;    // bits [5:0] when opcode==0; rt field for REGIMM
+  OperandPattern operands;
+  InstrClass cls;
+};
+
+// Entire opcode catalogue, indexed by Mnemonic value.
+std::span<const OpcodeInfo> opcode_table();
+
+// Catalogue row for a mnemonic (must not be kInvalid).
+const OpcodeInfo& info(Mnemonic m);
+
+// Looks up a mnemonic by assembly name ("addu", "bne", ...).
+std::optional<Mnemonic> mnemonic_by_name(std::string_view name);
+
+// True for instruction classes that end a basic block (the paper's
+// "flow control instructions, such as branch and jump").
+constexpr bool is_flow_control(InstrClass cls) {
+  return cls == InstrClass::kBranch || cls == InstrClass::kJump ||
+         cls == InstrClass::kJumpReg;
+}
+
+}  // namespace cicmon::isa

@@ -1,0 +1,43 @@
+#include "isa/registers.h"
+
+#include <array>
+
+#include "support/strings.h"
+
+namespace cicmon::isa {
+namespace {
+
+constexpr std::array<const char*, kNumGpr> kAbiNames = {
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0",   "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0",   "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8",   "t9", "k0", "k1", "gp", "sp", "fp", "ra"};
+
+}  // namespace
+
+std::string reg_name(unsigned index) {
+  if (index >= kNumGpr) return "$?";
+  return std::string("$") + kAbiNames[index];
+}
+
+std::optional<unsigned> parse_reg(std::string_view text) {
+  text = support::trim(text);
+  if (!text.empty() && text.front() == '$') text.remove_prefix(1);
+  if (text.empty()) return std::nullopt;
+
+  // Numeric form: $0 .. $31.
+  if (text.front() >= '0' && text.front() <= '9') {
+    std::int64_t value = 0;
+    if (!support::parse_int(text, &value)) return std::nullopt;
+    if (value < 0 || value >= static_cast<std::int64_t>(kNumGpr)) return std::nullopt;
+    return static_cast<unsigned>(value);
+  }
+
+  const std::string lowered = support::to_lower(text);
+  for (unsigned i = 0; i < kNumGpr; ++i) {
+    if (lowered == kAbiNames[i]) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace cicmon::isa

@@ -1,0 +1,42 @@
+// Architectural register names for the PISA-like ISA.
+//
+// The register file follows the MIPS/PISA convention: 32 general-purpose
+// registers with r0 hard-wired to zero, plus HI/LO for multiply/divide
+// results. The ABI aliases below are the ones the assembler accepts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace cicmon::isa {
+
+inline constexpr unsigned kNumGpr = 32;
+
+// ABI role aliases (subset of the MIPS o32 convention, enough for the
+// workload kernels and examples).
+enum Reg : std::uint8_t {
+  kZero = 0,  // always zero
+  kAt = 1,    // assembler temporary
+  kV0 = 2, kV1 = 3,                      // return values / syscall number
+  kA0 = 4, kA1 = 5, kA2 = 6, kA3 = 7,    // arguments
+  kT0 = 8, kT1 = 9, kT2 = 10, kT3 = 11,  // caller-saved temporaries
+  kT4 = 12, kT5 = 13, kT6 = 14, kT7 = 15,
+  kS0 = 16, kS1 = 17, kS2 = 18, kS3 = 19,  // callee-saved
+  kS4 = 20, kS5 = 21, kS6 = 22, kS7 = 23,
+  kT8 = 24, kT9 = 25,
+  kK0 = 26, kK1 = 27,  // reserved for OS
+  kGp = 28,            // global pointer
+  kSp = 29,            // stack pointer
+  kFp = 30,            // frame pointer
+  kRa = 31,            // return address
+};
+
+// Canonical printable name ("$t0", "$sp", ...).
+std::string reg_name(unsigned index);
+
+// Parses "$5", "5", "$t0", "t0", "$sp", ... Returns nullopt if unknown.
+std::optional<unsigned> parse_reg(std::string_view text);
+
+}  // namespace cicmon::isa

@@ -1,0 +1,63 @@
+#include "mem/fetch_path.h"
+
+#include "support/error.h"
+
+namespace cicmon::mem {
+
+ICache::ICache(const ICacheConfig& config) : config_(config) {
+  support::check(config_.num_lines > 0 && (config_.num_lines & (config_.num_lines - 1)) == 0,
+                 "ICache: num_lines must be a power of two");
+  support::check(config_.words_per_line > 0 &&
+                     (config_.words_per_line & (config_.words_per_line - 1)) == 0,
+                 "ICache: words_per_line must be a power of two");
+  line_bytes_ = config_.words_per_line * 4;
+  lines_.resize(config_.num_lines);
+  for (Line& line : lines_) line.words.resize(config_.words_per_line, 0);
+}
+
+bool ICache::flip_random_resident_bit(support::Rng& rng) {
+  std::vector<std::uint32_t> valid_lines;
+  for (std::uint32_t i = 0; i < lines_.size(); ++i) {
+    if (lines_[i].valid) valid_lines.push_back(i);
+  }
+  if (valid_lines.empty()) return false;
+  Line& line = lines_[valid_lines[rng.below(valid_lines.size())]];
+  const auto word_index = static_cast<std::uint32_t>(rng.below(config_.words_per_line));
+  const auto bit = static_cast<unsigned>(rng.below(32));
+  line.words[word_index] ^= 1U << bit;
+  return true;
+}
+
+void ICache::invalidate_all() {
+  for (Line& line : lines_) line.valid = false;
+}
+
+FetchPath::FetchPath(Memory* memory, const ICacheConfig& icache_config)
+    : memory_(memory),
+      icache_enabled_(icache_config.enabled),
+      icache_(icache_config),
+      miss_penalty_(icache_config.miss_penalty) {
+  support::check(memory_ != nullptr, "FetchPath: null memory");
+}
+
+std::uint32_t FetchPath::bus_read(std::uint32_t address) {
+  std::uint32_t word = memory_->read32(address);
+  if (tamper_ != nullptr) word = tamper_->on_transfer(address, word);
+  return word;
+}
+
+std::uint32_t FetchPath::fetch(std::uint32_t address) {
+  if (!icache_enabled_) return bus_read(address);
+  const ICache::Access access =
+      icache_.access(address, [this](std::uint32_t a) { return bus_read(a); });
+  if (!access.hit) pending_stall_cycles_ += miss_penalty_;
+  return access.word;
+}
+
+std::uint64_t FetchPath::take_stall_cycles() {
+  const std::uint64_t cycles = pending_stall_cycles_;
+  pending_stall_cycles_ = 0;
+  return cycles;
+}
+
+}  // namespace cicmon::mem

@@ -1,0 +1,115 @@
+// Instruction fetch path: memory -> bus -> (optional) I-cache -> pipeline.
+//
+// The paper's location argument (§3.2) is that checking must happen as late
+// as possible — after the bus and the I-cache — so alterations anywhere on
+// this path are caught. The fetch path is therefore modeled explicitly, with
+// a tamper hook on the bus transfer and bit-flip access into cache-resident
+// lines, so the fault campaigns can attack each location separately.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/memory.h"
+#include "support/rng.h"
+
+namespace cicmon::mem {
+
+// Corruption hook applied to every word crossing the memory->processor bus.
+class BusTamper {
+ public:
+  virtual ~BusTamper() = default;
+  virtual std::uint32_t on_transfer(std::uint32_t address, std::uint32_t word) = 0;
+};
+
+struct ICacheConfig {
+  bool enabled = false;
+  unsigned num_lines = 64;        // direct-mapped
+  unsigned words_per_line = 4;    // 16-byte lines
+  unsigned miss_penalty = 4;      // cycles charged per refill
+};
+
+// Direct-mapped instruction cache. Kept deliberately simple: the paper's
+// evaluation does not model cache timing, but the *existence* of a cached
+// copy matters for the fault-location study.
+class ICache {
+ public:
+  explicit ICache(const ICacheConfig& config);
+
+  struct Access {
+    std::uint32_t word = 0;
+    bool hit = false;
+  };
+
+  // Returns the cached word; on miss, refills through `refill` (one call per
+  // word in the line, in address order).
+  template <typename RefillFn>
+  Access access(std::uint32_t address, RefillFn&& refill) {
+    const std::uint32_t line_index = (address / line_bytes_) % config_.num_lines;
+    const std::uint32_t tag = address / line_bytes_ / config_.num_lines;
+    Line& line = lines_[line_index];
+    Access out;
+    if (!line.valid || line.tag != tag) {
+      const std::uint32_t base = address & ~(line_bytes_ - 1);
+      for (unsigned w = 0; w < config_.words_per_line; ++w) {
+        line.words[w] = refill(base + w * 4);
+      }
+      line.valid = true;
+      line.tag = tag;
+      ++misses_;
+    } else {
+      out.hit = true;
+      ++hits_;
+    }
+    out.word = line.words[(address / 4) % config_.words_per_line];
+    return out;
+  }
+
+  // Flips one random bit of one random *valid* line (cache-resident fault).
+  // Returns false if no line is valid yet.
+  bool flip_random_resident_bit(support::Rng& rng);
+
+  void invalidate_all();
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Line {
+    bool valid = false;
+    std::uint32_t tag = 0;
+    std::vector<std::uint32_t> words;
+  };
+
+  ICacheConfig config_;
+  std::uint32_t line_bytes_;
+  std::vector<Line> lines_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+// The complete fetch path the pipeline's IMAU reads through.
+class FetchPath {
+ public:
+  FetchPath(Memory* memory, const ICacheConfig& icache_config = {});
+
+  // Fetches an instruction word, applying bus tamper and cache effects.
+  std::uint32_t fetch(std::uint32_t address);
+
+  void set_bus_tamper(BusTamper* tamper) { tamper_ = tamper; }
+  ICache* icache() { return icache_enabled_ ? &icache_ : nullptr; }
+
+  // Extra cycles accrued by cache misses since the last call.
+  std::uint64_t take_stall_cycles();
+
+ private:
+  std::uint32_t bus_read(std::uint32_t address);
+
+  Memory* memory_;
+  BusTamper* tamper_ = nullptr;
+  bool icache_enabled_;
+  ICache icache_;
+  unsigned miss_penalty_;
+  std::uint64_t pending_stall_cycles_ = 0;
+};
+
+}  // namespace cicmon::mem

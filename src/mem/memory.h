@@ -1,0 +1,49 @@
+// Byte-addressable main memory.
+//
+// Sparse, page-granular storage so that fault campaigns — where corrupted
+// instructions may compute wild addresses before the monitor stops them —
+// never crash the host. Reads of unbacked pages return zero; writes allocate.
+// Little-endian, matching the ISA encodings.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "casm/image.h"
+
+namespace cicmon::mem {
+
+class Memory {
+ public:
+  Memory() = default;
+
+  std::uint8_t read8(std::uint32_t address) const;
+  std::uint16_t read16(std::uint32_t address) const;
+  std::uint32_t read32(std::uint32_t address) const;
+  void write8(std::uint32_t address, std::uint8_t value);
+  void write16(std::uint32_t address, std::uint16_t value);
+  void write32(std::uint32_t address, std::uint32_t value);
+
+  // Copies text + data sections into memory (the loader's job).
+  void load_image(const casm_::Image& image);
+
+  // Fault-injection primitive: flips one bit of the byte at `address`.
+  void flip_bit(std::uint32_t address, unsigned bit_index);
+
+  std::size_t pages_allocated() const { return pages_.size(); }
+
+ private:
+  static constexpr std::uint32_t kPageBits = 12;  // 4 KiB pages
+  static constexpr std::uint32_t kPageSize = 1U << kPageBits;
+
+  using Page = std::vector<std::uint8_t>;
+
+  const Page* find_page(std::uint32_t address) const;
+  Page& ensure_page(std::uint32_t address);
+
+  std::unordered_map<std::uint32_t, Page> pages_;  // key: address >> kPageBits
+};
+
+}  // namespace cicmon::mem

@@ -1,0 +1,59 @@
+#include "os/loader.h"
+
+#include "support/error.h"
+
+namespace cicmon::os {
+
+void attach_fht(casm_::Image* image, const hash::HashFunctionUnit& unit) {
+  support::check(image != nullptr, "attach_fht: null image");
+  support::check(image->symbols.find(kFhtSymbol) == image->symbols.end(),
+                 "attach_fht: image already carries a __fht__ section");
+
+  const cfg::FullHashTable fht = cfg::build_fht(*image, unit);
+  const std::vector<std::uint8_t> blob = fht.serialize();
+
+  // Append word-aligned so the blob address is clean to read back.
+  while (image->data.size() % 4 != 0) image->data.push_back(0);
+  const std::uint32_t address =
+      image->data_base + static_cast<std::uint32_t>(image->data.size());
+  image->data.insert(image->data.end(), blob.begin(), blob.end());
+  image->symbols[kFhtSymbol] = address;
+}
+
+LoadedProgram os_load(const casm_::Image& image, mem::Memory* memory,
+                      const hash::HashFunctionUnit& unit) {
+  support::check(memory != nullptr, "os_load: null memory");
+  memory->load_image(image);
+
+  LoadedProgram out;
+  out.entry = image.entry;
+
+  const auto it = image.symbols.find(kFhtSymbol);
+  if (it == image.symbols.end()) {
+    // No attached table: the loader computes the hashes itself from the
+    // binary it just loaded (§3.3's alternative path).
+    out.fht = cfg::build_fht(image, unit);
+    out.fht_was_attached = false;
+    return out;
+  }
+
+  // Read the blob back out of loaded memory — the loader trusts the memory
+  // image, not the host-side Image object, so tests can corrupt the loaded
+  // table and observe the consequences.
+  const std::uint32_t base = it->second;
+  std::vector<std::uint8_t> header(8);
+  for (std::uint32_t i = 0; i < 8; ++i) header[i] = memory->read8(base + i);
+  const std::uint32_t count = static_cast<std::uint32_t>(header[4]) |
+                              static_cast<std::uint32_t>(header[5]) << 8 |
+                              static_cast<std::uint32_t>(header[6]) << 16 |
+                              static_cast<std::uint32_t>(header[7]) << 24;
+  std::vector<std::uint8_t> blob(8 + static_cast<std::size_t>(count) * 12);
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = memory->read8(base + static_cast<std::uint32_t>(i));
+  }
+  out.fht = cfg::FullHashTable::deserialize(blob);
+  out.fht_was_attached = true;
+  return out;
+}
+
+}  // namespace cicmon::os

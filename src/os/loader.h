@@ -1,0 +1,44 @@
+// OS application loader.
+//
+// Implements the paper's loading contract (§3.3): expected hash values are
+// "simply attached to the application code and data and will be loaded into
+// a section of memory managed by the OS when the application starts". The
+// hashes "can even be computed after binary code is generated, e.g., by a
+// special program or the OS application loader" — both paths exist here:
+//
+//  * attach_fht()  — the "special program" run at build/install time; it
+//    serializes the FHT into the image's data section under "__fht__".
+//  * os_load()     — copies text+data into memory, then recovers the FHT:
+//    from the attached blob when present (reading it back out of loaded
+//    memory, as a real loader would), otherwise by computing the hashes
+//    itself from the loaded text.
+//
+// Either way the application binary's instructions are untouched — the
+// scheme's headline property (no recompilation, no binary instrumentation).
+#pragma once
+
+#include "casm/image.h"
+#include "cfg/fht.h"
+#include "hash/hash_unit.h"
+#include "mem/memory.h"
+
+namespace cicmon::os {
+
+inline constexpr const char* kFhtSymbol = "__fht__";
+
+// Build/install-time path: computes the FHT of `image` under `unit` and
+// appends the serialized blob to the image's data section, recording its
+// address under the "__fht__" symbol. Throws if the image already has one.
+void attach_fht(casm_::Image* image, const hash::HashFunctionUnit& unit);
+
+struct LoadedProgram {
+  std::uint32_t entry = 0;
+  cfg::FullHashTable fht;
+  bool fht_was_attached = false;  // true: parsed from the image; false: computed by the loader
+};
+
+// Loads the program into memory and recovers its Full Hash Table.
+LoadedProgram os_load(const casm_::Image& image, mem::Memory* memory,
+                      const hash::HashFunctionUnit& unit);
+
+}  // namespace cicmon::os

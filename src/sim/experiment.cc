@@ -1,0 +1,131 @@
+#include "sim/experiment.h"
+
+#include <list>
+#include <map>
+#include <utility>
+
+#include "cfg/fht.h"
+#include "support/error.h"
+
+namespace cicmon::sim {
+
+cpu::RunResult run_workload(std::string_view workload, const cpu::CpuConfig& config,
+                            double scale, std::uint64_t seed) {
+  workloads::BuildOptions options;
+  options.scale = scale;
+  options.seed = seed;
+  const casm_::Image image = workloads::build_workload(workload, options);
+  cpu::Cpu cpu(config, image);
+  const cpu::RunResult result = cpu.run();
+  support::check(result.reason == cpu::ExitReason::kExit,
+                 std::string(workload) + ": workload did not exit cleanly (" +
+                     std::string(cpu::exit_reason_name(result.reason)) + ")");
+  return result;
+}
+
+std::vector<Fig6Row> fig6_miss_rates(const std::vector<unsigned>& entry_counts, double scale) {
+  std::vector<Fig6Row> rows;
+  for (const workloads::WorkloadInfo& info : workloads::all_workloads()) {
+    Fig6Row row;
+    row.workload = std::string(info.name);
+    for (unsigned entries : entry_counts) {
+      cpu::CpuConfig config;
+      config.monitoring = true;
+      config.cic.iht_entries = entries;
+      const cpu::RunResult result = run_workload(info.name, config, scale);
+      row.miss_rates.push_back(result.iht.miss_rate());
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<Table1Row> table1_overheads(double scale) {
+  std::vector<Table1Row> rows;
+  for (const workloads::WorkloadInfo& info : workloads::all_workloads()) {
+    Table1Row row;
+    row.workload = std::string(info.name);
+
+    cpu::CpuConfig baseline;  // monitoring off
+    row.cycles_baseline = run_workload(info.name, baseline, scale).cycles;
+
+    for (unsigned entries : {8U, 16U}) {
+      cpu::CpuConfig config;
+      config.monitoring = true;
+      config.cic.iht_entries = entries;
+      const std::uint64_t cycles = run_workload(info.name, config, scale).cycles;
+      const double overhead =
+          static_cast<double>(cycles) / static_cast<double>(row.cycles_baseline) - 1.0;
+      if (entries == 8) {
+        row.cycles_cic8 = cycles;
+        row.overhead_cic8 = overhead;
+      } else {
+        row.cycles_cic16 = cycles;
+        row.overhead_cic16 = overhead;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+BlockStats characterize_blocks(std::string_view workload,
+                               const std::vector<unsigned>& capacities, double scale) {
+  workloads::BuildOptions options;
+  options.scale = scale;
+  const casm_::Image image = workloads::build_workload(workload, options);
+
+  // A large IHT so capacity effects do not perturb the reference stream.
+  cpu::CpuConfig config;
+  config.monitoring = true;
+  config.cic.iht_entries = 1024;
+
+  // Exact LRU stack distances via a recency list (streams are short enough
+  // that the O(n·k) scan is fine and keeps the computation transparent).
+  using Key = std::pair<std::uint32_t, std::uint32_t>;
+  std::list<Key> recency;
+  std::map<Key, std::list<Key>::iterator> where;
+  support::Histogram distances;
+  std::uint64_t lookups = 0;
+
+  cpu::Cpu cpu(config, image);
+  cpu.set_lookup_observer([&](std::uint32_t start, std::uint32_t end) {
+    const Key key{start, end};
+    ++lookups;
+    auto it = where.find(key);
+    if (it == where.end()) {
+      distances.add(-1);  // cold reference
+    } else {
+      std::int64_t depth = 0;
+      for (auto pos = recency.begin(); pos != it->second; ++pos) ++depth;
+      distances.add(depth);
+      recency.erase(it->second);
+    }
+    recency.push_front(key);
+    where[key] = recency.begin();
+  });
+  const cpu::RunResult result = cpu.run();
+  support::check(result.reason == cpu::ExitReason::kExit,
+                 std::string(workload) + ": characterisation run did not exit cleanly");
+
+  BlockStats stats;
+  stats.workload = std::string(workload);
+  const auto unit = hash::make_hash_unit(hash::HashKind::kXor);
+  stats.static_regions = cfg::build_fht(image, *unit).size();
+  stats.dynamic_keys = where.size();
+  stats.lookups = lookups;
+  stats.mean_block_instructions =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(result.instructions) / static_cast<double>(lookups);
+  stats.capacities = capacities;
+  // Hit in an LRU table of C entries <=> stack distance in [0, C); the -1
+  // bin holds cold references and is excluded.
+  const double cold = distances.cdf_at(-1);
+  for (unsigned capacity : capacities) {
+    stats.lru_hit_rate.push_back(
+        distances.cdf_at(static_cast<std::int64_t>(capacity) - 1) - cold);
+  }
+  return stats;
+}
+
+}  // namespace cicmon::sim

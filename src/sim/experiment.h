@@ -1,0 +1,61 @@
+// Experiment runners for the paper's evaluation (§6).
+//
+// Each function reproduces the data behind one table or figure; the bench
+// binaries format these rows, and the integration tests assert their
+// shapes. All runs are deterministic for a given (scale, seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/cpu.h"
+#include "support/stats.h"
+#include "workloads/workloads.h"
+
+namespace cicmon::sim {
+
+// Canonical workload execution: builds the image at `scale` and runs it on
+// the configured machine. Throws if the workload terminates abnormally
+// (self-check failure, watchdog) — experiment data from a wrong simulation
+// would be meaningless.
+cpu::RunResult run_workload(std::string_view workload, const cpu::CpuConfig& config,
+                            double scale = 1.0, std::uint64_t seed = 42);
+
+// --- Figure 6: IHT miss rate vs table size -------------------------------
+struct Fig6Row {
+  std::string workload;
+  std::vector<double> miss_rates;  // one per entry count, same order as input
+};
+std::vector<Fig6Row> fig6_miss_rates(const std::vector<unsigned>& entry_counts,
+                                     double scale = 1.0);
+
+// --- Table 1: cycle-count overhead ---------------------------------------
+struct Table1Row {
+  std::string workload;
+  std::uint64_t cycles_baseline = 0;  // monitoring off
+  std::uint64_t cycles_cic8 = 0;
+  std::uint64_t cycles_cic16 = 0;
+  double overhead_cic8 = 0.0;   // fraction
+  double overhead_cic16 = 0.0;
+};
+std::vector<Table1Row> table1_overheads(double scale = 1.0);
+
+// --- Workload characterisation (§6.1 block counts / locality) ------------
+struct BlockStats {
+  std::string workload;
+  std::uint64_t static_regions = 0;    // FHT records
+  std::uint64_t dynamic_keys = 0;      // distinct (start, end) keys executed
+  std::uint64_t lookups = 0;
+  double mean_block_instructions = 0.0;
+  // LRU stack-distance profile of the block reference stream: the fraction
+  // of lookups whose reuse distance is < the given capacities (i.e. the hit
+  // rate of an ideal LRU table of that size).
+  std::vector<double> lru_hit_rate;    // one per capacity in `capacities`
+  std::vector<unsigned> capacities;
+};
+BlockStats characterize_blocks(std::string_view workload,
+                               const std::vector<unsigned>& capacities,
+                               double scale = 1.0);
+
+}  // namespace cicmon::sim

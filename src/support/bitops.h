@@ -1,0 +1,61 @@
+// Bit-manipulation helpers shared by the ISA, hash units, and fault models.
+//
+// All helpers are constexpr and operate on explicitly sized unsigned types so
+// that hardware-width semantics (32-bit datapath registers) are preserved on
+// any host.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace cicmon::support {
+
+// Rotate left within a 32-bit word (hardware barrel-shifter semantics).
+constexpr std::uint32_t rotl32(std::uint32_t value, unsigned amount) {
+  return std::rotl(value, static_cast<int>(amount & 31U));
+}
+
+// Rotate right within a 32-bit word.
+constexpr std::uint32_t rotr32(std::uint32_t value, unsigned amount) {
+  return std::rotr(value, static_cast<int>(amount & 31U));
+}
+
+// Number of set bits.
+constexpr unsigned popcount32(std::uint32_t value) {
+  return static_cast<unsigned>(std::popcount(value));
+}
+
+// Even parity bit of a word: 1 if the number of set bits is odd.
+constexpr unsigned parity32(std::uint32_t value) { return popcount32(value) & 1U; }
+
+// Extract bits [lo, lo+width) of `value` (width <= 32, lo+width <= 32).
+constexpr std::uint32_t bits(std::uint32_t value, unsigned lo, unsigned width) {
+  const std::uint64_t mask = (width >= 32) ? 0xFFFF'FFFFULL : ((1ULL << width) - 1ULL);
+  return static_cast<std::uint32_t>((value >> lo) & mask);
+}
+
+// Insert `field` (low `width` bits) into `value` at bit position `lo`.
+constexpr std::uint32_t insert_bits(std::uint32_t value, unsigned lo, unsigned width,
+                                    std::uint32_t field) {
+  const std::uint64_t mask = ((width >= 32) ? 0xFFFF'FFFFULL : ((1ULL << width) - 1ULL)) << lo;
+  return static_cast<std::uint32_t>((value & ~mask) | ((static_cast<std::uint64_t>(field) << lo) & mask));
+}
+
+// Sign-extend the low `width` bits of `value` to a signed 32-bit integer.
+constexpr std::int32_t sign_extend(std::uint32_t value, unsigned width) {
+  const std::uint32_t m = 1U << (width - 1);
+  const std::uint32_t masked = bits(value, 0, width);
+  return static_cast<std::int32_t>((masked ^ m) - m);
+}
+
+// Flip a single bit of a word (fault-injection primitive).
+constexpr std::uint32_t flip_bit(std::uint32_t value, unsigned bit_index) {
+  return value ^ (1U << (bit_index & 31U));
+}
+
+// True if `value` is aligned to `alignment` (power of two).
+constexpr bool is_aligned(std::uint32_t value, std::uint32_t alignment) {
+  return (value & (alignment - 1U)) == 0U;
+}
+
+}  // namespace cicmon::support

@@ -1,0 +1,85 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulator (fault-injection sites, workload
+// input generation, randomized replacement policies) draws from Xoroshiro128pp
+// seeded explicitly, so experiment tables are bit-reproducible across runs and
+// hosts. std::mt19937 is avoided because distribution implementations differ
+// between standard libraries.
+#pragma once
+
+#include <cstdint>
+
+#include "support/bitops.h"
+
+namespace cicmon::support {
+
+// xoroshiro128++ (Blackman & Vigna). Small state, excellent statistical
+// quality for simulation purposes, and fully portable output.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 seeding, the reference recommendation for xoroshiro.
+    auto next_seed = [&seed]() {
+      seed += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      return z ^ (z >> 31);
+    };
+    state0_ = next_seed();
+    state1_ = next_seed();
+    if (state0_ == 0 && state1_ == 0) state1_ = 1;  // all-zero state is invalid
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t s0 = state0_;
+    std::uint64_t s1 = state1_;
+    const std::uint64_t result = rotl64(s0 + s1, 17) + s0;
+    s1 ^= s0;
+    state0_ = rotl64(s0, 49) ^ s1 ^ (s1 << 21);
+    state1_ = rotl64(s1, 28);
+    return result;
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  // Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  // multiply-shift rejection method for unbiased results.
+  std::uint64_t below(std::uint64_t bound) {
+    // For simulation purposes the tiny modulo bias of a single multiply-high
+    // is already negligible, but rejection keeps results exactly uniform.
+    std::uint64_t x = next_u64();
+    unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = next_u64();
+        m = static_cast<unsigned __int128>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  // Bernoulli trial.
+  bool chance(double probability) { return next_double() < probability; }
+
+ private:
+  static constexpr std::uint64_t rotl64(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t state0_;
+  std::uint64_t state1_;
+};
+
+}  // namespace cicmon::support

@@ -1,0 +1,81 @@
+// Lightweight statistics containers used by the simulator and benches.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cicmon::support {
+
+// Streaming mean / min / max / variance accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = (count_ == 1) ? x : std::min(min_, x);
+    max_ = (count_ == 1) ? x : std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double variance() const { return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Integer-keyed histogram (e.g. reuse distances, basic-block lengths).
+class Histogram {
+ public:
+  void add(std::int64_t key, std::uint64_t weight = 1) { bins_[key] += weight; }
+
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (const auto& [k, v] : bins_) t += v;
+    return t;
+  }
+
+  // Fraction of total mass at keys <= `key`.
+  double cdf_at(std::int64_t key) const {
+    const std::uint64_t t = total();
+    if (t == 0) return 0.0;
+    std::uint64_t acc = 0;
+    for (const auto& [k, v] : bins_) {
+      if (k > key) break;
+      acc += v;
+    }
+    return static_cast<double>(acc) / static_cast<double>(t);
+  }
+
+  const std::map<std::int64_t, std::uint64_t>& bins() const { return bins_; }
+
+ private:
+  std::map<std::int64_t, std::uint64_t> bins_;
+};
+
+// Named monotonically increasing event counters, used for simulator stats.
+class CounterSet {
+ public:
+  void bump(const std::string& name, std::uint64_t amount = 1) { counters_[name] += amount; }
+  std::uint64_t value(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, std::uint64_t>& all() const { return counters_; }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace cicmon::support

@@ -1,0 +1,92 @@
+#include "support/strings.h"
+
+#include <cctype>
+#include <cstdio>
+#include <limits>
+
+namespace cicmon::support {
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::vector<std::string_view> split(std::string_view text, std::string_view separators) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || separators.find(text[i]) != std::string_view::npos) {
+      if (i > start) fields.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool parse_int(std::string_view text, std::int64_t* out) {
+  text = trim(text);
+  if (text.empty()) return false;
+  bool negative = false;
+  if (text.front() == '+' || text.front() == '-') {
+    negative = text.front() == '-';
+    text.remove_prefix(1);
+    if (text.empty()) return false;
+  }
+  int base = 10;
+  if (starts_with(text, "0x") || starts_with(text, "0X")) {
+    base = 16;
+    text.remove_prefix(2);
+  } else if (starts_with(text, "0b") || starts_with(text, "0B")) {
+    base = 2;
+    text.remove_prefix(2);
+  }
+  if (text.empty()) return false;
+
+  std::uint64_t magnitude = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    if (digit >= base) return false;
+    const std::uint64_t next = magnitude * static_cast<std::uint64_t>(base) +
+                               static_cast<std::uint64_t>(digit);
+    if (next < magnitude) return false;  // overflow
+    magnitude = next;
+  }
+
+  // Accept the full 32-bit unsigned range and the int64 range.
+  if (!negative && magnitude > static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()))
+    return false;
+  if (negative && magnitude > static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()))
+    return false;
+  *out = negative ? -static_cast<std::int64_t>(magnitude) : static_cast<std::int64_t>(magnitude);
+  return true;
+}
+
+std::string hex32(std::uint32_t value) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%08x", value);
+  return buf;
+}
+
+}  // namespace cicmon::support

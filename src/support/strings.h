@@ -1,0 +1,30 @@
+// Small string utilities used by the assembler and reporters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cicmon::support {
+
+// Removes leading/trailing whitespace.
+std::string_view trim(std::string_view text);
+
+// Splits on any character in `separators`, dropping empty fields.
+std::vector<std::string_view> split(std::string_view text, std::string_view separators);
+
+// Case-sensitive prefix test.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+// Lower-cases ASCII.
+std::string to_lower(std::string_view text);
+
+// Parses a signed integer literal with optional 0x/0b prefix and +/- sign.
+// Returns false on malformed input or overflow of int64.
+bool parse_int(std::string_view text, std::int64_t* out);
+
+// printf-style hex rendering of a 32-bit word, e.g. "0x0040001c".
+std::string hex32(std::uint32_t value);
+
+}  // namespace cicmon::support

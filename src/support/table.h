@@ -1,0 +1,35 @@
+// ASCII table rendering for experiment output.
+//
+// Every bench binary prints the rows of the corresponding paper table/figure
+// through this class so the output format is uniform and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cicmon::support {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience formatting for numeric cells.
+  static std::string fmt(double value, int precision = 2);
+  static std::string fmt_u64(unsigned long long value);
+  static std::string fmt_pct(double fraction, int precision = 1);
+
+  // Renders with column alignment and a header rule.
+  std::string render() const;
+
+  // Renders as comma-separated values (headers + rows).
+  std::string render_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cicmon::support

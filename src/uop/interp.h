@@ -1,0 +1,79 @@
+// Microoperation interpreter.
+//
+// The pipeline executes each in-flight instruction by running the stage slice
+// of its microoperation program against a Datapath implementation. Datapath
+// is the hardware boundary: the CPU provides registers/memory; the Code
+// Integrity Checker provides HASHFU / IHTbb / exception ports.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "isa/instruction.h"
+#include "uop/uop.h"
+
+namespace cicmon::uop {
+
+struct IhtLookupResult {
+  bool found = false;
+  bool match = false;
+};
+
+// Hardware resources visible to microoperations.
+class Datapath {
+ public:
+  virtual ~Datapath() = default;
+
+  virtual std::uint32_t read_special(SpecialReg r) = 0;
+  virtual void write_special(SpecialReg r, std::uint32_t value) = 0;
+  // Hardware reset of a special register (the paper's STA.reset / RHASH.reset
+  // microoperations). Defaults to zero; a keyed HASHFU overrides this so
+  // RHASH resets to the per-process random value (§6.3).
+  virtual void reset_special(SpecialReg r) { write_special(r, 0); }
+  virtual std::uint32_t read_gpr(unsigned index) = 0;
+  virtual void write_gpr(unsigned index, std::uint32_t value) = 0;
+
+  // IMAU: instruction fetch (this is where fetch-path faults manifest).
+  virtual std::uint32_t fetch_instr(std::uint32_t address) = 0;
+  // DMAU: data memory.
+  virtual std::uint32_t load(std::uint32_t address, MemWidth width, bool sign) = 0;
+  virtual void store(std::uint32_t address, MemWidth width, std::uint32_t value) = 0;
+
+  // Monitoring resources (CIC). Unmonitored datapaths never receive these.
+  virtual std::uint32_t hash_step(std::uint32_t old_hash, std::uint32_t instr_word) = 0;
+  virtual IhtLookupResult iht_lookup(std::uint32_t start, std::uint32_t end,
+                                     std::uint32_t hash) = 0;
+  virtual void raise_monitor_exception(std::uint8_t code) = 0;
+
+  // Control transfer out of the ID stage.
+  virtual void set_pc(std::uint32_t target) = 0;
+  virtual void syscall() = 0;
+  virtual void illegal_instruction() = 0;
+};
+
+// Per-dynamic-instruction state: the values travelling through pipeline
+// latches (temps) plus the decoded instruction and its address.
+struct ExecContext {
+  std::array<std::uint32_t, 32> temps{};
+  isa::Instruction instr;
+  std::uint32_t instr_addr = 0;
+};
+
+// Evaluates a pure ALU microoperation (also used by the direct-execution
+// fast path so both paths share one definition of operator semantics).
+std::uint32_t alu_eval(AluOp op, std::uint32_t a, std::uint32_t b);
+
+// HI/LO results of a multiply/divide. Division by zero is defined
+// deterministically: quotient = 0xFFFFFFFF, remainder = dividend.
+struct HiLo {
+  std::uint32_t hi = 0;
+  std::uint32_t lo = 0;
+};
+HiLo muldiv_eval(MulDivOp op, std::uint32_t a, std::uint32_t b);
+
+// Executes, in order, every microoperation of `ops` whose stage equals
+// `stage`, updating `ctx` and the datapath.
+void execute_stage(std::span<const Uop> ops, Stage stage, ExecContext& ctx, Datapath& dp);
+
+}  // namespace cicmon::uop

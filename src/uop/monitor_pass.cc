@@ -1,0 +1,163 @@
+#include "uop/monitor_pass.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace cicmon::uop {
+namespace {
+
+Uop make(UopKind kind, Stage stage) {
+  Uop op;
+  op.kind = kind;
+  op.stage = stage;
+  op.monitoring = true;
+  return op;
+}
+
+// Figure 3(b): the five microoperations appended to the IF stage of every
+// instruction.
+std::vector<Uop> if_extension() {
+  std::vector<Uop> ops;
+
+  // start = STA.read();
+  Uop op = make(UopKind::kReadSpecial, Stage::kIF);
+  op.special = SpecialReg::kSta;
+  op.dst = MonitorTemps::kStartIf;
+  ops.push_back(op);
+
+  // null = [start==0] STA.write(current_pc);
+  op = make(UopKind::kWriteSpecial, Stage::kIF);
+  op.special = SpecialReg::kSta;
+  op.src_a = 0;  // fetch temp 0 = current_pc
+  op.guard = GuardKind::kIfZero;
+  op.guard_tmp = MonitorTemps::kStartIf;
+  ops.push_back(op);
+
+  // ohashv = RHASH.read();
+  op = make(UopKind::kReadSpecial, Stage::kIF);
+  op.special = SpecialReg::kRhash;
+  op.dst = MonitorTemps::kOldHash;
+  ops.push_back(op);
+
+  // nhashv = HASHFU.ope(ohashv, instr);
+  op = make(UopKind::kHashStep, Stage::kIF);
+  op.dst = MonitorTemps::kNewHash;
+  op.src_a = MonitorTemps::kOldHash;
+  op.src_b = 1;  // fetch temp 1 = instr
+  ops.push_back(op);
+
+  // null = RHASH.write(nhashv);
+  op = make(UopKind::kWriteSpecial, Stage::kIF);
+  op.special = SpecialReg::kRhash;
+  op.src_a = MonitorTemps::kNewHash;
+  ops.push_back(op);
+
+  return ops;
+}
+
+// Figure 4 head: the microoperations prepended to the ID stage of every
+// flow-control instruction.
+std::vector<Uop> id_extension() {
+  std::vector<Uop> ops;
+
+  // start = STA.read();
+  Uop op = make(UopKind::kReadSpecial, Stage::kID);
+  op.special = SpecialReg::kSta;
+  op.dst = MonitorTemps::kStartId;
+  ops.push_back(op);
+
+  // end = PPC.read();
+  op = make(UopKind::kReadSpecial, Stage::kID);
+  op.special = SpecialReg::kPpc;
+  op.dst = MonitorTemps::kEnd;
+  ops.push_back(op);
+
+  // hashv = RHASH.read();
+  op = make(UopKind::kReadSpecial, Stage::kID);
+  op.special = SpecialReg::kRhash;
+  op.dst = MonitorTemps::kHashV;
+  ops.push_back(op);
+
+  // <found, match> = IHTbb.lookup(<start, end, hashv>);
+  op = make(UopKind::kIhtLookup, Stage::kID);
+  op.dst = MonitorTemps::kFound;
+  op.dst2 = MonitorTemps::kMatch;
+  op.src_a = MonitorTemps::kStartId;
+  op.src_b = MonitorTemps::kEnd;
+  // hashv travels through the dedicated RHASH port; the interpreter reads it
+  // from the kHashV temp recorded in `literal` to keep the Uop struct flat.
+  op.literal = MonitorTemps::kHashV;
+  ops.push_back(op);
+
+  // exception0 = [found==0] '1';
+  op = make(UopKind::kRaiseExc, Stage::kID);
+  op.exc_code = kExcHashMiss;
+  op.guard = GuardKind::kIfZero;
+  op.guard_tmp = MonitorTemps::kFound;
+  ops.push_back(op);
+
+  // exception1 = [found==1 & match==0] '1';  -- computed in two ALU steps.
+  op = make(UopKind::kImm, Stage::kID);
+  op.imm_kind = ImmKind::kConst;
+  op.literal = 0;
+  op.dst = MonitorTemps::kZero;
+  ops.push_back(op);
+
+  op = make(UopKind::kAlu, Stage::kID);
+  op.alu = AluOp::kCmpEq;
+  op.src_a = MonitorTemps::kMatch;
+  op.src_b = MonitorTemps::kZero;
+  op.dst = MonitorTemps::kMatchIsZero;
+  ops.push_back(op);
+
+  op = make(UopKind::kAlu, Stage::kID);
+  op.alu = AluOp::kAnd;
+  op.src_a = MonitorTemps::kFound;
+  op.src_b = MonitorTemps::kMatchIsZero;
+  op.dst = MonitorTemps::kMismatch;
+  ops.push_back(op);
+
+  op = make(UopKind::kRaiseExc, Stage::kID);
+  op.exc_code = kExcHashMismatch;
+  op.guard = GuardKind::kIfNonZero;
+  op.guard_tmp = MonitorTemps::kMismatch;
+  ops.push_back(op);
+
+  // null = STA.reset();  null = RHASH.reset();
+  op = make(UopKind::kResetSpecial, Stage::kID);
+  op.special = SpecialReg::kSta;
+  ops.push_back(op);
+
+  op = make(UopKind::kResetSpecial, Stage::kID);
+  op.special = SpecialReg::kRhash;
+  ops.push_back(op);
+
+  return ops;
+}
+
+}  // namespace
+
+void embed_monitoring(IsaUopSpec* spec) {
+  support::check(spec != nullptr, "embed_monitoring: null spec");
+  support::check(!spec->monitoring_embedded, "monitoring already embedded in this ISA spec");
+
+  // Extend the shared IF program (all instructions).
+  const std::vector<Uop> if_ext = if_extension();
+  spec->fetch.insert(spec->fetch.end(), if_ext.begin(), if_ext.end());
+  spec->fetch_temps = std::max<std::uint8_t>(spec->fetch_temps, MonitorTemps::kNewHash + 1);
+
+  // Prepend the Figure 4 head to the ID program of flow-control instructions.
+  const std::vector<Uop> id_ext = id_extension();
+  for (const isa::OpcodeInfo& row : isa::opcode_table()) {
+    if (row.mnemonic == isa::Mnemonic::kInvalid) continue;
+    if (!isa::is_flow_control(row.cls)) continue;
+    InstrUops& prog = spec->per_instr[static_cast<std::size_t>(row.mnemonic)];
+    prog.ops.insert(prog.ops.begin(), id_ext.begin(), id_ext.end());
+    prog.num_temps = std::max<std::uint8_t>(prog.num_temps, MonitorTemps::kMismatch + 1);
+  }
+
+  spec->monitoring_embedded = true;
+}
+
+}  // namespace cicmon::uop

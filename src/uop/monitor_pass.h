@@ -1,0 +1,41 @@
+// The monitoring-embedding pass (design step of Section 5).
+//
+// Transforms a canonical IsaUopSpec into the self-monitoring variant:
+//  * extends the common IF-stage program of *all* instructions with the
+//    dynamic-hash microoperations of Figure 3(b), and
+//  * prepends the IHT-lookup / exception / reset microoperations of Figure 4
+//    to the ID-stage program of every flow-control instruction.
+//
+// The pass operates purely on the microoperation representation — no
+// instruction encodings change, which is precisely why the scheme needs no
+// recompilation or binary instrumentation.
+#pragma once
+
+#include "uop/uop.h"
+
+namespace cicmon::uop {
+
+// Temp slots used by the embedded monitoring microoperations.
+struct MonitorTemps {
+  static constexpr std::uint8_t kStartIf = 4;   // STA.read() result in IF
+  static constexpr std::uint8_t kOldHash = 5;
+  static constexpr std::uint8_t kNewHash = 6;
+  static constexpr std::uint8_t kStartId = 16;  // STA.read() result in ID
+  static constexpr std::uint8_t kEnd = 17;
+  static constexpr std::uint8_t kHashV = 18;
+  static constexpr std::uint8_t kFound = 19;
+  static constexpr std::uint8_t kMatch = 20;
+  static constexpr std::uint8_t kZero = 21;
+  static constexpr std::uint8_t kMatchIsZero = 22;
+  static constexpr std::uint8_t kMismatch = 23;
+};
+
+// Monitor exception codes (the paper's exception0 / exception1).
+inline constexpr std::uint8_t kExcHashMiss = 0;      // block not in IHT
+inline constexpr std::uint8_t kExcHashMismatch = 1;  // block found, hash differs
+
+// Embeds the monitoring microoperations. Idempotent: calling on an already
+// monitored spec is an error (checked).
+void embed_monitoring(IsaUopSpec* spec);
+
+}  // namespace cicmon::uop

@@ -1,0 +1,136 @@
+// Microoperation model.
+//
+// The paper's key idea is that monitoring is expressed *below* the ISA, as
+// microoperations ("elementary operations performed on data stored in
+// datapath registers", §4.1) embedded into the pipeline-stage behaviour of
+// machine instructions. This module defines that microoperation language:
+//
+//  * a common IF-stage program shared by all instructions (Figure 1),
+//  * per-mnemonic programs for the ID/EX/MEM/WB stages,
+//  * a transform pass (monitor_pass.h) that embeds the Code Integrity
+//    Checker microoperations of Figures 3(b) and 4, and
+//  * an interpreter (interp.h) the cycle simulator executes through.
+//
+// Because the simulator runs instruction semantics through these programs,
+// adding or removing the monitoring microoperations changes machine behaviour
+// exactly the way re-generating the ASIP with/without the CIC would.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/opcodes.h"
+
+namespace cicmon::uop {
+
+// Pipeline stages that can host microoperations. (A 6-stage timing variant
+// duplicates EX for timing purposes only; microoperations live in these five.)
+enum class Stage : std::uint8_t { kIF, kID, kEX, kMEM, kWB };
+inline constexpr unsigned kNumStages = 5;
+
+// Datapath special registers (the paper's CPC, PPC, IReg, STA, RHASH, HI/LO).
+enum class SpecialReg : std::uint8_t { kCpc, kPpc, kIReg, kSta, kRhash, kHi, kLo };
+
+// Which instruction field selects a GPR for read/write microoperations.
+enum class GprSel : std::uint8_t { kRs, kRt, kRd, kRa31 };
+
+enum class AluOp : std::uint8_t {
+  kAdd, kSub, kAnd, kOr, kXor, kNor,
+  kSll, kSrl, kSra,
+  kSltSigned, kSltUnsigned,
+  kCmpEq, kCmpNe,          // two-operand comparisons producing 0/1
+  kCmpLeZ, kCmpGtZ, kCmpLtZ, kCmpGeZ,  // one-operand (src_a) comparisons
+};
+
+enum class MulDivOp : std::uint8_t { kMult, kMultu, kDiv, kDivu };
+
+// Immediate/value materialization kinds.
+enum class ImmKind : std::uint8_t {
+  kSignedImm,     // sign-extended 16-bit immediate
+  kZeroImm,       // zero-extended 16-bit immediate
+  kShamt,         // shift amount field
+  kBranchTarget,  // PC + 4 + (simm << 2)
+  kJumpTarget,    // region jump target
+  kLinkAddr,      // PC + 4 (no delay slots in this pipeline)
+  kConst,         // literal from Uop::literal
+};
+
+enum class MemWidth : std::uint8_t { kByte, kHalf, kWord };
+
+enum class GuardKind : std::uint8_t { kAlways, kIfZero, kIfNonZero };
+
+enum class UopKind : std::uint8_t {
+  kReadSpecial,   // dst <- special
+  kWriteSpecial,  // special <- src_a (guarded)
+  kResetSpecial,  // special <- 0
+  kReadGpr,       // dst <- GPR[sel]
+  kWriteGpr,      // GPR[sel] <- src_a
+  kImm,           // dst <- materialized value (imm_kind)
+  kAlu,           // dst <- alu(src_a, src_b)
+  kMulDiv,        // HI/LO <- muldiv(src_a, src_b)
+  kFetchInstr,    // dst <- IMAU.read(src_a)
+  kLoad,          // dst <- DMAU.read(src_a)   (width, sign_extend)
+  kStore,         // DMAU.write(src_a, src_b)  (width)
+  kSetPc,         // CPC <- src_a (control transfer; guarded for branches)
+  kHashStep,      // dst <- HASHFU.ope(src_a, src_b)          [monitoring]
+  kIhtLookup,     // (dst=found, dst2=match) <- IHTbb.lookup   [monitoring]
+  kRaiseExc,      // monitor exception `exc_code` (guarded)    [monitoring]
+  kSyscall,       // OS service request
+  kIllegal,       // illegal-opcode trap
+};
+
+inline constexpr std::uint8_t kNoTemp = 0xFF;
+
+// One microoperation. Operands reference per-instruction temporaries, which
+// model the values travelling through pipeline latches.
+struct Uop {
+  UopKind kind{};
+  Stage stage = Stage::kIF;
+  std::uint8_t dst = kNoTemp;
+  std::uint8_t dst2 = kNoTemp;   // second result (IHT lookup: match)
+  std::uint8_t src_a = kNoTemp;
+  std::uint8_t src_b = kNoTemp;
+  SpecialReg special = SpecialReg::kCpc;
+  GprSel sel = GprSel::kRs;
+  AluOp alu = AluOp::kAdd;
+  MulDivOp muldiv = MulDivOp::kMult;
+  ImmKind imm_kind = ImmKind::kConst;
+  std::uint32_t literal = 0;
+  MemWidth width = MemWidth::kWord;
+  bool sign_extend = false;
+  GuardKind guard = GuardKind::kAlways;
+  std::uint8_t guard_tmp = kNoTemp;
+  std::uint8_t exc_code = 0;
+  bool monitoring = false;       // true for microoperations added by the CIC pass
+};
+
+// Per-mnemonic microoperation program covering ID..WB (IF is shared).
+struct InstrUops {
+  std::vector<Uop> ops;          // ordered; each op tagged with its stage
+  std::uint8_t num_temps = 0;    // temporaries used (shared namespace with IF)
+};
+
+// Complete microoperation specification of the ISA.
+struct IsaUopSpec {
+  std::vector<Uop> fetch;        // common IF program (Figure 1; Figure 3(b) when monitored)
+  std::uint8_t fetch_temps = 0;  // temporaries consumed by the fetch program
+  std::vector<InstrUops> per_instr;  // indexed by Mnemonic value
+  bool monitoring_embedded = false;
+
+  const InstrUops& program(isa::Mnemonic m) const {
+    return per_instr[static_cast<std::size_t>(m)];
+  }
+};
+
+// Builds the canonical (un-monitored) microoperation specification.
+IsaUopSpec build_isa_uops();
+
+// Renders a microoperation in the paper's notation, e.g.
+//   "null = [start==0]STA.write(current_pc);"
+std::string to_string(const Uop& op);
+
+// Renders a whole stage program, one microoperation per line.
+std::string dump_stage(const std::vector<Uop>& ops, Stage stage);
+
+}  // namespace cicmon::uop

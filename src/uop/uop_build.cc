@@ -1,0 +1,407 @@
+// Canonical microoperation programs for every instruction in the ISA.
+//
+// Temporary-slot convention (per dynamic instruction):
+//   0..3   fetch program (current_pc, instr, const4, next_pc)
+//   4..7   reserved for the IF-stage monitoring extension (Figure 3(b))
+//   8..15  per-instruction ID/EX/MEM/WB temporaries
+//   16..23 reserved for the ID-stage monitoring extension (Figure 4)
+#include "uop/uop.h"
+
+#include "support/error.h"
+
+namespace cicmon::uop {
+
+namespace {
+
+using isa::Mnemonic;
+
+// Temp-slot names used by the canonical fetch program.
+constexpr std::uint8_t kTmpCurrentPc = 0;
+constexpr std::uint8_t kTmpInstr = 1;
+constexpr std::uint8_t kTmpConst4 = 2;
+constexpr std::uint8_t kTmpNextPc = 3;
+constexpr std::uint8_t kInstrTempBase = 8;
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(Stage stage) : stage_(stage) {}
+
+  void set_stage(Stage stage) { stage_ = stage; }
+
+  std::uint8_t temp() {
+    support::check(next_temp_ < 16, "per-instruction temp budget exceeded");
+    return next_temp_++;
+  }
+
+  Uop& push(UopKind kind) {
+    Uop op;
+    op.kind = kind;
+    op.stage = stage_;
+    ops_.push_back(op);
+    return ops_.back();
+  }
+
+  std::uint8_t read_gpr(GprSel sel) {
+    const std::uint8_t t = temp();
+    Uop& op = push(UopKind::kReadGpr);
+    op.dst = t;
+    op.sel = sel;
+    return t;
+  }
+
+  std::uint8_t imm(ImmKind kind, std::uint32_t literal = 0) {
+    const std::uint8_t t = temp();
+    Uop& op = push(UopKind::kImm);
+    op.dst = t;
+    op.imm_kind = kind;
+    op.literal = literal;
+    return t;
+  }
+
+  std::uint8_t alu(AluOp a, std::uint8_t lhs, std::uint8_t rhs = kNoTemp) {
+    const std::uint8_t t = temp();
+    Uop& op = push(UopKind::kAlu);
+    op.dst = t;
+    op.alu = a;
+    op.src_a = lhs;
+    op.src_b = rhs;
+    return t;
+  }
+
+  void write_gpr(GprSel sel, std::uint8_t src) {
+    Uop& op = push(UopKind::kWriteGpr);
+    op.sel = sel;
+    op.src_a = src;
+  }
+
+  void set_pc(std::uint8_t target, GuardKind guard = GuardKind::kAlways,
+              std::uint8_t guard_tmp = kNoTemp) {
+    Uop& op = push(UopKind::kSetPc);
+    op.src_a = target;
+    op.guard = guard;
+    op.guard_tmp = guard_tmp;
+  }
+
+  InstrUops finish() {
+    InstrUops out;
+    out.ops = std::move(ops_);
+    out.num_temps = next_temp_;
+    return out;
+  }
+
+ private:
+  Stage stage_;
+  std::vector<Uop> ops_;
+  std::uint8_t next_temp_ = kInstrTempBase;
+};
+
+// R-type three-register ALU op: ID reads, EX computes, WB writes rd.
+InstrUops alu_rrr(AluOp op) {
+  ProgramBuilder b(Stage::kID);
+  const auto a = b.read_gpr(GprSel::kRs);
+  const auto c = b.read_gpr(GprSel::kRt);
+  b.set_stage(Stage::kEX);
+  const auto r = b.alu(op, a, c);
+  b.set_stage(Stage::kWB);
+  b.write_gpr(GprSel::kRd, r);
+  return b.finish();
+}
+
+// Immediate-shift: sll/srl/sra rd, rt, shamt.
+InstrUops shift_imm(AluOp op) {
+  ProgramBuilder b(Stage::kID);
+  const auto v = b.read_gpr(GprSel::kRt);
+  const auto s = b.imm(ImmKind::kShamt);
+  b.set_stage(Stage::kEX);
+  const auto r = b.alu(op, v, s);
+  b.set_stage(Stage::kWB);
+  b.write_gpr(GprSel::kRd, r);
+  return b.finish();
+}
+
+// Variable shift: sllv/srlv/srav rd, rt, rs.
+InstrUops shift_var(AluOp op) {
+  ProgramBuilder b(Stage::kID);
+  const auto v = b.read_gpr(GprSel::kRt);
+  const auto s = b.read_gpr(GprSel::kRs);
+  b.set_stage(Stage::kEX);
+  const auto r = b.alu(op, v, s);
+  b.set_stage(Stage::kWB);
+  b.write_gpr(GprSel::kRd, r);
+  return b.finish();
+}
+
+// I-type ALU op: addi/slti/andi/... rt, rs, imm.
+InstrUops alu_imm(AluOp op, ImmKind imm_kind) {
+  ProgramBuilder b(Stage::kID);
+  const auto a = b.read_gpr(GprSel::kRs);
+  const auto i = b.imm(imm_kind);
+  b.set_stage(Stage::kEX);
+  const auto r = b.alu(op, a, i);
+  b.set_stage(Stage::kWB);
+  b.write_gpr(GprSel::kRt, r);
+  return b.finish();
+}
+
+InstrUops lui_program() {
+  ProgramBuilder b(Stage::kID);
+  const auto i = b.imm(ImmKind::kZeroImm);
+  const auto s = b.imm(ImmKind::kConst, 16);
+  b.set_stage(Stage::kEX);
+  const auto r = b.alu(AluOp::kSll, i, s);
+  b.set_stage(Stage::kWB);
+  b.write_gpr(GprSel::kRt, r);
+  return b.finish();
+}
+
+InstrUops load_program(MemWidth width, bool sign) {
+  ProgramBuilder b(Stage::kID);
+  const auto base = b.read_gpr(GprSel::kRs);
+  const auto off = b.imm(ImmKind::kSignedImm);
+  b.set_stage(Stage::kEX);
+  const auto addr = b.alu(AluOp::kAdd, base, off);
+  b.set_stage(Stage::kMEM);
+  const auto val = b.temp();
+  {
+    Uop& op = b.push(UopKind::kLoad);
+    op.dst = val;
+    op.src_a = addr;
+    op.width = width;
+    op.sign_extend = sign;
+  }
+  b.set_stage(Stage::kWB);
+  b.write_gpr(GprSel::kRt, val);
+  return b.finish();
+}
+
+InstrUops store_program(MemWidth width) {
+  ProgramBuilder b(Stage::kID);
+  const auto base = b.read_gpr(GprSel::kRs);
+  const auto off = b.imm(ImmKind::kSignedImm);
+  const auto val = b.read_gpr(GprSel::kRt);
+  b.set_stage(Stage::kEX);
+  const auto addr = b.alu(AluOp::kAdd, base, off);
+  b.set_stage(Stage::kMEM);
+  {
+    Uop& op = b.push(UopKind::kStore);
+    op.src_a = addr;
+    op.src_b = val;
+    op.width = width;
+  }
+  return b.finish();
+}
+
+// Two-operand conditional branch (beq/bne). Resolved in ID, matching the
+// paper's placement of end-of-basic-block processing in the ID stage.
+InstrUops branch2(AluOp cmp) {
+  ProgramBuilder b(Stage::kID);
+  const auto a = b.read_gpr(GprSel::kRs);
+  const auto c = b.read_gpr(GprSel::kRt);
+  const auto cond = b.alu(cmp, a, c);
+  const auto tgt = b.imm(ImmKind::kBranchTarget);
+  b.set_pc(tgt, GuardKind::kIfNonZero, cond);
+  return b.finish();
+}
+
+// One-operand conditional branch (blez/bgtz/bltz/bgez).
+InstrUops branch1(AluOp cmp) {
+  ProgramBuilder b(Stage::kID);
+  const auto a = b.read_gpr(GprSel::kRs);
+  const auto cond = b.alu(cmp, a);
+  const auto tgt = b.imm(ImmKind::kBranchTarget);
+  b.set_pc(tgt, GuardKind::kIfNonZero, cond);
+  return b.finish();
+}
+
+InstrUops jump_program(bool link) {
+  ProgramBuilder b(Stage::kID);
+  const auto tgt = b.imm(ImmKind::kJumpTarget);
+  std::uint8_t ret = kNoTemp;
+  if (link) ret = b.imm(ImmKind::kLinkAddr);
+  b.set_pc(tgt);
+  if (link) {
+    b.set_stage(Stage::kWB);
+    b.write_gpr(GprSel::kRa31, ret);
+  }
+  return b.finish();
+}
+
+InstrUops jump_reg_program(bool link) {
+  // Figure 4's tail: "target = GPR.read(rs); null = CPC.write(target)".
+  ProgramBuilder b(Stage::kID);
+  const auto tgt = b.read_gpr(GprSel::kRs);
+  std::uint8_t ret = kNoTemp;
+  if (link) ret = b.imm(ImmKind::kLinkAddr);
+  b.set_pc(tgt);
+  if (link) {
+    b.set_stage(Stage::kWB);
+    b.write_gpr(GprSel::kRd, ret);
+  }
+  return b.finish();
+}
+
+InstrUops muldiv_program(MulDivOp op) {
+  ProgramBuilder b(Stage::kID);
+  const auto a = b.read_gpr(GprSel::kRs);
+  const auto c = b.read_gpr(GprSel::kRt);
+  b.set_stage(Stage::kEX);
+  Uop& md = b.push(UopKind::kMulDiv);
+  md.muldiv = op;
+  md.src_a = a;
+  md.src_b = c;
+  return b.finish();
+}
+
+InstrUops hilo_read(SpecialReg which) {
+  ProgramBuilder b(Stage::kEX);
+  const auto t = b.temp();
+  Uop& rd = b.push(UopKind::kReadSpecial);
+  rd.dst = t;
+  rd.special = which;
+  b.set_stage(Stage::kWB);
+  b.write_gpr(GprSel::kRd, t);
+  return b.finish();
+}
+
+InstrUops hilo_write(SpecialReg which) {
+  ProgramBuilder b(Stage::kID);
+  const auto t = b.read_gpr(GprSel::kRs);
+  b.set_stage(Stage::kEX);
+  Uop& wr = b.push(UopKind::kWriteSpecial);
+  wr.special = which;
+  wr.src_a = t;
+  return b.finish();
+}
+
+InstrUops simple(UopKind kind, Stage stage) {
+  ProgramBuilder b(stage);
+  b.push(kind);
+  return b.finish();
+}
+
+}  // namespace
+
+IsaUopSpec build_isa_uops() {
+  IsaUopSpec spec;
+
+  // --- Common IF program (Figure 1) ---
+  //   current_pc = CPC.read();
+  //   instr = IMAU.read(current_pc);
+  //   null = IReg.write(instr);
+  //   null = CPC.inc();
+  {
+    Uop op;
+    op.stage = Stage::kIF;
+
+    op.kind = UopKind::kReadSpecial;
+    op.special = SpecialReg::kCpc;
+    op.dst = kTmpCurrentPc;
+    spec.fetch.push_back(op);
+
+    op = Uop{};
+    op.stage = Stage::kIF;
+    op.kind = UopKind::kFetchInstr;
+    op.dst = kTmpInstr;
+    op.src_a = kTmpCurrentPc;
+    spec.fetch.push_back(op);
+
+    op = Uop{};
+    op.stage = Stage::kIF;
+    op.kind = UopKind::kWriteSpecial;
+    op.special = SpecialReg::kIReg;
+    op.src_a = kTmpInstr;
+    spec.fetch.push_back(op);
+
+    // CPC.inc() expressed as const-4 add, the way a datapath would implement it.
+    op = Uop{};
+    op.stage = Stage::kIF;
+    op.kind = UopKind::kImm;
+    op.imm_kind = ImmKind::kConst;
+    op.literal = 4;
+    op.dst = kTmpConst4;
+    spec.fetch.push_back(op);
+
+    op = Uop{};
+    op.stage = Stage::kIF;
+    op.kind = UopKind::kAlu;
+    op.alu = AluOp::kAdd;
+    op.src_a = kTmpCurrentPc;
+    op.src_b = kTmpConst4;
+    op.dst = kTmpNextPc;
+    spec.fetch.push_back(op);
+
+    op = Uop{};
+    op.stage = Stage::kIF;
+    op.kind = UopKind::kWriteSpecial;
+    op.special = SpecialReg::kCpc;
+    op.src_a = kTmpNextPc;
+    spec.fetch.push_back(op);
+
+    spec.fetch_temps = 4;
+  }
+
+  // --- Per-instruction programs ---
+  const auto count = static_cast<std::size_t>(Mnemonic::kInvalid) + 1;
+  spec.per_instr.resize(count);
+  auto set = [&spec](Mnemonic m, InstrUops prog) {
+    spec.per_instr[static_cast<std::size_t>(m)] = std::move(prog);
+  };
+
+  set(Mnemonic::kSll, shift_imm(AluOp::kSll));
+  set(Mnemonic::kSrl, shift_imm(AluOp::kSrl));
+  set(Mnemonic::kSra, shift_imm(AluOp::kSra));
+  set(Mnemonic::kSllv, shift_var(AluOp::kSll));
+  set(Mnemonic::kSrlv, shift_var(AluOp::kSrl));
+  set(Mnemonic::kSrav, shift_var(AluOp::kSra));
+  set(Mnemonic::kJr, jump_reg_program(/*link=*/false));
+  set(Mnemonic::kJalr, jump_reg_program(/*link=*/true));
+  set(Mnemonic::kSyscall, simple(UopKind::kSyscall, Stage::kEX));
+  set(Mnemonic::kBreak, simple(UopKind::kIllegal, Stage::kID));
+  set(Mnemonic::kMfhi, hilo_read(SpecialReg::kHi));
+  set(Mnemonic::kMthi, hilo_write(SpecialReg::kHi));
+  set(Mnemonic::kMflo, hilo_read(SpecialReg::kLo));
+  set(Mnemonic::kMtlo, hilo_write(SpecialReg::kLo));
+  set(Mnemonic::kMult, muldiv_program(MulDivOp::kMult));
+  set(Mnemonic::kMultu, muldiv_program(MulDivOp::kMultu));
+  set(Mnemonic::kDiv, muldiv_program(MulDivOp::kDiv));
+  set(Mnemonic::kDivu, muldiv_program(MulDivOp::kDivu));
+  set(Mnemonic::kAdd, alu_rrr(AluOp::kAdd));
+  set(Mnemonic::kAddu, alu_rrr(AluOp::kAdd));
+  set(Mnemonic::kSub, alu_rrr(AluOp::kSub));
+  set(Mnemonic::kSubu, alu_rrr(AluOp::kSub));
+  set(Mnemonic::kAnd, alu_rrr(AluOp::kAnd));
+  set(Mnemonic::kOr, alu_rrr(AluOp::kOr));
+  set(Mnemonic::kXor, alu_rrr(AluOp::kXor));
+  set(Mnemonic::kNor, alu_rrr(AluOp::kNor));
+  set(Mnemonic::kSlt, alu_rrr(AluOp::kSltSigned));
+  set(Mnemonic::kSltu, alu_rrr(AluOp::kSltUnsigned));
+  set(Mnemonic::kBltz, branch1(AluOp::kCmpLtZ));
+  set(Mnemonic::kBgez, branch1(AluOp::kCmpGeZ));
+  set(Mnemonic::kBeq, branch2(AluOp::kCmpEq));
+  set(Mnemonic::kBne, branch2(AluOp::kCmpNe));
+  set(Mnemonic::kBlez, branch1(AluOp::kCmpLeZ));
+  set(Mnemonic::kBgtz, branch1(AluOp::kCmpGtZ));
+  set(Mnemonic::kAddi, alu_imm(AluOp::kAdd, ImmKind::kSignedImm));
+  set(Mnemonic::kAddiu, alu_imm(AluOp::kAdd, ImmKind::kSignedImm));
+  set(Mnemonic::kSlti, alu_imm(AluOp::kSltSigned, ImmKind::kSignedImm));
+  set(Mnemonic::kSltiu, alu_imm(AluOp::kSltUnsigned, ImmKind::kSignedImm));
+  set(Mnemonic::kAndi, alu_imm(AluOp::kAnd, ImmKind::kZeroImm));
+  set(Mnemonic::kOri, alu_imm(AluOp::kOr, ImmKind::kZeroImm));
+  set(Mnemonic::kXori, alu_imm(AluOp::kXor, ImmKind::kZeroImm));
+  set(Mnemonic::kLui, lui_program());
+  set(Mnemonic::kLb, load_program(MemWidth::kByte, true));
+  set(Mnemonic::kLh, load_program(MemWidth::kHalf, true));
+  set(Mnemonic::kLw, load_program(MemWidth::kWord, false));
+  set(Mnemonic::kLbu, load_program(MemWidth::kByte, false));
+  set(Mnemonic::kLhu, load_program(MemWidth::kHalf, false));
+  set(Mnemonic::kSb, store_program(MemWidth::kByte));
+  set(Mnemonic::kSh, store_program(MemWidth::kHalf));
+  set(Mnemonic::kSw, store_program(MemWidth::kWord));
+  set(Mnemonic::kJ, jump_program(/*link=*/false));
+  set(Mnemonic::kJal, jump_program(/*link=*/true));
+  set(Mnemonic::kInvalid, simple(UopKind::kIllegal, Stage::kID));
+
+  return spec;
+}
+
+}  // namespace cicmon::uop

@@ -1,0 +1,271 @@
+#include "workloads/refs.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/bitops.h"
+#include "support/error.h"
+
+namespace cicmon::workloads::refs {
+
+std::uint32_t isqrt32(std::uint32_t value) {
+  std::uint32_t result = 0;
+  std::uint32_t bit = 1U << 30;
+  while (bit > value) bit >>= 2;
+  while (bit != 0) {
+    if (value >= result + bit) {
+      value -= result + bit;
+      result = (result >> 1) + bit;
+    } else {
+      result >>= 1;
+    }
+    bit >>= 2;
+  }
+  return result;
+}
+
+std::uint32_t gcd32(std::uint32_t a, std::uint32_t b) {
+  while (b != 0) {
+    const std::uint32_t r = a % b;
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+std::uint32_t deg_to_rad_fixed(std::uint32_t deg) { return (deg * 31416U) / 1800000U; }
+
+unsigned popcount_sum(std::span<const std::uint32_t> values) {
+  unsigned sum = 0;
+  for (std::uint32_t v : values) sum += support::popcount32(v);
+  return sum;
+}
+
+std::uint32_t dijkstra_distance_sum(std::span<const std::uint32_t> matrix, unsigned n) {
+  support::check(matrix.size() == static_cast<std::size_t>(n) * n,
+                 "dijkstra ref: matrix size mismatch");
+  constexpr std::uint32_t kInf = 0x3FFF'FFFF;  // matches the kernel's sentinel
+  std::vector<std::uint32_t> dist(n, kInf);
+  std::vector<bool> visited(n, false);
+  dist[0] = 0;
+  for (unsigned round = 0; round < n; ++round) {
+    unsigned best = n;
+    std::uint32_t best_dist = kInf;
+    for (unsigned i = 0; i < n; ++i) {
+      if (!visited[i] && dist[i] < best_dist) {
+        best_dist = dist[i];
+        best = i;
+      }
+    }
+    if (best == n) break;
+    visited[best] = true;
+    for (unsigned j = 0; j < n; ++j) {
+      const std::uint32_t w = matrix[static_cast<std::size_t>(best) * n + j];
+      if (w != 0 && dist[best] + w < dist[j]) dist[j] = dist[best] + w;
+    }
+  }
+  std::uint32_t sum = 0;
+  for (std::uint32_t d : dist) {
+    if (d != kInf) sum += d;
+  }
+  return sum;
+}
+
+unsigned susan_edge_count(std::span<const std::uint8_t> image, unsigned w, unsigned h,
+                          unsigned threshold, unsigned usan_limit) {
+  support::check(image.size() == static_cast<std::size_t>(w) * h, "susan ref: image size");
+  unsigned edges = 0;
+  for (unsigned y = 1; y + 1 < h; ++y) {
+    for (unsigned x = 1; x + 1 < w; ++x) {
+      const int centre = image[static_cast<std::size_t>(y) * w + x];
+      unsigned similar = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int pixel =
+              image[static_cast<std::size_t>(y + dy) * w + (x + dx)];
+          const int diff = pixel >= centre ? pixel - centre : centre - pixel;
+          if (static_cast<unsigned>(diff) <= threshold) ++similar;
+        }
+      }
+      if (similar <= usan_limit) ++edges;
+    }
+  }
+  return edges;
+}
+
+unsigned bmh_count(std::span<const std::uint8_t> text, std::span<const std::uint8_t> pattern) {
+  const std::size_t n = text.size();
+  const std::size_t m = pattern.size();
+  if (m == 0 || m > n) return 0;
+  std::array<std::size_t, 256> skip;
+  skip.fill(m);
+  for (std::size_t i = 0; i + 1 < m; ++i) skip[pattern[i]] = m - 1 - i;
+
+  unsigned count = 0;
+  std::size_t pos = 0;
+  while (pos + m <= n) {
+    std::size_t j = m;
+    while (j > 0 && text[pos + j - 1] == pattern[j - 1]) --j;
+    if (j == 0) {
+      ++count;
+      pos += m;  // non-overlapping
+    } else {
+      pos += skip[text[pos + m - 1]];
+    }
+  }
+  return count;
+}
+
+unsigned brute_count(std::span<const std::uint8_t> text, std::span<const std::uint8_t> pattern) {
+  const std::size_t n = text.size();
+  const std::size_t m = pattern.size();
+  if (m == 0 || m > n) return 0;
+  unsigned count = 0;
+  std::size_t pos = 0;
+  while (pos + m <= n) {
+    std::size_t j = 0;
+    while (j < m && text[pos + j] == pattern[j]) ++j;
+    if (j == m) {
+      ++count;
+      pos += m;
+    } else {
+      ++pos;
+    }
+  }
+  return count;
+}
+
+std::uint32_t BlowfishRef::f(std::uint32_t x) const {
+  const std::uint32_t a = x >> 24;
+  const std::uint32_t b = (x >> 16) & 0xFF;
+  const std::uint32_t c = (x >> 8) & 0xFF;
+  const std::uint32_t d = x & 0xFF;
+  return ((s[0][a] + s[1][b]) ^ s[2][c]) + s[3][d];
+}
+
+void BlowfishRef::encrypt(std::uint32_t* left, std::uint32_t* right) const {
+  std::uint32_t l = *left;
+  std::uint32_t r = *right;
+  for (int i = 0; i < 16; ++i) {
+    l ^= p[i];
+    r ^= f(l);
+    std::swap(l, r);
+  }
+  std::swap(l, r);
+  r ^= p[16];
+  l ^= p[17];
+  *left = l;
+  *right = r;
+}
+
+void BlowfishRef::decrypt(std::uint32_t* left, std::uint32_t* right) const {
+  std::uint32_t l = *left;
+  std::uint32_t r = *right;
+  for (int i = 17; i > 1; --i) {
+    l ^= p[i];
+    r ^= f(l);
+    std::swap(l, r);
+  }
+  std::swap(l, r);
+  r ^= p[1];
+  l ^= p[0];
+  *left = l;
+  *right = r;
+}
+
+namespace {
+
+constexpr std::uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16};
+
+std::uint8_t xtime(std::uint8_t value) {
+  return static_cast<std::uint8_t>((value << 1) ^ ((value & 0x80) ? 0x1b : 0x00));
+}
+
+}  // namespace
+
+std::span<const std::uint8_t> Aes128Ref::sbox() { return {kSbox, 256}; }
+
+Aes128Ref::Aes128Ref(std::span<const std::uint8_t> key16) {
+  support::check(key16.size() == 16, "AES-128 key must be 16 bytes");
+  std::copy(key16.begin(), key16.end(), round_keys_.begin());
+  std::uint8_t rcon = 0x01;
+  for (unsigned i = 16; i < 176; i += 4) {
+    std::uint8_t temp[4];
+    for (unsigned j = 0; j < 4; ++j) temp[j] = round_keys_[i - 4 + j];
+    if (i % 16 == 0) {
+      // RotWord + SubWord + Rcon.
+      const std::uint8_t t0 = temp[0];
+      temp[0] = static_cast<std::uint8_t>(kSbox[temp[1]] ^ rcon);
+      temp[1] = kSbox[temp[2]];
+      temp[2] = kSbox[temp[3]];
+      temp[3] = kSbox[t0];
+      rcon = xtime(rcon);
+    }
+    for (unsigned j = 0; j < 4; ++j) {
+      round_keys_[i + j] = static_cast<std::uint8_t>(round_keys_[i - 16 + j] ^ temp[j]);
+    }
+  }
+}
+
+void Aes128Ref::encrypt_block(const std::uint8_t* in16, std::uint8_t* out16) const {
+  std::uint8_t state[16];
+  std::copy(in16, in16 + 16, state);
+
+  auto add_round_key = [&](unsigned round) {
+    for (unsigned i = 0; i < 16; ++i) state[i] ^= round_keys_[round * 16 + i];
+  };
+  auto sub_bytes = [&] {
+    for (unsigned i = 0; i < 16; ++i) state[i] = kSbox[state[i]];
+  };
+  auto shift_rows = [&] {
+    // Column-major state: byte (row r, column c) lives at index c*4 + r.
+    std::uint8_t tmp[16];
+    for (unsigned c = 0; c < 4; ++c) {
+      for (unsigned r = 0; r < 4; ++r) tmp[c * 4 + r] = state[((c + r) % 4) * 4 + r];
+    }
+    std::copy(tmp, tmp + 16, state);
+  };
+  auto mix_columns = [&] {
+    for (unsigned c = 0; c < 4; ++c) {
+      std::uint8_t* col = state + c * 4;
+      const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+      const std::uint8_t all = static_cast<std::uint8_t>(a0 ^ a1 ^ a2 ^ a3);
+      col[0] = static_cast<std::uint8_t>(a0 ^ all ^ xtime(static_cast<std::uint8_t>(a0 ^ a1)));
+      col[1] = static_cast<std::uint8_t>(a1 ^ all ^ xtime(static_cast<std::uint8_t>(a1 ^ a2)));
+      col[2] = static_cast<std::uint8_t>(a2 ^ all ^ xtime(static_cast<std::uint8_t>(a2 ^ a3)));
+      col[3] = static_cast<std::uint8_t>(a3 ^ all ^ xtime(static_cast<std::uint8_t>(a3 ^ a0)));
+    }
+  };
+
+  add_round_key(0);
+  for (unsigned round = 1; round <= 9; ++round) {
+    sub_bytes();
+    shift_rows();
+    mix_columns();
+    add_round_key(round);
+  }
+  sub_bytes();
+  shift_rows();
+  add_round_key(10);
+  std::copy(state, state + 16, out16);
+}
+
+}  // namespace cicmon::workloads::refs

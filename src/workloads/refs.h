@@ -1,0 +1,80 @@
+// Host-side reference implementations for the workload kernels.
+//
+// Every workload self-checks: the builder computes the expected result with
+// one of these references and plants `check_eq` traps in the generated
+// program, so a simulation that silently computes wrong values fails loudly.
+// The references are deliberately independent, plain C++ renderings of the
+// same algorithms the assembly kernels implement.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cicmon::workloads::refs {
+
+// --- basicmath ---
+std::uint32_t isqrt32(std::uint32_t value);          // floor(sqrt), bit-by-bit method
+std::uint32_t gcd32(std::uint32_t a, std::uint32_t b);  // Euclid via remainders
+// Fixed-point degrees→radians: (deg * 31416) / 1800000 in Q0 arithmetic.
+std::uint32_t deg_to_rad_fixed(std::uint32_t deg);
+
+// --- bitcount ---
+unsigned popcount_sum(std::span<const std::uint32_t> values);
+
+// --- dijkstra ---
+// Single-source (node 0) shortest paths on a dense n*n weight matrix
+// (row-major; weight 0 means no edge). Returns the sum of finite distances.
+std::uint32_t dijkstra_distance_sum(std::span<const std::uint32_t> matrix, unsigned n);
+
+// --- susan ---
+// USAN-style edge count: a pixel of the w*h byte image (1-pixel border
+// excluded) is an edge when at most `usan_limit` of its 3x3 neighbours are
+// within `threshold` brightness of the centre.
+unsigned susan_edge_count(std::span<const std::uint8_t> image, unsigned w, unsigned h,
+                          unsigned threshold, unsigned usan_limit);
+
+// --- stringsearch ---
+// Boyer-Moore-Horspool occurrence count; on a match the window advances by
+// the full pattern length (non-overlapping matches).
+unsigned bmh_count(std::span<const std::uint8_t> text, std::span<const std::uint8_t> pattern);
+
+// Naive forward scan with the same non-overlapping convention; the workload
+// alternates the two searchers the way MiBench's stringsearch compares
+// algorithms.
+unsigned brute_count(std::span<const std::uint8_t> text, std::span<const std::uint8_t> pattern);
+
+// --- blowfish ---
+// Blowfish round structure with caller-supplied (non-standard) P/S tables —
+// the workload uses deterministically generated tables so the 4 KiB of
+// standard hex digits of pi need not be embedded. The Feistel network and
+// round count are the real cipher's.
+struct BlowfishRef {
+  std::array<std::uint32_t, 18> p{};
+  std::array<std::array<std::uint32_t, 256>, 4> s{};
+
+  void encrypt(std::uint32_t* left, std::uint32_t* right) const;
+  void decrypt(std::uint32_t* left, std::uint32_t* right) const;
+
+ private:
+  std::uint32_t f(std::uint32_t x) const;
+};
+
+// --- rijndael ---
+// AES-128 (FIPS 197) block encryption, table-free except the S-box.
+class Aes128Ref {
+ public:
+  explicit Aes128Ref(std::span<const std::uint8_t> key16);
+
+  void encrypt_block(const std::uint8_t* in16, std::uint8_t* out16) const;
+
+  // Expanded key schedule: 11 round keys * 16 bytes.
+  std::span<const std::uint8_t> round_keys() const { return round_keys_; }
+  static std::span<const std::uint8_t> sbox();  // 256 entries
+
+ private:
+  std::array<std::uint8_t, 176> round_keys_{};
+};
+
+}  // namespace cicmon::workloads::refs

@@ -1,0 +1,37 @@
+#include "workloads/workloads.h"
+
+#include <array>
+
+#include "support/error.h"
+
+namespace cicmon::workloads {
+namespace {
+
+constexpr std::array<WorkloadInfo, 9> kWorkloads = {{
+    {"basicmath", "integer sqrt / gcd / fixed-point conversions", &build_basicmath},
+    {"susan", "USAN-style edge detection on a synthetic image", &build_susan},
+    {"dijkstra", "dense-graph single-source shortest paths", &build_dijkstra},
+    {"patricia", "binary-trie routing-table insert/lookup", &build_patricia},
+    {"blowfish", "16-round Feistel cipher encrypt/decrypt round trip", &build_blowfish},
+    {"rijndael", "AES-128 block encryption", &build_rijndael},
+    {"sha", "SHA-1 over a generated message", &build_sha},
+    {"stringsearch", "Boyer-Moore-Horspool multi-pattern search", &build_stringsearch},
+    {"bitcount", "population counts by three methods", &build_bitcount},
+}};
+
+}  // namespace
+
+std::span<const WorkloadInfo> all_workloads() { return kWorkloads; }
+
+const WorkloadInfo& find_workload(std::string_view name) {
+  for (const WorkloadInfo& info : kWorkloads) {
+    if (info.name == name) return info;
+  }
+  throw support::CicError("unknown workload: " + std::string(name));
+}
+
+casm_::Image build_workload(std::string_view name, const BuildOptions& options) {
+  return find_workload(name).build(options);
+}
+
+}  // namespace cicmon::workloads

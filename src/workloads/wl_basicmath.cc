@@ -1,0 +1,118 @@
+// basicmath: integer square roots, Euclid GCDs, and fixed-point angle
+// conversion over an input array (MiBench's basicmath runs the same kinds of
+// "simple math the hardware lacks" kernels).
+//
+// Exercises the multiply/divide datapath (gcd remainders, fixed-point
+// scaling) alongside branchy bit arithmetic (isqrt).
+#include "workloads/workloads.h"
+
+#include "workloads/refs.h"
+#include "workloads/wl_common.h"
+
+namespace cicmon::workloads {
+
+casm_::Image build_basicmath(const BuildOptions& options) {
+  using namespace cicmon::isa;
+  const unsigned n = 32;
+  const unsigned repeats = scaled(options.scale, 10);
+
+  support::Rng rng(options.seed);
+  std::vector<std::uint32_t> values = random_words(rng, n);
+  for (std::uint32_t& v : values) v |= 1;  // keep gcd inputs nonzero
+
+  std::uint32_t expected = 0;
+  for (unsigned r = 0; r < repeats; ++r) {
+    for (unsigned i = 0; i + 1 < n; ++i) {
+      expected += refs::isqrt32(values[i]);
+      expected += refs::gcd32(values[i], values[i + 1]);
+      expected += refs::deg_to_rad_fixed(values[i] % 360);
+    }
+  }
+
+  casm_::Asm a;
+  a.data_symbol("arr");
+  a.data_words(values);
+
+  a.func("main");
+  a.li(kS0, repeats);
+  a.li(kS7, 0);  // accumulator
+  casm_::Label outer = a.bound_label();
+  a.la(kS1, "arr");
+  a.li(kS2, n - 1);
+  casm_::Label elem = a.bound_label();
+  a.lw(kA0, 0, kS1);
+  a.call("isqrt");
+  a.addu(kS7, kS7, kV0);
+  a.lw(kA0, 0, kS1);
+  a.lw(kA1, 4, kS1);
+  a.call("gcd");
+  a.addu(kS7, kS7, kV0);
+  a.lw(kA0, 0, kS1);
+  a.li(kT0, 360);
+  a.divu(kA0, kT0);
+  a.mfhi(kA0);  // a0 = value % 360
+  a.call("deg2rad");
+  a.addu(kS7, kS7, kV0);
+  a.addiu(kS1, kS1, 4);
+  a.addiu(kS2, kS2, -1);
+  a.bnez(kS2, elem);
+  a.addiu(kS0, kS0, -1);
+  a.bnez(kS0, outer);
+  a.check_eq(kS7, expected);
+  a.sys_exit(0);
+
+  // v0 = floor(sqrt(a0)), bit-by-bit, with the conditional subtract lowered
+  // to a branchless mask-select (as a compiler would emit it).
+  a.func("isqrt");
+  {
+    a.li(kV0, 0);         // result
+    a.li(kT0, 1);
+    a.sll(kT0, kT0, 30);  // bit = 1 << 30
+    casm_::Label shrink = a.bound_label();
+    casm_::Label mainloop = a.label();
+    a.bgeu(kA0, kT0, mainloop);  // until bit <= a0
+    a.srl(kT0, kT0, 2);
+    a.b(shrink);
+    a.bind(mainloop);
+    a.addu(kT1, kV0, kT0);   // trial = result + bit
+    a.sltu(kT2, kA0, kT1);   // trial too big?
+    a.addiu(kT3, kT2, -1);   // mask = ~0 when the trial subtract applies
+    a.and_(kT4, kT1, kT3);
+    a.subu(kA0, kA0, kT4);   // value -= trial (or 0)
+    a.srl(kV0, kV0, 1);
+    a.and_(kT4, kT0, kT3);
+    a.addu(kV0, kV0, kT4);   // result = (result >> 1) + (bit or 0)
+    a.srl(kT0, kT0, 2);
+    a.bnez(kT0, mainloop);
+    a.ret();
+  }
+
+  // v0 = gcd(a0, a1) by Euclid's remainder chain. Bottom-tested so the whole
+  // iteration is one region (inputs are nonzero by construction).
+  a.func("gcd");
+  {
+    casm_::Label loop = a.bound_label();
+    a.divu(kA0, kA1);
+    a.move(kA0, kA1);
+    a.mfhi(kA1);  // remainder
+    a.bnez(kA1, loop);
+    a.move(kV0, kA0);
+    a.ret();
+  }
+
+  // v0 = (a0 * 31416) / 1800000 — degrees to radians in fixed point.
+  a.func("deg2rad");
+  {
+    a.li(kT0, 31416);
+    a.multu(kA0, kT0);
+    a.mflo(kT1);
+    a.li(kT0, 1800000);
+    a.divu(kT1, kT0);
+    a.mflo(kV0);
+    a.ret();
+  }
+
+  return a.finalize();
+}
+
+}  // namespace cicmon::workloads

@@ -1,0 +1,88 @@
+// bitcount: population counts of a word array by three methods (MiBench's
+// bitcnts exercises a family of counting routines the same way).
+//
+// The three methods are inlined into one element loop (as -O2 inlines the
+// small static counters), so the hot working set is a handful of blocks —
+// the paper's best case: 0% overhead at every IHT size.
+#include "workloads/workloads.h"
+
+#include "support/bitops.h"
+#include "workloads/refs.h"
+#include "workloads/wl_common.h"
+
+namespace cicmon::workloads {
+
+casm_::Image build_bitcount(const BuildOptions& options) {
+  using namespace cicmon::isa;
+  const unsigned n = 48;
+  const unsigned repeats = scaled(options.scale, 24);
+
+  support::Rng rng(options.seed);
+  const std::vector<std::uint32_t> values = random_words(rng, n);
+  const std::uint32_t expected = repeats * 3U * refs::popcount_sum(values);
+
+  casm_::Asm a;
+  a.data_symbol("arr");
+  a.data_words(values);
+  a.data_symbol("nibtab");
+  for (std::uint32_t nibble = 0; nibble < 16; ++nibble) {
+    a.data_word(support::popcount32(nibble));
+  }
+
+  // Register roles: s0 = repeats, s1 = &arr[i], s2 = words left, s3 = nibtab,
+  // s7 = grand total.
+  a.func("main");
+  a.li(kS0, repeats);
+  a.li(kS7, 0);
+  a.la(kS3, "nibtab");
+  casm_::Label outer = a.bound_label();
+  a.la(kS1, "arr");
+  a.li(kS2, n);
+  casm_::Label elem = a.bound_label();
+
+  // Method 1: Kernighan (x &= x-1 until zero) — the only data-dependent loop.
+  a.lw(kT0, 0, kS1);
+  casm_::Label kern = a.bound_label();
+  casm_::Label kern_done = a.label();
+  a.beqz(kT0, kern_done);
+  a.addiu(kT1, kT0, -1);
+  a.and_(kT0, kT0, kT1);
+  a.addiu(kS7, kS7, 1);
+  a.b(kern);
+  a.bind(kern_done);
+
+  // Method 2: shift-and-test, unrolled four bits per step (8 steps).
+  a.lw(kT0, 0, kS1);
+  a.li(kT2, 8);
+  casm_::Label shift = a.bound_label();
+  for (int step = 0; step < 4; ++step) {
+    a.andi(kT1, kT0, 1);
+    a.addu(kS7, kS7, kT1);
+    a.srl(kT0, kT0, 1);
+  }
+  a.addiu(kT2, kT2, -1);
+  a.bnez(kT2, shift);
+
+  // Method 3: eight 4-bit table lookups, fully unrolled (one region).
+  a.lw(kT0, 0, kS1);
+  for (int nibble = 0; nibble < 8; ++nibble) {
+    a.andi(kT1, kT0, 15);
+    a.sll(kT1, kT1, 2);
+    a.addu(kT1, kT1, kS3);
+    a.lw(kT1, 0, kT1);
+    a.addu(kS7, kS7, kT1);
+    a.srl(kT0, kT0, 4);
+  }
+
+  a.addiu(kS1, kS1, 4);
+  a.addiu(kS2, kS2, -1);
+  a.bnez(kS2, elem);
+  a.addiu(kS0, kS0, -1);
+  a.bnez(kS0, outer);
+  a.check_eq(kS7, expected);
+  a.sys_exit(0);
+
+  return a.finalize();
+}
+
+}  // namespace cicmon::workloads

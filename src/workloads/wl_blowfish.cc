@@ -1,0 +1,207 @@
+// blowfish: the real 16-round Feistel network with the real F function
+// (((S0[a] + S1[b]) ^ S2[c]) + S3[d]), encrypting then decrypting a block
+// array in place and verifying the round trip.
+//
+// The P-array and S-boxes are deterministically generated instead of the
+// standard digits-of-pi constants — the cipher's control structure (what the
+// monitor observes) is identical; only key material differs (DESIGN.md §2).
+//
+// Register convention: bf_encrypt/bf_decrypt clobber s3..s6 and t9, preserve
+// ra via the stack; bf_f is a leaf using t0..t3 only.
+#include "workloads/workloads.h"
+
+#include "workloads/refs.h"
+#include "workloads/wl_common.h"
+
+namespace cicmon::workloads {
+
+casm_::Image build_blowfish(const BuildOptions& options) {
+  using namespace cicmon::isa;
+  const unsigned blocks = 12;
+  const unsigned repeats = scaled(options.scale, 3);
+
+  support::Rng rng(options.seed);
+  refs::BlowfishRef ref;
+  for (auto& p : ref.p) p = rng.next_u32();
+  for (auto& box : ref.s) {
+    for (auto& entry : box) entry = rng.next_u32();
+  }
+  std::vector<std::uint32_t> plain = random_words(rng, 2 * blocks);
+
+  // Expected accumulator: per repeat, sum of ciphertext words plus sum of
+  // round-tripped plaintext words (the round trip restores `plain`).
+  std::uint32_t expected = 0;
+  {
+    std::uint32_t plain_sum = 0;
+    for (std::uint32_t wv : plain) plain_sum += wv;
+    std::vector<std::uint32_t> buf = plain;
+    std::uint32_t cipher_sum = 0;
+    for (unsigned b = 0; b < blocks; ++b) {
+      ref.encrypt(&buf[2 * b], &buf[2 * b + 1]);
+      cipher_sum += buf[2 * b] + buf[2 * b + 1];
+    }
+    expected = repeats * (cipher_sum + plain_sum);
+  }
+
+  casm_::Asm a;
+  a.data_symbol("parr");
+  a.data_words({ref.p.begin(), ref.p.end()});
+  a.data_symbol("sbox");  // S0 | S1 | S2 | S3, 1 KiB each
+  for (const auto& box : ref.s) a.data_words({box.begin(), box.end()});
+  a.data_symbol("blocks");
+  a.data_words(plain);
+
+  a.func("main");
+  a.li(kS0, repeats);
+  a.li(kS7, 0);
+  casm_::Label outer = a.bound_label();
+
+  // Encrypt every block, accumulating the ciphertext words.
+  a.la(kS1, "blocks");
+  a.li(kS2, blocks);
+  casm_::Label enc = a.bound_label();
+  a.move(kA0, kS1);
+  a.call("bf_encrypt");
+  a.lw(kT0, 0, kS1);
+  a.addu(kS7, kS7, kT0);
+  a.lw(kT0, 4, kS1);
+  a.addu(kS7, kS7, kT0);
+  a.addiu(kS1, kS1, 8);
+  a.addiu(kS2, kS2, -1);
+  a.bnez(kS2, enc);
+
+  // Decrypt back.
+  a.la(kS1, "blocks");
+  a.li(kS2, blocks);
+  casm_::Label dec = a.bound_label();
+  a.move(kA0, kS1);
+  a.call("bf_decrypt");
+  a.addiu(kS1, kS1, 8);
+  a.addiu(kS2, kS2, -1);
+  a.bnez(kS2, dec);
+
+  // Accumulate the restored plaintext words.
+  a.la(kS1, "blocks");
+  a.li(kS2, 2 * blocks);
+  a.li(kT8, 0);
+  casm_::Label acc = a.bound_label();
+  a.lw(kT0, 0, kS1);
+  a.addu(kT8, kT8, kT0);
+  a.addiu(kS1, kS1, 4);
+  a.addiu(kS2, kS2, -1);
+  a.bnez(kS2, acc);
+  a.addu(kS7, kS7, kT8);
+
+  a.addiu(kS0, kS0, -1);
+  a.bnez(kS0, outer);
+  a.check_eq(kS7, expected);
+  a.sys_exit(0);
+
+  // v0 = F(a0) = ((S0[a] + S1[b]) ^ S2[c]) + S3[d].
+  a.func("bf_f");
+  {
+    a.la(kT1, "sbox");
+    a.srl(kT0, kA0, 24);
+    a.sll(kT0, kT0, 2);
+    a.addu(kT0, kT0, kT1);
+    a.lw(kV0, 0, kT0);         // S0[a]
+    a.srl(kT0, kA0, 16);
+    a.andi(kT0, kT0, 255);
+    a.sll(kT0, kT0, 2);
+    a.addu(kT0, kT0, kT1);
+    a.lw(kT2, 1024, kT0);      // S1[b]
+    a.addu(kV0, kV0, kT2);
+    a.srl(kT0, kA0, 8);
+    a.andi(kT0, kT0, 255);
+    a.sll(kT0, kT0, 2);
+    a.addu(kT0, kT0, kT1);
+    a.lw(kT2, 2048, kT0);      // S2[c]
+    a.xor_(kV0, kV0, kT2);
+    a.andi(kT0, kA0, 255);
+    a.sll(kT0, kT0, 2);
+    a.addu(kT0, kT0, kT1);
+    a.lw(kT2, 3072, kT0);      // S3[d]
+    a.addu(kV0, kV0, kT2);
+    a.ret();
+  }
+
+  // Encrypts the two words at a0 in place: 8 unrolled round *pairs* (the
+  // per-iteration swap folded into register-role alternation, as the
+  // reference Blowfish sources macro-expand BF_ENC), with the F function
+  // called — one encryption cycles through a working set of call-site
+  // regions larger than a small IHT, the reason the paper's blowfish keeps
+  // missing even at 16 entries.
+  a.func("bf_encrypt");
+  {
+    a.push(kRa);
+    a.move(kT9, kA0);
+    a.lw(kS3, 0, kT9);   // A: holds L on even rounds
+    a.lw(kS4, 4, kT9);   // B: holds R on even rounds
+    a.la(kS5, "parr");
+    a.li(kS6, 0);        // round pair index * 8 (P byte offset)
+    casm_::Label pair = a.bound_label();
+    a.addu(kT1, kS5, kS6);
+    a.lw(kT0, 0, kT1);
+    a.xor_(kS3, kS3, kT0);  // l ^= P[2k]
+    a.move(kA0, kS3);
+    a.call("bf_f");
+    a.xor_(kS4, kS4, kV0);  // r ^= F(l)
+    a.addu(kT1, kS5, kS6);
+    a.lw(kT0, 4, kT1);
+    a.xor_(kS4, kS4, kT0);  // (roles swapped) l ^= P[2k+1]
+    a.move(kA0, kS4);
+    a.call("bf_f");
+    a.xor_(kS3, kS3, kV0);
+    a.addiu(kS6, kS6, 8);
+    a.li(kT0, 64);
+    a.bne(kS6, kT0, pair);
+    a.lw(kT0, 16 * 4, kS5);
+    a.xor_(kS3, kS3, kT0);  // r ^= P[16]  (roles swapped after 16 rounds)
+    a.lw(kT0, 17 * 4, kS5);
+    a.xor_(kS4, kS4, kT0);  // l ^= P[17]
+    a.sw(kS4, 0, kT9);
+    a.sw(kS3, 4, kT9);
+    a.pop(kRa);
+    a.ret();
+  }
+
+  // Decrypts the two words at a0 in place (P applied in reverse), same
+  // paired-round structure.
+  a.func("bf_decrypt");
+  {
+    a.push(kRa);
+    a.move(kT9, kA0);
+    a.lw(kS3, 0, kT9);
+    a.lw(kS4, 4, kT9);
+    a.la(kS5, "parr");
+    a.li(kS6, 17 * 4);  // P byte offset, walking down in pairs
+    casm_::Label pair = a.bound_label();
+    a.addu(kT1, kS5, kS6);
+    a.lw(kT0, 0, kT1);
+    a.xor_(kS3, kS3, kT0);  // l ^= P[17-2k]
+    a.move(kA0, kS3);
+    a.call("bf_f");
+    a.xor_(kS4, kS4, kV0);
+    a.addu(kT1, kS5, kS6);
+    a.lw(kT0, -4, kT1);
+    a.xor_(kS4, kS4, kT0);  // l ^= P[16-2k]
+    a.move(kA0, kS4);
+    a.call("bf_f");
+    a.xor_(kS3, kS3, kV0);
+    a.addiu(kS6, kS6, -8);
+    a.li(kT0, 4);
+    a.bne(kS6, kT0, pair);
+    a.lw(kT0, 1 * 4, kS5);
+    a.xor_(kS3, kS3, kT0);  // r ^= P[1]
+    a.lw(kT0, 0, kS5);
+    a.xor_(kS4, kS4, kT0);  // l ^= P[0]
+    a.sw(kS4, 0, kT9);
+    a.sw(kS3, 4, kT9);
+    a.pop(kRa);
+    a.ret();
+  }
+
+  return a.finalize();
+}
+
+}  // namespace cicmon::workloads

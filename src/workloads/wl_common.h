@@ -1,0 +1,38 @@
+// Shared helpers for the workload kernel builders.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "casm/builder.h"
+#include "isa/registers.h"
+#include "support/rng.h"
+
+namespace cicmon::workloads {
+
+// Scales a base iteration count by BuildOptions::scale, never below one.
+inline unsigned scaled(double scale, unsigned base) {
+  const long value = std::lround(static_cast<double>(base) * scale);
+  return static_cast<unsigned>(std::max(1L, value));
+}
+
+// Random word vector for kernel input data.
+inline std::vector<std::uint32_t> random_words(support::Rng& rng, std::size_t count) {
+  std::vector<std::uint32_t> out(count);
+  for (std::uint32_t& w : out) w = rng.next_u32();
+  return out;
+}
+
+// Random byte vector (e.g. image pixels, text corpora).
+inline std::vector<std::uint8_t> random_bytes(support::Rng& rng, std::size_t count,
+                                              std::uint8_t lo = 0, std::uint8_t hi = 255) {
+  std::vector<std::uint8_t> out(count);
+  for (std::uint8_t& b : out) {
+    b = static_cast<std::uint8_t>(lo + rng.below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+  return out;
+}
+
+}  // namespace cicmon::workloads

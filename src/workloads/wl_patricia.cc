@@ -1,0 +1,176 @@
+// patricia: routing-table membership via a binary radix trie over 16-bit
+// keys (MiBench's patricia maintains IP netmasks in a Patricia trie; the
+// uncompressed binary trie preserves the pointer-chasing, bit-testing
+// behaviour without the backtracking subtleties — see DESIGN.md for the
+// substitution note).
+//
+// Execution profile: insert phase growing an arena of nodes, then a probe
+// phase walking 16 levels per key with a data-dependent left/right branch at
+// every level.
+#include "workloads/workloads.h"
+
+#include <set>
+
+#include "workloads/wl_common.h"
+
+namespace cicmon::workloads {
+
+casm_::Image build_patricia(const BuildOptions& options) {
+  using namespace cicmon::isa;
+  const unsigned inserts = 48;
+  const unsigned probes = 96;
+  const unsigned repeats = scaled(options.scale, 3);
+  const unsigned bits = 16;
+
+  support::Rng rng(options.seed);
+  std::vector<std::uint32_t> keys(inserts);
+  std::set<std::uint32_t> inserted;
+  for (std::uint32_t& k : keys) {
+    k = static_cast<std::uint32_t>(rng.below(1U << bits));
+    inserted.insert(k);
+  }
+  // Probe mix: half known-present keys, half random (some hit by chance).
+  std::vector<std::uint32_t> probe_keys(probes);
+  unsigned expected_hits = 0;
+  for (unsigned i = 0; i < probes; ++i) {
+    probe_keys[i] = (i % 2 == 0) ? keys[rng.below(inserts)]
+                                 : static_cast<std::uint32_t>(rng.below(1U << bits));
+    if (inserted.count(probe_keys[i]) != 0) ++expected_hits;
+  }
+  const std::uint32_t expected = repeats * expected_hits;
+
+  // Node: {left, right, present, pad} — 16 bytes so the walk loops index
+  // with a shift. Node 0 is the root; worst case 1 + inserts*bits nodes.
+  const unsigned max_nodes = 1 + inserts * bits + 8;
+
+  casm_::Asm a;
+  a.data_symbol("keys");
+  a.data_words(keys);
+  a.data_symbol("probes");
+  a.data_words(probe_keys);
+  a.data_symbol("arena");
+  a.data_space(max_nodes * 16);
+  a.data_symbol("arena_next");
+  a.data_word(0);
+
+  a.func("main");
+  a.li(kS0, repeats);
+  a.li(kS7, 0);  // total hits
+  casm_::Label outer = a.bound_label();
+
+  // Reset the arena: clear node 0, next = 1.
+  a.la(kT0, "arena");
+  a.sw(kZero, 0, kT0);
+  a.sw(kZero, 4, kT0);
+  a.sw(kZero, 8, kT0);
+  a.la(kT0, "arena_next");
+  a.li(kT1, 1);
+  a.sw(kT1, 0, kT0);
+
+  // Insert phase.
+  a.la(kS1, "keys");
+  a.li(kS2, inserts);
+  casm_::Label ins = a.bound_label();
+  a.lw(kA0, 0, kS1);
+  a.call("trie_insert");
+  a.addiu(kS1, kS1, 4);
+  a.addiu(kS2, kS2, -1);
+  a.bnez(kS2, ins);
+
+  // Probe phase.
+  a.la(kS1, "probes");
+  a.li(kS2, probes);
+  casm_::Label prb = a.bound_label();
+  a.lw(kA0, 0, kS1);
+  a.call("trie_lookup");
+  a.addu(kS7, kS7, kV0);
+  a.addiu(kS1, kS1, 4);
+  a.addiu(kS2, kS2, -1);
+  a.bnez(kS2, prb);
+
+  a.addiu(kS0, kS0, -1);
+  a.bnez(kS0, outer);
+  a.check_eq(kS7, expected);
+  a.sys_exit(0);
+
+  // Walks key a0 MSB-first, creating nodes as needed; marks the final node
+  // present. Node index n lives at arena + n*12.
+  a.func("trie_insert");
+  {
+    a.la(kT8, "arena");
+    a.la(kT9, "arena_next");
+    a.li(kT0, 0);         // node index
+    a.li(kT1, bits - 1);  // bit position (signed down-counter)
+    casm_::Label level = a.bound_label();
+    casm_::Label walk_done = a.label();
+    a.bltz(kT1, walk_done);
+
+    // t2 = &arena[node] ; t3 = child slot offset (0 = left, 4 = right)
+    a.sll(kT2, kT0, 4);
+    a.addu(kT2, kT2, kT8);
+    a.srlv(kT3, kA0, kT1);
+    a.andi(kT3, kT3, 1);
+    a.sll(kT3, kT3, 2);
+    a.addu(kT2, kT2, kT3);  // &child pointer
+    a.lw(kT4, 0, kT2);      // child index
+    casm_::Label have_child = a.label();
+    a.bnez(kT4, have_child);
+    // Allocate a fresh node: index = arena_next++, cleared fields.
+    a.lw(kT4, 0, kT9);
+    a.addiu(kT6, kT4, 1);
+    a.sw(kT6, 0, kT9);
+    a.sw(kT4, 0, kT2);  // link from parent
+    a.sll(kT6, kT4, 4);
+    a.addu(kT6, kT6, kT8);
+    a.sw(kZero, 0, kT6);
+    a.sw(kZero, 4, kT6);
+    a.sw(kZero, 8, kT6);
+    a.bind(have_child);
+    a.move(kT0, kT4);
+    a.addiu(kT1, kT1, -1);
+    a.b(level);
+
+    a.bind(walk_done);
+    // Mark present: arena[node].present = 1.
+    a.sll(kT2, kT0, 4);
+    a.addu(kT2, kT2, kT8);
+    a.li(kT4, 1);
+    a.sw(kT4, 8, kT2);
+    a.ret();
+  }
+
+  // v0 = 1 if key a0 is present.
+  a.func("trie_lookup");
+  {
+    a.la(kT8, "arena");
+    a.li(kT0, 0);
+    a.li(kT1, bits - 1);
+    casm_::Label level = a.bound_label();
+    casm_::Label walk_done = a.label();
+    casm_::Label missing = a.label();
+    a.bltz(kT1, walk_done);
+    a.sll(kT2, kT0, 4);
+    a.addu(kT2, kT2, kT8);
+    a.srlv(kT3, kA0, kT1);
+    a.andi(kT3, kT3, 1);
+    a.sll(kT3, kT3, 2);
+    a.addu(kT2, kT2, kT3);
+    a.lw(kT4, 0, kT2);
+    a.beqz(kT4, missing);
+    a.move(kT0, kT4);
+    a.addiu(kT1, kT1, -1);
+    a.b(level);
+    a.bind(walk_done);
+    a.sll(kT2, kT0, 4);
+    a.addu(kT2, kT2, kT8);
+    a.lw(kV0, 8, kT2);  // present flag
+    a.ret();
+    a.bind(missing);
+    a.li(kV0, 0);
+    a.ret();
+  }
+
+  return a.finalize();
+}
+
+}  // namespace cicmon::workloads

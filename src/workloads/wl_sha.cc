@@ -1,0 +1,191 @@
+// sha: the full 80-round SHA-1 compression over a generated message
+// (MiBench's sha hashes file data the same way).
+//
+// The builder performs the byte-level padding host-side (data preparation);
+// the generated program implements the message-schedule expansion and all
+// four round families, so the hot code is the real compression function.
+// The final digest is checked word-by-word against hash::Sha1.
+#include "workloads/workloads.h"
+
+#include "hash/sha1.h"
+#include "workloads/wl_common.h"
+
+namespace cicmon::workloads {
+
+casm_::Image build_sha(const BuildOptions& options) {
+  using namespace cicmon::isa;
+  const unsigned blocks = scaled(options.scale, 6);
+  const unsigned msg_len = blocks * 64 - 9;  // pads to exactly `blocks` blocks
+
+  support::Rng rng(options.seed);
+  const std::vector<std::uint8_t> message = random_bytes(rng, msg_len);
+
+  // Host-side SHA-1 padding: 0x80, zeros, 64-bit big-endian bit length.
+  std::vector<std::uint8_t> padded = message;
+  padded.push_back(0x80);
+  while (padded.size() % 64 != 56) padded.push_back(0);
+  const std::uint64_t bit_len = static_cast<std::uint64_t>(msg_len) * 8;
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    padded.push_back(static_cast<std::uint8_t>(bit_len >> shift));
+  }
+  // Big-endian words, ready for direct lw.
+  std::vector<std::uint32_t> words(padded.size() / 4);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    words[i] = static_cast<std::uint32_t>(padded[4 * i]) << 24 |
+               static_cast<std::uint32_t>(padded[4 * i + 1]) << 16 |
+               static_cast<std::uint32_t>(padded[4 * i + 2]) << 8 |
+               static_cast<std::uint32_t>(padded[4 * i + 3]);
+  }
+
+  hash::Sha1 ref;
+  ref.update(message);
+  const auto d = ref.digest();
+  std::uint32_t expected[5];
+  for (unsigned i = 0; i < 5; ++i) {
+    expected[i] = static_cast<std::uint32_t>(d[4 * i]) << 24 |
+                  static_cast<std::uint32_t>(d[4 * i + 1]) << 16 |
+                  static_cast<std::uint32_t>(d[4 * i + 2]) << 8 |
+                  static_cast<std::uint32_t>(d[4 * i + 3]);
+  }
+
+  casm_::Asm a;
+  a.data_symbol("msg");
+  a.data_words(words);
+  a.data_symbol("hst");  // h0..h4
+  a.data_words({0x67452301U, 0xEFCDAB89U, 0x98BADCFEU, 0x10325476U, 0xC3D2E1F0U});
+  a.data_symbol("wbuf");
+  a.data_space(80 * 4);
+
+  // Register roles in the compression loop:
+  //   s1..s5 = a,b,c,d,e   s6 = round index   s7 = &wbuf   s0 = block counter
+  a.func("main");
+  a.li(kS0, blocks);
+  a.la(kT9, "msg");  // running block pointer (t9 survives: no calls made)
+
+  casm_::Label per_block = a.bound_label();
+
+  // --- W[0..15] = block words ---
+  a.la(kS7, "wbuf");
+  a.li(kT0, 16);
+  a.move(kT1, kT9);
+  a.move(kT2, kS7);
+  casm_::Label copy = a.bound_label();
+  a.lw(kT3, 0, kT1);
+  a.sw(kT3, 0, kT2);
+  a.addiu(kT1, kT1, 4);
+  a.addiu(kT2, kT2, 4);
+  a.addiu(kT0, kT0, -1);
+  a.bnez(kT0, copy);
+
+  // --- W[16..79] = rotl1(W[t-3] ^ W[t-8] ^ W[t-14] ^ W[t-16]) ---
+  a.li(kT0, 64);           // iterations
+  a.addiu(kT1, kS7, 64);   // &W[16]
+  casm_::Label extend = a.bound_label();
+  a.lw(kT2, -12, kT1);     // W[t-3]
+  a.lw(kT3, -32, kT1);     // W[t-8]
+  a.xor_(kT2, kT2, kT3);
+  a.lw(kT3, -56, kT1);     // W[t-14]
+  a.xor_(kT2, kT2, kT3);
+  a.lw(kT3, -64, kT1);     // W[t-16]
+  a.xor_(kT2, kT2, kT3);
+  a.sll(kT3, kT2, 1);
+  a.srl(kT2, kT2, 31);
+  a.or_(kT2, kT2, kT3);    // rotl1
+  a.sw(kT2, 0, kT1);
+  a.addiu(kT1, kT1, 4);
+  a.addiu(kT0, kT0, -1);
+  a.bnez(kT0, extend);
+
+  // --- load working state ---
+  a.la(kT0, "hst");
+  a.lw(kS1, 0, kT0);
+  a.lw(kS2, 4, kT0);
+  a.lw(kS3, 8, kT0);
+  a.lw(kS4, 12, kT0);
+  a.lw(kS5, 16, kT0);
+
+  // --- 80 rounds as four 20-round loops, one per round family (the shape
+  // real SHA-1 implementations use; each loop body is one region) ---
+  enum class Family { kChoose, kParity1, kMajority, kParity2 };
+  const struct {
+    Family family;
+    std::uint32_t k;
+  } families[4] = {{Family::kChoose, 0x5A827999U},
+                   {Family::kParity1, 0x6ED9EBA1U},
+                   {Family::kMajority, 0x8F1BBCDCU},
+                   {Family::kParity2, 0xCA62C1D6U}};
+  a.li(kS6, 0);  // round index, shared across the four loops
+  for (const auto& fam : families) {
+    a.li(kT8, 20);  // rounds left in this family
+    casm_::Label loop = a.bound_label();
+    switch (fam.family) {
+      case Family::kChoose:  // f = (b & c) | (~b & d)
+        a.and_(kT6, kS2, kS3);
+        a.not_(kT0, kS2);
+        a.and_(kT0, kT0, kS4);
+        a.or_(kT6, kT6, kT0);
+        break;
+      case Family::kParity1:
+      case Family::kParity2:  // f = b ^ c ^ d
+        a.xor_(kT6, kS2, kS3);
+        a.xor_(kT6, kT6, kS4);
+        break;
+      case Family::kMajority:  // f = (b&c) | (b&d) | (c&d)
+        a.and_(kT6, kS2, kS3);
+        a.and_(kT0, kS2, kS4);
+        a.or_(kT6, kT6, kT0);
+        a.and_(kT0, kS3, kS4);
+        a.or_(kT6, kT6, kT0);
+        break;
+    }
+    a.li(kT7, fam.k);
+    // temp = rotl5(a) + f + e + k + W[t]
+    a.sll(kT0, kS1, 5);
+    a.srl(kT1, kS1, 27);
+    a.or_(kT0, kT0, kT1);
+    a.addu(kT0, kT0, kT6);
+    a.addu(kT0, kT0, kS5);
+    a.addu(kT0, kT0, kT7);
+    a.sll(kT1, kS6, 2);
+    a.addu(kT1, kT1, kS7);
+    a.lw(kT1, 0, kT1);
+    a.addu(kT0, kT0, kT1);
+    // e = d; d = c; c = rotl30(b); b = a; a = temp
+    a.move(kS5, kS4);
+    a.move(kS4, kS3);
+    a.sll(kT1, kS2, 30);
+    a.srl(kT2, kS2, 2);
+    a.or_(kS3, kT1, kT2);
+    a.move(kS2, kS1);
+    a.move(kS1, kT0);
+    a.addiu(kS6, kS6, 1);
+    a.addiu(kT8, kT8, -1);
+    a.bnez(kT8, loop);
+  }
+
+  // --- h += working state ---
+  a.la(kT0, "hst");
+  for (unsigned i = 0; i < 5; ++i) {
+    const unsigned reg = kS1 + i;
+    a.lw(kT1, static_cast<std::int32_t>(4 * i), kT0);
+    a.addu(kT1, kT1, reg);
+    a.sw(kT1, static_cast<std::int32_t>(4 * i), kT0);
+  }
+
+  a.addiu(kT9, kT9, 64);
+  a.addiu(kS0, kS0, -1);
+  a.bnez(kS0, per_block);
+
+  // --- verify digest ---
+  a.la(kT0, "hst");
+  for (unsigned i = 0; i < 5; ++i) {
+    a.lw(kT1, static_cast<std::int32_t>(4 * i), kT0);
+    a.check_eq(kT1, expected[i]);
+    a.la(kT0, "hst");  // check_eq clobbers a0/a1 only, but reload for clarity
+  }
+  a.sys_exit(0);
+
+  return a.finalize();
+}
+
+}  // namespace cicmon::workloads

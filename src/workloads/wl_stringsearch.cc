@@ -1,0 +1,211 @@
+// stringsearch: Boyer-Moore-Horspool and naive search of several patterns
+// over a corpus of short text lines. MiBench's stringsearch scans a list of
+// search lines per pattern the same way; this harness runs both searchers on
+// every line (cross-checking the algorithms, which is what the original
+// program's families of search routines are for).
+//
+// Execution profile: the lines are short, so scans terminate after a few
+// iterations and execution keeps transitioning between the setup, line
+// dispatch, scan, compare, and match/skip blocks of two different searchers.
+// That is the paper's worst case: poor temporal block locality and the
+// highest overhead at every IHT size.
+#include "workloads/workloads.h"
+
+#include <string>
+
+#include "workloads/refs.h"
+#include "workloads/wl_common.h"
+
+namespace cicmon::workloads {
+
+casm_::Image build_stringsearch(const BuildOptions& options) {
+  using namespace cicmon::isa;
+  const unsigned line_len = 32;
+  const unsigned num_lines = 48;
+  const unsigned text_len = line_len * num_lines;
+  const unsigned repeats = scaled(options.scale, 3);
+
+  // Text: limited alphabet so matches occur; patterns: in-line substrings
+  // (guaranteed hits) plus absent strings.
+  support::Rng rng(options.seed);
+  std::vector<std::uint8_t> text = random_bytes(rng, text_len, 'a', 'f');
+  std::vector<std::vector<std::uint8_t>> patterns;
+  for (unsigned i = 0; i < 5; ++i) {
+    const unsigned len = 3 + static_cast<unsigned>(rng.below(6));
+    const unsigned line = static_cast<unsigned>(rng.below(num_lines));
+    const unsigned pos = line * line_len + static_cast<unsigned>(rng.below(line_len - len));
+    patterns.emplace_back(text.begin() + pos, text.begin() + pos + len);
+  }
+  patterns.push_back({'z', 'z', 'y'});  // absent (alphabet a..f)
+  patterns.push_back({'a', 'b', 'c', 'a', 'b'});
+  patterns.push_back({'f', 'e', 'd', 'c', 'b', 'a'});
+
+  // Both searchers run on every (pattern, line) pair; they agree by
+  // construction, so the expected total is simply twice the match count.
+  std::uint32_t expected = 0;
+  for (const auto& pattern : patterns) {
+    for (unsigned line = 0; line < num_lines; ++line) {
+      const std::span<const std::uint8_t> slice{text.data() + line * line_len, line_len};
+      expected += refs::bmh_count(slice, pattern) + refs::brute_count(slice, pattern);
+    }
+  }
+  expected *= repeats;
+
+  casm_::Asm a;
+  a.data_symbol("text");
+  a.data_bytes(text);
+  std::vector<std::string> pat_syms;
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    pat_syms.push_back("pat" + std::to_string(i));
+    a.data_symbol(pat_syms.back());
+    a.data_bytes(patterns[i]);
+  }
+  a.data_symbol("pattab");  // (address, length) pairs
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    a.data_word(a.data_address(pat_syms[i]));
+    a.data_word(static_cast<std::uint32_t>(patterns[i].size()));
+  }
+  a.data_symbol("skip");
+  a.data_space(256 * 4);
+
+  a.func("main");
+  a.li(kS0, repeats);
+  a.li(kS7, 0);  // total match count
+  casm_::Label outer = a.bound_label();
+  a.la(kS1, "pattab");
+  a.li(kS2, static_cast<std::uint32_t>(patterns.size()));
+  casm_::Label per_pattern = a.bound_label();
+  a.lw(kA0, 0, kS1);
+  a.lw(kA1, 4, kS1);
+  a.call("bmh_init");  // build the skip table once per pattern
+  a.la(kS4, "text");   // line pointer
+  a.li(kS5, num_lines);
+  casm_::Label per_line = a.bound_label();
+  a.lw(kA0, 0, kS1);
+  a.lw(kA1, 4, kS1);
+  a.move(kA2, kS4);
+  a.call("bmh_line");
+  a.addu(kS7, kS7, kV0);
+  a.lw(kA0, 0, kS1);
+  a.lw(kA1, 4, kS1);
+  a.move(kA2, kS4);
+  a.call("brute_line");
+  a.addu(kS7, kS7, kV0);
+  a.addiu(kS4, kS4, line_len);
+  a.addiu(kS5, kS5, -1);
+  a.bnez(kS5, per_line);
+  a.addiu(kS1, kS1, 8);
+  a.addiu(kS2, kS2, -1);
+  a.bnez(kS2, per_pattern);
+  a.addiu(kS0, kS0, -1);
+  a.bnez(kS0, outer);
+  a.check_eq(kS7, expected);
+  a.sys_exit(0);
+
+  // Builds the Horspool skip table for pattern a0 (length a1).
+  a.func("bmh_init");
+  {
+    a.la(kT9, "skip");
+    a.move(kT0, kT9);
+    a.li(kT1, 256);
+    casm_::Label fill = a.bound_label();
+    a.sw(kA1, 0, kT0);
+    a.addiu(kT0, kT0, 4);
+    a.addiu(kT1, kT1, -1);
+    a.bnez(kT1, fill);
+    a.li(kT1, 0);
+    a.addiu(kT2, kA1, -1);
+    casm_::Label pre = a.bound_label();
+    casm_::Label pre_done = a.label();
+    a.bgeu(kT1, kT2, pre_done);
+    a.addu(kT3, kA0, kT1);
+    a.lbu(kT3, 0, kT3);
+    a.sll(kT3, kT3, 2);
+    a.addu(kT3, kT3, kT9);
+    a.subu(kT5, kT2, kT1);
+    a.sw(kT5, 0, kT3);
+    a.addiu(kT1, kT1, 1);
+    a.b(pre);
+    a.bind(pre_done);
+    a.ret();
+  }
+
+  // v0 = Horspool occurrences of pattern a0 (length a1) in the line at a2.
+  a.func("bmh_line");
+  {
+    a.la(kT9, "skip");
+    a.li(kV0, 0);
+    a.li(kT0, 0);  // pos
+    a.li(kT6, line_len);
+    a.subu(kT6, kT6, kA1);  // last valid pos
+    casm_::Label scan = a.bound_label();
+    casm_::Label done = a.label();
+    a.bgt(kT0, kT6, done);
+    a.move(kT1, kA1);  // j
+    casm_::Label cmp = a.bound_label();
+    casm_::Label match = a.label();
+    casm_::Label mismatch = a.label();
+    a.beqz(kT1, match);
+    a.addu(kT2, kT0, kT1);
+    a.addu(kT2, kT2, kA2);
+    a.lbu(kT2, -1, kT2);  // line[pos+j-1]
+    a.addu(kT3, kA0, kT1);
+    a.lbu(kT3, -1, kT3);  // pat[j-1]
+    a.bne(kT2, kT3, mismatch);
+    a.addiu(kT1, kT1, -1);
+    a.b(cmp);
+    a.bind(match);
+    a.addiu(kV0, kV0, 1);
+    a.addu(kT0, kT0, kA1);  // advance past the match
+    a.b(scan);
+    a.bind(mismatch);
+    a.addu(kT2, kT0, kA1);
+    a.addu(kT2, kT2, kA2);
+    a.lbu(kT2, -1, kT2);  // window's last byte
+    a.sll(kT2, kT2, 2);
+    a.addu(kT2, kT2, kT9);
+    a.lw(kT2, 0, kT2);
+    a.addu(kT0, kT0, kT2);  // pos += skip[last byte]
+    a.b(scan);
+    a.bind(done);
+    a.ret();
+  }
+
+  // v0 = naive-scan occurrences of pattern a0 (length a1) in the line at a2.
+  a.func("brute_line");
+  {
+    a.li(kV0, 0);
+    a.li(kT0, 0);
+    a.li(kT6, line_len);
+    a.subu(kT6, kT6, kA1);
+    casm_::Label scan = a.bound_label();
+    casm_::Label done = a.label();
+    a.bgt(kT0, kT6, done);
+    a.li(kT1, 0);  // j
+    casm_::Label cmp = a.bound_label();
+    casm_::Label matched = a.label();
+    casm_::Label advance1 = a.label();
+    a.bgeu(kT1, kA1, matched);
+    a.addu(kT2, kT0, kT1);
+    a.addu(kT2, kT2, kA2);
+    a.lbu(kT2, 0, kT2);
+    a.addu(kT3, kA0, kT1);
+    a.lbu(kT3, 0, kT3);
+    a.bne(kT2, kT3, advance1);
+    a.addiu(kT1, kT1, 1);
+    a.b(cmp);
+    a.bind(matched);
+    a.addiu(kV0, kV0, 1);
+    a.addu(kT0, kT0, kA1);
+    a.b(scan);
+    a.bind(advance1);
+    a.addiu(kT0, kT0, 1);
+    a.b(scan);
+    a.bind(done);
+    a.ret();
+  }
+
+  return a.finalize();
+}
+
+}  // namespace cicmon::workloads

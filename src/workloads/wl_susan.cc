@@ -1,0 +1,92 @@
+// susan: USAN-style edge detection on a synthetic image (SUSAN's principle:
+// a pixel whose "Univalue Segment Assimilating Nucleus" — the set of
+// neighbours with brightness close to the centre — is small sits on an
+// edge).
+//
+// The 3x3 neighbourhood comparison is fully unrolled and branchless (the
+// real SUSAN code unrolls its brightness-mask accumulation the same way), so
+// the pixel body is one long region and the hot working set is a handful of
+// blocks — matching susan's near-zero overhead row in Table 1.
+#include "workloads/workloads.h"
+
+#include "workloads/refs.h"
+#include "workloads/wl_common.h"
+
+namespace cicmon::workloads {
+
+casm_::Image build_susan(const BuildOptions& options) {
+  using namespace cicmon::isa;
+  const unsigned w = 24;
+  const unsigned h = 24;
+  const unsigned threshold = 20;
+  const unsigned usan_limit = 5;
+  const unsigned repeats = scaled(options.scale, 4);
+
+  // Synthetic image: smooth gradient + noise + a bright rectangle, so real
+  // edges exist and the edge count is nontrivial.
+  support::Rng rng(options.seed);
+  std::vector<std::uint8_t> image(static_cast<std::size_t>(w) * h);
+  for (unsigned y = 0; y < h; ++y) {
+    for (unsigned x = 0; x < w; ++x) {
+      unsigned v = 40 + 3 * x + 2 * y + static_cast<unsigned>(rng.below(12));
+      if (x >= 8 && x < 16 && y >= 6 && y < 18) v += 90;  // rectangle
+      image[static_cast<std::size_t>(y) * w + x] = static_cast<std::uint8_t>(v & 0xFF);
+    }
+  }
+  const std::uint32_t expected =
+      repeats * refs::susan_edge_count(image, w, h, threshold, usan_limit);
+
+  casm_::Asm a;
+  a.data_symbol("img");
+  a.data_bytes(image);
+
+  // Register roles: s1 = y counter, s2 = x counter, s3 = centre pixel
+  // pointer, s4 = centre value, s5 = similar count, s7 = edge total.
+  a.func("main");
+  a.li(kS0, repeats);
+  a.li(kS7, 0);
+  casm_::Label outer = a.bound_label();
+
+  a.la(kS3, "img");
+  a.addiu(kS3, kS3, w + 1);  // &img[1*w + 1]
+  a.li(kS1, h - 2);
+  casm_::Label yloop = a.bound_label();
+  a.li(kS2, w - 2);
+  casm_::Label xloop = a.bound_label();
+
+  a.lbu(kS4, 0, kS3);
+  a.li(kS5, 0);
+  // Fully unrolled 3x3 USAN accumulation; every neighbour offset is a
+  // compile-time constant relative to the centre pointer.
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      const std::int32_t off = dy * static_cast<std::int32_t>(w) + dx;
+      a.lbu(kT1, off, kS3);
+      a.subu(kT2, kT1, kS4);
+      a.sra(kT3, kT2, 31);      // abs via sign-mask
+      a.xor_(kT2, kT2, kT3);
+      a.subu(kT2, kT2, kT3);
+      a.sltiu(kT2, kT2, threshold + 1);
+      a.addu(kS5, kS5, kT2);
+    }
+  }
+  // edges += (similar <= limit), branchless.
+  a.sltiu(kT0, kS5, usan_limit + 1);
+  a.addu(kS7, kS7, kT0);
+
+  a.addiu(kS3, kS3, 1);
+  a.addiu(kS2, kS2, -1);
+  a.bnez(kS2, xloop);
+  a.addiu(kS3, kS3, 2);  // skip the border pair at a row boundary
+  a.addiu(kS1, kS1, -1);
+  a.bnez(kS1, yloop);
+
+  a.addiu(kS0, kS0, -1);
+  a.bnez(kS0, outer);
+  a.check_eq(kS7, expected);
+  a.sys_exit(0);
+
+  return a.finalize();
+}
+
+}  // namespace cicmon::workloads

@@ -1,0 +1,58 @@
+// The nine benchmark kernels of the paper's evaluation (§6.1, Figure 6 and
+// Table 1), re-implemented for this ISA.
+//
+// The paper runs MiBench C sources through the ASIP's generated compiler; we
+// have no C front end, so each kernel is written against the casm_::Asm
+// builder API — real implementations of the same algorithms (a real Feistel
+// network for blowfish, real AES rounds for rijndael, a real 80-round SHA-1,
+// ...), not stand-ins. What the experiments depend on — the number of basic
+// blocks executed and the temporal locality of block execution — comes from
+// the algorithms' loop and call structure, which these kernels preserve.
+//
+// Every kernel verifies its own output against a host-side reference
+// (refs.h) with check_eq traps, so a miscomputing simulation terminates with
+// kSelfCheckFailed instead of producing plausible garbage.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "casm/image.h"
+
+namespace cicmon::workloads {
+
+// Work-scaling knob: 1.0 is the evaluation size used by the bench binaries;
+// tests use smaller values. Builders clamp the derived iteration counts to
+// at least one.
+struct BuildOptions {
+  double scale = 1.0;
+  std::uint64_t seed = 42;  // input-data generator seed
+};
+
+using BuildFn = casm_::Image (*)(const BuildOptions&);
+
+struct WorkloadInfo {
+  std::string_view name;
+  std::string_view description;
+  BuildFn build;
+};
+
+// All nine kernels, in the paper's Figure 6 order.
+std::span<const WorkloadInfo> all_workloads();
+
+// Lookup by name; throws CicError for unknown names.
+const WorkloadInfo& find_workload(std::string_view name);
+casm_::Image build_workload(std::string_view name, const BuildOptions& options = {});
+
+// Individual builders.
+casm_::Image build_basicmath(const BuildOptions& options);
+casm_::Image build_susan(const BuildOptions& options);
+casm_::Image build_dijkstra(const BuildOptions& options);
+casm_::Image build_patricia(const BuildOptions& options);
+casm_::Image build_blowfish(const BuildOptions& options);
+casm_::Image build_rijndael(const BuildOptions& options);
+casm_::Image build_sha(const BuildOptions& options);
+casm_::Image build_stringsearch(const BuildOptions& options);
+casm_::Image build_bitcount(const BuildOptions& options);
+
+}  // namespace cicmon::workloads

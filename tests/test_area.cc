@@ -1,0 +1,127 @@
+// Area/timing model tests: the structural properties behind Table 2.
+#include <gtest/gtest.h>
+
+#include "area/area_model.h"
+#include "area/rtl_emit.h"
+#include "support/error.h"
+
+namespace cicmon::area {
+namespace {
+
+TEST(AreaModel, BaselineLandsOnPaperScale) {
+  const TechLibrary tech = TechLibrary::tsmc180();
+  const DesignReport base = evaluate_design(tech, 0, hash::HashKind::kXor);
+  // The paper reports 2,136,594 cell-area units for the baseline; the
+  // inventory should land in that decade (calibration, not curve-fitting).
+  EXPECT_GT(base.cell_area_um2, 1.0e6);
+  EXPECT_LT(base.cell_area_um2, 4.0e6);
+}
+
+TEST(AreaModel, AreaGrowsLinearlyInEntries) {
+  const TechLibrary tech = TechLibrary::tsmc180();
+  const double a1 = evaluate_design(tech, 1, hash::HashKind::kXor).cell_area_um2;
+  const double a8 = evaluate_design(tech, 8, hash::HashKind::kXor).cell_area_um2;
+  const double a16 = evaluate_design(tech, 16, hash::HashKind::kXor).cell_area_um2;
+  const double slope_1_8 = (a8 - a1) / 7.0;
+  const double slope_8_16 = (a16 - a8) / 8.0;
+  EXPECT_NEAR(slope_1_8, slope_8_16, slope_1_8 * 1e-9);  // exactly linear
+  EXPECT_GT(slope_1_8, 0.0);
+}
+
+TEST(AreaModel, OverheadOrderingMatchesTable2) {
+  const TechLibrary tech = TechLibrary::tsmc180();
+  const auto rows = table2_rows(tech, {1, 8, 16}, hash::HashKind::kXor);
+  ASSERT_EQ(rows.size(), 4U);
+  EXPECT_EQ(rows[0].name, "baseline");
+  EXPECT_LT(rows[1].area_overhead_vs_baseline, rows[2].area_overhead_vs_baseline);
+  EXPECT_LT(rows[2].area_overhead_vs_baseline, rows[3].area_overhead_vs_baseline);
+  // Paper: 2.7% / 16.5% / 28.8%. Same regime, monotone, single digits for
+  // one entry and tens of percent by 16.
+  EXPECT_GT(rows[1].area_overhead_vs_baseline, 0.005);
+  EXPECT_LT(rows[1].area_overhead_vs_baseline, 0.08);
+  EXPECT_GT(rows[3].area_overhead_vs_baseline, 0.10);
+  EXPECT_LT(rows[3].area_overhead_vs_baseline, 0.45);
+}
+
+TEST(AreaModel, CycleTimeFlatAcrossVariants) {
+  const TechLibrary tech = TechLibrary::tsmc180();
+  const auto rows = table2_rows(tech, {1, 8, 16, 32}, hash::HashKind::kXor);
+  for (const DesignReport& row : rows) {
+    EXPECT_NEAR(row.period_overhead_vs_baseline, 0.0, 0.011) << row.name;
+  }
+}
+
+TEST(AreaModel, MinPeriodNearPaperValue) {
+  const TechLibrary tech = TechLibrary::tsmc180();
+  const DesignReport base = evaluate_design(tech, 0, hash::HashKind::kXor);
+  EXPECT_GT(base.min_period_ns, 30.0);  // paper: 37.90 ns
+  EXPECT_LT(base.min_period_ns, 45.0);
+}
+
+TEST(AreaModel, MonitoringPathsHaveSlack) {
+  const hash::HashHwProfile xor_profile =
+      hash::make_hash_unit(hash::HashKind::kXor)->hw_profile();
+  const TimingPaths p = stage_paths(true, 16, xor_profile);
+  EXPECT_LT(p.if_path, p.ex_path);
+  EXPECT_LT(p.id_path, p.ex_path);
+  EXPECT_DOUBLE_EQ(p.critical(), p.ex_path);
+}
+
+TEST(AreaModel, DeeperHashStillHidesInIfSlack) {
+  for (hash::HashKind kind :
+       {hash::HashKind::kXor, hash::HashKind::kRotXor, hash::HashKind::kCrc32,
+        hash::HashKind::kFletcher32}) {
+    const auto profile = hash::make_hash_unit(kind)->hw_profile();
+    const TimingPaths p = stage_paths(true, 16, profile);
+    EXPECT_LT(p.if_path, p.ex_path) << hash_kind_name(kind);
+  }
+}
+
+TEST(AreaModel, BiggerIhtLengthensIdPathSlightly) {
+  const auto profile = hash::make_hash_unit(hash::HashKind::kXor)->hw_profile();
+  const double id1 = stage_paths(true, 1, profile).id_path;
+  const double id32 = stage_paths(true, 32, profile).id_path;
+  EXPECT_GE(id32, id1);
+  EXPECT_LT(id32 - id1, 20.0);  // log-depth priority logic only
+}
+
+TEST(AreaModel, CicInventoryValidatesEntries) {
+  EXPECT_THROW(cic_inventory(0, hash::HashHwProfile{}), support::CicError);
+}
+
+TEST(AreaModel, BreakdownAbsorbPrefixes) {
+  AreaBreakdown a;
+  a.add("x", 10);
+  AreaBreakdown b;
+  b.add("y", 5);
+  a.absorb(b, "cic/");
+  EXPECT_DOUBLE_EQ(a.total_ge(), 15.0);
+  EXPECT_EQ(a.components[1].name, "cic/y");
+}
+
+TEST(AreaModel, HashUnitAreaAffectsTotal) {
+  const TechLibrary tech = TechLibrary::tsmc180();
+  const double with_xor = evaluate_design(tech, 8, hash::HashKind::kXor).cell_area_um2;
+  const double with_crc = evaluate_design(tech, 8, hash::HashKind::kCrc32).cell_area_um2;
+  EXPECT_GT(with_crc, with_xor);  // CRC network is bigger than an XOR fold
+}
+
+TEST(RtlEmit, SketchContainsTheCicEntities) {
+  const std::string vhdl = emit_vhdl_sketch(8, hash::HashKind::kXor);
+  EXPECT_NE(vhdl.find("entity hashfu"), std::string::npos);
+  EXPECT_NE(vhdl.find("entity ihtbb"), std::string::npos);
+  EXPECT_NE(vhdl.find("entity cic_exceptions"), std::string::npos);
+  EXPECT_NE(vhdl.find("ENTRIES : natural := 8"), std::string::npos);
+  EXPECT_NE(vhdl.find("exception0"), std::string::npos);
+  EXPECT_NE(vhdl.find("exception1"), std::string::npos);
+}
+
+TEST(RtlEmit, HashExpressionFollowsKind) {
+  EXPECT_NE(emit_vhdl_sketch(4, hash::HashKind::kXor).find("rhash_q xor instr_word"),
+            std::string::npos);
+  EXPECT_NE(emit_vhdl_sketch(4, hash::HashKind::kRotXor).find("rhash_q(30 downto 0)"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace cicmon::area

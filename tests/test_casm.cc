@@ -1,0 +1,225 @@
+// Assembler front-end tests: the text assembler, the builder API, label
+// fixups, pseudo-instruction expansion, and the data section.
+#include <gtest/gtest.h>
+
+#include "casm/assembler.h"
+#include "casm/builder.h"
+#include "isa/instruction.h"
+#include "support/error.h"
+
+namespace cicmon::casm_ {
+namespace {
+
+TEST(TextAssembler, BasicProgram) {
+  const Image image = assemble(R"(
+    .text
+    main:
+      addiu $t0, $zero, 5
+      addu  $t1, $t0, $t0
+      jr    $ra
+  )");
+  ASSERT_EQ(image.text.size(), 3U);
+  EXPECT_EQ(isa::disassemble(image.text[0]), "addiu $t0, $zero, 5");
+  EXPECT_EQ(isa::disassemble(image.text[2]), "jr $ra");
+}
+
+TEST(TextAssembler, LabelsAndBranches) {
+  const Image image = assemble(R"(
+    loop:
+      addiu $t0, $t0, -1
+      bne   $t0, $zero, loop
+  )");
+  const isa::Instruction bne = isa::decode(image.text[1]);
+  EXPECT_EQ(bne.branch_target(image.text_base + 4), image.text_base);
+}
+
+TEST(TextAssembler, ForwardReferences) {
+  const Image image = assemble(R"(
+      beq $zero, $zero, end
+      addu $t0, $t0, $t0
+    end:
+      jr $ra
+  )");
+  const isa::Instruction beq = isa::decode(image.text[0]);
+  EXPECT_EQ(beq.branch_target(image.text_base), image.text_base + 8);
+}
+
+TEST(TextAssembler, DataDirectives) {
+  const Image image = assemble(R"(
+    .data
+    table: .word 1, 2, 3
+    msg:   .asciiz "hi"
+    buf:   .space 8
+    .text
+      jr $ra
+  )");
+  EXPECT_EQ(image.symbols.at("table"), image.data_base);
+  EXPECT_EQ(image.data[0], 1U);
+  EXPECT_EQ(image.data[4], 2U);
+  const std::uint32_t msg = image.symbols.at("msg") - image.data_base;
+  EXPECT_EQ(image.data[msg], 'h');
+  EXPECT_EQ(image.data[msg + 2], '\0');
+}
+
+TEST(TextAssembler, CommentsIgnored) {
+  const Image image = assemble("# comment\n  jr $ra // trailing\n");
+  EXPECT_EQ(image.text.size(), 1U);
+}
+
+TEST(TextAssembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("  jr $ra\n  bogus $t0\n");
+    FAIL() << "expected CicError";
+  } catch (const support::CicError& e) {
+    EXPECT_NE(std::string(e.what()).find("2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(TextAssembler, UnboundLabelRejected) {
+  EXPECT_THROW(assemble("  j nowhere\n"), support::CicError);
+}
+
+TEST(Builder, LoopProgramLayout) {
+  Asm a;
+  a.func("main");
+  a.li(isa::kT0, 3);
+  Label loop = a.bound_label();
+  a.addiu(isa::kT0, isa::kT0, -1);
+  a.bne(isa::kT0, isa::kZero, loop);
+  a.sys_exit(0);
+  const Image image = a.finalize();
+  EXPECT_EQ(image.entry, image.text_base);
+  const isa::Instruction bne = isa::decode(image.text[2]);
+  EXPECT_EQ(bne.mnemonic, isa::Mnemonic::kBne);
+  EXPECT_EQ(bne.branch_target(image.text_base + 8), image.text_base + 4);
+}
+
+TEST(Builder, EntryIsMainEvenWhenNotFirst) {
+  Asm a;
+  a.func("helper");
+  a.jr(isa::kRa);
+  a.func("main");
+  a.sys_exit(0);
+  const Image image = a.finalize();
+  EXPECT_EQ(image.entry, image.text_base + 4);
+}
+
+TEST(Builder, LiExpansion) {
+  Asm a;
+  a.li(isa::kT0, 5);            // addiu
+  a.li(isa::kT1, 0x12340000);   // lui
+  a.li(isa::kT2, 0x12345678);   // lui + ori
+  a.jr(isa::kRa);
+  const Image image = a.finalize();
+  EXPECT_EQ(isa::decode(image.text[0]).mnemonic, isa::Mnemonic::kAddiu);
+  EXPECT_EQ(isa::decode(image.text[1]).mnemonic, isa::Mnemonic::kLui);
+  EXPECT_EQ(isa::decode(image.text[2]).mnemonic, isa::Mnemonic::kLui);
+  EXPECT_EQ(isa::decode(image.text[3]).mnemonic, isa::Mnemonic::kOri);
+}
+
+TEST(Builder, ConditionalPseudosUseAt) {
+  Asm a;
+  Label l = a.bound_label();
+  a.blt(isa::kT0, isa::kT1, l);
+  a.jr(isa::kRa);
+  const Image image = a.finalize();
+  const isa::Instruction slt = isa::decode(image.text[0]);
+  EXPECT_EQ(slt.mnemonic, isa::Mnemonic::kSlt);
+  EXPECT_EQ(slt.rd, isa::kAt);
+}
+
+TEST(Builder, DataSymbolsAndLa) {
+  Asm a;
+  a.data_symbol("tbl");
+  a.data_words({10, 20, 30});
+  a.func("main");
+  a.la(isa::kT0, "tbl");
+  a.sys_exit(0);
+  const Image image = a.finalize();
+  EXPECT_EQ(a.data_address("tbl"), image.data_base);
+  EXPECT_EQ(image.symbols.at("tbl"), image.data_base);
+}
+
+TEST(Builder, UnknownDataSymbolThrows) {
+  Asm a;
+  EXPECT_THROW(a.la(isa::kT0, "missing"), support::CicError);
+}
+
+TEST(Builder, UndefinedFunctionRejectedAtFinalize) {
+  Asm a;
+  a.func("main");
+  a.call("ghost");
+  a.sys_exit(0);
+  EXPECT_THROW(a.finalize(), support::CicError);
+}
+
+TEST(Builder, JalForwardReferencePatched) {
+  Asm a;
+  a.func("main");
+  a.call("late");
+  a.sys_exit(0);
+  a.func("late");
+  a.ret();
+  const Image image = a.finalize();
+  const isa::Instruction jal = isa::decode(image.text[0]);
+  EXPECT_EQ(jal.mnemonic, isa::Mnemonic::kJal);
+  EXPECT_EQ(jal.jump_target(image.text_base), image.symbols.at("late"));
+}
+
+TEST(Builder, PushPopPair) {
+  Asm a;
+  a.push(isa::kRa);
+  a.pop(isa::kRa);
+  a.jr(isa::kRa);
+  const Image image = a.finalize();
+  ASSERT_EQ(image.text.size(), 5U);  // addiu/sw + lw/addiu + jr
+  EXPECT_EQ(isa::decode(image.text[0]).mnemonic, isa::Mnemonic::kAddiu);
+  EXPECT_EQ(isa::decode(image.text[1]).mnemonic, isa::Mnemonic::kSw);
+}
+
+TEST(Builder, FinalizeTwiceRejected) {
+  Asm a;
+  a.sys_exit(0);
+  a.finalize();
+  EXPECT_THROW(a.finalize(), support::CicError);
+}
+
+TEST(Image, TextContainsAndWordAt) {
+  Asm a;
+  a.nop();
+  a.sys_exit(0);
+  const Image image = a.finalize();
+  EXPECT_TRUE(image.contains_text(image.text_base));
+  EXPECT_FALSE(image.contains_text(image.text_base - 4));
+  EXPECT_FALSE(image.contains_text(image.text_end()));
+  EXPECT_FALSE(image.contains_text(image.text_base + 2));  // misaligned
+  EXPECT_EQ(image.word_at(image.text_base), image.text[0]);
+}
+
+TEST(CrossCheck, TextAndBuilderAgree) {
+  // The same tiny program through both front ends must produce identical
+  // encodings.
+  const Image text_image = assemble(R"(
+    main:
+      addiu $t0, $zero, 7
+      sll   $t1, $t0, 2
+      sw    $t1, 0($sp)
+      lw    $t2, 0($sp)
+      jr    $ra
+  )");
+  Asm a;
+  a.func("main");
+  a.addiu(isa::kT0, isa::kZero, 7);
+  a.sll(isa::kT1, isa::kT0, 2);
+  a.sw(isa::kT1, 0, isa::kSp);
+  a.lw(isa::kT2, 0, isa::kSp);
+  a.jr(isa::kRa);
+  const Image built = a.finalize();
+  ASSERT_EQ(text_image.text.size(), built.text.size());
+  for (std::size_t i = 0; i < built.text.size(); ++i) {
+    EXPECT_EQ(text_image.text[i], built.text[i]) << "word " << i;
+  }
+}
+
+}  // namespace
+}  // namespace cicmon::casm_

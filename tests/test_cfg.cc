@@ -1,0 +1,142 @@
+// Static analysis tests: leaders, check regions, and the Full Hash Table.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "casm/builder.h"
+#include "cfg/check_region.h"
+#include "cfg/fht.h"
+#include "support/error.h"
+
+namespace cicmon::cfg {
+namespace {
+
+casm_::Image loop_program() {
+  // main: li t0,3 ; loop: addiu t0,-1 ; bne t0,zero,loop ; sys_exit
+  casm_::Asm a;
+  a.func("main");
+  a.li(isa::kT0, 3);
+  casm_::Label loop = a.bound_label();
+  a.addiu(isa::kT0, isa::kT0, -1);
+  a.bne(isa::kT0, isa::kZero, loop);
+  a.sys_exit(0);
+  return a.finalize();
+}
+
+TEST(Leaders, EntryBranchTargetAndFallThrough) {
+  const casm_::Image image = loop_program();
+  const auto leaders = find_leaders(image);
+  // entry (0), branch target (+4), fall-through after bne (+12).
+  EXPECT_EQ(leaders.size(), 3U);
+  EXPECT_EQ(leaders[0], image.text_base);
+  EXPECT_EQ(leaders[1], image.text_base + 4);
+  EXPECT_EQ(leaders[2], image.text_base + 12);
+}
+
+TEST(Leaders, FunctionSymbolsAreLeaders) {
+  casm_::Asm a;
+  a.func("main");
+  a.sys_exit(0);
+  a.func("helper");  // reachable only indirectly
+  a.jr(isa::kRa);
+  const casm_::Image image = a.finalize();
+  const auto leaders = find_leaders(image);
+  EXPECT_NE(std::find(leaders.begin(), leaders.end(), image.symbols.at("helper")),
+            leaders.end());
+}
+
+TEST(Regions, EndAtNextFlowControl) {
+  const casm_::Image image = loop_program();
+  const auto unit = hash::make_hash_unit(hash::HashKind::kXor);
+  const auto regions = enumerate_check_regions(image, *unit);
+  // Leader 0 runs to the bne (+8); leader +4 also ends at +8. The +12 leader
+  // has no terminating flow control (sys_exit falls off text) and is dropped.
+  ASSERT_EQ(regions.size(), 2U);
+  EXPECT_EQ(regions[0].start, image.text_base);
+  EXPECT_EQ(regions[0].end, image.text_base + 8);
+  EXPECT_EQ(regions[1].start, image.text_base + 4);
+  EXPECT_EQ(regions[1].end, image.text_base + 8);
+  EXPECT_EQ(regions[0].length_words(), 3U);
+  EXPECT_EQ(regions[1].length_words(), 2U);
+}
+
+TEST(Regions, HashMatchesManualXor) {
+  const casm_::Image image = loop_program();
+  const auto unit = hash::make_hash_unit(hash::HashKind::kXor);
+  const auto regions = enumerate_check_regions(image, *unit);
+  const std::uint32_t expected = image.text[0] ^ image.text[1] ^ image.text[2];
+  EXPECT_EQ(regions[0].hash, expected);
+  EXPECT_EQ(hash_range(image, *unit, image.text_base, image.text_base + 8), expected);
+}
+
+TEST(Regions, OverlappingRegionsShareSuffixHashRelation) {
+  // hash(full) == hash(prefix) ^ hash(suffix) for XOR — a consistency check
+  // between overlapping regions ending at the same flow control.
+  const casm_::Image image = loop_program();
+  const auto unit = hash::make_hash_unit(hash::HashKind::kXor);
+  const auto regions = enumerate_check_regions(image, *unit);
+  EXPECT_EQ(regions[0].hash ^ regions[1].hash, image.text[0]);
+}
+
+TEST(Regions, HashRangeValidatesArguments) {
+  const casm_::Image image = loop_program();
+  const auto unit = hash::make_hash_unit(hash::HashKind::kXor);
+  EXPECT_THROW(hash_range(image, *unit, image.text_base - 4, image.text_base),
+               support::CicError);
+  EXPECT_THROW(hash_range(image, *unit, image.text_base + 1, image.text_base + 8),
+               support::CicError);
+}
+
+TEST(Fht, LookupByAddressPair) {
+  const casm_::Image image = loop_program();
+  const auto unit = hash::make_hash_unit(hash::HashKind::kXor);
+  const FullHashTable fht = build_fht(image, *unit);
+  ASSERT_EQ(fht.size(), 2U);
+  const auto hash = fht.expected_hash(image.text_base, image.text_base + 8);
+  ASSERT_TRUE(hash.has_value());
+  EXPECT_EQ(*hash, image.text[0] ^ image.text[1] ^ image.text[2]);
+  EXPECT_FALSE(fht.expected_hash(image.text_base, image.text_base + 4).has_value());
+  EXPECT_EQ(fht.find(0, 0), FullHashTable::npos);
+}
+
+TEST(Fht, SerializeDeserializeRoundTrip) {
+  const casm_::Image image = loop_program();
+  const auto unit = hash::make_hash_unit(hash::HashKind::kXor);
+  const FullHashTable fht = build_fht(image, *unit);
+  const auto blob = fht.serialize();
+  const FullHashTable parsed = FullHashTable::deserialize(blob);
+  ASSERT_EQ(parsed.size(), fht.size());
+  for (std::size_t i = 0; i < fht.size(); ++i) {
+    EXPECT_EQ(parsed.record(i), fht.record(i));
+  }
+}
+
+TEST(Fht, DeserializeRejectsMalformedBlobs) {
+  EXPECT_THROW(FullHashTable::deserialize(std::vector<std::uint8_t>{1, 2}),
+               support::CicError);
+  const std::vector<std::uint8_t> bad_magic{'X', 'X', 'X', 'X', 0, 0, 0, 0};
+  EXPECT_THROW(FullHashTable::deserialize(bad_magic), support::CicError);
+  // Count says 1 record but no payload follows.
+  const std::vector<std::uint8_t> truncated{'F', 'H', 'T', '1', 1, 0, 0, 0};
+  EXPECT_THROW(FullHashTable::deserialize(truncated), support::CicError);
+}
+
+TEST(Fht, DuplicateRecordsRejected) {
+  std::vector<CheckRegion> records{{0x400000, 0x400008, 1}, {0x400000, 0x400008, 2}};
+  EXPECT_THROW(FullHashTable{std::move(records)}, support::CicError);
+}
+
+TEST(Fht, HashKindChangesHashesNotStructure) {
+  const casm_::Image image = loop_program();
+  const auto x = build_fht(image, *hash::make_hash_unit(hash::HashKind::kXor));
+  const auto c = build_fht(image, *hash::make_hash_unit(hash::HashKind::kCrc32));
+  ASSERT_EQ(x.size(), c.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(x.record(i).start, c.record(i).start);
+    EXPECT_EQ(x.record(i).end, c.record(i).end);
+    EXPECT_NE(x.record(i).hash, c.record(i).hash);
+  }
+}
+
+}  // namespace
+}  // namespace cicmon::cfg

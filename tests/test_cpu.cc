@@ -1,0 +1,456 @@
+// CPU tests: instruction semantics through the microoperation programs,
+// syscalls, the timing model, and the monitoring integration.
+#include <gtest/gtest.h>
+
+#include "casm/builder.h"
+#include "cpu/cpu.h"
+
+namespace cicmon::cpu {
+namespace {
+
+using casm_::Asm;
+using casm_::Label;
+using namespace cicmon::isa;
+
+RunResult run(Asm& a, const CpuConfig& config = {}) {
+  const casm_::Image image = a.finalize();
+  Cpu cpu(config, image);
+  return cpu.run();
+}
+
+// Runs a fragment that leaves its result in $t0 and checks it.
+void expect_t0(void (*body)(Asm&), std::uint32_t expected) {
+  Asm a;
+  a.func("main");
+  body(a);
+  a.check_eq(kT0, expected);
+  a.sys_exit(0);
+  const RunResult r = run(a);
+  EXPECT_EQ(r.reason, ExitReason::kExit)
+      << "observed " << r.check_observed << " expected " << r.check_expected;
+}
+
+TEST(Semantics, AluImmediates) {
+  expect_t0([](Asm& a) { a.li(kT0, 0); a.addiu(kT0, kT0, -5); }, 0xFFFFFFFB);
+  expect_t0([](Asm& a) { a.li(kT1, 0xF0); a.andi(kT0, kT1, 0x3C); }, 0x30);
+  expect_t0([](Asm& a) { a.li(kT1, 0xF0); a.ori(kT0, kT1, 0x0F); }, 0xFF);
+  expect_t0([](Asm& a) { a.li(kT1, 0xFF); a.xori(kT0, kT1, 0x0F); }, 0xF0);
+  expect_t0([](Asm& a) { a.lui(kT0, 0x1234); }, 0x12340000);
+  expect_t0([](Asm& a) { a.li(kT1, 3); a.slti(kT0, kT1, 7); }, 1);
+  expect_t0([](Asm& a) { a.li(kT1, static_cast<std::uint32_t>(-1)); a.sltiu(kT0, kT1, 7); }, 0);
+}
+
+TEST(Semantics, AluThreeRegister) {
+  expect_t0([](Asm& a) { a.li(kT1, 7); a.li(kT2, 8); a.addu(kT0, kT1, kT2); }, 15);
+  expect_t0([](Asm& a) { a.li(kT1, 7); a.li(kT2, 8); a.subu(kT0, kT1, kT2); }, 0xFFFFFFFF);
+  expect_t0([](Asm& a) { a.li(kT1, 0xFF); a.li(kT2, 0x0F); a.and_(kT0, kT1, kT2); }, 0x0F);
+  expect_t0([](Asm& a) { a.li(kT1, 0xF0); a.li(kT2, 0x0F); a.or_(kT0, kT1, kT2); }, 0xFF);
+  expect_t0([](Asm& a) { a.li(kT1, 0xFF); a.li(kT2, 0xF0); a.xor_(kT0, kT1, kT2); }, 0x0F);
+  expect_t0([](Asm& a) { a.li(kT1, 0); a.li(kT2, 0); a.nor(kT0, kT1, kT2); }, 0xFFFFFFFF);
+  expect_t0(
+      [](Asm& a) {
+        a.li(kT1, static_cast<std::uint32_t>(-2));
+        a.li(kT2, 1);
+        a.slt(kT0, kT1, kT2);
+      },
+      1);
+  expect_t0(
+      [](Asm& a) {
+        a.li(kT1, static_cast<std::uint32_t>(-2));
+        a.li(kT2, 1);
+        a.sltu(kT0, kT1, kT2);
+      },
+      0);
+}
+
+TEST(Semantics, Shifts) {
+  expect_t0([](Asm& a) { a.li(kT1, 1); a.sll(kT0, kT1, 31); }, 0x80000000);
+  expect_t0([](Asm& a) { a.li(kT1, 0x80000000); a.srl(kT0, kT1, 31); }, 1);
+  expect_t0([](Asm& a) { a.li(kT1, 0x80000000); a.sra(kT0, kT1, 31); }, 0xFFFFFFFF);
+  expect_t0(
+      [](Asm& a) {
+        a.li(kT1, 1);
+        a.li(kT2, 4);
+        a.sllv(kT0, kT1, kT2);
+      },
+      16);
+  expect_t0(
+      [](Asm& a) {
+        a.li(kT1, 0x80000000);
+        a.li(kT2, 4);
+        a.srav(kT0, kT1, kT2);
+      },
+      0xF8000000);
+}
+
+TEST(Semantics, MultiplyDivideHiLo) {
+  expect_t0(
+      [](Asm& a) {
+        a.li(kT1, 100000);
+        a.li(kT2, 100000);
+        a.multu(kT1, kT2);
+        a.mfhi(kT0);
+      },
+      static_cast<std::uint32_t>((100000ULL * 100000ULL) >> 32));
+  expect_t0(
+      [](Asm& a) {
+        a.li(kT1, 47);
+        a.li(kT2, 5);
+        a.divu(kT1, kT2);
+        a.mflo(kT0);
+      },
+      9);
+  expect_t0(
+      [](Asm& a) {
+        a.li(kT1, 47);
+        a.li(kT2, 5);
+        a.divu(kT1, kT2);
+        a.mfhi(kT0);
+      },
+      2);
+  expect_t0(
+      [](Asm& a) {
+        a.li(kT1, 0x1234);
+        a.mthi(kT1);
+        a.mfhi(kT0);
+      },
+      0x1234);
+}
+
+TEST(Semantics, LoadsAndStores) {
+  expect_t0(
+      [](Asm& a) {
+        a.li(kT1, 0xDEADBEEF);
+        a.sw(kT1, -4, kSp);
+        a.lw(kT0, -4, kSp);
+      },
+      0xDEADBEEF);
+  expect_t0(
+      [](Asm& a) {
+        a.li(kT1, 0x80);
+        a.sb(kT1, -8, kSp);
+        a.lb(kT0, -8, kSp);  // sign-extends
+      },
+      0xFFFFFF80);
+  expect_t0(
+      [](Asm& a) {
+        a.li(kT1, 0x80);
+        a.sb(kT1, -8, kSp);
+        a.lbu(kT0, -8, kSp);
+      },
+      0x80);
+  expect_t0(
+      [](Asm& a) {
+        a.li(kT1, 0x8001);
+        a.sh(kT1, -12, kSp);
+        a.lh(kT0, -12, kSp);
+      },
+      0xFFFF8001);
+  expect_t0(
+      [](Asm& a) {
+        a.li(kT1, 0x8001);
+        a.sh(kT1, -12, kSp);
+        a.lhu(kT0, -12, kSp);
+      },
+      0x8001);
+}
+
+TEST(Semantics, RegisterZeroIsHardwired) {
+  expect_t0(
+      [](Asm& a) {
+        a.li(kT1, 99);
+        a.addu(kZero, kT1, kT1);  // write attempt must be ignored
+        a.move(kT0, kZero);
+      },
+      0);
+}
+
+TEST(Semantics, BranchesAndCalls) {
+  Asm a;
+  a.func("main");
+  a.li(kT0, 0);
+  a.li(kA0, 4);
+  a.call("twice");
+  a.move(kT0, kV0);
+  a.check_eq(kT0, 8);
+  a.sys_exit(0);
+  a.func("twice");
+  a.addu(kV0, kA0, kA0);
+  a.ret();
+  EXPECT_EQ(run(a).reason, ExitReason::kExit);
+}
+
+TEST(Semantics, JalLinksReturnAddress) {
+  Asm a;
+  a.func("main");
+  a.call("probe");
+  a.sys_exit(0);
+  a.func("probe");
+  // $ra must point at the instruction after the jal (main+4).
+  a.move(kT0, kRa);
+  a.check_eq(kT0, casm_::kTextBase + 4);
+  a.ret();
+  EXPECT_EQ(run(a).reason, ExitReason::kExit);
+}
+
+TEST(Syscalls, ConsoleOutput) {
+  Asm a;
+  a.func("main");
+  a.li(kA0, 42);
+  a.sys(casm_::Sys::kPutInt);
+  a.sys_print_char('\n');
+  a.li(kA0, static_cast<std::uint32_t>(-7));
+  a.sys(casm_::Sys::kPutInt);
+  a.sys_exit(3);
+  const RunResult r = run(a);
+  EXPECT_EQ(r.console, "42\n-7");
+  EXPECT_EQ(r.exit_code, 3U);
+}
+
+TEST(Syscalls, CheckTrapRecordsValues) {
+  Asm a;
+  a.func("main");
+  a.li(kT0, 5);
+  a.check_eq(kT0, 6);
+  a.sys_exit(0);
+  const RunResult r = run(a);
+  EXPECT_EQ(r.reason, ExitReason::kSelfCheckFailed);
+  EXPECT_EQ(r.check_observed, 5U);
+  EXPECT_EQ(r.check_expected, 6U);
+}
+
+TEST(Traps, IllegalInstruction) {
+  Asm a;
+  a.func("main");
+  a.emit(0xFFFFFFFF);  // decodes to kInvalid
+  a.sys_exit(0);
+  EXPECT_EQ(run(a).reason, ExitReason::kIllegalInstruction);
+}
+
+TEST(Traps, BreakIsIllegal) {
+  Asm a;
+  a.func("main");
+  a.break_();
+  a.sys_exit(0);
+  EXPECT_EQ(run(a).reason, ExitReason::kIllegalInstruction);
+}
+
+TEST(Traps, WildPcOnJumpOutsideText) {
+  Asm a;
+  a.func("main");
+  a.li(kT0, 0x10000000);  // data segment
+  a.jr(kT0);
+  EXPECT_EQ(run(a).reason, ExitReason::kWildPc);
+}
+
+TEST(Traps, WatchdogStopsInfiniteLoop) {
+  Asm a;
+  a.func("main");
+  Label spin = a.bound_label();
+  a.b(spin);
+  CpuConfig config;
+  config.max_instructions = 1000;
+  EXPECT_EQ(run(a, config).reason, ExitReason::kWatchdog);
+}
+
+TEST(Timing, StraightLineCpiIsOne) {
+  Asm a;
+  a.func("main");
+  for (int i = 0; i < 20; ++i) a.addiu(kT0, kT0, 1);
+  a.sys_exit(0);
+  const RunResult r = run(a);
+  // No taken branches, no loads: cycles == instructions.
+  EXPECT_EQ(r.cycles, r.instructions);
+}
+
+TEST(Timing, TakenBranchCostsBubble) {
+  Asm a;
+  a.func("main");
+  Label target = a.label();
+  a.b(target);
+  a.bind(target);
+  a.sys_exit(0);
+  const RunResult r = run(a);
+  EXPECT_EQ(r.branch_bubbles, 1U);
+  EXPECT_EQ(r.cycles, r.instructions + 1);
+}
+
+TEST(Timing, NotTakenBranchIsFree) {
+  Asm a;
+  a.func("main");
+  a.li(kT0, 1);
+  Label skip = a.label();
+  a.beqz(kT0, skip);  // not taken
+  a.bind(skip);
+  a.sys_exit(0);
+  EXPECT_EQ(run(a).branch_bubbles, 0U);
+}
+
+TEST(Timing, LoadUseStalls) {
+  Asm a;
+  a.func("main");
+  a.lw(kT0, -4, kSp);
+  a.addu(kT1, kT0, kT0);  // consumes the load next cycle
+  a.sys_exit(0);
+  EXPECT_EQ(run(a).load_use_stalls, 1U);
+
+  Asm b;
+  b.func("main");
+  b.lw(kT0, -4, kSp);
+  b.addiu(kT5, kT5, 1);   // unrelated filler
+  b.addu(kT1, kT0, kT0);
+  b.sys_exit(0);
+  EXPECT_EQ(run(b).load_use_stalls, 0U);
+}
+
+TEST(Timing, StoreDataDoesNotStall) {
+  Asm a;
+  a.func("main");
+  a.lw(kT0, -4, kSp);
+  a.sw(kT0, -8, kSp);  // store data forwards at MEM
+  a.sys_exit(0);
+  EXPECT_EQ(run(a).load_use_stalls, 0U);
+}
+
+TEST(Timing, MulDivLatencyStallsEarlyMfhi) {
+  Asm a;
+  a.func("main");
+  a.li(kT1, 3);
+  a.mult(kT1, kT1);
+  a.mflo(kT0);  // immediately after: must stall
+  a.sys_exit(0);
+  EXPECT_GT(run(a).muldiv_stalls, 0U);
+
+  Asm b;
+  b.func("main");
+  b.li(kT1, 3);
+  b.mult(kT1, kT1);
+  for (int i = 0; i < 8; ++i) b.addiu(kT5, kT5, 1);
+  b.mflo(kT0);  // latency already covered
+  b.sys_exit(0);
+  EXPECT_EQ(run(b).muldiv_stalls, 0U);
+}
+
+TEST(Timing, ICacheStallsCharged) {
+  Asm a;
+  a.func("main");
+  for (int i = 0; i < 32; ++i) a.addiu(kT0, kT0, 1);
+  a.sys_exit(0);
+  CpuConfig config;
+  config.icache.enabled = true;
+  config.icache.miss_penalty = 4;
+  const RunResult r = run(a, config);
+  EXPECT_GT(r.icache_stall_cycles, 0U);
+  EXPECT_EQ(r.icache_stall_cycles % 4, 0U);
+}
+
+TEST(Monitoring, TransparentToProgramResults) {
+  auto build = [] {
+    Asm a;
+    a.func("main");
+    a.li(kT0, 6);
+    a.li(kT1, 1);
+    Label loop = a.bound_label();
+    a.li(kT2, 3);
+    a.multu(kT1, kT2);
+    a.mflo(kT1);
+    a.addiu(kT0, kT0, -1);
+    a.bnez(kT0, loop);
+    a.move(kA0, kT1);
+    a.sys(casm_::Sys::kPutInt);
+    a.sys_exit(0);
+    return a.finalize();
+  };
+  const casm_::Image image = build();
+
+  CpuConfig off;
+  Cpu plain(off, image);
+  const RunResult r_off = plain.run();
+
+  CpuConfig on;
+  on.monitoring = true;
+  on.cic.iht_entries = 8;
+  Cpu monitored(on, image);
+  const RunResult r_on = monitored.run();
+
+  EXPECT_EQ(r_off.console, r_on.console);
+  EXPECT_EQ(r_off.instructions, r_on.instructions);  // same dynamic stream
+  EXPECT_EQ(r_on.console, "729");                    // 3^6
+  EXPECT_GT(r_on.iht.lookups, 0U);
+  EXPECT_EQ(r_off.iht.lookups, 0U);
+  // The only cycle difference is the OS exception handling.
+  EXPECT_EQ(r_on.app_cycles(), r_off.cycles);
+}
+
+TEST(Monitoring, LookupKeysMatchBlockBoundaries) {
+  Asm a;
+  a.func("main");
+  a.li(kT0, 1);            // 0x400000
+  Label skip = a.label();
+  a.beqz(kZero, skip);     // 0x400004: taken branch ends block [0x400000, 0x400004]
+  a.nop();                 // 0x400008: skipped
+  a.bind(skip);
+  a.sys_exit(0);
+  const casm_::Image image = a.finalize();
+
+  CpuConfig config;
+  config.monitoring = true;
+  Cpu cpu(config, image);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> keys;
+  cpu.set_lookup_observer([&](std::uint32_t s, std::uint32_t e) { keys.emplace_back(s, e); });
+  cpu.run();
+  ASSERT_EQ(keys.size(), 1U);
+  EXPECT_EQ(keys[0].first, casm_::kTextBase);
+  EXPECT_EQ(keys[0].second, casm_::kTextBase + 4);
+}
+
+TEST(Monitoring, SpecialRegistersFollowFigure3) {
+  Asm a;
+  a.func("main");
+  a.li(kT0, 1);
+  a.sys_exit(0);
+  const casm_::Image image = a.finalize();
+  CpuConfig config;
+  config.monitoring = true;
+  Cpu cpu(config, image);
+  cpu.step();  // li expands to a single addiu; executes the first instruction
+  EXPECT_EQ(cpu.special(uop::SpecialReg::kSta), casm_::kTextBase);
+  EXPECT_EQ(cpu.special(uop::SpecialReg::kRhash), image.text[0]);  // XOR of one word
+  EXPECT_EQ(cpu.special(uop::SpecialReg::kPpc), casm_::kTextBase);
+}
+
+TEST(Monitoring, PostIdFaultEscapesMonitor) {
+  Asm a;
+  a.func("main");
+  a.li(kT0, 5);
+  a.li(kT1, 5);   // dynamic index 1: will be corrupted post-ID
+  a.addu(kT2, kT0, kT1);
+  a.check_eq(kT2, 10);
+  a.sys_exit(0);
+  const casm_::Image image = a.finalize();
+
+  CpuConfig config;
+  config.monitoring = true;
+  Cpu cpu(config, image);
+  cpu.set_post_id_fault({1, 1U << 16});  // flip an immediate bit after ID
+  const RunResult r = cpu.run();
+  // The monitor saw the clean word, so no mismatch: the corruption surfaces
+  // as a wrong result instead (the §3.2 limitation).
+  EXPECT_EQ(r.reason, ExitReason::kSelfCheckFailed);
+  EXPECT_EQ(r.iht.mismatches, 0U);
+}
+
+TEST(Monitoring, GprAndMemoryInspection) {
+  Asm a;
+  a.func("main");
+  a.li(kT3, 77);
+  a.sys_exit(0);
+  const casm_::Image image = a.finalize();
+  Cpu cpu(CpuConfig{}, image);
+  cpu.run();
+  EXPECT_EQ(cpu.gpr(kT3), 77U);
+  EXPECT_FALSE(cpu.running());
+}
+
+}  // namespace
+}  // namespace cicmon::cpu

@@ -1,0 +1,202 @@
+// Fault-injection tests: per-site detectability (§3.2), the XOR odd-flip
+// guarantee (§6.3), baseline traps, and campaign determinism.
+#include <gtest/gtest.h>
+
+#include "casm/builder.h"
+#include "fault/campaign.h"
+#include "support/bitops.h"
+#include "support/rng.h"
+#include "support/strings.h"
+#include "workloads/workloads.h"
+
+namespace cicmon::fault {
+namespace {
+
+using namespace cicmon::isa;
+
+casm_::Image checked_loop_program() {
+  // A loop whose result is self-checked, so silent corruption is observable.
+  casm_::Asm a;
+  a.func("main");
+  a.li(kT0, 20);
+  a.li(kT1, 0);
+  casm_::Label loop = a.bound_label();
+  a.addu(kT1, kT1, kT0);
+  a.addiu(kT0, kT0, -1);
+  a.bnez(kT0, loop);
+  a.check_eq(kT1, 210);
+  a.sys_exit(0);
+  return a.finalize();
+}
+
+cpu::CpuConfig monitored_config() {
+  cpu::CpuConfig config;
+  config.monitoring = true;
+  config.cic.iht_entries = 8;
+  return config;
+}
+
+TEST(Campaign, GoldenRunFacts) {
+  CampaignRunner runner(checked_loop_program(), monitored_config());
+  EXPECT_GT(runner.golden_instructions(), 50U);
+  EXPECT_EQ(runner.golden_console(), "");
+}
+
+TEST(Campaign, MemoryFlipInLoopBodyIsCaught) {
+  CampaignRunner runner(checked_loop_program(), monitored_config());
+  FaultSpec spec;
+  spec.site = FaultSite::kMemoryText;
+  spec.target_address = casm_::kTextBase + 8;  // the addu inside the loop
+  spec.xor_mask = 1U << 11;                    // rd field bit: stays a valid instr
+  const TrialResult trial = runner.run_trial(spec);
+  EXPECT_TRUE(is_detected(trial.outcome)) << outcome_name(trial.outcome);
+  EXPECT_EQ(trial.outcome, Outcome::kDetectedMismatch);
+}
+
+TEST(Campaign, SameFlipEscapesWithoutMonitor) {
+  cpu::CpuConfig off;  // monitoring disabled
+  CampaignRunner runner(checked_loop_program(), off);
+  FaultSpec spec;
+  spec.site = FaultSite::kMemoryText;
+  spec.target_address = casm_::kTextBase + 8;
+  spec.xor_mask = 1U << 11;  // addu result goes to the wrong register
+  const TrialResult trial = runner.run_trial(spec);
+  // Without the CIC the corruption surfaces only through the self-check.
+  EXPECT_FALSE(is_detected(trial.outcome)) << outcome_name(trial.outcome);
+}
+
+TEST(Campaign, BusFaultCaughtAtBlockEnd) {
+  CampaignRunner runner(checked_loop_program(), monitored_config());
+  FaultSpec spec;
+  spec.site = FaultSite::kFetchBus;
+  spec.trigger_index = 5;  // somewhere inside the loop
+  spec.xor_mask = 1U << 3;
+  const TrialResult trial = runner.run_trial(spec);
+  EXPECT_TRUE(is_detected(trial.outcome)) << outcome_name(trial.outcome);
+}
+
+TEST(Campaign, PostIdFaultEscapesTheMonitor) {
+  CampaignRunner runner(checked_loop_program(), monitored_config());
+  FaultSpec spec;
+  spec.site = FaultSite::kPostIdLatch;
+  spec.trigger_index = 3;
+  spec.xor_mask = 1U << 16;  // corrupt an immediate: valid instr, wrong value
+  const TrialResult trial = runner.run_trial(spec);
+  EXPECT_NE(trial.outcome, Outcome::kDetectedMismatch);
+  EXPECT_NE(trial.outcome, Outcome::kDetectedMiss);
+}
+
+TEST(Campaign, OpcodeDestroyingFlipMayTrapInBaseline) {
+  // Flipping high opcode bits usually produces an invalid encoding, which
+  // the baseline decode catches (§6.3 credits these).
+  cpu::CpuConfig off;
+  CampaignRunner runner(checked_loop_program(), off);
+  unsigned baseline_detected = 0;
+  for (unsigned bit = 26; bit < 32; ++bit) {
+    FaultSpec spec;
+    spec.site = FaultSite::kMemoryText;
+    spec.target_address = casm_::kTextBase + 8;
+    spec.xor_mask = 1U << bit;
+    if (runner.run_trial(spec).outcome == Outcome::kDetectedBaseline) ++baseline_detected;
+  }
+  EXPECT_GT(baseline_detected, 0U);
+}
+
+TEST(Campaign, UnexecutedFlipIsBenignUnderTheDynamicMonitor) {
+  casm_::Asm a;
+  a.func("main");
+  casm_::Label skip = a.label();
+  a.beq(kZero, kZero, skip);
+  a.addiu(kT0, kT0, 1);  // never executed
+  a.bind(skip);
+  a.sys_exit(0);
+  CampaignRunner runner(a.finalize(), monitored_config());
+  FaultSpec spec;
+  spec.site = FaultSite::kMemoryText;
+  spec.target_address = casm_::kTextBase + 4;  // the dead instruction
+  spec.xor_mask = 0xF;
+  EXPECT_EQ(runner.run_trial(spec).outcome, Outcome::kBenign);
+}
+
+// §6.3: the XOR checksum detects every odd number of bit flips in an
+// executed block — parameterized over flip counts.
+class OddFlipGuarantee : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(OddFlipGuarantee, OddFlipsInOneExecutedWordNeverEscapeTheHash) {
+  const unsigned bits = GetParam();
+  CampaignRunner runner(checked_loop_program(), monitored_config());
+  support::Rng rng(bits);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::uint32_t mask = 0;
+    while (support::popcount32(mask) < bits) mask |= 1U << rng.below(32);
+    FaultSpec spec;
+    spec.site = FaultSite::kMemoryText;
+    spec.target_address = casm_::kTextBase + 8;  // executed every iteration
+    spec.xor_mask = mask;
+    const TrialResult result = runner.run_trial(spec);
+    // The corrupted word may also trap in decode or derail control flow, but
+    // it can never complete its block with a matching hash: silent wrong
+    // output and benign completion are both impossible.
+    EXPECT_NE(result.outcome, Outcome::kBenign) << support::hex32(mask);
+    EXPECT_NE(result.outcome, Outcome::kWrongOutput) << support::hex32(mask);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OddCounts, OddFlipGuarantee, ::testing::Values(1U, 3U, 5U));
+
+TEST(Campaign, RandomCampaignIsDeterministic) {
+  CampaignRunner runner(checked_loop_program(), monitored_config());
+  const CampaignSummary a = runner.run_random(FaultSite::kFetchBus, 1, 40, 99);
+  const CampaignSummary b = runner.run_random(FaultSite::kFetchBus, 1, 40, 99);
+  EXPECT_EQ(a.detected_mismatch, b.detected_mismatch);
+  EXPECT_EQ(a.benign, b.benign);
+  EXPECT_EQ(a.trials, 40U);
+}
+
+TEST(Campaign, MonitoredDetectionDominatesUnmonitored) {
+  const casm_::Image image = workloads::build_workload("bitcount", {0.02, 42});
+  cpu::CpuConfig on = monitored_config();
+  cpu::CpuConfig off;
+  CampaignRunner monitored(image, on);
+  CampaignRunner plain(image, off);
+  const CampaignSummary with_cic = monitored.run_random(FaultSite::kFetchBus, 1, 60, 5);
+  const CampaignSummary without = plain.run_random(FaultSite::kFetchBus, 1, 60, 5);
+  EXPECT_GT(with_cic.detection_rate_effective(), without.detection_rate_effective());
+  EXPECT_GT(with_cic.detection_rate_effective(), 0.9);
+}
+
+TEST(Campaign, ICacheResidentFaultCaught) {
+  // A realistically sized program, so the final self-check block (whose
+  // trap can fire before the block-terminating lookup — the paper's
+  // end-of-block detection latency) is a negligible fraction of the code.
+  const casm_::Image image = workloads::build_workload("bitcount", {0.02, 42});
+  cpu::CpuConfig config = monitored_config();
+  config.icache.enabled = true;
+  CampaignRunner runner(image, config);
+  const CampaignSummary summary = runner.run_random(FaultSite::kICacheLine, 1, 40, 11);
+  // Many flips land in untouched line words (benign); nearly every
+  // consequential one is detected in hardware.
+  EXPECT_GT(summary.detected(), 0U);
+  EXPECT_LE(summary.wrong_output, 2U);
+  EXPECT_GT(summary.detected(), summary.wrong_output);
+}
+
+TEST(Names, SitesAndOutcomes) {
+  EXPECT_EQ(fault_site_name(FaultSite::kMemoryText), "memory-text");
+  EXPECT_EQ(fault_site_name(FaultSite::kPostIdLatch), "post-id-latch");
+  EXPECT_EQ(outcome_name(Outcome::kBenign), "benign");
+  EXPECT_EQ(outcome_name(Outcome::kDetectedMismatch), "detected-mismatch");
+}
+
+TEST(Summary, RatesComputed) {
+  CampaignSummary s;
+  s.add(Outcome::kDetectedMismatch);
+  s.add(Outcome::kBenign);
+  s.add(Outcome::kWrongOutput);
+  EXPECT_EQ(s.trials, 3U);
+  EXPECT_DOUBLE_EQ(s.detection_rate_effective(), 0.5);
+  EXPECT_NEAR(s.detection_rate_total(), 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cicmon::fault

@@ -1,0 +1,220 @@
+// Hash-unit tests: the paper's XOR checksum and its §6.3/§7 extensions,
+// plus the cryptographic comparators against known vectors.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hash/hash_unit.h"
+#include "hash/md5.h"
+#include "hash/sha1.h"
+#include "support/bitops.h"
+#include "support/rng.h"
+
+namespace cicmon::hash {
+namespace {
+
+std::vector<std::uint32_t> random_block(support::Rng& rng, std::size_t n) {
+  std::vector<std::uint32_t> words(n);
+  for (auto& w : words) w = rng.next_u32();
+  return words;
+}
+
+TEST(HashUnits, FactoryCoversAllKinds) {
+  for (HashKind kind : all_hash_kinds()) {
+    const auto unit = make_hash_unit(kind, 0x1234);
+    ASSERT_NE(unit, nullptr);
+    EXPECT_EQ(unit->kind(), kind);
+    EXPECT_EQ(unit->name(), hash_kind_name(kind));
+  }
+}
+
+TEST(HashUnits, XorIsPlainChecksum) {
+  const auto unit = make_hash_unit(HashKind::kXor);
+  EXPECT_EQ(unit->hash_block(std::vector<std::uint32_t>{1, 2, 4}), 7U);
+  EXPECT_EQ(unit->step(0xFF00FF00, 0x00FF00FF), 0xFFFFFFFFU);
+}
+
+// The paper's §6.3 guarantee: XOR detects every odd number of bit flips.
+class OddFlipDetection : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(OddFlipDetection, XorDetectsOddWeightErrors) {
+  const unsigned flips = GetParam();
+  const auto unit = make_hash_unit(HashKind::kXor);
+  support::Rng rng(flips * 97 + 1);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto block = random_block(rng, 16);
+    const std::uint32_t clean = unit->hash_block(block);
+    // Scatter `flips` flips over the whole block (distinct positions).
+    std::set<std::pair<std::size_t, unsigned>> positions;
+    while (positions.size() < flips) {
+      positions.insert({rng.below(block.size()), static_cast<unsigned>(rng.below(32))});
+    }
+    for (const auto& [word, bit] : positions) {
+      block[word] = support::flip_bit(block[word], bit);
+    }
+    const std::uint32_t corrupted = unit->hash_block(block);
+    if (flips % 2 == 1) {
+      EXPECT_NE(corrupted, clean) << "odd flips must always change the XOR checksum";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FlipCounts, OddFlipDetection, ::testing::Values(1U, 3U, 5U, 7U));
+
+TEST(HashUnits, XorMissesPairedFlipsInSameBitLane) {
+  // The known weakness the paper accepts: two flips in the same bit position
+  // of different words cancel.
+  const auto unit = make_hash_unit(HashKind::kXor);
+  std::vector<std::uint32_t> block{0x1111, 0x2222, 0x3333};
+  const std::uint32_t clean = unit->hash_block(block);
+  block[0] = support::flip_bit(block[0], 9);
+  block[2] = support::flip_bit(block[2], 9);
+  EXPECT_EQ(unit->hash_block(block), clean);
+}
+
+TEST(HashUnits, RotXorCatchesPairedFlipsInSameBitLane) {
+  // The rotate makes bit lanes position-dependent, closing XOR's blind spot.
+  const auto unit = make_hash_unit(HashKind::kRotXor);
+  std::vector<std::uint32_t> block{0x1111, 0x2222, 0x3333};
+  const std::uint32_t clean = unit->hash_block(block);
+  block[0] = support::flip_bit(block[0], 9);
+  block[2] = support::flip_bit(block[2], 9);
+  EXPECT_NE(unit->hash_block(block), clean);
+}
+
+TEST(HashUnits, XorIsOrderInsensitiveRotXorIsNot) {
+  const auto x = make_hash_unit(HashKind::kXor);
+  const auto r = make_hash_unit(HashKind::kRotXor);
+  const std::vector<std::uint32_t> ab{0xAAAA0000, 0x0000BBBB};
+  const std::vector<std::uint32_t> ba{0x0000BBBB, 0xAAAA0000};
+  EXPECT_EQ(x->hash_block(ab), x->hash_block(ba));      // swap undetected
+  EXPECT_NE(r->hash_block(ab), r->hash_block(ba));      // swap detected
+}
+
+TEST(HashUnits, KeyedRotXorDependsOnKey) {
+  const auto a = make_hash_unit(HashKind::kRotXorKeyed, 0x1111);
+  const auto b = make_hash_unit(HashKind::kRotXorKeyed, 0x2222);
+  const std::vector<std::uint32_t> block{1, 2, 3, 4};
+  EXPECT_NE(a->hash_block(block), b->hash_block(block));
+  EXPECT_NE(a->init(), 0U);  // the process-dependent random value (§6.3)
+}
+
+TEST(HashUnits, AddChecksumWraps) {
+  const auto unit = make_hash_unit(HashKind::kAdd);
+  EXPECT_EQ(unit->hash_block(std::vector<std::uint32_t>{0xFFFFFFFF, 2}), 1U);
+}
+
+TEST(HashUnits, Crc32KnownVector) {
+  // CRC-32(IEEE) of the word 0x00000000 differs from zero-init naive sums,
+  // and distinct single words must yield distinct CRCs.
+  const auto unit = make_hash_unit(HashKind::kCrc32);
+  const std::uint32_t c0 = unit->hash_block(std::vector<std::uint32_t>{0});
+  const std::uint32_t c1 = unit->hash_block(std::vector<std::uint32_t>{1});
+  EXPECT_NE(c0, c1);
+  EXPECT_NE(c0, 0U);
+}
+
+TEST(HashUnits, SingleBitSensitivitySweep) {
+  // Every unit must detect any *single* bit flip in a block (the paper's
+  // primary fault model).
+  support::Rng rng(77);
+  const auto block = random_block(rng, 8);
+  for (HashKind kind : all_hash_kinds()) {
+    const auto unit = make_hash_unit(kind, 0xABCD);
+    const std::uint32_t clean = unit->hash_block(block);
+    for (std::size_t word = 0; word < block.size(); ++word) {
+      for (unsigned bit = 0; bit < 32; bit += 5) {
+        auto corrupted = block;
+        corrupted[word] = support::flip_bit(corrupted[word], bit);
+        EXPECT_NE(unit->hash_block(corrupted), clean)
+            << hash_kind_name(kind) << " missed single flip at word " << word << " bit " << bit;
+      }
+    }
+  }
+}
+
+TEST(HashUnits, CollisionRateSanity) {
+  // Random-block collision probability should be small for all units; the
+  // stronger mixers should have none in this sample.
+  support::Rng rng(123);
+  for (HashKind kind : all_hash_kinds()) {
+    const auto unit = make_hash_unit(kind);
+    std::set<std::uint32_t> seen;
+    unsigned collisions = 0;
+    for (int i = 0; i < 2000; ++i) {
+      const auto block = random_block(rng, 4);
+      collisions += seen.insert(unit->hash_block(block)).second ? 0 : 1;
+    }
+    EXPECT_LE(collisions, 3U) << hash_kind_name(kind);
+  }
+}
+
+TEST(HashUnits, HwProfilesAreConsistent) {
+  for (HashKind kind : all_hash_kinds()) {
+    const auto profile = make_hash_unit(kind)->hw_profile();
+    EXPECT_GT(profile.gate_equivalents, 0.0) << hash_kind_name(kind);
+    EXPECT_GT(profile.depth_gate_delays, 0.0) << hash_kind_name(kind);
+    // The multiply-based mixer is the one option too deep for a fetch cycle.
+    EXPECT_EQ(profile.single_cycle_feasible, kind != HashKind::kMulXor)
+        << hash_kind_name(kind);
+  }
+}
+
+TEST(Sha1, Fips180Vectors) {
+  // SHA-1("abc") = a9993e36 4706816a ba3e2571 7850c26c 9cd0d89d.
+  Sha1 sha;
+  const std::uint8_t abc[3] = {'a', 'b', 'c'};
+  sha.update(abc);
+  const auto digest = sha.digest();
+  const std::uint8_t expected[20] = {0xa9, 0x99, 0x3e, 0x36, 0x47, 0x06, 0x81, 0x6a, 0xba, 0x3e,
+                                     0x25, 0x71, 0x78, 0x50, 0xc2, 0x6c, 0x9c, 0xd0, 0xd8, 0x9d};
+  EXPECT_TRUE(std::equal(digest.begin(), digest.end(), expected));
+}
+
+TEST(Sha1, EmptyMessage) {
+  // SHA-1("") = da39a3ee 5e6b4b0d 3255bfef 95601890 afd80709.
+  Sha1 sha;
+  const auto digest = sha.digest();
+  EXPECT_EQ(digest[0], 0xda);
+  EXPECT_EQ(digest[19], 0x09);
+}
+
+TEST(Sha1, MultiBlockMessage) {
+  // SHA-1 of one million 'a' characters (streamed) =
+  // 34aa973c d4c4daa4 f61eeb2b dbad2731 6534016f.
+  Sha1 sha;
+  std::vector<std::uint8_t> chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) sha.update(chunk);
+  const auto digest = sha.digest();
+  EXPECT_EQ(digest[0], 0x34);
+  EXPECT_EQ(digest[1], 0xaa);
+  EXPECT_EQ(digest[19], 0x6f);
+}
+
+TEST(Md5, Rfc1321Vectors) {
+  // MD5("abc") = 900150983cd24fb0d6963f7d28e17f72.
+  Md5 md5;
+  const std::uint8_t abc[3] = {'a', 'b', 'c'};
+  md5.update(abc);
+  const auto digest = md5.digest();
+  EXPECT_EQ(digest[0], 0x90);
+  EXPECT_EQ(digest[1], 0x01);
+  EXPECT_EQ(digest[15], 0x72);
+}
+
+TEST(Md5, EmptyMessage) {
+  // MD5("") = d41d8cd98f00b204e9800998ecf8427e.
+  Md5 md5;
+  const auto digest = md5.digest();
+  EXPECT_EQ(digest[0], 0xd4);
+  EXPECT_EQ(digest[15], 0x7e);
+}
+
+TEST(TruncatedDigests, WordHelpersAreStable) {
+  const std::vector<std::uint32_t> words{0x11111111, 0x22222222};
+  EXPECT_EQ(Sha1::hash_words_truncated32(words), Sha1::hash_words_truncated32(words));
+  EXPECT_NE(Sha1::hash_words_truncated32(words), Md5::hash_words_truncated32(words));
+}
+
+}  // namespace
+}  // namespace cicmon::hash

@@ -1,0 +1,146 @@
+// ISA tests: catalogue integrity, encode/decode round trips, disassembly,
+// and the flow-control classification the monitor depends on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "isa/instruction.h"
+#include "isa/opcodes.h"
+#include "isa/registers.h"
+
+namespace cicmon::isa {
+namespace {
+
+TEST(Opcodes, TableIndexedByMnemonic) {
+  for (const OpcodeInfo& row : opcode_table()) {
+    EXPECT_EQ(&info(row.mnemonic), &row) << row.name;
+  }
+}
+
+TEST(Opcodes, NamesAreUniqueAndLookupable) {
+  std::set<std::string_view> names;
+  for (const OpcodeInfo& row : opcode_table()) {
+    if (row.mnemonic == Mnemonic::kInvalid) continue;
+    EXPECT_TRUE(names.insert(row.name).second) << "duplicate " << row.name;
+    const auto found = mnemonic_by_name(row.name);
+    ASSERT_TRUE(found.has_value()) << row.name;
+    EXPECT_EQ(*found, row.mnemonic);
+  }
+  EXPECT_FALSE(mnemonic_by_name("bogus").has_value());
+}
+
+TEST(Opcodes, FlowControlClassification) {
+  EXPECT_TRUE(is_flow_control(InstrClass::kBranch));
+  EXPECT_TRUE(is_flow_control(InstrClass::kJump));
+  EXPECT_TRUE(is_flow_control(InstrClass::kJumpReg));
+  EXPECT_FALSE(is_flow_control(InstrClass::kAlu));
+  EXPECT_FALSE(is_flow_control(InstrClass::kLoad));
+  EXPECT_FALSE(is_flow_control(InstrClass::kSyscall));
+}
+
+// Every catalogue instruction must survive an encode → decode round trip.
+class RoundTrip : public ::testing::TestWithParam<OpcodeInfo> {};
+
+TEST_P(RoundTrip, EncodeDecode) {
+  const OpcodeInfo& row = GetParam();
+  std::uint32_t word = 0;
+  switch (row.format) {
+    case Format::kR:
+      word = encode_r(row.mnemonic, 3, 4, 5, 6);
+      break;
+    case Format::kI:
+      word = encode_i(row.mnemonic, 7, 8, 0x1234);
+      break;
+    case Format::kJ:
+      word = encode_j(row.mnemonic, 0x00400040 >> 2);
+      break;
+  }
+  const Instruction decoded = decode(word);
+  EXPECT_EQ(decoded.mnemonic, row.mnemonic) << row.name;
+  EXPECT_TRUE(decoded.valid());
+  EXPECT_EQ(decoded.flow_control(), is_flow_control(row.cls));
+}
+
+std::vector<OpcodeInfo> real_rows() {
+  std::vector<OpcodeInfo> rows;
+  for (const OpcodeInfo& row : opcode_table()) {
+    if (row.mnemonic != Mnemonic::kInvalid) rows.push_back(row);
+  }
+  return rows;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, RoundTrip, ::testing::ValuesIn(real_rows()),
+                         [](const ::testing::TestParamInfo<OpcodeInfo>& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST(Decode, IsTotal) {
+  // No word may crash the decoder; garbage decodes to kInvalid.
+  EXPECT_EQ(decode(0xFFFFFFFF).mnemonic, Mnemonic::kInvalid);
+  EXPECT_FALSE(decode(0xFFFFFFFF).valid());
+}
+
+TEST(Decode, FieldExtraction) {
+  const Instruction i = decode(encode_r(Mnemonic::kAddu, /*rd=*/10, /*rs=*/11, /*rt=*/12));
+  EXPECT_EQ(i.rd, 10);
+  EXPECT_EQ(i.rs, 11);
+  EXPECT_EQ(i.rt, 12);
+}
+
+TEST(Decode, SignedImmediate) {
+  const Instruction i = decode(encode_i(Mnemonic::kAddiu, 1, 2, 0xFFFF));
+  EXPECT_EQ(i.simm(), -1);
+  const Instruction j = decode(encode_i(Mnemonic::kAddiu, 1, 2, 0x7FFF));
+  EXPECT_EQ(j.simm(), 32767);
+}
+
+TEST(Decode, BranchTargetArithmetic) {
+  // beq offset is in words relative to PC+4.
+  const Instruction i = decode(encode_i(Mnemonic::kBeq, 0, 0, 0xFFFF));  // offset -1
+  EXPECT_EQ(i.branch_target(0x00400010), 0x00400010U + 4 - 4);
+  const Instruction fwd = decode(encode_i(Mnemonic::kBeq, 0, 0, 3));
+  EXPECT_EQ(fwd.branch_target(0x00400000), 0x00400000U + 4 + 12);
+}
+
+TEST(Decode, JumpTargetInRegion) {
+  const Instruction i = decode(encode_j(Mnemonic::kJ, 0x00400100 >> 2));
+  EXPECT_EQ(i.jump_target(0x00400000), 0x00400100U);
+}
+
+TEST(Disassemble, CanonicalForms) {
+  EXPECT_EQ(disassemble(encode_r(Mnemonic::kAddu, 8, 9, 10)), "addu $t0, $t1, $t2");
+  EXPECT_EQ(disassemble(encode_r(Mnemonic::kJr, 0, 31, 0)), "jr $ra");
+  EXPECT_EQ(disassemble(encode_r(Mnemonic::kSyscall, 0, 0, 0)), "syscall");
+}
+
+TEST(Disassemble, EveryOpcodeProducesItsName) {
+  for (const OpcodeInfo& row : real_rows()) {
+    std::uint32_t word = 0;
+    switch (row.format) {
+      case Format::kR: word = encode_r(row.mnemonic, 1, 2, 3, 4); break;
+      case Format::kI: word = encode_i(row.mnemonic, 1, 2, 8); break;
+      case Format::kJ: word = encode_j(row.mnemonic, 0x100); break;
+    }
+    EXPECT_EQ(disassemble(word).substr(0, row.name.size()), row.name);
+  }
+}
+
+TEST(Registers, NamesRoundTrip) {
+  for (unsigned r = 0; r < kNumGpr; ++r) {
+    const auto parsed = parse_reg(reg_name(r));
+    ASSERT_TRUE(parsed.has_value()) << reg_name(r);
+    EXPECT_EQ(*parsed, r);
+  }
+}
+
+TEST(Registers, ParseVariants) {
+  EXPECT_EQ(parse_reg("$t0"), 8U);
+  EXPECT_EQ(parse_reg("t0"), 8U);
+  EXPECT_EQ(parse_reg("$5"), 5U);
+  EXPECT_EQ(parse_reg("$sp"), 29U);
+  EXPECT_FALSE(parse_reg("$t99").has_value());
+  EXPECT_FALSE(parse_reg("").has_value());
+}
+
+}  // namespace
+}  // namespace cicmon::isa

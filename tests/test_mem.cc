@@ -1,0 +1,184 @@
+// Memory-subsystem tests: sparse memory, the I-cache, and the fetch path
+// with its tamper hook.
+#include <gtest/gtest.h>
+
+#include "casm/builder.h"
+#include "mem/fetch_path.h"
+#include "mem/memory.h"
+
+namespace cicmon::mem {
+namespace {
+
+TEST(Memory, ReadsOfUnbackedPagesAreZero) {
+  Memory m;
+  EXPECT_EQ(m.read32(0xDEAD0000), 0U);
+  EXPECT_EQ(m.read8(0x12345678), 0U);
+  EXPECT_EQ(m.pages_allocated(), 0U);
+}
+
+TEST(Memory, WidthRoundTrips) {
+  Memory m;
+  m.write32(0x1000, 0xA1B2C3D4);
+  EXPECT_EQ(m.read32(0x1000), 0xA1B2C3D4U);
+  EXPECT_EQ(m.read16(0x1000), 0xC3D4U);  // little-endian
+  EXPECT_EQ(m.read16(0x1002), 0xA1B2U);
+  EXPECT_EQ(m.read8(0x1003), 0xA1U);
+  m.write8(0x1001, 0xFF);
+  EXPECT_EQ(m.read32(0x1000), 0xA1B2FFD4U);
+  m.write16(0x1002, 0x1122);
+  EXPECT_EQ(m.read32(0x1000), 0x1122FFD4U);
+}
+
+TEST(Memory, CrossPageAccess) {
+  Memory m;
+  m.write32(0x0FFE, 0x11223344);  // straddles a 4 KiB page boundary
+  EXPECT_EQ(m.read32(0x0FFE), 0x11223344U);
+  EXPECT_EQ(m.pages_allocated(), 2U);
+}
+
+TEST(Memory, FlipBit) {
+  Memory m;
+  m.write32(0x2000, 0);
+  m.flip_bit(0x2000, 5);
+  EXPECT_EQ(m.read8(0x2000), 1U << 5);
+  m.flip_bit(0x2000, 5);
+  EXPECT_EQ(m.read8(0x2000), 0U);
+}
+
+TEST(Memory, LoadImagePlacesSections) {
+  casm_::Asm a;
+  a.data_symbol("d");
+  a.data_word(0xCAFEF00D);
+  a.nop();
+  a.sys_exit(0);
+  const casm_::Image image = a.finalize();
+  Memory m;
+  m.load_image(image);
+  EXPECT_EQ(m.read32(image.text_base), image.text[0]);
+  EXPECT_EQ(m.read32(image.data_base), 0xCAFEF00DU);
+}
+
+TEST(ICache, HitsAfterRefill) {
+  ICacheConfig config;
+  config.enabled = true;
+  config.num_lines = 4;
+  config.words_per_line = 4;
+  ICache cache(config);
+  auto refill = [](std::uint32_t address) { return address * 3; };
+
+  const auto first = cache.access(0x100, refill);
+  EXPECT_FALSE(first.hit);
+  EXPECT_EQ(first.word, 0x100U * 3);
+  const auto second = cache.access(0x104, refill);  // same line
+  EXPECT_TRUE(second.hit);
+  EXPECT_EQ(second.word, 0x104U * 3);
+  EXPECT_EQ(cache.hits(), 1U);
+  EXPECT_EQ(cache.misses(), 1U);
+}
+
+TEST(ICache, ConflictEviction) {
+  ICacheConfig config;
+  config.enabled = true;
+  config.num_lines = 2;
+  config.words_per_line = 4;
+  ICache cache(config);
+  auto refill = [](std::uint32_t address) { return address; };
+  cache.access(0x000, refill);
+  cache.access(0x040, refill);  // maps to the same line (2 lines x 16B)
+  const auto again = cache.access(0x000, refill);
+  EXPECT_FALSE(again.hit);
+}
+
+TEST(ICache, FlipResidentBitNeedsValidLine) {
+  ICacheConfig config;
+  config.enabled = true;
+  ICache cache(config);
+  support::Rng rng(3);
+  EXPECT_FALSE(cache.flip_random_resident_bit(rng));  // nothing resident yet
+  cache.access(0x80, [](std::uint32_t a) { return a + 1; });
+  EXPECT_TRUE(cache.flip_random_resident_bit(rng));
+}
+
+TEST(ICache, InvalidateAllForcesMisses) {
+  ICacheConfig config;
+  config.enabled = true;
+  ICache cache(config);
+  auto refill = [](std::uint32_t a) { return a; };
+  cache.access(0x40, refill);
+  cache.invalidate_all();
+  EXPECT_FALSE(cache.access(0x40, refill).hit);
+}
+
+class CountingTamper : public BusTamper {
+ public:
+  std::uint32_t on_transfer(std::uint32_t, std::uint32_t word) override {
+    ++transfers;
+    return word ^ mask;
+  }
+  std::uint32_t mask = 0;
+  unsigned transfers = 0;
+};
+
+TEST(FetchPath, ReadsThroughMemory) {
+  Memory m;
+  m.write32(0x00400000, 0x12345678);
+  FetchPath path(&m);
+  EXPECT_EQ(path.fetch(0x00400000), 0x12345678U);
+  EXPECT_EQ(path.take_stall_cycles(), 0U);  // no cache -> no refill stalls
+}
+
+TEST(FetchPath, BusTamperAppliesToTransfers) {
+  Memory m;
+  m.write32(0x00400000, 0xF0F0F0F0);
+  FetchPath path(&m);
+  CountingTamper tamper;
+  tamper.mask = 0x1;
+  path.set_bus_tamper(&tamper);
+  EXPECT_EQ(path.fetch(0x00400000), 0xF0F0F0F1U);
+  EXPECT_EQ(tamper.transfers, 1U);
+}
+
+TEST(FetchPath, CachedWordBypassesBusAfterRefill) {
+  // The paper's location argument: corruption in a cached copy is invisible
+  // to the bus and vice versa, so the fetch path must model residency.
+  Memory m;
+  m.write32(0x00400000, 0xAAAAAAAA);
+  ICacheConfig config;
+  config.enabled = true;
+  config.words_per_line = 4;
+  config.miss_penalty = 4;
+  FetchPath path(&m, config);
+  CountingTamper tamper;
+  path.set_bus_tamper(&tamper);
+
+  EXPECT_EQ(path.fetch(0x00400000), 0xAAAAAAAAU);
+  const unsigned transfers_after_miss = tamper.transfers;
+  EXPECT_EQ(transfers_after_miss, 4U);  // one per word in the line
+  EXPECT_GT(path.take_stall_cycles(), 0U);
+
+  // Hit: no new bus transfer, and memory changes are not observed.
+  m.write32(0x00400000, 0xBBBBBBBB);
+  EXPECT_EQ(path.fetch(0x00400000), 0xAAAAAAAAU);
+  EXPECT_EQ(tamper.transfers, transfers_after_miss);
+  EXPECT_EQ(path.take_stall_cycles(), 0U);
+}
+
+TEST(FetchPath, ResidentBitFlipObservedOnHit) {
+  Memory m;
+  ICacheConfig config;
+  config.enabled = true;
+  FetchPath path(&m, config);
+  path.fetch(0x00400000);  // memory is zero: the whole line caches as zeros
+  support::Rng rng(1);
+  ASSERT_TRUE(path.icache()->flip_random_resident_bit(rng));
+  // The flip landed somewhere in the (only) resident line; scanning its four
+  // words must observe exactly one corrupted word.
+  unsigned corrupted = 0;
+  for (std::uint32_t offset = 0; offset < 16; offset += 4) {
+    corrupted += path.fetch(0x00400000 + offset) != 0 ? 1 : 0;
+  }
+  EXPECT_EQ(corrupted, 1U);
+}
+
+}  // namespace
+}  // namespace cicmon::mem

@@ -1,0 +1,192 @@
+// OS-model tests: the loader contract and the monitoring-exception handler.
+#include <gtest/gtest.h>
+
+#include "casm/builder.h"
+#include "os/loader.h"
+#include "os/monitor_os.h"
+#include "support/error.h"
+
+namespace cicmon::os {
+namespace {
+
+casm_::Image small_program() {
+  casm_::Asm a;
+  a.func("main");
+  a.li(isa::kT0, 2);
+  casm_::Label loop = a.bound_label();
+  a.addiu(isa::kT0, isa::kT0, -1);
+  a.bne(isa::kT0, isa::kZero, loop);
+  a.sys_exit(0);
+  return a.finalize();
+}
+
+cfg::FullHashTable fht_of(const casm_::Image& image) {
+  return cfg::build_fht(image, *hash::make_hash_unit(hash::HashKind::kXor));
+}
+
+TEST(Loader, AttachThenLoadRoundTrips) {
+  casm_::Image image = small_program();
+  const auto unit = hash::make_hash_unit(hash::HashKind::kXor);
+  attach_fht(&image, *unit);
+  ASSERT_NE(image.symbols.find(kFhtSymbol), image.symbols.end());
+
+  mem::Memory memory;
+  const LoadedProgram loaded = os_load(image, &memory, *unit);
+  EXPECT_TRUE(loaded.fht_was_attached);
+  EXPECT_EQ(loaded.entry, image.entry);
+  const cfg::FullHashTable direct = fht_of(image);
+  ASSERT_EQ(loaded.fht.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(loaded.fht.record(i), direct.record(i));
+  }
+}
+
+TEST(Loader, AttachTwiceRejected) {
+  casm_::Image image = small_program();
+  const auto unit = hash::make_hash_unit(hash::HashKind::kXor);
+  attach_fht(&image, *unit);
+  EXPECT_THROW(attach_fht(&image, *unit), support::CicError);
+}
+
+TEST(Loader, ComputesHashesWhenNothingAttached) {
+  const casm_::Image image = small_program();
+  const auto unit = hash::make_hash_unit(hash::HashKind::kXor);
+  mem::Memory memory;
+  const LoadedProgram loaded = os_load(image, &memory, *unit);
+  EXPECT_FALSE(loaded.fht_was_attached);
+  EXPECT_EQ(loaded.fht.size(), fht_of(image).size());
+}
+
+TEST(Loader, BinaryInstructionsUntouchedByAttach) {
+  // The scheme's headline property: attaching hashes must not change text.
+  casm_::Image image = small_program();
+  const std::vector<std::uint32_t> text_before = image.text;
+  attach_fht(&image, *hash::make_hash_unit(hash::HashKind::kXor));
+  EXPECT_EQ(image.text, text_before);
+}
+
+TEST(Monitor, BenignMissRefillsAndCharges) {
+  const casm_::Image image = small_program();
+  const cfg::FullHashTable fht = fht_of(image);
+  const cfg::CheckRegion first = fht.record(0);
+
+  OsConfig config;
+  config.exception_cycles = 100;
+  OsMonitor monitor(config, fht);
+  cic::Iht iht(8, cic::ReplacePolicy::kLru);
+
+  const ExceptionOutcome outcome =
+      monitor.handle_hash_miss({first.start, first.end, first.hash}, &iht);
+  EXPECT_FALSE(outcome.terminate);
+  EXPECT_EQ(outcome.cycles, 100U);
+  EXPECT_TRUE(iht.lookup(first.start, first.end, first.hash).match);
+  EXPECT_EQ(monitor.stats().miss_exceptions, 1U);
+  EXPECT_EQ(monitor.stats().refills, 1U);
+  EXPECT_GE(monitor.stats().records_loaded, 1U);
+}
+
+TEST(Monitor, MissWithWrongHashTerminates) {
+  const casm_::Image image = small_program();
+  const cfg::FullHashTable fht = fht_of(image);
+  const cfg::CheckRegion first = fht.record(0);
+  OsMonitor monitor(OsConfig{}, fht);
+  cic::Iht iht(4, cic::ReplacePolicy::kLru);
+
+  const ExceptionOutcome outcome =
+      monitor.handle_hash_miss({first.start, first.end, first.hash ^ 1}, &iht);
+  EXPECT_TRUE(outcome.terminate);
+  EXPECT_EQ(outcome.cause, TerminationCause::kFhtHashMismatch);
+}
+
+TEST(Monitor, UnknownBlockTerminates) {
+  const casm_::Image image = small_program();
+  OsMonitor monitor(OsConfig{}, fht_of(image));
+  cic::Iht iht(4, cic::ReplacePolicy::kLru);
+  const ExceptionOutcome outcome = monitor.handle_hash_miss({0x1000, 0x1008, 0}, &iht);
+  EXPECT_TRUE(outcome.terminate);
+  EXPECT_EQ(outcome.cause, TerminationCause::kNotInFht);
+}
+
+TEST(Monitor, MismatchAlwaysTerminates) {
+  const casm_::Image image = small_program();
+  OsMonitor monitor(OsConfig{}, fht_of(image));
+  const ExceptionOutcome outcome = monitor.handle_hash_mismatch({1, 2, 3});
+  EXPECT_TRUE(outcome.terminate);
+  EXPECT_EQ(outcome.cause, TerminationCause::kHashMismatch);
+  EXPECT_EQ(monitor.stats().mismatch_exceptions, 1U);
+}
+
+TEST(Monitor, ExceptionCostConfigurable) {
+  const casm_::Image image = small_program();
+  OsConfig config;
+  config.exception_cycles = 250;
+  OsMonitor monitor(config, fht_of(image));
+  cic::Iht iht(4, cic::ReplacePolicy::kLru);
+  const cfg::CheckRegion first = monitor.fht().record(0);
+  const ExceptionOutcome outcome =
+      monitor.handle_hash_miss({first.start, first.end, first.hash}, &iht);
+  EXPECT_EQ(outcome.cycles, 250U);
+  EXPECT_EQ(monitor.stats().cycles_charged, 250U);
+}
+
+TEST(Monitor, FhtProbeCostAdds) {
+  const casm_::Image image = small_program();
+  OsConfig config;
+  config.exception_cycles = 100;
+  config.fht_probe_cycles = 10;
+  OsMonitor monitor(config, fht_of(image));
+  cic::Iht iht(4, cic::ReplacePolicy::kLru);
+  const cfg::CheckRegion first = monitor.fht().record(0);
+  const ExceptionOutcome outcome =
+      monitor.handle_hash_miss({first.start, first.end, first.hash}, &iht);
+  EXPECT_GT(outcome.cycles, 100U);
+}
+
+TEST(Monitor, ReplaceHalfLoadsSeveralRecords) {
+  // Build a program with several sequential blocks so the forward prefetch
+  // has in-window records to load.
+  casm_::Asm a;
+  a.func("main");
+  for (int block = 0; block < 6; ++block) {
+    casm_::Label next = a.label();
+    a.addiu(isa::kT0, isa::kT0, 1);
+    a.beq(isa::kZero, isa::kZero, next);
+    a.bind(next);
+  }
+  a.sys_exit(0);
+  const casm_::Image image = a.finalize();
+  const cfg::FullHashTable fht = fht_of(image);
+  ASSERT_GE(fht.size(), 6U);
+
+  OsConfig config;
+  config.refill_mode = RefillMode::kReplaceHalfPrefetch;
+  OsMonitor monitor(config, fht);
+  cic::Iht iht(8, cic::ReplacePolicy::kLru);
+  const cfg::CheckRegion first = monitor.fht().record(0);
+  monitor.handle_hash_miss({first.start, first.end, first.hash}, &iht);
+  EXPECT_GT(monitor.stats().records_loaded, 1U);
+  EXPECT_LE(monitor.stats().records_loaded, 4U);  // half of 8
+  EXPECT_GE(iht.valid_entries(), 2U);
+}
+
+TEST(Monitor, SingleEntryModeLoadsExactlyOne) {
+  const casm_::Image image = small_program();
+  OsConfig config;
+  config.refill_mode = RefillMode::kSingleEntry;
+  OsMonitor monitor(config, fht_of(image));
+  cic::Iht iht(8, cic::ReplacePolicy::kLru);
+  const cfg::CheckRegion first = monitor.fht().record(0);
+  monitor.handle_hash_miss({first.start, first.end, first.hash}, &iht);
+  EXPECT_EQ(monitor.stats().records_loaded, 1U);
+  EXPECT_EQ(iht.valid_entries(), 1U);
+}
+
+TEST(Names, AllEnumsPrintable) {
+  EXPECT_EQ(refill_mode_name(RefillMode::kSingleEntry), "single-entry");
+  EXPECT_EQ(refill_mode_name(RefillMode::kReplaceHalfPrefetch), "replace-half-prefetch");
+  EXPECT_EQ(termination_cause_name(TerminationCause::kNone), "none");
+  EXPECT_EQ(termination_cause_name(TerminationCause::kHashMismatch), "hash-mismatch");
+}
+
+}  // namespace
+}  // namespace cicmon::os

@@ -1,0 +1,190 @@
+// Unit tests for the support layer: bit helpers, RNG, strings, stats, table.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/bitops.h"
+#include "support/error.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace cicmon::support {
+namespace {
+
+TEST(Bitops, RotationsAreInverses) {
+  for (unsigned amount : {0U, 1U, 7U, 16U, 31U}) {
+    EXPECT_EQ(rotr32(rotl32(0xDEADBEEF, amount), amount), 0xDEADBEEFU);
+  }
+}
+
+TEST(Bitops, RotlWrapsAmount) { EXPECT_EQ(rotl32(1, 33), 2U); }
+
+TEST(Bitops, PopcountAndParity) {
+  EXPECT_EQ(popcount32(0), 0U);
+  EXPECT_EQ(popcount32(0xFFFFFFFF), 32U);
+  EXPECT_EQ(popcount32(0b1011), 3U);
+  EXPECT_EQ(parity32(0b1011), 1U);
+  EXPECT_EQ(parity32(0b1001), 0U);
+}
+
+TEST(Bitops, BitsExtractsFields) {
+  EXPECT_EQ(bits(0xABCD1234, 0, 16), 0x1234U);
+  EXPECT_EQ(bits(0xABCD1234, 16, 16), 0xABCDU);
+  EXPECT_EQ(bits(0xABCD1234, 0, 32), 0xABCD1234U);
+  EXPECT_EQ(bits(0xFF, 4, 4), 0xFU);
+}
+
+TEST(Bitops, InsertBitsRoundTrips) {
+  const std::uint32_t patched = insert_bits(0, 21, 5, 17);
+  EXPECT_EQ(bits(patched, 21, 5), 17U);
+  EXPECT_EQ(insert_bits(0xFFFFFFFF, 8, 8, 0), 0xFFFF00FFU);
+}
+
+TEST(Bitops, SignExtend) {
+  EXPECT_EQ(sign_extend(0x8000, 16), -32768);
+  EXPECT_EQ(sign_extend(0x7FFF, 16), 32767);
+  EXPECT_EQ(sign_extend(0xFFFF, 16), -1);
+  EXPECT_EQ(sign_extend(0x1, 1), -1);
+}
+
+TEST(Bitops, FlipBitIsInvolution) {
+  EXPECT_EQ(flip_bit(flip_bit(0x12345678, 13), 13), 0x12345678U);
+  EXPECT_NE(flip_bit(0, 31), 0U);
+}
+
+TEST(Bitops, IsAligned) {
+  EXPECT_TRUE(is_aligned(0x1000, 4));
+  EXPECT_FALSE(is_aligned(0x1002, 4));
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) differing += a.next_u64() != b.next_u64();
+  EXPECT_GT(differing, 12);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17U);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8U);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, SplitDropsEmptyFields) {
+  const auto parts = split("a,,b, c", ", ");
+  ASSERT_EQ(parts.size(), 3U);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, ParseIntFormats) {
+  std::int64_t v = 0;
+  EXPECT_TRUE(parse_int("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parse_int("-17", &v));
+  EXPECT_EQ(v, -17);
+  EXPECT_TRUE(parse_int("0x1F", &v));
+  EXPECT_EQ(v, 31);
+  EXPECT_FALSE(parse_int("zzz", &v));
+  EXPECT_FALSE(parse_int("", &v));
+}
+
+TEST(Strings, Hex32) { EXPECT_EQ(hex32(0x40001C), "0x0040001c"); }
+
+TEST(Stats, RunningStatMoments) {
+  RunningStat s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4U);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, HistogramCdf) {
+  Histogram h;
+  h.add(1, 2);
+  h.add(5, 2);
+  EXPECT_DOUBLE_EQ(h.cdf_at(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.cdf_at(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.cdf_at(10), 1.0);
+  EXPECT_EQ(h.total(), 4U);
+}
+
+TEST(Stats, CounterSet) {
+  CounterSet c;
+  c.bump("x");
+  c.bump("x", 2);
+  EXPECT_EQ(c.value("x"), 3U);
+  EXPECT_EQ(c.value("missing"), 0U);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.render_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowArityChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CicError);
+}
+
+TEST(Error, CheckThrowsWithMessage) {
+  EXPECT_NO_THROW(check(true, "fine"));
+  try {
+    check(false, "the precondition");
+    FAIL() << "expected throw";
+  } catch (const CicError& e) {
+    EXPECT_NE(std::string(e.what()).find("the precondition"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace cicmon::support

@@ -1,0 +1,273 @@
+// Microoperation-layer tests: canonical programs, the monitoring-embedding
+// pass (Figures 3 and 4), paper-notation rendering, and the interpreter.
+#include <gtest/gtest.h>
+
+#include "isa/instruction.h"
+#include "support/error.h"
+#include "uop/interp.h"
+#include "uop/monitor_pass.h"
+#include "uop/uop.h"
+
+namespace cicmon::uop {
+namespace {
+
+unsigned count_kind(const std::vector<Uop>& ops, UopKind kind) {
+  unsigned n = 0;
+  for (const Uop& op : ops) n += op.kind == kind ? 1 : 0;
+  return n;
+}
+
+TEST(UopBuild, FetchProgramMatchesFigure1) {
+  const IsaUopSpec spec = build_isa_uops();
+  // CPC.read, IMAU.read, IReg.write, const4, add, CPC.write.
+  ASSERT_EQ(spec.fetch.size(), 6U);
+  EXPECT_EQ(spec.fetch[0].kind, UopKind::kReadSpecial);
+  EXPECT_EQ(spec.fetch[0].special, SpecialReg::kCpc);
+  EXPECT_EQ(spec.fetch[1].kind, UopKind::kFetchInstr);
+  EXPECT_EQ(spec.fetch[2].kind, UopKind::kWriteSpecial);
+  EXPECT_EQ(spec.fetch[2].special, SpecialReg::kIReg);
+  EXPECT_FALSE(spec.monitoring_embedded);
+}
+
+TEST(UopBuild, EveryInstructionHasAProgram) {
+  const IsaUopSpec spec = build_isa_uops();
+  for (const isa::OpcodeInfo& row : isa::opcode_table()) {
+    if (row.mnemonic == isa::Mnemonic::kInvalid) continue;
+    EXPECT_FALSE(spec.program(row.mnemonic).ops.empty()) << row.name;
+  }
+}
+
+TEST(UopBuild, FlowControlEndsWithSetPc) {
+  const IsaUopSpec spec = build_isa_uops();
+  for (const isa::OpcodeInfo& row : isa::opcode_table()) {
+    if (row.mnemonic == isa::Mnemonic::kInvalid || !isa::is_flow_control(row.cls)) continue;
+    EXPECT_EQ(count_kind(spec.program(row.mnemonic).ops, UopKind::kSetPc), 1U) << row.name;
+  }
+}
+
+TEST(MonitorPass, ExtendsFetchWithFigure3b) {
+  IsaUopSpec spec = build_isa_uops();
+  const std::size_t before = spec.fetch.size();
+  embed_monitoring(&spec);
+  EXPECT_TRUE(spec.monitoring_embedded);
+  ASSERT_EQ(spec.fetch.size(), before + 5);  // STA.read, guarded STA.write, RHASH.read, hash, RHASH.write
+  EXPECT_EQ(count_kind(spec.fetch, UopKind::kHashStep), 1U);
+  // The STA write must be guarded on start==0 (conditional microoperation).
+  bool guarded_sta_write = false;
+  for (const Uop& op : spec.fetch) {
+    if (op.kind == UopKind::kWriteSpecial && op.special == SpecialReg::kSta) {
+      guarded_sta_write = op.guard == GuardKind::kIfZero;
+    }
+  }
+  EXPECT_TRUE(guarded_sta_write);
+}
+
+TEST(MonitorPass, OnlyFlowControlIdExtended) {
+  IsaUopSpec spec = build_isa_uops();
+  embed_monitoring(&spec);
+  for (const isa::OpcodeInfo& row : isa::opcode_table()) {
+    if (row.mnemonic == isa::Mnemonic::kInvalid) continue;
+    const unsigned lookups = count_kind(spec.program(row.mnemonic).ops, UopKind::kIhtLookup);
+    const unsigned excs = count_kind(spec.program(row.mnemonic).ops, UopKind::kRaiseExc);
+    if (isa::is_flow_control(row.cls)) {
+      EXPECT_EQ(lookups, 1U) << row.name;
+      EXPECT_EQ(excs, 2U) << row.name;  // exception0 and exception1
+    } else {
+      EXPECT_EQ(lookups, 0U) << row.name;
+      EXPECT_EQ(excs, 0U) << row.name;
+    }
+  }
+}
+
+TEST(MonitorPass, MonitoringOpsAreTagged) {
+  IsaUopSpec spec = build_isa_uops();
+  embed_monitoring(&spec);
+  unsigned tagged = 0;
+  for (const Uop& op : spec.fetch) tagged += op.monitoring ? 1 : 0;
+  EXPECT_EQ(tagged, 5U);
+}
+
+TEST(MonitorPass, RejectsDoubleEmbedding) {
+  IsaUopSpec spec = build_isa_uops();
+  embed_monitoring(&spec);
+  EXPECT_THROW(embed_monitoring(&spec), support::CicError);
+  EXPECT_THROW(embed_monitoring(nullptr), support::CicError);
+}
+
+TEST(MonitorPass, IdExtensionPrependsBeforeSetPc) {
+  // Figure 4: the lookup/reset run before the control transfer executes.
+  IsaUopSpec spec = build_isa_uops();
+  embed_monitoring(&spec);
+  const auto& ops = spec.program(isa::Mnemonic::kJr).ops;
+  std::size_t lookup_at = ops.size(), setpc_at = 0;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind == UopKind::kIhtLookup) lookup_at = i;
+    if (ops[i].kind == UopKind::kSetPc) setpc_at = i;
+  }
+  EXPECT_LT(lookup_at, setpc_at);
+}
+
+TEST(UopPrint, PaperNotation) {
+  IsaUopSpec spec = build_isa_uops();
+  embed_monitoring(&spec);
+  const std::string fetch_text = dump_stage(spec.fetch, Stage::kIF);
+  // The paper's conditional-microoperation syntax of Figure 3(b).
+  EXPECT_NE(fetch_text.find("[start==0]"), std::string::npos) << fetch_text;
+  EXPECT_NE(fetch_text.find("HASHFU"), std::string::npos);
+  EXPECT_NE(fetch_text.find("RHASH"), std::string::npos);
+}
+
+TEST(Interp, AluEvalBasics) {
+  EXPECT_EQ(alu_eval(AluOp::kAdd, 2, 3), 5U);
+  EXPECT_EQ(alu_eval(AluOp::kSub, 2, 3), 0xFFFFFFFFU);
+  EXPECT_EQ(alu_eval(AluOp::kSra, 0x80000000, 31), 0xFFFFFFFFU);
+  EXPECT_EQ(alu_eval(AluOp::kSrl, 0x80000000, 31), 1U);
+  EXPECT_EQ(alu_eval(AluOp::kSltSigned, 0xFFFFFFFF, 0), 1U);   // -1 < 0
+  EXPECT_EQ(alu_eval(AluOp::kSltUnsigned, 0xFFFFFFFF, 0), 0U); // big > 0
+  EXPECT_EQ(alu_eval(AluOp::kNor, 0, 0), 0xFFFFFFFFU);
+  EXPECT_EQ(alu_eval(AluOp::kCmpLtZ, 0x80000000, 0), 1U);
+  EXPECT_EQ(alu_eval(AluOp::kCmpGeZ, 0, 0), 1U);
+}
+
+TEST(Interp, MulDivEval) {
+  HiLo r = muldiv_eval(MulDivOp::kMult, 0xFFFFFFFF, 2);  // -1 * 2
+  EXPECT_EQ(r.lo, 0xFFFFFFFEU);
+  EXPECT_EQ(r.hi, 0xFFFFFFFFU);
+  r = muldiv_eval(MulDivOp::kMultu, 0xFFFFFFFF, 2);
+  EXPECT_EQ(r.lo, 0xFFFFFFFEU);
+  EXPECT_EQ(r.hi, 1U);
+  r = muldiv_eval(MulDivOp::kDiv, 7, static_cast<std::uint32_t>(-2));
+  EXPECT_EQ(static_cast<std::int32_t>(r.lo), -3);
+  EXPECT_EQ(static_cast<std::int32_t>(r.hi), 1);
+  r = muldiv_eval(MulDivOp::kDivu, 7, 2);
+  EXPECT_EQ(r.lo, 3U);
+  EXPECT_EQ(r.hi, 1U);
+}
+
+TEST(Interp, DivByZeroIsDeterministic) {
+  const HiLo r = muldiv_eval(MulDivOp::kDivu, 42, 0);
+  EXPECT_EQ(r.lo, 0xFFFFFFFFU);
+  EXPECT_EQ(r.hi, 42U);
+  const HiLo s = muldiv_eval(MulDivOp::kDiv, 42, 0);
+  EXPECT_EQ(s.lo, 0xFFFFFFFFU);
+  EXPECT_EQ(s.hi, 42U);
+}
+
+TEST(Interp, DivOverflowWraps) {
+  const HiLo r = muldiv_eval(MulDivOp::kDiv, 0x80000000, static_cast<std::uint32_t>(-1));
+  EXPECT_EQ(r.lo, 0x80000000U);
+  EXPECT_EQ(r.hi, 0U);
+}
+
+// Minimal datapath that records microoperation effects.
+class RecordingDatapath : public Datapath {
+ public:
+  std::uint32_t read_special(SpecialReg r) override {
+    return specials[static_cast<int>(r)];
+  }
+  void write_special(SpecialReg r, std::uint32_t v) override {
+    specials[static_cast<int>(r)] = v;
+  }
+  std::uint32_t read_gpr(unsigned i) override { return gpr[i]; }
+  void write_gpr(unsigned i, std::uint32_t v) override { gpr[i] = v; }
+  std::uint32_t fetch_instr(std::uint32_t) override { return fetched_word; }
+  std::uint32_t load(std::uint32_t, MemWidth, bool) override { return 0; }
+  void store(std::uint32_t, MemWidth, std::uint32_t) override {}
+  std::uint32_t hash_step(std::uint32_t h, std::uint32_t w) override { return h ^ w; }
+  IhtLookupResult iht_lookup(std::uint32_t, std::uint32_t, std::uint32_t) override {
+    ++lookups;
+    return lookup_result;
+  }
+  void raise_monitor_exception(std::uint8_t code) override { exceptions.push_back(code); }
+  void set_pc(std::uint32_t t) override { specials[static_cast<int>(SpecialReg::kCpc)] = t; }
+  void syscall() override {}
+  void illegal_instruction() override { ++illegals; }
+
+  std::uint32_t specials[8]{};
+  std::uint32_t gpr[32]{};
+  std::uint32_t fetched_word = 0;
+  IhtLookupResult lookup_result;
+  std::vector<std::uint8_t> exceptions;
+  unsigned lookups = 0;
+  unsigned illegals = 0;
+};
+
+TEST(Interp, MonitoredFetchAccumulatesHash) {
+  IsaUopSpec spec = build_isa_uops();
+  embed_monitoring(&spec);
+  RecordingDatapath dp;
+  dp.specials[static_cast<int>(SpecialReg::kCpc)] = 0x00400000;
+  dp.fetched_word = 0xAAAA5555;
+
+  ExecContext ctx;
+  ctx.instr_addr = 0x00400000;
+  execute_stage(spec.fetch, Stage::kIF, ctx, dp);
+
+  EXPECT_EQ(dp.specials[static_cast<int>(SpecialReg::kSta)], 0x00400000U);  // latched
+  EXPECT_EQ(dp.specials[static_cast<int>(SpecialReg::kRhash)], 0xAAAA5555U);
+  EXPECT_EQ(dp.specials[static_cast<int>(SpecialReg::kCpc)], 0x00400004U);
+
+  // Second fetch: STA stays (guard fails), hash folds.
+  dp.fetched_word = 0x0000FFFF;
+  ExecContext ctx2;
+  ctx2.instr_addr = 0x00400004;
+  execute_stage(spec.fetch, Stage::kIF, ctx2, dp);
+  EXPECT_EQ(dp.specials[static_cast<int>(SpecialReg::kSta)], 0x00400000U);
+  EXPECT_EQ(dp.specials[static_cast<int>(SpecialReg::kRhash)], 0xAAAA5555U ^ 0x0000FFFFU);
+}
+
+TEST(Interp, IdExtensionRaisesMissAndResets) {
+  IsaUopSpec spec = build_isa_uops();
+  embed_monitoring(&spec);
+  RecordingDatapath dp;
+  dp.specials[static_cast<int>(SpecialReg::kSta)] = 0x00400000;
+  dp.specials[static_cast<int>(SpecialReg::kPpc)] = 0x00400010;
+  dp.specials[static_cast<int>(SpecialReg::kRhash)] = 0x12345678;
+  dp.lookup_result = {false, false};
+
+  ExecContext ctx;
+  ctx.instr = isa::decode(isa::encode_r(isa::Mnemonic::kJr, 0, 31, 0));
+  ctx.instr_addr = 0x00400010;
+  execute_stage(spec.program(isa::Mnemonic::kJr).ops, Stage::kID, ctx, dp);
+
+  EXPECT_EQ(dp.lookups, 1U);
+  ASSERT_EQ(dp.exceptions.size(), 1U);
+  EXPECT_EQ(dp.exceptions[0], kExcHashMiss);
+  EXPECT_EQ(dp.specials[static_cast<int>(SpecialReg::kSta)], 0U);    // reset
+  EXPECT_EQ(dp.specials[static_cast<int>(SpecialReg::kRhash)], 0U);  // reset
+}
+
+TEST(Interp, IdExtensionRaisesMismatchOnlyWhenFoundAndHashDiffers) {
+  IsaUopSpec spec = build_isa_uops();
+  embed_monitoring(&spec);
+  for (const bool match : {true, false}) {
+    RecordingDatapath dp;
+    dp.lookup_result = {true, match};
+    ExecContext ctx;
+    ctx.instr = isa::decode(isa::encode_r(isa::Mnemonic::kJr, 0, 31, 0));
+    execute_stage(spec.program(isa::Mnemonic::kJr).ops, Stage::kID, ctx, dp);
+    if (match) {
+      EXPECT_TRUE(dp.exceptions.empty());
+    } else {
+      ASSERT_EQ(dp.exceptions.size(), 1U);
+      EXPECT_EQ(dp.exceptions[0], kExcHashMismatch);
+    }
+  }
+}
+
+TEST(Interp, UnmonitoredSpecNeverTouchesMonitorPorts) {
+  const IsaUopSpec spec = build_isa_uops();
+  RecordingDatapath dp;
+  dp.specials[static_cast<int>(SpecialReg::kCpc)] = 0x00400000;
+  ExecContext ctx;
+  execute_stage(spec.fetch, Stage::kIF, ctx, dp);
+  ctx.instr = isa::decode(isa::encode_i(isa::Mnemonic::kBeq, 0, 0, 4));
+  for (Stage s : {Stage::kID, Stage::kEX, Stage::kMEM, Stage::kWB}) {
+    execute_stage(spec.program(ctx.instr.mnemonic).ops, s, ctx, dp);
+  }
+  EXPECT_EQ(dp.lookups, 0U);
+  EXPECT_TRUE(dp.exceptions.empty());
+}
+
+}  // namespace
+}  // namespace cicmon::uop

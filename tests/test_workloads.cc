@@ -1,0 +1,189 @@
+// Workload tests: every kernel must compute correct results (its built-in
+// self-checks pass) on the plain machine AND behave identically under the
+// monitor — parameterized across all nine benchmarks.
+#include <gtest/gtest.h>
+
+#include "cpu/cpu.h"
+#include "support/error.h"
+#include "workloads/refs.h"
+#include "workloads/workloads.h"
+
+namespace cicmon::workloads {
+namespace {
+
+constexpr double kTestScale = 0.05;  // keep test runtime low
+
+class EveryWorkload : public ::testing::TestWithParam<WorkloadInfo> {};
+
+TEST_P(EveryWorkload, SelfChecksPassUnmonitored) {
+  const casm_::Image image = GetParam().build({kTestScale, 42});
+  cpu::Cpu cpu(cpu::CpuConfig{}, image);
+  const cpu::RunResult r = cpu.run();
+  EXPECT_EQ(r.reason, cpu::ExitReason::kExit)
+      << GetParam().name << ": observed " << r.check_observed << " expected "
+      << r.check_expected;
+  EXPECT_EQ(r.exit_code, 0U);
+}
+
+TEST_P(EveryWorkload, MonitoringIsTransparent) {
+  const casm_::Image image = GetParam().build({kTestScale, 42});
+  cpu::CpuConfig off;
+  cpu::Cpu plain(off, image);
+  const cpu::RunResult r_off = plain.run();
+
+  cpu::CpuConfig on;
+  on.monitoring = true;
+  on.cic.iht_entries = 8;
+  cpu::Cpu monitored(on, image);
+  const cpu::RunResult r_on = monitored.run();
+
+  EXPECT_EQ(r_on.reason, cpu::ExitReason::kExit) << GetParam().name;
+  EXPECT_EQ(r_on.instructions, r_off.instructions) << GetParam().name;
+  EXPECT_EQ(r_on.console, r_off.console) << GetParam().name;
+  EXPECT_EQ(r_on.app_cycles(), r_off.cycles) << GetParam().name;
+  EXPECT_GT(r_on.iht.lookups, 0U) << GetParam().name;
+}
+
+TEST_P(EveryWorkload, ScaleGrowsWork) {
+  const casm_::Image small = GetParam().build({0.05, 42});
+  const casm_::Image large = GetParam().build({2.0, 42});
+  cpu::Cpu cpu_small(cpu::CpuConfig{}, small);
+  cpu::Cpu cpu_large(cpu::CpuConfig{}, large);
+  EXPECT_LT(cpu_small.run().instructions, cpu_large.run().instructions) << GetParam().name;
+}
+
+TEST_P(EveryWorkload, SeedChangesInputsNotCorrectness) {
+  const casm_::Image image = GetParam().build({kTestScale, 1234});
+  cpu::Cpu cpu(cpu::CpuConfig{}, image);
+  EXPECT_EQ(cpu.run().reason, cpu::ExitReason::kExit) << GetParam().name;
+}
+
+TEST_P(EveryWorkload, DeterministicBuilds) {
+  const casm_::Image a = GetParam().build({kTestScale, 42});
+  const casm_::Image b = GetParam().build({kTestScale, 42});
+  EXPECT_EQ(a.text, b.text) << GetParam().name;
+  EXPECT_EQ(a.data, b.data) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNine, EveryWorkload, ::testing::ValuesIn([] {
+                           std::vector<WorkloadInfo> infos;
+                           for (const WorkloadInfo& info : all_workloads()) {
+                             infos.push_back(info);
+                           }
+                           return infos;
+                         }()),
+                         [](const ::testing::TestParamInfo<WorkloadInfo>& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST(Registry, NineWorkloadsInPaperOrder) {
+  const auto infos = all_workloads();
+  ASSERT_EQ(infos.size(), 9U);
+  EXPECT_EQ(infos.front().name, "basicmath");
+  EXPECT_EQ(infos.back().name, "bitcount");
+  EXPECT_EQ(find_workload("sha").name, "sha");
+  EXPECT_THROW(find_workload("nonesuch"), support::CicError);
+}
+
+TEST(Refs, IsqrtExactOnSquaresAndNeighbours) {
+  for (std::uint32_t r = 7; r < 300; r += 7) {
+    EXPECT_EQ(refs::isqrt32(r * r), r);
+    if (r > 0) {
+      EXPECT_EQ(refs::isqrt32(r * r - 1), r - 1);
+    }
+    EXPECT_EQ(refs::isqrt32(r * r + 1), r);
+  }
+  EXPECT_EQ(refs::isqrt32(0xFFFFFFFF), 65535U);
+}
+
+TEST(Refs, GcdProperties) {
+  EXPECT_EQ(refs::gcd32(12, 18), 6U);
+  EXPECT_EQ(refs::gcd32(17, 13), 1U);
+  EXPECT_EQ(refs::gcd32(0, 5), 5U);
+  EXPECT_EQ(refs::gcd32(5, 0), 5U);
+  EXPECT_EQ(refs::gcd32(36, 36), 36U);
+}
+
+TEST(Refs, BmhAgreesWithBrute) {
+  support::Rng rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> text(40 + rng.below(60));
+    for (auto& c : text) c = static_cast<std::uint8_t>('a' + rng.below(4));
+    std::vector<std::uint8_t> pat(1 + rng.below(5));
+    for (auto& c : pat) c = static_cast<std::uint8_t>('a' + rng.below(4));
+    EXPECT_EQ(refs::bmh_count(text, pat), refs::brute_count(text, pat))
+        << "trial " << trial;
+  }
+}
+
+TEST(Refs, BmhEdgeCases) {
+  const std::vector<std::uint8_t> text{'a', 'a', 'a', 'a'};
+  EXPECT_EQ(refs::bmh_count(text, std::vector<std::uint8_t>{}), 0U);
+  EXPECT_EQ(refs::bmh_count(text, std::vector<std::uint8_t>{'a', 'a', 'a', 'a', 'a'}), 0U);
+  EXPECT_EQ(refs::bmh_count(text, std::vector<std::uint8_t>{'a', 'a'}), 2U);  // non-overlap
+}
+
+TEST(Refs, BlowfishRoundTrips) {
+  support::Rng rng(7);
+  refs::BlowfishRef bf;
+  for (auto& p : bf.p) p = rng.next_u32();
+  for (auto& box : bf.s) {
+    for (auto& e : box) e = rng.next_u32();
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint32_t l0 = rng.next_u32(), r0 = rng.next_u32();
+    std::uint32_t l = l0, r = r0;
+    bf.encrypt(&l, &r);
+    EXPECT_FALSE(l == l0 && r == r0);
+    bf.decrypt(&l, &r);
+    EXPECT_EQ(l, l0);
+    EXPECT_EQ(r, r0);
+  }
+}
+
+TEST(Refs, AesMatchesFips197VectorC1) {
+  std::uint8_t key[16], pt[16], ct[16];
+  for (int i = 0; i < 16; ++i) {
+    key[i] = static_cast<std::uint8_t>(i);
+    pt[i] = static_cast<std::uint8_t>((i << 4) | i);
+  }
+  const refs::Aes128Ref aes({key, 16});
+  aes.encrypt_block(pt, ct);
+  const std::uint8_t expected[16] = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+                                     0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a};
+  EXPECT_TRUE(std::equal(ct, ct + 16, expected));
+}
+
+TEST(Refs, DijkstraOnKnownGraph) {
+  // 3-node graph: 0->1 (2), 1->2 (3), 0->2 (10) => dist = {0, 2, 5}, sum 7.
+  const std::vector<std::uint32_t> matrix{0, 2, 10,  //
+                                          0, 0, 3,   //
+                                          0, 0, 0};
+  EXPECT_EQ(refs::dijkstra_distance_sum(matrix, 3), 7U);
+}
+
+TEST(Refs, SusanFlatImageHasNoEdges) {
+  const std::vector<std::uint8_t> flat(8 * 8, 100);
+  EXPECT_EQ(refs::susan_edge_count(flat, 8, 8, 20, 5), 0U);
+}
+
+TEST(Refs, SusanThinLineIsAllEdge) {
+  // A one-pixel bright line: its pixels see 6 of 9 neighbours dissimilar
+  // (similar count 3 <= limit 5), so every interior line pixel is an edge.
+  std::vector<std::uint8_t> img(8 * 8, 10);
+  for (unsigned y = 0; y < 8; ++y) img[y * 8 + 4] = 200;
+  EXPECT_EQ(refs::susan_edge_count(img, 8, 8, 20, 5), 6U);
+}
+
+TEST(Refs, PopcountSum) {
+  const std::vector<std::uint32_t> values{0, 1, 3, 0xFFFFFFFF};
+  EXPECT_EQ(refs::popcount_sum(values), 0U + 1 + 2 + 32);
+}
+
+TEST(Refs, DegToRadFixed) {
+  EXPECT_EQ(refs::deg_to_rad_fixed(0), 0U);
+  EXPECT_EQ(refs::deg_to_rad_fixed(180), (180U * 31416U) / 1800000U);
+}
+
+}  // namespace
+}  // namespace cicmon::workloads
