@@ -14,8 +14,7 @@ int main(int argc, char** argv) {
   const std::vector<unsigned> capacities{1, 8, 16, 32};
   support::Table table({"benchmark", "static regions", "executed keys", "lookups",
                         "instr/block", "LRU hit@1", "@8", "@16", "@32"});
-  for (const workloads::WorkloadInfo& info : workloads::all_workloads()) {
-    const sim::BlockStats stats = sim::characterize_blocks(info.name, capacities, scale);
+  for (const sim::BlockStats& stats : sim::characterize_all_blocks(capacities, scale)) {
     table.add_row({stats.workload, support::Table::fmt_u64(stats.static_regions),
                    support::Table::fmt_u64(stats.dynamic_keys),
                    support::Table::fmt_u64(stats.lookups),

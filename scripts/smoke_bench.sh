@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Smoke-runs every experiment binary at tiny scale so experiment-layer
+# regressions (crashes, thrown CicErrors, malformed sweeps) surface in CI
+# without paying full-sweep cost. Usage: scripts/smoke_bench.sh [build-dir]
+set -euo pipefail
+
+build_dir=${1:-build}
+if [[ ! -d ${build_dir} ]]; then
+  echo "smoke_bench: build directory '${build_dir}' not found" >&2
+  exit 1
+fi
+
+scale=0.05
+failures=0
+
+run() {
+  local name=$1
+  shift
+  if [[ ! -x ${build_dir}/${name} ]]; then
+    echo "--- ${name}: SKIPPED (not built)"
+    return
+  fi
+  echo "--- ${name} $*"
+  if ! "${build_dir}/${name}" "$@" > /dev/null; then
+    echo "--- ${name}: FAILED" >&2
+    failures=$((failures + 1))
+  fi
+}
+
+# Table/figure benches take the scale as their single positional argument.
+run table1_cycle_overhead "${scale}"
+run fig6_miss_rate "${scale}"
+run workload_blocks "${scale}"
+run fault_detection "${scale}"
+run ablation_hash "${scale}"
+run ablation_os_cost "${scale}"
+run ablation_replacement "${scale}"
+run table2_area_timing
+
+# The unified CLI, one subcommand each (campaign sized to stay cheap).
+run cicmon table1 --scale "${scale}"
+run cicmon fig6 --scale "${scale}"
+run cicmon bench --scale "${scale}"
+run cicmon campaign --workload bitcount --scale 0.02 --trials 50
+
+# Examples double as API smoke tests.
+run quickstart
+run tamper_detection
+run fault_campaign bitcount 40
+run asip_design_flow
+run custom_hash_asip
+
+if [[ ${failures} -gt 0 ]]; then
+  echo "smoke_bench: ${failures} binary(ies) failed" >&2
+  exit 1
+fi
+echo "smoke_bench: all experiment binaries healthy at scale ${scale}"

@@ -1,7 +1,10 @@
 #include "fault/campaign.h"
 
+#include <vector>
+
 #include "support/bitops.h"
 #include "support/error.h"
+#include "support/parallel.h"
 
 namespace cicmon::fault {
 namespace {
@@ -93,7 +96,7 @@ CampaignRunner::CampaignRunner(const casm_::Image& image, const cpu::CpuConfig& 
   golden_exit_code_ = result.exit_code;
 }
 
-TrialResult CampaignRunner::run_trial(const FaultSpec& spec) {
+TrialResult CampaignRunner::run_trial(const FaultSpec& spec) const {
   cpu::CpuConfig config = config_;
   // A corrupted loop counter can spin forever; bound each trial well above
   // the golden length so hangs are classified, not waited out.
@@ -172,11 +175,14 @@ TrialResult CampaignRunner::run_trial(const FaultSpec& spec) {
 }
 
 CampaignSummary CampaignRunner::run_random(FaultSite site, unsigned bits, unsigned trials,
-                                           std::uint64_t seed) {
-  support::Rng rng(seed);
-  CampaignSummary summary;
+                                           std::uint64_t seed, unsigned jobs) {
+  // Each trial owns an RNG stream derived from (seed, trial index), so the
+  // fault it injects — and therefore the whole summary — depends only on the
+  // campaign seed, never on thread count or scheduling order.
   const std::uint32_t text_words = static_cast<std::uint32_t>(image_.text.size());
-  for (unsigned t = 0; t < trials; ++t) {
+  std::vector<Outcome> outcomes(trials);
+  support::parallel_for(trials, jobs, [&](std::size_t t) {
+    support::Rng rng(support::derive_stream_seed(seed, t));
     FaultSpec spec;
     spec.site = site;
     spec.xor_mask = random_mask(rng, bits);
@@ -185,8 +191,11 @@ CampaignSummary CampaignRunner::run_random(FaultSite site, unsigned bits, unsign
       spec.target_address =
           image_.text_base + 4 * static_cast<std::uint32_t>(rng.below(text_words));
     }
-    summary.add(run_trial(spec).outcome);
-  }
+    outcomes[t] = run_trial(spec).outcome;
+  });
+
+  CampaignSummary summary;
+  for (const Outcome outcome : outcomes) summary.add(outcome);
   return summary;
 }
 

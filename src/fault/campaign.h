@@ -73,13 +73,17 @@ class CampaignRunner {
   // shared by all trials (each trial loads a fresh copy into its own CPU).
   CampaignRunner(const casm_::Image& image, const cpu::CpuConfig& config);
 
-  // Runs one trial with an explicit fault.
-  TrialResult run_trial(const FaultSpec& spec);
+  // Runs one trial with an explicit fault. Thread-safe: trials share only
+  // the golden-run state, read-only; each builds its own CPU.
+  TrialResult run_trial(const FaultSpec& spec) const;
 
   // Runs `trials` random injections at `site`, each flipping `bits` distinct
-  // bits of one instruction word. Deterministic for a given seed.
+  // bits of one instruction word, fanned out over `jobs` threads (0 resolves
+  // CICMON_JOBS / hardware concurrency; 1 runs inline). Every trial draws
+  // from its own RNG stream seeded by (seed, trial index), so the summary is
+  // bit-identical for a given seed at any job count.
   CampaignSummary run_random(FaultSite site, unsigned bits, unsigned trials,
-                             std::uint64_t seed);
+                             std::uint64_t seed, unsigned jobs = 0);
 
   // Golden-run facts (available after construction).
   std::uint64_t golden_instructions() const { return golden_instructions_; }

@@ -6,6 +6,7 @@
 
 #include "cfg/fht.h"
 #include "support/error.h"
+#include "support/parallel.h"
 
 namespace cicmon::sim {
 
@@ -23,47 +24,61 @@ cpu::RunResult run_workload(std::string_view workload, const cpu::CpuConfig& con
   return result;
 }
 
-std::vector<Fig6Row> fig6_miss_rates(const std::vector<unsigned>& entry_counts, double scale) {
+std::vector<Fig6Row> fig6_miss_rates(const std::vector<unsigned>& entry_counts, double scale,
+                                     unsigned jobs) {
+  const auto infos = workloads::all_workloads();
+  const std::size_t per_workload = entry_counts.size();
+  std::vector<double> miss_rates(infos.size() * per_workload);
+  support::parallel_for(miss_rates.size(), jobs, [&](std::size_t cell) {
+    const workloads::WorkloadInfo& info = infos[cell / per_workload];
+    cpu::CpuConfig config;
+    config.monitoring = true;
+    config.cic.iht_entries = entry_counts[cell % per_workload];
+    miss_rates[cell] = run_workload(info.name, config, scale).iht.miss_rate();
+  });
+
   std::vector<Fig6Row> rows;
-  for (const workloads::WorkloadInfo& info : workloads::all_workloads()) {
+  rows.reserve(infos.size());
+  for (std::size_t w = 0; w < infos.size(); ++w) {
     Fig6Row row;
-    row.workload = std::string(info.name);
-    for (unsigned entries : entry_counts) {
-      cpu::CpuConfig config;
-      config.monitoring = true;
-      config.cic.iht_entries = entries;
-      const cpu::RunResult result = run_workload(info.name, config, scale);
-      row.miss_rates.push_back(result.iht.miss_rate());
-    }
+    row.workload = std::string(infos[w].name);
+    row.miss_rates.assign(miss_rates.begin() + static_cast<std::ptrdiff_t>(w * per_workload),
+                          miss_rates.begin() + static_cast<std::ptrdiff_t>((w + 1) * per_workload));
     rows.push_back(std::move(row));
   }
   return rows;
 }
 
-std::vector<Table1Row> table1_overheads(double scale) {
-  std::vector<Table1Row> rows;
-  for (const workloads::WorkloadInfo& info : workloads::all_workloads()) {
-    Table1Row row;
-    row.workload = std::string(info.name);
-
-    cpu::CpuConfig baseline;  // monitoring off
-    row.cycles_baseline = run_workload(info.name, baseline, scale).cycles;
-
-    for (unsigned entries : {8U, 16U}) {
-      cpu::CpuConfig config;
+std::vector<Table1Row> table1_overheads(double scale, unsigned jobs) {
+  // Three cells per workload: baseline (monitoring off), CIC8, CIC16. The
+  // overheads are derived after the gather, once a workload's baseline and
+  // monitored cells are both in.
+  static constexpr unsigned kVariants[] = {0U, 8U, 16U};
+  static constexpr std::size_t kPerWorkload = std::size(kVariants);
+  const auto infos = workloads::all_workloads();
+  std::vector<std::uint64_t> cycles(infos.size() * kPerWorkload);
+  support::parallel_for(cycles.size(), jobs, [&](std::size_t cell) {
+    const workloads::WorkloadInfo& info = infos[cell / kPerWorkload];
+    const unsigned entries = kVariants[cell % kPerWorkload];
+    cpu::CpuConfig config;
+    if (entries != 0) {
       config.monitoring = true;
       config.cic.iht_entries = entries;
-      const std::uint64_t cycles = run_workload(info.name, config, scale).cycles;
-      const double overhead =
-          static_cast<double>(cycles) / static_cast<double>(row.cycles_baseline) - 1.0;
-      if (entries == 8) {
-        row.cycles_cic8 = cycles;
-        row.overhead_cic8 = overhead;
-      } else {
-        row.cycles_cic16 = cycles;
-        row.overhead_cic16 = overhead;
-      }
     }
+    cycles[cell] = run_workload(info.name, config, scale).cycles;
+  });
+
+  std::vector<Table1Row> rows;
+  rows.reserve(infos.size());
+  for (std::size_t w = 0; w < infos.size(); ++w) {
+    Table1Row row;
+    row.workload = std::string(infos[w].name);
+    row.cycles_baseline = cycles[w * kPerWorkload];
+    row.cycles_cic8 = cycles[w * kPerWorkload + 1];
+    row.cycles_cic16 = cycles[w * kPerWorkload + 2];
+    const double baseline = static_cast<double>(row.cycles_baseline);
+    row.overhead_cic8 = static_cast<double>(row.cycles_cic8) / baseline - 1.0;
+    row.overhead_cic16 = static_cast<double>(row.cycles_cic16) / baseline - 1.0;
     rows.push_back(std::move(row));
   }
   return rows;
@@ -126,6 +141,16 @@ BlockStats characterize_blocks(std::string_view workload,
         distances.cdf_at(static_cast<std::int64_t>(capacity) - 1) - cold);
   }
   return stats;
+}
+
+std::vector<BlockStats> characterize_all_blocks(const std::vector<unsigned>& capacities,
+                                                double scale, unsigned jobs) {
+  const auto infos = workloads::all_workloads();
+  std::vector<BlockStats> rows(infos.size());
+  support::parallel_for(infos.size(), jobs, [&](std::size_t w) {
+    rows[w] = characterize_blocks(infos[w].name, capacities, scale);
+  });
+  return rows;
 }
 
 }  // namespace cicmon::sim

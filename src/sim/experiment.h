@@ -3,6 +3,12 @@
 // Each function reproduces the data behind one table or figure; the bench
 // binaries format these rows, and the integration tests assert their
 // shapes. All runs are deterministic for a given (scale, seed).
+//
+// The sweeps fan out per (workload, config) cell over the parallel engine
+// (support/parallel.h) and gather results in input order, so every table
+// and figure is byte-identical to the serial run at any job count. `jobs`
+// follows the engine contract: 0 = CICMON_JOBS / hardware concurrency,
+// 1 = the exact legacy serial path.
 #pragma once
 
 #include <cstdint>
@@ -28,7 +34,7 @@ struct Fig6Row {
   std::vector<double> miss_rates;  // one per entry count, same order as input
 };
 std::vector<Fig6Row> fig6_miss_rates(const std::vector<unsigned>& entry_counts,
-                                     double scale = 1.0);
+                                     double scale = 1.0, unsigned jobs = 0);
 
 // --- Table 1: cycle-count overhead ---------------------------------------
 struct Table1Row {
@@ -39,7 +45,7 @@ struct Table1Row {
   double overhead_cic8 = 0.0;   // fraction
   double overhead_cic16 = 0.0;
 };
-std::vector<Table1Row> table1_overheads(double scale = 1.0);
+std::vector<Table1Row> table1_overheads(double scale = 1.0, unsigned jobs = 0);
 
 // --- Workload characterisation (§6.1 block counts / locality) ------------
 struct BlockStats {
@@ -57,5 +63,11 @@ struct BlockStats {
 BlockStats characterize_blocks(std::string_view workload,
                                const std::vector<unsigned>& capacities,
                                double scale = 1.0);
+
+// Characterisation of all nine workloads (Figure 6 order), one engine cell
+// per workload. Each workload's reference stream is inherently serial; the
+// fan-out is across workloads.
+std::vector<BlockStats> characterize_all_blocks(const std::vector<unsigned>& capacities,
+                                                double scale = 1.0, unsigned jobs = 0);
 
 }  // namespace cicmon::sim

@@ -1,0 +1,96 @@
+// Deterministic parallel execution engine.
+//
+// Every experiment in this repo (fault campaigns, the §6 table/figure
+// sweeps) is a fan-out over independent cells whose results are gathered by
+// index, so parallel execution can be — and here is required to be —
+// bit-identical to the serial run. The engine therefore never lets thread
+// scheduling touch result order or random-number consumption: callers
+// pre-derive any per-cell RNG stream from (seed, index) and write results
+// into index `i` of an output vector.
+//
+// `TaskPool` is a small work-stealing pool: each worker owns a deque, pushes
+// and pops at its back, and steals from the front of the others when its own
+// runs dry. `parallel_for` layers a blocked index loop on top and is the
+// API almost all callers want.
+//
+// Job-count contract (`--jobs` / CICMON_JOBS): 0 means "resolve a default"
+// (the CICMON_JOBS environment variable if set, otherwise hardware
+// concurrency); 1 executes inline on the calling thread — the exact legacy
+// serial path, no pool, no worker threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cicmon::support {
+
+// Hard ceiling on worker threads: campaigns can ask for thousands of cells,
+// and an unchecked job count that large would exhaust thread resources (and
+// std::thread then throws, not returns). Oversubscription past this point
+// has no upside for CPU-bound simulation anyway.
+inline constexpr unsigned kMaxJobs = 256;
+
+// Resolves a requested job count to an effective one. `requested` > 0 wins;
+// otherwise the CICMON_JOBS environment variable (if a positive integer);
+// otherwise std::thread::hardware_concurrency(). Never returns 0, never
+// returns more than kMaxJobs.
+unsigned resolve_jobs(unsigned requested = 0);
+
+// Work-stealing thread pool. Construction spawns `threads` workers; tasks
+// submitted before or after workers start are distributed round-robin and
+// rebalance by stealing. `wait()` blocks until every submitted task has
+// finished and rethrows the first task exception, if any (remaining tasks
+// are skipped once a task has thrown).
+class TaskPool {
+ public:
+  explicit TaskPool(unsigned threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  void submit(std::function<void()> task);
+  void wait();
+  unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  bool pop_own(unsigned self, std::function<void()>& task);
+  bool steal_other(unsigned self, std::function<void()>& task);
+  void worker_loop(unsigned self);
+  void run_task(const std::function<void()>& task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex control_mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::size_t pending_ = 0;     // submitted but not yet finished
+  std::size_t next_queue_ = 0;  // round-robin submission cursor
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+// Invokes `body(i)` for every i in [0, n), spread over `jobs` threads
+// (resolved via resolve_jobs). Indices are processed in contiguous blocks so
+// per-index overhead stays small while stealing balances uneven cells.
+// jobs == 1 runs the plain `for` loop on the caller's thread. The first
+// exception thrown by any invocation is rethrown on the caller; pending
+// blocks are abandoned. Determinism is the caller's side of the contract:
+// `body` must derive everything it needs from `i` alone and write results
+// only to slot `i`.
+void parallel_for(std::size_t n, unsigned jobs, const std::function<void(std::size_t)>& body);
+
+}  // namespace cicmon::support

@@ -13,6 +13,22 @@
 
 namespace cicmon::support {
 
+// SplitMix64 finalizer (Steele et al.), the mixing core of both Rng seeding
+// and stream derivation.
+constexpr std::uint64_t splitmix64_finalize(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// Derives an independent stream seed from a base seed and a stream index.
+// Used by the parallel experiment engine to give every trial its own RNG, so
+// results depend only on (seed, index) — never on which thread ran the trial
+// or in what order.
+constexpr std::uint64_t derive_stream_seed(std::uint64_t seed, std::uint64_t stream) {
+  return splitmix64_finalize(seed + 0x9E3779B97F4A7C15ULL * (stream + 1));
+}
+
 // xoroshiro128++ (Blackman & Vigna). Small state, excellent statistical
 // quality for simulation purposes, and fully portable output.
 class Rng {
@@ -21,10 +37,7 @@ class Rng {
     // SplitMix64 seeding, the reference recommendation for xoroshiro.
     auto next_seed = [&seed]() {
       seed += 0x9E3779B97F4A7C15ULL;
-      std::uint64_t z = seed;
-      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-      return z ^ (z >> 31);
+      return splitmix64_finalize(seed);
     };
     state0_ = next_seed();
     state1_ = next_seed();

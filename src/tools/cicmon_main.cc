@@ -1,0 +1,286 @@
+// Unified experiment driver.
+//
+// One entry point for CI and users over the parallel experiment engine:
+//
+//   cicmon table1   [--scale S] [--jobs N]
+//   cicmon fig6     [--scale S] [--jobs N] [--entries 1,8,16,32]
+//   cicmon bench    [--scale S] [--jobs N]
+//   cicmon campaign [--workload W] [--site NAME] [--bits B] [--trials N]
+//                   [--seed X] [--scale S] [--jobs N] [--monitor on|off]
+//
+// Every subcommand honours the engine's determinism contract: all simulated
+// results (tables, miss rates, campaign summaries) are identical at any
+// --jobs value; only the echoed job count and host wall-clock lines of
+// `bench` and `campaign` vary. CICMON_JOBS is the environment fallback;
+// 0/unset resolves to hardware concurrency, 1 is the serial path.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.h"
+#include "sim/experiment.h"
+#include "support/error.h"
+#include "support/parallel.h"
+#include "support/table.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace cicmon;
+
+struct Options {
+  double scale = 1.0;
+  unsigned jobs = 0;  // 0 = resolve CICMON_JOBS / hardware concurrency
+  std::string workload = "dijkstra";
+  std::string site = "fetch-bus";
+  unsigned bits = 1;
+  unsigned trials = 1000;
+  std::uint64_t seed = 2026;
+  bool monitor = true;
+  std::vector<unsigned> entries{1, 8, 16, 32};
+};
+
+[[noreturn]] void usage(int code) {
+  std::fputs(
+      "usage: cicmon <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  table1      Table 1: cycle-count overhead (baseline vs CIC8/CIC16)\n"
+      "  fig6        Figure 6: IHT miss rate vs table size\n"
+      "  bench       simulator throughput over all workloads\n"
+      "  campaign    random fault-injection campaign\n"
+      "\n"
+      "options:\n"
+      "  --scale S        workload scale factor (default 1.0)\n"
+      "  --jobs N         worker threads; 0 = CICMON_JOBS env or hardware\n"
+      "                   concurrency, 1 = serial (default 0)\n"
+      "  --entries A,B,.. IHT sizes for fig6 (default 1,8,16,32)\n"
+      "  --workload W     campaign workload (default dijkstra)\n"
+      "  --site NAME      fault site: memory-text, fetch-bus, fetch-bus-paired,\n"
+      "                   icache-line, post-id-latch (default fetch-bus)\n"
+      "  --bits B         flipped bits per fault (default 1)\n"
+      "  --trials N       campaign trials (default 1000)\n"
+      "  --seed X         campaign seed (default 2026)\n"
+      "  --monitor on|off campaign machine has the CIC (default on)\n",
+      code == 0 ? stdout : stderr);
+  std::exit(code);
+}
+
+std::vector<unsigned> parse_entry_list(const std::string& list) {
+  std::vector<unsigned> entries;
+  std::size_t begin = 0;
+  while (begin <= list.size()) {
+    const std::size_t comma = std::min(list.find(',', begin), list.size());
+    const int value = std::atoi(list.substr(begin, comma - begin).c_str());
+    if (value <= 0) usage(2);
+    entries.push_back(static_cast<unsigned>(value));
+    begin = comma + 1;
+  }
+  return entries;
+}
+
+unsigned parse_count(const char* text, long lo, long hi) {
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value < lo || value > hi) usage(2);
+  return static_cast<unsigned>(value);
+}
+
+Options parse_options(int argc, char** argv) {
+  Options options;
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(2);
+      return argv[++i];
+    };
+    if (flag == "--scale") {
+      options.scale = std::atof(value());
+      if (options.scale <= 0.0) usage(2);
+    } else if (flag == "--jobs") {
+      char* end = nullptr;
+      const long jobs = std::strtol(value(), &end, 10);
+      // 0 is valid (resolve CICMON_JOBS / hardware); the engine caps the
+      // rest at support::kMaxJobs.
+      if (end == nullptr || *end != '\0' || jobs < 0) usage(2);
+      options.jobs = static_cast<unsigned>(std::min<long>(jobs, support::kMaxJobs));
+    } else if (flag == "--entries") {
+      options.entries = parse_entry_list(value());
+    } else if (flag == "--workload") {
+      options.workload = value();
+    } else if (flag == "--site") {
+      options.site = value();
+    } else if (flag == "--bits") {
+      options.bits = parse_count(value(), 1, 32);
+    } else if (flag == "--trials") {
+      options.trials = parse_count(value(), 1, 100'000'000);
+    } else if (flag == "--seed") {
+      options.seed = std::strtoull(value(), nullptr, 10);
+    } else if (flag == "--monitor") {
+      const std::string_view v = value();
+      if (v != "on" && v != "off") usage(2);
+      options.monitor = v == "on";
+    } else if (flag == "--help" || flag == "-h") {
+      usage(0);
+    } else {
+      std::fprintf(stderr, "cicmon: unknown option '%s'\n", argv[i]);
+      usage(2);
+    }
+  }
+  return options;
+}
+
+fault::FaultSite parse_site(const std::string& name) {
+  for (const fault::FaultSite site :
+       {fault::FaultSite::kMemoryText, fault::FaultSite::kFetchBus,
+        fault::FaultSite::kFetchBusPaired, fault::FaultSite::kICacheLine,
+        fault::FaultSite::kPostIdLatch}) {
+    if (fault_site_name(site) == name) return site;
+  }
+  std::fprintf(stderr, "cicmon: unknown fault site '%s'\n", name.c_str());
+  usage(2);
+}
+
+int cmd_table1(const Options& options) {
+  const auto rows = sim::table1_overheads(options.scale, options.jobs);
+  support::Table table(
+      {"benchmark", "cycles (no CIC)", "CIC8", "CIC16", "ovh CIC8", "ovh CIC16"});
+  double sum8 = 0, sum16 = 0;
+  for (const sim::Table1Row& row : rows) {
+    table.add_row({row.workload, support::Table::fmt_u64(row.cycles_baseline),
+                   support::Table::fmt_u64(row.cycles_cic8),
+                   support::Table::fmt_u64(row.cycles_cic16),
+                   support::Table::fmt_pct(row.overhead_cic8),
+                   support::Table::fmt_pct(row.overhead_cic16)});
+    sum8 += row.overhead_cic8;
+    sum16 += row.overhead_cic16;
+  }
+  const double n = static_cast<double>(rows.size());
+  table.add_row({"average", "-", "-", "-", support::Table::fmt_pct(sum8 / n),
+                 support::Table::fmt_pct(sum16 / n)});
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_fig6(const Options& options) {
+  const auto rows = sim::fig6_miss_rates(options.entries, options.scale, options.jobs);
+  std::vector<std::string> headers{"benchmark"};
+  for (const unsigned entries : options.entries) headers.push_back(std::to_string(entries));
+  support::Table table(headers);
+  for (const sim::Fig6Row& row : rows) {
+    std::vector<std::string> cells{row.workload};
+    for (const double rate : row.miss_rates) cells.push_back(support::Table::fmt_pct(rate));
+    table.add_row(cells);
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_bench(const Options& options) {
+  // Simulator throughput: run every workload baseline and monitored, one
+  // engine cell per (workload, machine) pair. The per-cell wall times are
+  // host measurements — the *simulated* columns stay deterministic.
+  struct Cell {
+    cpu::RunResult result;
+    double wall_ms = 0.0;
+  };
+  const auto infos = workloads::all_workloads();
+  std::vector<Cell> cells(infos.size() * 2);
+  const auto start = std::chrono::steady_clock::now();
+  support::parallel_for(cells.size(), options.jobs, [&](std::size_t i) {
+    cpu::CpuConfig config;
+    if (i % 2 == 1) {
+      config.monitoring = true;
+      config.cic.iht_entries = 16;
+    }
+    const auto cell_start = std::chrono::steady_clock::now();
+    cells[i].result = sim::run_workload(infos[i / 2].name, config, options.scale);
+    cells[i].wall_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - cell_start)
+                           .count();
+  });
+  const double total_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  support::Table table({"benchmark", "machine", "instructions", "cycles", "host ms", "MIPS"});
+  double total_minstr = 0.0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    const double minstr = static_cast<double>(cell.result.instructions) / 1e6;
+    total_minstr += minstr;
+    table.add_row({std::string(infos[i / 2].name), i % 2 == 0 ? "baseline" : "cic16",
+                   support::Table::fmt_u64(cell.result.instructions),
+                   support::Table::fmt_u64(cell.result.cycles),
+                   support::Table::fmt(cell.wall_ms, 1),
+                   support::Table::fmt(minstr / (cell.wall_ms / 1000.0), 1)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\ntotal: %.1f Minstr in %.0f ms wall (%u jobs) = %.1f MIPS aggregate\n",
+              total_minstr, total_ms, support::resolve_jobs(options.jobs),
+              total_minstr / (total_ms / 1000.0));
+  return 0;
+}
+
+int cmd_campaign(const Options& options) {
+  // Validate the site before paying for the golden run.
+  const fault::FaultSite site = parse_site(options.site);
+  const casm_::Image image =
+      workloads::build_workload(options.workload, {options.scale, 42});
+  cpu::CpuConfig config;
+  config.monitoring = options.monitor;
+  config.cic.iht_entries = 16;
+  fault::CampaignRunner runner(image, config);
+
+  std::printf("workload %s (scale %.2f): %llu golden instructions\n", options.workload.c_str(),
+              options.scale, static_cast<unsigned long long>(runner.golden_instructions()));
+  std::printf("site %s, %u-bit faults, %u trials, seed %llu, monitor %s, %u jobs\n\n",
+              options.site.c_str(), options.bits, options.trials,
+              static_cast<unsigned long long>(options.seed), options.monitor ? "on" : "off",
+              support::resolve_jobs(options.jobs));
+
+  const auto start = std::chrono::steady_clock::now();
+  const fault::CampaignSummary summary =
+      runner.run_random(site, options.bits, options.trials, options.seed, options.jobs);
+  const double ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  support::Table table({"outcome", "count"});
+  table.add_row({"detected-mismatch", support::Table::fmt_u64(summary.detected_mismatch)});
+  table.add_row({"detected-miss", support::Table::fmt_u64(summary.detected_miss)});
+  table.add_row({"detected-baseline", support::Table::fmt_u64(summary.detected_baseline)});
+  table.add_row({"wrong-output", support::Table::fmt_u64(summary.wrong_output)});
+  table.add_row({"benign", support::Table::fmt_u64(summary.benign)});
+  table.add_row({"hang", support::Table::fmt_u64(summary.hang)});
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\ndetection: %s effective, %s of all trials; %.0f ms wall (%.1f trials/s)\n",
+              support::Table::fmt_pct(summary.detection_rate_effective()).c_str(),
+              support::Table::fmt_pct(summary.detection_rate_total()).c_str(), ms,
+              static_cast<double>(summary.trials) / (ms / 1000.0));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage(2);
+  const std::string_view command = argv[1];
+  try {
+    const Options options = parse_options(argc, argv);
+    if (command == "table1") return cmd_table1(options);
+    if (command == "fig6") return cmd_fig6(options);
+    if (command == "bench") return cmd_bench(options);
+    if (command == "campaign") return cmd_campaign(options);
+    if (command == "help" || command == "--help" || command == "-h") usage(0);
+    std::fprintf(stderr, "cicmon: unknown command '%s'\n", argv[1]);
+    usage(2);
+  } catch (const cicmon::support::CicError& error) {
+    std::fprintf(stderr, "cicmon: %s\n", error.what());
+    return 1;
+  }
+}

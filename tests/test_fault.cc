@@ -153,6 +153,34 @@ TEST(Campaign, RandomCampaignIsDeterministic) {
   EXPECT_EQ(a.trials, 40U);
 }
 
+bool summaries_identical(const CampaignSummary& a, const CampaignSummary& b) {
+  return a.trials == b.trials && a.detected_mismatch == b.detected_mismatch &&
+         a.detected_miss == b.detected_miss && a.detected_baseline == b.detected_baseline &&
+         a.wrong_output == b.wrong_output && a.benign == b.benign && a.hang == b.hang;
+}
+
+TEST(Campaign, ParallelCampaignIsBitIdenticalToSerial) {
+  // The core contract of the parallel engine: for a given seed, the summary
+  // must not depend on the job count — every field, not just the rates.
+  CampaignRunner runner(checked_loop_program(), monitored_config());
+  const CampaignSummary serial = runner.run_random(FaultSite::kFetchBus, 2, 120, 7, 1);
+  for (const unsigned jobs : {2U, 4U, 8U}) {
+    const CampaignSummary parallel = runner.run_random(FaultSite::kFetchBus, 2, 120, 7, jobs);
+    EXPECT_TRUE(summaries_identical(serial, parallel)) << jobs << " jobs";
+  }
+}
+
+TEST(Campaign, ParallelDeterminismAcrossSitesOnRealWorkload) {
+  const casm_::Image image = workloads::build_workload("bitcount", {0.02, 42});
+  CampaignRunner runner(image, monitored_config());
+  for (const FaultSite site :
+       {FaultSite::kMemoryText, FaultSite::kFetchBus, FaultSite::kPostIdLatch}) {
+    const CampaignSummary serial = runner.run_random(site, 1, 60, 13, 1);
+    const CampaignSummary parallel = runner.run_random(site, 1, 60, 13, 4);
+    EXPECT_TRUE(summaries_identical(serial, parallel)) << fault_site_name(site);
+  }
+}
+
 TEST(Campaign, MonitoredDetectionDominatesUnmonitored) {
   const casm_::Image image = workloads::build_workload("bitcount", {0.02, 42});
   cpu::CpuConfig on = monitored_config();

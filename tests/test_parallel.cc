@@ -1,0 +1,158 @@
+// Parallel engine tests: pool sanity, work distribution, exception
+// propagation, parallel_for ordering, and the jobs-resolution contract.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "support/error.h"
+#include "support/parallel.h"
+#include "support/rng.h"
+
+namespace cicmon::support {
+namespace {
+
+TEST(TaskPool, RunsEverySubmittedTask) {
+  TaskPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(TaskPool, WaitIsReusableAcrossBatches) {
+  TaskPool pool(2);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait();
+    EXPECT_EQ(counter.load(), 50 * (batch + 1));
+  }
+}
+
+TEST(TaskPool, StealingBalancesUnevenTasks) {
+  // One long task pins one worker; the short tasks must migrate to the
+  // other worker instead of queueing behind it. Observed via the set of
+  // thread ids that ran short tasks.
+  TaskPool pool(2);
+  std::atomic<bool> release{false};
+  std::mutex mutex;
+  std::set<std::thread::id> short_task_threads;
+  pool.submit([&release] {
+    while (!release.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&mutex, &short_task_threads] {
+      std::lock_guard lock(mutex);
+      short_task_threads.insert(std::this_thread::get_id());
+    });
+  }
+  // Let the short tasks finish first, then unblock the long one.
+  while (true) {
+    {
+      std::lock_guard lock(mutex);
+      if (!short_task_threads.empty()) break;
+    }
+    std::this_thread::yield();
+  }
+  release.store(true, std::memory_order_release);
+  pool.wait();
+  EXPECT_GE(short_task_threads.size(), 1U);
+}
+
+TEST(TaskPool, WaitRethrowsFirstTaskException) {
+  TaskPool pool(3);
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([i] {
+      if (i == 7) throw CicError("task 7 failed");
+    });
+  }
+  EXPECT_THROW(pool.wait(), CicError);
+  // The pool is usable again after the failed batch.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (const unsigned jobs : {1U, 2U, 5U}) {
+    std::vector<int> visits(337, 0);
+    parallel_for(visits.size(), jobs, [&](std::size_t i) { ++visits[i]; });
+    EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0), 337) << jobs << " jobs";
+    for (const int count : visits) EXPECT_EQ(count, 1);
+  }
+}
+
+TEST(ParallelFor, ResultsLandInInputOrderRegardlessOfJobs) {
+  auto run = [](unsigned jobs) {
+    std::vector<std::uint64_t> out(512);
+    parallel_for(out.size(), jobs, [&](std::size_t i) {
+      out[i] = Rng(derive_stream_seed(99, i)).next_u64();
+    });
+    return out;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(ParallelFor, ZeroAndSingleElementRanges) {
+  int calls = 0;
+  parallel_for(0, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, 4, [&](std::size_t i) {
+    ++calls;
+    EXPECT_EQ(i, 0U);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  EXPECT_THROW(
+      parallel_for(100, 4,
+                   [](std::size_t i) {
+                     if (i == 42) throw CicError("cell 42");
+                   }),
+      CicError);
+}
+
+TEST(ResolveJobs, ExplicitRequestWins) {
+  EXPECT_EQ(resolve_jobs(3), 3U);
+  EXPECT_EQ(resolve_jobs(1), 1U);
+}
+
+TEST(ResolveJobs, DefaultsAreNeverZero) { EXPECT_GE(resolve_jobs(0), 1U); }
+
+TEST(ResolveJobs, AbsurdRequestsAreCapped) {
+  EXPECT_EQ(resolve_jobs(100'000), kMaxJobs);
+  ::setenv("CICMON_JOBS", "999999", 1);
+  EXPECT_EQ(resolve_jobs(0), kMaxJobs);
+  ::unsetenv("CICMON_JOBS");
+}
+
+TEST(ResolveJobs, EnvOverrideApplies) {
+  ::setenv("CICMON_JOBS", "5", 1);
+  EXPECT_EQ(resolve_jobs(0), 5U);
+  EXPECT_EQ(resolve_jobs(2), 2U);  // explicit request still wins
+  ::setenv("CICMON_JOBS", "not-a-number", 1);
+  EXPECT_GE(resolve_jobs(0), 1U);  // malformed env falls back
+  ::unsetenv("CICMON_JOBS");
+}
+
+TEST(DeriveStreamSeed, StreamsDiffer) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t t = 0; t < 1000; ++t) seeds.insert(derive_stream_seed(2026, t));
+  EXPECT_EQ(seeds.size(), 1000U);
+  EXPECT_NE(derive_stream_seed(1, 0), derive_stream_seed(2, 0));
+}
+
+}  // namespace
+}  // namespace cicmon::support
