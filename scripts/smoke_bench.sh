@@ -40,8 +40,17 @@ run table2_area_timing
 # The unified CLI, one subcommand each (campaign sized to stay cheap).
 run cicmon table1 --scale "${scale}"
 run cicmon fig6 --scale "${scale}"
-run cicmon bench --scale "${scale}"
+run cicmon bench --scale "${scale}" --json "${build_dir}/bench_smoke.json"
 run cicmon campaign --workload bitcount --scale 0.02 --trials 50
+
+# The machine-readable bench output must exist and carry its schema tag.
+if [[ -x ${build_dir}/cicmon ]]; then
+  if [[ ! -s ${build_dir}/bench_smoke.json ]] ||
+     ! grep -q '"schema": "cicmon-bench-v1"' "${build_dir}/bench_smoke.json"; then
+    echo "--- cicmon bench --json: malformed or missing output" >&2
+    failures=$((failures + 1))
+  fi
+fi
 
 # Examples double as API smoke tests.
 run quickstart

@@ -126,7 +126,8 @@ std::vector<DesignReport> table2_rows(const TechLibrary& tech,
                                       hash::HashKind hash_kind) {
   std::vector<DesignReport> rows;
   rows.push_back(evaluate_design(tech, 0, hash_kind));
-  const DesignReport& base = rows.front();
+  // Copy, not reference: later push_backs may reallocate `rows`.
+  const DesignReport base = rows.front();
   for (unsigned entries : entry_counts) {
     DesignReport r = evaluate_design(tech, entries, hash_kind);
     r.area_overhead_vs_baseline = r.cell_area_um2 / base.cell_area_um2 - 1.0;

@@ -42,6 +42,42 @@ bool consumes_early(const isa::Instruction& instr, unsigned reg) {
   return false;
 }
 
+// Structural check that the shared IF program is exactly the canonical
+// Figure 1 shape (plus the Figure 3(b) monitoring tail when monitored).
+// Checked once at construction; a match lets the fetch stage run as
+// straight-line code with identical effects on temps and special registers.
+bool is_canonical_fetch(const std::vector<uop::Uop>& fetch, bool monitored) {
+  using K = uop::UopKind;
+  using S = uop::SpecialReg;
+  using G = uop::GuardKind;
+  if (fetch.size() != (monitored ? 11U : 6U)) return false;
+  const auto plain = [](const uop::Uop& op, K kind) {
+    return op.kind == kind && op.stage == uop::Stage::kIF && op.guard == G::kAlways;
+  };
+  const uop::Uop* op = fetch.data();
+  if (!(plain(op[0], K::kReadSpecial) && op[0].special == S::kCpc && op[0].dst == 0)) return false;
+  if (!(plain(op[1], K::kFetchInstr) && op[1].dst == 1 && op[1].src_a == 0)) return false;
+  if (!(plain(op[2], K::kWriteSpecial) && op[2].special == S::kIReg && op[2].src_a == 1)) return false;
+  if (!(plain(op[3], K::kImm) && op[3].imm_kind == uop::ImmKind::kConst && op[3].literal == 4 &&
+        op[3].dst == 2)) return false;
+  if (!(plain(op[4], K::kAlu) && op[4].alu == uop::AluOp::kAdd && op[4].src_a == 0 &&
+        op[4].src_b == 2 && op[4].dst == 3)) return false;
+  if (!(plain(op[5], K::kWriteSpecial) && op[5].special == S::kCpc && op[5].src_a == 3)) return false;
+  if (!monitored) return true;
+  using MT = uop::MonitorTemps;
+  if (!(plain(op[6], K::kReadSpecial) && op[6].special == S::kSta && op[6].dst == MT::kStartIf))
+    return false;
+  if (!(op[7].kind == K::kWriteSpecial && op[7].special == S::kSta && op[7].src_a == 0 &&
+        op[7].guard == G::kIfZero && op[7].guard_tmp == MT::kStartIf)) return false;
+  if (!(plain(op[8], K::kReadSpecial) && op[8].special == S::kRhash && op[8].dst == MT::kOldHash))
+    return false;
+  if (!(plain(op[9], K::kHashStep) && op[9].dst == MT::kNewHash && op[9].src_a == MT::kOldHash &&
+        op[9].src_b == 1)) return false;
+  if (!(plain(op[10], K::kWriteSpecial) && op[10].special == S::kRhash &&
+        op[10].src_a == MT::kNewHash)) return false;
+  return true;
+}
+
 }  // namespace
 
 std::string_view exit_reason_name(ExitReason reason) {
@@ -75,6 +111,10 @@ Cpu::Cpu(const CpuConfig& config, const casm_::Image& image)
   gpr_[isa::kGp] = image.data_base;
   text_base_ = image.text_base;
   text_end_ = image.text_end();
+  if (config_.predecode_cache) {
+    predecode_.resize((text_end_ - text_base_) / 4);
+  }
+  fast_fetch_ = is_canonical_fetch(spec_.fetch, spec_.monitoring_embedded);
 }
 
 Cpu::~Cpu() = default;
@@ -271,6 +311,37 @@ void Cpu::handle_pending_monitor_exception() {
   }
 }
 
+void Cpu::run_fetch_stage() {
+  if (!fast_fetch_) {
+    uop::execute_ops(std::span<const uop::Uop>(spec_.fetch), ctx_, *this);
+    return;
+  }
+  // Straight-line equivalent of the canonical IF program, verified against
+  // the spec at construction. Effects (temps written, special-register
+  // traffic, fetch and hash calls) match the interpreter bit for bit.
+  auto& t = ctx_.temps;
+  const std::uint32_t pc = special_[sp(uop::SpecialReg::kCpc)];
+  t[0] = pc;                                     // current_pc = CPC.read()
+  const std::uint32_t word = fetch_.fetch(pc);   // instr = IMAU.read(current_pc)
+  t[1] = word;
+  special_[sp(uop::SpecialReg::kIReg)] = word;   // IReg.write(instr)
+  t[2] = 4;
+  const std::uint32_t next_pc = pc + 4;
+  t[3] = next_pc;
+  special_[sp(uop::SpecialReg::kCpc)] = next_pc;  // CPC.inc()
+  if (spec_.monitoring_embedded) {
+    // Figure 3(b): latch the block start, fold the word into the hash.
+    const std::uint32_t start = special_[sp(uop::SpecialReg::kSta)];
+    t[uop::MonitorTemps::kStartIf] = start;
+    if (start == 0) special_[sp(uop::SpecialReg::kSta)] = pc;
+    const std::uint32_t old_hash = special_[sp(uop::SpecialReg::kRhash)];
+    t[uop::MonitorTemps::kOldHash] = old_hash;
+    const std::uint32_t new_hash = cic_->hash_step(old_hash, word);
+    t[uop::MonitorTemps::kNewHash] = new_hash;
+    special_[sp(uop::SpecialReg::kRhash)] = new_hash;
+  }
+}
+
 void Cpu::account_hazards(const isa::Instruction& instr) {
   // Redirect bubble: the front end refetches after a control transfer
   // resolves in ID.
@@ -319,8 +390,7 @@ std::optional<RunResult> Cpu::step() {
     return finish_result();
   }
 
-  uop::ExecContext ctx;
-  ctx.instr_addr = addr;
+  ctx_.instr_addr = addr;
 
   // A zero STA means this fetch opens a new check region: checkpoint the
   // architectural state so the region can be rolled back (recovery mode).
@@ -330,28 +400,43 @@ std::optional<RunResult> Cpu::step() {
   }
 
   // --- IF: shared fetch program (hash step included when monitored) ---
-  uop::execute_stage(spec_.fetch, uop::Stage::kIF, ctx, *this);
+  run_fetch_stage();
   const std::uint64_t icache_stall = fetch_.take_stall_cycles();
   result_.cycles += icache_stall;
   result_.icache_stall_cycles += icache_stall;
 
-  std::uint32_t word = ctx.temps[1];  // the fetched (possibly tampered) word
+  std::uint32_t word = ctx_.temps[1];  // the fetched (possibly tampered) word
   if (post_id_fault_.has_value() && result_.instructions == post_id_fault_->index) {
     // The hash above saw the clean word; execution proceeds on the flipped
     // one — a fault in a latch downstream of the check point.
     word ^= post_id_fault_->xor_mask;
   }
-  ctx.instr = isa::decode(word);
+
+  // Predecode cache: tagged by the word the pipeline actually carries, so
+  // any tampered or refetched-differently word misses and decodes fresh.
+  const uop::InstrUops* program;
+  if (!predecode_.empty()) {
+    Predecoded& slot = predecode_[(addr - text_base_) / 4];
+    if (slot.program == nullptr || slot.word != word) {
+      slot.word = word;
+      slot.instr = isa::decode(word);
+      slot.program = &spec_.program(slot.instr.mnemonic);
+    }
+    ctx_.instr = slot.instr;
+    program = slot.program;
+  } else {
+    ctx_.instr = isa::decode(word);
+    program = &spec_.program(ctx_.instr.mnemonic);
+  }
 
   // PPC tracks the instruction occupying ID (Figure 4 reads the block's end
   // address from it).
   special_[sp(uop::SpecialReg::kPpc)] = addr;
 
-  const uop::InstrUops& program = spec_.program(ctx.instr.mnemonic);
   pc_redirected_ = false;
 
-  uop::execute_stage(program.ops, uop::Stage::kID, ctx, *this);
-  handle_pending_monitor_exception();
+  uop::execute_ops(program->stage(uop::Stage::kID), ctx_, *this);
+  if (pending_exc_.has_value()) handle_pending_monitor_exception();
   if (!running_) return finish_result();
   if (rolled_back_) {
     // The faulting block was rewound; this instruction never happened.
@@ -359,15 +444,19 @@ std::optional<RunResult> Cpu::step() {
     return std::nullopt;
   }
 
-  uop::execute_stage(program.ops, uop::Stage::kEX, ctx, *this);
+  uop::execute_ops(program->stage(uop::Stage::kEX), ctx_, *this);
   if (!running_) return finish_result();
-  uop::execute_stage(program.ops, uop::Stage::kMEM, ctx, *this);
-  uop::execute_stage(program.ops, uop::Stage::kWB, ctx, *this);
+  if (const auto mem_ops = program->stage(uop::Stage::kMEM); !mem_ops.empty()) {
+    uop::execute_ops(mem_ops, ctx_, *this);
+  }
+  if (const auto wb_ops = program->stage(uop::Stage::kWB); !wb_ops.empty()) {
+    uop::execute_ops(wb_ops, ctx_, *this);
+  }
   if (!running_) return finish_result();
 
   ++result_.instructions;
   ++result_.cycles;
-  account_hazards(ctx.instr);
+  account_hazards(ctx_.instr);
   return std::nullopt;
 }
 

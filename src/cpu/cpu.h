@@ -26,6 +26,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "casm/builder.h"
 #include "casm/image.h"
@@ -73,6 +74,12 @@ struct CpuConfig {
   TimingConfig timing;
   RecoveryConfig recovery;
   std::uint64_t max_instructions = 200'000'000;  // watchdog for fault campaigns
+  // Per-text-address predecode cache, tagged by the raw fetched word. A tag
+  // match reuses the cached decode; any divergence of the fetched word (bus
+  // tamper, cache-resident flips, memory rewrites, post-ID faults) misses the
+  // tag and falls back to a fresh isa::decode, so every simulated result is
+  // byte-identical with the cache on or off. Off exists for A/B tests.
+  bool predecode_cache = true;
 };
 
 enum class ExitReason : std::uint8_t {
@@ -155,6 +162,12 @@ class Cpu final : private uop::Datapath {
   bool running() const { return running_; }
 
  private:
+  // The devirtualized interpreter drives the Datapath members below through
+  // a concrete Cpu& (the class is final, so the calls statically bind and
+  // inline into the dispatch switch).
+  template <typename DP>
+  friend void uop::execute_op(const uop::Uop& op, uop::ExecContext& ctx, DP& dp);
+
   // uop::Datapath implementation.
   std::uint32_t read_special(uop::SpecialReg r) override;
   void write_special(uop::SpecialReg r, std::uint32_t value) override;
@@ -173,6 +186,7 @@ class Cpu final : private uop::Datapath {
   void illegal_instruction() override;
 
   void terminate(ExitReason reason, std::uint32_t code);
+  void run_fetch_stage();
   void account_hazards(const isa::Instruction& instr);
   void handle_pending_monitor_exception();
   void checkpoint_block(std::uint32_t block_start);
@@ -185,6 +199,27 @@ class Cpu final : private uop::Datapath {
   std::optional<cic::CodeIntegrityChecker> cic_;
   std::optional<os::OsMonitor> os_;
   LookupObserver observer_;
+
+  // Reused across instructions: validate_spec guarantees def-before-use
+  // within each dynamic instruction, so the temp file is never re-zeroed.
+  uop::ExecContext ctx_;
+
+  // Predecode cache, one slot per text word, tagged by the raw fetched word
+  // (program == nullptr marks an empty slot).
+  struct Predecoded {
+    std::uint32_t word = 0;
+    const uop::InstrUops* program = nullptr;
+    isa::Instruction instr;
+  };
+  std::vector<Predecoded> predecode_;
+
+  // True when the shared IF program structurally matches the canonical
+  // Figure 1 shape (plus the Figure 3(b) monitoring tail when monitoring is
+  // embedded), letting run_fetch_stage() execute it as straight-line code
+  // instead of interpreting six-to-eleven microoperations per fetch. Any
+  // other shape falls back to the interpreter, so the uop spec stays the
+  // source of truth for machine behaviour.
+  bool fast_fetch_ = false;
 
   std::array<std::uint32_t, isa::kNumGpr> gpr_{};
   std::array<std::uint32_t, 7> special_{};  // indexed by SpecialReg

@@ -14,6 +14,7 @@
 // paper) is a one-row change.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -86,11 +87,95 @@ struct OpcodeInfo {
   InstrClass cls;
 };
 
-// Entire opcode catalogue, indexed by Mnemonic value.
-std::span<const OpcodeInfo> opcode_table();
+namespace detail {
 
-// Catalogue row for a mnemonic (must not be kInvalid).
-const OpcodeInfo& info(Mnemonic m);
+using enum Mnemonic;  // scoped to isa::detail — the public namespace stays clean
+using F = Format;
+using enum OperandPattern;
+using IC = InstrClass;
+
+// The table lives in the header so the hot-path accessors below inline to a
+// single indexed load. Ordered by Mnemonic enumerator value (checked at
+// compile time) so info() is O(1).
+inline constexpr std::array<OpcodeInfo, 53> kOpcodeTable = {{
+    {kSll,   "sll",   F::kR, 0x00, 0x00, kRdRtShamt, IC::kAlu},
+    {kSrl,   "srl",   F::kR, 0x00, 0x02, kRdRtShamt, IC::kAlu},
+    {kSra,   "sra",   F::kR, 0x00, 0x03, kRdRtShamt, IC::kAlu},
+    {kSllv,  "sllv",  F::kR, 0x00, 0x04, kRdRtRs,    IC::kAlu},
+    {kSrlv,  "srlv",  F::kR, 0x00, 0x06, kRdRtRs,    IC::kAlu},
+    {kSrav,  "srav",  F::kR, 0x00, 0x07, kRdRtRs,    IC::kAlu},
+    {kJr,    "jr",    F::kR, 0x00, 0x08, kRs,        IC::kJumpReg},
+    {kJalr,  "jalr",  F::kR, 0x00, 0x09, kRdRs,      IC::kJumpReg},
+    {kSyscall, "syscall", F::kR, 0x00, 0x0c, kNone,  IC::kSyscall},
+    {kBreak, "break", F::kR, 0x00, 0x0d, kNone,      IC::kBreak},
+    {kMfhi,  "mfhi",  F::kR, 0x00, 0x10, kRd,        IC::kHiLo},
+    {kMthi,  "mthi",  F::kR, 0x00, 0x11, kRs,        IC::kHiLo},
+    {kMflo,  "mflo",  F::kR, 0x00, 0x12, kRd,        IC::kHiLo},
+    {kMtlo,  "mtlo",  F::kR, 0x00, 0x13, kRs,        IC::kHiLo},
+    {kMult,  "mult",  F::kR, 0x00, 0x18, kRsRt,      IC::kMulDiv},
+    {kMultu, "multu", F::kR, 0x00, 0x19, kRsRt,      IC::kMulDiv},
+    {kDiv,   "div",   F::kR, 0x00, 0x1a, kRsRt,      IC::kMulDiv},
+    {kDivu,  "divu",  F::kR, 0x00, 0x1b, kRsRt,      IC::kMulDiv},
+    {kAdd,   "add",   F::kR, 0x00, 0x20, kRdRsRt,    IC::kAlu},
+    {kAddu,  "addu",  F::kR, 0x00, 0x21, kRdRsRt,    IC::kAlu},
+    {kSub,   "sub",   F::kR, 0x00, 0x22, kRdRsRt,    IC::kAlu},
+    {kSubu,  "subu",  F::kR, 0x00, 0x23, kRdRsRt,    IC::kAlu},
+    {kAnd,   "and",   F::kR, 0x00, 0x24, kRdRsRt,    IC::kAlu},
+    {kOr,    "or",    F::kR, 0x00, 0x25, kRdRsRt,    IC::kAlu},
+    {kXor,   "xor",   F::kR, 0x00, 0x26, kRdRsRt,    IC::kAlu},
+    {kNor,   "nor",   F::kR, 0x00, 0x27, kRdRsRt,    IC::kAlu},
+    {kSlt,   "slt",   F::kR, 0x00, 0x2a, kRdRsRt,    IC::kAlu},
+    {kSltu,  "sltu",  F::kR, 0x00, 0x2b, kRdRsRt,    IC::kAlu},
+    // REGIMM: opcode 0x01, the rt field selects the comparison.
+    {kBltz,  "bltz",  F::kI, 0x01, 0x00, kRsLabel,   IC::kBranch},
+    {kBgez,  "bgez",  F::kI, 0x01, 0x01, kRsLabel,   IC::kBranch},
+    {kBeq,   "beq",   F::kI, 0x04, 0x00, kRsRtLabel, IC::kBranch},
+    {kBne,   "bne",   F::kI, 0x05, 0x00, kRsRtLabel, IC::kBranch},
+    {kBlez,  "blez",  F::kI, 0x06, 0x00, kRsLabel,   IC::kBranch},
+    {kBgtz,  "bgtz",  F::kI, 0x07, 0x00, kRsLabel,   IC::kBranch},
+    {kAddi,  "addi",  F::kI, 0x08, 0x00, kRtRsImm,   IC::kAlu},
+    {kAddiu, "addiu", F::kI, 0x09, 0x00, kRtRsImm,   IC::kAlu},
+    {kSlti,  "slti",  F::kI, 0x0a, 0x00, kRtRsImm,   IC::kAlu},
+    {kSltiu, "sltiu", F::kI, 0x0b, 0x00, kRtRsImm,   IC::kAlu},
+    {kAndi,  "andi",  F::kI, 0x0c, 0x00, kRtRsImm,   IC::kAlu},
+    {kOri,   "ori",   F::kI, 0x0d, 0x00, kRtRsImm,   IC::kAlu},
+    {kXori,  "xori",  F::kI, 0x0e, 0x00, kRtRsImm,   IC::kAlu},
+    {kLui,   "lui",   F::kI, 0x0f, 0x00, kRtImm,     IC::kAlu},
+    {kLb,    "lb",    F::kI, 0x20, 0x00, kRtOffBase, IC::kLoad},
+    {kLh,    "lh",    F::kI, 0x21, 0x00, kRtOffBase, IC::kLoad},
+    {kLw,    "lw",    F::kI, 0x23, 0x00, kRtOffBase, IC::kLoad},
+    {kLbu,   "lbu",   F::kI, 0x24, 0x00, kRtOffBase, IC::kLoad},
+    {kLhu,   "lhu",   F::kI, 0x25, 0x00, kRtOffBase, IC::kLoad},
+    {kSb,    "sb",    F::kI, 0x28, 0x00, kRtOffBase, IC::kStore},
+    {kSh,    "sh",    F::kI, 0x29, 0x00, kRtOffBase, IC::kStore},
+    {kSw,    "sw",    F::kI, 0x2b, 0x00, kRtOffBase, IC::kStore},
+    {kJ,     "j",     F::kJ, 0x02, 0x00, kLabel,     IC::kJump},
+    {kJal,   "jal",   F::kJ, 0x03, 0x00, kLabel,     IC::kJump},
+    {kInvalid, "<invalid>", F::kR, 0x3f, 0x3f, kNone, IC::kBreak},
+}};
+
+consteval bool opcode_table_ordered() {
+  for (std::size_t i = 0; i < kOpcodeTable.size(); ++i) {
+    if (kOpcodeTable[i].mnemonic != static_cast<Mnemonic>(i)) return false;
+  }
+  return true;
+}
+static_assert(opcode_table_ordered(), "kOpcodeTable must be ordered by Mnemonic value");
+
+}  // namespace detail
+
+// Entire opcode catalogue, indexed by Mnemonic value.
+inline std::span<const OpcodeInfo> opcode_table() {
+  return {detail::kOpcodeTable.data(), detail::kOpcodeTable.size()};
+}
+
+// Catalogue row for a mnemonic. Total: an out-of-range value (only reachable
+// by casting a raw integer) maps to the kInvalid row.
+inline const OpcodeInfo& info(Mnemonic m) {
+  auto index = static_cast<std::size_t>(m);
+  if (index >= detail::kOpcodeTable.size()) index = detail::kOpcodeTable.size() - 1;
+  return detail::kOpcodeTable[index];
+}
 
 // Looks up a mnemonic by assembly name ("addu", "bne", ...).
 std::optional<Mnemonic> mnemonic_by_name(std::string_view name);

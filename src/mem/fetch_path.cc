@@ -12,7 +12,7 @@ ICache::ICache(const ICacheConfig& config) : config_(config) {
                  "ICache: words_per_line must be a power of two");
   line_bytes_ = config_.words_per_line * 4;
   lines_.resize(config_.num_lines);
-  for (Line& line : lines_) line.words.resize(config_.words_per_line, 0);
+  words_.resize(static_cast<std::size_t>(config_.num_lines) * config_.words_per_line, 0);
 }
 
 bool ICache::flip_random_resident_bit(support::Rng& rng) {
@@ -21,10 +21,10 @@ bool ICache::flip_random_resident_bit(support::Rng& rng) {
     if (lines_[i].valid) valid_lines.push_back(i);
   }
   if (valid_lines.empty()) return false;
-  Line& line = lines_[valid_lines[rng.below(valid_lines.size())]];
+  const std::uint32_t line_index = valid_lines[rng.below(valid_lines.size())];
   const auto word_index = static_cast<std::uint32_t>(rng.below(config_.words_per_line));
   const auto bit = static_cast<unsigned>(rng.below(32));
-  line.words[word_index] ^= 1U << bit;
+  line_words(line_index)[word_index] ^= 1U << bit;
   return true;
 }
 

@@ -48,11 +48,12 @@ class ICache {
     const std::uint32_t line_index = (address / line_bytes_) % config_.num_lines;
     const std::uint32_t tag = address / line_bytes_ / config_.num_lines;
     Line& line = lines_[line_index];
+    std::uint32_t* words = line_words(line_index);
     Access out;
     if (!line.valid || line.tag != tag) {
       const std::uint32_t base = address & ~(line_bytes_ - 1);
       for (unsigned w = 0; w < config_.words_per_line; ++w) {
-        line.words[w] = refill(base + w * 4);
+        words[w] = refill(base + w * 4);
       }
       line.valid = true;
       line.tag = tag;
@@ -61,7 +62,7 @@ class ICache {
       out.hit = true;
       ++hits_;
     }
-    out.word = line.words[(address / 4) % config_.words_per_line];
+    out.word = words[(address / 4) % config_.words_per_line];
     return out;
   }
 
@@ -77,12 +78,18 @@ class ICache {
   struct Line {
     bool valid = false;
     std::uint32_t tag = 0;
-    std::vector<std::uint32_t> words;
   };
+
+  // Line payloads live in one contiguous buffer (words_per_line words per
+  // line) so a fetch hit costs no per-line heap indirection.
+  std::uint32_t* line_words(std::uint32_t line_index) {
+    return words_.data() + static_cast<std::size_t>(line_index) * config_.words_per_line;
+  }
 
   ICacheConfig config_;
   std::uint32_t line_bytes_;
   std::vector<Line> lines_;
+  std::vector<std::uint32_t> words_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

@@ -3,13 +3,21 @@
 namespace cicmon::mem {
 
 const Memory::Page* Memory::find_page(std::uint32_t address) const {
-  auto it = pages_.find(address >> kPageBits);
-  return it == pages_.end() ? nullptr : &it->second;
+  const std::uint32_t key = address >> kPageBits;
+  if (key == mru_key_) return mru_page_;
+  auto it = pages_.find(key);
+  if (it == pages_.end()) return nullptr;
+  mru_key_ = key;
+  mru_page_ = &it->second;
+  return mru_page_;
 }
 
 Memory::Page& Memory::ensure_page(std::uint32_t address) {
-  Page& page = pages_[address >> kPageBits];
+  const std::uint32_t key = address >> kPageBits;
+  Page& page = pages_[key];
   if (page.empty()) page.resize(kPageSize, 0);
+  mru_key_ = key;
+  mru_page_ = &page;
   return page;
 }
 

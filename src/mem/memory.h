@@ -44,6 +44,16 @@ class Memory {
   Page& ensure_page(std::uint32_t address);
 
   std::unordered_map<std::uint32_t, Page> pages_;  // key: address >> kPageBits
+
+  // Most-recently-used page, short-circuiting the hash lookup on the
+  // sequential access patterns of instruction fetch. Safe to cache: mapped
+  // values in an unordered_map are pointer-stable and pages are never erased.
+  // NOTE: updated by const reads, so a Memory is not thread-safe even for
+  // concurrent readers — the engine's ownership model is one Memory per Cpu
+  // per trial (shared golden state is the immutable casm_::Image, never a
+  // Memory).
+  mutable std::uint32_t mru_key_ = 0xFFFF'FFFFU;
+  mutable const Page* mru_page_ = nullptr;
 };
 
 }  // namespace cicmon::mem

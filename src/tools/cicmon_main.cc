@@ -4,7 +4,7 @@
 //
 //   cicmon table1   [--scale S] [--jobs N]
 //   cicmon fig6     [--scale S] [--jobs N] [--entries 1,8,16,32]
-//   cicmon bench    [--scale S] [--jobs N]
+//   cicmon bench    [--scale S] [--jobs N] [--json PATH]
 //   cicmon campaign [--workload W] [--site NAME] [--bits B] [--trials N]
 //                   [--seed X] [--scale S] [--jobs N] [--monitor on|off]
 //
@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,7 @@ struct Options {
   std::uint64_t seed = 2026;
   bool monitor = true;
   std::vector<unsigned> entries{1, 8, 16, 32};
+  std::string json_path;  // bench: also write machine-readable results here
 };
 
 [[noreturn]] void usage(int code) {
@@ -65,7 +67,8 @@ struct Options {
       "  --bits B         flipped bits per fault (default 1)\n"
       "  --trials N       campaign trials (default 1000)\n"
       "  --seed X         campaign seed (default 2026)\n"
-      "  --monitor on|off campaign machine has the CIC (default on)\n",
+      "  --monitor on|off campaign machine has the CIC (default on)\n"
+      "  --json PATH      bench: also write results as JSON to PATH\n",
       code == 0 ? stdout : stderr);
   std::exit(code);
 }
@@ -124,6 +127,9 @@ Options parse_options(int argc, char** argv) {
       const std::string_view v = value();
       if (v != "on" && v != "off") usage(2);
       options.monitor = v == "on";
+    } else if (flag == "--json") {
+      options.json_path = value();
+      if (options.json_path.empty()) usage(2);
     } else if (flag == "--help" || flag == "-h") {
       usage(0);
     } else {
@@ -180,6 +186,43 @@ int cmd_fig6(const Options& options) {
   return 0;
 }
 
+// Writes the bench cells as a stable machine-readable JSON document (the
+// `cicmon-bench-v1` schema consumed by CI's regression gate and committed as
+// the BENCH_*.json trajectory artifacts). Simulated columns (instructions,
+// cycles) are deterministic; host_ms/mips are wall-clock measurements.
+template <typename Cell>
+int write_bench_json(const std::string& path, const Options& options,
+                     std::span<const workloads::WorkloadInfo> infos,
+                     const std::vector<Cell>& cells, double total_minstr, double total_ms) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cicmon: cannot write JSON to '%s'\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"schema\": \"cicmon-bench-v1\",\n");
+  std::fprintf(out, "  \"scale\": %g,\n", options.scale);
+  std::fprintf(out, "  \"jobs\": %u,\n", support::resolve_jobs(options.jobs));
+  std::fprintf(out, "  \"workloads\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    const double minstr = static_cast<double>(cell.result.instructions) / 1e6;
+    std::fprintf(out,
+                 "    {\"benchmark\": \"%s\", \"machine\": \"%s\", \"instructions\": %llu, "
+                 "\"cycles\": %llu, \"host_ms\": %.3f, \"mips\": %.3f}%s\n",
+                 std::string(infos[i / 2].name).c_str(), i % 2 == 0 ? "baseline" : "cic16",
+                 static_cast<unsigned long long>(cell.result.instructions),
+                 static_cast<unsigned long long>(cell.result.cycles), cell.wall_ms,
+                 minstr / (cell.wall_ms / 1000.0), i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"total\": {\"minstr\": %.3f, \"wall_ms\": %.1f, \"aggregate_mips\": %.3f}\n",
+               total_minstr, total_ms, total_minstr / (total_ms / 1000.0));
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  return 0;
+}
+
 int cmd_bench(const Options& options) {
   // Simulator throughput: run every workload baseline and monitored, one
   // engine cell per (workload, machine) pair. The per-cell wall times are
@@ -223,6 +266,9 @@ int cmd_bench(const Options& options) {
   std::printf("\ntotal: %.1f Minstr in %.0f ms wall (%u jobs) = %.1f MIPS aggregate\n",
               total_minstr, total_ms, support::resolve_jobs(options.jobs),
               total_minstr / (total_ms / 1000.0));
+  if (!options.json_path.empty()) {
+    return write_bench_json(options.json_path, options, infos, cells, total_minstr, total_ms);
+  }
   return 0;
 }
 

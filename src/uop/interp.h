@@ -1,13 +1,22 @@
 // Microoperation interpreter.
 //
-// The pipeline executes each in-flight instruction by running the stage slice
-// of its microoperation program against a Datapath implementation. Datapath
-// is the hardware boundary: the CPU provides registers/memory; the Code
-// Integrity Checker provides HASHFU / IHTbb / exception ports.
+// The pipeline executes each in-flight instruction by running the stage
+// slices of its microoperation program against a Datapath implementation.
+// Datapath is the hardware boundary: the CPU provides registers/memory; the
+// Code Integrity Checker provides HASHFU / IHTbb / exception ports.
+//
+// Two entry points share one definition of the operator semantics:
+//  * execute_ops<DP>() — the hot path. A template over the concrete datapath
+//    type, so when DP is a final class (cpu::Cpu) the register/memory/hash
+//    accessors devirtualize and inline into the dispatch switch.
+//  * execute_stage() — the virtual-dispatch compatibility path over an
+//    unsliced program, filtering by stage tag. Tests and tools use it with
+//    mock datapaths; it instantiates the same template with DP = Datapath.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <limits>
 #include <span>
 
 #include "isa/instruction.h"
@@ -53,16 +62,42 @@ class Datapath {
 };
 
 // Per-dynamic-instruction state: the values travelling through pipeline
-// latches (temps) plus the decoded instruction and its address.
+// latches (temps) plus the decoded instruction and its address. The temp file
+// is safe to reuse across instructions without re-zeroing: validate_spec
+// guarantees every temp is written by an earlier microoperation of the same
+// dynamic instruction before it is read.
 struct ExecContext {
-  std::array<std::uint32_t, 32> temps{};
+  std::array<std::uint32_t, kMaxTemps> temps{};
   isa::Instruction instr;
   std::uint32_t instr_addr = 0;
 };
 
-// Evaluates a pure ALU microoperation (also used by the direct-execution
-// fast path so both paths share one definition of operator semantics).
-std::uint32_t alu_eval(AluOp op, std::uint32_t a, std::uint32_t b);
+// Evaluates a pure ALU microoperation (also shared with the bench and test
+// layers so every path agrees on operator semantics).
+inline std::uint32_t alu_eval(AluOp op, std::uint32_t a, std::uint32_t b) {
+  const auto sa = static_cast<std::int32_t>(a);
+  const auto sb = static_cast<std::int32_t>(b);
+  switch (op) {
+    case AluOp::kAdd: return a + b;
+    case AluOp::kSub: return a - b;
+    case AluOp::kAnd: return a & b;
+    case AluOp::kOr: return a | b;
+    case AluOp::kXor: return a ^ b;
+    case AluOp::kNor: return ~(a | b);
+    case AluOp::kSll: return a << (b & 31U);
+    case AluOp::kSrl: return a >> (b & 31U);
+    case AluOp::kSra: return static_cast<std::uint32_t>(sa >> (b & 31U));
+    case AluOp::kSltSigned: return sa < sb ? 1U : 0U;
+    case AluOp::kSltUnsigned: return a < b ? 1U : 0U;
+    case AluOp::kCmpEq: return a == b ? 1U : 0U;
+    case AluOp::kCmpNe: return a != b ? 1U : 0U;
+    case AluOp::kCmpLeZ: return sa <= 0 ? 1U : 0U;
+    case AluOp::kCmpGtZ: return sa > 0 ? 1U : 0U;
+    case AluOp::kCmpLtZ: return sa < 0 ? 1U : 0U;
+    case AluOp::kCmpGeZ: return sa >= 0 ? 1U : 0U;
+  }
+  return 0;
+}
 
 // HI/LO results of a multiply/divide. Division by zero is defined
 // deterministically: quotient = 0xFFFFFFFF, remainder = dividend.
@@ -70,10 +105,167 @@ struct HiLo {
   std::uint32_t hi = 0;
   std::uint32_t lo = 0;
 };
-HiLo muldiv_eval(MulDivOp op, std::uint32_t a, std::uint32_t b);
 
-// Executes, in order, every microoperation of `ops` whose stage equals
-// `stage`, updating `ctx` and the datapath.
+inline HiLo muldiv_eval(MulDivOp op, std::uint32_t a, std::uint32_t b) {
+  HiLo out;
+  switch (op) {
+    case MulDivOp::kMult: {
+      const std::int64_t product = static_cast<std::int64_t>(static_cast<std::int32_t>(a)) *
+                                   static_cast<std::int64_t>(static_cast<std::int32_t>(b));
+      out.lo = static_cast<std::uint32_t>(product);
+      out.hi = static_cast<std::uint32_t>(static_cast<std::uint64_t>(product) >> 32);
+      break;
+    }
+    case MulDivOp::kMultu: {
+      const std::uint64_t product = static_cast<std::uint64_t>(a) * b;
+      out.lo = static_cast<std::uint32_t>(product);
+      out.hi = static_cast<std::uint32_t>(product >> 32);
+      break;
+    }
+    case MulDivOp::kDiv: {
+      const auto sa = static_cast<std::int32_t>(a);
+      const auto sb = static_cast<std::int32_t>(b);
+      if (sb == 0) {
+        out.lo = 0xFFFF'FFFFU;
+        out.hi = a;
+      } else if (sa == std::numeric_limits<std::int32_t>::min() && sb == -1) {
+        // Overflowing quotient wraps (two's-complement hardware behaviour).
+        out.lo = a;
+        out.hi = 0;
+      } else {
+        out.lo = static_cast<std::uint32_t>(sa / sb);
+        out.hi = static_cast<std::uint32_t>(sa % sb);
+      }
+      break;
+    }
+    case MulDivOp::kDivu: {
+      if (b == 0) {
+        out.lo = 0xFFFF'FFFFU;
+        out.hi = a;
+      } else {
+        out.lo = a / b;
+        out.hi = a % b;
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+namespace detail {
+
+inline unsigned resolve_gpr(GprSel sel, const isa::Instruction& instr) {
+  switch (sel) {
+    case GprSel::kRs: return instr.rs;
+    case GprSel::kRt: return instr.rt;
+    case GprSel::kRd: return instr.rd;
+    case GprSel::kRa31: return 31;
+  }
+  return 0;
+}
+
+inline std::uint32_t materialize(const Uop& op, const ExecContext& ctx) {
+  switch (op.imm_kind) {
+    case ImmKind::kSignedImm: return static_cast<std::uint32_t>(ctx.instr.simm());
+    case ImmKind::kZeroImm: return ctx.instr.uimm();
+    case ImmKind::kShamt: return ctx.instr.shamt;
+    case ImmKind::kBranchTarget: return ctx.instr.branch_target(ctx.instr_addr);
+    case ImmKind::kJumpTarget: return ctx.instr.jump_target(ctx.instr_addr);
+    case ImmKind::kLinkAddr: return ctx.instr_addr + 4;
+    case ImmKind::kConst: return op.literal;
+  }
+  return 0;
+}
+
+inline bool guard_passes(const Uop& op, const ExecContext& ctx) {
+  switch (op.guard) {
+    case GuardKind::kAlways: return true;
+    case GuardKind::kIfZero: return ctx.temps[op.guard_tmp] == 0;
+    case GuardKind::kIfNonZero: return ctx.temps[op.guard_tmp] != 0;
+  }
+  return true;
+}
+
+}  // namespace detail
+
+// Executes one microoperation (guard already checked). Templated over the
+// concrete datapath so a final DP statically binds and inlines its accessors.
+template <typename DP>
+inline void execute_op(const Uop& op, ExecContext& ctx, DP& dp) {
+  switch (op.kind) {
+    case UopKind::kReadSpecial:
+      ctx.temps[op.dst] = dp.read_special(op.special);
+      break;
+    case UopKind::kWriteSpecial:
+      dp.write_special(op.special, ctx.temps[op.src_a]);
+      break;
+    case UopKind::kResetSpecial:
+      dp.reset_special(op.special);
+      break;
+    case UopKind::kReadGpr:
+      ctx.temps[op.dst] = dp.read_gpr(detail::resolve_gpr(op.sel, ctx.instr));
+      break;
+    case UopKind::kWriteGpr:
+      dp.write_gpr(detail::resolve_gpr(op.sel, ctx.instr), ctx.temps[op.src_a]);
+      break;
+    case UopKind::kImm:
+      ctx.temps[op.dst] = detail::materialize(op, ctx);
+      break;
+    case UopKind::kAlu:
+      ctx.temps[op.dst] = alu_eval(op.alu, ctx.temps[op.src_a],
+                                   op.src_b == kNoTemp ? 0 : ctx.temps[op.src_b]);
+      break;
+    case UopKind::kMulDiv: {
+      const HiLo result = muldiv_eval(op.muldiv, ctx.temps[op.src_a], ctx.temps[op.src_b]);
+      dp.write_special(SpecialReg::kHi, result.hi);
+      dp.write_special(SpecialReg::kLo, result.lo);
+      break;
+    }
+    case UopKind::kFetchInstr:
+      ctx.temps[op.dst] = dp.fetch_instr(ctx.temps[op.src_a]);
+      break;
+    case UopKind::kLoad:
+      ctx.temps[op.dst] = dp.load(ctx.temps[op.src_a], op.width, op.sign_extend);
+      break;
+    case UopKind::kStore:
+      dp.store(ctx.temps[op.src_a], op.width, ctx.temps[op.src_b]);
+      break;
+    case UopKind::kSetPc:
+      dp.set_pc(ctx.temps[op.src_a]);
+      break;
+    case UopKind::kHashStep:
+      ctx.temps[op.dst] = dp.hash_step(ctx.temps[op.src_a], ctx.temps[op.src_b]);
+      break;
+    case UopKind::kIhtLookup: {
+      const IhtLookupResult result = dp.iht_lookup(ctx.temps[op.src_a], ctx.temps[op.src_b],
+                                                   ctx.temps[op.src_c]);
+      ctx.temps[op.dst] = result.found ? 1U : 0U;
+      ctx.temps[op.dst2] = result.match ? 1U : 0U;
+      break;
+    }
+    case UopKind::kRaiseExc:
+      dp.raise_monitor_exception(op.exc_code);
+      break;
+    case UopKind::kSyscall:
+      dp.syscall();
+      break;
+    case UopKind::kIllegal:
+      dp.illegal_instruction();
+      break;
+  }
+}
+
+// Executes every microoperation of a (stage-sliced) span in order.
+template <typename DP>
+inline void execute_ops(std::span<const Uop> ops, ExecContext& ctx, DP& dp) {
+  for (const Uop& op : ops) {
+    if (!detail::guard_passes(op, ctx)) continue;
+    execute_op(op, ctx, dp);
+  }
+}
+
+// Compatibility path: executes, in order, every microoperation of `ops`
+// whose stage equals `stage`, through the virtual Datapath interface.
 void execute_stage(std::span<const Uop> ops, Stage stage, ExecContext& ctx, Datapath& dp);
 
 }  // namespace cicmon::uop

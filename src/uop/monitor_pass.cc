@@ -85,9 +85,7 @@ std::vector<Uop> id_extension() {
   op.dst2 = MonitorTemps::kMatch;
   op.src_a = MonitorTemps::kStartId;
   op.src_b = MonitorTemps::kEnd;
-  // hashv travels through the dedicated RHASH port; the interpreter reads it
-  // from the kHashV temp recorded in `literal` to keep the Uop struct flat.
-  op.literal = MonitorTemps::kHashV;
+  op.src_c = MonitorTemps::kHashV;
   ops.push_back(op);
 
   // exception0 = [found==0] '1';
@@ -148,16 +146,20 @@ void embed_monitoring(IsaUopSpec* spec) {
   spec->fetch_temps = std::max<std::uint8_t>(spec->fetch_temps, MonitorTemps::kNewHash + 1);
 
   // Prepend the Figure 4 head to the ID program of flow-control instructions.
+  // finalize_program restores the stage slices: the stable sort keeps the
+  // prepended monitoring head ahead of the instruction's own ID operations,
+  // so the lookup and resets still run before the control transfer.
   const std::vector<Uop> id_ext = id_extension();
   for (const isa::OpcodeInfo& row : isa::opcode_table()) {
     if (row.mnemonic == isa::Mnemonic::kInvalid) continue;
     if (!isa::is_flow_control(row.cls)) continue;
     InstrUops& prog = spec->per_instr[static_cast<std::size_t>(row.mnemonic)];
     prog.ops.insert(prog.ops.begin(), id_ext.begin(), id_ext.end());
-    prog.num_temps = std::max<std::uint8_t>(prog.num_temps, MonitorTemps::kMismatch + 1);
+    finalize_program(&prog);
   }
 
   spec->monitoring_embedded = true;
+  validate_spec(*spec);
 }
 
 }  // namespace cicmon::uop

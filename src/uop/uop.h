@@ -16,7 +16,9 @@
 // exactly the way re-generating the ASIP with/without the CIC would.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -82,6 +84,11 @@ enum class UopKind : std::uint8_t {
 
 inline constexpr std::uint8_t kNoTemp = 0xFF;
 
+// Size of the per-instruction temporary file (ExecContext::temps). The
+// validation pass guarantees every temp operand is below this bound and
+// written before it is read, so the interpreter never range-checks.
+inline constexpr unsigned kMaxTemps = 32;
+
 // One microoperation. Operands reference per-instruction temporaries, which
 // model the values travelling through pipeline latches.
 struct Uop {
@@ -91,6 +98,7 @@ struct Uop {
   std::uint8_t dst2 = kNoTemp;   // second result (IHT lookup: match)
   std::uint8_t src_a = kNoTemp;
   std::uint8_t src_b = kNoTemp;
+  std::uint8_t src_c = kNoTemp;  // third operand (IHT lookup: hash value)
   SpecialReg special = SpecialReg::kCpc;
   GprSel sel = GprSel::kRs;
   AluOp alu = AluOp::kAdd;
@@ -106,9 +114,22 @@ struct Uop {
 };
 
 // Per-mnemonic microoperation program covering ID..WB (IF is shared).
+//
+// The ops vector is stage-sliced at build time: finalize_program() stable-
+// sorts it by stage and records the slice boundaries, so the pipeline pulls
+// each stage as one contiguous span instead of rescanning the whole program
+// with a per-op stage filter five times per dynamic instruction.
 struct InstrUops {
-  std::vector<Uop> ops;          // ordered; each op tagged with its stage
+  std::vector<Uop> ops;          // stage-sorted; order within a stage preserved
+  // ops[stage_begin[s] .. stage_begin[s+1]) is the Stage(s) slice.
+  std::array<std::uint8_t, kNumStages + 1> stage_begin{};
   std::uint8_t num_temps = 0;    // temporaries used (shared namespace with IF)
+
+  std::span<const Uop> stage(Stage s) const {
+    const auto i = static_cast<std::size_t>(s);
+    return {ops.data() + stage_begin[i],
+            static_cast<std::size_t>(stage_begin[i + 1] - stage_begin[i])};
+  }
 };
 
 // Complete microoperation specification of the ISA.
@@ -123,8 +144,23 @@ struct IsaUopSpec {
   }
 };
 
-// Builds the canonical (un-monitored) microoperation specification.
+// Builds the canonical (un-monitored) microoperation specification. The
+// result is stage-sliced and validated.
 IsaUopSpec build_isa_uops();
+
+// Stage-slices `prog` (stable sort by stage + slice offsets) and recomputes
+// num_temps from the highest temp index any op references. Must be re-run
+// after inserting or removing ops (the monitoring pass does).
+void finalize_program(InstrUops* prog);
+
+// Rejects malformed microoperation programs with a CicError: temp operands
+// out of the kMaxTemps file, required operands missing (e.g. a guard without
+// guard_tmp), stage slices inconsistent with op tags, and temps read before
+// any earlier microoperation of the same dynamic instruction (IF program
+// first, then the per-instruction stages) has written them. The last rule is
+// what lets the interpreter reuse one temp file across instructions without
+// zero-filling it per instruction.
+void validate_spec(const IsaUopSpec& spec);
 
 // Renders a microoperation in the paper's notation, e.g.
 //   "null = [start==0]STA.write(current_pc);"

@@ -7,6 +7,9 @@
 //   16..23 reserved for the ID-stage monitoring extension (Figure 4)
 #include "uop/uop.h"
 
+#include <algorithm>
+#include <string>
+
 #include "support/error.h"
 
 namespace cicmon::uop {
@@ -85,7 +88,7 @@ class ProgramBuilder {
   InstrUops finish() {
     InstrUops out;
     out.ops = std::move(ops_);
-    out.num_temps = next_temp_;
+    finalize_program(&out);
     return out;
   }
 
@@ -279,7 +282,206 @@ InstrUops simple(UopKind kind, Stage stage) {
   return b.finish();
 }
 
+// --- Stage slicing and build-time validation -------------------------------
+
+// Temps an op reads (kNoTemp entries are "no operand"). src_b of kAlu is
+// genuinely optional (one-operand comparisons); everything else listed here
+// is required and checked by validate_spec.
+struct OperandUse {
+  std::uint8_t reads[4] = {kNoTemp, kNoTemp, kNoTemp, kNoTemp};
+  std::uint8_t writes[2] = {kNoTemp, kNoTemp};
+  bool src_b_optional = false;
+};
+
+OperandUse operand_use(const Uop& op) {
+  OperandUse use;
+  switch (op.kind) {
+    case UopKind::kReadSpecial:
+    case UopKind::kReadGpr:
+      use.writes[0] = op.dst;
+      break;
+    case UopKind::kImm:
+      use.writes[0] = op.dst;
+      break;
+    case UopKind::kWriteSpecial:
+    case UopKind::kWriteGpr:
+    case UopKind::kSetPc:
+      use.reads[0] = op.src_a;
+      break;
+    case UopKind::kAlu:
+      use.reads[0] = op.src_a;
+      use.reads[1] = op.src_b;
+      use.writes[0] = op.dst;
+      use.src_b_optional = true;
+      break;
+    case UopKind::kMulDiv:
+    case UopKind::kStore:
+      use.reads[0] = op.src_a;
+      use.reads[1] = op.src_b;
+      break;
+    case UopKind::kFetchInstr:
+    case UopKind::kLoad:
+      use.reads[0] = op.src_a;
+      use.writes[0] = op.dst;
+      break;
+    case UopKind::kHashStep:
+      use.reads[0] = op.src_a;
+      use.reads[1] = op.src_b;
+      use.writes[0] = op.dst;
+      break;
+    case UopKind::kIhtLookup:
+      use.reads[0] = op.src_a;
+      use.reads[1] = op.src_b;
+      use.reads[2] = op.src_c;
+      use.writes[0] = op.dst;
+      use.writes[1] = op.dst2;
+      break;
+    case UopKind::kResetSpecial:
+    case UopKind::kRaiseExc:
+    case UopKind::kSyscall:
+    case UopKind::kIllegal:
+      break;
+  }
+  if (op.guard != GuardKind::kAlways) use.reads[3] = op.guard_tmp;
+  return use;
+}
+
+std::uint8_t max_temp_plus_one(const Uop& op) {
+  std::uint8_t highest = 0;
+  for (const std::uint8_t t :
+       {op.dst, op.dst2, op.src_a, op.src_b, op.src_c, op.guard_tmp}) {
+    if (t != kNoTemp) highest = std::max<std::uint8_t>(highest, t + 1);
+  }
+  return highest;
+}
+
+// Bounds and def-before-use checks over one program, updating the running
+// set of defined temps (`defined` is a bitmask over the kMaxTemps file).
+void validate_ops(std::span<const Uop> ops, std::uint32_t* defined, const std::string& where) {
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Uop& op = ops[i];
+    const std::string at = where + " op " + std::to_string(i);
+    support::check(op.guard == GuardKind::kAlways || op.guard_tmp != kNoTemp,
+                   at + ": guarded microoperation without guard_tmp");
+    const OperandUse use = operand_use(op);
+    for (const std::uint8_t t : use.reads) {
+      if (t == kNoTemp) continue;
+      support::check(t < kMaxTemps, at + ": source temp index out of range");
+      support::check((*defined >> t) & 1U, at + ": temp read before written");
+    }
+    for (const std::uint8_t t : use.writes) {
+      if (t == kNoTemp) continue;
+      support::check(t < kMaxTemps, at + ": destination temp index out of range");
+      // A guard-skipped write leaves the temp holding whatever the previous
+      // dynamic instruction left there (the temp file is not re-zeroed), so
+      // only unconditional writes may satisfy later reads.
+      if (op.guard == GuardKind::kAlways) *defined |= 1U << t;
+    }
+  }
+}
+
+// Required-operand check separated from the def-before-use walk so the error
+// messages stay precise.
+void validate_required(std::span<const Uop> ops, const std::string& where) {
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Uop& op = ops[i];
+    const std::string at = where + " op " + std::to_string(i);
+    switch (op.kind) {
+      case UopKind::kReadSpecial:
+      case UopKind::kReadGpr:
+      case UopKind::kImm:
+        support::check(op.dst != kNoTemp, at + ": missing destination temp");
+        break;
+      case UopKind::kWriteSpecial:
+      case UopKind::kWriteGpr:
+      case UopKind::kSetPc:
+        support::check(op.src_a != kNoTemp, at + ": missing src_a");
+        break;
+      case UopKind::kAlu:
+      case UopKind::kFetchInstr:
+      case UopKind::kLoad:
+        support::check(op.dst != kNoTemp, at + ": missing destination temp");
+        support::check(op.src_a != kNoTemp, at + ": missing src_a");
+        break;
+      case UopKind::kMulDiv:
+      case UopKind::kStore:
+        support::check(op.src_a != kNoTemp && op.src_b != kNoTemp,
+                       at + ": missing src_a/src_b");
+        break;
+      case UopKind::kHashStep:
+        support::check(op.dst != kNoTemp, at + ": missing destination temp");
+        support::check(op.src_a != kNoTemp && op.src_b != kNoTemp,
+                       at + ": missing src_a/src_b");
+        break;
+      case UopKind::kIhtLookup:
+        support::check(op.src_a != kNoTemp && op.src_b != kNoTemp && op.src_c != kNoTemp,
+                       at + ": IHT lookup needs src_a/src_b/src_c");
+        support::check(op.dst != kNoTemp && op.dst2 != kNoTemp,
+                       at + ": IHT lookup needs dst and dst2");
+        break;
+      case UopKind::kResetSpecial:
+      case UopKind::kRaiseExc:
+      case UopKind::kSyscall:
+      case UopKind::kIllegal:
+        break;
+    }
+  }
+}
+
 }  // namespace
+
+void finalize_program(InstrUops* prog) {
+  support::check(prog != nullptr, "finalize_program: null program");
+  support::check(prog->ops.size() <= 0xFF, "finalize_program: program too long");
+  std::stable_sort(prog->ops.begin(), prog->ops.end(), [](const Uop& a, const Uop& b) {
+    return static_cast<unsigned>(a.stage) < static_cast<unsigned>(b.stage);
+  });
+  std::size_t next = 0;
+  std::uint8_t num_temps = 0;
+  for (unsigned s = 0; s < kNumStages; ++s) {
+    prog->stage_begin[s] = static_cast<std::uint8_t>(next);
+    while (next < prog->ops.size() &&
+           static_cast<unsigned>(prog->ops[next].stage) == s) {
+      num_temps = std::max(num_temps, max_temp_plus_one(prog->ops[next]));
+      ++next;
+    }
+  }
+  prog->stage_begin[kNumStages] = static_cast<std::uint8_t>(next);
+  prog->num_temps = num_temps;
+}
+
+void validate_spec(const IsaUopSpec& spec) {
+  // Fetch program: IF-only, defines its temps from scratch.
+  std::uint32_t fetch_defined = 0;
+  for (const Uop& op : spec.fetch) {
+    support::check(op.stage == Stage::kIF, "fetch program: non-IF microoperation");
+  }
+  validate_required(spec.fetch, "fetch");
+  validate_ops(spec.fetch, &fetch_defined, "fetch");
+
+  for (std::size_t m = 0; m < spec.per_instr.size(); ++m) {
+    const InstrUops& prog = spec.per_instr[m];
+    const std::string name(isa::info(static_cast<isa::Mnemonic>(m)).name);
+    // Slice offsets must partition the stage-sorted ops vector.
+    support::check(prog.stage_begin[0] == 0 &&
+                       prog.stage_begin[kNumStages] == prog.ops.size(),
+                   name + ": stage slices do not cover the program");
+    for (unsigned s = 0; s < kNumStages; ++s) {
+      support::check(prog.stage_begin[s] <= prog.stage_begin[s + 1],
+                     name + ": stage slice offsets not monotone");
+      for (const Uop& op : prog.stage(static_cast<Stage>(s))) {
+        support::check(op.stage == static_cast<Stage>(s),
+                       name + ": op filed under the wrong stage slice");
+      }
+    }
+    support::check(prog.num_temps <= kMaxTemps, name + ": temp file overflow");
+    validate_required(prog.ops, name);
+    // The IF program runs first every dynamic instruction, so its defs are
+    // live when the per-instruction stages execute.
+    std::uint32_t defined = fetch_defined;
+    validate_ops(prog.ops, &defined, name);
+  }
+}
 
 IsaUopSpec build_isa_uops() {
   IsaUopSpec spec;
@@ -401,6 +603,7 @@ IsaUopSpec build_isa_uops() {
   set(Mnemonic::kJal, jump_program(/*link=*/true));
   set(Mnemonic::kInvalid, simple(UopKind::kIllegal, Stage::kID));
 
+  validate_spec(spec);
   return spec;
 }
 

@@ -143,8 +143,7 @@ std::string to_string(const Uop& op) {
       break;
     case UopKind::kIhtLookup:
       out << "<found,match> = IHTbb.lookup(<" << temp_name(op.src_a) << ","
-          << temp_name(op.src_b) << "," << temp_name(static_cast<std::uint8_t>(op.literal))
-          << ">);";
+          << temp_name(op.src_b) << "," << temp_name(op.src_c) << ">);";
       break;
     case UopKind::kRaiseExc:
       out << "exception" << unsigned{op.exc_code} << " = " << guard << "'1';";

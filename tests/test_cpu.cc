@@ -440,6 +440,153 @@ TEST(Monitoring, PostIdFaultEscapesMonitor) {
   EXPECT_EQ(r.iht.mismatches, 0U);
 }
 
+// Every observable field that the experiment layers consume. Used to assert
+// the predecode cache never changes simulated behaviour.
+void expect_results_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.reason, b.reason);
+  EXPECT_EQ(a.exit_code, b.exit_code);
+  EXPECT_EQ(a.monitor_cause, b.monitor_cause);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.monitor_cycles, b.monitor_cycles);
+  EXPECT_EQ(a.branch_bubbles, b.branch_bubbles);
+  EXPECT_EQ(a.load_use_stalls, b.load_use_stalls);
+  EXPECT_EQ(a.muldiv_stalls, b.muldiv_stalls);
+  EXPECT_EQ(a.icache_stall_cycles, b.icache_stall_cycles);
+  EXPECT_EQ(a.recoveries, b.recoveries);
+  EXPECT_EQ(a.iht.lookups, b.iht.lookups);
+  EXPECT_EQ(a.iht.hits, b.iht.hits);
+  EXPECT_EQ(a.iht.misses, b.iht.misses);
+  EXPECT_EQ(a.iht.mismatches, b.iht.mismatches);
+  EXPECT_EQ(a.os.miss_exceptions, b.os.miss_exceptions);
+  EXPECT_EQ(a.os.mismatch_exceptions, b.os.mismatch_exceptions);
+  EXPECT_EQ(a.os.refills, b.os.refills);
+  EXPECT_EQ(a.os.records_loaded, b.os.records_loaded);
+  EXPECT_EQ(a.os.fht_probes, b.os.fht_probes);
+  EXPECT_EQ(a.os.cycles_charged, b.os.cycles_charged);
+  EXPECT_EQ(a.console, b.console);
+  EXPECT_EQ(a.check_observed, b.check_observed);
+  EXPECT_EQ(a.check_expected, b.check_expected);
+}
+
+casm_::Image checked_sum_loop() {
+  Asm a;
+  a.func("main");
+  a.li(kT0, 20);
+  a.li(kT1, 0);
+  Label loop = a.bound_label();
+  a.addu(kT1, kT1, kT0);
+  a.addiu(kT0, kT0, -1);
+  a.bnez(kT0, loop);
+  a.check_eq(kT1, 210);
+  a.sys_exit(0);
+  return a.finalize();
+}
+
+TEST(PredecodeCache, CleanMonitoredRunIdenticalOnAndOff) {
+  const casm_::Image image = checked_sum_loop();
+  CpuConfig on;
+  on.monitoring = true;
+  on.cic.iht_entries = 8;
+  CpuConfig off = on;
+  off.predecode_cache = false;
+  Cpu cached(on, image);
+  Cpu plain(off, image);
+  expect_results_identical(cached.run(), plain.run());
+}
+
+TEST(PredecodeCache, TextFlipDetectionIdenticalOnAndOff) {
+  // Flip a bit of the loop body *after* the first iterations populated the
+  // predecode cache would be ideal, but memory faults are injected before
+  // run(); what matters is that the cached entry for the clean word misses
+  // its tag once the corrupted word arrives and the detection results —
+  // latency (cycles), exit reason, IHT stats — stay bit-identical.
+  for (const bool cache_on : {true, false}) {
+    SCOPED_TRACE(cache_on ? "cache on" : "cache off");
+    const casm_::Image image = checked_sum_loop();
+    CpuConfig config;
+    config.monitoring = true;
+    config.cic.iht_entries = 8;
+    config.predecode_cache = cache_on;
+    Cpu cpu(config, image);
+    const std::uint32_t addr = casm_::kTextBase + 8;
+    cpu.memory().write32(addr, cpu.memory().read32(addr) ^ (1U << 11));  // rd bit: stays valid
+    const RunResult r = cpu.run();
+    EXPECT_EQ(r.reason, ExitReason::kMonitorTerminated);
+    EXPECT_NE(r.monitor_cause, os::TerminationCause::kNone);
+  }
+  // And field-by-field equality of the two tampered runs.
+  const casm_::Image image = checked_sum_loop();
+  CpuConfig on;
+  on.monitoring = true;
+  on.cic.iht_entries = 8;
+  CpuConfig off = on;
+  off.predecode_cache = false;
+  Cpu cached(on, image);
+  Cpu plain(off, image);
+  for (Cpu* cpu : {&cached, &plain}) {
+    const std::uint32_t addr = casm_::kTextBase + 8;
+    cpu->memory().write32(addr, cpu->memory().read32(addr) ^ (1U << 11));
+  }
+  expect_results_identical(cached.run(), plain.run());
+}
+
+// Bus tamper that corrupts one specific dynamic fetch — the cache-resident
+// copy (and any predecoded entry) saw the clean word.
+class OneShotTamper : public mem::BusTamper {
+ public:
+  explicit OneShotTamper(std::uint64_t trigger, std::uint32_t mask)
+      : trigger_(trigger), mask_(mask) {}
+  std::uint32_t on_transfer(std::uint32_t, std::uint32_t word) override {
+    return transfers_++ == trigger_ ? word ^ mask_ : word;
+  }
+
+ private:
+  std::uint64_t transfers_ = 0;
+  std::uint64_t trigger_;
+  std::uint32_t mask_;
+};
+
+TEST(PredecodeCache, BusTamperMidRunIdenticalOnAndOff) {
+  // The tampered word arrives at an address whose predecode slot already
+  // holds the clean decode: the tag mismatch must force a fresh decode, so
+  // the corrupted instruction executes (and is detected) exactly as without
+  // the cache.
+  const casm_::Image image = checked_sum_loop();
+  RunResult results[2];
+  for (const bool cache_on : {true, false}) {
+    CpuConfig config;
+    config.monitoring = true;
+    config.cic.iht_entries = 8;
+    config.predecode_cache = cache_on;
+    Cpu cpu(config, image);
+    OneShotTamper tamper(/*trigger=*/9, /*mask=*/1U << 11);  // mid-loop fetch
+    cpu.fetch_path().set_bus_tamper(&tamper);
+    results[cache_on ? 0 : 1] = cpu.run();
+  }
+  EXPECT_EQ(results[0].reason, ExitReason::kMonitorTerminated);
+  expect_results_identical(results[0], results[1]);
+}
+
+TEST(PredecodeCache, PostIdFaultIdenticalOnAndOff) {
+  // The post-ID XOR rewrites the word *after* the hash saw it; the predecode
+  // slot is keyed by the pipeline's post-fault word, so the A/B runs must
+  // agree on the (undetected) wrong-output outcome.
+  const casm_::Image image = checked_sum_loop();
+  RunResult results[2];
+  for (const bool cache_on : {true, false}) {
+    CpuConfig config;
+    config.monitoring = true;
+    config.cic.iht_entries = 8;
+    config.predecode_cache = cache_on;
+    Cpu cpu(config, image);
+    cpu.set_post_id_fault({4, 1U << 16});
+    results[cache_on ? 0 : 1] = cpu.run();
+  }
+  EXPECT_EQ(results[0].iht.mismatches, 0U);  // escaped the monitor (§3.2)
+  expect_results_identical(results[0], results[1]);
+}
+
 TEST(Monitoring, GprAndMemoryInspection) {
   Asm a;
   a.func("main");

@@ -181,6 +181,28 @@ TEST(Campaign, ParallelDeterminismAcrossSitesOnRealWorkload) {
   }
 }
 
+TEST(Campaign, PredecodeCacheDoesNotChangeCampaignResults) {
+  // The tamper-safety contract of the decode cache, at campaign granularity:
+  // every outcome count must be bit-identical with the cache on and off,
+  // across the sites that corrupt fetched words in different places (memory
+  // rewrites, per-fetch bus flips, post-ID latch faults, cache-resident
+  // flips through a live I-cache).
+  const casm_::Image image = workloads::build_workload("bitcount", {0.02, 42});
+  cpu::CpuConfig on = monitored_config();
+  on.icache.enabled = true;  // exercise the icache-line site too
+  cpu::CpuConfig off = on;
+  off.predecode_cache = false;
+  CampaignRunner cached(image, on);
+  CampaignRunner plain(image, off);
+  for (const FaultSite site :
+       {FaultSite::kMemoryText, FaultSite::kFetchBus, FaultSite::kPostIdLatch,
+        FaultSite::kICacheLine}) {
+    const CampaignSummary a = cached.run_random(site, 1, 60, 13);
+    const CampaignSummary b = plain.run_random(site, 1, 60, 13);
+    EXPECT_TRUE(summaries_identical(a, b)) << fault_site_name(site);
+  }
+}
+
 TEST(Campaign, MonitoredDetectionDominatesUnmonitored) {
   const casm_::Image image = workloads::build_workload("bitcount", {0.02, 42});
   cpu::CpuConfig on = monitored_config();

@@ -107,6 +107,113 @@ TEST(MonitorPass, IdExtensionPrependsBeforeSetPc) {
   EXPECT_LT(lookup_at, setpc_at);
 }
 
+TEST(UopBuild, StageSlicesPartitionEveryProgram) {
+  // The slices must cover the stage-sorted ops vector exactly, and every op
+  // must sit in the slice of its own stage tag — for both the canonical and
+  // the monitored spec.
+  for (const bool monitored : {false, true}) {
+    IsaUopSpec spec = build_isa_uops();
+    if (monitored) embed_monitoring(&spec);
+    for (const isa::OpcodeInfo& row : isa::opcode_table()) {
+      const InstrUops& prog = spec.program(row.mnemonic);
+      std::size_t covered = 0;
+      for (unsigned s = 0; s < kNumStages; ++s) {
+        for (const Uop& op : prog.stage(static_cast<Stage>(s))) {
+          EXPECT_EQ(op.stage, static_cast<Stage>(s)) << row.name;
+          ++covered;
+        }
+      }
+      EXPECT_EQ(covered, prog.ops.size()) << row.name;
+    }
+  }
+}
+
+TEST(UopBuild, StageSliceMatchesStageFilter) {
+  // The contiguous slice and the old stage-tag filter must agree on both
+  // membership and order (the execution-order contract of the refactor).
+  IsaUopSpec spec = build_isa_uops();
+  embed_monitoring(&spec);
+  for (const isa::OpcodeInfo& row : isa::opcode_table()) {
+    const InstrUops& prog = spec.program(row.mnemonic);
+    for (unsigned s = 0; s < kNumStages; ++s) {
+      std::vector<UopKind> filtered;
+      for (const Uop& op : prog.ops) {
+        if (op.stage == static_cast<Stage>(s)) filtered.push_back(op.kind);
+      }
+      std::vector<UopKind> sliced;
+      for (const Uop& op : prog.stage(static_cast<Stage>(s))) sliced.push_back(op.kind);
+      EXPECT_EQ(filtered, sliced) << row.name << " stage " << s;
+    }
+  }
+}
+
+TEST(UopBuild, IhtLookupUsesSrcC) {
+  IsaUopSpec spec = build_isa_uops();
+  embed_monitoring(&spec);
+  for (const Uop& op : spec.program(isa::Mnemonic::kJr).ops) {
+    if (op.kind != UopKind::kIhtLookup) continue;
+    EXPECT_NE(op.src_c, kNoTemp);
+    EXPECT_EQ(op.src_c, MonitorTemps::kHashV);
+    return;
+  }
+  FAIL() << "jr has no IHT lookup after embedding";
+}
+
+InstrUops malformed_single(Uop op) {
+  InstrUops prog;
+  prog.ops.push_back(op);
+  finalize_program(&prog);
+  return prog;
+}
+
+TEST(UopValidate, RejectsGuardWithoutGuardTmp) {
+  IsaUopSpec spec = build_isa_uops();
+  Uop op;
+  op.kind = UopKind::kRaiseExc;
+  op.stage = Stage::kID;
+  op.guard = GuardKind::kIfZero;  // guard_tmp left at kNoTemp
+  spec.per_instr[0] = malformed_single(op);
+  EXPECT_THROW(validate_spec(spec), support::CicError);
+}
+
+TEST(UopValidate, RejectsOutOfRangeTempIndex) {
+  IsaUopSpec spec = build_isa_uops();
+  Uop op;
+  op.kind = UopKind::kAlu;
+  op.stage = Stage::kEX;
+  op.dst = kMaxTemps;  // one past the temp file
+  op.src_a = 0;        // defined by the fetch program
+  spec.per_instr[0] = malformed_single(op);
+  EXPECT_THROW(validate_spec(spec), support::CicError);
+}
+
+TEST(UopValidate, RejectsTempReadBeforeWritten) {
+  IsaUopSpec spec = build_isa_uops();
+  Uop op;
+  op.kind = UopKind::kWriteGpr;
+  op.stage = Stage::kWB;
+  op.sel = GprSel::kRd;
+  op.src_a = 12;  // never written by fetch or this program
+  spec.per_instr[0] = malformed_single(op);
+  EXPECT_THROW(validate_spec(spec), support::CicError);
+}
+
+TEST(UopValidate, RejectsMissingRequiredOperand) {
+  IsaUopSpec spec = build_isa_uops();
+  Uop op;
+  op.kind = UopKind::kLoad;  // needs dst and src_a, has neither
+  op.stage = Stage::kMEM;
+  spec.per_instr[0] = malformed_single(op);
+  EXPECT_THROW(validate_spec(spec), support::CicError);
+}
+
+TEST(UopValidate, AcceptsCanonicalAndMonitoredSpecs) {
+  IsaUopSpec spec = build_isa_uops();
+  EXPECT_NO_THROW(validate_spec(spec));
+  embed_monitoring(&spec);
+  EXPECT_NO_THROW(validate_spec(spec));
+}
+
 TEST(UopPrint, PaperNotation) {
   IsaUopSpec spec = build_isa_uops();
   embed_monitoring(&spec);
