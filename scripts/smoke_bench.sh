@@ -40,8 +40,10 @@ run table2_area_timing
 # The unified CLI, one subcommand each (campaign sized to stay cheap).
 run cicmon table1 --scale "${scale}"
 run cicmon fig6 --scale "${scale}"
+run cicmon blocks --scale "${scale}"
 run cicmon bench --scale "${scale}" --json "${build_dir}/bench_smoke.json"
 run cicmon campaign --workload bitcount --scale 0.02 --trials 50
+run cicmon workloads
 
 # The machine-readable bench output must exist and carry its schema tag.
 if [[ -x ${build_dir}/cicmon ]]; then
@@ -50,6 +52,34 @@ if [[ -x ${build_dir}/cicmon ]]; then
     echo "--- cicmon bench --json: malformed or missing output" >&2
     failures=$((failures + 1))
   fi
+fi
+
+# Sharded runs + merge must reproduce the unsharded stdout byte for byte,
+# and resuming a completed shard must reuse its artifact untouched.
+if [[ -x ${build_dir}/cicmon ]]; then
+  echo "--- cicmon shard/merge/resume"
+  shard_dir=$(mktemp -d)
+  if "${build_dir}/cicmon" table1 --scale "${scale}" > "${shard_dir}/direct.txt" &&
+     "${build_dir}/cicmon" table1 --scale "${scale}" --shard 1/2 \
+       --out "${shard_dir}/t1.json" 2> /dev/null &&
+     "${build_dir}/cicmon" table1 --scale "${scale}" --shard 2/2 --jobs 2 \
+       --out "${shard_dir}/t2.json" 2> /dev/null &&
+     grep -q '"schema": "cicmon-shard-v1"' "${shard_dir}/t1.json" &&
+     "${build_dir}/cicmon" merge "${shard_dir}/t1.json" "${shard_dir}/t2.json" \
+       > "${shard_dir}/merged.txt" &&
+     diff "${shard_dir}/direct.txt" "${shard_dir}/merged.txt"; then
+    cp "${shard_dir}/t1.json" "${shard_dir}/t1.orig.json"
+    if ! "${build_dir}/cicmon" table1 --scale "${scale}" --shard 1/2 \
+           --out "${shard_dir}/t1.json" 2> /dev/null ||
+       ! cmp -s "${shard_dir}/t1.json" "${shard_dir}/t1.orig.json"; then
+      echo "--- cicmon shard resume: artifact was not reused" >&2
+      failures=$((failures + 1))
+    fi
+  else
+    echo "--- cicmon shard/merge: FAILED" >&2
+    failures=$((failures + 1))
+  fi
+  rm -rf "${shard_dir}"
 fi
 
 # Examples double as API smoke tests.

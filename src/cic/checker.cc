@@ -5,6 +5,7 @@ namespace cicmon::cic {
 CodeIntegrityChecker::CodeIntegrityChecker(const CicConfig& config)
     : config_(config),
       hashfu_(hash::make_hash_unit(config.hash_kind, config.hash_key)),
+      kind_(hashfu_->kind()),
       iht_(config.iht_entries, config.replace_policy, config.rng_seed) {}
 
 uop::IhtLookupResult CodeIntegrityChecker::lookup(std::uint32_t start, std::uint32_t end,

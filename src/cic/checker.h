@@ -16,6 +16,7 @@
 
 #include "cic/iht.h"
 #include "hash/hash_unit.h"
+#include "support/bitops.h"
 #include "uop/interp.h"
 
 namespace cicmon::cic {
@@ -40,8 +41,24 @@ class CodeIntegrityChecker {
   explicit CodeIntegrityChecker(const CicConfig& config);
 
   // --- Monitoring ports (wired into uop::Datapath) ---
+  //
+  // The monitored fetch path calls hash_step once per dynamic instruction,
+  // making the HASHFU's virtual `step` the last indirect call on that hot
+  // path. The single-cycle units the paper's CIC8/CIC16 configurations ship
+  // with (XOR, and the ADD/ROTXOR variants) are dispatched inline on the
+  // kind latched at construction — their one-liner bodies duplicate the
+  // `final` unit classes in hash_unit.cc bit for bit — while every other
+  // kind, and all cold-path uses (FHT generation, the area model), still go
+  // through the virtual unit, which remains the extension point.
   std::uint32_t hash_step(std::uint32_t old_hash, std::uint32_t instr_word) const {
-    return hashfu_->step(old_hash, instr_word);
+    switch (kind_) {
+      case hash::HashKind::kXor: return old_hash ^ instr_word;
+      case hash::HashKind::kAdd: return old_hash + instr_word;
+      case hash::HashKind::kRotXor:
+      case hash::HashKind::kRotXorKeyed:
+        return support::rotl32(old_hash, 1) ^ instr_word;
+      default: return hashfu_->step(old_hash, instr_word);
+    }
   }
   uop::IhtLookupResult lookup(std::uint32_t start, std::uint32_t end, std::uint32_t hash);
 
@@ -58,6 +75,7 @@ class CodeIntegrityChecker {
  private:
   CicConfig config_;
   std::unique_ptr<hash::HashFunctionUnit> hashfu_;
+  hash::HashKind kind_;  // hashfu_->kind(), latched for the inline fast path
   Iht iht_;
   LookupKey last_lookup_;
 };

@@ -4,7 +4,6 @@
 
 #include "support/bitops.h"
 #include "support/error.h"
-#include "support/parallel.h"
 
 namespace cicmon::fault {
 namespace {
@@ -174,29 +173,50 @@ TrialResult CampaignRunner::run_trial(const FaultSpec& spec) const {
   return out;
 }
 
-CampaignSummary CampaignRunner::run_random(FaultSite site, unsigned bits, unsigned trials,
-                                           std::uint64_t seed, unsigned jobs) {
+exp::SweepSpec CampaignRunner::sweep(FaultSite site, unsigned bits, unsigned trials,
+                                     std::uint64_t seed) const {
   // Each trial owns an RNG stream derived from (seed, trial index), so the
   // fault it injects — and therefore the whole summary — depends only on the
-  // campaign seed, never on thread count or scheduling order.
+  // campaign seed, never on thread count, shard count, or scheduling order.
   const std::uint32_t text_words = static_cast<std::uint32_t>(image_.text.size());
-  std::vector<Outcome> outcomes(trials);
-  support::parallel_for(trials, jobs, [&](std::size_t t) {
-    support::Rng rng(support::derive_stream_seed(seed, t));
-    FaultSpec spec;
-    spec.site = site;
-    spec.xor_mask = random_mask(rng, bits);
-    spec.trigger_index = rng.below(golden_instructions_);
+  exp::SweepSpec spec;
+  spec.sweep = "campaign";
+  spec.params = {{"site", std::string(fault_site_name(site))},
+                 {"bits", std::to_string(bits)},
+                 {"trials", std::to_string(trials)},
+                 {"seed", std::to_string(seed)}};
+  spec.cells = trials;
+  spec.cell_key = [](std::size_t trial) { return "trial/" + std::to_string(trial); };
+  spec.run_cell = [this, site, bits, seed, text_words](std::size_t trial) {
+    support::Rng rng(support::derive_stream_seed(seed, trial));
+    FaultSpec fault;
+    fault.site = site;
+    fault.xor_mask = random_mask(rng, bits);
+    fault.trigger_index = rng.below(golden_instructions_);
     if (site == FaultSite::kMemoryText) {
-      spec.target_address =
+      fault.target_address =
           image_.text_base + 4 * static_cast<std::uint32_t>(rng.below(text_words));
     }
-    outcomes[t] = run_trial(spec).outcome;
-  });
+    exp::CellResult result;
+    result.u64 = {static_cast<std::uint64_t>(run_trial(fault).outcome)};
+    return result;
+  };
+  return spec;
+}
 
+CampaignSummary CampaignRunner::summary_from_cells(const std::vector<exp::CellResult>& cells) {
   CampaignSummary summary;
-  for (const Outcome outcome : outcomes) summary.add(outcome);
+  for (const exp::CellResult& cell : cells) {
+    support::check(cell.u64.size() == 1 && cell.u64[0] <= static_cast<std::uint64_t>(Outcome::kHang),
+                   "campaign cell does not carry an outcome code");
+    summary.add(static_cast<Outcome>(cell.u64[0]));
+  }
   return summary;
+}
+
+CampaignSummary CampaignRunner::run_random(FaultSite site, unsigned bits, unsigned trials,
+                                           std::uint64_t seed, unsigned jobs) {
+  return summary_from_cells(exp::run_all(sweep(site, bits, trials, seed), jobs));
 }
 
 }  // namespace cicmon::fault

@@ -19,6 +19,7 @@
 
 #include "casm/image.h"
 #include "cpu/cpu.h"
+#include "exp/sweep.h"
 #include "fault/fault.h"
 #include "support/rng.h"
 
@@ -77,11 +78,21 @@ class CampaignRunner {
   // the golden-run state, read-only; each builds its own CPU.
   TrialResult run_trial(const FaultSpec& spec) const;
 
+  // The campaign as a sweep-engine grid: one cell per trial, u64 payload =
+  // {outcome code}. Every trial draws from its own RNG stream seeded by
+  // (seed, trial index), so the summary is bit-identical for a given seed at
+  // any job count, shard count, or process placement. The spec borrows this
+  // runner — it must outlive any run_cell call.
+  exp::SweepSpec sweep(FaultSite site, unsigned bits, unsigned trials,
+                       std::uint64_t seed) const;
+
+  // Rebuilds the summary from a full (possibly shard-merged) cell vector.
+  static CampaignSummary summary_from_cells(const std::vector<exp::CellResult>& cells);
+
   // Runs `trials` random injections at `site`, each flipping `bits` distinct
   // bits of one instruction word, fanned out over `jobs` threads (0 resolves
-  // CICMON_JOBS / hardware concurrency; 1 runs inline). Every trial draws
-  // from its own RNG stream seeded by (seed, trial index), so the summary is
-  // bit-identical for a given seed at any job count.
+  // CICMON_JOBS / hardware concurrency; 1 runs inline) — sweep() + the
+  // engine + summary_from_cells in one call.
   CampaignSummary run_random(FaultSite site, unsigned bits, unsigned trials,
                              std::uint64_t seed, unsigned jobs = 0);
 

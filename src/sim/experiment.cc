@@ -1,14 +1,27 @@
 #include "sim/experiment.h"
 
+#include <chrono>
 #include <list>
 #include <map>
 #include <utility>
 
 #include "cfg/fht.h"
 #include "support/error.h"
-#include "support/parallel.h"
 
 namespace cicmon::sim {
+namespace {
+
+// Comma-joined list parameter ("1,8,16,32") for shard artifacts.
+std::string join_list(const std::vector<unsigned>& values) {
+  std::string out;
+  for (const unsigned value : values) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(value);
+  }
+  return out;
+}
+
+}  // namespace
 
 cpu::RunResult run_workload(std::string_view workload, const cpu::CpuConfig& config,
                             double scale, std::uint64_t seed) {
@@ -24,58 +37,103 @@ cpu::RunResult run_workload(std::string_view workload, const cpu::CpuConfig& con
   return result;
 }
 
-std::vector<Fig6Row> fig6_miss_rates(const std::vector<unsigned>& entry_counts, double scale,
-                                     unsigned jobs) {
+// --- Figure 6 -----------------------------------------------------------
+
+exp::SweepSpec fig6_sweep(std::vector<unsigned> entry_counts, double scale) {
   const auto infos = workloads::all_workloads();
   const std::size_t per_workload = entry_counts.size();
-  std::vector<double> miss_rates(infos.size() * per_workload);
-  support::parallel_for(miss_rates.size(), jobs, [&](std::size_t cell) {
-    const workloads::WorkloadInfo& info = infos[cell / per_workload];
+  exp::SweepSpec spec;
+  spec.sweep = "fig6";
+  spec.params = {{"scale", exp::fmt_f64(scale)}, {"entries", join_list(entry_counts)}};
+  spec.cells = infos.size() * per_workload;
+  spec.cell_key = [infos, per_workload, entry_counts](std::size_t cell) {
+    return std::string(infos[cell / per_workload].name) + "/entries" +
+           std::to_string(entry_counts[cell % per_workload]);
+  };
+  spec.run_cell = [infos, per_workload, entry_counts, scale](std::size_t cell) {
     cpu::CpuConfig config;
     config.monitoring = true;
     config.cic.iht_entries = entry_counts[cell % per_workload];
-    miss_rates[cell] = run_workload(info.name, config, scale).iht.miss_rate();
-  });
+    exp::CellResult result;
+    result.f64 = {run_workload(infos[cell / per_workload].name, config, scale).iht.miss_rate()};
+    return result;
+  };
+  return spec;
+}
 
+std::vector<Fig6Row> fig6_rows(const std::vector<exp::CellResult>& cells,
+                               std::size_t per_workload) {
+  const auto infos = workloads::all_workloads();
+  support::check(per_workload > 0 && cells.size() == infos.size() * per_workload,
+                 "fig6 cell vector does not match the workload grid");
   std::vector<Fig6Row> rows;
   rows.reserve(infos.size());
   for (std::size_t w = 0; w < infos.size(); ++w) {
     Fig6Row row;
     row.workload = std::string(infos[w].name);
-    row.miss_rates.assign(miss_rates.begin() + static_cast<std::ptrdiff_t>(w * per_workload),
-                          miss_rates.begin() + static_cast<std::ptrdiff_t>((w + 1) * per_workload));
+    for (std::size_t e = 0; e < per_workload; ++e) {
+      const exp::CellResult& cell = cells[w * per_workload + e];
+      support::check(cell.f64.size() == 1, "fig6 cell payload has the wrong shape");
+      row.miss_rates.push_back(cell.f64[0]);
+    }
     rows.push_back(std::move(row));
   }
   return rows;
 }
 
-std::vector<Table1Row> table1_overheads(double scale, unsigned jobs) {
-  // Three cells per workload: baseline (monitoring off), CIC8, CIC16. The
-  // overheads are derived after the gather, once a workload's baseline and
-  // monitored cells are both in.
-  static constexpr unsigned kVariants[] = {0U, 8U, 16U};
-  static constexpr std::size_t kPerWorkload = std::size(kVariants);
+std::vector<Fig6Row> fig6_miss_rates(const std::vector<unsigned>& entry_counts, double scale,
+                                     unsigned jobs) {
+  return fig6_rows(exp::run_all(fig6_sweep(entry_counts, scale), jobs), entry_counts.size());
+}
+
+// --- Table 1 ------------------------------------------------------------
+
+namespace {
+// Three cells per workload: baseline (monitoring off), CIC8, CIC16.
+constexpr unsigned kTable1Variants[] = {0U, 8U, 16U};
+constexpr std::size_t kTable1PerWorkload = std::size(kTable1Variants);
+}  // namespace
+
+exp::SweepSpec table1_sweep(double scale) {
   const auto infos = workloads::all_workloads();
-  std::vector<std::uint64_t> cycles(infos.size() * kPerWorkload);
-  support::parallel_for(cycles.size(), jobs, [&](std::size_t cell) {
-    const workloads::WorkloadInfo& info = infos[cell / kPerWorkload];
-    const unsigned entries = kVariants[cell % kPerWorkload];
+  exp::SweepSpec spec;
+  spec.sweep = "table1";
+  spec.params = {{"scale", exp::fmt_f64(scale)}};
+  spec.cells = infos.size() * kTable1PerWorkload;
+  spec.cell_key = [infos](std::size_t cell) {
+    const unsigned entries = kTable1Variants[cell % kTable1PerWorkload];
+    return std::string(infos[cell / kTable1PerWorkload].name) + "/" +
+           (entries == 0 ? "baseline" : "cic" + std::to_string(entries));
+  };
+  spec.run_cell = [infos, scale](std::size_t cell) {
+    const unsigned entries = kTable1Variants[cell % kTable1PerWorkload];
     cpu::CpuConfig config;
     if (entries != 0) {
       config.monitoring = true;
       config.cic.iht_entries = entries;
     }
-    cycles[cell] = run_workload(info.name, config, scale).cycles;
-  });
+    exp::CellResult result;
+    result.u64 = {run_workload(infos[cell / kTable1PerWorkload].name, config, scale).cycles};
+    return result;
+  };
+  return spec;
+}
 
+std::vector<Table1Row> table1_rows(const std::vector<exp::CellResult>& cells) {
+  const auto infos = workloads::all_workloads();
+  support::check(cells.size() == infos.size() * kTable1PerWorkload,
+                 "table1 cell vector does not match the workload grid");
+  for (const exp::CellResult& cell : cells) {
+    support::check(cell.u64.size() == 1, "table1 cell payload has the wrong shape");
+  }
   std::vector<Table1Row> rows;
   rows.reserve(infos.size());
   for (std::size_t w = 0; w < infos.size(); ++w) {
     Table1Row row;
     row.workload = std::string(infos[w].name);
-    row.cycles_baseline = cycles[w * kPerWorkload];
-    row.cycles_cic8 = cycles[w * kPerWorkload + 1];
-    row.cycles_cic16 = cycles[w * kPerWorkload + 2];
+    row.cycles_baseline = cells[w * kTable1PerWorkload].u64[0];
+    row.cycles_cic8 = cells[w * kTable1PerWorkload + 1].u64[0];
+    row.cycles_cic16 = cells[w * kTable1PerWorkload + 2].u64[0];
     const double baseline = static_cast<double>(row.cycles_baseline);
     row.overhead_cic8 = static_cast<double>(row.cycles_cic8) / baseline - 1.0;
     row.overhead_cic16 = static_cast<double>(row.cycles_cic16) / baseline - 1.0;
@@ -83,6 +141,12 @@ std::vector<Table1Row> table1_overheads(double scale, unsigned jobs) {
   }
   return rows;
 }
+
+std::vector<Table1Row> table1_overheads(double scale, unsigned jobs) {
+  return table1_rows(exp::run_all(table1_sweep(scale), jobs));
+}
+
+// --- Block characterisation ---------------------------------------------
 
 BlockStats characterize_blocks(std::string_view workload,
                                const std::vector<unsigned>& capacities, double scale) {
@@ -129,6 +193,7 @@ BlockStats characterize_blocks(std::string_view workload,
   stats.static_regions = cfg::build_fht(image, *unit).size();
   stats.dynamic_keys = where.size();
   stats.lookups = lookups;
+  stats.instructions = result.instructions;
   stats.mean_block_instructions =
       lookups == 0 ? 0.0
                    : static_cast<double>(result.instructions) / static_cast<double>(lookups);
@@ -143,14 +208,84 @@ BlockStats characterize_blocks(std::string_view workload,
   return stats;
 }
 
+exp::SweepSpec blocks_sweep(std::vector<unsigned> capacities, double scale) {
+  const auto infos = workloads::all_workloads();
+  exp::SweepSpec spec;
+  spec.sweep = "blocks";
+  spec.params = {{"scale", exp::fmt_f64(scale)}, {"capacities", join_list(capacities)}};
+  spec.cells = infos.size();
+  spec.cell_key = [infos](std::size_t cell) { return std::string(infos[cell].name); };
+  spec.run_cell = [infos, capacities, scale](std::size_t cell) {
+    const BlockStats stats = characterize_blocks(infos[cell].name, capacities, scale);
+    exp::CellResult result;
+    // The mean is derived in the decoder from the two exact integers.
+    result.u64 = {stats.static_regions, stats.dynamic_keys, stats.lookups, stats.instructions};
+    result.f64 = stats.lru_hit_rate;
+    return result;
+  };
+  return spec;
+}
+
+std::vector<BlockStats> blocks_rows(const std::vector<exp::CellResult>& cells,
+                                    const std::vector<unsigned>& capacities) {
+  const auto infos = workloads::all_workloads();
+  support::check(cells.size() == infos.size(),
+                 "blocks cell vector does not match the workload grid");
+  std::vector<BlockStats> rows;
+  rows.reserve(cells.size());
+  for (std::size_t w = 0; w < cells.size(); ++w) {
+    support::check(cells[w].u64.size() == 4 && cells[w].f64.size() == capacities.size(),
+                   "blocks cell payload has the wrong shape");
+    BlockStats stats;
+    stats.workload = std::string(infos[w].name);
+    stats.static_regions = cells[w].u64[0];
+    stats.dynamic_keys = cells[w].u64[1];
+    stats.lookups = cells[w].u64[2];
+    stats.instructions = cells[w].u64[3];
+    stats.mean_block_instructions =
+        stats.lookups == 0 ? 0.0
+                           : static_cast<double>(stats.instructions) /
+                                 static_cast<double>(stats.lookups);
+    stats.lru_hit_rate = cells[w].f64;
+    stats.capacities = capacities;
+    rows.push_back(std::move(stats));
+  }
+  return rows;
+}
+
 std::vector<BlockStats> characterize_all_blocks(const std::vector<unsigned>& capacities,
                                                 double scale, unsigned jobs) {
+  return blocks_rows(exp::run_all(blocks_sweep(capacities, scale), jobs), capacities);
+}
+
+// --- Throughput bench ---------------------------------------------------
+
+exp::SweepSpec bench_sweep(double scale) {
   const auto infos = workloads::all_workloads();
-  std::vector<BlockStats> rows(infos.size());
-  support::parallel_for(infos.size(), jobs, [&](std::size_t w) {
-    rows[w] = characterize_blocks(infos[w].name, capacities, scale);
-  });
-  return rows;
+  exp::SweepSpec spec;
+  spec.sweep = "bench";
+  spec.params = {{"scale", exp::fmt_f64(scale)}};
+  spec.cells = infos.size() * 2;
+  spec.cell_key = [infos](std::size_t cell) {
+    return std::string(infos[cell / 2].name) + "/" + (cell % 2 == 0 ? "baseline" : "cic16");
+  };
+  spec.run_cell = [infos, scale](std::size_t cell) {
+    cpu::CpuConfig config;
+    if (cell % 2 == 1) {
+      config.monitoring = true;
+      config.cic.iht_entries = 16;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const cpu::RunResult run = run_workload(infos[cell / 2].name, config, scale);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+            .count();
+    exp::CellResult result;
+    result.u64 = {run.instructions, run.cycles};
+    result.f64 = {wall_ms};
+    return result;
+  };
+  return spec;
 }
 
 }  // namespace cicmon::sim

@@ -1,0 +1,412 @@
+#include "support/json.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/error.h"
+
+namespace cicmon::support {
+
+// --- JsonWriter --------------------------------------------------------
+
+void JsonWriter::begin_item() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value sits on the key's line
+  }
+  if (!stack_.empty()) {
+    if (stack_.back() > 0) out_ += ',';
+    ++stack_.back();
+    out_ += '\n';
+    out_.append(2 * stack_.size(), ' ');
+  }
+}
+
+void JsonWriter::begin_object() {
+  begin_item();
+  out_ += '{';
+  stack_.push_back(0);
+}
+
+void JsonWriter::end_object() {
+  check(!stack_.empty() && !after_key_, "JsonWriter: unbalanced end_object");
+  const bool empty = stack_.back() == 0;
+  stack_.pop_back();
+  if (!empty) {
+    out_ += '\n';
+    out_.append(2 * stack_.size(), ' ');
+  }
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  begin_item();
+  out_ += '[';
+  stack_.push_back(0);
+}
+
+void JsonWriter::end_array() {
+  check(!stack_.empty() && !after_key_, "JsonWriter: unbalanced end_array");
+  const bool empty = stack_.back() == 0;
+  stack_.pop_back();
+  if (!empty) {
+    out_ += '\n';
+    out_.append(2 * stack_.size(), ' ');
+  }
+  out_ += ']';
+}
+
+void JsonWriter::append_escaped(std::string_view text) {
+  out_ += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out_ += buffer;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+void JsonWriter::value(std::string_view text) {
+  begin_item();
+  append_escaped(text);
+}
+
+void JsonWriter::value(bool boolean) {
+  begin_item();
+  out_ += boolean ? "true" : "false";
+}
+
+void JsonWriter::value_u64(std::uint64_t number) {
+  begin_item();
+  out_ += std::to_string(number);
+}
+
+void JsonWriter::value_i64(std::int64_t number) {
+  begin_item();
+  out_ += std::to_string(number);
+}
+
+void JsonWriter::value(double number) {
+  begin_item();
+  char buffer[64];
+  const auto result = std::to_chars(buffer, buffer + sizeof buffer, number);
+  out_.append(buffer, result.ptr);
+}
+
+void JsonWriter::value_fixed(double number, int precision) {
+  begin_item();
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, number);
+  out_ += buffer;
+}
+
+void JsonWriter::key(std::string_view name) {
+  check(!stack_.empty() && !after_key_, "JsonWriter: key outside an object");
+  begin_item();
+  append_escaped(name);
+  out_ += ": ";
+  after_key_ = true;
+}
+
+std::string JsonWriter::take() {
+  check(stack_.empty() && !after_key_, "JsonWriter: document not closed");
+  out_ += '\n';
+  return std::move(out_);
+}
+
+// --- Reader ------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_space();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw CicError("json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    // Containers recurse; bound the depth so a corrupt artifact full of
+    // "[[[[..." throws instead of overflowing the stack.
+    if (depth_ > kMaxDepth) fail("nesting deeper than 64 levels");
+    ++depth_;
+    JsonValue value = parse_value_inner();
+    --depth_;
+    return value;
+  }
+
+  JsonValue parse_value_inner() {
+    skip_space();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue value;
+        value.kind = JsonValue::Kind::kString;
+        value.text = parse_string();
+        return value;
+      }
+      case 't':
+      case 'f': {
+        JsonValue value;
+        value.kind = JsonValue::Kind::kBool;
+        value.boolean = c == 't';
+        if (!consume_literal(c == 't' ? "true" : "false")) fail("bad literal");
+        return value;
+      }
+      case 'n': {
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue{};
+      }
+      default: return parse_number();
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Artifacts only escape control characters; encode BMP code points
+          // as UTF-8 without surrogate-pair handling.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    auto digits = [&] {
+      const std::size_t before = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+      return pos_ > before;
+    };
+    if (!digits()) fail("bad number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digits()) fail("bad number fraction");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (!digits()) fail("bad number exponent");
+    }
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    value.text = std::string(text_.substr(start, pos_ - start));
+    return value;
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    skip_space();
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      skip_space();
+      std::string key = parse_string();
+      skip_space();
+      expect(':');
+      value.object.emplace_back(std::move(key), parse_value());
+      skip_space();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return value;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    skip_space();
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.array.push_back(parse_value());
+      skip_space();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return value;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  static constexpr unsigned kMaxDepth = 64;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  unsigned depth_ = 0;
+};
+
+[[noreturn]] void wrong_kind(const char* expected) {
+  throw CicError(std::string("json: value is not ") + expected);
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (kind != Kind::kBool) wrong_kind("a bool");
+  return boolean;
+}
+
+std::uint64_t JsonValue::as_u64() const {
+  if (kind != Kind::kNumber) wrong_kind("a number");
+  std::uint64_t out = 0;
+  const auto result = std::from_chars(text.data(), text.data() + text.size(), out);
+  if (result.ec != std::errc() || result.ptr != text.data() + text.size()) {
+    wrong_kind("an unsigned integer");
+  }
+  return out;
+}
+
+std::int64_t JsonValue::as_i64() const {
+  if (kind != Kind::kNumber) wrong_kind("a number");
+  std::int64_t out = 0;
+  const auto result = std::from_chars(text.data(), text.data() + text.size(), out);
+  if (result.ec != std::errc() || result.ptr != text.data() + text.size()) {
+    wrong_kind("a signed integer");
+  }
+  return out;
+}
+
+double JsonValue::as_f64() const {
+  if (kind != Kind::kNumber) wrong_kind("a number");
+  // strtod over from_chars: glibc's strtod is correctly rounded, so the
+  // shortest-form doubles JsonWriter emits parse back bit-exactly.
+  errno = 0;
+  char* end = nullptr;
+  const double out = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) wrong_kind("a double");
+  return out;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind != Kind::kString) wrong_kind("a string");
+  return text;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  if (kind != Kind::kArray) wrong_kind("an array");
+  return array;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::as_object() const {
+  if (kind != Kind::kObject) wrong_kind("an object");
+  return object;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) wrong_kind("an object");
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* value = find(key);
+  if (value == nullptr) throw CicError("json: missing key '" + std::string(key) + "'");
+  return *value;
+}
+
+JsonValue parse_json(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace cicmon::support

@@ -1,6 +1,8 @@
 #include "support/strings.h"
 
+#include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <cstdio>
 #include <limits>
 
@@ -83,10 +85,37 @@ bool parse_int(std::string_view text, std::int64_t* out) {
   return true;
 }
 
+bool parse_u64(std::string_view text, std::uint64_t* out) {
+  std::uint64_t value = 0;
+  const auto result = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (result.ec != std::errc() || result.ptr != text.data() + text.size() || text.empty()) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
 std::string hex32(std::uint32_t value) {
   char buf[16];
   std::snprintf(buf, sizeof buf, "0x%08x", value);
   return buf;
+}
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  // One rolling row of the classic dynamic program; the inputs are short
+  // CLI tokens, so quadratic time is irrelevant.
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitute = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min(std::min(row[j] + 1, row[j - 1] + 1), substitute);
+    }
+  }
+  return row[b.size()];
 }
 
 }  // namespace cicmon::support

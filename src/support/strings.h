@@ -24,7 +24,17 @@ std::string to_lower(std::string_view text);
 // Returns false on malformed input or overflow of int64.
 bool parse_int(std::string_view text, std::int64_t* out);
 
+// Strict decimal unsigned parse: the whole string must be digits, no sign,
+// prefix, or trailing garbage. Returns false on malformed input or overflow.
+// This is the validator for numeric fields of machine artifacts, where
+// anything lax would let tampered values slip through as zero.
+bool parse_u64(std::string_view text, std::uint64_t* out);
+
 // printf-style hex rendering of a 32-bit word, e.g. "0x0040001c".
 std::string hex32(std::uint32_t value);
+
+// Levenshtein edit distance (insert/delete/substitute, unit costs). Used for
+// "did you mean ...?" suggestions on mistyped CLI names.
+std::size_t edit_distance(std::string_view a, std::string_view b);
 
 }  // namespace cicmon::support

@@ -1,31 +1,43 @@
 // Unified experiment driver.
 //
-// One entry point for CI and users over the parallel experiment engine:
+// One entry point for CI and users over the sweep engine (exp/sweep.h):
 //
-//   cicmon table1   [--scale S] [--jobs N]
-//   cicmon fig6     [--scale S] [--jobs N] [--entries 1,8,16,32]
-//   cicmon bench    [--scale S] [--jobs N] [--json PATH]
-//   cicmon campaign [--workload W] [--site NAME] [--bits B] [--trials N]
-//                   [--seed X] [--scale S] [--jobs N] [--monitor on|off]
+//   cicmon table1    [--scale S] [--jobs N]
+//   cicmon fig6      [--scale S] [--jobs N] [--entries 1,8,16,32]
+//   cicmon blocks    [--scale S] [--jobs N] [--capacities 1,8,16,32]
+//   cicmon bench     [--scale S] [--jobs N] [--json PATH]
+//   cicmon campaign  [--workload W] [--site NAME] [--bits B] [--trials N]
+//                    [--seed X] [--scale S] [--jobs N] [--monitor on|off]
+//   cicmon merge     SHARD.json [SHARD.json ...]
+//   cicmon workloads
 //
-// Every subcommand honours the engine's determinism contract: all simulated
-// results (tables, miss rates, campaign summaries) are identical at any
-// --jobs value; only the echoed job count and host wall-clock lines of
-// `bench` and `campaign` vary. CICMON_JOBS is the environment fallback;
-// 0/unset resolves to hardware concurrency, 1 is the serial path.
+// Every sweep subcommand also takes `--shard I/N [--out PATH] [--force]`,
+// which runs only the cells owned by shard I of N and persists them as a
+// `cicmon-shard-v1` partial artifact instead of printing the table;
+// `cicmon merge` aggregates the partials and renders output byte-identical
+// to the unsharded run. A sharded invocation whose artifact already exists
+// and matches is skipped (resume); corrupt or mismatched artifacts are
+// re-run. Determinism contract: everything a sweep subcommand prints to
+// stdout is identical at any --jobs value, shard count, and process
+// placement — host wall-clock measurements go to stderr (except `bench`,
+// whose stdout is a throughput report by nature). CICMON_JOBS is the
+// environment fallback; 0/unset resolves to hardware concurrency, 1 is the
+// serial path.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <span>
 #include <string>
 #include <vector>
 
+#include "exp/sweep.h"
 #include "fault/campaign.h"
 #include "sim/experiment.h"
 #include "support/error.h"
+#include "support/json.h"
 #include "support/parallel.h"
+#include "support/strings.h"
 #include "support/table.h"
 #include "workloads/workloads.h"
 
@@ -43,7 +55,12 @@ struct Options {
   std::uint64_t seed = 2026;
   bool monitor = true;
   std::vector<unsigned> entries{1, 8, 16, 32};
-  std::string json_path;  // bench: also write machine-readable results here
+  std::vector<unsigned> capacities{1, 8, 16, 32};
+  std::string json_path;   // bench: also write machine-readable results here
+  std::string shard_text;  // "--shard I/N"; empty = run every cell + render
+  std::string out_path;    // shard artifact path; defaulted when empty
+  bool force = false;      // rerun a shard even when its artifact matches
+  std::vector<std::string> inputs;  // positional arguments (merge artifacts)
 };
 
 [[noreturn]] void usage(int code) {
@@ -53,14 +70,18 @@ struct Options {
       "commands:\n"
       "  table1      Table 1: cycle-count overhead (baseline vs CIC8/CIC16)\n"
       "  fig6        Figure 6: IHT miss rate vs table size\n"
+      "  blocks      Section 6.1: executed-block counts and LRU locality\n"
       "  bench       simulator throughput over all workloads\n"
       "  campaign    random fault-injection campaign\n"
+      "  merge       aggregate cicmon-shard-v1 artifacts into the full output\n"
+      "  workloads   list the benchmark kernels\n"
       "\n"
       "options:\n"
       "  --scale S        workload scale factor (default 1.0)\n"
       "  --jobs N         worker threads; 0 = CICMON_JOBS env or hardware\n"
       "                   concurrency, 1 = serial (default 0)\n"
       "  --entries A,B,.. IHT sizes for fig6 (default 1,8,16,32)\n"
+      "  --capacities A,B,.. LRU table sizes for blocks (default 1,8,16,32)\n"
       "  --workload W     campaign workload (default dijkstra)\n"
       "  --site NAME      fault site: memory-text, fetch-bus, fetch-bus-paired,\n"
       "                   icache-line, post-id-latch (default fetch-bus)\n"
@@ -68,22 +89,48 @@ struct Options {
       "  --trials N       campaign trials (default 1000)\n"
       "  --seed X         campaign seed (default 2026)\n"
       "  --monitor on|off campaign machine has the CIC (default on)\n"
-      "  --json PATH      bench: also write results as JSON to PATH\n",
+      "  --json PATH      bench: also write results as JSON to PATH\n"
+      "\n"
+      "sharding (table1/fig6/blocks/bench/campaign):\n"
+      "  --shard I/N      run only the cells owned by shard I of N and write\n"
+      "                   a cicmon-shard-v1 partial artifact, not the table\n"
+      "  --out PATH       artifact path (default cicmon-<sweep>-shard-IofN.json);\n"
+      "                   a matching existing artifact is reused (resume)\n"
+      "  --force          rerun the shard even when its artifact matches\n"
+      "\n"
+      "`cicmon merge s1.json s2.json ...` needs every shard of one run and\n"
+      "prints output byte-identical to the unsharded invocation.\n",
       code == 0 ? stdout : stderr);
   std::exit(code);
 }
 
-std::vector<unsigned> parse_entry_list(const std::string& list) {
-  std::vector<unsigned> entries;
+// Comma-separated list of positive integers, parsed strictly (no trailing
+// garbage). `what` names the source in the CicError: a CLI flag here, an
+// artifact parameter on the merge path — where malformed input means a
+// corrupt or hand-edited artifact and must never surface as the usage
+// screen.
+std::vector<unsigned> parse_unsigned_list(std::string_view text, const char* what) {
+  std::vector<unsigned> values;
   std::size_t begin = 0;
-  while (begin <= list.size()) {
-    const std::size_t comma = std::min(list.find(',', begin), list.size());
-    const int value = std::atoi(list.substr(begin, comma - begin).c_str());
-    if (value <= 0) usage(2);
-    entries.push_back(static_cast<unsigned>(value));
+  while (begin <= text.size()) {
+    const std::size_t comma = std::min(text.find(',', begin), text.size());
+    std::uint64_t value = 0;
+    support::check(support::parse_u64(text.substr(begin, comma - begin), &value) &&
+                       value > 0 && value <= 0xFFFF'FFFFULL,
+                   std::string(what) + " is malformed: '" + std::string(text) + "'");
+    values.push_back(static_cast<unsigned>(value));
     begin = comma + 1;
   }
-  return entries;
+  return values;
+}
+
+// CLI-flag wrapper: malformed input is a usage error, not a CicError.
+std::vector<unsigned> parse_entry_list(const std::string& list) {
+  try {
+    return parse_unsigned_list(list, "option value");
+  } catch (const support::CicError&) {
+    usage(2);
+  }
 }
 
 unsigned parse_count(const char* text, long lo, long hi) {
@@ -93,7 +140,7 @@ unsigned parse_count(const char* text, long lo, long hi) {
   return static_cast<unsigned>(value);
 }
 
-Options parse_options(int argc, char** argv) {
+Options parse_options(int argc, char** argv, bool allow_positional) {
   Options options;
   for (int i = 2; i < argc; ++i) {
     const std::string_view flag = argv[i];
@@ -113,6 +160,8 @@ Options parse_options(int argc, char** argv) {
       options.jobs = static_cast<unsigned>(std::min<long>(jobs, support::kMaxJobs));
     } else if (flag == "--entries") {
       options.entries = parse_entry_list(value());
+    } else if (flag == "--capacities") {
+      options.capacities = parse_entry_list(value());
     } else if (flag == "--workload") {
       options.workload = value();
     } else if (flag == "--site") {
@@ -130,10 +179,21 @@ Options parse_options(int argc, char** argv) {
     } else if (flag == "--json") {
       options.json_path = value();
       if (options.json_path.empty()) usage(2);
+    } else if (flag == "--shard") {
+      options.shard_text = value();
+      exp::parse_shard(options.shard_text);  // reject malformed I/N up front
+    } else if (flag == "--out") {
+      options.out_path = value();
+      if (options.out_path.empty()) usage(2);
+    } else if (flag == "--force") {
+      options.force = true;
     } else if (flag == "--help" || flag == "-h") {
       usage(0);
+    } else if (allow_positional && (flag.empty() || flag.front() != '-')) {
+      options.inputs.emplace_back(flag);  // merge artifact paths
     } else {
-      std::fprintf(stderr, "cicmon: unknown option '%s'\n", argv[i]);
+      std::fprintf(stderr, "cicmon: unknown %s '%s'\n",
+                   !flag.empty() && flag.front() == '-' ? "option" : "argument", argv[i]);
       usage(2);
     }
   }
@@ -151,8 +211,15 @@ fault::FaultSite parse_site(const std::string& name) {
   usage(2);
 }
 
-int cmd_table1(const Options& options) {
-  const auto rows = sim::table1_overheads(options.scale, options.jobs);
+// --- Rendering: cells -> stdout -----------------------------------------
+//
+// Both the direct path (run all cells, render) and `cicmon merge` (load
+// partial artifacts, merge, render) funnel through these functions, and the
+// rendering depends only on (params, cells) — that shared funnel is what
+// makes the merged output byte-identical to the unsharded run.
+
+void render_table1(const std::vector<exp::CellResult>& cells) {
+  const auto rows = sim::table1_rows(cells);
   support::Table table(
       {"benchmark", "cycles (no CIC)", "CIC8", "CIC16", "ovh CIC8", "ovh CIC16"});
   double sum8 = 0, sum16 = 0;
@@ -169,132 +236,62 @@ int cmd_table1(const Options& options) {
   table.add_row({"average", "-", "-", "-", support::Table::fmt_pct(sum8 / n),
                  support::Table::fmt_pct(sum16 / n)});
   std::fputs(table.render().c_str(), stdout);
-  return 0;
 }
 
-int cmd_fig6(const Options& options) {
-  const auto rows = sim::fig6_miss_rates(options.entries, options.scale, options.jobs);
+void render_fig6(const exp::SweepParams& params, const std::vector<exp::CellResult>& cells) {
+  const std::vector<unsigned> entries =
+      parse_unsigned_list(exp::param(params, "entries"), "artifact parameter 'entries'");
+  const auto rows = sim::fig6_rows(cells, entries.size());
   std::vector<std::string> headers{"benchmark"};
-  for (const unsigned entries : options.entries) headers.push_back(std::to_string(entries));
+  for (const unsigned entry : entries) headers.push_back(std::to_string(entry));
   support::Table table(headers);
   for (const sim::Fig6Row& row : rows) {
-    std::vector<std::string> cells{row.workload};
-    for (const double rate : row.miss_rates) cells.push_back(support::Table::fmt_pct(rate));
-    table.add_row(cells);
+    std::vector<std::string> line{row.workload};
+    for (const double rate : row.miss_rates) line.push_back(support::Table::fmt_pct(rate));
+    table.add_row(line);
   }
   std::fputs(table.render().c_str(), stdout);
-  return 0;
 }
 
-// Writes the bench cells as a stable machine-readable JSON document (the
-// `cicmon-bench-v1` schema consumed by CI's regression gate and committed as
-// the BENCH_*.json trajectory artifacts). Simulated columns (instructions,
-// cycles) are deterministic; host_ms/mips are wall-clock measurements.
-template <typename Cell>
-int write_bench_json(const std::string& path, const Options& options,
-                     std::span<const workloads::WorkloadInfo> infos,
-                     const std::vector<Cell>& cells, double total_minstr, double total_ms) {
-  std::FILE* out = std::fopen(path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cicmon: cannot write JSON to '%s'\n", path.c_str());
-    return 1;
+void render_blocks(const exp::SweepParams& params, const std::vector<exp::CellResult>& cells) {
+  const std::vector<unsigned> capacities =
+      parse_unsigned_list(exp::param(params, "capacities"), "artifact parameter 'capacities'");
+  const auto rows = sim::blocks_rows(cells, capacities);
+  std::vector<std::string> headers{"benchmark", "static regions", "executed keys",
+                                   "lookups", "instr/block"};
+  for (const unsigned capacity : capacities) {
+    headers.push_back("LRU hit@" + std::to_string(capacity));
   }
-  std::fprintf(out, "{\n  \"schema\": \"cicmon-bench-v1\",\n");
-  std::fprintf(out, "  \"scale\": %g,\n", options.scale);
-  std::fprintf(out, "  \"jobs\": %u,\n", support::resolve_jobs(options.jobs));
-  std::fprintf(out, "  \"workloads\": [\n");
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const Cell& cell = cells[i];
-    const double minstr = static_cast<double>(cell.result.instructions) / 1e6;
-    std::fprintf(out,
-                 "    {\"benchmark\": \"%s\", \"machine\": \"%s\", \"instructions\": %llu, "
-                 "\"cycles\": %llu, \"host_ms\": %.3f, \"mips\": %.3f}%s\n",
-                 std::string(infos[i / 2].name).c_str(), i % 2 == 0 ? "baseline" : "cic16",
-                 static_cast<unsigned long long>(cell.result.instructions),
-                 static_cast<unsigned long long>(cell.result.cycles), cell.wall_ms,
-                 minstr / (cell.wall_ms / 1000.0), i + 1 < cells.size() ? "," : "");
-  }
-  std::fprintf(out, "  ],\n");
-  std::fprintf(out,
-               "  \"total\": {\"minstr\": %.3f, \"wall_ms\": %.1f, \"aggregate_mips\": %.3f}\n",
-               total_minstr, total_ms, total_minstr / (total_ms / 1000.0));
-  std::fprintf(out, "}\n");
-  std::fclose(out);
-  return 0;
-}
-
-int cmd_bench(const Options& options) {
-  // Simulator throughput: run every workload baseline and monitored, one
-  // engine cell per (workload, machine) pair. The per-cell wall times are
-  // host measurements — the *simulated* columns stay deterministic.
-  struct Cell {
-    cpu::RunResult result;
-    double wall_ms = 0.0;
-  };
-  const auto infos = workloads::all_workloads();
-  std::vector<Cell> cells(infos.size() * 2);
-  const auto start = std::chrono::steady_clock::now();
-  support::parallel_for(cells.size(), options.jobs, [&](std::size_t i) {
-    cpu::CpuConfig config;
-    if (i % 2 == 1) {
-      config.monitoring = true;
-      config.cic.iht_entries = 16;
-    }
-    const auto cell_start = std::chrono::steady_clock::now();
-    cells[i].result = sim::run_workload(infos[i / 2].name, config, options.scale);
-    cells[i].wall_ms = std::chrono::duration<double, std::milli>(
-                           std::chrono::steady_clock::now() - cell_start)
-                           .count();
-  });
-  const double total_ms =
-      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
-          .count();
-
-  support::Table table({"benchmark", "machine", "instructions", "cycles", "host ms", "MIPS"});
-  double total_minstr = 0.0;
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const Cell& cell = cells[i];
-    const double minstr = static_cast<double>(cell.result.instructions) / 1e6;
-    total_minstr += minstr;
-    table.add_row({std::string(infos[i / 2].name), i % 2 == 0 ? "baseline" : "cic16",
-                   support::Table::fmt_u64(cell.result.instructions),
-                   support::Table::fmt_u64(cell.result.cycles),
-                   support::Table::fmt(cell.wall_ms, 1),
-                   support::Table::fmt(minstr / (cell.wall_ms / 1000.0), 1)});
+  support::Table table(headers);
+  for (const sim::BlockStats& stats : rows) {
+    std::vector<std::string> line{stats.workload, support::Table::fmt_u64(stats.static_regions),
+                                  support::Table::fmt_u64(stats.dynamic_keys),
+                                  support::Table::fmt_u64(stats.lookups),
+                                  support::Table::fmt(stats.mean_block_instructions, 1)};
+    for (const double rate : stats.lru_hit_rate) line.push_back(support::Table::fmt_pct(rate));
+    table.add_row(line);
   }
   std::fputs(table.render().c_str(), stdout);
-  std::printf("\ntotal: %.1f Minstr in %.0f ms wall (%u jobs) = %.1f MIPS aggregate\n",
-              total_minstr, total_ms, support::resolve_jobs(options.jobs),
-              total_minstr / (total_ms / 1000.0));
-  if (!options.json_path.empty()) {
-    return write_bench_json(options.json_path, options, infos, cells, total_minstr, total_ms);
-  }
-  return 0;
 }
 
-int cmd_campaign(const Options& options) {
-  // Validate the site before paying for the golden run.
-  const fault::FaultSite site = parse_site(options.site);
-  const casm_::Image image =
-      workloads::build_workload(options.workload, {options.scale, 42});
-  cpu::CpuConfig config;
-  config.monitoring = options.monitor;
-  config.cic.iht_entries = 16;
-  fault::CampaignRunner runner(image, config);
-
-  std::printf("workload %s (scale %.2f): %llu golden instructions\n", options.workload.c_str(),
-              options.scale, static_cast<unsigned long long>(runner.golden_instructions()));
-  std::printf("site %s, %u-bit faults, %u trials, seed %llu, monitor %s, %u jobs\n\n",
-              options.site.c_str(), options.bits, options.trials,
-              static_cast<unsigned long long>(options.seed), options.monitor ? "on" : "off",
-              support::resolve_jobs(options.jobs));
-
-  const auto start = std::chrono::steady_clock::now();
-  const fault::CampaignSummary summary =
-      runner.run_random(site, options.bits, options.trials, options.seed, options.jobs);
-  const double ms =
-      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
-          .count();
+void render_campaign(const exp::SweepParams& params,
+                     const std::vector<exp::CellResult>& cells) {
+  const fault::CampaignSummary summary = fault::CampaignRunner::summary_from_cells(cells);
+  const std::string_view golden_text = exp::param(params, "golden_instructions");
+  std::uint64_t golden = 0;
+  support::check(support::parse_u64(golden_text, &golden),
+                 "artifact parameter 'golden_instructions' is malformed: '" +
+                     std::string(golden_text) + "'");
+  std::printf("workload %s (scale %.2f): %llu golden instructions\n",
+              std::string(exp::param(params, "workload")).c_str(),
+              exp::parse_f64(exp::param(params, "scale")),
+              static_cast<unsigned long long>(golden));
+  std::printf("site %s, %s-bit faults, %s trials, seed %s, monitor %s\n\n",
+              std::string(exp::param(params, "site")).c_str(),
+              std::string(exp::param(params, "bits")).c_str(),
+              std::string(exp::param(params, "trials")).c_str(),
+              std::string(exp::param(params, "seed")).c_str(),
+              std::string(exp::param(params, "monitor")).c_str());
 
   support::Table table({"outcome", "count"});
   table.add_row({"detected-mismatch", support::Table::fmt_u64(summary.detected_mismatch)});
@@ -304,10 +301,242 @@ int cmd_campaign(const Options& options) {
   table.add_row({"benign", support::Table::fmt_u64(summary.benign)});
   table.add_row({"hang", support::Table::fmt_u64(summary.hang)});
   std::fputs(table.render().c_str(), stdout);
-  std::printf("\ndetection: %s effective, %s of all trials; %.0f ms wall (%.1f trials/s)\n",
+  std::printf("\ndetection: %s effective, %s of all trials\n",
               support::Table::fmt_pct(summary.detection_rate_effective()).c_str(),
-              support::Table::fmt_pct(summary.detection_rate_total()).c_str(), ms,
-              static_cast<double>(summary.trials) / (ms / 1000.0));
+              support::Table::fmt_pct(summary.detection_rate_total()).c_str());
+}
+
+// Writes the bench cells as a stable machine-readable JSON document (the
+// `cicmon-bench-v1` schema consumed by CI's regression gate and committed as
+// the BENCH_*.json trajectory artifacts). Simulated columns (instructions,
+// cycles) are deterministic; host_ms/mips are wall-clock measurements.
+int write_bench_json(const std::string& path, double scale, unsigned jobs,
+                     const std::vector<exp::CellResult>& cells, double total_minstr,
+                     double total_ms) {
+  const auto infos = workloads::all_workloads();
+  support::JsonWriter json;
+  json.begin_object();
+  json.key("schema");
+  json.value("cicmon-bench-v1");
+  json.key("scale");
+  json.value(scale);
+  json.key("jobs");
+  json.value_u64(jobs);
+  json.key("workloads");
+  json.begin_array();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const double minstr = static_cast<double>(cells[i].u64.at(0)) / 1e6;
+    const double wall_ms = cells[i].f64.at(0);
+    json.begin_object();
+    json.key("benchmark");
+    json.value(infos[i / 2].name);
+    json.key("machine");
+    json.value(i % 2 == 0 ? "baseline" : "cic16");
+    json.key("instructions");
+    json.value_u64(cells[i].u64.at(0));
+    json.key("cycles");
+    json.value_u64(cells[i].u64.at(1));
+    json.key("host_ms");
+    json.value_fixed(wall_ms, 3);
+    json.key("mips");
+    json.value_fixed(minstr / (wall_ms / 1000.0), 3);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("total");
+  json.begin_object();
+  json.key("minstr");
+  json.value_fixed(total_minstr, 3);
+  json.key("wall_ms");
+  json.value_fixed(total_ms, 1);
+  json.key("aggregate_mips");
+  json.value_fixed(total_minstr / (total_ms / 1000.0), 3);
+  json.end_object();
+  json.end_object();
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cicmon: cannot write JSON to '%s'\n", path.c_str());
+    return 1;
+  }
+  const std::string text = json.take();
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fclose(out);
+  return 0;
+}
+
+// `total_ms` < 0 means "no whole-run measurement" (the merge path) and is
+// replaced by the sum of the per-cell wall clocks.
+int render_bench(const exp::SweepParams& params, const std::vector<exp::CellResult>& cells,
+                 double total_ms, unsigned jobs, const std::string& json_path) {
+  const auto infos = workloads::all_workloads();
+  support::check(cells.size() == infos.size() * 2,
+                 "bench cell vector does not match the workload grid");
+  for (const exp::CellResult& cell : cells) {
+    support::check(cell.u64.size() == 2 && cell.f64.size() == 1,
+                   "bench cell payload has the wrong shape");
+  }
+  // The merge path has no whole-run wall clock and no meaningful job count —
+  // the timings were produced by other processes at their own --jobs.
+  const bool merged = total_ms < 0;
+  if (merged) {
+    total_ms = 0;
+    for (const exp::CellResult& cell : cells) total_ms += cell.f64.at(0);
+  }
+  support::Table table({"benchmark", "machine", "instructions", "cycles", "host ms", "MIPS"});
+  double total_minstr = 0.0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const double minstr = static_cast<double>(cells[i].u64.at(0)) / 1e6;
+    const double wall_ms = cells[i].f64.at(0);
+    total_minstr += minstr;
+    table.add_row({std::string(infos[i / 2].name), i % 2 == 0 ? "baseline" : "cic16",
+                   support::Table::fmt_u64(cells[i].u64.at(0)),
+                   support::Table::fmt_u64(cells[i].u64.at(1)),
+                   support::Table::fmt(wall_ms, 1),
+                   support::Table::fmt(minstr / (wall_ms / 1000.0), 1)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  if (merged) {
+    std::printf("\ntotal: %.1f Minstr in %.0f ms wall (merged shards) = %.1f MIPS aggregate\n",
+                total_minstr, total_ms, total_minstr / (total_ms / 1000.0));
+  } else {
+    std::printf("\ntotal: %.1f Minstr in %.0f ms wall (%u jobs) = %.1f MIPS aggregate\n",
+                total_minstr, total_ms, jobs, total_minstr / (total_ms / 1000.0));
+  }
+  if (!json_path.empty()) {
+    // jobs 0 in the JSON marks a merged document for the same reason.
+    return write_bench_json(json_path, exp::parse_f64(exp::param(params, "scale")),
+                            merged ? 0 : jobs, cells, total_minstr, total_ms);
+  }
+  return 0;
+}
+
+int render_cells(const std::string& sweep, const exp::SweepParams& params,
+                 const std::vector<exp::CellResult>& cells, const Options& options,
+                 double bench_total_ms) {
+  if (sweep == "table1") {
+    render_table1(cells);
+    return 0;
+  }
+  if (sweep == "fig6") {
+    render_fig6(params, cells);
+    return 0;
+  }
+  if (sweep == "blocks") {
+    render_blocks(params, cells);
+    return 0;
+  }
+  if (sweep == "campaign") {
+    render_campaign(params, cells);
+    return 0;
+  }
+  if (sweep == "bench") {
+    return render_bench(params, cells, bench_total_ms, support::resolve_jobs(options.jobs),
+                        options.json_path);
+  }
+  std::fprintf(stderr, "cicmon: cannot render sweep '%s'\n", sweep.c_str());
+  return 1;
+}
+
+// --- Sweep subcommand driver --------------------------------------------
+
+bool sharded_mode(const Options& options) {
+  return !options.shard_text.empty() || !options.out_path.empty();
+}
+
+// Runs a sweep subcommand: sharded mode persists a partial artifact (reusing
+// a matching one — resume), the direct path runs every cell and renders.
+int run_sweep_command(const exp::SweepSpec& spec, const Options& options) {
+  if (sharded_mode(options)) {
+    if (!options.json_path.empty()) {
+      std::fprintf(stderr,
+                   "cicmon: --json cannot be combined with --shard/--out; merge the shard "
+                   "artifacts with 'cicmon merge ... --json PATH' instead\n");
+      return 2;
+    }
+    const exp::Shard shard = options.shard_text.empty()
+                                 ? exp::Shard{1, 1}
+                                 : exp::parse_shard(options.shard_text);
+    const std::string path =
+        options.out_path.empty()
+            ? "cicmon-" + spec.sweep + "-shard-" + std::to_string(shard.index) + "of" +
+                  std::to_string(shard.count) + ".json"
+            : options.out_path;
+    bool reused = false;
+    exp::run_or_load_shard(spec, shard, options.jobs, path, options.force, &reused);
+    std::fprintf(stderr, "cicmon: %s shard %u/%u %s '%s'\n", spec.sweep.c_str(), shard.index,
+                 shard.count, reused ? "is already complete at" : "written to", path.c_str());
+    return 0;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<exp::CellResult> cells = exp::run_all(spec, options.jobs);
+  const double total_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+  return render_cells(spec.sweep, spec.params, cells, options, total_ms);
+}
+
+int cmd_campaign(const Options& options) {
+  // Validate the site and workload before paying for the golden run.
+  const fault::FaultSite site = parse_site(options.site);
+  try {
+    workloads::find_workload(options.workload);
+  } catch (const support::CicError& error) {
+    std::fprintf(stderr, "cicmon: %s\n", error.what());
+    std::fprintf(stderr, "cicmon: run 'cicmon workloads' to see them described\n");
+    return 2;
+  }
+  const casm_::Image image =
+      workloads::build_workload(options.workload, {options.scale, 42});
+  cpu::CpuConfig config;
+  config.monitoring = options.monitor;
+  config.cic.iht_entries = 16;
+  fault::CampaignRunner runner(image, config);
+
+  exp::SweepSpec spec = runner.sweep(site, options.bits, options.trials, options.seed);
+  // Parameters the runner cannot know but rendering and artifact matching
+  // need: how the machine and image were set up, and the golden-run fact the
+  // header reports (deterministic, so merge can reprint it without a run).
+  spec.params.emplace_back("workload", options.workload);
+  spec.params.emplace_back("scale", exp::fmt_f64(options.scale));
+  spec.params.emplace_back("monitor", options.monitor ? "on" : "off");
+  spec.params.emplace_back("golden_instructions",
+                           std::to_string(runner.golden_instructions()));
+
+  const auto start = std::chrono::steady_clock::now();
+  const int code = run_sweep_command(spec, options);
+  if (!sharded_mode(options)) {
+    const double ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+            .count();
+    std::fprintf(stderr, "campaign: %u jobs, %.0f ms wall (%.1f trials/s)\n",
+                 support::resolve_jobs(options.jobs), ms,
+                 static_cast<double>(options.trials) / (ms / 1000.0));
+  }
+  return code;
+}
+
+int cmd_merge(const Options& options) {
+  if (options.inputs.empty()) {
+    std::fprintf(stderr, "cicmon: merge needs at least one shard artifact path\n");
+    usage(2);
+  }
+  std::vector<exp::ShardArtifact> artifacts;
+  artifacts.reserve(options.inputs.size());
+  for (const std::string& path : options.inputs) {
+    artifacts.push_back(exp::load_shard_artifact(path));
+  }
+  const std::vector<exp::CellResult> cells = exp::merge_artifacts(artifacts);
+  return render_cells(artifacts.front().sweep, artifacts.front().params, cells, options,
+                      /*bench_total_ms=*/-1.0);
+}
+
+int cmd_workloads() {
+  support::Table table({"workload", "description"});
+  for (const workloads::WorkloadInfo& info : workloads::all_workloads()) {
+    table.add_row({std::string(info.name), std::string(info.description)});
+  }
+  std::fputs(table.render().c_str(), stdout);
   return 0;
 }
 
@@ -317,11 +546,18 @@ int main(int argc, char** argv) {
   if (argc < 2) usage(2);
   const std::string_view command = argv[1];
   try {
-    const Options options = parse_options(argc, argv);
-    if (command == "table1") return cmd_table1(options);
-    if (command == "fig6") return cmd_fig6(options);
-    if (command == "bench") return cmd_bench(options);
+    const Options options = parse_options(argc, argv, /*allow_positional=*/command == "merge");
+    if (command == "table1") return run_sweep_command(sim::table1_sweep(options.scale), options);
+    if (command == "fig6") {
+      return run_sweep_command(sim::fig6_sweep(options.entries, options.scale), options);
+    }
+    if (command == "blocks") {
+      return run_sweep_command(sim::blocks_sweep(options.capacities, options.scale), options);
+    }
+    if (command == "bench") return run_sweep_command(sim::bench_sweep(options.scale), options);
     if (command == "campaign") return cmd_campaign(options);
+    if (command == "merge") return cmd_merge(options);
+    if (command == "workloads") return cmd_workloads();
     if (command == "help" || command == "--help" || command == "-h") usage(0);
     std::fprintf(stderr, "cicmon: unknown command '%s'\n", argv[1]);
     usage(2);

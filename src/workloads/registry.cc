@@ -1,8 +1,10 @@
 #include "workloads/workloads.h"
 
+#include <algorithm>
 #include <array>
 
 #include "support/error.h"
+#include "support/strings.h"
 
 namespace cicmon::workloads {
 namespace {
@@ -27,7 +29,38 @@ const WorkloadInfo& find_workload(std::string_view name) {
   for (const WorkloadInfo& info : kWorkloads) {
     if (info.name == name) return info;
   }
-  throw support::CicError("unknown workload: " + std::string(name));
+  std::string message = "unknown workload '";
+  message.append(name);
+  message.append("'");
+  if (const WorkloadInfo* close = closest_workload(name)) {
+    message.append("; did you mean '");
+    message.append(close->name);
+    message.append("'?");
+  }
+  message.append(" (valid:");
+  for (const WorkloadInfo& info : kWorkloads) {
+    message.append(" ");
+    message.append(info.name);
+  }
+  message.append(")");
+  throw support::CicError(message);
+}
+
+const WorkloadInfo* closest_workload(std::string_view name) {
+  const std::string lowered = support::to_lower(name);
+  const WorkloadInfo* best = nullptr;
+  std::size_t best_distance = 0;
+  for (const WorkloadInfo& info : kWorkloads) {
+    const std::size_t distance = support::edit_distance(lowered, info.name);
+    if (best == nullptr || distance < best_distance) {
+      best = &info;
+      best_distance = distance;
+    }
+  }
+  // A suggestion only helps when the name is plausibly a typo: allow one
+  // edit per three characters, minimum two.
+  const std::size_t budget = std::max<std::size_t>(2, lowered.size() / 3);
+  return best_distance <= budget ? best : nullptr;
 }
 
 casm_::Image build_workload(std::string_view name, const BuildOptions& options) {

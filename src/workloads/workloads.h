@@ -40,9 +40,14 @@ struct WorkloadInfo {
 // All nine kernels, in the paper's Figure 6 order.
 std::span<const WorkloadInfo> all_workloads();
 
-// Lookup by name; throws CicError for unknown names.
+// Lookup by name; throws CicError for unknown names (the message lists the
+// valid names and, when one is close, a "did you mean" suggestion).
 const WorkloadInfo& find_workload(std::string_view name);
 casm_::Image build_workload(std::string_view name, const BuildOptions& options = {});
+
+// The registered workload closest to `name` by edit distance, or nullptr
+// when nothing is plausibly a typo of it.
+const WorkloadInfo* closest_workload(std::string_view name);
 
 // Individual builders.
 casm_::Image build_basicmath(const BuildOptions& options);

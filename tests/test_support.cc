@@ -5,6 +5,7 @@
 
 #include "support/bitops.h"
 #include "support/error.h"
+#include "support/json.h"
 #include "support/rng.h"
 #include "support/stats.h"
 #include "support/strings.h"
@@ -184,6 +185,89 @@ TEST(Error, CheckThrowsWithMessage) {
   } catch (const CicError& e) {
     EXPECT_NE(std::string(e.what()).find("the precondition"), std::string::npos);
   }
+}
+
+TEST(Strings, EditDistance) {
+  EXPECT_EQ(edit_distance("", ""), 0U);
+  EXPECT_EQ(edit_distance("abc", "abc"), 0U);
+  EXPECT_EQ(edit_distance("", "abc"), 3U);
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3U);
+  EXPECT_EQ(edit_distance("dijkstre", "dijkstra"), 1U);
+  EXPECT_EQ(edit_distance("sha", "susan"), 3U);
+}
+
+TEST(Json, WriterProducesStableDocument) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("name");
+  json.value("a \"quoted\"\nstring");
+  json.key("count");
+  json.value_u64(42);
+  json.key("items");
+  json.begin_array();
+  json.value_u64(1);
+  json.value(true);
+  json.end_array();
+  json.key("empty");
+  json.begin_object();
+  json.end_object();
+  json.end_object();
+  EXPECT_EQ(json.take(),
+            "{\n"
+            "  \"name\": \"a \\\"quoted\\\"\\nstring\",\n"
+            "  \"count\": 42,\n"
+            "  \"items\": [\n"
+            "    1,\n"
+            "    true\n"
+            "  ],\n"
+            "  \"empty\": {}\n"
+            "}\n");
+}
+
+TEST(Json, DoublesRoundTripBitExactly) {
+  for (const double value : {0.1, 1.0 / 3.0, 1e-300, -2.5e300, 0.0, 123456789.123456789}) {
+    JsonWriter json;
+    json.begin_array();
+    json.value(value);
+    json.end_array();
+    const JsonValue parsed = parse_json(json.take());
+    ASSERT_EQ(parsed.as_array().size(), 1U);
+    EXPECT_EQ(parsed.as_array()[0].as_f64(), value);
+  }
+}
+
+TEST(Json, U64SurvivesBeyondDoubleExactRange) {
+  const std::uint64_t big = 0xFFFF'FFFF'FFFF'FFFFULL;
+  JsonWriter json;
+  json.begin_array();
+  json.value_u64(big);
+  json.end_array();
+  EXPECT_EQ(parse_json(json.take()).as_array()[0].as_u64(), big);
+}
+
+TEST(Json, ParserHandlesNestingAndEscapes) {
+  const JsonValue root = parse_json(
+      R"({"a": [1, -2.5, "x\ty"], "b": {"nested": null}, "c": false})");
+  EXPECT_EQ(root.at("a").as_array().size(), 3U);
+  EXPECT_EQ(root.at("a").as_array()[0].as_u64(), 1U);
+  EXPECT_EQ(root.at("a").as_array()[1].as_f64(), -2.5);
+  EXPECT_EQ(root.at("a").as_array()[2].as_string(), "x\ty");
+  EXPECT_EQ(root.at("b").at("nested").kind, JsonValue::Kind::kNull);
+  EXPECT_FALSE(root.at("c").as_bool());
+  EXPECT_EQ(root.find("missing"), nullptr);
+  EXPECT_THROW(root.at("missing"), CicError);
+}
+
+TEST(Json, MalformedInputsThrow) {
+  for (const char* bad : {"", "{", "[1,", "{\"a\" 1}", "tru", "\"unterminated",
+                          "[1] trailing", "{\"a\": 01x}", "nan"}) {
+    EXPECT_THROW(parse_json(bad), CicError) << bad;
+  }
+}
+
+TEST(Json, DeepNestingThrowsInsteadOfOverflowingTheStack) {
+  const std::string deep(100000, '[');
+  EXPECT_THROW(parse_json(deep), CicError);
 }
 
 }  // namespace
