@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Fault-injecting dispatch transport for CI and local testing: the first
+# worker launched for the target shard is killed by SIGKILL before it can
+# produce an artifact — the orchestrator must re-enqueue and retry it — and
+# every other launch runs the worker unchanged. The marker directory records
+# which sabotages fired, so a test can assert the kill actually happened.
+#
+# Usage, as a `cicmon dispatch --transport` template:
+#
+#   --transport 'scripts/flaky_transport.sh MARKERS 4/7 {shard} {cmd}'
+#
+# kills the first worker for shard 4/7 and leaves a MARKERS/4of7 marker.
+set -u
+
+if [[ $# -lt 4 ]]; then
+  echo "usage: flaky_transport.sh MARKER_DIR TARGET_SHARD SHARD CMD..." >&2
+  exit 2
+fi
+marker_dir=$1
+target=$2
+shard=$3
+shift 3
+
+mkdir -p "${marker_dir}"
+marker="${marker_dir}/${shard/\//of}"
+if [[ ${shard} == "${target}" && ! -e ${marker} ]]; then
+  : > "${marker}"
+  # Die the way a crashed or preempted worker does: by signal, no artifact.
+  kill -9 $$
+fi
+exec "$@"

@@ -82,6 +82,39 @@ if [[ -x ${build_dir}/cicmon ]]; then
   rm -rf "${shard_dir}"
 fi
 
+# Dispatch must reproduce the direct run byte for byte through real worker
+# subprocesses, and merge must accept the artifact directory. The wall-clock
+# overhead vs the direct run is the dispatch tax; set
+# CICMON_DISPATCH_BENCH_JSON=path to record it (the BENCH_PR4.json
+# trajectory artifact).
+if [[ -x ${build_dir}/cicmon ]]; then
+  echo "--- cicmon dispatch"
+  dispatch_dir=$(mktemp -d)
+  t0=$(date +%s%3N)
+  "${build_dir}/cicmon" campaign --workload bitcount --scale 0.02 --trials 200 \
+    2> /dev/null > "${dispatch_dir}/direct.txt"
+  t1=$(date +%s%3N)
+  "${build_dir}/cicmon" dispatch campaign --workload bitcount --scale 0.02 --trials 200 \
+    --workers 3 --shards 7 --dir "${dispatch_dir}/shards" --quiet \
+    2> /dev/null > "${dispatch_dir}/dispatched.txt"
+  t2=$(date +%s%3N)
+  direct_ms=$((t1 - t0))
+  dispatch_ms=$((t2 - t1))
+  if ! diff "${dispatch_dir}/direct.txt" "${dispatch_dir}/dispatched.txt" ||
+     ! "${build_dir}/cicmon" merge "${dispatch_dir}/shards" > "${dispatch_dir}/merged.txt" ||
+     ! diff "${dispatch_dir}/direct.txt" "${dispatch_dir}/merged.txt"; then
+    echo "--- cicmon dispatch: output differs from the direct run" >&2
+    failures=$((failures + 1))
+  else
+    echo "    direct ${direct_ms} ms, dispatch ${dispatch_ms} ms (3 workers, 7 shards)"
+    if [[ -n ${CICMON_DISPATCH_BENCH_JSON:-} ]]; then
+      printf '{\n  "schema": "cicmon-dispatch-bench-v1",\n  "command": "cicmon dispatch campaign --workload bitcount --scale 0.02 --trials 200 --workers 3 --shards 7",\n  "direct_ms": %s,\n  "dispatch_ms": %s\n}\n' \
+        "${direct_ms}" "${dispatch_ms}" > "${CICMON_DISPATCH_BENCH_JSON}"
+    fi
+  fi
+  rm -rf "${dispatch_dir}"
+fi
+
 # Examples double as API smoke tests.
 run quickstart
 run tamper_detection

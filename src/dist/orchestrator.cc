@@ -1,0 +1,217 @@
+#include "dist/orchestrator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+#include <utility>
+
+#include "support/error.h"
+#include "support/parallel.h"
+#include "support/subprocess.h"
+
+namespace cicmon::dist {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// One spawned worker the poll loop is watching.
+struct Running {
+  WorkItem item;
+  support::ChildProcess child;
+  Clock::time_point deadline;  // Clock::time_point::max() when no timeout
+};
+
+// The merge-time artifact checks, applied per item the moment its worker
+// exits: the file must decode as a cicmon-shard-v1 document (catching
+// truncation and tampering) and match (spec, shard) exactly (catching a
+// transport that ran the wrong command). On success the decoded artifact is
+// handed to `out` so the final merge never re-reads the file; on failure
+// `why` reports the violation for the retry log.
+bool artifact_is_valid(const std::string& path, const exp::SweepSpec& spec,
+                       const exp::Shard& shard, exp::ShardArtifact* out, std::string* why) {
+  try {
+    exp::ShardArtifact artifact = exp::load_shard_artifact(path);
+    if (exp::artifact_matches(artifact, spec, shard)) {
+      *out = std::move(artifact);
+      return true;
+    }
+    *why = "artifact '" + path + "' does not match the sweep parameters";
+  } catch (const support::CicError& error) {
+    *why = error.what();
+  }
+  return false;
+}
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+std::string shard_artifact_path(const std::string& dir, const std::string& sweep,
+                                const exp::Shard& shard) {
+  return dir + "/" + sweep + "-" + std::to_string(shard.index) + "of" +
+         std::to_string(shard.count) + ".shard.json";
+}
+
+DispatchResult dispatch_sweep(const exp::SweepSpec& spec, const WorkerCommand& base,
+                              Transport& transport, const DispatchConfig& config) {
+  support::check(spec.cells > 0, "dispatch needs a sweep with at least one cell");
+  support::check(!base.argv.empty(), "dispatch needs a worker command");
+  const unsigned workers = config.workers != 0 ? config.workers : support::resolve_jobs(0);
+  // Over-decompose by default: 4 items per worker slot keeps every slot busy
+  // until the end (a slow shard overlaps the others' tails) while still
+  // batching many cells per process. Never more shards than cells — an empty
+  // shard is a process spawned for nothing.
+  const unsigned shards =
+      config.shards != 0
+          ? config.shards
+          : static_cast<unsigned>(std::min<std::size_t>(spec.cells, std::size_t{workers} * 4));
+  // Split the host's cores between concurrent workers unless told otherwise.
+  const unsigned jobs = config.jobs_per_worker != 0
+                            ? config.jobs_per_worker
+                            : std::max(1U, support::resolve_jobs(0) / std::max(1U, workers));
+
+  const std::string dir = config.artifact_dir.empty() ? std::string(".") : config.artifact_dir;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  support::check(!ec && std::filesystem::is_directory(dir),
+                 "cannot create artifact directory '" + dir + "'");
+
+  DispatchResult result;
+  result.shard_count = shards;
+
+  WorkQueue queue(config.retries + 1);
+  for (unsigned i = 1; i <= shards; ++i) {
+    const exp::Shard shard{i, shards};
+    queue.push(WorkItem{shard, shard_artifact_path(dir, spec.sweep, shard), 0});
+  }
+
+  const Clock::time_point start = Clock::now();
+  Clock::time_point last_progress = start;
+  std::size_t computed = 0;  // completions that actually ran a worker (for ETA)
+  std::vector<Running> running;
+  running.reserve(workers);
+  // Validated artifacts by shard index, filled at reuse/reap time so the
+  // final merge never parses a file twice.
+  std::vector<exp::ShardArtifact> validated(shards);
+
+  auto progress = [&](bool force) {
+    if (!config.progress) return;
+    const Clock::time_point now = Clock::now();
+    if (!force && now - last_progress < std::chrono::milliseconds(500)) return;
+    last_progress = now;
+    std::string eta = "?";
+    if (computed > 0) {
+      const std::size_t remaining = queue.total() - queue.done() - queue.failures().size();
+      eta = std::to_string(static_cast<long>(seconds_since(start) / static_cast<double>(computed) *
+                                             static_cast<double>(remaining))) +
+            "s";
+    }
+    std::fprintf(stderr, "dispatch: %zu/%zu shards done (%zu reused), %zu running, %zu retried, ETA %s\n",
+                 queue.done(), queue.total(), result.reused, running.size(), result.retried,
+                 eta.c_str());
+  };
+
+  auto fail_or_retry = [&](WorkItem item, std::string reason) {
+    if (queue.retry(std::move(item), std::move(reason))) ++result.retried;
+  };
+
+  while (true) {
+    // Fill free worker slots from the queue — the pull half of the load
+    // balancing. Resume is checked at pull time so a re-dispatch of a
+    // half-finished campaign completes reused items without spawning.
+    while (running.size() < workers) {
+      WorkItem item;
+      if (!queue.try_pop(&item)) break;
+      std::string why;
+      if (!config.force && item.attempts == 1 &&
+          artifact_is_valid(item.artifact_path, spec, item.shard,
+                            &validated[item.shard.index - 1], &why)) {
+        queue.complete(item);
+        ++result.reused;
+        progress(false);  // throttled: a full resume reuses every shard at once
+        continue;
+      }
+      WorkerCommand command = base;
+      command.argv.insert(command.argv.end(),
+                          {"--jobs", std::to_string(jobs), "--shard",
+                           std::to_string(item.shard.index) + "/" + std::to_string(item.shard.count),
+                           "--out", item.artifact_path});
+      if (config.force) command.argv.emplace_back("--force");
+      support::ChildProcess child;
+      try {
+        child = transport.launch(command, item);
+      } catch (const support::CicError& error) {
+        fail_or_retry(std::move(item), std::string("launch failed: ") + error.what());
+        continue;
+      }
+      ++result.launched;
+      const Clock::time_point deadline =
+          config.timeout_seconds > 0
+              ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(config.timeout_seconds))
+              : Clock::time_point::max();
+      running.push_back(Running{std::move(item), child, deadline});
+    }
+    if (running.empty() && queue.pending() == 0) break;
+
+    // Poll the fleet. The exit status only reports worker/transport health;
+    // the artifact is the real output, so it is validated either way — a
+    // worker killed after its atomic artifact rename still counts as done,
+    // and a clean exit with a bad artifact is still a failed attempt.
+    bool reaped = false;
+    for (std::size_t i = 0; i < running.size();) {
+      Running& slot = running[i];
+      int status = 0;
+      bool exited = slot.child.poll(&status);
+      bool timed_out = false;
+      if (!exited && Clock::now() >= slot.deadline) {
+        slot.child.kill_hard();
+        status = slot.child.wait();
+        exited = true;
+        timed_out = true;
+      }
+      if (!exited) {
+        ++i;
+        continue;
+      }
+      reaped = true;
+      WorkItem item = std::move(slot.item);
+      running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
+      std::string why;
+      if (artifact_is_valid(item.artifact_path, spec, item.shard,
+                            &validated[item.shard.index - 1], &why)) {
+        queue.complete(item);
+        ++computed;
+      } else {
+        std::string reason = timed_out ? "timed out after " +
+                                             std::to_string(config.timeout_seconds) + "s (" +
+                                             support::describe_exit(status) + ")"
+                                       : "worker " + support::describe_exit(status);
+        fail_or_retry(std::move(item), reason + "; " + why);
+      }
+      progress(false);  // throttled: many small shards can reap back to back
+    }
+    if (!reaped) {
+      progress(false);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  progress(true);
+
+  result.failures = queue.failures();
+  result.ok = result.failures.empty();
+  if (result.ok) {
+    // Same merge path as `cicmon merge`, fed the artifacts already decoded
+    // and validated at reuse/reap time, so the caller renders output
+    // byte-identical to a direct single-process run without re-reading any
+    // file.
+    result.cells = exp::merge_artifacts(validated);
+  }
+  return result;
+}
+
+}  // namespace cicmon::dist

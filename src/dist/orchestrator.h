@@ -1,0 +1,75 @@
+// Distributed campaign orchestrator: work-queue dispatch over shard
+// artifacts.
+//
+// Takes any exp::SweepSpec-backed sweep, over-decomposes its cell grid into
+// N shard work items (N >> workers, so batching amortises process start-up
+// while pull scheduling keeps every worker busy), and schedules them onto
+// worker processes through a Transport. Per item the orchestrator:
+//
+//  * resumes — a valid on-disk artifact for exactly (spec, shard) is reused
+//    without spawning anything (the same rule workers apply themselves);
+//  * spawns `cicmon <cmd> ... --shard I/N --out PATH` via the transport and
+//    watches the child with a per-item timeout (heartbeat = the poll loop
+//    observing the process alive; a deadline overrun kills and re-enqueues);
+//  * validates the produced artifact with the *merge-time* checks
+//    (decode + artifact_matches) the moment the worker exits, so a corrupt,
+//    truncated, or wrong-parameter artifact is retried immediately instead
+//    of poisoning the final merge;
+//  * retries with a bounded budget, recording the last failure reason when
+//    the budget runs out.
+//
+// The run finishes by merging the validated artifacts through
+// exp::merge_artifacts — the same path `cicmon merge` uses — so the final
+// rendered summary is byte-identical to a direct single-process run of the
+// same sweep, at any worker/shard count and across worker deaths and
+// retries. Failed items leave their completed peers' artifacts on disk, so
+// a re-dispatch resumes instead of starting over.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dist/transport.h"
+#include "dist/work_queue.h"
+#include "exp/sweep.h"
+
+namespace cicmon::dist {
+
+struct DispatchConfig {
+  unsigned workers = 0;         // concurrent worker processes; 0 = nproc
+  unsigned shards = 0;          // work items; 0 = auto (4x workers, capped at cells)
+  unsigned retries = 2;         // extra spawns allowed per item after the first
+  unsigned jobs_per_worker = 0; // --jobs per worker; 0 = auto (nproc / workers)
+  double timeout_seconds = 300; // per-item wall-clock limit; 0 = none
+  std::string artifact_dir;     // where <sweep>-IofN.shard.json files live
+  bool force = false;           // ignore existing artifacts, pass --force down
+  bool progress = true;         // live progress/ETA lines on stderr
+};
+
+struct DispatchResult {
+  bool ok = false;
+  // Merged full cell grid (exp::merge_artifacts of every shard) when ok.
+  std::vector<exp::CellResult> cells;
+  unsigned shard_count = 0;
+  std::size_t reused = 0;    // shards resumed from matching on-disk artifacts
+  std::size_t launched = 0;  // worker spawns, including retries
+  std::size_t retried = 0;   // re-enqueues after a failed attempt
+  std::vector<WorkFailure> failures;  // non-empty iff !ok
+};
+
+// Runs spec's grid to completion over `transport`. `base.argv` is the worker
+// command prefix (executable, subcommand, sweep flags); the orchestrator
+// appends `--jobs J --shard I/N --out PATH` (and `--force` when configured)
+// per item. Throws CicError only for setup errors (unwritable artifact
+// directory, invalid config); worker failures are reported via the result.
+DispatchResult dispatch_sweep(const exp::SweepSpec& spec, const WorkerCommand& base,
+                              Transport& transport, const DispatchConfig& config);
+
+// The artifact path dispatch uses for shard I/N of `sweep` inside `dir`:
+// "<dir>/<sweep>-<I>of<N>.shard.json". Shared with tests and the resume
+// documentation.
+std::string shard_artifact_path(const std::string& dir, const std::string& sweep,
+                                const exp::Shard& shard);
+
+}  // namespace cicmon::dist

@@ -1,0 +1,57 @@
+#include "dist/transport.h"
+
+#include "support/error.h"
+
+namespace cicmon::dist {
+
+support::ChildProcess LocalProcessTransport::launch(const WorkerCommand& command,
+                                                    const WorkItem&) {
+  return support::spawn_process(command.argv);
+}
+
+CommandTemplateTransport::CommandTemplateTransport(std::string template_text)
+    : template_text_(std::move(template_text)) {
+  support::check(template_text_.find("{cmd}") != std::string::npos,
+                 "--transport template must contain the {cmd} placeholder");
+}
+
+std::string CommandTemplateTransport::expand(std::string_view template_text,
+                                             const WorkerCommand& command,
+                                             const WorkItem& item) {
+  const std::string shard_text =
+      std::to_string(item.shard.index) + "/" + std::to_string(item.shard.count);
+  std::string expanded;
+  expanded.reserve(template_text.size());
+  std::size_t pos = 0;
+  while (pos < template_text.size()) {
+    const std::size_t brace = template_text.find('{', pos);
+    expanded.append(template_text.substr(pos, brace - pos));
+    if (brace == std::string_view::npos) break;
+    const std::string_view rest = template_text.substr(brace);
+    if (rest.starts_with("{cmd}")) {
+      expanded += support::shell_join(command.argv);
+      pos = brace + 5;
+    } else if (rest.starts_with("{shard}")) {
+      expanded += shard_text;
+      pos = brace + 7;
+    } else if (rest.starts_with("{out}")) {
+      expanded += support::shell_quote(item.artifact_path);
+      pos = brace + 5;
+    } else {
+      expanded += '{';
+      pos = brace + 1;
+    }
+  }
+  return expanded;
+}
+
+support::ChildProcess CommandTemplateTransport::launch(const WorkerCommand& command,
+                                                       const WorkItem& item) {
+  return support::spawn_process({"/bin/sh", "-c", expand(template_text_, command, item)});
+}
+
+std::string CommandTemplateTransport::describe() const {
+  return "template '" + template_text_ + "'";
+}
+
+}  // namespace cicmon::dist

@@ -1,0 +1,81 @@
+// How dispatch work items become worker processes.
+//
+// The orchestrator decides *what* to run (a `cicmon <cmd> ... --shard I/N
+// --out PATH` invocation per work item); a Transport decides *where and how*
+// it runs. Two implementations ship:
+//
+//  * LocalProcessTransport — exec the worker argv directly on this host.
+//    With the default nproc-sized worker pool this is the single-machine
+//    scale-out path.
+//  * CommandTemplateTransport — expand a user-supplied shell template and
+//    run it via `/bin/sh -c`. The template receives `{cmd}` (the shell-
+//    quoted worker command), `{shard}` ("I/N"), and `{out}` (the artifact
+//    path), which is enough to wrap the worker in ssh, a cluster submit
+//    command, a container runner, or a fault-injecting test harness:
+//
+//        --transport 'ssh build-02 cd /repo \&\& {cmd}'
+//        --transport 'scripts/flaky.sh {shard} {cmd}'
+//
+// A transport's child exit status reports only worker/transport health; the
+// artifact on disk is the real output and the orchestrator validates it
+// separately (a clean exit with a corrupt artifact is still a failed
+// attempt). Note that killing a template transport's child on timeout kills
+// the local wrapper (e.g. the ssh client), not a remote process it started.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dist/work_queue.h"
+#include "support/subprocess.h"
+
+namespace cicmon::dist {
+
+// The exact worker invocation for one shard, as an argv vector. The
+// orchestrator builds it from the dispatch subcommand's own flags plus
+// `--jobs/--shard/--out` per item, so a worker is indistinguishable from a
+// hand-launched sharded run.
+struct WorkerCommand {
+  std::vector<std::string> argv;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Starts the worker for `item`. Throws CicError when the process cannot
+  // even be started (the orchestrator counts that as a failed attempt).
+  virtual support::ChildProcess launch(const WorkerCommand& command,
+                                       const WorkItem& item) = 0;
+
+  // One-line description for progress/failure reports ("local", "template
+  // 'ssh ...'").
+  virtual std::string describe() const = 0;
+};
+
+class LocalProcessTransport final : public Transport {
+ public:
+  support::ChildProcess launch(const WorkerCommand& command, const WorkItem& item) override;
+  std::string describe() const override { return "local"; }
+};
+
+class CommandTemplateTransport final : public Transport {
+ public:
+  // Throws CicError when the template lacks the `{cmd}` placeholder — a
+  // transport that never runs the worker command cannot produce artifacts.
+  explicit CommandTemplateTransport(std::string template_text);
+
+  support::ChildProcess launch(const WorkerCommand& command, const WorkItem& item) override;
+  std::string describe() const override;
+
+  // Placeholder expansion, exposed for tests: every occurrence of `{cmd}`,
+  // `{shard}`, and `{out}` is substituted; other text passes through.
+  static std::string expand(std::string_view template_text, const WorkerCommand& command,
+                            const WorkItem& item);
+
+ private:
+  std::string template_text_;
+};
+
+}  // namespace cicmon::dist

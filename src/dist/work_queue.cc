@@ -1,0 +1,37 @@
+#include "dist/work_queue.h"
+
+#include <utility>
+
+#include "support/error.h"
+
+namespace cicmon::dist {
+
+WorkQueue::WorkQueue(unsigned max_attempts) : max_attempts_(max_attempts) {
+  support::check(max_attempts >= 1, "WorkQueue needs at least one attempt per item");
+}
+
+void WorkQueue::push(WorkItem item) {
+  ++total_;
+  pending_.push_back(std::move(item));
+}
+
+bool WorkQueue::try_pop(WorkItem* out) {
+  if (pending_.empty()) return false;
+  *out = std::move(pending_.front());
+  pending_.pop_front();
+  ++out->attempts;
+  return true;
+}
+
+void WorkQueue::complete(const WorkItem&) { ++done_; }
+
+bool WorkQueue::retry(WorkItem item, std::string reason) {
+  if (item.attempts >= max_attempts_) {
+    failures_.push_back({std::move(item), std::move(reason)});
+    return false;
+  }
+  pending_.push_back(std::move(item));
+  return true;
+}
+
+}  // namespace cicmon::dist

@@ -1,0 +1,72 @@
+// Pull-based work queue with bounded retries for the dispatch orchestrator.
+//
+// The orchestrator over-decomposes a sweep into many shard work items
+// (N >> workers) and lets free worker slots *pull* the next item, so a slow
+// shard never stalls the others the way a static round-robin assignment
+// would — the dynamic load balancing half of the design. The queue also owns
+// the failure policy: an item whose worker died, timed out, or produced an
+// artifact that fails merge-time validation is re-enqueued until its
+// spawn-attempt budget is exhausted, at which point it is recorded as a
+// failure with the last reason, for the final report.
+//
+// The queue is driven by the single-threaded orchestrator poll loop and is
+// deliberately not synchronized; worker parallelism lives in the spawned
+// processes, not here.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "exp/sweep.h"
+
+namespace cicmon::dist {
+
+// One schedulable unit: shard I/N of the sweep, destined for one artifact
+// file.
+struct WorkItem {
+  exp::Shard shard;
+  std::string artifact_path;
+  unsigned attempts = 0;  // worker spawns so far (incremented on pop)
+};
+
+// An item whose attempt budget ran out, with the last failure observed.
+struct WorkFailure {
+  WorkItem item;
+  std::string reason;
+};
+
+class WorkQueue {
+ public:
+  // `max_attempts` is the total spawn budget per item (first run + retries).
+  explicit WorkQueue(unsigned max_attempts);
+
+  void push(WorkItem item);
+
+  // Pulls the next pending item, counting the attempt. False when no work is
+  // pending (items may still be in flight with the caller).
+  bool try_pop(WorkItem* out);
+
+  // The item's artifact validated; counts toward done().
+  void complete(const WorkItem& item);
+
+  // The item's attempt failed for `reason`. Re-enqueues at the back (other
+  // items keep flowing first) and returns true while budget remains;
+  // otherwise records the failure and returns false.
+  bool retry(WorkItem item, std::string reason);
+
+  std::size_t total() const { return total_; }
+  std::size_t done() const { return done_; }
+  std::size_t pending() const { return pending_.size(); }
+  const std::vector<WorkFailure>& failures() const { return failures_; }
+
+ private:
+  unsigned max_attempts_;
+  std::deque<WorkItem> pending_;
+  std::size_t total_ = 0;
+  std::size_t done_ = 0;
+  std::vector<WorkFailure> failures_;
+};
+
+}  // namespace cicmon::dist

@@ -1,0 +1,113 @@
+#include "support/subprocess.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "support/error.h"
+
+namespace cicmon::support {
+
+bool ChildProcess::poll(int* raw_status) {
+  check(valid(), "poll on an invalid child process handle");
+  int status = 0;
+  pid_t got = 0;
+  do {
+    got = ::waitpid(pid_, &status, WNOHANG);
+  } while (got < 0 && errno == EINTR);
+  if (got == 0) return false;
+  check(got == pid_, std::string("waitpid failed: ") + std::strerror(errno));
+  pid_ = -1;
+  *raw_status = status;
+  return true;
+}
+
+int ChildProcess::wait() {
+  check(valid(), "wait on an invalid child process handle");
+  int status = 0;
+  pid_t got = 0;
+  do {
+    got = ::waitpid(pid_, &status, 0);
+  } while (got < 0 && errno == EINTR);
+  check(got == pid_, std::string("waitpid failed: ") + std::strerror(errno));
+  pid_ = -1;
+  return status;
+}
+
+void ChildProcess::kill_hard() {
+  if (valid()) ::kill(pid_, SIGKILL);
+}
+
+ChildProcess spawn_process(const std::vector<std::string>& argv) {
+  check(!argv.empty(), "spawn_process needs a non-empty argv");
+  std::vector<char*> raw;
+  raw.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) raw.push_back(const_cast<char*>(arg.c_str()));
+  raw.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  check(pid >= 0, std::string("fork failed: ") + std::strerror(errno));
+  if (pid == 0) {
+    ::execvp(raw[0], raw.data());
+    // Exec failed; 127 is the shell's "command not found" convention and is
+    // what the orchestrator's retry reports will show.
+    ::_exit(127);
+  }
+  return ChildProcess(pid);
+}
+
+bool exit_ok(int raw_status) {
+  return WIFEXITED(raw_status) && WEXITSTATUS(raw_status) == 0;
+}
+
+std::string describe_exit(int raw_status) {
+  if (WIFEXITED(raw_status)) {
+    return "exit code " + std::to_string(WEXITSTATUS(raw_status));
+  }
+  if (WIFSIGNALED(raw_status)) {
+    const int sig = WTERMSIG(raw_status);
+    const char* name = strsignal(sig);
+    return "signal " + std::to_string(sig) + " (" + (name != nullptr ? name : "?") + ")";
+  }
+  return "status " + std::to_string(raw_status);
+}
+
+std::string current_executable(const char* argv0) {
+  char buffer[4096];
+  const ssize_t got = ::readlink("/proc/self/exe", buffer, sizeof buffer - 1);
+  if (got > 0) return std::string(buffer, static_cast<std::size_t>(got));
+  return argv0 != nullptr ? std::string(argv0) : std::string("cicmon");
+}
+
+std::string shell_quote(std::string_view word) {
+  const bool safe =
+      !word.empty() &&
+      word.find_first_not_of(
+          "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+          "._-+/=:,@%") == std::string_view::npos;
+  if (safe) return std::string(word);
+  std::string quoted = "'";
+  for (const char c : word) {
+    if (c == '\'') {
+      quoted += "'\\''";
+    } else {
+      quoted += c;
+    }
+  }
+  quoted += "'";
+  return quoted;
+}
+
+std::string shell_join(const std::vector<std::string>& argv) {
+  std::string joined;
+  for (const std::string& arg : argv) {
+    if (!joined.empty()) joined += ' ';
+    joined += shell_quote(arg);
+  }
+  return joined;
+}
+
+}  // namespace cicmon::support

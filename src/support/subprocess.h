@@ -1,0 +1,68 @@
+// Subprocess spawn/reap helper for the dispatch orchestrator.
+//
+// A thin POSIX wrapper sized for process fan-out: spawn an argv vector
+// without a shell, poll for exit without blocking (the orchestrator
+// multiplexes many children from one thread), kill on timeout, and render
+// exit statuses for failure reports. Exec failures surface as exit code 127
+// (the shell convention) rather than an exception, because by then the
+// failure belongs to the child.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace cicmon::support {
+
+// Handle to one spawned child. Default-constructed handles are invalid;
+// after poll()/wait() reports the exit, the handle is invalid again (the
+// child has been reaped exactly once).
+class ChildProcess {
+ public:
+  ChildProcess() = default;
+  explicit ChildProcess(pid_t pid) : pid_(pid) {}
+
+  bool valid() const { return pid_ > 0; }
+  pid_t pid() const { return pid_; }
+
+  // Non-blocking reap: returns true once the child has exited and stores the
+  // raw waitpid status in `raw_status`; false while it is still running.
+  // Throws CicError when the handle is invalid or waitpid fails.
+  bool poll(int* raw_status);
+
+  // Blocking reap; returns the raw waitpid status.
+  int wait();
+
+  // SIGKILL. The caller still reaps the corpse via poll()/wait().
+  void kill_hard();
+
+ private:
+  pid_t pid_ = -1;
+};
+
+// fork + execvp of `argv` (argv[0] is the program, PATH-resolved). Throws
+// CicError when argv is empty or fork fails; an exec failure makes the child
+// exit 127.
+ChildProcess spawn_process(const std::vector<std::string>& argv);
+
+// True when the status is a normal exit with code 0.
+bool exit_ok(int raw_status);
+
+// "exit code 3", "signal 9 (killed)" — for failure reports.
+std::string describe_exit(int raw_status);
+
+// Absolute path of the running binary (/proc/self/exe), falling back to
+// `argv0` when the link cannot be read. Lets the orchestrator respawn
+// itself as workers regardless of how it was invoked.
+std::string current_executable(const char* argv0);
+
+// POSIX-sh quoting: returns `word` unchanged when it is safe as a bare
+// token, otherwise single-quoted (with embedded quotes escaped).
+std::string shell_quote(std::string_view word);
+
+// Space-joined shell_quote of every element — an argv as one sh command.
+std::string shell_join(const std::vector<std::string>& argv);
+
+}  // namespace cicmon::support

@@ -8,7 +8,10 @@
 //   cicmon bench     [--scale S] [--jobs N] [--json PATH]
 //   cicmon campaign  [--workload W] [--site NAME] [--bits B] [--trials N]
 //                    [--seed X] [--scale S] [--jobs N] [--monitor on|off]
-//   cicmon merge     SHARD.json [SHARD.json ...]
+//   cicmon dispatch  <table1|fig6|blocks|bench|campaign> [sweep options]
+//                    [--workers K] [--shards N] [--transport TMPL]
+//                    [--retries R] [--timeout SEC] [--dir DIR]
+//   cicmon merge     SHARD.json|DIR [SHARD.json|DIR ...]
 //   cicmon workloads
 //
 // Every sweep subcommand also takes `--shard I/N [--out PATH] [--force]`,
@@ -23,14 +26,26 @@
 // whose stdout is a throughput report by nature). CICMON_JOBS is the
 // environment fallback; 0/unset resolves to hardware concurrency, 1 is the
 // serial path.
+//
+// `cicmon dispatch <sweep> ...` is the scale-out driver: it over-decomposes
+// the sweep into shard work items and schedules them onto worker processes
+// (`cicmon <sweep> --shard I/N --out ...`) through src/dist/, then merges and
+// renders — stdout is byte-identical to the direct invocation.
 #include <algorithm>
+#include <array>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "dist/orchestrator.h"
+#include "dist/transport.h"
 #include "exp/sweep.h"
 #include "fault/campaign.h"
 #include "sim/experiment.h"
@@ -38,6 +53,7 @@
 #include "support/json.h"
 #include "support/parallel.h"
 #include "support/strings.h"
+#include "support/subprocess.h"
 #include "support/table.h"
 #include "workloads/workloads.h"
 
@@ -61,6 +77,14 @@ struct Options {
   std::string out_path;    // shard artifact path; defaulted when empty
   bool force = false;      // rerun a shard even when its artifact matches
   std::vector<std::string> inputs;  // positional arguments (merge artifacts)
+  // dispatch-only knobs (see dist::DispatchConfig for the semantics).
+  unsigned workers = 0;        // concurrent worker processes; 0 = nproc
+  unsigned dispatch_shards = 0;  // work items; 0 = auto (4x workers)
+  unsigned retries = 2;        // extra worker spawns per shard after a failure
+  double timeout = 300.0;      // per-shard wall-clock limit in seconds; 0 = none
+  std::string transport;       // {cmd}/{shard}/{out} template; empty = local
+  std::string dir;             // shard artifact directory; defaulted when empty
+  bool quiet = false;          // suppress dispatch progress/ETA on stderr
 };
 
 [[noreturn]] void usage(int code) {
@@ -73,6 +97,7 @@ struct Options {
       "  blocks      Section 6.1: executed-block counts and LRU locality\n"
       "  bench       simulator throughput over all workloads\n"
       "  campaign    random fault-injection campaign\n"
+      "  dispatch    scale a sweep out over worker processes or hosts\n"
       "  merge       aggregate cicmon-shard-v1 artifacts into the full output\n"
       "  workloads   list the benchmark kernels\n"
       "\n"
@@ -99,7 +124,28 @@ struct Options {
       "  --force          rerun the shard even when its artifact matches\n"
       "\n"
       "`cicmon merge s1.json s2.json ...` needs every shard of one run and\n"
-      "prints output byte-identical to the unsharded invocation.\n",
+      "prints output byte-identical to the unsharded invocation. A directory\n"
+      "argument is scanned for *.shard.json artifacts.\n"
+      "\n"
+      "dispatch (cicmon dispatch <table1|fig6|blocks|bench|campaign> ...):\n"
+      "  --workers K      concurrent worker processes (default: hardware\n"
+      "                   concurrency)\n"
+      "  --shards N       work items; over-decomposed for load balancing\n"
+      "                   (default 4x workers, capped at the cell count)\n"
+      "  --transport T    launch workers through a shell template with\n"
+      "                   {cmd}/{shard}/{out} placeholders, e.g.\n"
+      "                   'ssh build-02 cd /repo && {cmd}' (default: local\n"
+      "                   subprocesses)\n"
+      "  --retries R      extra attempts per shard after a failure (default 2)\n"
+      "  --timeout SEC    per-shard wall-clock limit; 0 = none (default 300)\n"
+      "  --dir DIR        shard artifact directory (default cicmon-dispatch);\n"
+      "                   valid artifacts already there are reused (resume)\n"
+      "  --quiet          suppress the live progress/ETA lines on stderr\n"
+      "  --jobs under dispatch sets each worker's thread count\n"
+      "                   (default: hardware concurrency / workers)\n"
+      "\n"
+      "dispatch stdout is byte-identical to the direct invocation of the\n"
+      "same sweep, at any worker/shard count and across worker retries.\n",
       code == 0 ? stdout : stderr);
   std::exit(code);
 }
@@ -140,9 +186,39 @@ unsigned parse_count(const char* text, long lo, long hi) {
   return static_cast<unsigned>(value);
 }
 
-Options parse_options(int argc, char** argv, bool allow_positional) {
+// "; did you mean 'X'?" when `given` is plausibly a typo of a candidate —
+// the same one-edit-per-three-characters budget workloads::closest_workload
+// uses — otherwise an empty string. Shared by the unknown-subcommand and
+// unknown-flag paths.
+std::string did_you_mean(std::string_view given, std::span<const std::string_view> candidates) {
+  const std::string lowered = support::to_lower(given);
+  std::string_view best;
+  std::size_t best_distance = std::string::npos;
+  for (const std::string_view candidate : candidates) {
+    const std::size_t distance = support::edit_distance(lowered, candidate);
+    if (distance < best_distance) {
+      best = candidate;
+      best_distance = distance;
+    }
+  }
+  const std::size_t budget = std::max<std::size_t>(2, lowered.size() / 3);
+  if (best_distance > budget) return "";
+  return "; did you mean '" + std::string(best) + "'?";
+}
+
+constexpr std::array<std::string_view, 9> kCommands = {
+    "table1", "fig6", "blocks", "bench", "campaign", "dispatch", "merge", "workloads", "help"};
+constexpr std::array<std::string_view, 22> kFlags = {
+    "--scale", "--jobs",    "--entries", "--capacities", "--workload", "--site",
+    "--bits",  "--trials",  "--seed",    "--monitor",    "--json",     "--shard",
+    "--out",   "--force",   "--workers", "--shards",     "--transport", "--retries",
+    "--timeout", "--dir",   "--quiet",   "--help"};
+
+// `first` is the index of the first flag: 2 for `cicmon <cmd> ...`, 3 for
+// `cicmon dispatch <cmd> ...`.
+Options parse_options(int argc, char** argv, bool allow_positional, int first = 2) {
   Options options;
-  for (int i = 2; i < argc; ++i) {
+  for (int i = first; i < argc; ++i) {
     const std::string_view flag = argv[i];
     auto value = [&]() -> const char* {
       if (i + 1 >= argc) usage(2);
@@ -187,13 +263,38 @@ Options parse_options(int argc, char** argv, bool allow_positional) {
       if (options.out_path.empty()) usage(2);
     } else if (flag == "--force") {
       options.force = true;
+    } else if (flag == "--workers") {
+      options.workers = parse_count(value(), 1, 100'000);
+    } else if (flag == "--shards") {
+      options.dispatch_shards = parse_count(value(), 1, 10'000'000);
+    } else if (flag == "--retries") {
+      options.retries = parse_count(value(), 0, 1000);
+    } else if (flag == "--timeout") {
+      const char* text = value();
+      char* end = nullptr;
+      options.timeout = std::strtod(text, &end);
+      // Finite only: converting an inf/nan duration to the clock's integer
+      // representation is UB (and 'no timeout' is spelled 0, not inf).
+      if (end == text || *end != '\0' || !std::isfinite(options.timeout) ||
+          options.timeout < 0) {
+        usage(2);
+      }
+    } else if (flag == "--transport") {
+      options.transport = value();
+      if (options.transport.empty()) usage(2);
+    } else if (flag == "--dir") {
+      options.dir = value();
+      if (options.dir.empty()) usage(2);
+    } else if (flag == "--quiet") {
+      options.quiet = true;
     } else if (flag == "--help" || flag == "-h") {
       usage(0);
     } else if (allow_positional && (flag.empty() || flag.front() != '-')) {
       options.inputs.emplace_back(flag);  // merge artifact paths
     } else {
-      std::fprintf(stderr, "cicmon: unknown %s '%s'\n",
-                   !flag.empty() && flag.front() == '-' ? "option" : "argument", argv[i]);
+      const bool is_option = !flag.empty() && flag.front() == '-';
+      std::fprintf(stderr, "cicmon: unknown %s '%s'%s\n", is_option ? "option" : "argument",
+                   argv[i], is_option ? did_you_mean(flag, kFlags).c_str() : "");
       usage(2);
     }
   }
@@ -476,7 +577,14 @@ int run_sweep_command(const exp::SweepSpec& spec, const Options& options) {
   return render_cells(spec.sweep, spec.params, cells, options, total_ms);
 }
 
-int cmd_campaign(const Options& options) {
+// A sweep spec plus whatever live state its run_cell borrows — the campaign
+// spec captures its CampaignRunner by reference, so the two travel together.
+struct SweepBundle {
+  exp::SweepSpec spec;
+  std::unique_ptr<fault::CampaignRunner> keepalive;
+};
+
+SweepBundle make_campaign_sweep(const Options& options) {
   // Validate the site and workload before paying for the golden run.
   const fault::FaultSite site = parse_site(options.site);
   try {
@@ -484,16 +592,16 @@ int cmd_campaign(const Options& options) {
   } catch (const support::CicError& error) {
     std::fprintf(stderr, "cicmon: %s\n", error.what());
     std::fprintf(stderr, "cicmon: run 'cicmon workloads' to see them described\n");
-    return 2;
+    std::exit(2);
   }
   const casm_::Image image =
       workloads::build_workload(options.workload, {options.scale, 42});
   cpu::CpuConfig config;
   config.monitoring = options.monitor;
   config.cic.iht_entries = 16;
-  fault::CampaignRunner runner(image, config);
+  auto runner = std::make_unique<fault::CampaignRunner>(image, config);
 
-  exp::SweepSpec spec = runner.sweep(site, options.bits, options.trials, options.seed);
+  exp::SweepSpec spec = runner->sweep(site, options.bits, options.trials, options.seed);
   // Parameters the runner cannot know but rendering and artifact matching
   // need: how the machine and image were set up, and the golden-run fact the
   // header reports (deterministic, so merge can reprint it without a run).
@@ -501,10 +609,25 @@ int cmd_campaign(const Options& options) {
   spec.params.emplace_back("scale", exp::fmt_f64(options.scale));
   spec.params.emplace_back("monitor", options.monitor ? "on" : "off");
   spec.params.emplace_back("golden_instructions",
-                           std::to_string(runner.golden_instructions()));
+                           std::to_string(runner->golden_instructions()));
+  return {std::move(spec), std::move(runner)};
+}
 
+// The five dispatchable sweeps, by subcommand name. For "campaign" this pays
+// for the golden run up front — dispatch needs the exact params workers will
+// record to validate their artifacts against.
+SweepBundle make_sweep(std::string_view command, const Options& options) {
+  if (command == "table1") return {sim::table1_sweep(options.scale), nullptr};
+  if (command == "fig6") return {sim::fig6_sweep(options.entries, options.scale), nullptr};
+  if (command == "blocks") return {sim::blocks_sweep(options.capacities, options.scale), nullptr};
+  if (command == "bench") return {sim::bench_sweep(options.scale), nullptr};
+  return make_campaign_sweep(options);
+}
+
+int cmd_campaign(const Options& options) {
+  const SweepBundle bundle = make_campaign_sweep(options);
   const auto start = std::chrono::steady_clock::now();
-  const int code = run_sweep_command(spec, options);
+  const int code = run_sweep_command(bundle.spec, options);
   if (!sharded_mode(options)) {
     const double ms =
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
@@ -516,18 +639,155 @@ int cmd_campaign(const Options& options) {
   return code;
 }
 
+// True for names dispatch and the sharded subcommands produce by default:
+// "<sweep>-IofN.shard.json" and "cicmon-<sweep>-shard-IofN.json". The merge
+// validation rejects anything that slips through a looser match anyway; this
+// filter just keeps unrelated JSON (bench output, configs) out of the scan.
+bool looks_like_shard_artifact(const std::string& name) {
+  return name.ends_with(".shard.json") ||
+         (name.starts_with("cicmon-") && name.find("-shard-") != std::string::npos &&
+          name.ends_with(".json"));
+}
+
+// Merge inputs may be artifact files or directories; a directory contributes
+// every shard artifact inside it, in sorted order so the command line stays
+// deterministic. A directory with no artifacts is an error — silently merging
+// nothing would mask a mistyped path.
+std::vector<std::string> expand_merge_inputs(const std::vector<std::string>& inputs) {
+  std::vector<std::string> paths;
+  for (const std::string& input : inputs) {
+    std::error_code ec;
+    if (!std::filesystem::is_directory(input, ec)) {
+      paths.push_back(input);
+      continue;
+    }
+    std::vector<std::string> found;
+    for (const auto& entry : std::filesystem::directory_iterator(input, ec)) {
+      if (entry.is_regular_file() && looks_like_shard_artifact(entry.path().filename().string())) {
+        found.push_back(entry.path().string());
+      }
+    }
+    support::check(!ec, "cannot scan directory '" + input + "'");
+    support::check(!found.empty(),
+                   "no shard artifacts (*.shard.json) found in directory '" + input + "'");
+    std::sort(found.begin(), found.end());
+    paths.insert(paths.end(), found.begin(), found.end());
+  }
+  return paths;
+}
+
 int cmd_merge(const Options& options) {
   if (options.inputs.empty()) {
-    std::fprintf(stderr, "cicmon: merge needs at least one shard artifact path\n");
+    std::fprintf(stderr, "cicmon: merge needs at least one shard artifact path or directory\n");
     usage(2);
   }
+  const std::vector<std::string> inputs = expand_merge_inputs(options.inputs);
   std::vector<exp::ShardArtifact> artifacts;
-  artifacts.reserve(options.inputs.size());
-  for (const std::string& path : options.inputs) {
+  artifacts.reserve(inputs.size());
+  for (const std::string& path : inputs) {
     artifacts.push_back(exp::load_shard_artifact(path));
   }
   const std::vector<exp::CellResult> cells = exp::merge_artifacts(artifacts);
   return render_cells(artifacts.front().sweep, artifacts.front().params, cells, options,
+                      /*bench_total_ms=*/-1.0);
+}
+
+// Serializes the sweep-defining options back into worker argv form. The
+// workers re-derive the SweepSpec from these flags, and the orchestrator
+// validates their artifacts against the parent's spec — so every value must
+// survive the round trip exactly (fmt_f64 emits the shortest form that
+// parses back to the same double).
+std::vector<std::string> worker_sweep_flags(std::string_view command, const Options& options) {
+  auto join = [](const std::vector<unsigned>& values) {
+    std::string joined;
+    for (const unsigned value : values) {
+      if (!joined.empty()) joined += ',';
+      joined += std::to_string(value);
+    }
+    return joined;
+  };
+  std::vector<std::string> flags{"--scale", exp::fmt_f64(options.scale)};
+  if (command == "fig6") flags.insert(flags.end(), {"--entries", join(options.entries)});
+  if (command == "blocks") flags.insert(flags.end(), {"--capacities", join(options.capacities)});
+  if (command == "campaign") {
+    flags.insert(flags.end(),
+                 {"--workload", options.workload, "--site", options.site, "--bits",
+                  std::to_string(options.bits), "--trials", std::to_string(options.trials),
+                  "--seed", std::to_string(options.seed), "--monitor",
+                  options.monitor ? "on" : "off"});
+  }
+  return flags;
+}
+
+// `cicmon dispatch <sweep> ...`: scale the sweep out over worker processes
+// via src/dist/, then merge and render through the same funnel as the direct
+// and `merge` paths — stdout is byte-identical to the direct invocation.
+int cmd_dispatch(int argc, char** argv) {
+  constexpr std::array<std::string_view, 5> kDispatchable = {"table1", "fig6", "blocks", "bench",
+                                                             "campaign"};
+  if (argc < 3 || argv[2][0] == '-') {
+    std::fprintf(stderr,
+                 "cicmon: dispatch needs a sweep subcommand (table1|fig6|blocks|bench|campaign)\n");
+    usage(2);
+  }
+  const std::string_view sub = argv[2];
+  if (std::find(kDispatchable.begin(), kDispatchable.end(), sub) == kDispatchable.end()) {
+    std::fprintf(stderr, "cicmon: cannot dispatch '%s'%s\n", argv[2],
+                 did_you_mean(sub, kDispatchable).c_str());
+    usage(2);
+  }
+  const Options options = parse_options(argc, argv, /*allow_positional=*/false, /*first=*/3);
+  if (sharded_mode(options)) {
+    std::fprintf(stderr,
+                 "cicmon: --shard/--out cannot be combined with dispatch — the orchestrator "
+                 "shards for you (use --shards N and --dir DIR)\n");
+    return 2;
+  }
+
+  const SweepBundle bundle = make_sweep(sub, options);
+
+  dist::WorkerCommand base;
+  base.argv.push_back(support::current_executable(argv[0]));
+  base.argv.emplace_back(sub);
+  const std::vector<std::string> flags = worker_sweep_flags(sub, options);
+  base.argv.insert(base.argv.end(), flags.begin(), flags.end());
+
+  dist::DispatchConfig config;
+  config.workers = options.workers;
+  config.shards = options.dispatch_shards;
+  config.retries = options.retries;
+  config.jobs_per_worker = options.jobs;
+  config.timeout_seconds = options.timeout;
+  config.artifact_dir = options.dir.empty() ? "cicmon-dispatch" : options.dir;
+  config.force = options.force;
+  config.progress = !options.quiet;
+
+  std::unique_ptr<dist::Transport> transport;
+  if (options.transport.empty()) {
+    transport = std::make_unique<dist::LocalProcessTransport>();
+  } else {
+    transport = std::make_unique<dist::CommandTemplateTransport>(options.transport);
+  }
+
+  const dist::DispatchResult result = dist::dispatch_sweep(bundle.spec, base, *transport, config);
+  if (!result.ok) {
+    std::fprintf(stderr,
+                 "cicmon: dispatch failed: %zu shard(s) exhausted their attempt budget (%u) "
+                 "via %s transport; completed shards keep their artifacts in '%s' for resume\n",
+                 result.failures.size(), options.retries + 1, transport->describe().c_str(),
+                 config.artifact_dir.c_str());
+    for (const dist::WorkFailure& failure : result.failures) {
+      std::fprintf(stderr, "cicmon:   shard %u/%u: %s\n", failure.item.shard.index,
+                   failure.item.shard.count, failure.reason.c_str());
+    }
+    return 1;
+  }
+  std::fprintf(stderr,
+               "dispatch: %s over %u shards via %s transport: %zu reused, %zu launched, "
+               "%zu retried\n",
+               bundle.spec.sweep.c_str(), result.shard_count, transport->describe().c_str(),
+               result.reused, result.launched, result.retried);
+  return render_cells(bundle.spec.sweep, bundle.spec.params, result.cells, options,
                       /*bench_total_ms=*/-1.0);
 }
 
@@ -546,6 +806,8 @@ int main(int argc, char** argv) {
   if (argc < 2) usage(2);
   const std::string_view command = argv[1];
   try {
+    // dispatch re-parses with its sweep subcommand at argv[2].
+    if (command == "dispatch") return cmd_dispatch(argc, argv);
     const Options options = parse_options(argc, argv, /*allow_positional=*/command == "merge");
     if (command == "table1") return run_sweep_command(sim::table1_sweep(options.scale), options);
     if (command == "fig6") {
@@ -559,7 +821,8 @@ int main(int argc, char** argv) {
     if (command == "merge") return cmd_merge(options);
     if (command == "workloads") return cmd_workloads();
     if (command == "help" || command == "--help" || command == "-h") usage(0);
-    std::fprintf(stderr, "cicmon: unknown command '%s'\n", argv[1]);
+    std::fprintf(stderr, "cicmon: unknown command '%s'%s\n", argv[1],
+                 did_you_mean(command, kCommands).c_str());
     usage(2);
   } catch (const cicmon::support::CicError& error) {
     std::fprintf(stderr, "cicmon: %s\n", error.what());

@@ -1,0 +1,329 @@
+// Tests for the distributed campaign orchestrator: work-queue retry budgets,
+// the subprocess helper, transport template expansion, and — through real
+// worker subprocesses — the orchestrator's failure paths: a worker killed
+// mid-shard is re-enqueued and retried, a corrupt artifact is detected and
+// re-run, a timeout kills and retries, and an exhausted attempt budget is
+// reported as a failure while completed shards stay resumable. Every
+// successful dispatch must merge to exactly the cells a direct single-process
+// run produces (CI additionally byte-diffs the rendered stdout of the real
+// `cicmon dispatch` binary against the direct run).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dist/orchestrator.h"
+#include "dist/transport.h"
+#include "dist/work_queue.h"
+#include "exp/sweep.h"
+#include "support/error.h"
+#include "support/subprocess.h"
+
+namespace cicmon::dist {
+namespace {
+
+// Same cheap deterministic grid as test_exp.cc.
+exp::SweepSpec synthetic_sweep(std::size_t cells) {
+  exp::SweepSpec spec;
+  spec.sweep = "synthetic";
+  spec.params = {{"cells", std::to_string(cells)}};
+  spec.cells = cells;
+  spec.cell_key = [](std::size_t cell) { return "cell/" + std::to_string(cell); };
+  spec.run_cell = [](std::size_t cell) {
+    exp::CellResult result;
+    result.u64 = {cell, cell * cell};
+    result.f64 = {1.0 / static_cast<double>(cell + 1)};
+    return result;
+  };
+  return spec;
+}
+
+// A fresh per-test directory (markers and artifacts from a previous run of
+// the same test must not leak into this one).
+std::string make_test_dir(const char* tag) {
+  const std::string dir = testing::TempDir() + "cicmon_dist_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.is_open()) << path;
+  out << content;
+}
+
+// Precomputes the artifact every shard's worker is supposed to produce, so
+// worker scripts can "run a shard" with a cp.
+void write_good_artifacts(const exp::SweepSpec& spec, unsigned shards, const std::string& dir) {
+  for (unsigned i = 1; i <= shards; ++i) {
+    const exp::Shard shard{i, shards};
+    exp::write_shard_artifact(dir + "/good-" + std::to_string(i) + ".json", spec, shard,
+                              exp::run_cells(spec, shard, 1));
+  }
+}
+
+// A worker as a /bin/sh script: parses the --shard/--out flags the
+// orchestrator appends, runs the per-shard `sabotage` snippet (which sees $i
+// and $out), then installs the premade artifact. Exercises the same
+// spawn/poll/reap machinery the real `cicmon` workers go through.
+WorkerCommand script_worker(const std::string& dir, const std::string& sabotage) {
+  const std::string path = dir + "/worker.sh";
+  write_file(path,
+             "out=\"\"; shard=\"\"\n"
+             "while [ \"$#\" -gt 0 ]; do\n"
+             "  case \"$1\" in\n"
+             "    --out) out=\"$2\"; shift 2 ;;\n"
+             "    --shard) shard=\"$2\"; shift 2 ;;\n"
+             "    *) shift ;;\n"
+             "  esac\n"
+             "done\n"
+             "i=\"${shard%/*}\"\n" +
+                 sabotage + "\ncp \"" + dir + "/good-$i.json\" \"$out\"\n");
+  return WorkerCommand{{"/bin/sh", path}};
+}
+
+DispatchConfig test_config(const std::string& dir, unsigned workers, unsigned shards,
+                           unsigned retries = 2) {
+  DispatchConfig config;
+  config.workers = workers;
+  config.shards = shards;
+  config.retries = retries;
+  config.jobs_per_worker = 1;
+  config.timeout_seconds = 60;
+  config.artifact_dir = dir + "/artifacts";
+  config.progress = false;
+  return config;
+}
+
+// --- work queue ----------------------------------------------------------
+
+TEST(WorkQueue, PullRetryAndBudgetExhaustion) {
+  WorkQueue queue(/*max_attempts=*/2);
+  queue.push(WorkItem{exp::Shard{1, 2}, "a.json", 0});
+  queue.push(WorkItem{exp::Shard{2, 2}, "b.json", 0});
+  EXPECT_EQ(queue.total(), 2U);
+
+  WorkItem item;
+  ASSERT_TRUE(queue.try_pop(&item));
+  EXPECT_EQ(item.shard.index, 1U);
+  EXPECT_EQ(item.attempts, 1U);  // popping counts the attempt
+
+  // First failure re-enqueues at the back; budget remains.
+  EXPECT_TRUE(queue.retry(item, "worker died"));
+  EXPECT_TRUE(queue.failures().empty());
+
+  // The other item flows first (re-enqueue must not starve the queue).
+  ASSERT_TRUE(queue.try_pop(&item));
+  EXPECT_EQ(item.shard.index, 2U);
+  queue.complete(item);
+  EXPECT_EQ(queue.done(), 1U);
+
+  // Second pop of the retried item spends the last attempt.
+  ASSERT_TRUE(queue.try_pop(&item));
+  EXPECT_EQ(item.shard.index, 1U);
+  EXPECT_EQ(item.attempts, 2U);
+  EXPECT_FALSE(queue.retry(item, "worker died again"));
+  ASSERT_EQ(queue.failures().size(), 1U);
+  EXPECT_EQ(queue.failures()[0].reason, "worker died again");
+  EXPECT_EQ(queue.failures()[0].item.attempts, 2U);
+  EXPECT_FALSE(queue.try_pop(&item));
+}
+
+// --- subprocess helper ---------------------------------------------------
+
+TEST(Subprocess, SpawnReapAndDescribeExitStatuses) {
+  int status = 0;
+  EXPECT_EQ(support::spawn_process({"/bin/sh", "-c", "exit 0"}).wait() >> 8, 0);
+
+  status = support::spawn_process({"/bin/sh", "-c", "exit 3"}).wait();
+  EXPECT_FALSE(support::exit_ok(status));
+  EXPECT_EQ(support::describe_exit(status), "exit code 3");
+
+  // A command that cannot exec comes back as the shell's 127 convention.
+  status = support::spawn_process({"/nonexistent/definitely-not-a-binary"}).wait();
+  EXPECT_EQ(support::describe_exit(status), "exit code 127");
+
+  // kill_hard produces a signal status; poll() eventually reaps it.
+  support::ChildProcess child = support::spawn_process({"/bin/sh", "-c", "exec sleep 30"});
+  child.kill_hard();
+  status = child.wait();
+  EXPECT_FALSE(support::exit_ok(status));
+  EXPECT_TRUE(support::describe_exit(status).starts_with("signal 9"));
+
+  EXPECT_THROW(support::spawn_process({}), support::CicError);
+}
+
+TEST(Subprocess, ShellQuoting) {
+  EXPECT_EQ(support::shell_quote("plain-word_1.2/x"), "plain-word_1.2/x");
+  EXPECT_EQ(support::shell_quote("two words"), "'two words'");
+  EXPECT_EQ(support::shell_quote(""), "''");
+  EXPECT_EQ(support::shell_quote("it's"), "'it'\\''s'");
+  EXPECT_EQ(support::shell_join({"a", "b c", "$d"}), "a 'b c' '$d'");
+}
+
+// --- transports ----------------------------------------------------------
+
+TEST(Transport, TemplateExpansionAndValidation) {
+  const WorkerCommand command{{"cicmon", "table1", "--scale", "0.5"}};
+  const WorkItem item{exp::Shard{2, 7}, "out dir/s.json", 0};
+  EXPECT_EQ(CommandTemplateTransport::expand("ssh host {cmd} # {shard} -> {out}", command, item),
+            "ssh host cicmon table1 --scale 0.5 # 2/7 -> 'out dir/s.json'");
+  // Unknown placeholders and stray braces pass through untouched.
+  EXPECT_EQ(CommandTemplateTransport::expand("{what} { {shard}", command, item), "{what} { 2/7");
+  EXPECT_NO_THROW(CommandTemplateTransport("{cmd}"));
+  EXPECT_THROW(CommandTemplateTransport("ssh host run-it"), support::CicError);
+}
+
+// --- orchestrator --------------------------------------------------------
+
+TEST(Dispatch, MergesToDirectRunAndResumesFromArtifacts) {
+  const std::string dir = make_test_dir("happy");
+  const exp::SweepSpec spec = synthetic_sweep(11);
+  write_good_artifacts(spec, 5, dir);
+  const WorkerCommand base = script_worker(dir, "");
+  LocalProcessTransport transport;
+
+  const DispatchResult result = dispatch_sweep(spec, base, transport, test_config(dir, 3, 5));
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.shard_count, 5U);
+  EXPECT_EQ(result.launched, 5U);
+  EXPECT_EQ(result.reused, 0U);
+  EXPECT_EQ(result.retried, 0U);
+  EXPECT_EQ(result.cells, exp::run_all(spec, 1));
+
+  // A second dispatch into the same artifact directory reuses every shard
+  // without spawning a single worker.
+  const DispatchResult again = dispatch_sweep(spec, base, transport, test_config(dir, 3, 5));
+  ASSERT_TRUE(again.ok);
+  EXPECT_EQ(again.reused, 5U);
+  EXPECT_EQ(again.launched, 0U);
+  EXPECT_EQ(again.cells, result.cells);
+}
+
+TEST(Dispatch, WorkerKilledMidShardIsReenqueuedAndRetried) {
+  const std::string dir = make_test_dir("killed");
+  const exp::SweepSpec spec = synthetic_sweep(9);
+  write_good_artifacts(spec, 4, dir);
+  // Shard 2's first worker dies by SIGKILL before producing an artifact; the
+  // retry succeeds.
+  const WorkerCommand base = script_worker(
+      dir,
+      "if [ \"$i\" = 2 ] && [ ! -e \"" + dir + "/marker-$i\" ]; then\n"
+      "  : > \"" + dir + "/marker-$i\"\n"
+      "  kill -9 $$\n"
+      "fi");
+  LocalProcessTransport transport;
+
+  const DispatchResult result = dispatch_sweep(spec, base, transport, test_config(dir, 2, 4));
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.retried, 1U);
+  EXPECT_EQ(result.launched, 5U);  // 4 shards + 1 retry
+  EXPECT_EQ(result.cells, exp::run_all(spec, 1));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/marker-2"));  // the kill fired
+}
+
+TEST(Dispatch, HungWorkerIsKilledOnTimeoutAndRetried) {
+  const std::string dir = make_test_dir("timeout");
+  const exp::SweepSpec spec = synthetic_sweep(6);
+  write_good_artifacts(spec, 3, dir);
+  const WorkerCommand base = script_worker(
+      dir,
+      "if [ \"$i\" = 1 ] && [ ! -e \"" + dir + "/marker-$i\" ]; then\n"
+      "  : > \"" + dir + "/marker-$i\"\n"
+      "  exec sleep 30\n"
+      "fi");
+  LocalProcessTransport transport;
+
+  DispatchConfig config = test_config(dir, 3, 3);
+  config.timeout_seconds = 0.5;
+  const DispatchResult result = dispatch_sweep(spec, base, transport, config);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.retried, 1U);
+  EXPECT_EQ(result.cells, exp::run_all(spec, 1));
+}
+
+TEST(Dispatch, CorruptArtifactIsDetectedAndRerun) {
+  const std::string dir = make_test_dir("corrupt");
+  const exp::SweepSpec spec = synthetic_sweep(10);
+  write_good_artifacts(spec, 4, dir);
+  // Shard 3's first worker exits cleanly but leaves a truncated artifact —
+  // the merge-time validation must catch it at reap time and retry.
+  const WorkerCommand base = script_worker(
+      dir,
+      "if [ \"$i\" = 3 ] && [ ! -e \"" + dir + "/marker-$i\" ]; then\n"
+      "  : > \"" + dir + "/marker-$i\"\n"
+      "  printf '{\"schema\": \"cicmon-shard-v1\", \"swee' > \"$out\"\n"
+      "  exit 0\n"
+      "fi");
+  LocalProcessTransport transport;
+
+  const DispatchResult result = dispatch_sweep(spec, base, transport, test_config(dir, 2, 4));
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.retried, 1U);
+  EXPECT_EQ(result.cells, exp::run_all(spec, 1));
+}
+
+TEST(Dispatch, ExhaustedRetriesReportFailureAndKeepPeersResumable) {
+  const std::string dir = make_test_dir("exhausted");
+  const exp::SweepSpec spec = synthetic_sweep(12);
+  write_good_artifacts(spec, 5, dir);
+  // Shard 4 fails every attempt (exit 7, no artifact); the others succeed.
+  const WorkerCommand base =
+      script_worker(dir, "if [ \"$i\" = 4 ]; then exit 7; fi");
+  LocalProcessTransport transport;
+
+  const DispatchResult result =
+      dispatch_sweep(spec, base, transport, test_config(dir, 2, 5, /*retries=*/1));
+  ASSERT_FALSE(result.ok);
+  EXPECT_TRUE(result.cells.empty());
+  ASSERT_EQ(result.failures.size(), 1U);
+  EXPECT_EQ(result.failures[0].item.shard.index, 4U);
+  EXPECT_EQ(result.failures[0].item.attempts, 2U);  // first run + 1 retry
+  EXPECT_NE(result.failures[0].reason.find("exit code 7"), std::string::npos)
+      << result.failures[0].reason;
+
+  // The four completed shards left valid artifacts behind: a re-dispatch
+  // with a healthy worker reuses them and only runs the failed shard.
+  const DispatchResult fixed =
+      dispatch_sweep(spec, script_worker(dir, ""), transport, test_config(dir, 2, 5));
+  ASSERT_TRUE(fixed.ok);
+  EXPECT_EQ(fixed.reused, 4U);
+  EXPECT_EQ(fixed.launched, 1U);
+  EXPECT_EQ(fixed.cells, exp::run_all(spec, 1));
+}
+
+TEST(Dispatch, TemplateTransportRunsWorkersThroughTheShell) {
+  const std::string dir = make_test_dir("template");
+  const exp::SweepSpec spec = synthetic_sweep(7);
+  write_good_artifacts(spec, 3, dir);
+  const WorkerCommand base = script_worker(dir, "");
+  // A wrapper that logs the shard then runs the worker command — the shape
+  // an ssh or cluster-submit template takes.
+  CommandTemplateTransport transport("echo {shard} >> " + dir + "/launches.txt && {cmd}");
+
+  const DispatchResult result = dispatch_sweep(spec, base, transport, test_config(dir, 2, 3));
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.cells, exp::run_all(spec, 1));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/launches.txt"));
+}
+
+TEST(Dispatch, ShardArtifactPathNamesSweepAndCoordinates) {
+  EXPECT_EQ(shard_artifact_path("runs", "campaign", exp::Shard{3, 7}),
+            "runs/campaign-3of7.shard.json");
+}
+
+TEST(Dispatch, RejectsEmptySweepsAndCommands) {
+  const exp::SweepSpec empty;
+  LocalProcessTransport transport;
+  const DispatchConfig config;
+  EXPECT_THROW(dispatch_sweep(empty, WorkerCommand{{"sh"}}, transport, config),
+               support::CicError);
+  EXPECT_THROW(dispatch_sweep(synthetic_sweep(3), WorkerCommand{}, transport, config),
+               support::CicError);
+}
+
+}  // namespace
+}  // namespace cicmon::dist
