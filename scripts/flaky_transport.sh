@@ -1,19 +1,48 @@
 #!/usr/bin/env bash
-# Fault-injecting dispatch transport for CI and local testing: the first
-# worker launched for the target shard is killed by SIGKILL before it can
-# produce an artifact — the orchestrator must re-enqueue and retry it — and
-# every other launch runs the worker unchanged. The marker directory records
-# which sabotages fired, so a test can assert the kill actually happened.
+# Fault-injecting dispatch harness for CI and local testing, two modes:
 #
-# Usage, as a `cicmon dispatch --transport` template:
+# Exec mode (wraps one worker launch, as a `--transport` template): the
+# first worker launched for the target shard is killed by SIGKILL before it
+# can produce an artifact — the orchestrator must re-enqueue and retry it —
+# and every other launch runs the worker unchanged.
 #
 #   --transport 'scripts/flaky_transport.sh MARKERS 4/7 {shard} {cmd}'
 #
 # kills the first worker for shard 4/7 and leaves a MARKERS/4of7 marker.
+# (A template transport always dispatches exec-per-shard, so this mode
+# exercises the fallback path.)
+#
+# Session mode (wraps the whole `cicmon dispatch` invocation): arms the
+# worker-side deterministic death hook (CICMON_WORKER_FLAKY*), so the first
+# persistent session to be assigned the target shard writes half a done
+# record and SIGKILLs itself mid-record — the orchestrator must detect the
+# truncation, tear the session down, respawn, and retry the shard:
+#
+#   scripts/flaky_transport.sh --session MARKERS 4/7 -- \
+#       ./build/cicmon dispatch campaign ... --workers 3 --shards 7
+#
+# leaves MARKERS/4of7 once the sabotage fired. In both modes the marker
+# directory records which sabotages happened, so a test can assert the kill
+# actually took place.
 set -u
+
+if [[ ${1:-} == --session ]]; then
+  shift
+  if [[ $# -lt 3 ]]; then
+    echo "usage: flaky_transport.sh --session MARKER_DIR TARGET_SHARD -- DISPATCH_CMD..." >&2
+    exit 2
+  fi
+  marker_dir=$1
+  target=$2
+  shift 2
+  [[ ${1:-} == -- ]] && shift
+  mkdir -p "${marker_dir}"
+  CICMON_WORKER_FLAKY="${target}" CICMON_WORKER_FLAKY_MARKER="${marker_dir}" exec "$@"
+fi
 
 if [[ $# -lt 4 ]]; then
   echo "usage: flaky_transport.sh MARKER_DIR TARGET_SHARD SHARD CMD..." >&2
+  echo "       flaky_transport.sh --session MARKER_DIR TARGET_SHARD -- DISPATCH_CMD..." >&2
   exit 2
 fi
 marker_dir=$1

@@ -4,9 +4,11 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <thread>
 #include <utility>
 
+#include "dist/session.h"
 #include "support/error.h"
 #include "support/parallel.h"
 #include "support/subprocess.h"
@@ -16,19 +18,13 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-// One spawned worker the poll loop is watching.
-struct Running {
-  WorkItem item;
-  support::ChildProcess child;
-  Clock::time_point deadline;  // Clock::time_point::max() when no timeout
-};
-
 // The merge-time artifact checks, applied per item the moment its worker
-// exits: the file must decode as a cicmon-shard-v1 document (catching
-// truncation and tampering) and match (spec, shard) exactly (catching a
-// transport that ran the wrong command). On success the decoded artifact is
-// handed to `out` so the final merge never re-reads the file; on failure
-// `why` reports the violation for the retry log.
+// acks (session mode) or exits (exec mode): the file must decode as a
+// cicmon-shard-v1 document (catching truncation and tampering) and match
+// (spec, shard) exactly (catching a transport that ran the wrong command).
+// On success the decoded artifact is handed to `out` so the merge never
+// re-reads the file; on failure `why` reports the violation for the retry
+// log.
 bool artifact_is_valid(const std::string& path, const exp::SweepSpec& spec,
                        const exp::Shard& shard, exp::ShardArtifact* out, std::string* why) {
   try {
@@ -48,115 +44,110 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-}  // namespace
-
-std::string shard_artifact_path(const std::string& dir, const std::string& sweep,
-                                const exp::Shard& shard) {
-  return dir + "/" + sweep + "-" + std::to_string(shard.index) + "of" +
-         std::to_string(shard.count) + ".shard.json";
+Clock::time_point deadline_after(double seconds) {
+  return seconds > 0 ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                          std::chrono::duration<double>(seconds))
+                     : Clock::time_point::max();
 }
 
-DispatchResult dispatch_sweep(const exp::SweepSpec& spec, const WorkerCommand& base,
-                              Transport& transport, const DispatchConfig& config) {
-  support::check(spec.cells > 0, "dispatch needs a sweep with at least one cell");
-  support::check(!base.argv.empty(), "dispatch needs a worker command");
-  const unsigned workers = config.workers != 0 ? config.workers : support::resolve_jobs(0);
-  // Over-decompose by default: 4 items per worker slot keeps every slot busy
-  // until the end (a slow shard overlaps the others' tails) while still
-  // batching many cells per process. Never more shards than cells — an empty
-  // shard is a process spawned for nothing.
-  const unsigned shards =
-      config.shards != 0
-          ? config.shards
-          : static_cast<unsigned>(std::min<std::size_t>(spec.cells, std::size_t{workers} * 4));
-  // Split the host's cores between concurrent workers unless told otherwise.
-  const unsigned jobs = config.jobs_per_worker != 0
-                            ? config.jobs_per_worker
-                            : std::max(1U, support::resolve_jobs(0) / std::max(1U, workers));
-
-  const std::string dir = config.artifact_dir.empty() ? std::string(".") : config.artifact_dir;
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  support::check(!ec && std::filesystem::is_directory(dir),
-                 "cannot create artifact directory '" + dir + "'");
-
-  DispatchResult result;
-  result.shard_count = shards;
-
-  WorkQueue queue(config.retries + 1);
-  for (unsigned i = 1; i <= shards; ++i) {
-    const exp::Shard shard{i, shards};
-    queue.push(WorkItem{shard, shard_artifact_path(dir, spec.sweep, shard), 0});
-  }
-
-  const Clock::time_point start = Clock::now();
+// Shared mutable state of one dispatch run: the queue, the streaming merge,
+// and the counters both execution modes report through. Owning it in one
+// struct keeps the session and exec loops honest about going through the
+// same completion/retry funnel.
+struct RunState {
+  const exp::SweepSpec& spec;
+  const DispatchConfig& config;
+  const DispatchPlan& plan;
+  WorkQueue queue;
+  exp::MergeState merge;
+  DispatchResult& result;
+  Clock::time_point start = Clock::now();
   Clock::time_point last_progress = start;
-  std::size_t computed = 0;  // completions that actually ran a worker (for ETA)
-  std::vector<Running> running;
-  running.reserve(workers);
-  // Validated artifacts by shard index, filled at reuse/reap time so the
-  // final merge never parses a file twice.
-  std::vector<exp::ShardArtifact> validated(shards);
+  std::size_t computed = 0;      // completions that actually ran a worker (for ETA)
+  std::size_t resumed_done = 0;  // shards merged by the resume pre-pass (never queued)
 
-  auto progress = [&](bool force) {
+  RunState(const exp::SweepSpec& spec_, const DispatchConfig& config_,
+           const DispatchPlan& plan_, DispatchResult& result_)
+      : spec(spec_), config(config_), plan(plan_), queue(config_.retries + 1),
+        result(result_) {}
+
+  std::size_t items_done() const { return resumed_done + queue.done(); }
+
+  // One progress/streaming-merge line on stderr, throttled unless forced.
+  // Forced on every merged shard, so a long campaign visibly renders
+  // incrementally as artifacts land.
+  void progress(bool force, std::size_t active) {
     if (!config.progress) return;
     const Clock::time_point now = Clock::now();
     if (!force && now - last_progress < std::chrono::milliseconds(500)) return;
     last_progress = now;
     std::string eta = "?";
     if (computed > 0) {
-      const std::size_t remaining = queue.total() - queue.done() - queue.failures().size();
-      eta = std::to_string(static_cast<long>(seconds_since(start) / static_cast<double>(computed) *
+      const std::size_t remaining =
+          plan.shards - items_done() - queue.failures().size();
+      eta = std::to_string(static_cast<long>(seconds_since(start) /
+                                             static_cast<double>(computed) *
                                              static_cast<double>(remaining))) +
             "s";
     }
-    std::fprintf(stderr, "dispatch: %zu/%zu shards done (%zu reused), %zu running, %zu retried, ETA %s\n",
-                 queue.done(), queue.total(), result.reused, running.size(), result.retried,
-                 eta.c_str());
-  };
+    // Before the first artifact lands MergeState knows no totals; show the
+    // plan's denominators so the operator never reads "0/0".
+    const std::string merged =
+        merge.shards_merged() > 0
+            ? merge.progress()
+            : "0/" + std::to_string(plan.shards) + " shards, 0/" +
+                  std::to_string(spec.cells) + " cells (0.0%)";
+    std::fprintf(stderr, "dispatch: merged %s | %zu active, %zu reused, %zu retried, ETA %s\n",
+                 merged.c_str(), active, result.reused, result.retried, eta.c_str());
+  }
 
-  auto fail_or_retry = [&](WorkItem item, std::string reason) {
+  void fail_or_retry(WorkItem item, std::string reason) {
     if (queue.retry(std::move(item), std::move(reason))) ++result.retried;
-  };
+  }
+
+  // A validated artifact for `item` streams straight into the merge.
+  void complete(const WorkItem& item, exp::ShardArtifact artifact, bool counts_as_computed,
+                std::size_t active) {
+    queue.complete(item);
+    merge.add(std::move(artifact));
+    if (counts_as_computed) ++computed;
+    progress(true, active);
+  }
+};
+
+// --- exec-per-shard mode (PR 4's loop, kept as the template-transport and
+// --exec-per-shard fallback) ----------------------------------------------
+
+struct RunningExec {
+  WorkItem item;
+  support::ChildProcess child;
+  Clock::time_point deadline;
+};
+
+void run_exec(RunState& state, const WorkerCommand& base, Transport& transport) {
+  std::vector<RunningExec> running;
+  running.reserve(state.plan.workers);
 
   while (true) {
     // Fill free worker slots from the queue — the pull half of the load
-    // balancing. Resume is checked at pull time so a re-dispatch of a
-    // half-finished campaign completes reused items without spawning.
-    while (running.size() < workers) {
+    // balancing.
+    while (running.size() < state.plan.workers) {
       WorkItem item;
-      if (!queue.try_pop(&item)) break;
-      std::string why;
-      if (!config.force && item.attempts == 1 &&
-          artifact_is_valid(item.artifact_path, spec, item.shard,
-                            &validated[item.shard.index - 1], &why)) {
-        queue.complete(item);
-        ++result.reused;
-        progress(false);  // throttled: a full resume reuses every shard at once
-        continue;
-      }
+      if (!state.queue.try_pop(&item)) break;
       WorkerCommand command = base;
-      command.argv.insert(command.argv.end(),
-                          {"--jobs", std::to_string(jobs), "--shard",
-                           std::to_string(item.shard.index) + "/" + std::to_string(item.shard.count),
-                           "--out", item.artifact_path});
-      if (config.force) command.argv.emplace_back("--force");
+      command.argv = exec_worker_argv(base, state.plan.jobs, item, state.config.force);
       support::ChildProcess child;
       try {
         child = transport.launch(command, item);
       } catch (const support::CicError& error) {
-        fail_or_retry(std::move(item), std::string("launch failed: ") + error.what());
+        state.fail_or_retry(std::move(item), std::string("launch failed: ") + error.what());
         continue;
       }
-      ++result.launched;
-      const Clock::time_point deadline =
-          config.timeout_seconds > 0
-              ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                                   std::chrono::duration<double>(config.timeout_seconds))
-              : Clock::time_point::max();
-      running.push_back(Running{std::move(item), child, deadline});
+      ++state.result.launched;
+      running.push_back(RunningExec{std::move(item), std::move(child),
+                                    deadline_after(state.config.timeout_seconds)});
     }
-    if (running.empty() && queue.pending() == 0) break;
+    if (running.empty() && state.queue.pending() == 0) break;
 
     // Poll the fleet. The exit status only reports worker/transport health;
     // the artifact is the real output, so it is validated either way — a
@@ -164,13 +155,15 @@ DispatchResult dispatch_sweep(const exp::SweepSpec& spec, const WorkerCommand& b
     // and a clean exit with a bad artifact is still a failed attempt.
     bool reaped = false;
     for (std::size_t i = 0; i < running.size();) {
-      Running& slot = running[i];
+      RunningExec& slot = running[i];
       int status = 0;
       bool exited = slot.child.poll(&status);
       bool timed_out = false;
       if (!exited && Clock::now() >= slot.deadline) {
-        slot.child.kill_hard();
-        status = slot.child.wait();
+        // SIGTERM first so an ssh-style wrapper can forward the kill to the
+        // remote worker; SIGKILL only after the grace period (transport.h
+        // documents what each signal can reach).
+        status = slot.child.terminate_gracefully(state.config.shutdown_grace);
         exited = true;
         timed_out = true;
       }
@@ -182,34 +175,256 @@ DispatchResult dispatch_sweep(const exp::SweepSpec& spec, const WorkerCommand& b
       WorkItem item = std::move(slot.item);
       running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
       std::string why;
-      if (artifact_is_valid(item.artifact_path, spec, item.shard,
-                            &validated[item.shard.index - 1], &why)) {
-        queue.complete(item);
-        ++computed;
+      exp::ShardArtifact artifact;
+      if (artifact_is_valid(item.artifact_path, state.spec, item.shard, &artifact, &why)) {
+        state.complete(item, std::move(artifact), /*counts_as_computed=*/true, running.size());
       } else {
-        std::string reason = timed_out ? "timed out after " +
-                                             std::to_string(config.timeout_seconds) + "s (" +
-                                             support::describe_exit(status) + ")"
-                                       : "worker " + support::describe_exit(status);
-        fail_or_retry(std::move(item), reason + "; " + why);
+        std::string reason =
+            timed_out ? "timed out after " + std::to_string(state.config.timeout_seconds) +
+                            "s (" + support::describe_exit(status) + ")"
+                      : "worker " + support::describe_exit(status);
+        state.fail_or_retry(std::move(item), reason + "; " + why);
       }
-      progress(false);  // throttled: many small shards can reap back to back
     }
     if (!reaped) {
-      progress(false);
+      state.progress(false, running.size());
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
   }
-  progress(true);
+}
 
-  result.failures = queue.failures();
+// --- persistent-session mode ----------------------------------------------
+
+void run_sessions(RunState& state, const WorkerCommand& base) {
+  const std::vector<std::string> argv = session_worker_argv(base, state.plan.jobs);
+  std::vector<std::unique_ptr<WorkerSession>> sessions;
+  sessions.reserve(state.plan.workers);
+  // A session that dies before completing a handshake is not tied to any
+  // work item, so the per-item retry budget cannot bound it. This counter
+  // can: `retries + 1` consecutive handshake failures with no success in
+  // between means the worker command itself is broken — a setup error.
+  unsigned handshake_failures = 0;
+  std::string last_handshake_error = "worker never started";
+
+  auto spawn_ready_count = [&] {
+    std::size_t n = 0;
+    for (const auto& session : sessions) {
+      if (session->state() == WorkerSession::State::kHandshaking ||
+          session->state() == WorkerSession::State::kIdle) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  auto busy_count = [&] {
+    std::size_t n = 0;
+    for (const auto& session : sessions) {
+      if (session->state() == WorkerSession::State::kBusy) ++n;
+    }
+    return n;
+  };
+
+  while (state.queue.pending() > 0 || busy_count() > 0) {
+    if (handshake_failures > state.config.retries) {
+      // The worker command itself is broken (wrong binary, version skew,
+      // crash at startup): no amount of per-item retrying can make
+      // progress. Tear the fleet down before surfacing the setup error.
+      for (auto& session : sessions) session->shutdown(state.config.shutdown_grace);
+      throw support::CicError("persistent workers failed " +
+                              std::to_string(handshake_failures) +
+                              " consecutive handshakes; last: " + last_handshake_error);
+    }
+
+    // Top up the fleet: one session per worker slot, but never more sessions
+    // than there is pending work for (a session serves many items, so idle
+    // extras would only pay a useless golden run).
+    while (sessions.size() < state.plan.workers &&
+           spawn_ready_count() < state.queue.pending()) {
+      try {
+        sessions.push_back(std::make_unique<WorkerSession>(
+            argv, deadline_after(state.config.timeout_seconds), state.config.shutdown_grace));
+        ++state.result.launched;
+      } catch (const support::CicError& error) {
+        ++handshake_failures;
+        last_handshake_error = std::string("spawn failed: ") + error.what();
+        break;
+      }
+    }
+
+    // Hand pending items to idle sessions.
+    for (auto& session : sessions) {
+      if (session->state() != WorkerSession::State::kIdle) continue;
+      WorkItem item;
+      if (!state.queue.try_pop(&item)) break;
+      if (!session->assign(item, state.config.force,
+                           deadline_after(state.config.timeout_seconds))) {
+        // The write failed, so the item never reached the worker; assign()
+        // left it with us — put it back through the budget.
+        state.fail_or_retry(std::move(item), "session pipe write failed");
+      }
+    }
+
+    // Pump every session; react to at most one event each per iteration.
+    bool advanced = false;
+    const Clock::time_point now = Clock::now();
+    for (auto& session : sessions) {
+      if (session->state() == WorkerSession::State::kDead) continue;
+      const bool was_handshaking = session->state() == WorkerSession::State::kHandshaking;
+      WorkerSession::Event event = session->pump(state.spec, now);
+      switch (event.kind) {
+        case WorkerSession::Event::Kind::kNone:
+          break;
+        case WorkerSession::Event::Kind::kReady:
+          advanced = true;
+          handshake_failures = 0;
+          break;
+        case WorkerSession::Event::Kind::kDone: {
+          advanced = true;
+          WorkItem item = session->take_item();
+          std::string why;
+          exp::ShardArtifact artifact;
+          if (artifact_is_valid(item.artifact_path, state.spec, item.shard, &artifact, &why)) {
+            if (event.reused) ++state.result.reused;
+            state.complete(item, std::move(artifact), /*counts_as_computed=*/!event.reused,
+                           busy_count());
+          } else {
+            // The worker *said* done but the artifact fails validation: a
+            // failed attempt, but the session keeps its slot — the artifact
+            // checks, not trust in the ack, protect the merge.
+            state.fail_or_retry(std::move(item), "worker acked an invalid artifact; " + why);
+          }
+          break;
+        }
+        case WorkerSession::Event::Kind::kError:
+          advanced = true;
+          state.fail_or_retry(session->take_item(), std::move(event.reason));
+          break;
+        case WorkerSession::Event::Kind::kFailed:
+          advanced = true;
+          if (was_handshaking) {
+            ++handshake_failures;
+            last_handshake_error = event.reason;
+          }
+          if (session->has_item()) {
+            state.fail_or_retry(session->take_item(),
+                                "session failed mid-assignment: " + event.reason);
+          }
+          break;
+      }
+    }
+
+    // Cull the dead; replacements spawn at the top of the next iteration.
+    std::erase_if(sessions, [](const std::unique_ptr<WorkerSession>& session) {
+      return session->state() == WorkerSession::State::kDead;
+    });
+
+    if (!advanced) {
+      state.progress(false, busy_count());
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  for (auto& session : sessions) session->shutdown(state.config.shutdown_grace);
+}
+
+}  // namespace
+
+std::string shard_artifact_path(const std::string& dir, const std::string& sweep,
+                                const exp::Shard& shard) {
+  return dir + "/" + sweep + "-" + std::to_string(shard.index) + "of" +
+         std::to_string(shard.count) + ".shard.json";
+}
+
+DispatchPlan plan_dispatch(const exp::SweepSpec& spec, const WorkerCommand& base,
+                           const DispatchConfig& config) {
+  support::check(spec.cells > 0, "dispatch needs a sweep with at least one cell");
+  DispatchPlan plan;
+  plan.workers = config.workers != 0 ? config.workers : support::resolve_jobs(0);
+  // Over-decompose by default: 4 items per worker slot keeps every slot busy
+  // until the end (a slow shard overlaps the others' tails) while still
+  // batching many cells per assignment. Never more shards than cells — an
+  // empty shard is work scheduled for nothing.
+  plan.shards = config.shards != 0
+                    ? config.shards
+                    : static_cast<unsigned>(
+                          std::min<std::size_t>(spec.cells, std::size_t{plan.workers} * 4));
+  // Split the host's cores between concurrent workers unless told otherwise.
+  plan.jobs = config.jobs_per_worker != 0
+                  ? config.jobs_per_worker
+                  : std::max(1U, support::resolve_jobs(0) / std::max(1U, plan.workers));
+  plan.persistent = config.persistent && !base.session_argv.empty();
+  return plan;
+}
+
+std::vector<std::string> exec_worker_argv(const WorkerCommand& base, unsigned jobs,
+                                          const WorkItem& item, bool force) {
+  std::vector<std::string> argv = base.argv;
+  argv.insert(argv.end(),
+              {"--jobs", std::to_string(jobs), "--shard",
+               std::to_string(item.shard.index) + "/" + std::to_string(item.shard.count),
+               "--out", item.artifact_path});
+  if (force) argv.emplace_back("--force");
+  return argv;
+}
+
+std::vector<std::string> session_worker_argv(const WorkerCommand& base, unsigned jobs) {
+  std::vector<std::string> argv = base.session_argv;
+  argv.insert(argv.end(), {"--jobs", std::to_string(jobs)});
+  return argv;
+}
+
+DispatchResult dispatch_sweep(const exp::SweepSpec& spec, const WorkerCommand& base,
+                              Transport& transport, const DispatchConfig& config) {
+  support::check(!base.argv.empty(), "dispatch needs a worker command");
+  const DispatchPlan plan = plan_dispatch(spec, base, config);
+
+  const std::string dir = config.artifact_dir.empty() ? std::string(".") : config.artifact_dir;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  support::check(!ec && std::filesystem::is_directory(dir),
+                 "cannot create artifact directory '" + dir + "'");
+
+  DispatchResult result;
+  result.shard_count = plan.shards;
+  result.persistent = plan.persistent;
+
+  RunState state(spec, config, plan, result);
+  // Resume pre-pass: shards whose artifacts already validate merge before
+  // any worker or session is spawned, so a fully-resumed campaign costs zero
+  // process launches and a partially-resumed one sizes its fleet to the work
+  // actually left.
+  for (unsigned i = 1; i <= plan.shards; ++i) {
+    const exp::Shard shard{i, plan.shards};
+    WorkItem item{shard, shard_artifact_path(dir, spec.sweep, shard), 0};
+    exp::ShardArtifact artifact;
+    std::string why;
+    if (!config.force &&
+        artifact_is_valid(item.artifact_path, spec, shard, &artifact, &why)) {
+      state.merge.add(std::move(artifact));
+      ++result.reused;
+      ++state.resumed_done;
+      state.progress(false, 0);  // throttled: a full resume lands all at once
+    } else {
+      state.queue.push(std::move(item));
+    }
+  }
+
+  if (state.queue.pending() > 0) {
+    if (plan.persistent) {
+      run_sessions(state, base);
+    } else {
+      run_exec(state, base, transport);
+    }
+  }
+  state.progress(true, 0);
+
+  result.failures = state.queue.failures();
   result.ok = result.failures.empty();
   if (result.ok) {
-    // Same merge path as `cicmon merge`, fed the artifacts already decoded
-    // and validated at reuse/reap time, so the caller renders output
-    // byte-identical to a direct single-process run without re-reading any
-    // file.
-    result.cells = exp::merge_artifacts(validated);
+    // Same merge the `cicmon merge` path performs, already streamed shard by
+    // shard — finalize is just the completeness check plus handing the cells
+    // over, byte-identical to a direct single-process run.
+    result.cells = std::move(state.merge).finalize();
   }
   return result;
 }

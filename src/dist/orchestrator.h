@@ -1,29 +1,44 @@
 // Distributed campaign orchestrator: work-queue dispatch over shard
-// artifacts.
+// artifacts, served by persistent worker sessions.
 //
 // Takes any exp::SweepSpec-backed sweep, over-decomposes its cell grid into
-// N shard work items (N >> workers, so batching amortises process start-up
+// N shard work items (N >> workers, so batching amortises start-up cost
 // while pull scheduling keeps every worker busy), and schedules them onto
-// worker processes through a Transport. Per item the orchestrator:
+// worker processes. Two dispatch modes share the queue, the validation and
+// the merge:
 //
-//  * resumes — a valid on-disk artifact for exactly (spec, shard) is reused
-//    without spawning anything (the same rule workers apply themselves);
-//  * spawns `cicmon <cmd> ... --shard I/N --out PATH` via the transport and
-//    watches the child with a per-item timeout (heartbeat = the poll loop
-//    observing the process alive; a deadline overrun kills and re-enqueues);
+//  * persistent sessions (the default for local workers) — each worker slot
+//    runs one long-lived `cicmon worker <sweep> ...` process that derives
+//    the sweep (campaign golden run included) ONCE and then serves shard
+//    assignments over a framed pipe protocol (dist/session.h). The per-item
+//    cost drops from process spawn + golden run to one small record each
+//    way, and completed artifacts stream into an exp::MergeState so the
+//    campaign's progress renders incrementally as shards land.
+//  * exec per shard (the fallback, and the only mode a
+//    CommandTemplateTransport supports) — spawn `cicmon <cmd> ... --shard
+//    I/N --out PATH` per item, exactly PR 4's loop.
+//
+// Per item the orchestrator:
+//
+//  * resumes — a valid on-disk artifact for exactly (spec, shard) is merged
+//    up front without spawning anything (the same rule workers apply);
+//  * assigns the shard to a session (or spawns an exec worker) and watches
+//    it with a per-item deadline;
 //  * validates the produced artifact with the *merge-time* checks
-//    (decode + artifact_matches) the moment the worker exits, so a corrupt,
-//    truncated, or wrong-parameter artifact is retried immediately instead
-//    of poisoning the final merge;
+//    (decode + artifact_matches) the moment the ack (or exit) arrives, so a
+//    corrupt, truncated, or wrong-parameter artifact is retried immediately
+//    instead of poisoning the final merge;
 //  * retries with a bounded budget, recording the last failure reason when
-//    the budget runs out.
+//    the budget runs out. A dead, hung, or babbling session is torn down
+//    (SIGTERM, short grace, SIGKILL) and its in-flight shard re-enqueued
+//    through the same budget; a fresh session takes the slot.
 //
-// The run finishes by merging the validated artifacts through
-// exp::merge_artifacts — the same path `cicmon merge` uses — so the final
-// rendered summary is byte-identical to a direct single-process run of the
-// same sweep, at any worker/shard count and across worker deaths and
-// retries. Failed items leave their completed peers' artifacts on disk, so
-// a re-dispatch resumes instead of starting over.
+// The run finishes through exp::MergeState::finalize — the same result
+// `cicmon merge` produces — so the final rendered summary is byte-identical
+// to a direct single-process run of the same sweep, at any worker/shard
+// count, in either mode, and across session kills mid-assignment. Failed
+// items leave their completed peers' artifacts on disk, so a re-dispatch
+// resumes instead of starting over.
 #pragma once
 
 #include <cstddef>
@@ -39,30 +54,60 @@ namespace cicmon::dist {
 struct DispatchConfig {
   unsigned workers = 0;         // concurrent worker processes; 0 = nproc
   unsigned shards = 0;          // work items; 0 = auto (4x workers, capped at cells)
-  unsigned retries = 2;         // extra spawns allowed per item after the first
+  unsigned retries = 2;         // extra attempts allowed per item after the first
   unsigned jobs_per_worker = 0; // --jobs per worker; 0 = auto (nproc / workers)
   double timeout_seconds = 300; // per-item wall-clock limit; 0 = none
+  double shutdown_grace = 2.0;  // SIGTERM-to-SIGKILL window on teardown
   std::string artifact_dir;     // where <sweep>-IofN.shard.json files live
-  bool force = false;           // ignore existing artifacts, pass --force down
+  bool force = false;           // ignore existing artifacts, pass force down
+  bool persistent = true;       // serve items over worker sessions when the
+                                // command provides a session_argv
   bool progress = true;         // live progress/ETA lines on stderr
 };
 
 struct DispatchResult {
   bool ok = false;
-  // Merged full cell grid (exp::merge_artifacts of every shard) when ok.
+  // Merged full cell grid (every shard through exp::MergeState) when ok.
   std::vector<exp::CellResult> cells;
   unsigned shard_count = 0;
+  bool persistent = false;   // the mode that actually ran
   std::size_t reused = 0;    // shards resumed from matching on-disk artifacts
-  std::size_t launched = 0;  // worker spawns, including retries
+  std::size_t launched = 0;  // process spawns: sessions, or exec workers + retries
   std::size_t retried = 0;   // re-enqueues after a failed attempt
   std::vector<WorkFailure> failures;  // non-empty iff !ok
 };
 
-// Runs spec's grid to completion over `transport`. `base.argv` is the worker
-// command prefix (executable, subcommand, sweep flags); the orchestrator
-// appends `--jobs J --shard I/N --out PATH` (and `--force` when configured)
-// per item. Throws CicError only for setup errors (unwritable artifact
-// directory, invalid config); worker failures are reported via the result.
+// The resolved shape of a dispatch before anything is launched — what
+// `cicmon dispatch --dry-run` prints and dispatch_sweep executes.
+struct DispatchPlan {
+  unsigned workers = 0;
+  unsigned shards = 0;
+  unsigned jobs = 0;        // per-worker thread count
+  bool persistent = false;  // sessions vs exec-per-shard
+};
+
+// Resolves worker/shard/job counts and the session-vs-exec decision from the
+// config, the sweep size, and whether `base` can be served as a session.
+DispatchPlan plan_dispatch(const exp::SweepSpec& spec, const WorkerCommand& base,
+                           const DispatchConfig& config);
+
+// The exec-mode argv for one work item: `base.argv` plus
+// `--jobs J --shard I/N --out PATH [--force]` — a worker indistinguishable
+// from a hand-launched sharded run. Shared by the exec loop, --dry-run, and
+// template-transport expansion.
+std::vector<std::string> exec_worker_argv(const WorkerCommand& base, unsigned jobs,
+                                          const WorkItem& item, bool force);
+
+// The persistent-session argv: `base.session_argv` plus `--jobs J`.
+std::vector<std::string> session_worker_argv(const WorkerCommand& base, unsigned jobs);
+
+// Runs spec's grid to completion. `base.argv` is the exec-mode worker
+// command prefix (executable, subcommand, sweep flags); `base.session_argv`,
+// when non-empty, is the persistent-worker command (`cicmon worker <cmd>
+// ...`) and enables session mode. `transport` is only used for exec-mode
+// launches. Throws CicError for setup errors (unwritable artifact directory,
+// invalid config, workers that can never complete a handshake); worker
+// failures are reported via the result.
 DispatchResult dispatch_sweep(const exp::SweepSpec& spec, const WorkerCommand& base,
                               Transport& transport, const DispatchConfig& config);
 

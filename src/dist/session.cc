@@ -1,0 +1,424 @@
+#include "dist/session.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "support/error.h"
+#include "support/json.h"
+
+namespace cicmon::dist {
+namespace {
+
+const char* type_name(SessionMessage::Type type) {
+  switch (type) {
+    case SessionMessage::Type::kHello: return "hello";
+    case SessionMessage::Type::kAssign: return "assign";
+    case SessionMessage::Type::kDone: return "done";
+    case SessionMessage::Type::kError: return "error";
+    case SessionMessage::Type::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+void encode_shard(support::JsonWriter& json, const exp::Shard& shard) {
+  json.key("shard");
+  json.value_u64(shard.index);
+  json.key("shard_count");
+  json.value_u64(shard.count);
+}
+
+exp::Shard decode_shard(const support::JsonValue& root) {
+  exp::Shard shard;
+  shard.index = static_cast<unsigned>(root.at("shard").as_u64());
+  shard.count = static_cast<unsigned>(root.at("shard_count").as_u64());
+  support::check(shard.count >= 1 && shard.index >= 1 && shard.index <= shard.count,
+                 "session record has invalid shard coordinates");
+  return shard;
+}
+
+std::string finish(support::JsonWriter& json) {
+  json.end_object();
+  return json.take();
+}
+
+support::JsonWriter begin(const char* type) {
+  support::JsonWriter json;
+  json.begin_object();
+  json.key("type");
+  json.value(type);
+  return json;
+}
+
+// The deterministic worker-death hook (see serve_worker's contract). Returns
+// only when this assignment is not the sabotage target; otherwise the
+// process dies mid-record and never comes back.
+void maybe_die_mid_record(const exp::Shard& shard) {
+  const char* target = std::getenv("CICMON_WORKER_FLAKY");
+  const char* marker_dir = std::getenv("CICMON_WORKER_FLAKY_MARKER");
+  if (target == nullptr || marker_dir == nullptr) return;
+  const std::string text = std::to_string(shard.index) + "/" + std::to_string(shard.count);
+  if (text != target) return;
+  std::error_code ec;
+  std::filesystem::create_directories(marker_dir, ec);
+  const std::string marker = std::string(marker_dir) + "/" + std::to_string(shard.index) +
+                             "of" + std::to_string(shard.count);
+  // O_EXCL: only the first worker to reach the shard sabotages; the retry
+  // (and every later run against the same marker directory) behaves.
+  const int fd = ::open(marker.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd < 0) return;
+  ::close(fd);
+  const std::string frame = support::wire_frame(encode_done(shard, "", false));
+  support::write_all(STDOUT_FILENO, std::string_view(frame).substr(0, frame.size() / 2));
+  ::raise(SIGKILL);
+}
+
+}  // namespace
+
+std::string encode_hello(const exp::SweepSpec& spec) {
+  support::JsonWriter json = begin("hello");
+  json.key("protocol");
+  json.value_u64(kSessionProtocolVersion);
+  json.key("sweep");
+  json.value(spec.sweep);
+  json.key("cells");
+  json.value_u64(spec.cells);
+  json.key("params");
+  json.begin_object();
+  for (const auto& [name, value] : spec.params) {
+    json.key(name);
+    json.value(value);
+  }
+  json.end_object();
+  return finish(json);
+}
+
+std::string encode_assign(const exp::Shard& shard, const std::string& out, bool force) {
+  support::JsonWriter json = begin("assign");
+  encode_shard(json, shard);
+  json.key("out");
+  json.value(out);
+  json.key("force");
+  json.value(force);
+  return finish(json);
+}
+
+std::string encode_done(const exp::Shard& shard, const std::string& out, bool reused) {
+  support::JsonWriter json = begin("done");
+  encode_shard(json, shard);
+  json.key("out");
+  json.value(out);
+  json.key("reused");
+  json.value(reused);
+  return finish(json);
+}
+
+std::string encode_session_error(const exp::Shard& shard, const std::string& message) {
+  support::JsonWriter json = begin("error");
+  encode_shard(json, shard);
+  json.key("message");
+  json.value(message);
+  return finish(json);
+}
+
+std::string encode_shutdown() {
+  support::JsonWriter json = begin("shutdown");
+  return finish(json);
+}
+
+SessionMessage decode_session_message(std::string_view payload) {
+  support::JsonValue root;
+  try {
+    root = support::parse_json(payload);
+  } catch (const support::CicError& error) {
+    throw support::CicError(std::string("session record is not valid JSON: ") + error.what());
+  }
+  SessionMessage msg;
+  const std::string& type = root.at("type").as_string();
+  if (type == "hello") {
+    msg.type = SessionMessage::Type::kHello;
+    msg.protocol = root.at("protocol").as_u64();
+    msg.sweep = root.at("sweep").as_string();
+    msg.cells = root.at("cells").as_u64();
+    for (const auto& [name, value] : root.at("params").as_object()) {
+      msg.params.emplace_back(name, value.as_string());
+    }
+  } else if (type == "assign") {
+    msg.type = SessionMessage::Type::kAssign;
+    msg.shard = decode_shard(root);
+    msg.artifact_path = root.at("out").as_string();
+    msg.force = root.at("force").as_bool();
+  } else if (type == "done") {
+    msg.type = SessionMessage::Type::kDone;
+    msg.shard = decode_shard(root);
+    msg.artifact_path = root.at("out").as_string();
+    msg.reused = root.at("reused").as_bool();
+  } else if (type == "error") {
+    msg.type = SessionMessage::Type::kError;
+    msg.shard = decode_shard(root);
+    msg.message = root.at("message").as_string();
+  } else if (type == "shutdown") {
+    msg.type = SessionMessage::Type::kShutdown;
+  } else {
+    throw support::CicError("unknown session record type '" + type + "'");
+  }
+  return msg;
+}
+
+std::string hello_mismatch(const SessionMessage& hello, const exp::SweepSpec& spec) {
+  if (hello.protocol != kSessionProtocolVersion) {
+    return "worker speaks session protocol v" + std::to_string(hello.protocol) +
+           ", this orchestrator speaks v" + std::to_string(kSessionProtocolVersion);
+  }
+  if (hello.sweep != spec.sweep) {
+    return "worker derived sweep '" + hello.sweep + "', expected '" + spec.sweep + "'";
+  }
+  if (hello.cells != spec.cells) {
+    return "worker derived " + std::to_string(hello.cells) + " cells, expected " +
+           std::to_string(spec.cells);
+  }
+  if (hello.params != spec.params) {
+    return "worker derived different sweep parameters (flag round-trip mismatch)";
+  }
+  return "";
+}
+
+// --- worker side ---------------------------------------------------------
+
+int serve_worker(const exp::SweepSpec& spec, unsigned jobs) {
+  if (!support::write_all(STDOUT_FILENO, support::wire_frame(encode_hello(spec)))) {
+    std::fprintf(stderr, "cicmon worker: cannot write the hello record\n");
+    return 1;
+  }
+  support::FrameReader reader;
+  char buffer[4096];
+  std::size_t served = 0;
+  while (true) {
+    std::string payload;
+    std::string error;
+    const support::FrameReader::Status status = reader.next(&payload, &error);
+    if (status == support::FrameReader::Status::kBad) {
+      std::fprintf(stderr, "cicmon worker: bad frame from orchestrator: %s\n", error.c_str());
+      return 1;
+    }
+    if (status == support::FrameReader::Status::kNeedMore) {
+      const ssize_t got = ::read(STDIN_FILENO, buffer, sizeof buffer);
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        std::fprintf(stderr, "cicmon worker: read failed: %s\n", std::strerror(errno));
+        return 1;
+      }
+      if (got == 0) {
+        // Orchestrator closed our stdin: the clean "no more work" signal.
+        if (reader.has_partial()) {
+          std::fprintf(stderr, "cicmon worker: orchestrator died mid-record\n");
+          return 1;
+        }
+        return 0;
+      }
+      reader.feed(std::string_view(buffer, static_cast<std::size_t>(got)));
+      continue;
+    }
+
+    SessionMessage msg;
+    try {
+      msg = decode_session_message(payload);
+    } catch (const support::CicError& err) {
+      std::fprintf(stderr, "cicmon worker: %s\n", err.what());
+      return 1;
+    }
+    if (msg.type == SessionMessage::Type::kShutdown) {
+      std::fprintf(stderr, "cicmon worker: served %zu shard(s), shutting down\n", served);
+      return 0;
+    }
+    if (msg.type != SessionMessage::Type::kAssign) {
+      std::fprintf(stderr, "cicmon worker: unexpected %s record\n", type_name(msg.type));
+      return 1;
+    }
+    maybe_die_mid_record(msg.shard);
+    std::string ack;
+    try {
+      bool reused = false;
+      exp::run_or_load_shard(spec, msg.shard, jobs, msg.artifact_path, msg.force, &reused);
+      ack = encode_done(msg.shard, msg.artifact_path, reused);
+      ++served;
+    } catch (const support::CicError& err) {
+      // A shard-level failure is the orchestrator's retry decision, not a
+      // reason to lose the session (and the golden run it amortises).
+      ack = encode_session_error(msg.shard, err.what());
+    }
+    if (!support::write_all(STDOUT_FILENO, support::wire_frame(ack))) {
+      std::fprintf(stderr, "cicmon worker: orchestrator went away\n");
+      return 1;
+    }
+  }
+}
+
+// --- orchestrator side -----------------------------------------------------
+
+WorkerSession::WorkerSession(const std::vector<std::string>& argv, Clock::time_point deadline,
+                             double grace_seconds)
+    : child_(support::spawn_process_piped(argv)), deadline_(deadline),
+      grace_seconds_(grace_seconds) {}
+
+WorkItem WorkerSession::take_item() {
+  support::check(has_item_, "take_item on a session with no assignment");
+  has_item_ = false;
+  return std::move(item_);
+}
+
+bool WorkerSession::assign(WorkItem& item, bool force, Clock::time_point deadline) {
+  support::check(state_ == State::kIdle, "assign on a session that is not idle");
+  const std::string frame =
+      support::wire_frame(encode_assign(item.shard, item.artifact_path, force));
+  if (!support::write_all(child_.stdin_fd(), frame)) {
+    // The pipe is gone; `item` is untouched and stays with the caller.
+    // Reap quietly — the process is dead or dying.
+    child_.terminate_gracefully(grace_seconds_);
+    state_ = State::kDead;
+    return false;
+  }
+  item_ = std::move(item);
+  has_item_ = true;
+  deadline_ = deadline;
+  state_ = State::kBusy;
+  return true;
+}
+
+WorkerSession::Event WorkerSession::fail(std::string reason) {
+  if (child_.valid()) {
+    const int status = child_.terminate_gracefully(grace_seconds_);
+    reason += " (" + support::describe_exit(status) + ")";
+  }
+  state_ = State::kDead;
+  Event event;
+  event.kind = Event::Kind::kFailed;
+  event.reason = std::move(reason);
+  return event;
+}
+
+WorkerSession::Event WorkerSession::pump(const exp::SweepSpec& spec, Clock::time_point now) {
+  if (state_ == State::kDead) return {};
+  std::string bytes;
+  const bool open = support::read_available(child_.stdout_fd(), &bytes);
+  reader_.feed(bytes);
+
+  std::string payload;
+  std::string error;
+  while (true) {
+    const support::FrameReader::Status status = reader_.next(&payload, &error);
+    if (status == support::FrameReader::Status::kBad) {
+      return fail("protocol violation: " + error);
+    }
+    if (status == support::FrameReader::Status::kNeedMore) break;
+
+    SessionMessage msg;
+    try {
+      msg = decode_session_message(payload);
+    } catch (const support::CicError& err) {
+      return fail(std::string("protocol violation: ") + err.what());
+    }
+    switch (state_) {
+      case State::kHandshaking: {
+        if (msg.type != SessionMessage::Type::kHello) {
+          return fail(std::string("expected hello, got ") + type_name(msg.type));
+        }
+        if (std::string why = hello_mismatch(msg, spec); !why.empty()) {
+          return fail("handshake rejected: " + std::move(why));
+        }
+        state_ = State::kIdle;
+        deadline_ = Clock::time_point::max();  // idle has no deadline; assign() sets one
+        Event event;
+        event.kind = Event::Kind::kReady;
+        return event;  // leftover buffered frames (babble) surface next pump
+      }
+      case State::kIdle:
+        return fail(std::string("unexpected ") + type_name(msg.type) +
+                    " record from an idle worker");
+      case State::kBusy: {
+        if (msg.type == SessionMessage::Type::kDone || msg.type == SessionMessage::Type::kError) {
+          if (msg.shard.index != item_.shard.index || msg.shard.count != item_.shard.count) {
+            return fail(std::string(type_name(msg.type)) + " ack for shard " +
+                            std::to_string(msg.shard.index) + "/" +
+                            std::to_string(msg.shard.count) + ", expected " +
+                            std::to_string(item_.shard.index) + "/" +
+                            std::to_string(item_.shard.count));
+          }
+          state_ = State::kIdle;
+          deadline_ = Clock::time_point::max();  // the assignment's deadline dies with it
+          Event event;
+          if (msg.type == SessionMessage::Type::kDone) {
+            event.kind = Event::Kind::kDone;
+            event.reused = msg.reused;
+          } else {
+            event.kind = Event::Kind::kError;
+            event.reason = "worker reported: " + msg.message;
+          }
+          return event;
+        }
+        return fail(std::string("expected done/error, got ") + type_name(msg.type));
+      }
+      case State::kDead:
+        return {};
+    }
+  }
+
+  if (!open) {
+    // EOF after draining every complete frame: the worker is gone. A partial
+    // frame left behind is the mid-record death signature.
+    return fail(reader_.has_partial() ? "worker died mid-record"
+                                     : "worker closed the session");
+  }
+  if (now >= deadline_) {
+    return fail(state_ == State::kHandshaking ? "handshake timed out"
+                                            : "assignment timed out");
+  }
+  return {};
+}
+
+void WorkerSession::shutdown(double grace_seconds) {
+  if (state_ == State::kDead) return;
+  if (child_.valid()) {
+    if (state_ != State::kHandshaking) {
+      support::write_all(child_.stdin_fd(), support::wire_frame(encode_shutdown()));
+    }
+    // One bounded budget, escalating: stdin EOF is the polite exit signal
+    // (a healthy worker is gone in milliseconds), SIGTERM fires halfway
+    // through the grace window, SIGKILL ends it. Never more than
+    // `grace_seconds` of blocking per session, even for a wedged worker.
+    child_.close_stdin();
+    auto after = [](double seconds) {
+      return std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(seconds));
+    };
+    const Clock::time_point start = Clock::now();
+    const Clock::time_point term_at = start + after(grace_seconds / 2);
+    const Clock::time_point kill_at = start + after(grace_seconds);
+    int status = 0;
+    bool exited = false;
+    bool termed = false;
+    while (!(exited = child_.poll(&status))) {
+      const Clock::time_point now = Clock::now();
+      if (now >= kill_at) break;
+      if (!termed && now >= term_at) {
+        child_.kill_soft();
+        termed = true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    if (!exited) {
+      child_.kill_hard();
+      child_.wait();
+    }
+  }
+  state_ = State::kDead;
+}
+
+}  // namespace cicmon::dist

@@ -1,0 +1,169 @@
+// Persistent worker sessions: the protocol and both ends of the pipe.
+//
+// PR 4's orchestrator spawned one `cicmon <sweep> --shard I/N` process per
+// work item, so every item paid a process start-up and — for campaigns —
+// a full golden run before doing any monitored work. A persistent session
+// amortises both: the orchestrator spawns `cicmon worker <sweep> ...` once
+// per worker slot, the worker derives its SweepSpec (golden run included)
+// once, and shard assignments then stream over the worker's stdin with
+// completed-artifact acks coming back over its stdout.
+//
+// The conversation, as length/checksum-framed JSON records (support/wire.h):
+//
+//   worker  -> orchestrator   hello    {protocol, sweep, cells, params}
+//   orchestrator -> worker    assign   {shard, shard_count, out, force}
+//   worker  -> orchestrator   done     {shard, shard_count, out, reused}
+//                         or  error    {shard, shard_count, message}
+//   orchestrator -> worker    shutdown {}        (or just EOF on stdin)
+//
+// The hello is the handshake: the orchestrator checks the protocol version
+// AND that the worker derived the exact same sweep identity (name, cell
+// count, every parameter) it did — a worker built from skewed flags or a
+// different binary fails here, before any shard is wasted on it. The
+// artifact on disk stays the real output: a done ack only tells the
+// orchestrator *when* to validate the artifact with the same merge-time
+// checks the exec path uses. Trust nothing framed: any malformed frame,
+// unexpected message, EOF mid-record, or deadline overrun kills the whole
+// session, because after a protocol violation there is no way to know what
+// the worker actually did — the in-flight shard is re-enqueued through the
+// ordinary retry budget and a fresh session takes the slot.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dist/work_queue.h"
+#include "exp/sweep.h"
+#include "support/subprocess.h"
+#include "support/wire.h"
+
+namespace cicmon::dist {
+
+// Message-content version, carried in the hello record. Bumped when record
+// semantics change incompatibly; the framing has its own version token
+// (support::kWireMagic).
+inline constexpr std::uint64_t kSessionProtocolVersion = 1;
+
+// One decoded protocol record. Which fields are meaningful depends on type.
+struct SessionMessage {
+  enum class Type : std::uint8_t { kHello, kAssign, kDone, kError, kShutdown };
+
+  Type type = Type::kShutdown;
+  // hello
+  std::uint64_t protocol = 0;
+  std::string sweep;
+  exp::SweepParams params;
+  std::uint64_t cells = 0;
+  // assign / done / error
+  exp::Shard shard;
+  std::string artifact_path;  // assign / done
+  bool force = false;         // assign
+  bool reused = false;        // done
+  std::string message;        // error
+};
+
+// Record encoders (payloads; wrap with support::wire_frame to transmit).
+std::string encode_hello(const exp::SweepSpec& spec);
+std::string encode_assign(const exp::Shard& shard, const std::string& out, bool force);
+std::string encode_done(const exp::Shard& shard, const std::string& out, bool reused);
+std::string encode_session_error(const exp::Shard& shard, const std::string& message);
+std::string encode_shutdown();
+
+// Parses and structurally validates one record payload (known type, required
+// fields, shard bounds). Throws CicError describing the violation.
+SessionMessage decode_session_message(std::string_view payload);
+
+// Empty when `hello` is a protocol-compatible worker serving exactly `spec`;
+// otherwise the reason the handshake must be rejected.
+std::string hello_mismatch(const SessionMessage& hello, const exp::SweepSpec& spec);
+
+// --- worker side ---------------------------------------------------------
+
+// Serves shard assignments for `spec` over this process's stdin/stdout until
+// a shutdown record or EOF; returns the process exit code. stdout belongs to
+// the protocol — diagnostics go to stderr. A CicError while running a shard
+// is reported as an error record and the session keeps serving (the
+// orchestrator owns the retry policy); a malformed inbound frame is fatal,
+// mirroring the orchestrator's own trust rules.
+//
+// Fault-injection hook for tests and CI: when CICMON_WORKER_FLAKY=I/N and
+// CICMON_WORKER_FLAKY_MARKER=DIR are set and DIR/IofN does not exist yet,
+// the first assignment of shard I/N creates the marker, writes a
+// deliberately truncated done record, and raises SIGKILL — a worker dying
+// mid-record, the nastiest teardown path, made deterministic.
+int serve_worker(const exp::SweepSpec& spec, unsigned jobs);
+
+// --- orchestrator side -----------------------------------------------------
+
+// One persistent worker process plus its protocol state, driven by the
+// orchestrator's single-threaded poll loop. The session never decides retry
+// policy: it reports events and hands back the in-flight item; the caller
+// re-enqueues through the work queue's budget.
+class WorkerSession {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  enum class State : std::uint8_t {
+    kHandshaking,  // spawned, waiting for a valid hello
+    kIdle,         // handshake done, no assignment outstanding
+    kBusy,         // an assignment is in flight
+    kDead,         // torn down; take_item() recovers any in-flight work
+  };
+
+  struct Event {
+    enum class Kind : std::uint8_t {
+      kNone,    // nothing new
+      kReady,   // handshake completed; the session can take assignments
+      kDone,    // the in-flight assignment acked an artifact (validate it!)
+      kError,   // the worker reported a shard failure; session stays usable
+      kFailed,  // the session died: reason set, in-flight item recoverable
+    };
+    Kind kind = Kind::kNone;
+    bool reused = false;  // kDone: the worker resumed an existing artifact
+    std::string reason;   // kError / kFailed
+  };
+
+  // Spawns the worker with piped stdin/stdout. Throws CicError when the
+  // process cannot be started. `deadline` bounds the handshake;
+  // `grace_seconds` is the SIGTERM-to-SIGKILL window every teardown uses
+  // (see support::ChildProcess::terminate_gracefully).
+  WorkerSession(const std::vector<std::string>& argv, Clock::time_point deadline,
+                double grace_seconds);
+
+  State state() const { return state_; }
+  bool has_item() const { return has_item_; }
+  const WorkItem& item() const { return item_; }
+  // Recovers the in-flight item after kFailed/kDone/kError. Clears it.
+  WorkItem take_item();
+
+  // Sends an assignment (kIdle -> kBusy) with a completion deadline. The
+  // item is consumed (moved from) only on success; on a failed pipe write
+  // the session is dead, `item` is left intact, and the caller re-enqueues
+  // it.
+  bool assign(WorkItem& item, bool force, Clock::time_point deadline);
+
+  // Drains the worker's stdout, advances the protocol, enforces deadlines.
+  // At most one meaningful event is returned per call; call repeatedly from
+  // the poll loop. `spec` is what hellos are validated against.
+  Event pump(const exp::SweepSpec& spec, Clock::time_point now);
+
+  // Polite shutdown of a live session: shutdown record + stdin EOF, then
+  // SIGTERM-with-grace teardown. Safe in any state; reaps the process.
+  void shutdown(double grace_seconds);
+
+ private:
+  Event fail(std::string reason);
+
+  support::ChildProcess child_;
+  support::FrameReader reader_;
+  State state_ = State::kHandshaking;
+  WorkItem item_;
+  bool has_item_ = false;
+  Clock::time_point deadline_;
+  double grace_seconds_ = 0.0;
+};
+
+}  // namespace cicmon::dist

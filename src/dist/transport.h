@@ -19,8 +19,17 @@
 // A transport's child exit status reports only worker/transport health; the
 // artifact on disk is the real output and the orchestrator validates it
 // separately (a clean exit with a corrupt artifact is still a failed
-// attempt). Note that killing a template transport's child on timeout kills
-// the local wrapper (e.g. the ssh client), not a remote process it started.
+// attempt).
+//
+// Remote-kill caveat: on timeout/teardown the orchestrator signals the
+// *local* child — the ssh client or submit wrapper, not a remote process it
+// started. Teardown is SIGTERM first with a short grace period
+// (--shutdown-grace semantics in support::ChildProcess::terminate_gracefully)
+// precisely so a wrapper that forwards signals (ssh -tt, a shell trap) can
+// propagate the kill; once the grace expires SIGKILL follows, and SIGKILL is
+// not forwardable — a remote worker whose wrapper was SIGKILLed keeps
+// running until it finishes or its host reaps it. Its artifact, if any,
+// is simply ignored or re-validated on the next resume.
 #pragma once
 
 #include <string>
@@ -32,12 +41,18 @@
 
 namespace cicmon::dist {
 
-// The exact worker invocation for one shard, as an argv vector. The
-// orchestrator builds it from the dispatch subcommand's own flags plus
-// `--jobs/--shard/--out` per item, so a worker is indistinguishable from a
-// hand-launched sharded run.
+// The worker invocations dispatch can launch. `argv` is the exec-per-shard
+// prefix: the orchestrator appends `--jobs/--shard/--out` per item, so a
+// worker is indistinguishable from a hand-launched sharded run.
+// `session_argv`, when non-empty, is the persistent-session command
+// (`cicmon worker <cmd> <sweep flags>`); the orchestrator appends `--jobs`
+// once and then streams shard assignments over the process's stdin
+// (dist/session.h). Leave it empty to force exec-per-shard — the only mode
+// a CommandTemplateTransport can serve, since a shell template has no pipe
+// to speak the session protocol over.
 struct WorkerCommand {
   std::vector<std::string> argv;
+  std::vector<std::string> session_argv;
 };
 
 class Transport {

@@ -200,7 +200,94 @@ bool artifact_matches(const ShardArtifact& artifact, const SweepSpec& spec,
          artifact.total_cells == spec.cells;
 }
 
-std::vector<CellResult> merge_artifacts(const std::vector<ShardArtifact>& artifacts) {
+void MergeState::add(ShardArtifact artifact) {
+  // Validate the newcomer fully before mutating anything — including the
+  // head state a first artifact would establish — so a rejected artifact
+  // leaves the merged state exactly as it was (the orchestrator retries
+  // that shard and keeps streaming the others).
+  const bool first = shard_count_ == 0;
+  if (!first) {
+    support::check(artifact.sweep == sweep_, "cannot merge artifacts from different sweeps ('" +
+                                                 sweep_ + "' vs '" + artifact.sweep + "')");
+    support::check(artifact.params == params_,
+                   "cannot merge artifacts with different sweep parameters");
+    support::check(artifact.shard.count == shard_count_,
+                   "cannot merge artifacts from different shard counts");
+    support::check(artifact.total_cells == covered_.size(),
+                   "cannot merge artifacts with different cell grids");
+  }
+  support::check(artifact.shard.index >= 1 && artifact.shard.index <= artifact.shard.count,
+                 "artifact has invalid shard coordinates");
+  support::check(first || !shard_merged_[artifact.shard.index - 1],
+                 "shard " + std::to_string(artifact.shard.index) + "/" +
+                     std::to_string(artifact.shard.count) + " is covered by two artifacts");
+  // Cells must be strictly increasing (the decode_shard_artifact invariant):
+  // that excludes intra-artifact duplicates, which would otherwise let
+  // cells_merged_ overcount and finalize() miss a genuinely uncovered cell.
+  std::size_t previous = 0;
+  bool first_cell = true;
+  for (const ShardArtifact::Cell& cell : artifact.cells) {
+    support::check(cell.index < artifact.total_cells, "artifact cell index out of range");
+    support::check(first_cell || cell.index > previous, "artifact cells out of order");
+    support::check(first || !covered_[cell.index],
+                   "cell " + std::to_string(cell.index) + " ('" + cell.key +
+                       "') is covered by two artifacts — duplicate shard?");
+    previous = cell.index;
+    first_cell = false;
+  }
+  if (first) {
+    // Everything validated: the first artifact fixes the sweep identity
+    // every later add is held to.
+    sweep_ = artifact.sweep;
+    params_ = artifact.params;
+    shard_count_ = artifact.shard.count;
+    shard_merged_.assign(shard_count_, false);
+    covered_.assign(artifact.total_cells, false);
+    results_.resize(artifact.total_cells);
+  }
+  shard_merged_[artifact.shard.index - 1] = true;
+  ++shards_merged_;
+  for (ShardArtifact::Cell& cell : artifact.cells) {
+    covered_[cell.index] = true;
+    results_[cell.index] = std::move(cell.result);
+  }
+  cells_merged_ += artifact.cells.size();
+}
+
+std::string MergeState::progress() const {
+  const std::size_t total = covered_.size();
+  const double pct = total == 0 ? 0.0
+                                : 100.0 * static_cast<double>(cells_merged_) /
+                                      static_cast<double>(total);
+  char line[96];
+  std::snprintf(line, sizeof line, "%zu/%u shards, %zu/%zu cells (%.1f%%)", shards_merged_,
+                shard_count_, cells_merged_, total, pct);
+  return line;
+}
+
+std::string MergeState::progress_table() const {
+  std::string table = "shard  cells  state\n";
+  for (unsigned index = 1; index <= shard_count_; ++index) {
+    const std::size_t cells = owned_cell_count(Shard{index, shard_count_}, covered_.size());
+    char row[64];
+    std::snprintf(row, sizeof row, "%-5u  %-5zu  %s\n", index, cells,
+                  shard_merged_[index - 1] ? "merged" : "pending");
+    table += row;
+  }
+  return table;
+}
+
+std::vector<CellResult> MergeState::finalize() && {
+  support::check(shard_count_ > 0, "merge needs at least one shard artifact");
+  const std::size_t missing = covered_.size() - cells_merged_;
+  support::check(missing == 0, std::to_string(missing) + " of " +
+                                   std::to_string(covered_.size()) +
+                                   " cells missing — pass all " +
+                                   std::to_string(shard_count_) + " shard artifacts");
+  return std::move(results_);
+}
+
+std::vector<CellResult> merge_artifacts(std::vector<ShardArtifact> artifacts) {
   support::check(!artifacts.empty(), "merge needs at least one shard artifact");
   const ShardArtifact& head = artifacts.front();
   // Consistency first, and a cheap completeness count before sizing anything
@@ -224,24 +311,9 @@ std::vector<CellResult> merge_artifacts(const std::vector<ShardArtifact>& artifa
                             std::to_string(head.total_cells) + " cells missing — pass all " +
                             std::to_string(head.shard.count) + " shard artifacts");
   }
-  std::vector<CellResult> results(head.total_cells);
-  std::vector<bool> covered(head.total_cells, false);
-  for (const ShardArtifact& artifact : artifacts) {
-    for (const ShardArtifact::Cell& cell : artifact.cells) {
-      support::check(!covered[cell.index],
-                     "cell " + std::to_string(cell.index) + " ('" + cell.key +
-                         "') is covered by two artifacts — duplicate shard?");
-      covered[cell.index] = true;
-      results[cell.index] = cell.result;
-    }
-  }
-  std::size_t missing = 0;
-  for (const bool have : covered) missing += have ? 0 : 1;
-  support::check(missing == 0, std::to_string(missing) + " of " +
-                                   std::to_string(head.total_cells) +
-                                   " cells missing — pass all " +
-                                   std::to_string(head.shard.count) + " shard artifacts");
-  return results;
+  MergeState merge;
+  for (ShardArtifact& artifact : artifacts) merge.add(std::move(artifact));
+  return std::move(merge).finalize();
 }
 
 std::vector<CellResult> run_or_load_shard(const SweepSpec& spec, const Shard& shard,

@@ -124,12 +124,65 @@ ShardArtifact load_shard_artifact(const std::string& path);
 // sweep, same parameters, same shard coordinates, every owned cell present.
 bool artifact_matches(const ShardArtifact& artifact, const SweepSpec& spec, const Shard& shard);
 
+// Incremental merge: accepts validated artifacts one at a time, in any
+// order, and finalises to exactly what merge_artifacts produces — the
+// byte-identical-merge property, available while shards are still landing.
+// This is what lets a dispatch campaign render progress as artifacts stream
+// in from worker sessions instead of waiting for the last shard.
+//
+// Every add() validates the newcomer against the first artifact accepted
+// (same sweep, same params, same shard count, same cell grid, no cell
+// covered twice) and throws CicError naming the violation, leaving the
+// already-merged state untouched. The per-shard/per-cell bookkeeping is
+// deterministic: two MergeStates fed the same artifact *set* in different
+// orders report identical progress and finalise to identical cells.
+class MergeState {
+ public:
+  void add(ShardArtifact artifact);
+
+  std::size_t shards_total() const { return shard_count_; }
+  std::size_t shards_merged() const { return shards_merged_; }
+  std::size_t cells_total() const { return covered_.size(); }
+  std::size_t cells_merged() const { return cells_merged_; }
+  bool complete() const { return shard_count_ > 0 && cells_merged_ == covered_.size(); }
+
+  // One deterministic progress line: "3/7 shards, 120/280 cells (42.9%)".
+  std::string progress() const;
+  // Deterministic partial-progress table: one row per shard with its cell
+  // count and merged/pending status — what a long campaign shows while
+  // rendering incrementally. Depends only on the set of merged shards.
+  std::string progress_table() const;
+
+  // The full cell vector; throws CicError while cells are missing. The
+  // result is indistinguishable from run_cells(spec, {1,1}, jobs) of the
+  // producing binary.
+  std::vector<CellResult> finalize() &&;
+
+  // Sweep identity of the first accepted artifact (valid once
+  // shards_merged() > 0) — what the caller renders with.
+  const std::string& sweep() const { return sweep_; }
+  const SweepParams& params() const { return params_; }
+
+ private:
+  std::string sweep_;
+  SweepParams params_;
+  unsigned shard_count_ = 0;
+  std::size_t shards_merged_ = 0;
+  std::size_t cells_merged_ = 0;
+  std::vector<bool> shard_merged_;  // by shard index - 1
+  std::vector<bool> covered_;       // by cell index
+  std::vector<CellResult> results_;
+};
+
 // Merges partial artifacts into the full cell vector. Validates that all
 // artifacts agree on (sweep, params, shard count, total cells) and that
 // together they cover every cell exactly once; throws CicError naming the
-// first violation. The result is indistinguishable from run_cells(spec,
-// {1,1}, jobs) of the producing binary — the byte-identical-merge property.
-std::vector<CellResult> merge_artifacts(const std::vector<ShardArtifact>& artifacts);
+// first violation. Implemented over MergeState; the batch entry point also
+// pre-checks the provided cell count against the claimed grid, so a
+// tampered total_cells fails before sizing any allocation by it. Takes the
+// artifacts by value so callers can std::move a large set in and the cell
+// payloads transfer instead of copying.
+std::vector<CellResult> merge_artifacts(std::vector<ShardArtifact> artifacts);
 
 // Resume: returns this shard's cells, loading them from `path` when a valid
 // artifact for exactly (spec, shard) already exists there, otherwise running

@@ -1,0 +1,158 @@
+#include "support/wire.h"
+
+#include "support/error.h"
+
+namespace cicmon::support {
+namespace {
+
+// The header line is tiny ("cicmon-wire-1 <= 7 digits, 16 hex"); a buffer
+// with no newline in this many bytes is not a frame header at all.
+constexpr std::size_t kMaxHeaderBytes = 64;
+
+bool parse_hex_u64(std::string_view text, std::uint64_t* out) {
+  if (text.empty() || text.size() > 16) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = value;
+  return true;
+}
+
+bool parse_dec_size(std::string_view text, std::size_t* out) {
+  if (text.empty() || text.size() > 8) return false;  // 8 digits > kMaxWirePayload
+  std::size_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+std::string hex16(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string text(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    text[static_cast<std::size_t>(i)] = kDigits[value & 0xF];
+    value >>= 4;
+  }
+  return text;
+}
+
+// A peek at the offending bytes for teardown logs, with control characters
+// masked so a binary-garbage frame cannot mangle the terminal.
+std::string preview(std::string_view bytes) {
+  std::string out;
+  for (const char c : bytes.substr(0, 32)) {
+    out += (c >= 0x20 && c < 0x7F) ? c : '.';
+  }
+  if (bytes.size() > 32) out += "...";
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t wire_checksum(std::string_view payload) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;  // FNV offset basis
+  for (const char c : payload) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;  // FNV prime
+  }
+  return hash;
+}
+
+std::string wire_frame(std::string_view payload) {
+  check(payload.size() <= kMaxWirePayload,
+        "wire_frame: payload exceeds the " + std::to_string(kMaxWirePayload) +
+            "-byte frame limit");
+  std::string frame;
+  frame.reserve(payload.size() + 48);
+  frame += kWireMagic;
+  frame += ' ';
+  frame += std::to_string(payload.size());
+  frame += ' ';
+  frame += hex16(wire_checksum(payload));
+  frame += '\n';
+  frame += payload;
+  frame += '\n';
+  return frame;
+}
+
+void FrameReader::feed(std::string_view bytes) { buffer_.append(bytes); }
+
+FrameReader::Status FrameReader::fail(std::string* error, std::string why) {
+  dead_ = true;
+  dead_reason_ = std::move(why);
+  buffer_.clear();
+  if (error != nullptr) *error = dead_reason_;
+  return Status::kBad;
+}
+
+FrameReader::Status FrameReader::next(std::string* payload, std::string* error) {
+  if (dead_) {
+    if (error != nullptr) *error = dead_reason_;
+    return Status::kBad;
+  }
+  if (buffer_.empty()) return Status::kNeedMore;
+
+  const std::size_t newline = buffer_.find('\n');
+  if (newline == std::string::npos) {
+    if (buffer_.size() > kMaxHeaderBytes) {
+      return fail(error, "unterminated frame header: '" + preview(buffer_) + "'");
+    }
+    return Status::kNeedMore;
+  }
+  const std::string_view header = std::string_view(buffer_).substr(0, newline);
+  if (newline > kMaxHeaderBytes) {
+    return fail(error, "oversized frame header: '" + preview(header) + "'");
+  }
+
+  // "cicmon-wire-1 <len> <checksum>" — strict: exactly three tokens, and the
+  // magic mismatch message calls out version skew, the likeliest cause.
+  const std::size_t sp1 = header.find(' ');
+  if (header.substr(0, sp1) != kWireMagic) {
+    return fail(error, "not a " + std::string(kWireMagic) + " frame: '" + preview(header) + "'");
+  }
+  const std::size_t sp2 = header.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || header.find(' ', sp2 + 1) != std::string_view::npos) {
+    return fail(error, "malformed frame header: '" + preview(header) + "'");
+  }
+  std::size_t length = 0;
+  if (!parse_dec_size(header.substr(sp1 + 1, sp2 - sp1 - 1), &length)) {
+    return fail(error, "malformed frame length: '" + preview(header) + "'");
+  }
+  if (length > kMaxWirePayload) {
+    return fail(error, "oversized frame: " + std::to_string(length) + " bytes (limit " +
+                           std::to_string(kMaxWirePayload) + ")");
+  }
+  std::uint64_t expected = 0;
+  if (!parse_hex_u64(header.substr(sp2 + 1), &expected)) {
+    return fail(error, "malformed frame checksum: '" + preview(header) + "'");
+  }
+
+  // Header accepted; wait for payload + the closing newline.
+  const std::size_t frame_end = newline + 1 + length + 1;
+  if (buffer_.size() < frame_end) return Status::kNeedMore;
+  if (buffer_[frame_end - 1] != '\n') {
+    return fail(error, "frame payload not terminated by newline");
+  }
+  const std::string_view body = std::string_view(buffer_).substr(newline + 1, length);
+  const std::uint64_t actual = wire_checksum(body);
+  if (actual != expected) {
+    return fail(error, "frame checksum mismatch (expected " + hex16(expected) + ", got " +
+                           hex16(actual) + ")");
+  }
+  payload->assign(body);
+  buffer_.erase(0, frame_end);
+  return Status::kFrame;
+}
+
+}  // namespace cicmon::support

@@ -1,0 +1,85 @@
+// Length/checksum-framed record protocol for worker-session pipes.
+//
+// A persistent dispatch worker serves many shard assignments over its
+// stdin/stdout, so the byte stream needs framing that survives the real
+// failure modes of a pipe to a process that can die at any instant:
+//
+//  * truncation — the peer was killed mid-record; the partial frame at EOF
+//    must be detected, never silently dropped or half-parsed;
+//  * corruption — a stray printf into the protocol stream, a buggy wrapper,
+//    or a bit flip must fail loudly, not decode as a different record;
+//  * resource abuse — a babbling peer must not make the reader buffer an
+//    arbitrarily large "record".
+//
+// Each frame is one header line followed by the payload bytes and a closing
+// newline:
+//
+//     cicmon-wire-1 <payload-bytes> <fnv1a64-hex>\n<payload>\n
+//
+// The payload is an arbitrary byte string (in practice a support::JsonWriter
+// document, newlines and all); the length makes embedded newlines safe and
+// the checksum makes corruption detectable. The magic token carries the
+// framing version: a reader only accepts frames of its own version, so a
+// future incompatible framing bumps the token and old/new peers fail the
+// handshake instead of misparsing each other. (Message *content* versioning
+// is layered on top: see kSessionProtocolVersion in dist/session.h.)
+//
+// FrameReader is push-based so one poll loop can multiplex many pipes: feed
+// it whatever bytes arrived, then drain complete frames. It is strict by
+// design — any malformed input poisons the reader permanently, because after
+// a framing violation there is no way to know where the next record starts;
+// the session owning the pipe must be torn down.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cicmon::support {
+
+// Framing-version magic leading every frame header.
+inline constexpr std::string_view kWireMagic = "cicmon-wire-1";
+
+// Hard cap on one frame's payload. Session records are small (a few hundred
+// bytes); anything near the cap is a corrupt length field or a hostile peer.
+inline constexpr std::size_t kMaxWirePayload = 1 << 20;
+
+// FNV-1a 64-bit — cheap, dependency-free, and plenty to catch truncation and
+// accidental corruption (this is an integrity check, not authentication).
+std::uint64_t wire_checksum(std::string_view payload);
+
+// Encodes one payload as a complete frame. Throws CicError when the payload
+// exceeds kMaxWirePayload (an internal bug, not a peer failure).
+std::string wire_frame(std::string_view payload);
+
+class FrameReader {
+ public:
+  enum class Status {
+    kFrame,     // a complete, checksum-verified payload was produced
+    kNeedMore,  // no complete frame buffered; feed more bytes
+    kBad,       // framing violation; the reader (and its pipe) are dead
+  };
+
+  // Appends bytes received from the pipe. Cheap; no parsing happens here.
+  void feed(std::string_view bytes);
+
+  // Extracts the next complete frame into `payload`. On kBad, `error`
+  // describes the violation and every future call returns kBad — tear the
+  // session down. Call in a loop: one feed() may complete several frames.
+  Status next(std::string* payload, std::string* error);
+
+  // True when bytes are buffered that do not (yet) form a complete frame.
+  // At EOF this distinguishes a clean close from a peer that died
+  // mid-record.
+  bool has_partial() const { return !dead_ && !buffer_.empty(); }
+
+ private:
+  Status fail(std::string* error, std::string why);
+
+  std::string buffer_;
+  std::string dead_reason_;  // sticky after the first violation
+  bool dead_ = false;
+};
+
+}  // namespace cicmon::support

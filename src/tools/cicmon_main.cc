@@ -11,6 +11,8 @@
 //   cicmon dispatch  <table1|fig6|blocks|bench|campaign> [sweep options]
 //                    [--workers K] [--shards N] [--transport TMPL]
 //                    [--retries R] [--timeout SEC] [--dir DIR]
+//                    [--exec-per-shard] [--dry-run]
+//   cicmon worker    <table1|fig6|blocks|bench|campaign> [sweep options]
 //   cicmon merge     SHARD.json|DIR [SHARD.json|DIR ...]
 //   cicmon workloads
 //
@@ -28,9 +30,15 @@
 // serial path.
 //
 // `cicmon dispatch <sweep> ...` is the scale-out driver: it over-decomposes
-// the sweep into shard work items and schedules them onto worker processes
-// (`cicmon <sweep> --shard I/N --out ...`) through src/dist/, then merges and
-// renders — stdout is byte-identical to the direct invocation.
+// the sweep into shard work items and schedules them through src/dist/ onto
+// persistent worker sessions (`cicmon worker <sweep> ...` processes serving
+// many shards over a framed pipe protocol — the default for local workers)
+// or exec-per-shard subprocesses (`cicmon <sweep> --shard I/N --out ...`,
+// the fallback for --transport templates and --exec-per-shard), streams the
+// merge incrementally as artifacts land, then renders — stdout is
+// byte-identical to the direct invocation. `cicmon worker` is the session
+// server side and is not meant to be invoked by hand (its stdout speaks the
+// wire protocol).
 #include <algorithm>
 #include <array>
 #include <chrono>
@@ -45,6 +53,7 @@
 #include <vector>
 
 #include "dist/orchestrator.h"
+#include "dist/session.h"
 #include "dist/transport.h"
 #include "exp/sweep.h"
 #include "fault/campaign.h"
@@ -85,6 +94,8 @@ struct Options {
   std::string transport;       // {cmd}/{shard}/{out} template; empty = local
   std::string dir;             // shard artifact directory; defaulted when empty
   bool quiet = false;          // suppress dispatch progress/ETA on stderr
+  bool dry_run = false;        // print the dispatch plan, launch nothing
+  bool exec_per_shard = false; // force the exec-per-shard fallback path
 };
 
 [[noreturn]] void usage(int code) {
@@ -98,6 +109,8 @@ struct Options {
       "  bench       simulator throughput over all workloads\n"
       "  campaign    random fault-injection campaign\n"
       "  dispatch    scale a sweep out over worker processes or hosts\n"
+      "  worker      persistent dispatch worker (serves shards over stdin/stdout;\n"
+      "              spawned by dispatch, not meant for interactive use)\n"
       "  merge       aggregate cicmon-shard-v1 artifacts into the full output\n"
       "  workloads   list the benchmark kernels\n"
       "\n"
@@ -141,11 +154,18 @@ struct Options {
       "  --dir DIR        shard artifact directory (default cicmon-dispatch);\n"
       "                   valid artifacts already there are reused (resume)\n"
       "  --quiet          suppress the live progress/ETA lines on stderr\n"
+      "  --exec-per-shard spawn one process per shard instead of persistent\n"
+      "                   worker sessions (sessions are the local default;\n"
+      "                   --transport templates always exec per shard)\n"
+      "  --dry-run        print the planned shard grid, worker commands, and\n"
+      "                   session mode, then exit without launching anything\n"
       "  --jobs under dispatch sets each worker's thread count\n"
       "                   (default: hardware concurrency / workers)\n"
       "\n"
       "dispatch stdout is byte-identical to the direct invocation of the\n"
-      "same sweep, at any worker/shard count and across worker retries.\n",
+      "same sweep, at any worker/shard count, in either session mode, and\n"
+      "across worker kills and retries. Incremental merge progress streams\n"
+      "to stderr as shards land.\n",
       code == 0 ? stdout : stderr);
   std::exit(code);
 }
@@ -206,13 +226,14 @@ std::string did_you_mean(std::string_view given, std::span<const std::string_vie
   return "; did you mean '" + std::string(best) + "'?";
 }
 
-constexpr std::array<std::string_view, 9> kCommands = {
-    "table1", "fig6", "blocks", "bench", "campaign", "dispatch", "merge", "workloads", "help"};
-constexpr std::array<std::string_view, 22> kFlags = {
+constexpr std::array<std::string_view, 10> kCommands = {
+    "table1", "fig6",  "blocks",    "bench", "campaign",
+    "worker", "dispatch", "merge", "workloads", "help"};
+constexpr std::array<std::string_view, 24> kFlags = {
     "--scale", "--jobs",    "--entries", "--capacities", "--workload", "--site",
     "--bits",  "--trials",  "--seed",    "--monitor",    "--json",     "--shard",
     "--out",   "--force",   "--workers", "--shards",     "--transport", "--retries",
-    "--timeout", "--dir",   "--quiet",   "--help"};
+    "--timeout", "--dir",   "--quiet",   "--dry-run",    "--exec-per-shard", "--help"};
 
 // `first` is the index of the first flag: 2 for `cicmon <cmd> ...`, 3 for
 // `cicmon dispatch <cmd> ...`.
@@ -287,6 +308,10 @@ Options parse_options(int argc, char** argv, bool allow_positional, int first = 
       if (options.dir.empty()) usage(2);
     } else if (flag == "--quiet") {
       options.quiet = true;
+    } else if (flag == "--dry-run") {
+      options.dry_run = true;
+    } else if (flag == "--exec-per-shard") {
+      options.exec_per_shard = true;
     } else if (flag == "--help" || flag == "-h") {
       usage(0);
     } else if (allow_positional && (flag.empty() || flag.front() != '-')) {
@@ -687,9 +712,10 @@ int cmd_merge(const Options& options) {
   for (const std::string& path : inputs) {
     artifacts.push_back(exp::load_shard_artifact(path));
   }
-  const std::vector<exp::CellResult> cells = exp::merge_artifacts(artifacts);
-  return render_cells(artifacts.front().sweep, artifacts.front().params, cells, options,
-                      /*bench_total_ms=*/-1.0);
+  const std::string sweep = artifacts.front().sweep;
+  const exp::SweepParams params = artifacts.front().params;
+  const std::vector<exp::CellResult> cells = exp::merge_artifacts(std::move(artifacts));
+  return render_cells(sweep, params, cells, options, /*bench_total_ms=*/-1.0);
 }
 
 // Serializes the sweep-defining options back into worker argv form. The
@@ -719,23 +745,93 @@ std::vector<std::string> worker_sweep_flags(std::string_view command, const Opti
   return flags;
 }
 
-// `cicmon dispatch <sweep> ...`: scale the sweep out over worker processes
-// via src/dist/, then merge and render through the same funnel as the direct
-// and `merge` paths — stdout is byte-identical to the direct invocation.
-int cmd_dispatch(int argc, char** argv) {
+// Validates argv[2] as a dispatchable sweep for `cicmon <what> <sweep> ...`
+// (shared by dispatch and worker, which parse their sweep flags at argv[3]).
+std::string_view parse_sweep_subcommand(int argc, char** argv, const char* what) {
   constexpr std::array<std::string_view, 5> kDispatchable = {"table1", "fig6", "blocks", "bench",
                                                              "campaign"};
   if (argc < 3 || argv[2][0] == '-') {
-    std::fprintf(stderr,
-                 "cicmon: dispatch needs a sweep subcommand (table1|fig6|blocks|bench|campaign)\n");
+    std::fprintf(stderr, "cicmon: %s needs a sweep subcommand (table1|fig6|blocks|bench|campaign)\n",
+                 what);
     usage(2);
   }
   const std::string_view sub = argv[2];
   if (std::find(kDispatchable.begin(), kDispatchable.end(), sub) == kDispatchable.end()) {
-    std::fprintf(stderr, "cicmon: cannot dispatch '%s'%s\n", argv[2],
+    std::fprintf(stderr, "cicmon: cannot %s '%s'%s\n", what, argv[2],
                  did_you_mean(sub, kDispatchable).c_str());
     usage(2);
   }
+  return sub;
+}
+
+// `cicmon worker <sweep> ...`: the persistent-session server. Derives the
+// sweep once (for campaigns: pays the golden run once, the cost every
+// exec-per-shard worker used to repeat) and then serves shard assignments
+// over stdin/stdout until the orchestrator shuts it down. stdout belongs to
+// the wire protocol, so this subcommand never renders anything.
+int cmd_worker(int argc, char** argv) {
+  const std::string_view sub = parse_sweep_subcommand(argc, argv, "serve");
+  const Options options = parse_options(argc, argv, /*allow_positional=*/false, /*first=*/3);
+  if (sharded_mode(options) || !options.json_path.empty()) {
+    std::fprintf(stderr,
+                 "cicmon: worker serves shards over its stdin — --shard/--out/--json do not "
+                 "apply (use the plain sweep subcommand for a one-shot shard)\n");
+    return 2;
+  }
+  const SweepBundle bundle = make_sweep(sub, options);
+  return dist::serve_worker(bundle.spec, options.jobs);
+}
+
+// Prints what `cicmon dispatch` *would* launch — the resolved shard grid,
+// session mode, and worker command lines — without spawning anything. The
+// debugging aid for ssh/cluster --transport templates: the exact /bin/sh
+// command per shard is shown after placeholder expansion.
+int print_dispatch_plan(const exp::SweepSpec& spec, const dist::WorkerCommand& base,
+                        const dist::DispatchConfig& config, const std::string& transport_text) {
+  const dist::DispatchPlan plan = dist::plan_dispatch(spec, base, config);
+  std::printf("dispatch plan: %s (%zu cells) over %u shards, %u workers, %u jobs/worker\n",
+              spec.sweep.c_str(), spec.cells, plan.shards, plan.workers, plan.jobs);
+  std::string mode = "exec per shard, local transport";
+  if (plan.persistent) {
+    mode = "persistent worker sessions (local pipes)";
+  } else if (!transport_text.empty()) {
+    mode = "exec per shard, template transport '" + transport_text + "'";
+  }
+  std::printf("mode: %s\n", mode.c_str());
+  std::printf("artifact dir: %s\n", config.artifact_dir.c_str());
+  std::printf("retries: %u, timeout: %gs, shutdown grace: %gs\n", config.retries,
+              config.timeout_seconds, config.shutdown_grace);
+  if (plan.persistent) {
+    std::printf("session command (x%u): %s\n", plan.workers,
+                support::shell_join(dist::session_worker_argv(base, plan.jobs)).c_str());
+  }
+  for (unsigned i = 1; i <= plan.shards; ++i) {
+    const exp::Shard shard{i, plan.shards};
+    const dist::WorkItem item{shard,
+                              dist::shard_artifact_path(config.artifact_dir, spec.sweep, shard),
+                              0};
+    if (plan.persistent) {
+      std::printf("shard %u/%u -> %s\n", i, plan.shards, item.artifact_path.c_str());
+    } else {
+      const std::vector<std::string> argv =
+          dist::exec_worker_argv(base, plan.jobs, item, config.force);
+      const std::string command =
+          transport_text.empty()
+              ? support::shell_join(argv)
+              : dist::CommandTemplateTransport::expand(transport_text,
+                                                       dist::WorkerCommand{argv, {}}, item);
+      std::printf("shard %u/%u -> %s\n  %s\n", i, plan.shards, item.artifact_path.c_str(),
+                  command.c_str());
+    }
+  }
+  return 0;
+}
+
+// `cicmon dispatch <sweep> ...`: scale the sweep out over worker processes
+// via src/dist/, then merge and render through the same funnel as the direct
+// and `merge` paths — stdout is byte-identical to the direct invocation.
+int cmd_dispatch(int argc, char** argv) {
+  const std::string_view sub = parse_sweep_subcommand(argc, argv, "dispatch");
   const Options options = parse_options(argc, argv, /*allow_positional=*/false, /*first=*/3);
   if (sharded_mode(options)) {
     std::fprintf(stderr,
@@ -751,6 +847,15 @@ int cmd_dispatch(int argc, char** argv) {
   base.argv.emplace_back(sub);
   const std::vector<std::string> flags = worker_sweep_flags(sub, options);
   base.argv.insert(base.argv.end(), flags.begin(), flags.end());
+  // Persistent sessions are the default for local workers; a --transport
+  // template has no pipe to speak the protocol over, so it stays on the
+  // exec-per-shard fallback (as does an explicit --exec-per-shard).
+  if (options.transport.empty() && !options.exec_per_shard) {
+    base.session_argv.push_back(base.argv.front());
+    base.session_argv.emplace_back("worker");
+    base.session_argv.emplace_back(sub);
+    base.session_argv.insert(base.session_argv.end(), flags.begin(), flags.end());
+  }
 
   dist::DispatchConfig config;
   config.workers = options.workers;
@@ -762,6 +867,10 @@ int cmd_dispatch(int argc, char** argv) {
   config.force = options.force;
   config.progress = !options.quiet;
 
+  if (options.dry_run) {
+    return print_dispatch_plan(bundle.spec, base, config, options.transport);
+  }
+
   std::unique_ptr<dist::Transport> transport;
   if (options.transport.empty()) {
     transport = std::make_unique<dist::LocalProcessTransport>();
@@ -770,11 +879,13 @@ int cmd_dispatch(int argc, char** argv) {
   }
 
   const dist::DispatchResult result = dist::dispatch_sweep(bundle.spec, base, *transport, config);
+  const char* mode = result.persistent ? "persistent sessions" : "exec per shard";
   if (!result.ok) {
     std::fprintf(stderr,
                  "cicmon: dispatch failed: %zu shard(s) exhausted their attempt budget (%u) "
-                 "via %s transport; completed shards keep their artifacts in '%s' for resume\n",
-                 result.failures.size(), options.retries + 1, transport->describe().c_str(),
+                 "via %s (%s transport); completed shards keep their artifacts in '%s' for "
+                 "resume\n",
+                 result.failures.size(), options.retries + 1, mode, transport->describe().c_str(),
                  config.artifact_dir.c_str());
     for (const dist::WorkFailure& failure : result.failures) {
       std::fprintf(stderr, "cicmon:   shard %u/%u: %s\n", failure.item.shard.index,
@@ -783,10 +894,10 @@ int cmd_dispatch(int argc, char** argv) {
     return 1;
   }
   std::fprintf(stderr,
-               "dispatch: %s over %u shards via %s transport: %zu reused, %zu launched, "
+               "dispatch: %s over %u shards via %s (%s transport): %zu reused, %zu launched, "
                "%zu retried\n",
-               bundle.spec.sweep.c_str(), result.shard_count, transport->describe().c_str(),
-               result.reused, result.launched, result.retried);
+               bundle.spec.sweep.c_str(), result.shard_count, mode,
+               transport->describe().c_str(), result.reused, result.launched, result.retried);
   return render_cells(bundle.spec.sweep, bundle.spec.params, result.cells, options,
                       /*bench_total_ms=*/-1.0);
 }
@@ -806,8 +917,9 @@ int main(int argc, char** argv) {
   if (argc < 2) usage(2);
   const std::string_view command = argv[1];
   try {
-    // dispatch re-parses with its sweep subcommand at argv[2].
+    // dispatch/worker re-parse with their sweep subcommand at argv[2].
     if (command == "dispatch") return cmd_dispatch(argc, argv);
+    if (command == "worker") return cmd_worker(argc, argv);
     const Options options = parse_options(argc, argv, /*allow_positional=*/command == "merge");
     if (command == "table1") return run_sweep_command(sim::table1_sweep(options.scale), options);
     if (command == "fig6") {

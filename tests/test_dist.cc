@@ -1,25 +1,45 @@
 // Tests for the distributed campaign orchestrator: work-queue retry budgets,
 // the subprocess helper, transport template expansion, and — through real
-// worker subprocesses — the orchestrator's failure paths: a worker killed
-// mid-shard is re-enqueued and retried, a corrupt artifact is detected and
-// re-run, a timeout kills and retries, and an exhausted attempt budget is
-// reported as a failure while completed shards stay resumable. Every
-// successful dispatch must merge to exactly the cells a direct single-process
-// run produces (CI additionally byte-diffs the rendered stdout of the real
-// `cicmon dispatch` binary against the direct run).
+// worker subprocesses — the orchestrator's failure paths in both dispatch
+// modes.
+//
+// Exec mode (script workers): a worker killed mid-shard is re-enqueued and
+// retried, a corrupt artifact is detected and re-run, a timeout kills and
+// retries, and an exhausted attempt budget is reported as a failure while
+// completed shards stay resumable.
+//
+// Persistent-session mode (the real `cicmon worker` binary over pipes, plus
+// sh saboteurs speaking just enough of the wire protocol to misbehave):
+// the handshake rejects protocol/spec skew, and every adversarial input the
+// issue names — truncated frame, checksum mismatch, garbage line, oversized
+// record, worker SIGKILLed mid-record — tears the session down, retries the
+// shard on a fresh session, and still merges to exactly the direct run's
+// cells. (CI additionally byte-diffs the rendered stdout of the real
+// `cicmon dispatch` binary against the direct run, including a session-kill
+// pass.)
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "dist/orchestrator.h"
+#include "dist/session.h"
 #include "dist/transport.h"
 #include "dist/work_queue.h"
 #include "exp/sweep.h"
+#include "sim/experiment.h"
 #include "support/error.h"
 #include "support/subprocess.h"
+#include "support/wire.h"
+
+#ifndef CICMON_CLI_PATH
+#define CICMON_CLI_PATH "./cicmon"  // CMake injects the real binary location
+#endif
 
 namespace cicmon::dist {
 namespace {
@@ -82,7 +102,7 @@ WorkerCommand script_worker(const std::string& dir, const std::string& sabotage)
              "done\n"
              "i=\"${shard%/*}\"\n" +
                  sabotage + "\ncp \"" + dir + "/good-$i.json\" \"$out\"\n");
-  return WorkerCommand{{"/bin/sh", path}};
+  return WorkerCommand{{"/bin/sh", path}, {}};
 }
 
 DispatchConfig test_config(const std::string& dir, unsigned workers, unsigned shards,
@@ -167,7 +187,7 @@ TEST(Subprocess, ShellQuoting) {
 // --- transports ----------------------------------------------------------
 
 TEST(Transport, TemplateExpansionAndValidation) {
-  const WorkerCommand command{{"cicmon", "table1", "--scale", "0.5"}};
+  const WorkerCommand command{{"cicmon", "table1", "--scale", "0.5"}, {}};
   const WorkItem item{exp::Shard{2, 7}, "out dir/s.json", 0};
   EXPECT_EQ(CommandTemplateTransport::expand("ssh host {cmd} # {shard} -> {out}", command, item),
             "ssh host cicmon table1 --scale 0.5 # 2/7 -> 'out dir/s.json'");
@@ -310,6 +330,353 @@ TEST(Dispatch, TemplateTransportRunsWorkersThroughTheShell) {
   EXPECT_TRUE(std::filesystem::exists(dir + "/launches.txt"));
 }
 
+// --- persistent worker sessions -----------------------------------------
+
+TEST(Session, MessagesRoundTripThroughEncodeDecode) {
+  exp::SweepSpec spec;
+  spec.sweep = "table1";
+  spec.params = {{"scale", "0.5"}, {"seed", "7"}};
+  spec.cells = 27;
+  const SessionMessage hello = decode_session_message(encode_hello(spec));
+  EXPECT_EQ(hello.type, SessionMessage::Type::kHello);
+  EXPECT_EQ(hello.protocol, kSessionProtocolVersion);
+  EXPECT_EQ(hello.sweep, "table1");
+  EXPECT_EQ(hello.cells, 27U);
+  EXPECT_EQ(hello.params, spec.params);
+  EXPECT_TRUE(hello_mismatch(hello, spec).empty());
+
+  const SessionMessage assign =
+      decode_session_message(encode_assign(exp::Shard{2, 5}, "out dir/a.json", true));
+  EXPECT_EQ(assign.type, SessionMessage::Type::kAssign);
+  EXPECT_EQ(assign.shard.index, 2U);
+  EXPECT_EQ(assign.shard.count, 5U);
+  EXPECT_EQ(assign.artifact_path, "out dir/a.json");
+  EXPECT_TRUE(assign.force);
+
+  const SessionMessage done =
+      decode_session_message(encode_done(exp::Shard{5, 5}, "a.json", true));
+  EXPECT_EQ(done.type, SessionMessage::Type::kDone);
+  EXPECT_TRUE(done.reused);
+
+  const SessionMessage error =
+      decode_session_message(encode_session_error(exp::Shard{1, 2}, "disk full"));
+  EXPECT_EQ(error.type, SessionMessage::Type::kError);
+  EXPECT_EQ(error.message, "disk full");
+
+  EXPECT_EQ(decode_session_message(encode_shutdown()).type, SessionMessage::Type::kShutdown);
+
+  EXPECT_THROW(decode_session_message("not json"), support::CicError);
+  EXPECT_THROW(decode_session_message("{\"type\": \"launch-missiles\"}"), support::CicError);
+  // Out-of-range shard coordinates are a structural violation.
+  EXPECT_THROW(decode_session_message(
+                   "{\"type\": \"done\", \"shard\": 9, \"shard_count\": 5, "
+                   "\"out\": \"x\", \"reused\": false}"),
+               support::CicError);
+}
+
+TEST(Session, HelloMismatchCatchesVersionSweepCellsAndParams) {
+  exp::SweepSpec spec;
+  spec.sweep = "fig6";
+  spec.params = {{"scale", "1"}};
+  spec.cells = 9;
+  SessionMessage hello = decode_session_message(encode_hello(spec));
+  EXPECT_TRUE(hello_mismatch(hello, spec).empty());
+  SessionMessage skew = hello;
+  skew.protocol = 99;
+  EXPECT_NE(hello_mismatch(skew, spec).find("protocol"), std::string::npos);
+  skew = hello;
+  skew.sweep = "table1";
+  EXPECT_FALSE(hello_mismatch(skew, spec).empty());
+  skew = hello;
+  skew.cells = 10;
+  EXPECT_FALSE(hello_mismatch(skew, spec).empty());
+  skew = hello;
+  skew.params = {{"scale", "2"}};
+  EXPECT_FALSE(hello_mismatch(skew, spec).empty());
+}
+
+// The persistent-session integration tests run the REAL `cicmon worker`
+// binary against a real (tiny) table1 sweep — the parent derives the same
+// spec the worker will, exactly as `cicmon dispatch` does.
+constexpr double kSessionScale = 0.02;
+
+exp::SweepSpec session_sweep() { return sim::table1_sweep(kSessionScale); }
+
+const std::vector<exp::CellResult>& session_direct_cells() {
+  static const std::vector<exp::CellResult> cells = exp::run_all(session_sweep(), 1);
+  return cells;
+}
+
+WorkerCommand cli_worker_command() {
+  WorkerCommand base;
+  base.argv = {CICMON_CLI_PATH, "table1", "--scale", exp::fmt_f64(kSessionScale)};
+  base.session_argv = {CICMON_CLI_PATH, "worker", "table1", "--scale",
+                       exp::fmt_f64(kSessionScale)};
+  return base;
+}
+
+TEST(Sessions, ServeManyShardsPerProcessAndMergeToTheDirectRun) {
+  const std::string dir = make_test_dir("sessions_happy");
+  LocalProcessTransport transport;
+  const DispatchResult result =
+      dispatch_sweep(session_sweep(), cli_worker_command(), transport, test_config(dir, 2, 5));
+  ASSERT_TRUE(result.ok);
+  EXPECT_TRUE(result.persistent);
+  EXPECT_EQ(result.shard_count, 5U);
+  EXPECT_EQ(result.launched, 2U);  // 2 sessions served 5 shards — the whole point
+  EXPECT_EQ(result.retried, 0U);
+  EXPECT_EQ(result.cells, session_direct_cells());
+
+  // A re-dispatch resumes every artifact without a single session spawn.
+  const DispatchResult again =
+      dispatch_sweep(session_sweep(), cli_worker_command(), transport, test_config(dir, 2, 5));
+  ASSERT_TRUE(again.ok);
+  EXPECT_EQ(again.reused, 5U);
+  EXPECT_EQ(again.launched, 0U);
+  EXPECT_EQ(again.cells, session_direct_cells());
+}
+
+TEST(Sessions, FlakyEnvHookKillsWorkerMidRecordAndTheShardIsRetried) {
+  const std::string dir = make_test_dir("sessions_flaky");
+  // The worker-side deterministic death hook: first worker to serve shard
+  // 2/4 writes half a done record and SIGKILLs itself.
+  ASSERT_EQ(setenv("CICMON_WORKER_FLAKY", "2/4", 1), 0);
+  ASSERT_EQ(setenv("CICMON_WORKER_FLAKY_MARKER", (dir + "/markers").c_str(), 1), 0);
+  LocalProcessTransport transport;
+  const DispatchResult result =
+      dispatch_sweep(session_sweep(), cli_worker_command(), transport, test_config(dir, 1, 4));
+  unsetenv("CICMON_WORKER_FLAKY");
+  unsetenv("CICMON_WORKER_FLAKY_MARKER");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.retried, 1U);
+  EXPECT_EQ(result.launched, 2U);  // the killed session + its replacement
+  EXPECT_EQ(result.cells, session_direct_cells());
+  EXPECT_TRUE(std::filesystem::exists(dir + "/markers/2of4"));
+}
+
+TEST(Sessions, IdleSessionIsNotKilledByItsCompletedAssignmentsDeadline) {
+  // Regression: completing an assignment must clear its deadline. A session
+  // idling after a fast shard (while a peer grinds the long-tail one) must
+  // not be torn down as "timed out" when the finished assignment's deadline
+  // passes.
+  const std::string dir = make_test_dir("sessions_idle");
+  const exp::SweepSpec spec = session_sweep();
+  const std::string artifact = dir + "/a.json";
+  write_file(dir + "/hello.bin", support::wire_frame(encode_hello(spec)));
+  write_file(dir + "/done.bin",
+             support::wire_frame(encode_done(exp::Shard{1, 2}, artifact, false)));
+  const std::string path = dir + "/idle.sh";
+  write_file(path, "cat \"" + dir + "/hello.bin\"\nread assign\ncat \"" + dir +
+                       "/done.bin\"\nexec sleep 30\n");
+  using Clock = WorkerSession::Clock;
+  WorkerSession session({"/bin/sh", path}, Clock::now() + std::chrono::seconds(10),
+                        /*grace_seconds=*/0.1);
+  auto pump_until = [&](WorkerSession::Event::Kind kind) {
+    const Clock::time_point give_up = Clock::now() + std::chrono::seconds(10);
+    while (Clock::now() < give_up) {
+      const WorkerSession::Event event = session.pump(spec, Clock::now());
+      if (event.kind == kind) return true;
+      if (event.kind == WorkerSession::Event::Kind::kFailed) {
+        ADD_FAILURE() << "session failed: " << event.reason;
+        return false;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return false;
+  };
+  ASSERT_TRUE(pump_until(WorkerSession::Event::Kind::kReady));
+  // A tight 100ms assignment deadline, acked almost instantly...
+  WorkItem item{exp::Shard{1, 2}, artifact, 1};
+  ASSERT_TRUE(session.assign(item, false, Clock::now() + std::chrono::milliseconds(100)));
+  ASSERT_TRUE(pump_until(WorkerSession::Event::Kind::kDone));
+  (void)session.take_item();
+  EXPECT_EQ(session.state(), WorkerSession::State::kIdle);
+  // ...then idle well past it: the session must stay alive and idle.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const WorkerSession::Event event = session.pump(spec, Clock::now());
+  EXPECT_EQ(event.kind, WorkerSession::Event::Kind::kNone) << event.reason;
+  EXPECT_EQ(session.state(), WorkerSession::State::kIdle);
+  session.shutdown(0.1);
+}
+
+TEST(Sessions, FailedAssignWriteLeavesTheItemWithTheCaller) {
+  // Regression: assign() must not consume the item when the pipe write
+  // fails — the caller re-enqueues it, artifact path and all.
+  const std::string dir = make_test_dir("sessions_deadpipe");
+  write_file(dir + "/hello.bin", support::wire_frame(encode_hello(session_sweep())));
+  const std::string path = dir + "/hello-then-die.sh";
+  write_file(path, "cat \"" + dir + "/hello.bin\"\nexit 0\n");
+  using Clock = WorkerSession::Clock;
+  WorkerSession session({"/bin/sh", path}, Clock::now() + std::chrono::seconds(10),
+                        /*grace_seconds=*/0.1);
+  const Clock::time_point give_up = Clock::now() + std::chrono::seconds(10);
+  while (session.state() != WorkerSession::State::kIdle && Clock::now() < give_up) {
+    session.pump(session_sweep(), Clock::now());
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(session.state(), WorkerSession::State::kIdle);
+  // The worker is gone by now; give the kernel a beat to notice the reader
+  // side is closed so the write fails with EPIPE.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const std::string artifact = dir + "/artifacts/table1-1of2-with-a-long-path.shard.json";
+  WorkItem item{exp::Shard{1, 2}, artifact, 1};
+  EXPECT_FALSE(session.assign(item, false, Clock::now() + std::chrono::seconds(10)));
+  EXPECT_EQ(session.state(), WorkerSession::State::kDead);
+  EXPECT_EQ(item.artifact_path, artifact);  // intact for the re-enqueue
+  EXPECT_EQ(item.shard.index, 1U);
+}
+
+// A saboteur session: speaks a valid hello (precomputed by the test), waits
+// for its first assignment, emits `sabotage` as the response, and exits.
+// Every later launch (the mkdir is atomic, so exactly one saboteur fires)
+// execs the real worker binary, which serves the retried shard properly.
+WorkerCommand saboteur_command(const std::string& dir, const std::string& sabotage) {
+  const exp::SweepSpec spec = session_sweep();
+  std::ofstream hello(dir + "/hello.bin", std::ios::binary);
+  hello << support::wire_frame(encode_hello(spec));
+  hello.close();
+  const std::string path = dir + "/session.sh";
+  write_file(path,
+             "if mkdir \"" + dir + "/sabotaged\" 2> /dev/null; then\n"
+             "  cat \"" + dir + "/hello.bin\"\n"
+             "  read assign_header\n" +  // sync: an assignment is in flight
+                 sabotage + "\n"
+             "  exit 0\n"
+             "fi\n"
+             "exec " + std::string(CICMON_CLI_PATH) + " worker table1 --scale " +
+                 exp::fmt_f64(kSessionScale) + " --jobs 1\n");
+  WorkerCommand base = cli_worker_command();
+  base.session_argv = {"/bin/sh", path};
+  return base;
+}
+
+// Shared body for the adversarial-wire-input tests: one worker slot, three
+// shards, the first session responds to its first assignment with `sabotage`
+// — the orchestrator must tear the session down, re-enqueue the shard, and
+// the respawned (honest) session must still produce the direct run's cells.
+void expect_sabotage_recovered(const char* tag, const std::string& sabotage_template) {
+  const std::string dir = make_test_dir(tag);
+  std::string sabotage = sabotage_template;
+  // Materials the saboteur can reference via %DIR%: done.bin is a valid,
+  // complete done-record frame; bad.bin is the same frame with one payload
+  // bit flipped (framing intact, checksum wrong).
+  const std::string done_frame =
+      support::wire_frame(encode_done(exp::Shard{1, 3}, "ignored.json", false));
+  std::ofstream done(dir + "/done.bin", std::ios::binary);
+  done << done_frame;
+  done.close();
+  std::string corrupt = done_frame;
+  corrupt[corrupt.size() - 4] ^= 0x01;  // payload bit flip: checksum mismatch
+  std::ofstream bad(dir + "/bad.bin", std::ios::binary);
+  bad << corrupt;
+  bad.close();
+  for (std::string::size_type pos; (pos = sabotage.find("%DIR%")) != std::string::npos;) {
+    sabotage.replace(pos, 5, dir);
+  }
+
+  LocalProcessTransport transport;
+  const DispatchResult result = dispatch_sweep(session_sweep(), saboteur_command(dir, sabotage),
+                                               transport, test_config(dir, 1, 3));
+  ASSERT_TRUE(result.ok) << tag << ": " << (result.failures.empty()
+                                                ? "?"
+                                                : result.failures.front().reason);
+  EXPECT_GE(result.retried, 1U) << tag;
+  EXPECT_EQ(result.cells, session_direct_cells()) << tag;
+  EXPECT_TRUE(std::filesystem::exists(dir + "/sabotaged")) << tag;
+}
+
+TEST(Sessions, TruncatedFrameTearsDownSessionAndShardIsRetried) {
+  // Half a done record, then EOF — the mid-record truncation signature.
+  expect_sabotage_recovered("wire_truncated", "head -c 20 \"%DIR%/done.bin\"");
+}
+
+TEST(Sessions, ChecksumMismatchTearsDownSessionAndShardIsRetried) {
+  expect_sabotage_recovered("wire_checksum", "cat \"%DIR%/bad.bin\"");
+}
+
+TEST(Sessions, GarbageLineTearsDownSessionAndShardIsRetried) {
+  expect_sabotage_recovered("wire_garbage", "echo 'stray printf all over the protocol stream'");
+}
+
+TEST(Sessions, OversizedRecordTearsDownSessionAndShardIsRetried) {
+  // A header promising a 99 MB record: rejected on sight, not buffered.
+  expect_sabotage_recovered("wire_oversized",
+                            "printf 'cicmon-wire-1 99999999 0123456789abcdef\\n'");
+}
+
+TEST(Sessions, WorkerSigkilledMidRecordIsRetried) {
+  expect_sabotage_recovered("wire_sigkill",
+                            "head -c 20 \"%DIR%/done.bin\"\nkill -9 $$");
+}
+
+TEST(Sessions, ProtocolVersionSkewIsASetupErrorNotARetryLoop) {
+  const std::string dir = make_test_dir("sessions_protocol");
+  const exp::SweepSpec spec = session_sweep();
+  // A "worker" from the future: hello with protocol 99, every launch.
+  std::string hello = encode_hello(spec);
+  const std::string::size_type pos = hello.find("\"protocol\": 1");
+  ASSERT_NE(pos, std::string::npos);
+  hello.replace(pos, 13, "\"protocol\": 99");
+  std::ofstream out(dir + "/hello.bin", std::ios::binary);
+  out << support::wire_frame(hello);
+  out.close();
+  const std::string path = dir + "/future.sh";
+  write_file(path, "cat \"" + dir + "/hello.bin\"\nread ignored\nexit 0\n");
+  WorkerCommand base = cli_worker_command();
+  base.session_argv = {"/bin/sh", path};
+  LocalProcessTransport transport;
+  // retries+1 consecutive handshake failures = the worker command is broken.
+  EXPECT_THROW(dispatch_sweep(spec, base, transport, test_config(dir, 1, 3)),
+               support::CicError);
+}
+
+TEST(Sessions, SpecSkewedWorkerFailsTheHandshake) {
+  const std::string dir = make_test_dir("sessions_skew");
+  // A real worker, wrong flags: derives table1 at another scale, so its
+  // hello reports different params — caught before any shard is wasted.
+  WorkerCommand base = cli_worker_command();
+  base.session_argv = {CICMON_CLI_PATH, "worker", "table1", "--scale", "0.5"};
+  LocalProcessTransport transport;
+  EXPECT_THROW(dispatch_sweep(session_sweep(), base, transport, test_config(dir, 1, 3)),
+               support::CicError);
+}
+
+TEST(Sessions, ExecPerShardRemainsTheFallbackWhenNoSessionCommandIsGiven) {
+  const std::string dir = make_test_dir("sessions_fallback");
+  WorkerCommand base = cli_worker_command();
+  base.session_argv.clear();  // what a template transport / --exec-per-shard does
+  LocalProcessTransport transport;
+  const DispatchResult result =
+      dispatch_sweep(session_sweep(), base, transport, test_config(dir, 2, 3));
+  ASSERT_TRUE(result.ok);
+  EXPECT_FALSE(result.persistent);
+  EXPECT_EQ(result.launched, 3U);  // one exec per shard
+  EXPECT_EQ(result.cells, session_direct_cells());
+}
+
+TEST(Dispatch, PlanResolvesCountsAndSessionMode) {
+  const exp::SweepSpec spec = synthetic_sweep(10);
+  DispatchConfig config;
+  config.workers = 3;
+  WorkerCommand base{{"sh"}, {"sh", "worker"}};
+  DispatchPlan plan = plan_dispatch(spec, base, config);
+  EXPECT_EQ(plan.workers, 3U);
+  EXPECT_EQ(plan.shards, 10U);  // 4x workers capped at the cell count
+  EXPECT_TRUE(plan.persistent);
+  config.persistent = false;
+  EXPECT_FALSE(plan_dispatch(spec, base, config).persistent);
+  config.persistent = true;
+  base.session_argv.clear();
+  EXPECT_FALSE(plan_dispatch(spec, base, config).persistent);
+  // exec_worker_argv is the exact sharded-run invocation.
+  const WorkItem item{exp::Shard{2, 5}, "runs/synthetic-2of5.shard.json", 0};
+  EXPECT_EQ(exec_worker_argv(base, 2, item, true),
+            (std::vector<std::string>{"sh", "--jobs", "2", "--shard", "2/5", "--out",
+                                      "runs/synthetic-2of5.shard.json", "--force"}));
+  EXPECT_EQ(session_worker_argv(WorkerCommand{{"sh"}, {"sh", "worker"}}, 3),
+            (std::vector<std::string>{"sh", "worker", "--jobs", "3"}));
+}
+
 TEST(Dispatch, ShardArtifactPathNamesSweepAndCoordinates) {
   EXPECT_EQ(shard_artifact_path("runs", "campaign", exp::Shard{3, 7}),
             "runs/campaign-3of7.shard.json");
@@ -319,7 +686,7 @@ TEST(Dispatch, RejectsEmptySweepsAndCommands) {
   const exp::SweepSpec empty;
   LocalProcessTransport transport;
   const DispatchConfig config;
-  EXPECT_THROW(dispatch_sweep(empty, WorkerCommand{{"sh"}}, transport, config),
+  EXPECT_THROW(dispatch_sweep(empty, WorkerCommand{{"sh"}, {}}, transport, config),
                support::CicError);
   EXPECT_THROW(dispatch_sweep(synthetic_sweep(3), WorkerCommand{}, transport, config),
                support::CicError);

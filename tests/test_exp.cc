@@ -175,6 +175,90 @@ TEST(Merge, RejectsDuplicateMissingAndForeignShards) {
   EXPECT_THROW(merge_artifacts(mixed), support::CicError);
 }
 
+TEST(MergeState, IncrementalAddInAnyOrderFinalizesIdenticalToBatchMerge) {
+  const SweepSpec spec = synthetic_sweep(13);
+  const std::vector<CellResult> direct = run_all(spec, 1);
+  constexpr unsigned kShards = 5;
+  std::vector<ShardArtifact> artifacts;
+  for (unsigned i = 1; i <= kShards; ++i) {
+    const Shard shard{i, kShards};
+    artifacts.push_back(
+        decode_shard_artifact(encode_shard_artifact(spec, shard, run_cells(spec, shard, 1))));
+  }
+  // Out-of-order streaming — the order shards land in a real dispatch.
+  MergeState merge;
+  EXPECT_FALSE(merge.complete());
+  for (const unsigned i : {3U, 1U, 5U, 4U, 2U}) {
+    merge.add(artifacts[i - 1]);
+  }
+  EXPECT_TRUE(merge.complete());
+  EXPECT_EQ(merge.shards_merged(), kShards);
+  EXPECT_EQ(merge.cells_merged(), spec.cells);
+  EXPECT_EQ(std::move(merge).finalize(), direct);
+  EXPECT_EQ(merge_artifacts(artifacts), direct);
+}
+
+TEST(MergeState, ProgressIsDeterministicAndOrderIndependent) {
+  const SweepSpec spec = synthetic_sweep(10);
+  auto artifact = [&](unsigned i) {
+    const Shard shard{i, 4};
+    return decode_shard_artifact(encode_shard_artifact(spec, shard, run_cells(spec, shard, 1)));
+  };
+  MergeState a;
+  a.add(artifact(2));
+  a.add(artifact(4));
+  MergeState b;
+  b.add(artifact(4));
+  b.add(artifact(2));
+  // Same artifact *set* -> identical progress line and table, whatever the
+  // arrival order was.
+  EXPECT_EQ(a.progress(), b.progress());
+  EXPECT_EQ(a.progress_table(), b.progress_table());
+  EXPECT_EQ(a.progress(), "2/4 shards, 5/10 cells (50.0%)");
+  EXPECT_NE(a.progress_table().find("2      3      merged"), std::string::npos)
+      << a.progress_table();
+  EXPECT_NE(a.progress_table().find("1      3      pending"), std::string::npos)
+      << a.progress_table();
+  EXPECT_FALSE(a.complete());
+}
+
+TEST(MergeState, RejectsDuplicatesAndStaysUsableAfterARejectedAdd) {
+  const SweepSpec spec = synthetic_sweep(8);
+  auto artifact = [&](unsigned i, unsigned n) {
+    const Shard shard{i, n};
+    return decode_shard_artifact(encode_shard_artifact(spec, shard, run_cells(spec, shard, 1)));
+  };
+  MergeState merge;
+  merge.add(artifact(1, 3));
+  EXPECT_THROW(merge.add(artifact(1, 3)), support::CicError);  // duplicate shard
+  EXPECT_THROW(merge.add(artifact(1, 2)), support::CicError);  // different shard count
+  const SweepSpec other = synthetic_sweep(9);
+  EXPECT_THROW(merge.add(decode_shard_artifact(encode_shard_artifact(
+                   other, Shard{1, 3}, run_cells(other, Shard{1, 3}, 1)))),
+               support::CicError);  // different grid/params
+  // Incomplete finalize names the gap.
+  MergeState incomplete;
+  incomplete.add(artifact(1, 3));
+  EXPECT_THROW(std::move(incomplete).finalize(), support::CicError);
+  // The rejected adds above must not have poisoned the good state.
+  merge.add(artifact(2, 3));
+  merge.add(artifact(3, 3));
+  EXPECT_TRUE(merge.complete());
+  EXPECT_EQ(std::move(merge).finalize(), run_all(spec, 1));
+
+  // A rejected FIRST artifact must not fix the sweep identity either.
+  MergeState fresh;
+  ShardArtifact bogus = artifact(1, 3);
+  bogus.cells[0].index = 99;  // out of range for the 8-cell grid
+  EXPECT_THROW(fresh.add(bogus), support::CicError);
+  fresh.add(artifact(1, 3));  // the intended sweep is still accepted
+  // Intra-artifact duplicates (impossible via decode, possible by hand)
+  // must not slip past the completeness accounting.
+  ShardArtifact duplicated = artifact(2, 3);
+  duplicated.cells.push_back(duplicated.cells.back());
+  EXPECT_THROW(fresh.add(duplicated), support::CicError);
+}
+
 TEST(Resume, SkipsCompletedShardAndRerunsCorruptOrMismatched) {
   std::atomic<unsigned> runs{0};
   const SweepSpec spec = synthetic_sweep(9, &runs);

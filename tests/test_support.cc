@@ -10,6 +10,7 @@
 #include "support/stats.h"
 #include "support/strings.h"
 #include "support/table.h"
+#include "support/wire.h"
 
 namespace cicmon::support {
 namespace {
@@ -268,6 +269,94 @@ TEST(Json, MalformedInputsThrow) {
 TEST(Json, DeepNestingThrowsInsteadOfOverflowingTheStack) {
   const std::string deep(100000, '[');
   EXPECT_THROW(parse_json(deep), CicError);
+}
+
+// --- wire framing (worker-session pipes) --------------------------------
+
+TEST(Wire, FramesRoundTripIncludingEmbeddedNewlines) {
+  FrameReader reader;
+  const std::string a = "{\n  \"k\": 1\n}\n";  // JsonWriter-style multi-line payload
+  const std::string b = "";                     // empty payloads are legal
+  reader.feed(wire_frame(a) + wire_frame(b));
+  std::string payload, error;
+  ASSERT_EQ(reader.next(&payload, &error), FrameReader::Status::kFrame) << error;
+  EXPECT_EQ(payload, a);
+  ASSERT_EQ(reader.next(&payload, &error), FrameReader::Status::kFrame) << error;
+  EXPECT_EQ(payload, b);
+  EXPECT_EQ(reader.next(&payload, &error), FrameReader::Status::kNeedMore);
+  EXPECT_FALSE(reader.has_partial());
+}
+
+TEST(Wire, ByteAtATimeFeedingCompletesExactlyAtTheFrameBoundary) {
+  const std::string frame = wire_frame("hello worker");
+  FrameReader reader;
+  std::string payload, error;
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    reader.feed(std::string_view(&frame[i], 1));
+    EXPECT_EQ(reader.next(&payload, &error), FrameReader::Status::kNeedMore) << i;
+    EXPECT_TRUE(reader.has_partial());
+  }
+  reader.feed(std::string_view(&frame.back(), 1));
+  ASSERT_EQ(reader.next(&payload, &error), FrameReader::Status::kFrame) << error;
+  EXPECT_EQ(payload, "hello worker");
+}
+
+TEST(Wire, CorruptedPayloadFailsTheChecksum) {
+  std::string frame = wire_frame("important bytes");
+  frame[frame.size() - 3] ^= 0x01;  // flip a payload bit, keep framing intact
+  FrameReader reader;
+  reader.feed(frame);
+  std::string payload, error;
+  EXPECT_EQ(reader.next(&payload, &error), FrameReader::Status::kBad);
+  EXPECT_NE(error.find("checksum mismatch"), std::string::npos) << error;
+}
+
+TEST(Wire, GarbageOversizedAndTruncationAreAllFatal) {
+  {
+    FrameReader reader;  // garbage line where a header should be
+    reader.feed("this is not a frame\n");
+    std::string payload, error;
+    EXPECT_EQ(reader.next(&payload, &error), FrameReader::Status::kBad);
+    EXPECT_NE(error.find("not a cicmon-wire-1 frame"), std::string::npos) << error;
+  }
+  {
+    FrameReader reader;  // a length field promising an absurd record
+    reader.feed("cicmon-wire-1 99999999 0000000000000000\n");
+    std::string payload, error;
+    EXPECT_EQ(reader.next(&payload, &error), FrameReader::Status::kBad);
+    EXPECT_NE(error.find("oversized"), std::string::npos) << error;
+  }
+  {
+    FrameReader reader;  // binary noise with no newline must not buffer forever
+    reader.feed(std::string(200, '\x7F'));
+    std::string payload, error;
+    EXPECT_EQ(reader.next(&payload, &error), FrameReader::Status::kBad);
+  }
+  {
+    FrameReader reader;  // a frame cut off mid-payload: visible as a partial at EOF
+    const std::string frame = wire_frame("cut me off");
+    reader.feed(std::string_view(frame).substr(0, frame.size() / 2));
+    std::string payload, error;
+    EXPECT_EQ(reader.next(&payload, &error), FrameReader::Status::kNeedMore);
+    EXPECT_TRUE(reader.has_partial());  // the mid-record-death signature
+  }
+}
+
+TEST(Wire, ViolationsAreSticky) {
+  FrameReader reader;
+  reader.feed("garbage\n");
+  std::string payload, error;
+  EXPECT_EQ(reader.next(&payload, &error), FrameReader::Status::kBad);
+  // A valid frame after the violation must NOT resurrect the stream: after
+  // desync there is no trustworthy record boundary.
+  reader.feed(wire_frame("too late"));
+  EXPECT_EQ(reader.next(&payload, &error), FrameReader::Status::kBad);
+}
+
+TEST(Wire, ChecksumDetectsTranspositionAndIsStable) {
+  EXPECT_NE(wire_checksum("ab"), wire_checksum("ba"));
+  EXPECT_EQ(wire_checksum("cicmon"), wire_checksum("cicmon"));
+  EXPECT_THROW(wire_frame(std::string(kMaxWirePayload + 1, 'x')), CicError);
 }
 
 }  // namespace
