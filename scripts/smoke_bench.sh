@@ -10,6 +10,22 @@ if [[ ! -d ${build_dir} ]]; then
   exit 1
 fi
 
+# Preflight: the unified CLI is the backbone of every gate below, and the
+# script leans on a handful of POSIX tools. A missing piece must fail the
+# run loudly up front — a silent skip would let CI report green without
+# having tested anything.
+if [[ ! -x ${build_dir}/cicmon ]]; then
+  echo "smoke_bench: required binary '${build_dir}/cicmon' is missing or not executable" >&2
+  echo "smoke_bench: build it first: cmake --build ${build_dir} -j --target cicmon_cli" >&2
+  exit 1
+fi
+for tool in diff cmp grep mktemp date; do
+  if ! command -v "${tool}" > /dev/null 2>&1; then
+    echo "smoke_bench: required tool '${tool}' not found on PATH" >&2
+    exit 1
+  fi
+done
+
 scale=0.05
 failures=0
 
@@ -44,6 +60,26 @@ run cicmon blocks --scale "${scale}"
 run cicmon bench --scale "${scale}" --json "${build_dir}/bench_smoke.json"
 run cicmon campaign --workload bitcount --scale 0.02 --trials 50
 run cicmon workloads
+
+# Engine A/B at smoke scale: the threaded engine (fused handlers behind the
+# tamper-safe translation cache) must reproduce the switch interpreter's
+# stdout byte for byte. The full engine x cache x dispatch grid runs in the
+# engine-determinism CI job; this catches a broken engine flag or an
+# obviously diverging handler in every smoke pass.
+echo "--- cicmon engine A/B (switch vs threaded)"
+engine_dir=$(mktemp -d)
+for sub in "table1 --scale ${scale}" \
+           "campaign --workload bitcount --scale 0.02 --trials 50"; do
+  if ! ${build_dir}/cicmon ${sub} --engine switch 2> /dev/null \
+         > "${engine_dir}/switch.txt" ||
+     ! ${build_dir}/cicmon ${sub} --engine threaded 2> /dev/null \
+         > "${engine_dir}/threaded.txt" ||
+     ! diff "${engine_dir}/switch.txt" "${engine_dir}/threaded.txt"; then
+    echo "--- cicmon ${sub%% *}: engines diverge or failed" >&2
+    failures=$((failures + 1))
+  fi
+done
+rm -rf "${engine_dir}"
 
 # The machine-readable bench output must exist and carry its schema tag.
 if [[ -x ${build_dir}/cicmon ]]; then

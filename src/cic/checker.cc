@@ -8,10 +8,4 @@ CodeIntegrityChecker::CodeIntegrityChecker(const CicConfig& config)
       kind_(hashfu_->kind()),
       iht_(config.iht_entries, config.replace_policy, config.rng_seed) {}
 
-uop::IhtLookupResult CodeIntegrityChecker::lookup(std::uint32_t start, std::uint32_t end,
-                                                  std::uint32_t hash) {
-  last_lookup_ = LookupKey{start, end, hash};
-  return iht_.lookup(start, end, hash);
-}
-
 }  // namespace cicmon::cic

@@ -60,7 +60,10 @@ class CodeIntegrityChecker {
       default: return hashfu_->step(old_hash, instr_word);
     }
   }
-  uop::IhtLookupResult lookup(std::uint32_t start, std::uint32_t end, std::uint32_t hash);
+  uop::IhtLookupResult lookup(std::uint32_t start, std::uint32_t end, std::uint32_t hash) {
+    last_lookup_ = LookupKey{start, end, hash};
+    return iht_.lookup(start, end, hash);
+  }
 
   // --- OS-side access ---
   Iht& iht() { return iht_; }

@@ -21,23 +21,6 @@ Iht::Iht(unsigned num_entries, ReplacePolicy policy, std::uint64_t rng_seed)
   support::check(num_entries >= 1, "IHT must have at least one entry");
 }
 
-uop::IhtLookupResult Iht::lookup(std::uint32_t start, std::uint32_t end, std::uint32_t hash) {
-  ++stats_.lookups;
-  ++use_clock_;
-  for (IhtEntry& entry : entries_) {
-    if (!entry.valid || entry.start != start || entry.end != end) continue;
-    entry.last_use = use_clock_;
-    if (entry.hash == hash) {
-      ++stats_.hits;
-      return {true, true};
-    }
-    ++stats_.mismatches;
-    return {true, false};
-  }
-  ++stats_.misses;
-  return {false, false};
-}
-
 void Iht::fill(std::uint32_t start, std::uint32_t end, std::uint32_t hash) {
   ++fill_clock_;
   // Overwrite an existing record for the same range, if any.

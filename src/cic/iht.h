@@ -58,8 +58,24 @@ class Iht {
   Iht(unsigned num_entries, ReplacePolicy policy, std::uint64_t rng_seed = 1);
 
   // The hardware lookup of Figure 4. Updates statistics and, on an address
-  // match, the entry's LRU stamp.
-  uop::IhtLookupResult lookup(std::uint32_t start, std::uint32_t end, std::uint32_t hash);
+  // match, the entry's LRU stamp. Inline: the monitored pipeline probes the
+  // CAM once per executed basic block.
+  uop::IhtLookupResult lookup(std::uint32_t start, std::uint32_t end, std::uint32_t hash) {
+    ++stats_.lookups;
+    ++use_clock_;
+    for (IhtEntry& entry : entries_) {
+      if (!entry.valid || entry.start != start || entry.end != end) continue;
+      entry.last_use = use_clock_;
+      if (entry.hash == hash) {
+        ++stats_.hits;
+        return {true, true};
+      }
+      ++stats_.mismatches;
+      return {true, false};
+    }
+    ++stats_.misses;
+    return {false, false};
+  }
 
   // Fills an entry with an expected-hash record. If a (start, end) entry
   // already exists it is overwritten in place; otherwise an invalid slot is

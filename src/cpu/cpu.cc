@@ -3,8 +3,25 @@
 #include "support/bitops.h"
 #include "support/error.h"
 
+// Computed-goto threaded dispatch needs the GNU labels-as-values extension;
+// CICMON_NO_COMPUTED_GOTO force-selects the devirtualized handler-table
+// fallback so CI can keep that path compiled and byte-identical.
+#if defined(__GNUC__) && !defined(CICMON_NO_COMPUTED_GOTO)
+#define CICMON_THREADED_COMPUTED_GOTO 1
+#else
+#define CICMON_THREADED_COMPUTED_GOTO 0
+#endif
+
 namespace cicmon::cpu {
 namespace {
+
+Engine g_default_engine =
+#ifdef NDEBUG
+    Engine::kThreaded;
+#else
+    Engine::kSwitch;
+#endif
+bool g_default_translate_cache = true;
 
 constexpr unsigned kV0 = 2;
 constexpr unsigned kA0 = 4;
@@ -12,35 +29,7 @@ constexpr unsigned kA1 = 5;
 
 std::size_t sp(uop::SpecialReg r) { return static_cast<std::size_t>(r); }
 
-// True if `instr` consumes GPR `reg` in its ID or EX stage — the window in
-// which a just-loaded value is not yet available without a bubble. Store
-// data (rt of sb/sh/sw) is consumed in MEM and forwards without stalling.
-bool consumes_early(const isa::Instruction& instr, unsigned reg) {
-  if (reg == 0 || !instr.valid()) return false;
-  switch (instr.info().operands) {
-    case isa::OperandPattern::kRdRsRt:
-    case isa::OperandPattern::kRsRt:
-    case isa::OperandPattern::kRsRtLabel:
-      return instr.rs == reg || instr.rt == reg;
-    case isa::OperandPattern::kRdRtShamt:
-      return instr.rt == reg;
-    case isa::OperandPattern::kRdRtRs:
-      return instr.rt == reg || instr.rs == reg;
-    case isa::OperandPattern::kRs:
-    case isa::OperandPattern::kRdRs:
-    case isa::OperandPattern::kRtRsImm:
-    case isa::OperandPattern::kRsLabel:
-      return instr.rs == reg;
-    case isa::OperandPattern::kRtOffBase:
-      return instr.rs == reg;  // address base; stored rt forwards at MEM
-    case isa::OperandPattern::kRd:
-    case isa::OperandPattern::kRtImm:
-    case isa::OperandPattern::kLabel:
-    case isa::OperandPattern::kNone:
-      return false;
-  }
-  return false;
-}
+using isa::consumes_early;
 
 // Structural check that the shared IF program is exactly the canonical
 // Figure 1 shape (plus the Figure 3(b) monitoring tail when monitored).
@@ -80,6 +69,18 @@ bool is_canonical_fetch(const std::vector<uop::Uop>& fetch, bool monitored) {
 
 }  // namespace
 
+Engine default_engine() { return g_default_engine; }
+
+void set_default_engine(Engine engine) { g_default_engine = engine; }
+
+bool default_translate_cache() { return g_default_translate_cache; }
+
+void set_default_translate_cache(bool enabled) { g_default_translate_cache = enabled; }
+
+std::string_view engine_name(Engine engine) {
+  return engine == Engine::kThreaded ? "threaded" : "switch";
+}
+
 std::string_view exit_reason_name(ExitReason reason) {
   switch (reason) {
     case ExitReason::kExit: return "exit";
@@ -115,6 +116,12 @@ Cpu::Cpu(const CpuConfig& config, const casm_::Image& image)
     predecode_.resize((text_end_ - text_base_) / 4);
   }
   fast_fetch_ = is_canonical_fetch(spec_.fetch, spec_.monitoring_embedded);
+  if (config_.engine == Engine::kThreaded && fast_fetch_) {
+    fused_ = uop::build_fused_table(spec_);
+    tcache_ = std::make_unique<uop::TranslationCache>(text_base_, text_end_,
+                                                      config_.translate_cache);
+    threaded_ = true;
+  }
 }
 
 Cpu::~Cpu() = default;
@@ -376,6 +383,33 @@ void Cpu::account_hazards(const isa::Instruction& instr) {
   }
 }
 
+void Cpu::account_hazards_entry(const uop::TransEntry& e) {
+  // account_hazards against the metadata precomputed at translation time.
+  // Fused kinds always carry a valid instruction, so the valid() branch of
+  // the generic version is folded into the precompute (invalid words travel
+  // through the interpreter as kGeneric / kIllegal).
+  if (pc_redirected_ && config_.timing.frontend_stages > 1) {
+    const std::uint64_t bubble = config_.timing.frontend_stages - 1;
+    result_.cycles += bubble;
+    result_.branch_bubbles += bubble;
+  }
+  if (prev_load_dst_ != 0 &&
+      (prev_load_dst_ == e.early_a || prev_load_dst_ == e.early_b)) {
+    result_.cycles += config_.timing.load_use_stall;
+    result_.load_use_stalls += config_.timing.load_use_stall;
+  }
+  prev_load_dst_ = e.load_dst;
+  if (e.muldiv_lat != 0) {
+    hilo_ready_cycle_ = result_.cycles + (e.muldiv_lat == 2 ? config_.timing.div_latency
+                                                            : config_.timing.mult_latency);
+  }
+  if (e.is_mfhilo && result_.cycles < hilo_ready_cycle_) {
+    const std::uint64_t stall = hilo_ready_cycle_ - result_.cycles;
+    result_.cycles += stall;
+    result_.muldiv_stalls += stall;
+  }
+}
+
 std::optional<RunResult> Cpu::step() {
   if (!running_) return finish_result();
 
@@ -429,35 +463,40 @@ std::optional<RunResult> Cpu::step() {
     program = &spec_.program(ctx_.instr.mnemonic);
   }
 
+  if (exec_stages(program) == ExecStatus::kTerminated) return finish_result();
+  return std::nullopt;  // retired or rolled back; either way, still running
+}
+
+Cpu::ExecStatus Cpu::exec_stages(const uop::InstrUops* program) {
   // PPC tracks the instruction occupying ID (Figure 4 reads the block's end
   // address from it).
-  special_[sp(uop::SpecialReg::kPpc)] = addr;
+  special_[sp(uop::SpecialReg::kPpc)] = ctx_.instr_addr;
 
   pc_redirected_ = false;
 
   uop::execute_ops(program->stage(uop::Stage::kID), ctx_, *this);
   if (pending_exc_.has_value()) handle_pending_monitor_exception();
-  if (!running_) return finish_result();
+  if (!running_) return ExecStatus::kTerminated;
   if (rolled_back_) {
     // The faulting block was rewound; this instruction never happened.
     rolled_back_ = false;
-    return std::nullopt;
+    return ExecStatus::kRolledBack;
   }
 
   uop::execute_ops(program->stage(uop::Stage::kEX), ctx_, *this);
-  if (!running_) return finish_result();
+  if (!running_) return ExecStatus::kTerminated;
   if (const auto mem_ops = program->stage(uop::Stage::kMEM); !mem_ops.empty()) {
     uop::execute_ops(mem_ops, ctx_, *this);
   }
   if (const auto wb_ops = program->stage(uop::Stage::kWB); !wb_ops.empty()) {
     uop::execute_ops(wb_ops, ctx_, *this);
   }
-  if (!running_) return finish_result();
+  if (!running_) return ExecStatus::kTerminated;
 
   ++result_.instructions;
   ++result_.cycles;
   account_hazards(ctx_.instr);
-  return std::nullopt;
+  return ExecStatus::kRetired;
 }
 
 RunResult Cpu::finish_result() {
@@ -467,8 +506,280 @@ RunResult Cpu::finish_result() {
 }
 
 RunResult Cpu::run() {
+  if (threaded_) return run_threaded();
   while (running_) {
     if (auto done = step(); done.has_value()) return *done;
+  }
+  return finish_result();
+}
+
+// --- Threaded engine -------------------------------------------------------
+//
+// One fused handler replaces the per-uop interpretation of one instruction.
+// Every handler runs the same prologue as step() — watchdog, checkpoint,
+// the real fetch path (hash step, bus, I-cache), stall accounting, post-ID
+// fault — then compares the word the pipeline carries against the entry's
+// translation tag. A mismatch means the text changed since translation (bus
+// tamper, cache-resident flip, memory rewrite, post-ID latch fault): the
+// block is invalidated and the fetched word executes through the interpreter,
+// so every fault path is bit-identical with the switch engine.
+
+void Cpu::monitor_block_end() {
+  // The Figure 4 monitoring head of a flow-control instruction, verified
+  // structurally by the classifier against the embedding pass:
+  //   <found, match> = IHTbb.lookup(<STA, PPC, RHASH>)
+  //   exception0 = [found == 0]; exception1 = [found && !match]
+  //   STA.reset(); RHASH.reset()
+  const std::uint32_t start = special_[sp(uop::SpecialReg::kSta)];
+  const std::uint32_t end = special_[sp(uop::SpecialReg::kPpc)];
+  const std::uint32_t hash = special_[sp(uop::SpecialReg::kRhash)];
+  const uop::IhtLookupResult lr = iht_lookup(start, end, hash);
+  if (!lr.found) {
+    pending_exc_ = uop::kExcHashMiss;
+  } else if (!lr.match) {
+    pending_exc_ = uop::kExcHashMismatch;
+  }
+  special_[sp(uop::SpecialReg::kSta)] = 0;
+  special_[sp(uop::SpecialReg::kRhash)] = cic_->rhash_init();
+}
+
+Cpu::FusedFlow Cpu::tampered_entry(std::uint32_t word) {
+  // The fetched word diverged from the translation tag. Execute the word the
+  // pipeline actually carries through the interpreter (its program carries
+  // the monitoring extension, so flow control still checks the block), then
+  // return to the block loop, which retranslates from current text.
+  tcache_->invalidate(cur_block_start_);
+  ctx_.instr = isa::decode(word);
+  return exec_stages(&spec_.program(ctx_.instr.mnemonic)) == ExecStatus::kTerminated
+             ? FusedFlow::kDone
+             : FusedFlow::kRestart;
+}
+
+template <uop::FusedKind K>
+Cpu::FusedFlow Cpu::fused_step(const uop::TransEntry& e) {
+  using FK = uop::FusedKind;
+
+  // Prologue: step()'s exact per-instruction order. Mid-block entries skip
+  // the wild-PC check only — non-terminators never redirect, and translation
+  // never crosses the text end, so e.addr is always a valid text address.
+  if (result_.instructions >= config_.max_instructions) {
+    terminate(ExitReason::kWatchdog, 0);
+    return FusedFlow::kDone;
+  }
+  ctx_.instr_addr = e.addr;
+  if (config_.recovery.enabled && config_.monitoring &&
+      special_[sp(uop::SpecialReg::kSta)] == 0) {
+    checkpoint_block(e.addr);
+  }
+  // IF: the real fetch path (bus, I-cache, hash step), exactly as step()
+  // runs it. Fused kinds never read the IF temps, so the specialized path
+  // keeps the fetched values in locals and skips the ctx_.temps stores;
+  // kGeneric hands the entry to the interpreter, whose programs may read
+  // them, so it runs the full shared fetch stage. e.addr == CPC here: the
+  // block loop enters at CPC and every fall-through fetch set CPC = pc + 4.
+  std::uint32_t word;
+  [[maybe_unused]] std::uint32_t sta_before = 0, old_hash = 0, new_hash = 0;
+  if constexpr (K == FK::kGeneric) {
+    run_fetch_stage();
+    word = ctx_.temps[1];
+  } else {
+    word = fetch_.fetch(e.addr);
+    special_[sp(uop::SpecialReg::kIReg)] = word;
+    special_[sp(uop::SpecialReg::kCpc)] = e.addr + 4;
+    if (spec_.monitoring_embedded) {
+      sta_before = special_[sp(uop::SpecialReg::kSta)];
+      if (sta_before == 0) special_[sp(uop::SpecialReg::kSta)] = e.addr;
+      old_hash = special_[sp(uop::SpecialReg::kRhash)];
+      new_hash = cic_->hash_step(old_hash, word);
+      special_[sp(uop::SpecialReg::kRhash)] = new_hash;
+    }
+  }
+  const std::uint64_t icache_stall = fetch_.take_stall_cycles();
+  result_.cycles += icache_stall;
+  result_.icache_stall_cycles += icache_stall;
+
+  [[maybe_unused]] const std::uint32_t clean_word = word;
+  if (post_id_fault_.has_value() && result_.instructions == post_id_fault_->index) {
+    word ^= post_id_fault_->xor_mask;
+  }
+  if (word != e.word) [[unlikely]] {
+    if constexpr (K != FK::kGeneric) {
+      // Rebuild the IF temps run_fetch_stage would have written — the
+      // interpreter program the fallback runs may read them.
+      auto& t = ctx_.temps;
+      t[0] = e.addr;
+      t[1] = clean_word;
+      t[2] = 4;
+      t[3] = e.addr + 4;
+      if (spec_.monitoring_embedded) {
+        t[uop::MonitorTemps::kStartIf] = sta_before;
+        t[uop::MonitorTemps::kOldHash] = old_hash;
+        t[uop::MonitorTemps::kNewHash] = new_hash;
+      }
+    }
+    return tampered_entry(word);
+  }
+
+  special_[sp(uop::SpecialReg::kPpc)] = e.addr;
+  pc_redirected_ = false;
+
+  if constexpr (K == FK::kAluRR) {
+    write_gpr(e.dst, uop::alu_eval(e.alu, gpr_[e.a], gpr_[e.b]));
+  } else if constexpr (K == FK::kAluRI) {
+    write_gpr(e.dst, uop::alu_eval(e.alu, gpr_[e.a], e.imm));
+  } else if constexpr (K == FK::kImmWrite) {
+    write_gpr(e.dst, e.imm);
+  } else if constexpr (K == FK::kLoad) {
+    write_gpr(e.dst, load(gpr_[e.a] + e.imm, e.width, e.sign_extend));
+  } else if constexpr (K == FK::kStore) {
+    store(gpr_[e.a] + e.imm, e.width, gpr_[e.b]);
+  } else if constexpr (K == FK::kMulDiv) {
+    const uop::HiLo r = uop::muldiv_eval(e.muldiv, gpr_[e.a], gpr_[e.b]);
+    special_[sp(uop::SpecialReg::kHi)] = r.hi;
+    special_[sp(uop::SpecialReg::kLo)] = r.lo;
+  } else if constexpr (K == FK::kHiLoRead) {
+    write_gpr(e.dst, special_[e.hilo]);
+  } else if constexpr (K == FK::kHiLoWrite) {
+    special_[e.hilo] = gpr_[e.a];
+  } else if constexpr (K == FK::kBranch2 || K == FK::kBranch1 || K == FK::kJump ||
+                       K == FK::kJumpReg) {
+    // Flow control: the monitoring head runs first (ID order), then the
+    // transfer, then the pending exception resolves before any link write —
+    // exactly the interpreter's stage order, so a terminated or rolled-back
+    // block never observes the link register update.
+    if (spec_.monitoring_embedded) monitor_block_end();
+    if constexpr (K == FK::kBranch2) {
+      if (uop::alu_eval(e.alu, gpr_[e.a], gpr_[e.b]) != 0) set_pc(e.imm);
+    } else if constexpr (K == FK::kBranch1) {
+      if (uop::alu_eval(e.alu, gpr_[e.a], 0) != 0) set_pc(e.imm);
+    } else if constexpr (K == FK::kJump) {
+      set_pc(e.imm);
+    } else {
+      set_pc(gpr_[e.a]);  // target read before the link write: jalr $r, $r
+    }
+    if (pending_exc_.has_value()) handle_pending_monitor_exception();
+    if (!running_) return FusedFlow::kDone;
+    if (rolled_back_) {
+      rolled_back_ = false;  // the block was rewound; this instruction never happened
+      return FusedFlow::kRestart;
+    }
+    if (e.link) write_gpr(e.dst, e.addr + 4);
+    ++result_.instructions;
+    ++result_.cycles;
+    account_hazards_entry(e);
+    return FusedFlow::kRestart;
+  } else if constexpr (K == FK::kSyscall) {
+    syscall();
+    if (!running_) return FusedFlow::kDone;
+    ++result_.instructions;
+    ++result_.cycles;
+    account_hazards_entry(e);
+    return FusedFlow::kRestart;
+  } else if constexpr (K == FK::kIllegal) {
+    illegal_instruction();  // rolls the block back or terminates
+    if (!running_) return FusedFlow::kDone;
+    rolled_back_ = false;  // rollback succeeded; the trap never retired
+    return FusedFlow::kRestart;
+  } else {
+    static_assert(K == FK::kGeneric);
+    // Unmatched program shape (or a force-terminated block tail): run the
+    // instruction through the interpreter, sharing exec_stages with step().
+    ctx_.instr = e.instr;
+    return exec_stages(e.program) == ExecStatus::kTerminated ? FusedFlow::kDone
+                                                             : FusedFlow::kRestart;
+  }
+
+  // Straight-line kinds retire here and fall through to the next entry.
+  ++result_.instructions;
+  ++result_.cycles;
+  account_hazards_entry(e);
+  return FusedFlow::kNext;
+}
+
+RunResult Cpu::run_threaded() {
+  while (running_) {
+    if (result_.instructions >= config_.max_instructions) {
+      terminate(ExitReason::kWatchdog, 0);
+      break;
+    }
+    const std::uint32_t addr = special_[sp(uop::SpecialReg::kCpc)];
+    if (addr < text_base_ || addr >= text_end_ || (addr & 3U) != 0) {
+      terminate(ExitReason::kWildPc, 0);
+      break;
+    }
+
+    const uop::TranslatedBlock* block = tcache_->lookup(addr);
+    if (block == nullptr) {
+      // Translation peeks words straight out of memory: no bus traffic, no
+      // I-cache fills, no hash folding. All architectural fetch effects
+      // happen per entry inside fused_step, through the real fetch path.
+      block = tcache_->translate(
+          addr, spec_, fused_, [this](std::uint32_t a) { return memory_.read32(a); });
+    }
+    cur_block_start_ = addr;
+    const uop::TransEntry* e = block->entries.data();
+
+#if CICMON_THREADED_COMPUTED_GOTO
+    {
+      // Threaded dispatch: each handler jumps straight to the next entry's
+      // handler. Blocks always end in a terminator entry (the translator
+      // force-converts capped tails to kGeneric), so ++e never runs off the
+      // end. The label table must match the FusedKind enumerator order.
+      static const void* const kLabels[uop::kNumFusedKinds] = {
+          &&l_alu_rr,  &&l_alu_ri,    &&l_imm_write,  &&l_load,    &&l_store,
+          &&l_muldiv,  &&l_hilo_read, &&l_hilo_write, &&l_branch2, &&l_branch1,
+          &&l_jump,    &&l_jump_reg,  &&l_syscall,    &&l_illegal, &&l_generic};
+      goto* kLabels[static_cast<unsigned>(e->kind)];
+#define CICMON_HANDLE(label, fk)                                    \
+  label:                                                            \
+  if (fused_step<uop::FusedKind::fk>(*e) == FusedFlow::kNext) {     \
+    ++e;                                                            \
+    goto* kLabels[static_cast<unsigned>(e->kind)];                  \
+  }                                                                 \
+  goto block_done
+      CICMON_HANDLE(l_alu_rr, kAluRR);
+      CICMON_HANDLE(l_alu_ri, kAluRI);
+      CICMON_HANDLE(l_imm_write, kImmWrite);
+      CICMON_HANDLE(l_load, kLoad);
+      CICMON_HANDLE(l_store, kStore);
+      CICMON_HANDLE(l_muldiv, kMulDiv);
+      CICMON_HANDLE(l_hilo_read, kHiLoRead);
+      CICMON_HANDLE(l_hilo_write, kHiLoWrite);
+      CICMON_HANDLE(l_branch2, kBranch2);
+      CICMON_HANDLE(l_branch1, kBranch1);
+      CICMON_HANDLE(l_jump, kJump);
+      CICMON_HANDLE(l_jump_reg, kJumpReg);
+      CICMON_HANDLE(l_syscall, kSyscall);
+      CICMON_HANDLE(l_illegal, kIllegal);
+      CICMON_HANDLE(l_generic, kGeneric);
+#undef CICMON_HANDLE
+    block_done:;
+    }
+#else
+    // Devirtualized fallback: a handler table over the same fused_step
+    // instantiations, so the two dispatch strategies cannot diverge.
+    using Handler = FusedFlow (Cpu::*)(const uop::TransEntry&);
+    static constexpr Handler kHandlers[uop::kNumFusedKinds] = {
+        &Cpu::fused_step<uop::FusedKind::kAluRR>,
+        &Cpu::fused_step<uop::FusedKind::kAluRI>,
+        &Cpu::fused_step<uop::FusedKind::kImmWrite>,
+        &Cpu::fused_step<uop::FusedKind::kLoad>,
+        &Cpu::fused_step<uop::FusedKind::kStore>,
+        &Cpu::fused_step<uop::FusedKind::kMulDiv>,
+        &Cpu::fused_step<uop::FusedKind::kHiLoRead>,
+        &Cpu::fused_step<uop::FusedKind::kHiLoWrite>,
+        &Cpu::fused_step<uop::FusedKind::kBranch2>,
+        &Cpu::fused_step<uop::FusedKind::kBranch1>,
+        &Cpu::fused_step<uop::FusedKind::kJump>,
+        &Cpu::fused_step<uop::FusedKind::kJumpReg>,
+        &Cpu::fused_step<uop::FusedKind::kSyscall>,
+        &Cpu::fused_step<uop::FusedKind::kIllegal>,
+        &Cpu::fused_step<uop::FusedKind::kGeneric>};
+    for (;;) {
+      if ((this->*kHandlers[static_cast<unsigned>(e->kind)])(*e) != FusedFlow::kNext) break;
+      ++e;
+    }
+#endif
   }
   return finish_result();
 }

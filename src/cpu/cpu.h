@@ -38,9 +38,39 @@
 #include "os/monitor_os.h"
 #include "uop/interp.h"
 #include "uop/monitor_pass.h"
+#include "uop/threaded.h"
+#include "uop/translate_cache.h"
 #include "uop/uop.h"
 
+// Once-per-dynamic-instruction helpers are forced inline into the engine
+// loops: GCC declines them at -O2 because they are called from every fused
+// handler instantiation, but the call overhead is the hot path.
+#if defined(__GNUC__)
+#define CICMON_HOT_INLINE __attribute__((always_inline)) inline
+#else
+#define CICMON_HOT_INLINE inline
+#endif
+
 namespace cicmon::cpu {
+
+// Execution engine. kSwitch is the PR 2 predecode interpreter (per-uop
+// dispatch through execute_ops); kThreaded translates hot blocks into fused
+// superinstruction handlers behind the tamper-safe translation cache. Both
+// engines produce byte-identical results — the engine is a pure execution
+// strategy, like the predecode cache or the job count.
+enum class Engine : std::uint8_t { kSwitch, kThreaded };
+
+// Process-wide defaults picked up by freshly constructed CpuConfig values.
+// The sweep builders construct their configs deep inside per-cell lambdas, so
+// the CLI applies `--engine` / `--translate-cache` here once, before the
+// sweep is built. The built-in default is kThreaded in Release (NDEBUG)
+// builds and kSwitch in Debug builds.
+Engine default_engine();
+void set_default_engine(Engine engine);
+bool default_translate_cache();
+void set_default_translate_cache(bool enabled);
+
+std::string_view engine_name(Engine engine);
 
 // Pipeline timing parameters (single-issue, in-order; the paper's baseline
 // is a 6-stage PISA pipeline — `frontend_stages` sets the fetch depth that
@@ -80,6 +110,12 @@ struct CpuConfig {
   // tag and falls back to a fresh isa::decode, so every simulated result is
   // byte-identical with the cache on or off. Off exists for A/B tests.
   bool predecode_cache = true;
+  // Execution engine and its block-level translation cache. The translation
+  // cache is tagged per entry by the fetched word (same tamper-safety
+  // contract as the predecode cache); disabling it retranslates every block
+  // and exists for the same A/B byte-identity tests.
+  Engine engine = default_engine();
+  bool translate_cache = default_translate_cache();
 };
 
 enum class ExitReason : std::uint8_t {
@@ -160,6 +196,9 @@ class Cpu final : private uop::Datapath {
   const cic::CodeIntegrityChecker* checker() const { return cic_ ? &*cic_ : nullptr; }
   const os::OsMonitor* os_monitor() const { return os_ ? &*os_ : nullptr; }
   bool running() const { return running_; }
+  // Null unless the threaded engine is active (its stats expose translation /
+  // hit / invalidation counts for the tamper tests).
+  const uop::TranslationCache* translation_cache() const { return tcache_.get(); }
 
  private:
   // The devirtualized interpreter drives the Datapath members below through
@@ -186,11 +225,30 @@ class Cpu final : private uop::Datapath {
   void illegal_instruction() override;
 
   void terminate(ExitReason reason, std::uint32_t code);
-  void run_fetch_stage();
-  void account_hazards(const isa::Instruction& instr);
+  CICMON_HOT_INLINE void run_fetch_stage();
+  CICMON_HOT_INLINE void account_hazards(const isa::Instruction& instr);
+  CICMON_HOT_INLINE void account_hazards_entry(const uop::TransEntry& entry);
   void handle_pending_monitor_exception();
   void checkpoint_block(std::uint32_t block_start);
   bool try_rollback();
+
+  // Shared post-fetch tail of one dynamic instruction (ID..WB stages, pending
+  // monitor exception, retirement) — the single definition both step() and
+  // the threaded engine's interpreter fallback execute through, so the two
+  // engines cannot drift. Requires ctx_.instr / ctx_.instr_addr to be set.
+  enum class ExecStatus : std::uint8_t { kRetired, kTerminated, kRolledBack };
+  ExecStatus exec_stages(const uop::InstrUops* program);
+
+  // --- Threaded engine (fused superinstruction handlers) ---
+  // What the block driver does after one fused entry: fall through to the
+  // next entry, return to the block loop (block ended, PC redirected, block
+  // rolled back, or tag mismatch handled), or stop (program terminated).
+  enum class FusedFlow : std::uint8_t { kNext, kRestart, kDone };
+  template <uop::FusedKind K>
+  FusedFlow fused_step(const uop::TransEntry& entry);
+  FusedFlow tampered_entry(std::uint32_t word);
+  void monitor_block_end();
+  RunResult run_threaded();
 
   CpuConfig config_;
   uop::IsaUopSpec spec_;
@@ -220,6 +278,16 @@ class Cpu final : private uop::Datapath {
   // other shape falls back to the interpreter, so the uop spec stays the
   // source of truth for machine behaviour.
   bool fast_fetch_ = false;
+
+  // Threaded engine state: the per-mnemonic fused classification, the block
+  // translation cache, and the start address of the block being executed
+  // (the invalidation key on a tag mismatch). The engine only activates when
+  // the IF program is canonical (fast_fetch_): a reshaped fetch program must
+  // run through the interpreter.
+  uop::FusedTable fused_{};
+  std::unique_ptr<uop::TranslationCache> tcache_;
+  bool threaded_ = false;
+  std::uint32_t cur_block_start_ = 0;
 
   std::array<std::uint32_t, isa::kNumGpr> gpr_{};
   std::array<std::uint32_t, 7> special_{};  // indexed by SpecialReg

@@ -125,24 +125,30 @@ TrialResult CampaignRunner::run_trial(const FaultSpec& spec) const {
       break;  // injected mid-run below
   }
 
-  support::Rng icache_rng(spec.trigger_index * 0x9E3779B97F4A7C15ULL + spec.xor_mask);
-  bool icache_pending = spec.site == FaultSite::kICacheLine;
-
   std::optional<cpu::RunResult> result;
-  std::uint64_t executed = 0;
-  while (!result.has_value()) {
-    if (icache_pending && executed >= spec.trigger_index) {
+  if (spec.site == FaultSite::kICacheLine) {
+    // Mid-run injection needs instruction-granular stepping, so this site
+    // walks the interpreter until the trigger fires, then hands the rest of
+    // the run to the configured engine. Every other site's fault is armed
+    // before the run, so the whole trial executes through cpu.run() — the
+    // threaded-vs-switch A/B campaigns rely on trials actually exercising
+    // the engine under test.
+    support::Rng icache_rng(spec.trigger_index * 0x9E3779B97F4A7C15ULL + spec.xor_mask);
+    std::uint64_t executed = 0;
+    while (!result.has_value() && executed < spec.trigger_index) {
+      result = cpu.step();
+      ++executed;
+    }
+    if (!result.has_value()) {
       mem::ICache* icache = cpu.fetch_path().icache();
       if (icache != nullptr) {
         for (unsigned flip = 0; flip < support::popcount32(spec.xor_mask); ++flip) {
           icache->flip_random_resident_bit(icache_rng);
         }
       }
-      icache_pending = false;
     }
-    result = cpu.step();
-    ++executed;
   }
+  if (!result.has_value()) result = cpu.run();
 
   TrialResult out;
   out.spec = spec;

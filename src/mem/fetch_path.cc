@@ -40,24 +40,4 @@ FetchPath::FetchPath(Memory* memory, const ICacheConfig& icache_config)
   support::check(memory_ != nullptr, "FetchPath: null memory");
 }
 
-std::uint32_t FetchPath::bus_read(std::uint32_t address) {
-  std::uint32_t word = memory_->read32(address);
-  if (tamper_ != nullptr) word = tamper_->on_transfer(address, word);
-  return word;
-}
-
-std::uint32_t FetchPath::fetch(std::uint32_t address) {
-  if (!icache_enabled_) return bus_read(address);
-  const ICache::Access access =
-      icache_.access(address, [this](std::uint32_t a) { return bus_read(a); });
-  if (!access.hit) pending_stall_cycles_ += miss_penalty_;
-  return access.word;
-}
-
-std::uint64_t FetchPath::take_stall_cycles() {
-  const std::uint64_t cycles = pending_stall_cycles_;
-  pending_stall_cycles_ = 0;
-  return cycles;
-}
-
 }  // namespace cicmon::mem

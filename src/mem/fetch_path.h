@@ -100,16 +100,32 @@ class FetchPath {
   FetchPath(Memory* memory, const ICacheConfig& icache_config = {});
 
   // Fetches an instruction word, applying bus tamper and cache effects.
-  std::uint32_t fetch(std::uint32_t address);
+  // Inline: this runs once per dynamic instruction, and on the common path
+  // (no I-cache, no tamper hook) it folds into a bare Memory::read32.
+  std::uint32_t fetch(std::uint32_t address) {
+    if (!icache_enabled_) return bus_read(address);
+    const ICache::Access access =
+        icache_.access(address, [this](std::uint32_t a) { return bus_read(a); });
+    if (!access.hit) pending_stall_cycles_ += miss_penalty_;
+    return access.word;
+  }
 
   void set_bus_tamper(BusTamper* tamper) { tamper_ = tamper; }
   ICache* icache() { return icache_enabled_ ? &icache_ : nullptr; }
 
   // Extra cycles accrued by cache misses since the last call.
-  std::uint64_t take_stall_cycles();
+  std::uint64_t take_stall_cycles() {
+    const std::uint64_t cycles = pending_stall_cycles_;
+    pending_stall_cycles_ = 0;
+    return cycles;
+  }
 
  private:
-  std::uint32_t bus_read(std::uint32_t address);
+  std::uint32_t bus_read(std::uint32_t address) {
+    std::uint32_t word = memory_->fetch32(address);
+    if (tamper_ != nullptr) word = tamper_->on_transfer(address, word);
+    return word;
+  }
 
   Memory* memory_;
   BusTamper* tamper_ = nullptr;

@@ -2,9 +2,8 @@
 
 namespace cicmon::mem {
 
-const Memory::Page* Memory::find_page(std::uint32_t address) const {
+const Memory::Page* Memory::find_page_slow(std::uint32_t address) const {
   const std::uint32_t key = address >> kPageBits;
-  if (key == mru_key_) return mru_page_;
   auto it = pages_.find(key);
   if (it == pages_.end()) return nullptr;
   mru_key_ = key;
@@ -19,52 +18,6 @@ Memory::Page& Memory::ensure_page(std::uint32_t address) {
   mru_key_ = key;
   mru_page_ = &page;
   return page;
-}
-
-std::uint8_t Memory::read8(std::uint32_t address) const {
-  const Page* page = find_page(address);
-  return page ? (*page)[address & (kPageSize - 1)] : 0;
-}
-
-std::uint16_t Memory::read16(std::uint32_t address) const {
-  return static_cast<std::uint16_t>(read8(address) | (read8(address + 1) << 8));
-}
-
-std::uint32_t Memory::read32(std::uint32_t address) const {
-  // Fast path: whole word within one page.
-  const std::uint32_t offset = address & (kPageSize - 1);
-  if (offset + 4 <= kPageSize) {
-    const Page* page = find_page(address);
-    if (!page) return 0;
-    const std::uint8_t* p = page->data() + offset;
-    return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
-           (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
-  }
-  return static_cast<std::uint32_t>(read16(address)) |
-         (static_cast<std::uint32_t>(read16(address + 2)) << 16);
-}
-
-void Memory::write8(std::uint32_t address, std::uint8_t value) {
-  ensure_page(address)[address & (kPageSize - 1)] = value;
-}
-
-void Memory::write16(std::uint32_t address, std::uint16_t value) {
-  write8(address, static_cast<std::uint8_t>(value));
-  write8(address + 1, static_cast<std::uint8_t>(value >> 8));
-}
-
-void Memory::write32(std::uint32_t address, std::uint32_t value) {
-  const std::uint32_t offset = address & (kPageSize - 1);
-  if (offset + 4 <= kPageSize) {
-    std::uint8_t* p = ensure_page(address).data() + offset;
-    p[0] = static_cast<std::uint8_t>(value);
-    p[1] = static_cast<std::uint8_t>(value >> 8);
-    p[2] = static_cast<std::uint8_t>(value >> 16);
-    p[3] = static_cast<std::uint8_t>(value >> 24);
-    return;
-  }
-  write16(address, static_cast<std::uint16_t>(value));
-  write16(address + 2, static_cast<std::uint16_t>(value >> 16));
 }
 
 void Memory::load_image(const casm_::Image& image) {

@@ -19,12 +19,72 @@ class Memory {
  public:
   Memory() = default;
 
-  std::uint8_t read8(std::uint32_t address) const;
-  std::uint16_t read16(std::uint32_t address) const;
-  std::uint32_t read32(std::uint32_t address) const;
-  void write8(std::uint32_t address, std::uint8_t value);
-  void write16(std::uint32_t address, std::uint16_t value);
-  void write32(std::uint32_t address, std::uint32_t value);
+  // The accessors live in the header: instruction fetch performs a read32 per
+  // dynamic instruction, and keeping the whole page-cache fast path visible
+  // to the caller is worth a few lines of header.
+  std::uint8_t read8(std::uint32_t address) const {
+    const Page* page = find_page(address);
+    return page ? (*page)[address & (kPageSize - 1)] : 0;
+  }
+
+  std::uint16_t read16(std::uint32_t address) const {
+    return static_cast<std::uint16_t>(read8(address) | (read8(address + 1) << 8));
+  }
+
+  std::uint32_t read32(std::uint32_t address) const {
+    // Fast path: whole word within one page.
+    const std::uint32_t offset = address & (kPageSize - 1);
+    if (offset + 4 <= kPageSize) {
+      const Page* page = find_page(address);
+      if (!page) return 0;
+      const std::uint8_t* p = page->data() + offset;
+      return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+             (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+    }
+    return static_cast<std::uint32_t>(read16(address)) |
+           (static_cast<std::uint32_t>(read16(address + 2)) << 16);
+  }
+
+  // read32 through a second MRU slot reserved for instruction fetch.
+  // Identical bytes to read32; it only exists so the once-per-instruction
+  // text-page access does not ping-pong the shared MRU slot against the
+  // data-page loads and stores in between. Word-aligned addresses only
+  // (instruction fetch guarantees it).
+  std::uint32_t fetch32(std::uint32_t address) const {
+    const std::uint32_t key = address >> kPageBits;
+    if (key != fetch_mru_key_) {
+      auto it = pages_.find(key);
+      if (it == pages_.end()) return 0;
+      fetch_mru_key_ = key;
+      fetch_mru_page_ = &it->second;
+    }
+    const std::uint8_t* p = fetch_mru_page_->data() + (address & (kPageSize - 1));
+    return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+  }
+
+  void write8(std::uint32_t address, std::uint8_t value) {
+    ensure_page(address)[address & (kPageSize - 1)] = value;
+  }
+
+  void write16(std::uint32_t address, std::uint16_t value) {
+    write8(address, static_cast<std::uint8_t>(value));
+    write8(address + 1, static_cast<std::uint8_t>(value >> 8));
+  }
+
+  void write32(std::uint32_t address, std::uint32_t value) {
+    const std::uint32_t offset = address & (kPageSize - 1);
+    if (offset + 4 <= kPageSize) {
+      std::uint8_t* p = ensure_page(address).data() + offset;
+      p[0] = static_cast<std::uint8_t>(value);
+      p[1] = static_cast<std::uint8_t>(value >> 8);
+      p[2] = static_cast<std::uint8_t>(value >> 16);
+      p[3] = static_cast<std::uint8_t>(value >> 24);
+      return;
+    }
+    write16(address, static_cast<std::uint16_t>(value));
+    write16(address + 2, static_cast<std::uint16_t>(value >> 16));
+  }
 
   // Copies text + data sections into memory (the loader's job).
   void load_image(const casm_::Image& image);
@@ -40,7 +100,13 @@ class Memory {
 
   using Page = std::vector<std::uint8_t>;
 
-  const Page* find_page(std::uint32_t address) const;
+  const Page* find_page(std::uint32_t address) const {
+    const std::uint32_t key = address >> kPageBits;
+    if (key == mru_key_) return mru_page_;
+    return find_page_slow(address);
+  }
+
+  const Page* find_page_slow(std::uint32_t address) const;
   Page& ensure_page(std::uint32_t address);
 
   std::unordered_map<std::uint32_t, Page> pages_;  // key: address >> kPageBits
@@ -54,6 +120,8 @@ class Memory {
   // Memory).
   mutable std::uint32_t mru_key_ = 0xFFFF'FFFFU;
   mutable const Page* mru_page_ = nullptr;
+  mutable std::uint32_t fetch_mru_key_ = 0xFFFF'FFFFU;
+  mutable const Page* fetch_mru_page_ = nullptr;
 };
 
 }  // namespace cicmon::mem

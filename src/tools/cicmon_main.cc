@@ -52,6 +52,7 @@
 #include <string>
 #include <vector>
 
+#include "cpu/cpu.h"
 #include "dist/orchestrator.h"
 #include "dist/session.h"
 #include "dist/transport.h"
@@ -96,6 +97,12 @@ struct Options {
   bool quiet = false;          // suppress dispatch progress/ETA on stderr
   bool dry_run = false;        // print the dispatch plan, launch nothing
   bool exec_per_shard = false; // force the exec-per-shard fallback path
+  // Engine selection, applied to the process-wide CpuConfig defaults at parse
+  // time (the sweep builders construct configs inside per-cell lambdas).
+  // Empty = build-type default; kept as text so dispatch can forward the
+  // explicit choice to its workers.
+  std::string engine_flag;
+  std::string translate_cache_flag;
 };
 
 [[noreturn]] void usage(int code) {
@@ -128,6 +135,15 @@ struct Options {
       "  --seed X         campaign seed (default 2026)\n"
       "  --monitor on|off campaign machine has the CIC (default on)\n"
       "  --json PATH      bench: also write results as JSON to PATH\n"
+      "  --engine E       execution engine: 'threaded' (fused superinstruction\n"
+      "                   handlers behind a tamper-safe translation cache) or\n"
+      "                   'switch' (the per-uop predecode interpreter); both\n"
+      "                   produce byte-identical results (default: threaded in\n"
+      "                   Release builds, switch in Debug builds)\n"
+      "  --translate-cache on|off\n"
+      "                   cache translated blocks (threaded engine only;\n"
+      "                   default on; off retranslates every block — exists\n"
+      "                   for A/B byte-identity checks)\n"
       "\n"
       "sharding (table1/fig6/blocks/bench/campaign):\n"
       "  --shard I/N      run only the cells owned by shard I of N and write\n"
@@ -229,11 +245,12 @@ std::string did_you_mean(std::string_view given, std::span<const std::string_vie
 constexpr std::array<std::string_view, 10> kCommands = {
     "table1", "fig6",  "blocks",    "bench", "campaign",
     "worker", "dispatch", "merge", "workloads", "help"};
-constexpr std::array<std::string_view, 24> kFlags = {
+constexpr std::array<std::string_view, 26> kFlags = {
     "--scale", "--jobs",    "--entries", "--capacities", "--workload", "--site",
     "--bits",  "--trials",  "--seed",    "--monitor",    "--json",     "--shard",
     "--out",   "--force",   "--workers", "--shards",     "--transport", "--retries",
-    "--timeout", "--dir",   "--quiet",   "--dry-run",    "--exec-per-shard", "--help"};
+    "--timeout", "--dir",   "--quiet",   "--dry-run",    "--exec-per-shard", "--help",
+    "--engine", "--translate-cache"};
 
 // `first` is the index of the first flag: 2 for `cicmon <cmd> ...`, 3 for
 // `cicmon dispatch <cmd> ...`.
@@ -312,6 +329,21 @@ Options parse_options(int argc, char** argv, bool allow_positional, int first = 
       options.dry_run = true;
     } else if (flag == "--exec-per-shard") {
       options.exec_per_shard = true;
+    } else if (flag == "--engine") {
+      const std::string_view v = value();
+      if (v == "switch") {
+        cpu::set_default_engine(cpu::Engine::kSwitch);
+      } else if (v == "threaded") {
+        cpu::set_default_engine(cpu::Engine::kThreaded);
+      } else {
+        usage(2);
+      }
+      options.engine_flag = v;
+    } else if (flag == "--translate-cache") {
+      const std::string_view v = value();
+      if (v != "on" && v != "off") usage(2);
+      cpu::set_default_translate_cache(v == "on");
+      options.translate_cache_flag = v;
     } else if (flag == "--help" || flag == "-h") {
       usage(0);
     } else if (allow_positional && (flag.empty() || flag.front() != '-')) {
@@ -448,6 +480,8 @@ int write_bench_json(const std::string& path, double scale, unsigned jobs,
   json.value(scale);
   json.key("jobs");
   json.value_u64(jobs);
+  json.key("engine");
+  json.value(std::string(cpu::engine_name(cpu::default_engine())));
   json.key("workloads");
   json.begin_array();
   for (std::size_t i = 0; i < cells.size(); ++i) {
@@ -733,6 +767,15 @@ std::vector<std::string> worker_sweep_flags(std::string_view command, const Opti
     return joined;
   };
   std::vector<std::string> flags{"--scale", exp::fmt_f64(options.scale)};
+  // Engine selection does not shape the sweep (results are byte-identical
+  // either way), but an explicit choice should reach the workers so the whole
+  // dispatch runs the engine the user asked for.
+  if (!options.engine_flag.empty()) {
+    flags.insert(flags.end(), {"--engine", options.engine_flag});
+  }
+  if (!options.translate_cache_flag.empty()) {
+    flags.insert(flags.end(), {"--translate-cache", options.translate_cache_flag});
+  }
   if (command == "fig6") flags.insert(flags.end(), {"--entries", join(options.entries)});
   if (command == "blocks") flags.insert(flags.end(), {"--capacities", join(options.capacities)});
   if (command == "campaign") {

@@ -1,0 +1,349 @@
+// Structural matchers binding fused handlers to canonical microoperation
+// programs. Each matcher checks the exact sequence uop_build.cc emits —
+// kinds, stages, temp numbers (instruction temps start at 8), operand
+// selectors, and guards — because the fused handler re-implements precisely
+// those effects. Matching against a freshly built spec would be vacuous;
+// these encode the semantics independently.
+#include "uop/threaded.h"
+
+#include "uop/monitor_pass.h"
+
+namespace cicmon::uop {
+namespace {
+
+constexpr std::uint8_t kT0 = 8;  // kInstrTempBase: first per-instruction temp
+constexpr std::uint8_t kT1 = 9;
+constexpr std::uint8_t kT2 = 10;
+constexpr std::uint8_t kT3 = 11;
+
+bool plain(const Uop& op, UopKind kind, Stage stage) {
+  return op.kind == kind && op.stage == stage && op.guard == GuardKind::kAlways;
+}
+
+bool read_gpr(const Uop& op, Stage stage, std::uint8_t dst) {
+  return plain(op, UopKind::kReadGpr, stage) && op.dst == dst;
+}
+
+bool imm(const Uop& op, Stage stage, ImmKind kind, std::uint8_t dst) {
+  return plain(op, UopKind::kImm, stage) && op.imm_kind == kind && op.dst == dst;
+}
+
+bool alu2(const Uop& op, Stage stage, std::uint8_t a, std::uint8_t b, std::uint8_t dst) {
+  return plain(op, UopKind::kAlu, stage) && op.src_a == a && op.src_b == b && op.dst == dst;
+}
+
+bool write_gpr(const Uop& op, Stage stage, GprSel sel, std::uint8_t src) {
+  return plain(op, UopKind::kWriteGpr, stage) && op.sel == sel && op.src_a == src;
+}
+
+bool read_special(const Uop& op, Stage stage, SpecialReg special, std::uint8_t dst) {
+  return plain(op, UopKind::kReadSpecial, stage) && op.special == special && op.dst == dst;
+}
+
+// The shapes below mirror the builders in uop_build.cc one-for-one. Every
+// matcher consumes the whole span (size checked first), so a program with
+// extra or missing microoperations can never bind a fused handler.
+
+bool match_alu_rr(std::span<const Uop> t, FusedOp* out) {
+  // ID: a = GPR.read(A); b = GPR.read(B); EX: r = alu(a, b); WB: GPR[rd] = r.
+  // Covers alu_rrr (A=rs, B=rt) and shift_var (A=rt, B=rs — operand order is
+  // part of the semantics: sllv shifts rt by rs).
+  if (t.size() != 4) return false;
+  if (!read_gpr(t[0], Stage::kID, kT0) || !read_gpr(t[1], Stage::kID, kT1)) return false;
+  if (!alu2(t[2], Stage::kEX, kT0, kT1, kT2)) return false;
+  if (!write_gpr(t[3], Stage::kWB, GprSel::kRd, kT2)) return false;
+  out->kind = FusedKind::kAluRR;
+  out->a_sel = t[0].sel;
+  out->b_sel = t[1].sel;
+  out->alu = t[2].alu;
+  out->dst_sel = GprSel::kRd;
+  return true;
+}
+
+bool match_alu_ri(std::span<const Uop> t, FusedOp* out) {
+  // ID: a = GPR.read(A); i = imm; EX: r = alu(a, i); WB: GPR[W] = r.
+  // Covers alu_imm (rt <- rs op imm) and shift_imm (rd <- rt op shamt).
+  if (t.size() != 4) return false;
+  if (!read_gpr(t[0], Stage::kID, kT0)) return false;
+  if (t[1].kind != UopKind::kImm || t[1].stage != Stage::kID || t[1].dst != kT1 ||
+      t[1].guard != GuardKind::kAlways)
+    return false;
+  if (t[1].imm_kind != ImmKind::kSignedImm && t[1].imm_kind != ImmKind::kZeroImm &&
+      t[1].imm_kind != ImmKind::kShamt)
+    return false;
+  if (!alu2(t[2], Stage::kEX, kT0, kT1, kT2)) return false;
+  if (t[3].kind != UopKind::kWriteGpr || t[3].stage != Stage::kWB || t[3].src_a != kT2 ||
+      t[3].guard != GuardKind::kAlways)
+    return false;
+  out->kind = FusedKind::kAluRI;
+  out->a_sel = t[0].sel;
+  out->imm_kind = t[1].imm_kind;
+  out->alu = t[2].alu;
+  out->dst_sel = t[3].sel;
+  return true;
+}
+
+bool match_lui(std::span<const Uop> t, FusedOp* out) {
+  // ID: i = zimm; s = 16; EX: r = sll(i, s); WB: GPR[W] = r. The fused form
+  // precomputes uimm << 16, so only the exact const-16 shift may bind.
+  if (t.size() != 4) return false;
+  if (!imm(t[0], Stage::kID, ImmKind::kZeroImm, kT0)) return false;
+  if (!imm(t[1], Stage::kID, ImmKind::kConst, kT1) || t[1].literal != 16) return false;
+  if (!alu2(t[2], Stage::kEX, kT0, kT1, kT2) || t[2].alu != AluOp::kSll) return false;
+  if (t[3].kind != UopKind::kWriteGpr || t[3].stage != Stage::kWB || t[3].src_a != kT2 ||
+      t[3].guard != GuardKind::kAlways)
+    return false;
+  out->kind = FusedKind::kImmWrite;
+  out->dst_sel = t[3].sel;
+  return true;
+}
+
+bool match_load(std::span<const Uop> t, FusedOp* out) {
+  // ID: base, off; EX: addr = base + off; MEM: v = load(addr); WB: GPR[W] = v.
+  if (t.size() != 5) return false;
+  if (!read_gpr(t[0], Stage::kID, kT0)) return false;
+  if (!imm(t[1], Stage::kID, ImmKind::kSignedImm, kT1)) return false;
+  if (!alu2(t[2], Stage::kEX, kT0, kT1, kT2) || t[2].alu != AluOp::kAdd) return false;
+  if (!plain(t[3], UopKind::kLoad, Stage::kMEM) || t[3].src_a != kT2 || t[3].dst != kT3)
+    return false;
+  if (t[4].kind != UopKind::kWriteGpr || t[4].stage != Stage::kWB || t[4].src_a != kT3 ||
+      t[4].guard != GuardKind::kAlways)
+    return false;
+  out->kind = FusedKind::kLoad;
+  out->a_sel = t[0].sel;
+  out->width = t[3].width;
+  out->sign_extend = t[3].sign_extend;
+  out->dst_sel = t[4].sel;
+  return true;
+}
+
+bool match_store(std::span<const Uop> t, FusedOp* out) {
+  // ID: base, off, value; EX: addr = base + off; MEM: store(addr, value).
+  if (t.size() != 5) return false;
+  if (!read_gpr(t[0], Stage::kID, kT0)) return false;
+  if (!imm(t[1], Stage::kID, ImmKind::kSignedImm, kT1)) return false;
+  if (!read_gpr(t[2], Stage::kID, kT2)) return false;
+  if (!alu2(t[3], Stage::kEX, kT0, kT1, kT3) || t[3].alu != AluOp::kAdd) return false;
+  if (!plain(t[4], UopKind::kStore, Stage::kMEM) || t[4].src_a != kT3 || t[4].src_b != kT2)
+    return false;
+  out->kind = FusedKind::kStore;
+  out->a_sel = t[0].sel;  // address base
+  out->b_sel = t[2].sel;  // store data
+  out->width = t[4].width;
+  return true;
+}
+
+bool match_branch2(std::span<const Uop> t, FusedOp* out) {
+  // ID: a, b; cond = cmp(a, b); tgt = branch_target; [cond!=0] CPC = tgt.
+  if (t.size() != 5) return false;
+  if (!read_gpr(t[0], Stage::kID, kT0) || !read_gpr(t[1], Stage::kID, kT1)) return false;
+  if (!alu2(t[2], Stage::kID, kT0, kT1, kT2)) return false;
+  if (!imm(t[3], Stage::kID, ImmKind::kBranchTarget, kT3)) return false;
+  if (t[4].kind != UopKind::kSetPc || t[4].stage != Stage::kID || t[4].src_a != kT3 ||
+      t[4].guard != GuardKind::kIfNonZero || t[4].guard_tmp != kT2)
+    return false;
+  out->kind = FusedKind::kBranch2;
+  out->a_sel = t[0].sel;
+  out->b_sel = t[1].sel;
+  out->alu = t[2].alu;
+  return true;
+}
+
+bool match_branch1(std::span<const Uop> t, FusedOp* out) {
+  // ID: a; cond = cmp(a); tgt = branch_target; [cond!=0] CPC = tgt.
+  if (t.size() != 4) return false;
+  if (!read_gpr(t[0], Stage::kID, kT0)) return false;
+  if (!alu2(t[1], Stage::kID, kT0, kNoTemp, kT1)) return false;
+  if (!imm(t[2], Stage::kID, ImmKind::kBranchTarget, kT2)) return false;
+  if (t[3].kind != UopKind::kSetPc || t[3].stage != Stage::kID || t[3].src_a != kT2 ||
+      t[3].guard != GuardKind::kIfNonZero || t[3].guard_tmp != kT1)
+    return false;
+  out->kind = FusedKind::kBranch1;
+  out->a_sel = t[0].sel;
+  out->alu = t[1].alu;
+  return true;
+}
+
+bool match_jump(std::span<const Uop> t, FusedOp* out) {
+  // j:   ID: tgt = jump_target; CPC = tgt.
+  // jal: ID: tgt; link = PC+4; CPC = tgt; WB: GPR[ra] = link.
+  if (t.size() == 2) {
+    if (!imm(t[0], Stage::kID, ImmKind::kJumpTarget, kT0)) return false;
+    if (!plain(t[1], UopKind::kSetPc, Stage::kID) || t[1].src_a != kT0) return false;
+    out->kind = FusedKind::kJump;
+    out->link = false;
+    return true;
+  }
+  if (t.size() == 4) {
+    if (!imm(t[0], Stage::kID, ImmKind::kJumpTarget, kT0)) return false;
+    if (!imm(t[1], Stage::kID, ImmKind::kLinkAddr, kT1)) return false;
+    if (!plain(t[2], UopKind::kSetPc, Stage::kID) || t[2].src_a != kT0) return false;
+    if (!write_gpr(t[3], Stage::kWB, GprSel::kRa31, kT1)) return false;
+    out->kind = FusedKind::kJump;
+    out->link = true;
+    out->dst_sel = GprSel::kRa31;
+    return true;
+  }
+  return false;
+}
+
+bool match_jump_reg(std::span<const Uop> t, FusedOp* out) {
+  // jr:   ID: tgt = GPR.read(rs); CPC = tgt.
+  // jalr: ID: tgt; link = PC+4; CPC = tgt; WB: GPR[rd] = link. The target is
+  // read before the link write, so `jalr $r, $r` keeps the old value.
+  if (t.size() == 2) {
+    if (!read_gpr(t[0], Stage::kID, kT0)) return false;
+    if (!plain(t[1], UopKind::kSetPc, Stage::kID) || t[1].src_a != kT0) return false;
+    out->kind = FusedKind::kJumpReg;
+    out->a_sel = t[0].sel;
+    out->link = false;
+    return true;
+  }
+  if (t.size() == 4) {
+    if (!read_gpr(t[0], Stage::kID, kT0)) return false;
+    if (!imm(t[1], Stage::kID, ImmKind::kLinkAddr, kT1)) return false;
+    if (!plain(t[2], UopKind::kSetPc, Stage::kID) || t[2].src_a != kT0) return false;
+    if (t[3].kind != UopKind::kWriteGpr || t[3].stage != Stage::kWB || t[3].src_a != kT1 ||
+        t[3].guard != GuardKind::kAlways)
+      return false;
+    out->kind = FusedKind::kJumpReg;
+    out->a_sel = t[0].sel;
+    out->link = true;
+    out->dst_sel = t[3].sel;
+    return true;
+  }
+  return false;
+}
+
+bool match_muldiv(std::span<const Uop> t, FusedOp* out) {
+  // ID: a, b; EX: HI/LO = muldiv(a, b).
+  if (t.size() != 3) return false;
+  if (!read_gpr(t[0], Stage::kID, kT0) || !read_gpr(t[1], Stage::kID, kT1)) return false;
+  if (!plain(t[2], UopKind::kMulDiv, Stage::kEX) || t[2].src_a != kT0 || t[2].src_b != kT1)
+    return false;
+  out->kind = FusedKind::kMulDiv;
+  out->a_sel = t[0].sel;
+  out->b_sel = t[1].sel;
+  out->muldiv = t[2].muldiv;
+  return true;
+}
+
+bool match_hilo_read(std::span<const Uop> t, FusedOp* out) {
+  // EX: v = HI/LO.read(); WB: GPR[rd] = v.
+  if (t.size() != 2) return false;
+  if (!read_special(t[0], Stage::kEX, t[0].special, kT0)) return false;
+  if (t[0].special != SpecialReg::kHi && t[0].special != SpecialReg::kLo) return false;
+  if (!write_gpr(t[1], Stage::kWB, GprSel::kRd, kT0)) return false;
+  out->kind = FusedKind::kHiLoRead;
+  out->hilo = t[0].special;
+  out->dst_sel = GprSel::kRd;
+  return true;
+}
+
+bool match_hilo_write(std::span<const Uop> t, FusedOp* out) {
+  // ID: v = GPR.read(rs); EX: HI/LO.write(v).
+  if (t.size() != 2) return false;
+  if (!read_gpr(t[0], Stage::kID, kT0)) return false;
+  if (!plain(t[1], UopKind::kWriteSpecial, Stage::kEX) || t[1].src_a != kT0) return false;
+  if (t[1].special != SpecialReg::kHi && t[1].special != SpecialReg::kLo) return false;
+  out->kind = FusedKind::kHiLoWrite;
+  out->a_sel = t[0].sel;
+  out->hilo = t[1].special;
+  return true;
+}
+
+bool match_syscall(std::span<const Uop> t, FusedOp* out) {
+  if (t.size() != 1 || !plain(t[0], UopKind::kSyscall, Stage::kEX)) return false;
+  out->kind = FusedKind::kSyscall;
+  return true;
+}
+
+bool match_illegal(std::span<const Uop> t, FusedOp* out) {
+  if (t.size() != 1 || !plain(t[0], UopKind::kIllegal, Stage::kID)) return false;
+  out->kind = FusedKind::kIllegal;
+  return true;
+}
+
+}  // namespace
+
+bool is_monitor_head(std::span<const Uop> ops) {
+  using MT = MonitorTemps;
+  if (ops.size() != 11) return false;
+  if (!read_special(ops[0], Stage::kID, SpecialReg::kSta, MT::kStartId)) return false;
+  if (!read_special(ops[1], Stage::kID, SpecialReg::kPpc, MT::kEnd)) return false;
+  if (!read_special(ops[2], Stage::kID, SpecialReg::kRhash, MT::kHashV)) return false;
+  const Uop& lk = ops[3];
+  if (!plain(lk, UopKind::kIhtLookup, Stage::kID) || lk.dst != MT::kFound ||
+      lk.dst2 != MT::kMatch || lk.src_a != MT::kStartId || lk.src_b != MT::kEnd ||
+      lk.src_c != MT::kHashV)
+    return false;
+  const Uop& miss = ops[4];
+  if (miss.kind != UopKind::kRaiseExc || miss.stage != Stage::kID ||
+      miss.exc_code != kExcHashMiss || miss.guard != GuardKind::kIfZero ||
+      miss.guard_tmp != MT::kFound)
+    return false;
+  if (!imm(ops[5], Stage::kID, ImmKind::kConst, MT::kZero) || ops[5].literal != 0) return false;
+  if (!alu2(ops[6], Stage::kID, MT::kMatch, MT::kZero, MT::kMatchIsZero) ||
+      ops[6].alu != AluOp::kCmpEq)
+    return false;
+  if (!alu2(ops[7], Stage::kID, MT::kFound, MT::kMatchIsZero, MT::kMismatch) ||
+      ops[7].alu != AluOp::kAnd)
+    return false;
+  const Uop& mm = ops[8];
+  if (mm.kind != UopKind::kRaiseExc || mm.stage != Stage::kID ||
+      mm.exc_code != kExcHashMismatch || mm.guard != GuardKind::kIfNonZero ||
+      mm.guard_tmp != MT::kMismatch)
+    return false;
+  if (!plain(ops[9], UopKind::kResetSpecial, Stage::kID) || ops[9].special != SpecialReg::kSta)
+    return false;
+  if (!plain(ops[10], UopKind::kResetSpecial, Stage::kID) ||
+      ops[10].special != SpecialReg::kRhash)
+    return false;
+  return true;
+}
+
+FusedOp classify_program(const InstrUops& prog, isa::InstrClass cls,
+                         bool monitoring_embedded) {
+  FusedOp out;  // defaults to kGeneric
+  std::span<const Uop> tail(prog.ops);
+
+  // A monitored flow-control program must carry the Figure-4 head ahead of
+  // its own ID operations (the stable stage sort of the embedding pass keeps
+  // it there); the fused flow handlers re-create its effects, so a missing
+  // or reshaped head demotes the program to the interpreter.
+  if (isa::is_flow_control(cls)) {
+    if (monitoring_embedded) {
+      if (tail.size() < 11 || !is_monitor_head(tail.subspan(0, 11))) return out;
+      tail = tail.subspan(11);
+    }
+    FusedOp flow;
+    if (match_branch2(tail, &flow) || match_branch1(tail, &flow) ||
+        match_jump(tail, &flow) || match_jump_reg(tail, &flow)) {
+      return flow;
+    }
+    return out;
+  }
+
+  // Non-flow programs never carry monitoring microoperations; a shape that
+  // contains any will simply fail every matcher below.
+  FusedOp fused;
+  if (match_alu_rr(tail, &fused) || match_alu_ri(tail, &fused) || match_lui(tail, &fused) ||
+      match_load(tail, &fused) || match_store(tail, &fused) || match_muldiv(tail, &fused) ||
+      match_hilo_read(tail, &fused) || match_hilo_write(tail, &fused) ||
+      match_syscall(tail, &fused) || match_illegal(tail, &fused)) {
+    return fused;
+  }
+  return out;
+}
+
+FusedTable build_fused_table(const IsaUopSpec& spec) {
+  FusedTable table;
+  for (std::size_t m = 0; m < table.size(); ++m) {
+    const auto mnemonic = static_cast<isa::Mnemonic>(m);
+    table[m] = classify_program(spec.program(mnemonic), isa::info(mnemonic).cls,
+                                spec.monitoring_embedded);
+  }
+  return table;
+}
+
+}  // namespace cicmon::uop

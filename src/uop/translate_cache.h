@@ -1,0 +1,148 @@
+// Block-level translation cache for the threaded execution engine.
+//
+// A translated block is a straight-line run of fused entries starting at a
+// text address and ending at the first block terminator (flow control,
+// syscall, illegal/unmatched program) or at the text end / length cap. Each
+// entry is tagged with the word it was translated from — the same tamper-safe
+// keying as the per-word predecode cache. Translation peeks words straight
+// from memory (no bus, no I-cache, no hash: translation must be free of
+// architectural side effects); at execution time every dynamic instruction
+// still goes through the real fetch path, and the engine compares the fetched
+// (and possibly tampered) word against the entry tag. Any divergence — bus
+// tamper, cache-resident flip, memory rewrite, post-ID latch fault — misses
+// the tag, invalidates the block, executes that one instruction through the
+// interpreter on the word the pipeline actually carries, and retranslates.
+//
+// Disabled mode (`CpuConfig::translate_cache = false`) translates every block
+// into a scratch slot and never caches: the A/B configuration for the
+// byte-identity tests, exactly like `predecode_cache = false`.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "isa/instruction.h"
+#include "uop/threaded.h"
+#include "uop/uop.h"
+
+namespace cicmon::uop {
+
+// Translated blocks never exceed this many entries; a longer straight-line
+// run is split (the forced last entry executes through the interpreter and
+// the next block picks up at the following word).
+inline constexpr std::size_t kMaxBlockEntries = 64;
+
+// One translated instruction: the fused shape with operands resolved against
+// the decoded word and immediates/targets precomputed against the address.
+struct TransEntry {
+  std::uint32_t addr = 0;
+  std::uint32_t word = 0;  // tag: the word this entry was translated from
+  FusedKind kind = FusedKind::kGeneric;
+  AluOp alu = AluOp::kAdd;
+  MulDivOp muldiv = MulDivOp::kMult;
+  MemWidth width = MemWidth::kWord;
+  bool sign_extend = false;
+  bool link = false;
+  std::uint8_t a = 0;     // resolved GPR indices
+  std::uint8_t b = 0;
+  std::uint8_t dst = 0;
+  std::uint8_t hilo = 0;  // SpecialReg index for kHiLoRead / kHiLoWrite
+  std::uint32_t imm = 0;  // immediate / branch target / jump target / lui value
+  // Hazard metadata, precomputed so the retire path never re-inspects the
+  // decoded instruction (mirrors Cpu::account_hazards bit for bit):
+  std::uint8_t early_a = 0;     // GPRs consumed in ID/EX (0 = none) — the
+  std::uint8_t early_b = 0;     //   load-use comparison targets
+  std::uint8_t load_dst = 0;    // rt when this is a load, else 0
+  std::uint8_t muldiv_lat = 0;  // 0 = not muldiv, 1 = mult latency, 2 = div latency
+  bool is_mfhilo = false;       // mfhi/mflo: stalls until HI/LO is ready
+  isa::Instruction instr;            // for the interpreter fallback
+  const InstrUops* program = nullptr;  // interpreter program (kGeneric, tamper)
+};
+
+struct TranslatedBlock {
+  std::uint32_t start = 0;
+  std::vector<TransEntry> entries;
+};
+
+// Translates one word at `addr`: decode, fused-table lookup, operand
+// resolution, immediate precomputation.
+TransEntry make_entry(std::uint32_t addr, std::uint32_t word, const IsaUopSpec& spec,
+                      const FusedTable& fused);
+
+class TranslationCache {
+ public:
+  struct Stats {
+    std::uint64_t translations = 0;   // blocks translated
+    std::uint64_t hits = 0;           // block lookups served from the cache
+    std::uint64_t invalidations = 0;  // blocks dropped on a tag mismatch
+  };
+
+  TranslationCache(std::uint32_t text_base, std::uint32_t text_end, bool enabled)
+      : text_base_(text_base), text_end_(text_end), enabled_(enabled) {
+    if (enabled_) slots_.resize((text_end_ - text_base_) / 4);
+  }
+
+  // Returns the cached block starting at `addr`, or nullptr (always nullptr
+  // when caching is disabled — every block retranslates).
+  const TranslatedBlock* lookup(std::uint32_t addr) {
+    if (!enabled_) return nullptr;
+    const TranslatedBlock* block = slots_[index(addr)].get();
+    if (block != nullptr) ++stats_.hits;
+    return block;
+  }
+
+  // Translates the block starting at `addr`, reading text words through
+  // `peek` (which must be free of architectural side effects), and returns
+  // it (cached, or scratch when caching is disabled). `addr` must be a valid
+  // text address.
+  template <typename PeekFn>
+  const TranslatedBlock* translate(std::uint32_t addr, const IsaUopSpec& spec,
+                                   const FusedTable& fused, PeekFn&& peek) {
+    TranslatedBlock block;
+    block.start = addr;
+    for (std::uint32_t a = addr;; a += 4) {
+      block.entries.push_back(make_entry(a, peek(a), spec, fused));
+      if (is_block_terminator(block.entries.back().kind)) break;
+      if (a + 4 >= text_end_ || block.entries.size() >= kMaxBlockEntries) {
+        // Force-terminate: the final entry runs through the interpreter,
+        // which retires it and hands control back to the block loop.
+        block.entries.back().kind = FusedKind::kGeneric;
+        break;
+      }
+    }
+    ++stats_.translations;
+    if (!enabled_) {
+      scratch_ = std::move(block);
+      return &scratch_;
+    }
+    auto& slot = slots_[index(addr)];
+    slot = std::make_unique<TranslatedBlock>(std::move(block));
+    return slot.get();
+  }
+
+  // Drops the block starting at `block_start` (a tag mismatched during its
+  // execution). Other cached blocks overlapping the rewritten word are caught
+  // by their own entry tags when they next execute.
+  void invalidate(std::uint32_t block_start) {
+    ++stats_.invalidations;
+    if (!enabled_) return;
+    slots_[index(block_start)].reset();
+  }
+
+  bool enabled() const { return enabled_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::size_t index(std::uint32_t addr) const { return (addr - text_base_) / 4; }
+
+  std::uint32_t text_base_;
+  std::uint32_t text_end_;
+  bool enabled_;
+  std::vector<std::unique_ptr<TranslatedBlock>> slots_;
+  TranslatedBlock scratch_;
+  Stats stats_;
+};
+
+}  // namespace cicmon::uop

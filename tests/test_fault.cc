@@ -203,6 +203,36 @@ TEST(Campaign, PredecodeCacheDoesNotChangeCampaignResults) {
   }
 }
 
+TEST(Campaign, ThreadedEngineDoesNotChangeCampaignResults) {
+  // The tamper-safety contract of the threaded engine at campaign
+  // granularity: across every site that corrupts fetched words (memory
+  // rewrites, per-fetch bus flips, post-ID latch faults, cache-resident
+  // flips through a live I-cache), the fused handlers and the block
+  // translation cache must reproduce the interpreter's outcome counts bit
+  // for bit — translation cache on or off.
+  const casm_::Image image = workloads::build_workload("bitcount", {0.02, 42});
+  cpu::CpuConfig interp = monitored_config();
+  interp.icache.enabled = true;
+  interp.engine = cpu::Engine::kSwitch;
+  cpu::CpuConfig threaded = interp;
+  threaded.engine = cpu::Engine::kThreaded;
+  threaded.translate_cache = true;
+  cpu::CpuConfig uncached = threaded;
+  uncached.translate_cache = false;
+  CampaignRunner a(image, interp);
+  CampaignRunner b(image, threaded);
+  CampaignRunner c(image, uncached);
+  for (const FaultSite site :
+       {FaultSite::kMemoryText, FaultSite::kFetchBus, FaultSite::kPostIdLatch,
+        FaultSite::kICacheLine}) {
+    const CampaignSummary sa = a.run_random(site, 1, 60, 13);
+    const CampaignSummary sb = b.run_random(site, 1, 60, 13);
+    const CampaignSummary sc = c.run_random(site, 1, 60, 13);
+    EXPECT_TRUE(summaries_identical(sa, sb)) << fault_site_name(site) << " (cached)";
+    EXPECT_TRUE(summaries_identical(sa, sc)) << fault_site_name(site) << " (uncached)";
+  }
+}
+
 TEST(Campaign, MonitoredDetectionDominatesUnmonitored) {
   const casm_::Image image = workloads::build_workload("bitcount", {0.02, 42});
   cpu::CpuConfig on = monitored_config();

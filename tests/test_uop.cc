@@ -2,10 +2,16 @@
 // pass (Figures 3 and 4), paper-notation rendering, and the interpreter.
 #include <gtest/gtest.h>
 
+#include "casm/builder.h"
+#include "cpu/cpu.h"
 #include "isa/instruction.h"
+#include "mem/fetch_path.h"
 #include "support/error.h"
+#include "support/rng.h"
 #include "uop/interp.h"
 #include "uop/monitor_pass.h"
+#include "uop/threaded.h"
+#include "uop/translate_cache.h"
 #include "uop/uop.h"
 
 namespace cicmon::uop {
@@ -374,6 +380,255 @@ TEST(Interp, UnmonitoredSpecNeverTouchesMonitorPorts) {
   }
   EXPECT_EQ(dp.lookups, 0U);
   EXPECT_TRUE(dp.exceptions.empty());
+}
+
+// --- Threaded engine: fused classification --------------------------------
+
+TEST(FusedClassifier, EveryMnemonicFusesNonGeneric) {
+  // Every canonical builder program — monitored or not — must match a fused
+  // shape: a kGeneric here means the classifier and the builder drifted apart
+  // and the threaded engine silently forfeits its speedup for that mnemonic.
+  for (const bool monitored : {false, true}) {
+    IsaUopSpec spec = build_isa_uops();
+    if (monitored) embed_monitoring(&spec);
+    const FusedTable table = build_fused_table(spec);
+    for (const isa::OpcodeInfo& row : isa::opcode_table()) {
+      if (row.mnemonic == isa::Mnemonic::kInvalid) continue;
+      EXPECT_NE(table[static_cast<std::size_t>(row.mnemonic)].kind, FusedKind::kGeneric)
+          << row.name << (monitored ? " (monitored)" : " (unmonitored)");
+    }
+    // The illegal-trap program of the invalid word terminates blocks.
+    EXPECT_EQ(table[static_cast<std::size_t>(isa::Mnemonic::kInvalid)].kind,
+              FusedKind::kIllegal);
+  }
+}
+
+TEST(FusedClassifier, MonitorHeadRecognizedExactly) {
+  IsaUopSpec spec = build_isa_uops();
+  embed_monitoring(&spec);
+  const auto id = spec.program(isa::Mnemonic::kJ).stage(Stage::kID);
+  ASSERT_GE(id.size(), 11U);
+  EXPECT_TRUE(is_monitor_head(id.first(11)));
+  EXPECT_FALSE(is_monitor_head(id.first(10)));   // truncated head
+  EXPECT_FALSE(is_monitor_head(id.subspan(1)));  // misaligned head
+}
+
+TEST(FusedClassifier, FlowControlWithoutMonitoringHeadIsGeneric) {
+  // When monitoring is embedded, a flow-control program that lacks the
+  // Figure-4 head must not fuse: the handler would skip the block-end check.
+  const IsaUopSpec plain = build_isa_uops();
+  const FusedOp op = classify_program(plain.program(isa::Mnemonic::kJ),
+                                      isa::info(isa::Mnemonic::kJ).cls,
+                                      /*monitoring_embedded=*/true);
+  EXPECT_EQ(op.kind, FusedKind::kGeneric);
+}
+
+TEST(FusedClassifier, MutatedProgramFallsBackToGeneric) {
+  // Any deviation from the verified canonical shape — here an extra ID-stage
+  // microoperation — must classify kGeneric and run through the interpreter.
+  const IsaUopSpec spec = build_isa_uops();
+  InstrUops prog = spec.program(isa::Mnemonic::kAddu);
+  Uop extra;
+  extra.kind = UopKind::kReadSpecial;
+  extra.special = SpecialReg::kCpc;
+  extra.stage = Stage::kID;
+  extra.dst = 4;
+  prog.ops.push_back(extra);
+  finalize_program(&prog);
+  const FusedOp op = classify_program(prog, isa::info(isa::Mnemonic::kAddu).cls,
+                                      /*monitoring_embedded=*/false);
+  EXPECT_EQ(op.kind, FusedKind::kGeneric);
+}
+
+// --- Threaded engine: translation-cache tamper safety ----------------------
+//
+// Mirrors the PredecodeCache.* suite one level up: the block-level
+// translation cache is keyed by per-entry word tags, so any divergence
+// between the translated word and the word the pipeline actually carries
+// (bus tamper, memory rewrite, post-ID latch fault) must invalidate the
+// block, fall back to the interpreter for that instruction, and leave every
+// observable result bit-identical with the switch engine.
+
+casm_::Image checked_sum_loop() {
+  casm_::Asm a;
+  a.func("main");
+  a.li(isa::kT0, 20);
+  a.li(isa::kT1, 0);
+  casm_::Label loop = a.bound_label();
+  a.addu(isa::kT1, isa::kT1, isa::kT0);
+  a.addiu(isa::kT0, isa::kT0, -1);
+  a.bnez(isa::kT0, loop);
+  a.check_eq(isa::kT1, 210);
+  a.sys_exit(0);
+  return a.finalize();
+}
+
+cpu::CpuConfig engine_config(cpu::Engine engine, bool translate_cache) {
+  cpu::CpuConfig config;
+  config.monitoring = true;
+  config.cic.iht_entries = 8;
+  config.engine = engine;
+  config.translate_cache = translate_cache;
+  return config;
+}
+
+// Every observable field the experiment layers consume.
+void expect_runs_identical(const cpu::RunResult& a, const cpu::RunResult& b) {
+  EXPECT_EQ(a.reason, b.reason);
+  EXPECT_EQ(a.exit_code, b.exit_code);
+  EXPECT_EQ(a.monitor_cause, b.monitor_cause);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.monitor_cycles, b.monitor_cycles);
+  EXPECT_EQ(a.branch_bubbles, b.branch_bubbles);
+  EXPECT_EQ(a.load_use_stalls, b.load_use_stalls);
+  EXPECT_EQ(a.muldiv_stalls, b.muldiv_stalls);
+  EXPECT_EQ(a.icache_stall_cycles, b.icache_stall_cycles);
+  EXPECT_EQ(a.recoveries, b.recoveries);
+  EXPECT_EQ(a.iht.lookups, b.iht.lookups);
+  EXPECT_EQ(a.iht.hits, b.iht.hits);
+  EXPECT_EQ(a.iht.misses, b.iht.misses);
+  EXPECT_EQ(a.iht.mismatches, b.iht.mismatches);
+  EXPECT_EQ(a.os.miss_exceptions, b.os.miss_exceptions);
+  EXPECT_EQ(a.os.mismatch_exceptions, b.os.mismatch_exceptions);
+  EXPECT_EQ(a.os.refills, b.os.refills);
+  EXPECT_EQ(a.os.records_loaded, b.os.records_loaded);
+  EXPECT_EQ(a.os.fht_probes, b.os.fht_probes);
+  EXPECT_EQ(a.os.cycles_charged, b.os.cycles_charged);
+  EXPECT_EQ(a.console, b.console);
+  EXPECT_EQ(a.check_observed, b.check_observed);
+  EXPECT_EQ(a.check_expected, b.check_expected);
+}
+
+// Bus tamper that corrupts one specific dynamic fetch — the translated
+// block (and any cache-resident copy) saw the clean word.
+class OneShotTamper : public mem::BusTamper {
+ public:
+  OneShotTamper(std::uint64_t trigger, std::uint32_t mask)
+      : trigger_(trigger), mask_(mask) {}
+  std::uint32_t on_transfer(std::uint32_t, std::uint32_t word) override {
+    return transfers_++ == trigger_ ? word ^ mask_ : word;
+  }
+
+ private:
+  std::uint64_t transfers_ = 0;
+  std::uint64_t trigger_;
+  std::uint32_t mask_;
+};
+
+TEST(TranslationCache, CleanRunIdenticalAcrossEnginesAndCacheModes) {
+  const casm_::Image image = checked_sum_loop();
+  cpu::Cpu interp(engine_config(cpu::Engine::kSwitch, true), image);
+  cpu::Cpu cached(engine_config(cpu::Engine::kThreaded, true), image);
+  cpu::Cpu uncached(engine_config(cpu::Engine::kThreaded, false), image);
+  const cpu::RunResult a = interp.run();
+  const cpu::RunResult b = cached.run();
+  const cpu::RunResult c = uncached.run();
+  expect_runs_identical(a, b);
+  expect_runs_identical(a, c);
+  // The loop re-enters its block: with caching on the block translates once
+  // and hits thereafter; with caching off every entry retranslates.
+  ASSERT_NE(cached.translation_cache(), nullptr);
+  EXPECT_GT(cached.translation_cache()->stats().translations, 0U);
+  EXPECT_GT(cached.translation_cache()->stats().hits, 0U);
+  EXPECT_EQ(cached.translation_cache()->stats().invalidations, 0U);
+  EXPECT_EQ(uncached.translation_cache()->stats().hits, 0U);
+  EXPECT_GT(uncached.translation_cache()->stats().translations,
+            cached.translation_cache()->stats().translations);
+  EXPECT_EQ(interp.translation_cache(), nullptr);
+}
+
+TEST(TranslationCache, BusTamperMidRunInvalidatesAndMatchesInterpreter) {
+  // The tampered word arrives at an address whose translated block already
+  // carries the clean tag: the mismatch must invalidate the block, execute
+  // the corrupted word through the interpreter, and be detected exactly as
+  // on the switch engine.
+  const casm_::Image image = checked_sum_loop();
+  cpu::RunResult results[3];
+  const cpu::CpuConfig configs[3] = {engine_config(cpu::Engine::kSwitch, true),
+                                     engine_config(cpu::Engine::kThreaded, true),
+                                     engine_config(cpu::Engine::kThreaded, false)};
+  for (int i = 0; i < 3; ++i) {
+    cpu::Cpu cpu(configs[i], image);
+    OneShotTamper tamper(/*trigger=*/9, /*mask=*/1U << 11);  // mid-loop fetch
+    cpu.fetch_path().set_bus_tamper(&tamper);
+    results[i] = cpu.run();
+    if (cpu.translation_cache() != nullptr) {
+      EXPECT_GE(cpu.translation_cache()->stats().invalidations, 1U);
+    }
+  }
+  EXPECT_EQ(results[0].reason, cpu::ExitReason::kMonitorTerminated);
+  expect_runs_identical(results[0], results[1]);
+  expect_runs_identical(results[0], results[2]);
+}
+
+TEST(TranslationCache, TextRewriteDetectionIdenticalAcrossEngines) {
+  // A rewritten text word: translation picks up the corrupted word (the tag
+  // matches what the pipeline fetches), and the monitored detection — the
+  // hash mismatch at block end — lands exactly like the interpreter's.
+  const casm_::Image image = checked_sum_loop();
+  cpu::RunResult results[3];
+  const cpu::CpuConfig configs[3] = {engine_config(cpu::Engine::kSwitch, true),
+                                     engine_config(cpu::Engine::kThreaded, true),
+                                     engine_config(cpu::Engine::kThreaded, false)};
+  for (int i = 0; i < 3; ++i) {
+    cpu::Cpu cpu(configs[i], image);
+    const std::uint32_t addr = casm_::kTextBase + 8;
+    cpu.memory().write32(addr, cpu.memory().read32(addr) ^ (1U << 11));
+    results[i] = cpu.run();
+  }
+  EXPECT_EQ(results[0].reason, cpu::ExitReason::kMonitorTerminated);
+  expect_runs_identical(results[0], results[1]);
+  expect_runs_identical(results[0], results[2]);
+}
+
+TEST(TranslationCache, ICacheResidentFlipMidRunIdenticalAcrossEngines) {
+  // Warm the I-cache with a few interpreter steps, flip resident bits with a
+  // fixed-seed RNG (same cache state in every configuration, so the same
+  // bits flip), then hand the rest of the run to the configured engine: the
+  // poisoned line's words diverge from the translation tags at fetch time
+  // and must be handled exactly like the interpreter handles them.
+  const casm_::Image image = checked_sum_loop();
+  cpu::RunResult results[3];
+  cpu::CpuConfig configs[3] = {engine_config(cpu::Engine::kSwitch, true),
+                               engine_config(cpu::Engine::kThreaded, true),
+                               engine_config(cpu::Engine::kThreaded, false)};
+  for (int i = 0; i < 3; ++i) {
+    configs[i].icache.enabled = true;
+    cpu::Cpu cpu(configs[i], image);
+    for (int s = 0; s < 8; ++s) cpu.step();
+    ASSERT_NE(cpu.fetch_path().icache(), nullptr);
+    support::Rng rng(99);
+    for (int flip = 0; flip < 3; ++flip) {
+      cpu.fetch_path().icache()->flip_random_resident_bit(rng);
+    }
+    results[i] = cpu.run();
+  }
+  EXPECT_NE(results[0].reason, cpu::ExitReason::kExit);  // the flips bite
+  expect_runs_identical(results[0], results[1]);
+  expect_runs_identical(results[0], results[2]);
+}
+
+TEST(TranslationCache, PostIdFaultIdenticalAcrossEngines) {
+  // The post-ID XOR rewrites the word after the hash saw it. The translated
+  // tag holds the clean word, so the fused handler must miss, fall back, and
+  // reproduce the (undetected) wrong-output outcome of §3.2 bit for bit.
+  const casm_::Image image = checked_sum_loop();
+  cpu::RunResult results[3];
+  const cpu::CpuConfig configs[3] = {engine_config(cpu::Engine::kSwitch, true),
+                                     engine_config(cpu::Engine::kThreaded, true),
+                                     engine_config(cpu::Engine::kThreaded, false)};
+  for (int i = 0; i < 3; ++i) {
+    cpu::Cpu cpu(configs[i], image);
+    cpu.set_post_id_fault({4, 1U << 16});
+    results[i] = cpu.run();
+    if (cpu.translation_cache() != nullptr) {
+      EXPECT_GE(cpu.translation_cache()->stats().invalidations, 1U);
+    }
+  }
+  EXPECT_EQ(results[0].iht.mismatches, 0U);  // escaped the monitor (§3.2)
+  expect_runs_identical(results[0], results[1]);
+  expect_runs_identical(results[0], results[2]);
 }
 
 }  // namespace
