@@ -58,7 +58,8 @@ run cicmon table1 --scale "${scale}"
 run cicmon fig6 --scale "${scale}"
 run cicmon blocks --scale "${scale}"
 run cicmon bench --scale "${scale}" --json "${build_dir}/bench_smoke.json"
-run cicmon campaign --workload bitcount --scale 0.02 --trials 50
+run cicmon campaign --workload bitcount --scale 0.02 --trials 50 \
+  --json "${build_dir}/campaign_smoke.json"
 run cicmon workloads
 
 # Engine A/B at smoke scale: the threaded engine (fused handlers behind the
@@ -88,6 +89,35 @@ if [[ -x ${build_dir}/cicmon ]]; then
     echo "--- cicmon bench --json: malformed or missing output" >&2
     failures=$((failures + 1))
   fi
+  # The campaign JSON carries the trials/sec trajectory metric.
+  if [[ ! -s ${build_dir}/campaign_smoke.json ]] ||
+     ! grep -q '"schema": "cicmon-bench-v1"' "${build_dir}/campaign_smoke.json" ||
+     ! grep -q '"trials_per_sec"' "${build_dir}/campaign_smoke.json"; then
+    echo "--- cicmon campaign --json: missing trials_per_sec metric" >&2
+    failures=$((failures + 1))
+  fi
+fi
+
+# Checkpoint A/B: restoring golden-run snapshots (at any stride) must
+# reproduce the full re-execution campaign summary byte for byte. The full
+# site x engine x stride grid runs in the campaign-checkpoints CI job; this
+# catches a broken restore path in every smoke pass.
+if [[ -x ${build_dir}/cicmon ]]; then
+  echo "--- cicmon campaign checkpoints A/B (on vs off vs strided)"
+  ckpt_dir=$(mktemp -d)
+  base="campaign --workload bitcount --scale 0.02 --trials 50"
+  if ! ${build_dir}/cicmon ${base} --checkpoints on 2> /dev/null \
+         > "${ckpt_dir}/on.txt" ||
+     ! ${build_dir}/cicmon ${base} --checkpoints off 2> /dev/null \
+         > "${ckpt_dir}/off.txt" ||
+     ! ${build_dir}/cicmon ${base} --checkpoints on --checkpoint-stride 97 \
+         2> /dev/null > "${ckpt_dir}/strided.txt" ||
+     ! diff "${ckpt_dir}/on.txt" "${ckpt_dir}/off.txt" ||
+     ! diff "${ckpt_dir}/on.txt" "${ckpt_dir}/strided.txt"; then
+    echo "--- cicmon campaign checkpoints: summaries diverge or failed" >&2
+    failures=$((failures + 1))
+  fi
+  rm -rf "${ckpt_dir}"
 fi
 
 # Sharded runs + merge must reproduce the unsharded stdout byte for byte,

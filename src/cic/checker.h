@@ -34,6 +34,17 @@ struct LookupKey {
   std::uint32_t start = 0;
   std::uint32_t end = 0;
   std::uint32_t hash = 0;
+
+  bool operator==(const LookupKey&) const = default;
+};
+
+// Mutable checker state for simulator snapshots: the IHT contents plus the
+// latched lookup key. The HASHFU is stateless (its key is configuration).
+struct CheckerState {
+  IhtState iht;
+  LookupKey last_lookup;
+
+  bool operator==(const CheckerState&) const = default;
 };
 
 class CodeIntegrityChecker {
@@ -74,6 +85,12 @@ class CodeIntegrityChecker {
 
   // Hardware reset value of RHASH at the start of a basic block.
   std::uint32_t rhash_init() const { return hashfu_->init(); }
+
+  CheckerState save_state() const { return {iht_.save_state(), last_lookup_}; }
+  void restore_state(const CheckerState& s) {
+    iht_.restore_state(s.iht);
+    last_lookup_ = s.last_lookup;
+  }
 
  private:
   CicConfig config_;

@@ -115,6 +115,16 @@ void Iht::invalidate_all() {
   for (IhtEntry& entry : entries_) entry.valid = false;
 }
 
+void Iht::restore_state(const IhtState& s) {
+  support::check(s.entries.size() == entries_.size(),
+                 "Iht::restore_state: capacity mismatch");
+  entries_ = s.entries;
+  stats_ = s.stats;
+  use_clock_ = s.use_clock;
+  fill_clock_ = s.fill_clock;
+  rng_.set_state(s.rng);
+}
+
 unsigned Iht::valid_entries() const {
   unsigned count = 0;
   for (const IhtEntry& entry : entries_) count += entry.valid ? 1U : 0U;

@@ -39,6 +39,8 @@ struct IhtEntry {
   bool valid = false;
   std::uint64_t last_use = 0;   // lookup stamp of the last address match
   std::uint64_t fill_order = 0; // monotone fill counter
+
+  bool operator==(const IhtEntry&) const = default;
 };
 
 struct IhtStats {
@@ -50,6 +52,21 @@ struct IhtStats {
   double miss_rate() const {
     return lookups == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(lookups);
   }
+
+  bool operator==(const IhtStats&) const = default;
+};
+
+// Complete mutable IHT state, for simulator snapshots: entries, statistics,
+// the LRU/FIFO clocks, and the random-replacement RNG mid-stream. Capacity
+// and policy are configuration, assumed identical on both sides.
+struct IhtState {
+  std::vector<IhtEntry> entries;
+  IhtStats stats;
+  std::uint64_t use_clock = 0;
+  std::uint64_t fill_clock = 0;
+  support::Rng::State rng;
+
+  bool operator==(const IhtState&) const = default;
 };
 
 class Iht {
@@ -93,6 +110,9 @@ class Iht {
   const std::vector<IhtEntry>& entries() const { return entries_; }
   const IhtStats& stats() const { return stats_; }
   void reset_stats() { stats_ = IhtStats{}; }
+
+  IhtState save_state() const { return {entries_, stats_, use_clock_, fill_clock_, rng_.state()}; }
+  void restore_state(const IhtState& s);
 
  private:
   std::size_t victim_index();

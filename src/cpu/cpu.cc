@@ -94,18 +94,27 @@ std::string_view exit_reason_name(ExitReason reason) {
 }
 
 Cpu::Cpu(const CpuConfig& config, const casm_::Image& image)
-    : config_(config),
-      spec_(uop::build_isa_uops()),
-      memory_(),
-      fetch_(&memory_, config.icache) {
-  if (config_.monitoring) {
-    uop::embed_monitoring(&spec_);
-    cic_.emplace(config_.cic);
-    os::LoadedProgram program = os::os_load(image, &memory_, cic_->hash_unit());
-    os_.emplace(config_.os, std::move(program.fht));
-    special_[sp(uop::SpecialReg::kRhash)] = cic_->rhash_init();
+    : Cpu(config, image, nullptr) {}
+
+Cpu::Cpu(const CpuConfig& config, const casm_::Image& image, const LoadedImage* loaded)
+    : config_(config), memory_(), fetch_(&memory_, config.icache) {
+  if (loaded != nullptr) {
+    // Preloaded path: share the spec, read memory through the frozen page
+    // base (copy-on-write), and copy the already-recovered FHT — no loader,
+    // no hash recomputation. Bit-identical to the loading path below.
+    attach_loaded(*loaded);
   } else {
-    memory_.load_image(image);
+    auto spec = std::make_shared<uop::IsaUopSpec>(uop::build_isa_uops());
+    if (config_.monitoring) {
+      uop::embed_monitoring(spec.get());
+      cic_.emplace(config_.cic);
+      os::LoadedProgram program = os::os_load(image, &memory_, cic_->hash_unit());
+      os_.emplace(config_.os, std::move(program.fht));
+      special_[sp(uop::SpecialReg::kRhash)] = cic_->rhash_init();
+    } else {
+      memory_.load_image(image);
+    }
+    spec_ = std::move(spec);
   }
   special_[sp(uop::SpecialReg::kCpc)] = image.entry;
   gpr_[isa::kSp] = casm_::kStackTop;
@@ -115,9 +124,9 @@ Cpu::Cpu(const CpuConfig& config, const casm_::Image& image)
   if (config_.predecode_cache) {
     predecode_.resize((text_end_ - text_base_) / 4);
   }
-  fast_fetch_ = is_canonical_fetch(spec_.fetch, spec_.monitoring_embedded);
+  fast_fetch_ = is_canonical_fetch(spec_->fetch, spec_->monitoring_embedded);
   if (config_.engine == Engine::kThreaded && fast_fetch_) {
-    fused_ = uop::build_fused_table(spec_);
+    fused_ = uop::build_fused_table(*spec_);
     tcache_ = std::make_unique<uop::TranslationCache>(text_base_, text_end_,
                                                       config_.translate_cache);
     threaded_ = true;
@@ -320,7 +329,7 @@ void Cpu::handle_pending_monitor_exception() {
 
 void Cpu::run_fetch_stage() {
   if (!fast_fetch_) {
-    uop::execute_ops(std::span<const uop::Uop>(spec_.fetch), ctx_, *this);
+    uop::execute_ops(std::span<const uop::Uop>(spec_->fetch), ctx_, *this);
     return;
   }
   // Straight-line equivalent of the canonical IF program, verified against
@@ -336,7 +345,7 @@ void Cpu::run_fetch_stage() {
   const std::uint32_t next_pc = pc + 4;
   t[3] = next_pc;
   special_[sp(uop::SpecialReg::kCpc)] = next_pc;  // CPC.inc()
-  if (spec_.monitoring_embedded) {
+  if (spec_->monitoring_embedded) {
     // Figure 3(b): latch the block start, fold the word into the hash.
     const std::uint32_t start = special_[sp(uop::SpecialReg::kSta)];
     t[uop::MonitorTemps::kStartIf] = start;
@@ -454,13 +463,13 @@ std::optional<RunResult> Cpu::step() {
     if (slot.program == nullptr || slot.word != word) {
       slot.word = word;
       slot.instr = isa::decode(word);
-      slot.program = &spec_.program(slot.instr.mnemonic);
+      slot.program = &spec_->program(slot.instr.mnemonic);
     }
     ctx_.instr = slot.instr;
     program = slot.program;
   } else {
     ctx_.instr = isa::decode(word);
-    program = &spec_.program(ctx_.instr.mnemonic);
+    program = &spec_->program(ctx_.instr.mnemonic);
   }
 
   if (exec_stages(program) == ExecStatus::kTerminated) return finish_result();
@@ -550,7 +559,7 @@ Cpu::FusedFlow Cpu::tampered_entry(std::uint32_t word) {
   // return to the block loop, which retranslates from current text.
   tcache_->invalidate(cur_block_start_);
   ctx_.instr = isa::decode(word);
-  return exec_stages(&spec_.program(ctx_.instr.mnemonic)) == ExecStatus::kTerminated
+  return exec_stages(&spec_->program(ctx_.instr.mnemonic)) == ExecStatus::kTerminated
              ? FusedFlow::kDone
              : FusedFlow::kRestart;
 }
@@ -586,7 +595,7 @@ Cpu::FusedFlow Cpu::fused_step(const uop::TransEntry& e) {
     word = fetch_.fetch(e.addr);
     special_[sp(uop::SpecialReg::kIReg)] = word;
     special_[sp(uop::SpecialReg::kCpc)] = e.addr + 4;
-    if (spec_.monitoring_embedded) {
+    if (spec_->monitoring_embedded) {
       sta_before = special_[sp(uop::SpecialReg::kSta)];
       if (sta_before == 0) special_[sp(uop::SpecialReg::kSta)] = e.addr;
       old_hash = special_[sp(uop::SpecialReg::kRhash)];
@@ -611,7 +620,7 @@ Cpu::FusedFlow Cpu::fused_step(const uop::TransEntry& e) {
       t[1] = clean_word;
       t[2] = 4;
       t[3] = e.addr + 4;
-      if (spec_.monitoring_embedded) {
+      if (spec_->monitoring_embedded) {
         t[uop::MonitorTemps::kStartIf] = sta_before;
         t[uop::MonitorTemps::kOldHash] = old_hash;
         t[uop::MonitorTemps::kNewHash] = new_hash;
@@ -647,7 +656,7 @@ Cpu::FusedFlow Cpu::fused_step(const uop::TransEntry& e) {
     // transfer, then the pending exception resolves before any link write —
     // exactly the interpreter's stage order, so a terminated or rolled-back
     // block never observes the link register update.
-    if (spec_.monitoring_embedded) monitor_block_end();
+    if (spec_->monitoring_embedded) monitor_block_end();
     if constexpr (K == FK::kBranch2) {
       if (uop::alu_eval(e.alu, gpr_[e.a], gpr_[e.b]) != 0) set_pc(e.imm);
     } else if constexpr (K == FK::kBranch1) {
@@ -714,7 +723,7 @@ RunResult Cpu::run_threaded() {
       // I-cache fills, no hash folding. All architectural fetch effects
       // happen per entry inside fused_step, through the real fetch path.
       block = tcache_->translate(
-          addr, spec_, fused_, [this](std::uint32_t a) { return memory_.read32(a); });
+          addr, *spec_, fused_, [this](std::uint32_t a) { return memory_.read32(a); });
     }
     cur_block_start_ = addr;
     const uop::TransEntry* e = block->entries.data();

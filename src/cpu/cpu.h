@@ -130,6 +130,8 @@ enum class ExitReason : std::uint8_t {
 std::string_view exit_reason_name(ExitReason reason);
 
 struct RunResult {
+  bool operator==(const RunResult&) const = default;
+
   ExitReason reason = ExitReason::kExit;
   std::uint32_t exit_code = 0;
   os::TerminationCause monitor_cause = os::TerminationCause::kNone;
@@ -164,11 +166,28 @@ struct PostIdFault {
   std::uint32_t xor_mask = 1;
 };
 
+// Shared immutable artifacts of loading one image under one configuration
+// (cpu/snapshot.h): the post-loader memory as a copy-on-write base, the
+// monitoring-embedded microoperation spec, and the recovered FHT. Built once
+// per campaign, shared read-only by every trial's Cpu.
+struct LoadedImage;
+
+// Complete determinism surface of a running Cpu at an instruction boundary
+// (cpu/snapshot.h); save_snapshot/restore_snapshot fast-forward fault trials.
+struct Snapshot;
+
 class Cpu final : private uop::Datapath {
  public:
   // Loads `image` (text, data, attached FHT if present) and prepares the
   // configured machine. The image is not modified.
   Cpu(const CpuConfig& config, const casm_::Image& image);
+
+  // As above, but skips the loader: memory reads through `loaded`'s frozen
+  // page base (copy-on-write), the uop spec is shared, and the FHT is copied
+  // instead of recomputed. `loaded` must have been built by preload_image
+  // with a monitoring/cic configuration equivalent to `config`, and must
+  // outlive the Cpu. Behaviour is bit-identical to the loading constructor.
+  Cpu(const CpuConfig& config, const casm_::Image& image, const LoadedImage* loaded);
   ~Cpu() override;
 
   Cpu(const Cpu&) = delete;
@@ -181,6 +200,20 @@ class Cpu final : private uop::Datapath {
   // nullopt while the program is still running.
   std::optional<RunResult> step();
   RunResult finish_result();  // result so far (after a terminal step)
+
+  // --- Snapshots (cpu/snapshot.cc) ---
+  //
+  // Capture/restore the complete determinism surface at an instruction
+  // boundary. The predecode and translation caches are deliberately excluded:
+  // both are tamper-safe (tagged by the fetched word), so a cold cache
+  // rebuilds to bit-identical results. Restore requires a Cpu constructed
+  // from the same LoadedImage and configuration as the one that saved (the
+  // memory delta is relative to the shared page base); recovery mode is not
+  // supported (its block checkpoint is orthogonal in-run state).
+  void save_snapshot(Snapshot* snapshot) const;
+  void restore_snapshot(const Snapshot& snapshot);
+
+  std::uint64_t instructions_retired() const { return result_.instructions; }
 
   // --- Fault-injection and observation hooks ---
   mem::Memory& memory() { return memory_; }
@@ -224,6 +257,10 @@ class Cpu final : private uop::Datapath {
   void syscall() override;
   void illegal_instruction() override;
 
+  // Constructor tail for the LoadedImage path (cpu/snapshot.cc — the only
+  // translation unit that sees the LoadedImage definition).
+  void attach_loaded(const LoadedImage& loaded);
+
   void terminate(ExitReason reason, std::uint32_t code);
   CICMON_HOT_INLINE void run_fetch_stage();
   CICMON_HOT_INLINE void account_hazards(const isa::Instruction& instr);
@@ -251,7 +288,10 @@ class Cpu final : private uop::Datapath {
   RunResult run_threaded();
 
   CpuConfig config_;
-  uop::IsaUopSpec spec_;
+  // Immutable after construction; shared across trial Cpus when constructed
+  // from a LoadedImage (building + monitoring-embedding the spec per Cpu is
+  // measurable at campaign trial rates).
+  std::shared_ptr<const uop::IsaUopSpec> spec_;
   mem::Memory memory_;
   mem::FetchPath fetch_;
   std::optional<cic::CodeIntegrityChecker> cic_;

@@ -84,15 +84,47 @@ double CampaignSummary::detection_rate_total() const {
   return trials == 0 ? 0.0 : static_cast<double>(detected()) / static_cast<double>(trials);
 }
 
-CampaignRunner::CampaignRunner(const casm_::Image& image, const cpu::CpuConfig& config)
-    : image_(image), config_(config) {
-  cpu::Cpu golden(config_, image_);
-  const cpu::RunResult result = golden.run();
-  support::check(result.reason == cpu::ExitReason::kExit,
-                 "campaign golden run did not exit cleanly");
+CampaignRunner::CampaignRunner(const casm_::Image& image, const cpu::CpuConfig& config,
+                               const CheckpointConfig& checkpoints)
+    : image_(image), config_(config), checkpoints_(checkpoints) {
+  // Recovery mode keeps in-run block checkpoints that snapshots do not
+  // cover; such campaigns fall back to full re-execution.
+  if (config_.recovery.enabled) checkpoints_.enabled = false;
+
+  // Load once, share forever: every trial's CPU reads this frozen image
+  // through copy-on-write pages instead of re-running the loader (and, when
+  // monitored, its whole-text hash computation).
+  loaded_ = cpu::preload_image(config_, image_);
+
+  cpu::RunResult result;
+  if (checkpoints_.enabled) {
+    golden_ = std::make_unique<CheckpointedGolden>(config_, image_, loaded_,
+                                                   checkpoints_.stride);
+    result = golden_->result();
+  } else {
+    cpu::Cpu golden(config_, image_, &loaded_);
+    result = golden.run();
+    support::check(result.reason == cpu::ExitReason::kExit,
+                   "campaign golden run did not exit cleanly");
+  }
   golden_instructions_ = result.instructions;
   golden_console_ = result.console;
   golden_exit_code_ = result.exit_code;
+}
+
+const CheckpointedGolden& CampaignRunner::icache_golden() const {
+  // I-cache-line trials force the I-cache on; their snapshots must carry its
+  // state. When the campaign config already has it on, the main recording
+  // serves. Otherwise record a second golden lazily (thread-safe: run_trial
+  // races here) — the LoadedImage is cache-independent and is reused.
+  if (config_.icache.enabled) return *golden_;
+  std::call_once(icache_once_, [this] {
+    cpu::CpuConfig config = config_;
+    config.icache.enabled = true;
+    icache_golden_ =
+        std::make_unique<CheckpointedGolden>(config, image_, loaded_, checkpoints_.stride);
+  });
+  return *icache_golden_;
 }
 
 TrialResult CampaignRunner::run_trial(const FaultSpec& spec) const {
@@ -102,9 +134,44 @@ TrialResult CampaignRunner::run_trial(const FaultSpec& spec) const {
   config.max_instructions = golden_instructions_ * 4 + 100'000;
   if (spec.site == FaultSite::kICacheLine) config.icache.enabled = true;
 
-  cpu::Cpu cpu(config, image_);
+  cpu::Cpu cpu(config, image_, &loaded_);
 
-  OneShotBusTamper tamper(spec.trigger_index, spec.xor_mask,
+  // Fast-forward: restore the nearest golden snapshot at or before the
+  // trigger, in the trigger's own unit — bus tampers count bus transfers,
+  // post-ID and I-cache triggers count retired instructions. The suffix then
+  // executes exactly as a from-zero run would (byte-identity enforced by
+  // tests); memory-text trials rewrite the text before the run, so their
+  // start state is snapshot 0 — which a fresh COW-backed CPU already is.
+  const cpu::Snapshot* snapshot = nullptr;
+  if (checkpoints_.enabled) {
+    switch (spec.site) {
+      case FaultSite::kMemoryText:
+        break;
+      case FaultSite::kFetchBus:
+      case FaultSite::kFetchBusPaired:
+        snapshot = &golden_->nearest_by_transfers(spec.trigger_index);
+        break;
+      case FaultSite::kPostIdLatch:
+        snapshot = &golden_->nearest_by_instructions(spec.trigger_index);
+        break;
+      case FaultSite::kICacheLine:
+        snapshot = &icache_golden().nearest_by_instructions(spec.trigger_index);
+        break;
+    }
+    if (snapshot != nullptr && snapshot->instructions == 0) snapshot = nullptr;
+    if (snapshot != nullptr) {
+      cpu.restore_snapshot(*snapshot);
+      restores_.fetch_add(1, std::memory_order_relaxed);
+      skipped_instructions_.fetch_add(snapshot->instructions, std::memory_order_relaxed);
+    }
+  }
+
+  // The one-shot tamper counts transfers from when it is attached; a restored
+  // trial attaches it mid-stream, so its trigger is relative to the
+  // snapshot's recorded transfer count. The post-ID trigger compares against
+  // the global retired-instruction count, which restore re-establishes.
+  const std::uint64_t transfers_done = snapshot != nullptr ? snapshot->bus_transfers : 0;
+  OneShotBusTamper tamper(spec.trigger_index - transfers_done, spec.xor_mask,
                           spec.site == FaultSite::kFetchBusPaired);
   switch (spec.site) {
     case FaultSite::kMemoryText: {
@@ -128,16 +195,15 @@ TrialResult CampaignRunner::run_trial(const FaultSpec& spec) const {
   std::optional<cpu::RunResult> result;
   if (spec.site == FaultSite::kICacheLine) {
     // Mid-run injection needs instruction-granular stepping, so this site
-    // walks the interpreter until the trigger fires, then hands the rest of
-    // the run to the configured engine. Every other site's fault is armed
-    // before the run, so the whole trial executes through cpu.run() — the
+    // walks the interpreter from the restored snapshot (or from zero with
+    // checkpoints off) until the trigger fires, then hands the rest of the
+    // run to the configured engine. Every other site's fault is armed before
+    // the run, so the whole trial executes through cpu.run() — the
     // threaded-vs-switch A/B campaigns rely on trials actually exercising
     // the engine under test.
     support::Rng icache_rng(spec.trigger_index * 0x9E3779B97F4A7C15ULL + spec.xor_mask);
-    std::uint64_t executed = 0;
-    while (!result.has_value() && executed < spec.trigger_index) {
+    while (!result.has_value() && cpu.instructions_retired() < spec.trigger_index) {
       result = cpu.step();
-      ++executed;
     }
     if (!result.has_value()) {
       mem::ICache* icache = cpu.fetch_path().icache();

@@ -13,14 +13,19 @@
 //  * flips in never-executed words, or that hash-alias, escape entirely.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string_view>
 #include <vector>
 
 #include "casm/image.h"
 #include "cpu/cpu.h"
+#include "cpu/snapshot.h"
 #include "exp/sweep.h"
 #include "fault/fault.h"
+#include "fault/golden.h"
 #include "support/rng.h"
 
 namespace cicmon::fault {
@@ -68,11 +73,25 @@ struct CampaignSummary {
   double detection_rate_total() const;
 };
 
+// Golden-run checkpointing (see fault/golden.h). Enabled by default: trials
+// restore the nearest snapshot before their trigger instead of re-simulating
+// the clean prefix. A pure execution strategy — like the engine choice or the
+// job count, it never changes a trial outcome (tests and CI enforce
+// byte-identity on/off at every stride) — so it is not a sweep parameter.
+// Automatically disabled when recovery mode is configured (snapshots do not
+// cover the in-run block checkpoint).
+struct CheckpointConfig {
+  bool enabled = true;
+  std::uint64_t stride = 0;  // snapshot spacing in instructions; 0 = automatic
+};
+
 class CampaignRunner {
  public:
   // `config` is the machine to attack (monitoring on or off); the image is
-  // shared by all trials (each trial loads a fresh copy into its own CPU).
-  CampaignRunner(const casm_::Image& image, const cpu::CpuConfig& config);
+  // loaded once into a shared immutable page base that every trial's CPU
+  // reads through copy-on-write.
+  CampaignRunner(const casm_::Image& image, const cpu::CpuConfig& config,
+                 const CheckpointConfig& checkpoints = {});
 
   // Runs one trial with an explicit fault. Thread-safe: trials share only
   // the golden-run state, read-only; each builds its own CPU.
@@ -100,9 +119,34 @@ class CampaignRunner {
   std::uint64_t golden_instructions() const { return golden_instructions_; }
   const std::string& golden_console() const { return golden_console_; }
 
+  // Checkpoint accounting, for the CLI's stderr acceleration report.
+  bool checkpoints_enabled() const { return checkpoints_.enabled; }
+  std::uint64_t checkpoint_stride() const { return golden_ ? golden_->stride() : 0; }
+  std::size_t snapshot_count() const { return golden_ ? golden_->snapshot_count() : 0; }
+  std::uint64_t restores() const { return restores_.load(std::memory_order_relaxed); }
+  std::uint64_t skipped_instructions() const {
+    return skipped_instructions_.load(std::memory_order_relaxed);
+  }
+
  private:
+  // The golden recording for I-cache-line trials, which force the I-cache on:
+  // when the campaign config already has it on this is golden_ itself,
+  // otherwise a second recording built lazily on the first such trial (most
+  // campaigns attack one site and never pay for the other recording).
+  const CheckpointedGolden& icache_golden() const;
+
   casm_::Image image_;
   cpu::CpuConfig config_;
+  CheckpointConfig checkpoints_;
+  cpu::LoadedImage loaded_;  // shared by every trial, checkpoints on or off
+
+  std::unique_ptr<CheckpointedGolden> golden_;  // null when checkpoints off
+  mutable std::once_flag icache_once_;
+  mutable std::unique_ptr<CheckpointedGolden> icache_golden_;
+
+  mutable std::atomic<std::uint64_t> restores_{0};
+  mutable std::atomic<std::uint64_t> skipped_instructions_{0};
+
   std::uint64_t golden_instructions_ = 0;
   std::string golden_console_;
   std::uint32_t golden_exit_code_ = 0;

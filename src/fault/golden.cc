@@ -1,0 +1,65 @@
+#include "fault/golden.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace cicmon::fault {
+
+CheckpointedGolden::CheckpointedGolden(const cpu::CpuConfig& config,
+                                       const casm_::Image& image,
+                                       const cpu::LoadedImage& loaded,
+                                       std::uint64_t stride) {
+  support::check(!config.recovery.enabled,
+                 "checkpointed golden runs do not support recovery mode");
+  const bool auto_stride = stride == 0;
+  stride_ = auto_stride ? kAutoInitialStride : stride;
+
+  cpu::Cpu cpu(config, image, &loaded);
+  snapshots_.emplace_back();
+  cpu.save_snapshot(&snapshots_.back());  // snapshot 0: pre-execution state
+
+  std::uint64_t next_due = stride_;
+  std::optional<cpu::RunResult> done;
+  while (!done.has_value()) {
+    done = cpu.step();
+    if (done.has_value()) break;
+    if (cpu.instructions_retired() < next_due) continue;
+    if (auto_stride && snapshots_.size() >= kAutoMaxSnapshots) {
+      // Budget reached: double the stride and thin to the surviving grid
+      // (every other snapshot, starting at 0), exactly what recording at the
+      // doubled stride from the start would have kept.
+      stride_ *= 2;
+      std::vector<cpu::Snapshot> kept;
+      kept.reserve(snapshots_.size() / 2 + 1);
+      for (std::size_t i = 0; i < snapshots_.size(); i += 2) {
+        kept.push_back(std::move(snapshots_[i]));
+      }
+      snapshots_ = std::move(kept);
+      next_due = snapshots_.back().instructions + stride_;
+      if (cpu.instructions_retired() < next_due) continue;
+    }
+    snapshots_.emplace_back();
+    cpu.save_snapshot(&snapshots_.back());
+    next_due += stride_;
+  }
+  result_ = *done;
+  support::check(result_.reason == cpu::ExitReason::kExit,
+                 "campaign golden run did not exit cleanly");
+}
+
+const cpu::Snapshot& CheckpointedGolden::nearest_by_instructions(std::uint64_t n) const {
+  auto it = std::upper_bound(
+      snapshots_.begin(), snapshots_.end(), n,
+      [](std::uint64_t v, const cpu::Snapshot& s) { return v < s.instructions; });
+  return *std::prev(it);  // snapshot 0 has instructions == 0 <= any n
+}
+
+const cpu::Snapshot& CheckpointedGolden::nearest_by_transfers(std::uint64_t n) const {
+  auto it = std::upper_bound(
+      snapshots_.begin(), snapshots_.end(), n,
+      [](std::uint64_t v, const cpu::Snapshot& s) { return v < s.bus_transfers; });
+  return *std::prev(it);
+}
+
+}  // namespace cicmon::fault

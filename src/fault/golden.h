@@ -1,0 +1,58 @@
+// Checkpointed golden run — the campaign accelerator's recording side.
+//
+// Runs the fault-free execution once per campaign, recording cpu::Snapshots
+// on an instruction-count schedule. A trial whose trigger fires at index T
+// then restores the nearest snapshot at or before T and executes only the
+// suffix, instead of re-simulating the whole clean prefix (SimPoint/SMARTS-
+// style fast-forward applied to fault injection).
+//
+// Snapshots are interval-indexed on two monotone clocks: retired
+// instructions (post-ID latch and I-cache triggers count these) and fetch-bus
+// transfers (bus tampers count these), so every trigger unit can find its
+// nearest safe restore point.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "casm/image.h"
+#include "cpu/cpu.h"
+#include "cpu/snapshot.h"
+
+namespace cicmon::fault {
+
+class CheckpointedGolden {
+ public:
+  // Records the golden run of `config`/`image` through `loaded` (which must
+  // have been preloaded for the same config). `stride` is the snapshot
+  // spacing in retired instructions; 0 selects the automatic schedule, which
+  // starts dense and doubles the stride (dropping every other snapshot)
+  // whenever the count would exceed a fixed budget, so memory stays bounded
+  // for arbitrarily long runs. Throws if the golden run does not exit
+  // cleanly.
+  CheckpointedGolden(const cpu::CpuConfig& config, const casm_::Image& image,
+                     const cpu::LoadedImage& loaded, std::uint64_t stride);
+
+  // The golden run's final result (this class doubles as THE golden run —
+  // recording uses the single-step interface, whose results are bit-identical
+  // to any engine's run()).
+  const cpu::RunResult& result() const { return result_; }
+
+  std::uint64_t stride() const { return stride_; }
+  std::size_t snapshot_count() const { return snapshots_.size(); }
+
+  // Last snapshot with instructions (resp. bus transfers) <= n. Always
+  // defined: snapshot 0 is the pre-execution state at both clocks' zero.
+  const cpu::Snapshot& nearest_by_instructions(std::uint64_t n) const;
+  const cpu::Snapshot& nearest_by_transfers(std::uint64_t n) const;
+
+  static constexpr std::uint64_t kAutoInitialStride = 1024;
+  static constexpr std::size_t kAutoMaxSnapshots = 128;
+
+ private:
+  std::vector<cpu::Snapshot> snapshots_;  // ascending in both clocks
+  cpu::RunResult result_;
+  std::uint64_t stride_ = 0;
+};
+
+}  // namespace cicmon::fault

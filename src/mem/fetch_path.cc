@@ -32,6 +32,15 @@ void ICache::invalidate_all() {
   for (Line& line : lines_) line.valid = false;
 }
 
+void ICache::restore_state(const State& s) {
+  support::check(s.lines.size() == lines_.size() && s.words.size() == words_.size(),
+                 "ICache::restore_state: geometry mismatch");
+  lines_ = s.lines;
+  words_ = s.words;
+  hits_ = s.hits;
+  misses_ = s.misses;
+}
+
 FetchPath::FetchPath(Memory* memory, const ICacheConfig& icache_config)
     : memory_(memory),
       icache_enabled_(icache_config.enabled),

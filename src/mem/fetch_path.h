@@ -74,11 +74,26 @@ class ICache {
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
 
- private:
   struct Line {
     bool valid = false;
     std::uint32_t tag = 0;
+    bool operator==(const Line&) const = default;
   };
+
+  // Complete mutable cache state, for simulator snapshots. Geometry is
+  // configuration, not state: save/restore assume an identically configured
+  // cache on both sides.
+  struct State {
+    std::vector<Line> lines;
+    std::vector<std::uint32_t> words;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    bool operator==(const State&) const = default;
+  };
+  State save_state() const { return {lines_, words_, hits_, misses_}; }
+  void restore_state(const State& s);
+
+ private:
 
   // Line payloads live in one contiguous buffer (words_per_line words per
   // line) so a fetch hit costs no per-line heap indirection.
@@ -112,6 +127,7 @@ class FetchPath {
 
   void set_bus_tamper(BusTamper* tamper) { tamper_ = tamper; }
   ICache* icache() { return icache_enabled_ ? &icache_ : nullptr; }
+  const ICache* icache() const { return icache_enabled_ ? &icache_ : nullptr; }
 
   // Extra cycles accrued by cache misses since the last call.
   std::uint64_t take_stall_cycles() {
@@ -120,8 +136,18 @@ class FetchPath {
     return cycles;
   }
 
+  // Words that have crossed the memory->processor bus so far. Snapshots
+  // record this so a restored trial can re-arm a transfer-counting bus
+  // tamper relative to where the golden run already was.
+  std::uint64_t bus_transfers() const { return bus_transfers_; }
+  void set_bus_transfers(std::uint64_t n) { bus_transfers_ = n; }
+
+  std::uint64_t pending_stall_cycles() const { return pending_stall_cycles_; }
+  void set_pending_stall_cycles(std::uint64_t cycles) { pending_stall_cycles_ = cycles; }
+
  private:
   std::uint32_t bus_read(std::uint32_t address) {
+    ++bus_transfers_;
     std::uint32_t word = memory_->fetch32(address);
     if (tamper_ != nullptr) word = tamper_->on_transfer(address, word);
     return word;
@@ -133,6 +159,7 @@ class FetchPath {
   ICache icache_;
   unsigned miss_penalty_;
   std::uint64_t pending_stall_cycles_ = 0;
+  std::uint64_t bus_transfers_ = 0;
 };
 
 }  // namespace cicmon::mem

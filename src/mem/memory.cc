@@ -1,20 +1,55 @@
 #include "mem/memory.h"
 
+#include <utility>
+
 namespace cicmon::mem {
 
 const Memory::Page* Memory::find_page_slow(std::uint32_t address) const {
   const std::uint32_t key = address >> kPageBits;
   auto it = pages_.find(key);
-  if (it == pages_.end()) return nullptr;
+  if (it == pages_.end()) {
+    if (!base_) return nullptr;
+    auto bit = base_->find(key);
+    if (bit == base_->end()) return nullptr;
+    mru_key_ = key;
+    mru_page_ = &bit->second;
+    return mru_page_;
+  }
   mru_key_ = key;
   mru_page_ = &it->second;
   return mru_page_;
 }
 
+const Memory::Page* Memory::fetch_find_slow(std::uint32_t key) const {
+  auto it = pages_.find(key);
+  if (it == pages_.end()) {
+    if (!base_) return nullptr;
+    auto bit = base_->find(key);
+    if (bit == base_->end()) return nullptr;
+    fetch_mru_key_ = key;
+    fetch_mru_page_ = &bit->second;
+    return fetch_mru_page_;
+  }
+  fetch_mru_key_ = key;
+  fetch_mru_page_ = &it->second;
+  return fetch_mru_page_;
+}
+
 Memory::Page& Memory::ensure_page(std::uint32_t address) {
   const std::uint32_t key = address >> kPageBits;
-  Page& page = pages_[key];
-  if (page.empty()) page.resize(kPageSize, 0);
+  auto [it, inserted] = pages_.try_emplace(key);
+  Page& page = it->second;
+  if (inserted) {
+    // Copy-on-write: materialize the base page (or a zero page) privately.
+    if (base_) {
+      auto bit = base_->find(key);
+      if (bit != base_->end()) page = bit->second;
+    }
+    if (page.empty()) page.resize(kPageSize, 0);
+    // Either MRU slot may still point at the superseded base page; retarget
+    // so subsequent reads observe the write.
+    if (fetch_mru_key_ == key) fetch_mru_page_ = &page;
+  }
   mru_key_ = key;
   mru_page_ = &page;
   return page;
@@ -36,6 +71,30 @@ void Memory::load_image(const casm_::Image& image) {
 void Memory::flip_bit(std::uint32_t address, unsigned bit_index) {
   const std::uint8_t byte = read8(address);
   write8(address, static_cast<std::uint8_t>(byte ^ (1U << (bit_index & 7U))));
+}
+
+std::shared_ptr<const Memory::PageMap> Memory::freeze() {
+  auto frozen = std::make_shared<PageMap>(std::move(pages_));
+  // Pages already in the old base stay reachable through it: merge them in so
+  // the new base is self-contained (freeze-of-a-frozen Memory keeps working).
+  if (base_) {
+    for (const auto& [key, page] : *base_) frozen->try_emplace(key, page);
+  }
+  base_ = std::move(frozen);
+  pages_ = PageMap{};
+  reset_mru();
+  return base_;
+}
+
+void Memory::set_base(std::shared_ptr<const PageMap> base) {
+  base_ = std::move(base);
+  pages_.clear();
+  reset_mru();
+}
+
+void Memory::restore_pages(PageMap delta) {
+  pages_ = std::move(delta);
+  reset_mru();
 }
 
 }  // namespace cicmon::mem

@@ -4,6 +4,13 @@
 // instructions may compute wild addresses before the monitor stops them —
 // never crash the host. Reads of unbacked pages return zero; writes allocate.
 // Little-endian, matching the ISA encodings.
+//
+// A Memory can additionally sit on top of a shared immutable *base image*
+// (copy-on-write): reads fall through to the base, the first write to a base
+// page copies it into the private overlay. The fault-campaign engine freezes
+// one post-loader Memory per campaign and shares it across every trial, so
+// trials stop paying the loader (and its hash computation) per CPU, and
+// snapshots only need to carry the overlay delta.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +24,12 @@ namespace cicmon::mem {
 
 class Memory {
  public:
+  static constexpr std::uint32_t kPageBits = 12;  // 4 KiB pages
+  static constexpr std::uint32_t kPageSize = 1U << kPageBits;
+
+  using Page = std::vector<std::uint8_t>;
+  using PageMap = std::unordered_map<std::uint32_t, Page>;  // key: address >> kPageBits
+
   Memory() = default;
 
   // The accessors live in the header: instruction fetch performs a read32 per
@@ -53,10 +66,8 @@ class Memory {
   std::uint32_t fetch32(std::uint32_t address) const {
     const std::uint32_t key = address >> kPageBits;
     if (key != fetch_mru_key_) {
-      auto it = pages_.find(key);
-      if (it == pages_.end()) return 0;
-      fetch_mru_key_ = key;
-      fetch_mru_page_ = &it->second;
+      const Page* page = fetch_find_slow(key);
+      if (page == nullptr) return 0;
     }
     const std::uint8_t* p = fetch_mru_page_->data() + (address & (kPageSize - 1));
     return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
@@ -92,14 +103,26 @@ class Memory {
   // Fault-injection primitive: flips one bit of the byte at `address`.
   void flip_bit(std::uint32_t address, unsigned bit_index);
 
+  // --- Copy-on-write base image ---
+  //
+  // freeze() moves the current contents into a shared immutable base and
+  // leaves this Memory reading through it with an empty overlay. The
+  // returned map can seed any number of other Memories via set_base();
+  // each then copies pages privately on first write.
+  std::shared_ptr<const PageMap> freeze();
+  void set_base(std::shared_ptr<const PageMap> base);
+
+  // The private overlay (pages touched since freeze/set_base/restore) —
+  // exactly the delta a snapshot needs to carry.
+  const PageMap& delta_pages() const { return pages_; }
+
+  // Replaces the overlay wholesale (snapshot restore). The base is untouched.
+  void restore_pages(PageMap delta);
+
+  // Overlay pages only; base pages are shared, not allocations of this Memory.
   std::size_t pages_allocated() const { return pages_.size(); }
 
  private:
-  static constexpr std::uint32_t kPageBits = 12;  // 4 KiB pages
-  static constexpr std::uint32_t kPageSize = 1U << kPageBits;
-
-  using Page = std::vector<std::uint8_t>;
-
   const Page* find_page(std::uint32_t address) const {
     const std::uint32_t key = address >> kPageBits;
     if (key == mru_key_) return mru_page_;
@@ -107,17 +130,28 @@ class Memory {
   }
 
   const Page* find_page_slow(std::uint32_t address) const;
+  const Page* fetch_find_slow(std::uint32_t key) const;
   Page& ensure_page(std::uint32_t address);
 
-  std::unordered_map<std::uint32_t, Page> pages_;  // key: address >> kPageBits
+  void reset_mru() {
+    mru_key_ = fetch_mru_key_ = 0xFFFF'FFFFU;
+    mru_page_ = fetch_mru_page_ = nullptr;
+  }
+
+  PageMap pages_;  // private overlay (all pages when there is no base)
+  // Shared immutable post-loader image; null when this Memory stands alone.
+  // Reads fall through to it, the first write to one of its pages copies the
+  // page into the overlay (copy-on-write).
+  std::shared_ptr<const PageMap> base_;
 
   // Most-recently-used page, short-circuiting the hash lookup on the
   // sequential access patterns of instruction fetch. Safe to cache: mapped
-  // values in an unordered_map are pointer-stable and pages are never erased.
-  // NOTE: updated by const reads, so a Memory is not thread-safe even for
-  // concurrent readers — the engine's ownership model is one Memory per Cpu
-  // per trial (shared golden state is the immutable casm_::Image, never a
-  // Memory).
+  // values in an unordered_map are pointer-stable, pages are never erased,
+  // and ensure_page retargets both slots when a copy-on-write supersedes a
+  // cached base page. NOTE: updated by const reads, so a Memory is not
+  // thread-safe even for concurrent readers — the engine's ownership model is
+  // one Memory per Cpu per trial (shared golden state is the immutable base
+  // PageMap, which no Memory mutates).
   mutable std::uint32_t mru_key_ = 0xFFFF'FFFFU;
   mutable const Page* mru_page_ = nullptr;
   mutable std::uint32_t fetch_mru_key_ = 0xFFFF'FFFFU;

@@ -80,6 +80,8 @@ struct OsMonitorStats {
   std::uint64_t records_loaded = 0;
   std::uint64_t fht_probes = 0;
   std::uint64_t cycles_charged = 0;
+
+  bool operator==(const OsMonitorStats&) const = default;
 };
 
 class OsMonitor {
@@ -96,6 +98,10 @@ class OsMonitor {
   const cfg::FullHashTable& fht() const { return fht_; }
   const OsMonitorStats& stats() const { return stats_; }
   const OsConfig& config() const { return config_; }
+
+  // Stats are the OS model's only mutable state (the FHT is immutable after
+  // load), so snapshot restore is a plain stats overwrite.
+  void restore_stats(const OsMonitorStats& stats) { stats_ = stats; }
 
  private:
   std::uint64_t charge(std::uint64_t cycles);

@@ -86,6 +86,20 @@ class Rng {
   // Bernoulli trial.
   bool chance(double probability) { return next_double() < probability; }
 
+  // Raw generator state, exposed so simulator snapshots can capture and
+  // restore mid-stream RNGs (e.g. the IHT's random-replacement stream)
+  // bit-exactly. Not for seeding — use the constructor for that.
+  struct State {
+    std::uint64_t s0 = 0;
+    std::uint64_t s1 = 0;
+    bool operator==(const State&) const = default;
+  };
+  State state() const { return {state0_, state1_}; }
+  void set_state(const State& s) {
+    state0_ = s.s0;
+    state1_ = s.s1;
+  }
+
  private:
   static constexpr std::uint64_t rotl64(std::uint64_t v, int k) {
     return (v << k) | (v >> (64 - k));

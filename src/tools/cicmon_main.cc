@@ -103,6 +103,12 @@ struct Options {
   // explicit choice to its workers.
   std::string engine_flag;
   std::string translate_cache_flag;
+  // Campaign checkpointing (fault::CheckpointConfig): a pure execution
+  // strategy like the engine choice — byte-identical results on or off, at
+  // any stride — so it is forwarded to dispatch workers but never becomes a
+  // sweep parameter.
+  bool checkpoints = true;
+  std::uint64_t checkpoint_stride = 0;  // 0 = automatic schedule
 };
 
 [[noreturn]] void usage(int code) {
@@ -134,7 +140,18 @@ struct Options {
       "  --trials N       campaign trials (default 1000)\n"
       "  --seed X         campaign seed (default 2026)\n"
       "  --monitor on|off campaign machine has the CIC (default on)\n"
-      "  --json PATH      bench: also write results as JSON to PATH\n"
+      "  --checkpoints on|off\n"
+      "                   campaign: fast-forward each trial by restoring the\n"
+      "                   nearest golden-run snapshot before its trigger instead\n"
+      "                   of re-simulating the clean prefix; never changes a\n"
+      "                   trial outcome (default on; off exists for A/B checks\n"
+      "                   and is forced under recovery mode)\n"
+      "  --checkpoint-stride N\n"
+      "                   campaign snapshot spacing in retired instructions;\n"
+      "                   0 = automatic bounded-memory schedule (default 0)\n"
+      "  --json PATH      bench: also write results as JSON to PATH;\n"
+      "                   campaign (direct run): write a campaign section with\n"
+      "                   the trials/sec trajectory metric instead\n"
       "  --engine E       execution engine: 'threaded' (fused superinstruction\n"
       "                   handlers behind a tamper-safe translation cache) or\n"
       "                   'switch' (the per-uop predecode interpreter); both\n"
@@ -245,12 +262,12 @@ std::string did_you_mean(std::string_view given, std::span<const std::string_vie
 constexpr std::array<std::string_view, 10> kCommands = {
     "table1", "fig6",  "blocks",    "bench", "campaign",
     "worker", "dispatch", "merge", "workloads", "help"};
-constexpr std::array<std::string_view, 26> kFlags = {
+constexpr std::array<std::string_view, 28> kFlags = {
     "--scale", "--jobs",    "--entries", "--capacities", "--workload", "--site",
     "--bits",  "--trials",  "--seed",    "--monitor",    "--json",     "--shard",
     "--out",   "--force",   "--workers", "--shards",     "--transport", "--retries",
     "--timeout", "--dir",   "--quiet",   "--dry-run",    "--exec-per-shard", "--help",
-    "--engine", "--translate-cache"};
+    "--engine", "--translate-cache", "--checkpoints", "--checkpoint-stride"};
 
 // `first` is the index of the first flag: 2 for `cicmon <cmd> ...`, 3 for
 // `cicmon dispatch <cmd> ...`.
@@ -344,6 +361,16 @@ Options parse_options(int argc, char** argv, bool allow_positional, int first = 
       if (v != "on" && v != "off") usage(2);
       cpu::set_default_translate_cache(v == "on");
       options.translate_cache_flag = v;
+    } else if (flag == "--checkpoints") {
+      const std::string_view v = value();
+      if (v != "on" && v != "off") usage(2);
+      options.checkpoints = v == "on";
+    } else if (flag == "--checkpoint-stride") {
+      const char* text = value();
+      char* end = nullptr;
+      const unsigned long long stride = std::strtoull(text, &end, 10);
+      if (end == text || *end != '\0') usage(2);
+      options.checkpoint_stride = stride;
     } else if (flag == "--help" || flag == "-h") {
       usage(0);
     } else if (allow_positional && (flag.empty() || flag.front() != '-')) {
@@ -464,6 +491,17 @@ void render_campaign(const exp::SweepParams& params,
               support::Table::fmt_pct(summary.detection_rate_total()).c_str());
 }
 
+int write_json_file(const std::string& path, const std::string& text) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cicmon: cannot write JSON to '%s'\n", path.c_str());
+    return 1;
+  }
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fclose(out);
+  return 0;
+}
+
 // Writes the bench cells as a stable machine-readable JSON document (the
 // `cicmon-bench-v1` schema consumed by CI's regression gate and committed as
 // the BENCH_*.json trajectory artifacts). Simulated columns (instructions,
@@ -513,16 +551,7 @@ int write_bench_json(const std::string& path, double scale, unsigned jobs,
   json.value_fixed(total_minstr / (total_ms / 1000.0), 3);
   json.end_object();
   json.end_object();
-
-  std::FILE* out = std::fopen(path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cicmon: cannot write JSON to '%s'\n", path.c_str());
-    return 1;
-  }
-  const std::string text = json.take();
-  std::fwrite(text.data(), 1, text.size(), out);
-  std::fclose(out);
-  return 0;
+  return write_json_file(path, json.take());
 }
 
 // `total_ms` < 0 means "no whole-run measurement" (the merge path) and is
@@ -658,7 +687,9 @@ SweepBundle make_campaign_sweep(const Options& options) {
   cpu::CpuConfig config;
   config.monitoring = options.monitor;
   config.cic.iht_entries = 16;
-  auto runner = std::make_unique<fault::CampaignRunner>(image, config);
+  auto runner = std::make_unique<fault::CampaignRunner>(
+      image, config,
+      fault::CheckpointConfig{options.checkpoints, options.checkpoint_stride});
 
   exp::SweepSpec spec = runner->sweep(site, options.bits, options.trials, options.seed);
   // Parameters the runner cannot know but rendering and artifact matching
@@ -683,10 +714,77 @@ SweepBundle make_sweep(std::string_view command, const Options& options) {
   return make_campaign_sweep(options);
 }
 
+// Campaign counterpart of write_bench_json: the same cicmon-bench-v1 schema,
+// but carrying a "campaign" object instead of the workload grid, so the
+// campaign path has its own machine-readable perf trajectory number
+// (trials_per_sec — the figure BENCH_PR7.json tracks before/after
+// checkpointing). Everything except wall_ms/trials_per_sec is deterministic.
+int write_campaign_json(const std::string& path, const Options& options,
+                        const fault::CampaignRunner& runner, double wall_ms) {
+  support::JsonWriter json;
+  json.begin_object();
+  json.key("schema");
+  json.value("cicmon-bench-v1");
+  json.key("campaign");
+  json.begin_object();
+  json.key("workload");
+  json.value(options.workload);
+  json.key("scale");
+  json.value(options.scale);
+  json.key("site");
+  json.value(options.site);
+  json.key("bits");
+  json.value_u64(options.bits);
+  json.key("trials");
+  json.value_u64(options.trials);
+  json.key("seed");
+  json.value_u64(options.seed);
+  json.key("monitor");
+  json.value(options.monitor ? "on" : "off");
+  json.key("engine");
+  json.value(std::string(cpu::engine_name(cpu::default_engine())));
+  json.key("jobs");
+  json.value_u64(support::resolve_jobs(options.jobs));
+  json.key("checkpoints");
+  json.value(runner.checkpoints_enabled() ? "on" : "off");
+  json.key("checkpoint_stride");
+  json.value_u64(runner.checkpoint_stride());
+  json.key("snapshots");
+  json.value_u64(runner.snapshot_count());
+  json.key("restores");
+  json.value_u64(runner.restores());
+  json.key("skipped_instructions");
+  json.value_u64(runner.skipped_instructions());
+  json.key("golden_instructions");
+  json.value_u64(runner.golden_instructions());
+  json.key("wall_ms");
+  json.value_fixed(wall_ms, 1);
+  json.key("trials_per_sec");
+  json.value_fixed(static_cast<double>(options.trials) / (wall_ms / 1000.0), 1);
+  json.end_object();
+  json.end_object();
+  return write_json_file(path, json.take());
+}
+
 int cmd_campaign(const Options& options) {
   const SweepBundle bundle = make_campaign_sweep(options);
+  const fault::CampaignRunner& runner = *bundle.keepalive;
   const auto start = std::chrono::steady_clock::now();
   const int code = run_sweep_command(bundle.spec, options);
+  // The acceleration report: how much clean-prefix simulation the snapshot
+  // restores avoided in this process (a sharded invocation reports its own
+  // shard's share).
+  if (runner.checkpoints_enabled()) {
+    std::fprintf(stderr,
+                 "campaign: checkpoints on, stride %llu, %zu snapshot(s); "
+                 "%llu restore(s) skipped %llu instructions\n",
+                 static_cast<unsigned long long>(runner.checkpoint_stride()),
+                 runner.snapshot_count(),
+                 static_cast<unsigned long long>(runner.restores()),
+                 static_cast<unsigned long long>(runner.skipped_instructions()));
+  } else {
+    std::fprintf(stderr, "campaign: checkpoints off (full re-execution per trial)\n");
+  }
   if (!sharded_mode(options)) {
     const double ms =
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
@@ -694,6 +792,9 @@ int cmd_campaign(const Options& options) {
     std::fprintf(stderr, "campaign: %u jobs, %.0f ms wall (%.1f trials/s)\n",
                  support::resolve_jobs(options.jobs), ms,
                  static_cast<double>(options.trials) / (ms / 1000.0));
+    if (code == 0 && !options.json_path.empty()) {
+      return write_campaign_json(options.json_path, options, runner, ms);
+    }
   }
   return code;
 }
@@ -783,7 +884,12 @@ std::vector<std::string> worker_sweep_flags(std::string_view command, const Opti
                  {"--workload", options.workload, "--site", options.site, "--bits",
                   std::to_string(options.bits), "--trials", std::to_string(options.trials),
                   "--seed", std::to_string(options.seed), "--monitor",
-                  options.monitor ? "on" : "off"});
+                  options.monitor ? "on" : "off",
+                  // Like --engine: an execution strategy, not a sweep
+                  // parameter — forwarded so the workers accelerate (or A/B)
+                  // the same way the user asked the orchestrator to.
+                  "--checkpoints", options.checkpoints ? "on" : "off",
+                  "--checkpoint-stride", std::to_string(options.checkpoint_stride)});
   }
   return flags;
 }
@@ -880,6 +986,12 @@ int cmd_dispatch(int argc, char** argv) {
     std::fprintf(stderr,
                  "cicmon: --shard/--out cannot be combined with dispatch — the orchestrator "
                  "shards for you (use --shards N and --dir DIR)\n");
+    return 2;
+  }
+  if (sub == "campaign" && !options.json_path.empty()) {
+    std::fprintf(stderr,
+                 "cicmon: --json on a dispatched campaign is not supported — trials/sec is a "
+                 "one-process measurement; use the direct 'cicmon campaign --json PATH'\n");
     return 2;
   }
 

@@ -4,6 +4,7 @@
 
 #include "casm/builder.h"
 #include "cpu/cpu.h"
+#include "cpu/snapshot.h"
 
 namespace cicmon::cpu {
 namespace {
@@ -597,6 +598,110 @@ TEST(Monitoring, GprAndMemoryInspection) {
   cpu.run();
   EXPECT_EQ(cpu.gpr(kT3), 77U);
   EXPECT_FALSE(cpu.running());
+}
+
+// A program long enough to cut mid-stream, with memory writes (snapshot
+// delta pages), console output and a self-check (both live in RunResult, so
+// a restore that lost either would fail the equality below).
+casm_::Image snapshot_program() {
+  Asm a;
+  a.data_symbol("acc");
+  a.data_word(0);
+  a.func("main");
+  a.la(kT2, "acc");
+  a.li(kT0, 30);
+  Label loop = a.bound_label();
+  a.lw(kT1, 0, kT2);
+  a.addu(kT1, kT1, kT0);
+  a.sw(kT1, 0, kT2);
+  a.addiu(kT0, kT0, -1);
+  a.bnez(kT0, loop);
+  a.lw(kA0, 0, kT2);
+  a.sys(casm_::Sys::kPutInt);
+  a.check_eq(kA0, 465);
+  a.sys_exit(0);
+  return a.finalize();
+}
+
+TEST(Snapshot, RestoredRunMatchesUninterruptedRun) {
+  // The checkpoint contract at CPU granularity: stepping K instructions,
+  // saving a Snapshot, restoring it into a *fresh* CPU and running must
+  // produce a RunResult bit-identical to the uninterrupted run — for every
+  // engine, with and without the monitor, with and without the I-cache.
+  const casm_::Image image = snapshot_program();
+  for (const Engine engine : {Engine::kSwitch, Engine::kThreaded}) {
+    for (const bool monitoring : {false, true}) {
+      for (const bool icache : {false, true}) {
+        CpuConfig config;
+        config.engine = engine;
+        config.monitoring = monitoring;
+        config.cic.iht_entries = 8;
+        config.icache.enabled = icache;
+        const LoadedImage loaded = preload_image(config, image);
+        Cpu straight(config, image, &loaded);
+        const RunResult want = straight.run();
+        ASSERT_EQ(want.reason, ExitReason::kExit);
+        ASSERT_EQ(want.console, "465");
+
+        for (const std::uint64_t cut : {1, 17, 64, 140}) {
+          Cpu prefix(config, image, &loaded);
+          while (prefix.instructions_retired() < cut) {
+            ASSERT_FALSE(prefix.step().has_value()) << "program shorter than cut " << cut;
+          }
+          Snapshot snapshot;
+          prefix.save_snapshot(&snapshot);
+          Cpu resumed(config, image, &loaded);
+          resumed.restore_snapshot(snapshot);
+          const RunResult got = resumed.run();
+          EXPECT_TRUE(got == want)
+              << "engine " << engine_name(engine) << ", monitor " << monitoring << ", icache "
+              << icache << ", cut at " << cut << ": console '" << got.console << "' vs '"
+              << want.console << "', " << got.instructions << " vs " << want.instructions
+              << " instructions, " << got.cycles << " vs " << want.cycles << " cycles";
+        }
+      }
+    }
+  }
+}
+
+TEST(Snapshot, PreloadedImageMatchesFreshConstruction) {
+  // Trials read the program through a shared immutable post-loader image;
+  // that COW path must be invisible next to the classic per-CPU loader.
+  const casm_::Image image = snapshot_program();
+  for (const bool monitoring : {false, true}) {
+    CpuConfig config;
+    config.monitoring = monitoring;
+    config.cic.iht_entries = 8;
+    Cpu classic(config, image);
+    const LoadedImage loaded = preload_image(config, image);
+    Cpu shared_a(config, image, &loaded);
+    Cpu shared_b(config, image, &loaded);  // the base serves many CPUs at once
+    const RunResult want = classic.run();
+    EXPECT_TRUE(shared_a.run() == want) << "monitor " << monitoring;
+    EXPECT_TRUE(shared_b.run() == want) << "monitor " << monitoring;
+  }
+}
+
+TEST(Snapshot, SnapshotZeroRestoresToFreshState) {
+  // Snapshot 0 (taken before the first step) restored into a CPU that has
+  // already diverged must bring it back to the clean start.
+  const casm_::Image image = snapshot_program();
+  CpuConfig config;
+  config.monitoring = true;
+  config.cic.iht_entries = 8;
+  const LoadedImage loaded = preload_image(config, image);
+  Cpu reference(config, image, &loaded);
+  const RunResult want = reference.run();
+
+  Cpu cpu(config, image, &loaded);
+  Snapshot zero;
+  cpu.save_snapshot(&zero);
+  for (int i = 0; i < 25; ++i) ASSERT_FALSE(cpu.step().has_value());
+  cpu.memory().write32(0x9000, 0xDEAD);  // dirty a page the program never uses
+  cpu.restore_snapshot(zero);
+  EXPECT_EQ(cpu.instructions_retired(), 0U);
+  EXPECT_EQ(cpu.memory().read32(0x9000), 0U);
+  EXPECT_TRUE(cpu.run() == want);
 }
 
 }  // namespace

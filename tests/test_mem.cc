@@ -58,6 +58,62 @@ TEST(Memory, LoadImagePlacesSections) {
   EXPECT_EQ(m.read32(image.data_base), 0xCAFEF00DU);
 }
 
+TEST(Memory, FreezeSharesImmutableBaseAcrossInstances) {
+  Memory source;
+  source.write32(0x1000, 0xA1B2C3D4);
+  source.write32(0x5000, 0x11223344);
+  const auto base = source.freeze();
+  EXPECT_EQ(source.pages_allocated(), 0U);        // overlay empty after freeze
+  EXPECT_EQ(source.read32(0x1000), 0xA1B2C3D4U);  // reads fall through to base
+
+  Memory a;
+  Memory b;
+  a.set_base(base);
+  b.set_base(base);
+  EXPECT_EQ(a.read32(0x1000), 0xA1B2C3D4U);
+  EXPECT_EQ(b.read32(0x5000), 0x11223344U);
+  a.write32(0x1000, 0xDEADBEEF);  // copy-on-write into a's private overlay
+  EXPECT_EQ(a.read32(0x1000), 0xDEADBEEFU);
+  EXPECT_EQ(a.pages_allocated(), 1U);
+  EXPECT_EQ(b.read32(0x1000), 0xA1B2C3D4U);  // b and the base are untouched
+  EXPECT_EQ(b.pages_allocated(), 0U);
+}
+
+TEST(Memory, CowCopyRetargetsMruSlots) {
+  // Regression: a read caches the *base* page in an MRU slot; the first
+  // write to that page must retarget the slot along with the copy-on-write,
+  // or the next access through it would read the stale immutable page.
+  Memory source;
+  source.write32(0x2000, 7);
+  const auto base = source.freeze();
+  Memory m;
+  m.set_base(base);
+  EXPECT_EQ(m.read32(0x2000), 7U);   // data MRU now points into the base
+  EXPECT_EQ(m.fetch32(0x2000), 7U);  // fetch MRU too
+  m.write32(0x2000, 9);
+  EXPECT_EQ(m.read32(0x2000), 9U);
+  EXPECT_EQ(m.fetch32(0x2000), 9U);
+}
+
+TEST(Memory, DeltaRoundTripRestoresCowState) {
+  Memory source;
+  source.write32(0x3000, 1);
+  const auto base = source.freeze();
+  Memory m;
+  m.set_base(base);
+  m.write32(0x3000, 2);
+  m.write32(0x8000, 3);
+  const Memory::PageMap delta = m.delta_pages();
+  EXPECT_EQ(delta.size(), 2U);
+  m.write32(0x3000, 100);  // diverge past the capture point
+  m.write32(0xC000, 200);
+  m.restore_pages(delta);
+  EXPECT_EQ(m.read32(0x3000), 2U);
+  EXPECT_EQ(m.read32(0x8000), 3U);
+  EXPECT_EQ(m.read32(0xC000), 0U);  // the diverged page is gone
+  EXPECT_EQ(m.pages_allocated(), 2U);
+}
+
 TEST(ICache, HitsAfterRefill) {
   ICacheConfig config;
   config.enabled = true;
