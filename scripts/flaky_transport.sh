@@ -21,10 +21,34 @@
 #   scripts/flaky_transport.sh --session MARKERS 4/7 -- \
 #       ./build/cicmon dispatch campaign ... --workers 3 --shards 7
 #
-# leaves MARKERS/4of7 once the sabotage fired. In both modes the marker
+# leaves MARKERS/4of7 once the sabotage fired.
+#
+# Golden mode (wraps the whole `cicmon dispatch` invocation): arms the
+# mid-golden-chunk death hook (CICMON_WORKER_FLAKY_GOLDEN), so the first
+# persistent session to receive a golden-state chunk SIGKILLs itself
+# mid-stream — the orchestrator must tear that session down as a handshake
+# failure and finish the run on its replacement:
+#
+#   scripts/flaky_transport.sh --golden MARKERS -- \
+#       ./build/cicmon dispatch campaign ... --workers 3 --shards 7
+#
+# leaves MARKERS/golden once the sabotage fired. In every mode the marker
 # directory records which sabotages happened, so a test can assert the kill
 # actually took place.
 set -u
+
+if [[ ${1:-} == --golden ]]; then
+  shift
+  if [[ $# -lt 2 ]]; then
+    echo "usage: flaky_transport.sh --golden MARKER_DIR -- DISPATCH_CMD..." >&2
+    exit 2
+  fi
+  marker_dir=$1
+  shift
+  [[ ${1:-} == -- ]] && shift
+  mkdir -p "${marker_dir}"
+  CICMON_WORKER_FLAKY_GOLDEN=1 CICMON_WORKER_FLAKY_MARKER="${marker_dir}" exec "$@"
+fi
 
 if [[ ${1:-} == --session ]]; then
   shift

@@ -148,13 +148,15 @@ if [[ -x ${build_dir}/cicmon ]]; then
   rm -rf "${shard_dir}"
 fi
 
-# Dispatch must reproduce the direct run byte for byte in both modes —
-# persistent worker sessions (the local default) and the exec-per-shard
-# fallback — and merge must accept the artifact directory. The wall-clock
-# overhead vs the direct run is the dispatch tax; set
-# CICMON_DISPATCH_BENCH_JSON=path to record both modes (the BENCH_PR5.json
-# trajectory artifact; sessions amortise the per-shard spawn + golden run
-# that dominated BENCH_PR4's exec numbers).
+# Dispatch must reproduce the direct run byte for byte in every mode —
+# persistent worker sessions with golden-state shipping (the default),
+# sessions with shipping off (every worker derives locally), and the
+# exec-per-shard fallback — and merge must accept the artifact directory.
+# The wall-clock overhead vs the direct run is the dispatch tax; set
+# CICMON_DISPATCH_BENCH_JSON=path to record all modes (the BENCH_PR8.json
+# trajectory artifact; sessions amortise the per-shard spawn that dominated
+# BENCH_PR4's exec numbers, and shipping removes the per-worker golden run
+# that dominated BENCH_PR5's session numbers).
 if [[ -x ${build_dir}/cicmon ]]; then
   echo "--- cicmon dispatch"
   dispatch_dir=$(mktemp -d)
@@ -164,26 +166,36 @@ if [[ -x ${build_dir}/cicmon ]]; then
   t1=$(date +%s%3N)
   "${build_dir}/cicmon" dispatch campaign --workload bitcount --scale 0.02 --trials 200 \
     --workers 3 --shards 7 --dir "${dispatch_dir}/shards" --quiet \
-    2> /dev/null > "${dispatch_dir}/sessions.txt"
+    2> "${dispatch_dir}/sessions.err" > "${dispatch_dir}/sessions.txt"
   t2=$(date +%s%3N)
+  "${build_dir}/cicmon" dispatch campaign --workload bitcount --scale 0.02 --trials 200 \
+    --workers 3 --shards 7 --dir "${dispatch_dir}/shards-noship" --ship-golden off --quiet \
+    2> /dev/null > "${dispatch_dir}/noship.txt"
+  t3=$(date +%s%3N)
   "${build_dir}/cicmon" dispatch campaign --workload bitcount --scale 0.02 --trials 200 \
     --workers 3 --shards 7 --dir "${dispatch_dir}/shards-exec" --exec-per-shard --quiet \
     2> /dev/null > "${dispatch_dir}/exec.txt"
-  t3=$(date +%s%3N)
+  t4=$(date +%s%3N)
   direct_ms=$((t1 - t0))
   session_ms=$((t2 - t1))
-  exec_ms=$((t3 - t2))
+  noship_ms=$((t3 - t2))
+  exec_ms=$((t4 - t3))
   if ! diff "${dispatch_dir}/direct.txt" "${dispatch_dir}/sessions.txt" ||
+     ! diff "${dispatch_dir}/direct.txt" "${dispatch_dir}/noship.txt" ||
      ! diff "${dispatch_dir}/direct.txt" "${dispatch_dir}/exec.txt" ||
      ! "${build_dir}/cicmon" merge "${dispatch_dir}/shards" > "${dispatch_dir}/merged.txt" ||
      ! diff "${dispatch_dir}/direct.txt" "${dispatch_dir}/merged.txt"; then
     echo "--- cicmon dispatch: output differs from the direct run" >&2
     failures=$((failures + 1))
+  elif ! grep -q "shipped" "${dispatch_dir}/sessions.err"; then
+    echo "--- cicmon dispatch: no worker took the golden shipment" >&2
+    cat "${dispatch_dir}/sessions.err" >&2
+    failures=$((failures + 1))
   else
-    echo "    direct ${direct_ms} ms, sessions ${session_ms} ms, exec-per-shard ${exec_ms} ms (3 workers, 7 shards)"
+    echo "    direct ${direct_ms} ms, sessions ${session_ms} ms (ship-golden off ${noship_ms} ms), exec-per-shard ${exec_ms} ms (3 workers, 7 shards)"
     if [[ -n ${CICMON_DISPATCH_BENCH_JSON:-} ]]; then
-      printf '{\n  "schema": "cicmon-dispatch-bench-v2",\n  "command": "cicmon dispatch campaign --workload bitcount --scale 0.02 --trials 200 --workers 3 --shards 7",\n  "direct_ms": %s,\n  "session_ms": %s,\n  "exec_ms": %s\n}\n' \
-        "${direct_ms}" "${session_ms}" "${exec_ms}" > "${CICMON_DISPATCH_BENCH_JSON}"
+      printf '{\n  "schema": "cicmon-dispatch-bench-v3",\n  "command": "cicmon dispatch campaign --workload bitcount --scale 0.02 --trials 200 --workers 3 --shards 7",\n  "direct_ms": %s,\n  "session_ms": %s,\n  "session_noship_ms": %s,\n  "exec_ms": %s\n}\n' \
+        "${direct_ms}" "${session_ms}" "${noship_ms}" "${exec_ms}" > "${CICMON_DISPATCH_BENCH_JSON}"
     fi
   fi
   # The --dry-run plan must print the grid without creating anything.

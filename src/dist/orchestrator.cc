@@ -195,8 +195,9 @@ void run_exec(RunState& state, const WorkerCommand& base, Transport& transport) 
 
 // --- persistent-session mode ----------------------------------------------
 
-void run_sessions(RunState& state, const WorkerCommand& base) {
-  const std::vector<std::string> argv = session_worker_argv(base, state.plan.jobs);
+void run_sessions(RunState& state, const WorkerCommand& base, Transport& transport) {
+  WorkerCommand command = base;
+  command.session_argv = session_worker_argv(base, state.plan.jobs);
   std::vector<std::unique_ptr<WorkerSession>> sessions;
   sessions.reserve(state.plan.workers);
   // A session that dies before completing a handshake is not tied to any
@@ -209,10 +210,7 @@ void run_sessions(RunState& state, const WorkerCommand& base) {
   auto spawn_ready_count = [&] {
     std::size_t n = 0;
     for (const auto& session : sessions) {
-      if (session->state() == WorkerSession::State::kHandshaking ||
-          session->state() == WorkerSession::State::kIdle) {
-        ++n;
-      }
+      if (session->pre_ready() || session->state() == WorkerSession::State::kIdle) ++n;
     }
     return n;
   };
@@ -237,12 +235,13 @@ void run_sessions(RunState& state, const WorkerCommand& base) {
 
     // Top up the fleet: one session per worker slot, but never more sessions
     // than there is pending work for (a session serves many items, so idle
-    // extras would only pay a useless golden run).
+    // extras would only pay a useless golden derivation).
     while (sessions.size() < state.plan.workers &&
            spawn_ready_count() < state.queue.pending()) {
       try {
         sessions.push_back(std::make_unique<WorkerSession>(
-            argv, deadline_after(state.config.timeout_seconds), state.config.shutdown_grace));
+            transport.launch_session(command), state.config.golden.get(),
+            deadline_after(state.config.timeout_seconds), state.config.shutdown_grace));
         ++state.result.launched;
       } catch (const support::CicError& error) {
         ++handshake_failures;
@@ -269,7 +268,7 @@ void run_sessions(RunState& state, const WorkerCommand& base) {
     const Clock::time_point now = Clock::now();
     for (auto& session : sessions) {
       if (session->state() == WorkerSession::State::kDead) continue;
-      const bool was_handshaking = session->state() == WorkerSession::State::kHandshaking;
+      const bool was_pre_ready = session->pre_ready();
       WorkerSession::Event event = session->pump(state.spec, now);
       switch (event.kind) {
         case WorkerSession::Event::Kind::kNone:
@@ -277,9 +276,17 @@ void run_sessions(RunState& state, const WorkerCommand& base) {
         case WorkerSession::Event::Kind::kReady:
           advanced = true;
           handshake_failures = 0;
+          if (event.golden == "shipped") {
+            ++state.result.golden_shipped;
+          } else if (event.golden == "cached") {
+            ++state.result.golden_cached;
+          } else if (event.golden == "derived") {
+            ++state.result.golden_derived;
+          }
           break;
         case WorkerSession::Event::Kind::kDone: {
           advanced = true;
+          state.result.worker_wall_ms += event.wall_ms;
           WorkItem item = session->take_item();
           std::string why;
           exp::ShardArtifact artifact;
@@ -301,7 +308,7 @@ void run_sessions(RunState& state, const WorkerCommand& base) {
           break;
         case WorkerSession::Event::Kind::kFailed:
           advanced = true;
-          if (was_handshaking) {
+          if (was_pre_ready) {
             ++handshake_failures;
             last_handshake_error = event.reason;
           }
@@ -336,7 +343,7 @@ std::string shard_artifact_path(const std::string& dir, const std::string& sweep
 }
 
 DispatchPlan plan_dispatch(const exp::SweepSpec& spec, const WorkerCommand& base,
-                           const DispatchConfig& config) {
+                           const Transport& transport, const DispatchConfig& config) {
   support::check(spec.cells > 0, "dispatch needs a sweep with at least one cell");
   DispatchPlan plan;
   plan.workers = config.workers != 0 ? config.workers : support::resolve_jobs(0);
@@ -352,7 +359,8 @@ DispatchPlan plan_dispatch(const exp::SweepSpec& spec, const WorkerCommand& base
   plan.jobs = config.jobs_per_worker != 0
                   ? config.jobs_per_worker
                   : std::max(1U, support::resolve_jobs(0) / std::max(1U, plan.workers));
-  plan.persistent = config.persistent && !base.session_argv.empty();
+  plan.persistent =
+      config.persistent && !base.session_argv.empty() && transport.supports_sessions();
   return plan;
 }
 
@@ -376,7 +384,7 @@ std::vector<std::string> session_worker_argv(const WorkerCommand& base, unsigned
 DispatchResult dispatch_sweep(const exp::SweepSpec& spec, const WorkerCommand& base,
                               Transport& transport, const DispatchConfig& config) {
   support::check(!base.argv.empty(), "dispatch needs a worker command");
-  const DispatchPlan plan = plan_dispatch(spec, base, config);
+  const DispatchPlan plan = plan_dispatch(spec, base, transport, config);
 
   const std::string dir = config.artifact_dir.empty() ? std::string(".") : config.artifact_dir;
   std::error_code ec;
@@ -411,7 +419,7 @@ DispatchResult dispatch_sweep(const exp::SweepSpec& spec, const WorkerCommand& b
 
   if (state.queue.pending() > 0) {
     if (plan.persistent) {
-      run_sessions(state, base);
+      run_sessions(state, base, transport);
     } else {
       run_exec(state, base, transport);
     }

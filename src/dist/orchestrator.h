@@ -7,16 +7,19 @@
 // worker processes. Two dispatch modes share the queue, the validation and
 // the merge:
 //
-//  * persistent sessions (the default for local workers) — each worker slot
-//    runs one long-lived `cicmon worker <sweep> ...` process that derives
-//    the sweep (campaign golden run included) ONCE and then serves shard
-//    assignments over a framed pipe protocol (dist/session.h). The per-item
-//    cost drops from process spawn + golden run to one small record each
-//    way, and completed artifacts stream into an exp::MergeState so the
-//    campaign's progress renders incrementally as shards land.
-//  * exec per shard (the fallback, and the only mode a
-//    CommandTemplateTransport supports) — spawn `cicmon <cmd> ... --shard
-//    I/N --out PATH` per item, exactly PR 4's loop.
+//  * persistent sessions (the default) — each worker slot runs one
+//    long-lived `cicmon worker <sweep> ...` process that derives the sweep
+//    ONCE and then serves shard assignments over a framed pipe protocol
+//    (dist/session.h). With protocol v2 even that one derivation is usually
+//    skipped: the orchestrator ships its own golden state (already derived,
+//    or loaded from the --golden-cache) down the pipe, so a worker goes from
+//    spawn to first shard in the time it takes to stream a few MB. Any
+//    transport whose stdio reaches the worker (local pipes, ssh-style
+//    templates) carries sessions; completed artifacts stream into an
+//    exp::MergeState so the campaign's progress renders incrementally.
+//  * exec per shard (the fallback, and the only mode for templates with
+//    per-item placeholders) — spawn `cicmon <cmd> ... --shard I/N --out
+//    PATH` per item, exactly PR 4's loop.
 //
 // Per item the orchestrator:
 //
@@ -42,9 +45,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "dist/session.h"
 #include "dist/transport.h"
 #include "dist/work_queue.h"
 #include "exp/sweep.h"
@@ -63,6 +69,10 @@ struct DispatchConfig {
   bool persistent = true;       // serve items over worker sessions when the
                                 // command provides a session_argv
   bool progress = true;         // live progress/ETA lines on stderr
+  // Golden state to offer each session worker (dist/session.h). Shared, not
+  // copied: one encoded campaign golden can run to megabytes and every
+  // session offers the same one. Null or empty = nothing to ship.
+  std::shared_ptr<const GoldenShipment> golden;
 };
 
 struct DispatchResult {
@@ -74,6 +84,13 @@ struct DispatchResult {
   std::size_t reused = 0;    // shards resumed from matching on-disk artifacts
   std::size_t launched = 0;  // process spawns: sessions, or exec workers + retries
   std::size_t retried = 0;   // re-enqueues after a failed attempt
+  // Session-mode telemetry: how each completed handshake obtained its golden
+  // state, and the summed worker-measured shard wall clock (done.wall_ms) —
+  // the denominator for an honest dispatch-tax number.
+  std::size_t golden_shipped = 0;
+  std::size_t golden_cached = 0;
+  std::size_t golden_derived = 0;
+  std::uint64_t worker_wall_ms = 0;
   std::vector<WorkFailure> failures;  // non-empty iff !ok
 };
 
@@ -87,9 +104,10 @@ struct DispatchPlan {
 };
 
 // Resolves worker/shard/job counts and the session-vs-exec decision from the
-// config, the sweep size, and whether `base` can be served as a session.
+// config, the sweep size, whether `base` can be served as a session, and
+// whether `transport` can carry one.
 DispatchPlan plan_dispatch(const exp::SweepSpec& spec, const WorkerCommand& base,
-                           const DispatchConfig& config);
+                           const Transport& transport, const DispatchConfig& config);
 
 // The exec-mode argv for one work item: `base.argv` plus
 // `--jobs J --shard I/N --out PATH [--force]` — a worker indistinguishable
@@ -104,10 +122,10 @@ std::vector<std::string> session_worker_argv(const WorkerCommand& base, unsigned
 // Runs spec's grid to completion. `base.argv` is the exec-mode worker
 // command prefix (executable, subcommand, sweep flags); `base.session_argv`,
 // when non-empty, is the persistent-worker command (`cicmon worker <cmd>
-// ...`) and enables session mode. `transport` is only used for exec-mode
-// launches. Throws CicError for setup errors (unwritable artifact directory,
-// invalid config, workers that can never complete a handshake); worker
-// failures are reported via the result.
+// ...`) and enables session mode when `transport` supports it. Throws
+// CicError for setup errors (unwritable artifact directory, invalid config,
+// workers that can never complete a handshake); worker failures are reported
+// via the result.
 DispatchResult dispatch_sweep(const exp::SweepSpec& spec, const WorkerCommand& base,
                               Transport& transport, const DispatchConfig& config);
 

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <filesystem>
 #include <thread>
+#include <utility>
 
 #include <fcntl.h>
 #include <unistd.h>
@@ -20,6 +21,9 @@ namespace {
 const char* type_name(SessionMessage::Type type) {
   switch (type) {
     case SessionMessage::Type::kHello: return "hello";
+    case SessionMessage::Type::kGoldenOffer: return "golden_offer";
+    case SessionMessage::Type::kGoldenAck: return "golden_ack";
+    case SessionMessage::Type::kReady: return "ready";
     case SessionMessage::Type::kAssign: return "assign";
     case SessionMessage::Type::kDone: return "done";
     case SessionMessage::Type::kError: return "error";
@@ -75,17 +79,98 @@ void maybe_die_mid_record(const exp::Shard& shard) {
   const int fd = ::open(marker.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
   if (fd < 0) return;
   ::close(fd);
-  const std::string frame = support::wire_frame(encode_done(shard, "", false));
+  const std::string frame = support::wire_frame(encode_done(shard, "", false, 0));
   support::write_all(STDOUT_FILENO, std::string_view(frame).substr(0, frame.size() / 2));
   ::raise(SIGKILL);
 }
 
+// The deterministic mid-golden-chunk death hook: the first worker (across
+// every process sharing the marker directory) to have a golden chunk in hand
+// dies on the spot, so the orchestrator's chunk write or its wait for the
+// ready record fails and the session teardown/retry path runs for real.
+void maybe_die_mid_golden_chunk() {
+  const char* flag = std::getenv("CICMON_WORKER_FLAKY_GOLDEN");
+  const char* marker_dir = std::getenv("CICMON_WORKER_FLAKY_MARKER");
+  if (flag == nullptr || marker_dir == nullptr || std::strcmp(flag, "1") != 0) return;
+  std::error_code ec;
+  std::filesystem::create_directories(marker_dir, ec);
+  const std::string marker = std::string(marker_dir) + "/golden";
+  const int fd = ::open(marker.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd < 0) return;
+  ::close(fd);
+  ::raise(SIGKILL);
+}
+
+// Blocking frame reads over this process's stdin, for the worker side.
+// kRecord hands back one complete payload; kEof is a clean end of input
+// (call has_partial() to tell orderly close from mid-record death); kDead
+// covers framing violations and read errors, already reported on stderr.
+class StdinFrames {
+ public:
+  enum class Status : std::uint8_t { kRecord, kEof, kDead };
+
+  Status next(std::string* payload) {
+    char buffer[4096];
+    while (true) {
+      std::string error;
+      const support::FrameReader::Status status = reader_.next(payload, &error);
+      if (status == support::FrameReader::Status::kBad) {
+        std::fprintf(stderr, "cicmon worker: bad frame from orchestrator: %s\n",
+                     error.c_str());
+        return Status::kDead;
+      }
+      if (status == support::FrameReader::Status::kFrame) return Status::kRecord;
+      const ssize_t got = ::read(STDIN_FILENO, buffer, sizeof buffer);
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        std::fprintf(stderr, "cicmon worker: read failed: %s\n", std::strerror(errno));
+        return Status::kDead;
+      }
+      if (got == 0) return Status::kEof;
+      reader_.feed(std::string_view(buffer, static_cast<std::size_t>(got)));
+    }
+  }
+
+  bool has_partial() const { return reader_.has_partial(); }
+
+ private:
+  support::FrameReader reader_;
+};
+
 }  // namespace
 
-std::string encode_hello(const exp::SweepSpec& spec) {
+std::string encode_hello(const std::string& sweep, const std::string& golden_key) {
   support::JsonWriter json = begin("hello");
   json.key("protocol");
   json.value_u64(kSessionProtocolVersion);
+  json.key("sweep");
+  json.value(sweep);
+  json.key("golden_key");
+  json.value(golden_key);
+  return finish(json);
+}
+
+std::string encode_golden_offer(const std::string& key, std::uint64_t bytes,
+                                std::uint64_t chunks) {
+  support::JsonWriter json = begin("golden_offer");
+  json.key("key");
+  json.value(key);
+  json.key("bytes");
+  json.value_u64(bytes);
+  json.key("chunks");
+  json.value_u64(chunks);
+  return finish(json);
+}
+
+std::string encode_golden_ack(bool accept) {
+  support::JsonWriter json = begin("golden_ack");
+  json.key("accept");
+  json.value(accept);
+  return finish(json);
+}
+
+std::string encode_ready(const exp::SweepSpec& spec, const std::string& golden_source) {
+  support::JsonWriter json = begin("ready");
   json.key("sweep");
   json.value(spec.sweep);
   json.key("cells");
@@ -97,6 +182,8 @@ std::string encode_hello(const exp::SweepSpec& spec) {
     json.value(value);
   }
   json.end_object();
+  json.key("golden");
+  json.value(golden_source);
   return finish(json);
 }
 
@@ -110,13 +197,16 @@ std::string encode_assign(const exp::Shard& shard, const std::string& out, bool 
   return finish(json);
 }
 
-std::string encode_done(const exp::Shard& shard, const std::string& out, bool reused) {
+std::string encode_done(const exp::Shard& shard, const std::string& out, bool reused,
+                        std::uint64_t wall_ms) {
   support::JsonWriter json = begin("done");
   encode_shard(json, shard);
   json.key("out");
   json.value(out);
   json.key("reused");
   json.value(reused);
+  json.key("wall_ms");
+  json.value_u64(wall_ms);
   return finish(json);
 }
 
@@ -146,10 +236,25 @@ SessionMessage decode_session_message(std::string_view payload) {
     msg.type = SessionMessage::Type::kHello;
     msg.protocol = root.at("protocol").as_u64();
     msg.sweep = root.at("sweep").as_string();
+    msg.golden_key = root.at("golden_key").as_string();
+  } else if (type == "golden_offer") {
+    msg.type = SessionMessage::Type::kGoldenOffer;
+    msg.offer_key = root.at("key").as_string();
+    msg.golden_bytes = root.at("bytes").as_u64();
+    msg.golden_chunks = root.at("chunks").as_u64();
+    support::check(msg.offer_key.empty() == (msg.golden_chunks == 0),
+                   "golden_offer key and chunk count disagree");
+  } else if (type == "golden_ack") {
+    msg.type = SessionMessage::Type::kGoldenAck;
+    msg.accept = root.at("accept").as_bool();
+  } else if (type == "ready") {
+    msg.type = SessionMessage::Type::kReady;
+    msg.sweep = root.at("sweep").as_string();
     msg.cells = root.at("cells").as_u64();
     for (const auto& [name, value] : root.at("params").as_object()) {
       msg.params.emplace_back(name, value.as_string());
     }
+    msg.golden_source = root.at("golden").as_string();
   } else if (type == "assign") {
     msg.type = SessionMessage::Type::kAssign;
     msg.shard = decode_shard(root);
@@ -160,6 +265,7 @@ SessionMessage decode_session_message(std::string_view payload) {
     msg.shard = decode_shard(root);
     msg.artifact_path = root.at("out").as_string();
     msg.reused = root.at("reused").as_bool();
+    msg.wall_ms = root.at("wall_ms").as_u64();
   } else if (type == "error") {
     msg.type = SessionMessage::Type::kError;
     msg.shard = decode_shard(root);
@@ -178,55 +284,142 @@ std::string hello_mismatch(const SessionMessage& hello, const exp::SweepSpec& sp
            ", this orchestrator speaks v" + std::to_string(kSessionProtocolVersion);
   }
   if (hello.sweep != spec.sweep) {
-    return "worker derived sweep '" + hello.sweep + "', expected '" + spec.sweep + "'";
+    return "worker serves sweep '" + hello.sweep + "', expected '" + spec.sweep + "'";
   }
-  if (hello.cells != spec.cells) {
-    return "worker derived " + std::to_string(hello.cells) + " cells, expected " +
+  return "";
+}
+
+std::string ready_mismatch(const SessionMessage& ready, const exp::SweepSpec& spec) {
+  if (ready.sweep != spec.sweep) {
+    return "worker derived sweep '" + ready.sweep + "', expected '" + spec.sweep + "'";
+  }
+  if (ready.cells != spec.cells) {
+    return "worker derived " + std::to_string(ready.cells) + " cells, expected " +
            std::to_string(spec.cells);
   }
-  if (hello.params != spec.params) {
+  if (ready.params != spec.params) {
     return "worker derived different sweep parameters (flag round-trip mismatch)";
   }
   return "";
 }
 
+GoldenShipment make_golden_shipment(std::string key, std::string_view blob) {
+  GoldenShipment shipment;
+  shipment.key = std::move(key);
+  shipment.bytes = blob.size();
+  for (const std::string& payload : support::chunk_payloads(blob)) {
+    shipment.frames.push_back(support::wire_frame(payload));
+  }
+  return shipment;
+}
+
 // --- worker side ---------------------------------------------------------
 
-int serve_worker(const exp::SweepSpec& spec, unsigned jobs) {
-  if (!support::write_all(STDOUT_FILENO, support::wire_frame(encode_hello(spec)))) {
+int serve_worker(const WorkerSweepSource& source, unsigned jobs) {
+  if (!support::write_all(STDOUT_FILENO,
+                          support::wire_frame(encode_hello(source.sweep, source.golden_key)))) {
     std::fprintf(stderr, "cicmon worker: cannot write the hello record\n");
     return 1;
   }
-  support::FrameReader reader;
-  char buffer[4096];
-  std::size_t served = 0;
-  while (true) {
-    std::string payload;
-    std::string error;
-    const support::FrameReader::Status status = reader.next(&payload, &error);
-    if (status == support::FrameReader::Status::kBad) {
-      std::fprintf(stderr, "cicmon worker: bad frame from orchestrator: %s\n", error.c_str());
+  StdinFrames frames;
+  std::string payload;
+
+  // Golden exchange: offer, ack, then exactly offer.chunks chunk frames.
+  StdinFrames::Status status = frames.next(&payload);
+  if (status == StdinFrames::Status::kDead) return 1;
+  if (status == StdinFrames::Status::kEof) {
+    if (frames.has_partial()) {
+      std::fprintf(stderr, "cicmon worker: orchestrator died mid-record\n");
       return 1;
     }
-    if (status == support::FrameReader::Status::kNeedMore) {
-      const ssize_t got = ::read(STDIN_FILENO, buffer, sizeof buffer);
-      if (got < 0) {
-        if (errno == EINTR) continue;
-        std::fprintf(stderr, "cicmon worker: read failed: %s\n", std::strerror(errno));
+    return 0;  // orchestrator left before offering anything; nothing lost
+  }
+  SessionMessage offer;
+  try {
+    offer = decode_session_message(payload);
+  } catch (const support::CicError& err) {
+    std::fprintf(stderr, "cicmon worker: %s\n", err.what());
+    return 1;
+  }
+  if (offer.type == SessionMessage::Type::kShutdown) return 0;
+  if (offer.type != SessionMessage::Type::kGoldenOffer) {
+    std::fprintf(stderr, "cicmon worker: expected golden_offer, got %s\n",
+                 type_name(offer.type));
+    return 1;
+  }
+  const bool accept = !source.golden_key.empty() && offer.offer_key == source.golden_key &&
+                      offer.golden_chunks > 0;
+  if (!support::write_all(STDOUT_FILENO, support::wire_frame(encode_golden_ack(accept)))) {
+    std::fprintf(stderr, "cicmon worker: orchestrator went away\n");
+    return 1;
+  }
+  std::string shipped;
+  bool have_shipped = false;
+  if (accept) {
+    // Drain every promised chunk even if one is corrupt: the stream position
+    // must stay in sync for the records that follow. Corruption downgrades
+    // to local derivation, it does not kill the session.
+    support::ChunkAssembler assembler;
+    std::string chunk_error;
+    for (std::uint64_t i = 0; i < offer.golden_chunks; ++i) {
+      status = frames.next(&payload);
+      if (status != StdinFrames::Status::kRecord) {
+        if (status == StdinFrames::Status::kEof) {
+          std::fprintf(stderr, "cicmon worker: orchestrator went away mid-golden-chunk\n");
+        }
         return 1;
       }
-      if (got == 0) {
-        // Orchestrator closed our stdin: the clean "no more work" signal.
-        if (reader.has_partial()) {
-          std::fprintf(stderr, "cicmon worker: orchestrator died mid-record\n");
-          return 1;
-        }
-        return 0;
+      if (!payload.starts_with(support::kChunkMagic)) {
+        // A session record where a chunk was promised: the streams are out
+        // of sync and nothing after this point can be trusted.
+        std::fprintf(stderr, "cicmon worker: expected a golden chunk, got another record\n");
+        return 1;
       }
-      reader.feed(std::string_view(buffer, static_cast<std::size_t>(got)));
-      continue;
+      maybe_die_mid_golden_chunk();
+      if (chunk_error.empty()) {
+        std::string err;
+        if (assembler.feed(payload, &err) == support::ChunkAssembler::Status::kBad) {
+          chunk_error = err;
+        }
+      }
     }
+    if (chunk_error.empty()) {
+      shipped = assembler.blob();
+      have_shipped = true;
+    } else {
+      std::fprintf(stderr, "cicmon worker: golden shipment rejected (%s); deriving locally\n",
+                   chunk_error.c_str());
+    }
+  }
 
+  // Derivation: import the shipped state or fall back to doing the work.
+  std::string golden_source;
+  exp::SweepSpec spec;
+  try {
+    spec = source.derive(have_shipped ? &shipped : nullptr, &golden_source);
+  } catch (const support::CicError& err) {
+    std::fprintf(stderr, "cicmon worker: cannot derive the sweep: %s\n", err.what());
+    return 1;
+  }
+  if (!support::write_all(STDOUT_FILENO,
+                          support::wire_frame(encode_ready(spec, golden_source)))) {
+    std::fprintf(stderr, "cicmon worker: orchestrator went away\n");
+    return 1;
+  }
+
+  // Serve assignments until shutdown or EOF.
+  std::size_t served = 0;
+  while (true) {
+    status = frames.next(&payload);
+    if (status == StdinFrames::Status::kDead) return 1;
+    if (status == StdinFrames::Status::kEof) {
+      // Orchestrator closed our stdin: the clean "no more work" signal.
+      if (frames.has_partial()) {
+        std::fprintf(stderr, "cicmon worker: orchestrator died mid-record\n");
+        return 1;
+      }
+      return 0;
+    }
     SessionMessage msg;
     try {
       msg = decode_session_message(payload);
@@ -246,12 +439,16 @@ int serve_worker(const exp::SweepSpec& spec, unsigned jobs) {
     std::string ack;
     try {
       bool reused = false;
+      const auto started = std::chrono::steady_clock::now();
       exp::run_or_load_shard(spec, msg.shard, jobs, msg.artifact_path, msg.force, &reused);
-      ack = encode_done(msg.shard, msg.artifact_path, reused);
+      const auto wall = std::chrono::steady_clock::now() - started;
+      const auto wall_ms = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(wall).count());
+      ack = encode_done(msg.shard, msg.artifact_path, reused, wall_ms);
       ++served;
     } catch (const support::CicError& err) {
       // A shard-level failure is the orchestrator's retry decision, not a
-      // reason to lose the session (and the golden run it amortises).
+      // reason to lose the session (and the golden state it amortises).
       ack = encode_session_error(msg.shard, err.what());
     }
     if (!support::write_all(STDOUT_FILENO, support::wire_frame(ack))) {
@@ -263,9 +460,9 @@ int serve_worker(const exp::SweepSpec& spec, unsigned jobs) {
 
 // --- orchestrator side -----------------------------------------------------
 
-WorkerSession::WorkerSession(const std::vector<std::string>& argv, Clock::time_point deadline,
-                             double grace_seconds)
-    : child_(support::spawn_process_piped(argv)), deadline_(deadline),
+WorkerSession::WorkerSession(support::ChildProcess child, const GoldenShipment* golden,
+                             Clock::time_point deadline, double grace_seconds)
+    : child_(std::move(child)), golden_(golden), deadline_(deadline),
       grace_seconds_(grace_seconds) {}
 
 WorkItem WorkerSession::take_item() {
@@ -333,10 +530,53 @@ WorkerSession::Event WorkerSession::pump(const exp::SweepSpec& spec, Clock::time
         if (std::string why = hello_mismatch(msg, spec); !why.empty()) {
           return fail("handshake rejected: " + std::move(why));
         }
+        // Offer the shipment only when the worker computes the same canonical
+        // key: skew (different binary, different flags) downgrades to local
+        // derivation on the worker's side of the wire.
+        offered_ = golden_ != nullptr && !golden_->empty() && !msg.golden_key.empty() &&
+                   msg.golden_key == golden_->key;
+        const std::string frame = support::wire_frame(
+            offered_ ? encode_golden_offer(golden_->key, golden_->bytes,
+                                           golden_->frames.size())
+                     : encode_golden_offer("", 0, 0));
+        if (!support::write_all(child_.stdin_fd(), frame)) {
+          return fail("worker went away before the golden offer");
+        }
+        state_ = State::kShipping;
+        continue;  // the ack may already be buffered
+      }
+      case State::kShipping: {
+        if (msg.type != SessionMessage::Type::kGoldenAck) {
+          return fail(std::string("expected golden_ack, got ") + type_name(msg.type));
+        }
+        if (msg.accept) {
+          if (!offered_) {
+            return fail("worker accepted an empty golden offer");
+          }
+          // Blocking writes: the whole shipment streams here. A worker that
+          // dies mid-stream surfaces as a failed write (EPIPE) and the
+          // session is torn down with nothing in flight.
+          for (const std::string& frame : golden_->frames) {
+            if (!support::write_all(child_.stdin_fd(), frame)) {
+              return fail("worker died mid-golden-chunk");
+            }
+          }
+        }
+        state_ = State::kDeriving;
+        continue;
+      }
+      case State::kDeriving: {
+        if (msg.type != SessionMessage::Type::kReady) {
+          return fail(std::string("expected ready, got ") + type_name(msg.type));
+        }
+        if (std::string why = ready_mismatch(msg, spec); !why.empty()) {
+          return fail("handshake rejected: " + std::move(why));
+        }
         state_ = State::kIdle;
         deadline_ = Clock::time_point::max();  // idle has no deadline; assign() sets one
         Event event;
         event.kind = Event::Kind::kReady;
+        event.golden = msg.golden_source;
         return event;  // leftover buffered frames (babble) surface next pump
       }
       case State::kIdle:
@@ -357,6 +597,7 @@ WorkerSession::Event WorkerSession::pump(const exp::SweepSpec& spec, Clock::time
           if (msg.type == SessionMessage::Type::kDone) {
             event.kind = Event::Kind::kDone;
             event.reused = msg.reused;
+            event.wall_ms = msg.wall_ms;
           } else {
             event.kind = Event::Kind::kError;
             event.reason = "worker reported: " + msg.message;
@@ -377,8 +618,7 @@ WorkerSession::Event WorkerSession::pump(const exp::SweepSpec& spec, Clock::time
                                      : "worker closed the session");
   }
   if (now >= deadline_) {
-    return fail(state_ == State::kHandshaking ? "handshake timed out"
-                                            : "assignment timed out");
+    return fail(pre_ready() ? "handshake timed out" : "assignment timed out");
   }
   return {};
 }
@@ -386,7 +626,10 @@ WorkerSession::Event WorkerSession::pump(const exp::SweepSpec& spec, Clock::time
 void WorkerSession::shutdown(double grace_seconds) {
   if (state_ == State::kDead) return;
   if (child_.valid()) {
-    if (state_ != State::kHandshaking) {
+    if (state_ == State::kIdle || state_ == State::kBusy || state_ == State::kDeriving) {
+      // A worker this far along is in (or headed for) the record loop, where
+      // a shutdown record is the polite exit. Earlier phases get plain EOF —
+      // a mid-chunk worker would read a record where a chunk was promised.
       support::write_all(child_.stdin_fd(), support::wire_frame(encode_shutdown()));
     }
     // One bounded budget, escalating: stdin EOF is the polite exit signal

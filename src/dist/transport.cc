@@ -9,6 +9,11 @@ support::ChildProcess LocalProcessTransport::launch(const WorkerCommand& command
   return support::spawn_process(command.argv);
 }
 
+support::ChildProcess LocalProcessTransport::launch_session(const WorkerCommand& command) {
+  support::check(!command.session_argv.empty(), "launch_session without a session command");
+  return support::spawn_process_piped(command.session_argv);
+}
+
 CommandTemplateTransport::CommandTemplateTransport(std::string template_text)
     : template_text_(std::move(template_text)) {
   support::check(template_text_.find("{cmd}") != std::string::npos,
@@ -48,6 +53,23 @@ std::string CommandTemplateTransport::expand(std::string_view template_text,
 support::ChildProcess CommandTemplateTransport::launch(const WorkerCommand& command,
                                                        const WorkItem& item) {
   return support::spawn_process({"/bin/sh", "-c", expand(template_text_, command, item)});
+}
+
+support::ChildProcess CommandTemplateTransport::launch_session(const WorkerCommand& command) {
+  support::check(supports_sessions(), "template transport cannot carry a session");
+  support::check(!command.session_argv.empty(), "launch_session without a session command");
+  // The wrapper (sh, and whatever the template puts between it and the
+  // worker — ssh, a container runner) forwards stdio, so the orchestrator's
+  // pipe ends at the worker process wherever it runs.
+  WorkerCommand session;
+  session.argv = command.session_argv;
+  return support::spawn_process_piped(
+      {"/bin/sh", "-c", expand(template_text_, session, WorkItem{})});
+}
+
+bool CommandTemplateTransport::supports_sessions() const {
+  return template_text_.find("{shard}") == std::string::npos &&
+         template_text_.find("{out}") == std::string::npos;
 }
 
 std::string CommandTemplateTransport::describe() const {

@@ -1,20 +1,31 @@
 // How dispatch work items become worker processes.
 //
-// The orchestrator decides *what* to run (a `cicmon <cmd> ... --shard I/N
-// --out PATH` invocation per work item); a Transport decides *where and how*
-// it runs. Two implementations ship:
+// The orchestrator decides *what* to run; a Transport decides *where and
+// how* it runs. Two implementations ship:
 //
 //  * LocalProcessTransport — exec the worker argv directly on this host.
 //    With the default nproc-sized worker pool this is the single-machine
 //    scale-out path.
 //  * CommandTemplateTransport — expand a user-supplied shell template and
 //    run it via `/bin/sh -c`. The template receives `{cmd}` (the shell-
-//    quoted worker command), `{shard}` ("I/N"), and `{out}` (the artifact
-//    path), which is enough to wrap the worker in ssh, a cluster submit
-//    command, a container runner, or a fault-injecting test harness:
+//    quoted worker command) and, in exec-per-shard mode, `{shard}` ("I/N")
+//    and `{out}` (the artifact path) — enough to wrap the worker in ssh, a
+//    cluster submit command, a container runner, or a fault-injecting test
+//    harness:
 //
 //        --transport 'ssh build-02 cd /repo \&\& {cmd}'
 //        --transport 'scripts/flaky.sh {shard} {cmd}'
+//
+// Both transports serve both dispatch modes. launch() starts one
+// exec-per-shard worker whose exit ends the attempt. launch_session()
+// starts a *persistent* worker with piped stdin/stdout and hands the pipe
+// to the orchestrator, which speaks the session protocol (dist/session.h)
+// over it — for a template transport the wrapper (sh, ssh, a container
+// runner) simply forwards stdio, which is exactly what ssh and every
+// sane submit wrapper do, so a multi-host fleet gets persistent sessions
+// and golden-state shipping for free. A template that bakes in `{shard}`
+// or `{out}` is inherently per-item, so supports_sessions() is false for
+// it and dispatch falls back to exec-per-shard.
 //
 // A transport's child exit status reports only worker/transport health; the
 // artifact on disk is the real output and the orchestrator validates it
@@ -29,7 +40,9 @@
 // propagate the kill; once the grace expires SIGKILL follows, and SIGKILL is
 // not forwardable — a remote worker whose wrapper was SIGKILLed keeps
 // running until it finishes or its host reaps it. Its artifact, if any,
-// is simply ignored or re-validated on the next resume.
+// is simply ignored or re-validated on the next resume. A session worker is
+// better off: its stdin is the orchestrator's pipe, so teardown's stdin EOF
+// reaches the far end of an ssh hop even though signals may not.
 #pragma once
 
 #include <string>
@@ -45,11 +58,9 @@ namespace cicmon::dist {
 // prefix: the orchestrator appends `--jobs/--shard/--out` per item, so a
 // worker is indistinguishable from a hand-launched sharded run.
 // `session_argv`, when non-empty, is the persistent-session command
-// (`cicmon worker <cmd> <sweep flags>`); the orchestrator appends `--jobs`
-// once and then streams shard assignments over the process's stdin
-// (dist/session.h). Leave it empty to force exec-per-shard — the only mode
-// a CommandTemplateTransport can serve, since a shell template has no pipe
-// to speak the session protocol over.
+// (`cicmon worker <cmd> <sweep flags> --jobs N`, complete — launch_session
+// appends nothing); the orchestrator streams shard assignments over the
+// process's stdin (dist/session.h). Leave it empty to force exec-per-shard.
 struct WorkerCommand {
   std::vector<std::string> argv;
   std::vector<std::string> session_argv;
@@ -59,10 +70,20 @@ class Transport {
  public:
   virtual ~Transport() = default;
 
-  // Starts the worker for `item`. Throws CicError when the process cannot
-  // even be started (the orchestrator counts that as a failed attempt).
+  // Starts the exec-per-shard worker for `item`. Throws CicError when the
+  // process cannot even be started (the orchestrator counts that as a
+  // failed attempt).
   virtual support::ChildProcess launch(const WorkerCommand& command,
                                        const WorkItem& item) = 0;
+
+  // Starts a persistent session worker with piped stdin/stdout
+  // (command.session_argv must be non-empty). Only called when
+  // supports_sessions() is true. Throws CicError on spawn failure.
+  virtual support::ChildProcess launch_session(const WorkerCommand& command) = 0;
+
+  // True when this transport can carry the session protocol — i.e. its
+  // children's stdio reaches the worker process.
+  virtual bool supports_sessions() const = 0;
 
   // One-line description for progress/failure reports ("local", "template
   // 'ssh ...'").
@@ -72,6 +93,8 @@ class Transport {
 class LocalProcessTransport final : public Transport {
  public:
   support::ChildProcess launch(const WorkerCommand& command, const WorkItem& item) override;
+  support::ChildProcess launch_session(const WorkerCommand& command) override;
+  bool supports_sessions() const override { return true; }
   std::string describe() const override { return "local"; }
 };
 
@@ -82,6 +105,9 @@ class CommandTemplateTransport final : public Transport {
   explicit CommandTemplateTransport(std::string template_text);
 
   support::ChildProcess launch(const WorkerCommand& command, const WorkItem& item) override;
+  support::ChildProcess launch_session(const WorkerCommand& command) override;
+  // Per-item placeholders pin the template to exec-per-shard.
+  bool supports_sessions() const override;
   std::string describe() const override;
 
   // Placeholder expansion, exposed for tests: every occurrence of `{cmd}`,

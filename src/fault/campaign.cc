@@ -1,9 +1,12 @@
 #include "fault/campaign.h"
 
+#include <utility>
 #include <vector>
 
 #include "support/bitops.h"
 #include "support/error.h"
+#include "uop/monitor_pass.h"
+#include "uop/uop.h"
 
 namespace cicmon::fault {
 namespace {
@@ -110,6 +113,51 @@ CampaignRunner::CampaignRunner(const casm_::Image& image, const cpu::CpuConfig& 
   golden_instructions_ = result.instructions;
   golden_console_ = result.console;
   golden_exit_code_ = result.exit_code;
+  golden_result_ = std::move(result);
+}
+
+CampaignRunner::CampaignRunner(const casm_::Image& image, const cpu::CpuConfig& config,
+                               const CheckpointConfig& checkpoints, const GoldenState& state)
+    : image_(image), config_(config), checkpoints_(checkpoints) {
+  if (config_.recovery.enabled) checkpoints_.enabled = false;
+
+  // Rebuild the LoadedImage from the shipped parts. The uop spec is the one
+  // piece not shipped: build_isa_uops + embed_monitoring are pure functions
+  // of the configuration, so rebuilding is bit-identical to the original.
+  auto spec = std::make_shared<uop::IsaUopSpec>(uop::build_isa_uops());
+  if (config_.monitoring) uop::embed_monitoring(spec.get());
+  loaded_.spec = std::move(spec);
+  loaded_.pages = std::make_shared<mem::Memory::PageMap>(state.image_pages);
+  loaded_.fht = cfg::FullHashTable::deserialize(state.fht_blob);
+  loaded_.fht_was_attached = state.fht_was_attached;
+  loaded_.entry = state.entry;
+
+  if (checkpoints_.enabled) {
+    // The rebuild constructor re-validates the schedule and the clean exit.
+    golden_ = std::make_unique<CheckpointedGolden>(state.snapshots, state.result,
+                                                   state.stride);
+  } else {
+    support::check(state.result.reason == cpu::ExitReason::kExit,
+                   "campaign golden run did not exit cleanly");
+  }
+  golden_instructions_ = state.result.instructions;
+  golden_console_ = state.result.console;
+  golden_exit_code_ = state.result.exit_code;
+  golden_result_ = state.result;
+}
+
+GoldenState CampaignRunner::export_golden() const {
+  GoldenState state;
+  state.image_pages = *loaded_.pages;
+  state.fht_blob = loaded_.fht.serialize();
+  state.fht_was_attached = loaded_.fht_was_attached;
+  state.entry = loaded_.entry;
+  if (golden_) {
+    state.snapshots = golden_->snapshots();
+    state.stride = golden_->stride();
+  }
+  state.result = golden_result_;
+  return state;
 }
 
 const CheckpointedGolden& CampaignRunner::icache_golden() const {

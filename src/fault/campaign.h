@@ -26,6 +26,7 @@
 #include "exp/sweep.h"
 #include "fault/fault.h"
 #include "fault/golden.h"
+#include "fault/golden_ser.h"
 #include "support/rng.h"
 
 namespace cicmon::fault {
@@ -93,6 +94,19 @@ class CampaignRunner {
   CampaignRunner(const casm_::Image& image, const cpu::CpuConfig& config,
                  const CheckpointConfig& checkpoints = {});
 
+  // Builds a runner from shipped or cached golden state instead of deriving
+  // it: the loader run and the golden execution are both skipped (the uop
+  // spec is rebuilt from the config, bit-identical by construction). `state`
+  // must come from an identically configured runner's export_golden() — the
+  // golden key (fault/golden_ser.h) enforces that at the shipping layer, and
+  // this constructor throws on anything structurally inconsistent, which the
+  // caller treats as "fall back to local derivation".
+  CampaignRunner(const casm_::Image& image, const cpu::CpuConfig& config,
+                 const CheckpointConfig& checkpoints, const GoldenState& state);
+
+  // Snapshot of everything the constructor derived, for shipping/caching.
+  GoldenState export_golden() const;
+
   // Runs one trial with an explicit fault. Thread-safe: trials share only
   // the golden-run state, read-only; each builds its own CPU.
   TrialResult run_trial(const FaultSpec& spec) const;
@@ -150,6 +164,7 @@ class CampaignRunner {
   std::uint64_t golden_instructions_ = 0;
   std::string golden_console_;
   std::uint32_t golden_exit_code_ = 0;
+  cpu::RunResult golden_result_;  // the full result, for export_golden()
 };
 
 }  // namespace cicmon::fault

@@ -1,6 +1,7 @@
 #include "fault/golden.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "support/error.h"
 
@@ -46,6 +47,22 @@ CheckpointedGolden::CheckpointedGolden(const cpu::CpuConfig& config,
   result_ = *done;
   support::check(result_.reason == cpu::ExitReason::kExit,
                  "campaign golden run did not exit cleanly");
+}
+
+CheckpointedGolden::CheckpointedGolden(std::vector<cpu::Snapshot> snapshots,
+                                       cpu::RunResult result, std::uint64_t stride)
+    : snapshots_(std::move(snapshots)), result_(std::move(result)), stride_(stride) {
+  support::check(result_.reason == cpu::ExitReason::kExit,
+                 "campaign golden run did not exit cleanly");
+  support::check(!snapshots_.empty() && snapshots_.front().instructions == 0 &&
+                     snapshots_.front().bus_transfers == 0,
+                 "golden snapshot schedule does not start at the pre-execution state");
+  for (std::size_t i = 1; i < snapshots_.size(); ++i) {
+    support::check(snapshots_[i - 1].instructions < snapshots_[i].instructions &&
+                       snapshots_[i - 1].bus_transfers <= snapshots_[i].bus_transfers,
+                   "golden snapshot schedule is not ascending");
+  }
+  support::check(stride_ > 0, "golden snapshot schedule has no stride");
 }
 
 const cpu::Snapshot& CheckpointedGolden::nearest_by_instructions(std::uint64_t n) const {

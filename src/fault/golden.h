@@ -33,6 +33,15 @@ class CheckpointedGolden {
   CheckpointedGolden(const cpu::CpuConfig& config, const casm_::Image& image,
                      const cpu::LoadedImage& loaded, std::uint64_t stride);
 
+  // Rebuilds a recording from deserialized state (fault/golden_ser.h)
+  // instead of re-running the golden execution. `snapshots` must be the
+  // schedule a recording constructor produced: non-empty, ascending in both
+  // clocks, snapshot 0 at instruction 0; `stride` is the resolved (possibly
+  // auto-doubled) spacing it recorded at. Throws on a malformed schedule or
+  // a non-clean result — the shipping layer treats that as "derive locally".
+  CheckpointedGolden(std::vector<cpu::Snapshot> snapshots, cpu::RunResult result,
+                     std::uint64_t stride);
+
   // The golden run's final result (this class doubles as THE golden run —
   // recording uses the single-step interface, whose results are bit-identical
   // to any engine's run()).
@@ -40,6 +49,9 @@ class CheckpointedGolden {
 
   std::uint64_t stride() const { return stride_; }
   std::size_t snapshot_count() const { return snapshots_.size(); }
+
+  // The full schedule, for serialization (fault/golden_ser.h).
+  const std::vector<cpu::Snapshot>& snapshots() const { return snapshots_; }
 
   // Last snapshot with instructions (resp. bus transfers) <= n. Always
   // defined: snapshot 0 is the pre-execution state at both clocks' zero.

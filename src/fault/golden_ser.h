@@ -1,0 +1,111 @@
+// cicmon-golden-v1 — versioned, checksummed golden-state serialization.
+//
+// A campaign's golden state is everything PR 7 computes before the first
+// trial: the post-loader image (frozen copy-on-write page base + recovered
+// FHT + entry point) and the checkpointed golden run (the snapshot schedule
+// with COW page deltas, checker/IHT state, RNG state, and both trigger
+// clocks, plus the final RunResult). Deriving it costs one full clean
+// execution per process — the measured residual of the dispatch tax. This
+// module serializes it once so the orchestrator can ship it to every worker
+// over the session wire, and cache it on disk across invocations.
+//
+// Record layout (all integers little-endian):
+//
+//     "cicmon-golden-v1"        16-byte magic
+//     key                       16-byte canonical golden key (hex digits)
+//     image section             entry, fht_was_attached, FHT blob, pages
+//     golden-run section        stride, snapshots[]
+//     result section            the golden RunResult
+//     checksum                  FNV-1a64 over every preceding byte
+//
+// Zero pages of the image base are elided (an unbacked base page reads as
+// zero); snapshot memory deltas are NEVER elided — an absent delta page
+// falls through to the possibly nonzero base page, so a zero delta page is
+// load-bearing. Page maps are emitted in ascending key order, so encoding
+// is deterministic: the same golden state always produces the same bytes
+// (the byte-identity contract extends to the shipped blob itself).
+//
+// Deliberately NOT serialized: the uop spec (rebuilt from the config via
+// build_isa_uops + embed_monitoring, bit-identical by construction) and the
+// lazy icache-golden recording (derived per process on the first
+// icache-line trial; shipping it would double most blobs for a site few
+// campaigns attack).
+//
+// decode_golden is strict: any truncation, trailing garbage, length
+// overflow, checksum mismatch, or key skew throws CicError. The session
+// layer maps that to "decline the shipment and derive locally" — corruption
+// is a fallback trigger, never silent acceptance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "cpu/snapshot.h"
+#include "mem/memory.h"
+
+namespace cicmon::fault {
+
+// Leading magic of every cicmon-golden-v1 blob (exactly 16 bytes).
+inline constexpr std::string_view kGoldenMagic = "cicmon-golden-v1";
+
+// Everything a worker needs to skip its golden run. `snapshots` is empty
+// and `stride` is 0 when the campaign runs with checkpoints off (the golden
+// result alone still spares the clean execution).
+struct GoldenState {
+  // Post-loader image (cpu::LoadedImage minus the rebuildable uop spec).
+  mem::Memory::PageMap image_pages;
+  std::vector<std::uint8_t> fht_blob;  // cfg::FullHashTable::serialize()
+  bool fht_was_attached = false;
+  std::uint32_t entry = 0;
+
+  // Checkpointed golden run.
+  std::vector<cpu::Snapshot> snapshots;
+  std::uint64_t stride = 0;
+
+  // The golden run's final result.
+  cpu::RunResult result;
+};
+
+// Canonical golden key: 16 lowercase hex digits of the FNV-1a64 hash over
+// "name=value\n" lines in the given order. The caller lists exactly the
+// fields the golden state depends on — workload identity and scale, the
+// campaign's fault/seed parameters, the monitor configuration, and the
+// checkpoint schedule — and nothing execution-strategy-shaped (engine,
+// translate cache, jobs), which never changes the state. Orchestrator and
+// worker build the key from their own flags; a mismatch means config skew
+// and downgrades shipping to local derivation.
+std::string golden_key(const std::vector<std::pair<std::string, std::string>>& fields);
+
+// Serializes `state` into a cicmon-golden-v1 blob carrying `key` (which must
+// be a 16-character golden_key output).
+std::string encode_golden(const GoldenState& state, std::string_view key);
+
+// Parses a blob, verifying magic, whole-record checksum, structural sanity,
+// and that the embedded key equals `expected_key`. Throws CicError on any
+// violation.
+GoldenState decode_golden(std::string_view blob, std::string_view expected_key);
+
+// Cheap acceptance test: magic + key + whole-record checksum, no parsing.
+// What the cache and the worker use to reject truncated or corrupt blobs.
+bool golden_blob_valid(std::string_view blob, std::string_view expected_key);
+
+// --- Content-addressed on-disk cache ---------------------------------------
+
+// DIR/<key>.golden
+std::string golden_cache_path(const std::string& dir, std::string_view key);
+
+// Loads and validates the cached blob for `key`. Returns the blob, or an
+// empty string when the file is missing, truncated, or corrupt — a bad cache
+// entry is ignored (the caller re-derives and rewrites), never trusted.
+std::string load_cached_golden(const std::string& dir, std::string_view key);
+
+// Writes the blob atomically (temp file + rename), creating DIR if needed.
+// Throws CicError on I/O failure — an explicitly requested cache that cannot
+// be written is an operator error worth surfacing.
+void store_cached_golden(const std::string& dir, std::string_view key,
+                         std::string_view blob);
+
+}  // namespace cicmon::fault

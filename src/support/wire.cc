@@ -1,5 +1,7 @@
 #include "support/wire.h"
 
+#include <algorithm>
+
 #include "support/error.h"
 
 namespace cicmon::support {
@@ -153,6 +155,115 @@ FrameReader::Status FrameReader::next(std::string* payload, std::string* error) 
   payload->assign(body);
   buffer_.erase(0, frame_end);
   return Status::kFrame;
+}
+
+namespace {
+
+// Data bytes per chunk: leave comfortable room for the chunk header line so
+// the full chunk payload stays under the frame cap.
+constexpr std::size_t kMaxChunkData = kMaxWirePayload - 64;
+
+}  // namespace
+
+std::vector<std::string> chunk_payloads(std::string_view blob) {
+  const std::size_t total =
+      blob.empty() ? 1 : (blob.size() + kMaxChunkData - 1) / kMaxChunkData;
+  std::vector<std::string> chunks;
+  chunks.reserve(total);
+  for (std::size_t index = 0; index < total; ++index) {
+    const std::string_view data =
+        blob.substr(index * kMaxChunkData,
+                    std::min(kMaxChunkData, blob.size() - index * kMaxChunkData));
+    std::string payload;
+    payload.reserve(data.size() + 64);
+    payload += kChunkMagic;
+    payload += ' ';
+    payload += std::to_string(index);
+    payload += ' ';
+    payload += std::to_string(total);
+    payload += ' ';
+    payload += hex16(wire_checksum(data));
+    payload += '\n';
+    payload.append(data);
+    chunks.push_back(std::move(payload));
+  }
+  return chunks;
+}
+
+ChunkAssembler::Status ChunkAssembler::fail(std::string* error, std::string why) {
+  dead_ = true;
+  dead_reason_ = std::move(why);
+  blob_.clear();
+  if (error != nullptr) *error = dead_reason_;
+  return Status::kBad;
+}
+
+ChunkAssembler::Status ChunkAssembler::feed(std::string_view payload, std::string* error) {
+  if (dead_) {
+    if (error != nullptr) *error = dead_reason_;
+    return Status::kBad;
+  }
+  if (done_) {
+    return fail(error, "chunk after the sequence completed");
+  }
+
+  const std::size_t newline = payload.find('\n');
+  if (newline == std::string_view::npos || newline > kMaxHeaderBytes) {
+    return fail(error, "malformed chunk header: '" + preview(payload) + "'");
+  }
+  const std::string_view header = payload.substr(0, newline);
+  const std::size_t sp1 = header.find(' ');
+  if (header.substr(0, sp1) != kChunkMagic) {
+    return fail(error, "not a " + std::string(kChunkMagic) + " payload: '" +
+                           preview(header) + "'");
+  }
+  const std::size_t sp2 = header.find(' ', sp1 + 1);
+  const std::size_t sp3 =
+      sp2 == std::string_view::npos ? sp2 : header.find(' ', sp2 + 1);
+  if (sp2 == std::string_view::npos || sp3 == std::string_view::npos ||
+      header.find(' ', sp3 + 1) != std::string_view::npos) {
+    return fail(error, "malformed chunk header: '" + preview(header) + "'");
+  }
+  std::size_t index = 0;
+  std::size_t total = 0;
+  if (!parse_dec_size(header.substr(sp1 + 1, sp2 - sp1 - 1), &index) ||
+      !parse_dec_size(header.substr(sp2 + 1, sp3 - sp2 - 1), &total) || total == 0) {
+    return fail(error, "malformed chunk sequence numbers: '" + preview(header) + "'");
+  }
+  std::uint64_t expected = 0;
+  if (!parse_hex_u64(header.substr(sp3 + 1), &expected)) {
+    return fail(error, "malformed chunk checksum: '" + preview(header) + "'");
+  }
+
+  // Sequence validity: the first chunk fixes the total; every chunk must be
+  // the next expected index. A duplicate, gap, or reordering shows up here
+  // as index != received_ and kills the sequence.
+  if (received_ == 0) {
+    total_ = total;
+  } else if (total != total_) {
+    return fail(error, "chunk total changed mid-sequence (" + std::to_string(total_) +
+                           " -> " + std::to_string(total) + ")");
+  }
+  if (index != received_) {
+    return fail(error, "chunk out of sequence (expected " + std::to_string(received_) +
+                           ", got " + std::to_string(index) + " of " +
+                           std::to_string(total_) + ")");
+  }
+
+  const std::string_view data = payload.substr(newline + 1);
+  const std::uint64_t actual = wire_checksum(data);
+  if (actual != expected) {
+    return fail(error, "chunk checksum mismatch (expected " + hex16(expected) +
+                           ", got " + hex16(actual) + ")");
+  }
+
+  blob_.append(data);
+  ++received_;
+  if (received_ == total_) {
+    done_ = true;
+    return Status::kDone;
+  }
+  return Status::kChunk;
 }
 
 }  // namespace cicmon::support

@@ -32,13 +32,19 @@
 // `cicmon dispatch <sweep> ...` is the scale-out driver: it over-decomposes
 // the sweep into shard work items and schedules them through src/dist/ onto
 // persistent worker sessions (`cicmon worker <sweep> ...` processes serving
-// many shards over a framed pipe protocol — the default for local workers)
-// or exec-per-shard subprocesses (`cicmon <sweep> --shard I/N --out ...`,
-// the fallback for --transport templates and --exec-per-shard), streams the
+// many shards over a framed pipe protocol — the default, including for
+// stdio-forwarding --transport templates like ssh) or exec-per-shard
+// subprocesses (`cicmon <sweep> --shard I/N --out ...`, the fallback for
+// templates with per-item placeholders and --exec-per-shard), streams the
 // merge incrementally as artifacts land, then renders — stdout is
-// byte-identical to the direct invocation. `cicmon worker` is the session
-// server side and is not meant to be invoked by hand (its stdout speaks the
-// wire protocol).
+// byte-identical to the direct invocation. For campaigns the orchestrator
+// ships its own derived golden state down each session's pipe
+// (fault/golden_ser.h), so workers skip their golden runs entirely;
+// --golden-cache DIR additionally persists the encoded golden state on disk,
+// keyed by a canonical hash of the campaign parameters, so repeated
+// dispatches (and exec-per-shard workers sharing the directory) skip the
+// derivation too. `cicmon worker` is the session server side and is not
+// meant to be invoked by hand (its stdout speaks the wire protocol).
 #include <algorithm>
 #include <array>
 #include <chrono>
@@ -109,6 +115,12 @@ struct Options {
   // sweep parameter.
   bool checkpoints = true;
   std::uint64_t checkpoint_stride = 0;  // 0 = automatic schedule
+  // Campaign golden-state reuse (fault/golden_ser.h): a content-addressed
+  // on-disk cache, and whether dispatch offers its golden state to session
+  // workers over the wire. Both are execution strategies — byte-identical
+  // results on or off, enforced by tests.
+  std::string golden_cache;  // --golden-cache DIR; empty = no disk cache
+  bool ship_golden = true;   // --ship-golden on|off (dispatch only)
 };
 
 [[noreturn]] void usage(int code) {
@@ -149,9 +161,16 @@ struct Options {
       "  --checkpoint-stride N\n"
       "                   campaign snapshot spacing in retired instructions;\n"
       "                   0 = automatic bounded-memory schedule (default 0)\n"
+      "  --golden-cache DIR\n"
+      "                   campaign: cache the derived golden state (image,\n"
+      "                   snapshots, golden result) on disk, keyed by a\n"
+      "                   canonical hash of the campaign parameters; later\n"
+      "                   runs with the same parameters load it instead of\n"
+      "                   re-deriving; never changes any output\n"
       "  --json PATH      bench: also write results as JSON to PATH;\n"
-      "                   campaign (direct run): write a campaign section with\n"
-      "                   the trials/sec trajectory metric instead\n"
+      "                   campaign (direct or dispatched): write a campaign\n"
+      "                   section with the trials/sec trajectory metric (the\n"
+      "                   dispatched form adds the fleet telemetry) instead\n"
       "  --engine E       execution engine: 'threaded' (fused superinstruction\n"
       "                   handlers behind a tamper-safe translation cache) or\n"
       "                   'switch' (the per-uop predecode interpreter); both\n"
@@ -181,15 +200,22 @@ struct Options {
       "  --transport T    launch workers through a shell template with\n"
       "                   {cmd}/{shard}/{out} placeholders, e.g.\n"
       "                   'ssh build-02 cd /repo && {cmd}' (default: local\n"
-      "                   subprocesses)\n"
+      "                   subprocesses); a template using only {cmd} forwards\n"
+      "                   stdio and still gets persistent sessions + golden\n"
+      "                   shipping; {shard}/{out} force exec-per-shard\n"
       "  --retries R      extra attempts per shard after a failure (default 2)\n"
       "  --timeout SEC    per-shard wall-clock limit; 0 = none (default 300)\n"
       "  --dir DIR        shard artifact directory (default cicmon-dispatch);\n"
       "                   valid artifacts already there are reused (resume)\n"
       "  --quiet          suppress the live progress/ETA lines on stderr\n"
       "  --exec-per-shard spawn one process per shard instead of persistent\n"
-      "                   worker sessions (sessions are the local default;\n"
-      "                   --transport templates always exec per shard)\n"
+      "                   worker sessions (sessions are the default whenever\n"
+      "                   the transport forwards stdio)\n"
+      "  --ship-golden on|off\n"
+      "                   campaign: offer the orchestrator's derived golden\n"
+      "                   state to each session worker over the wire so the\n"
+      "                   worker skips its own golden run (default on; off\n"
+      "                   exists for A/B byte-identity checks)\n"
       "  --dry-run        print the planned shard grid, worker commands, and\n"
       "                   session mode, then exit without launching anything\n"
       "  --jobs under dispatch sets each worker's thread count\n"
@@ -262,12 +288,13 @@ std::string did_you_mean(std::string_view given, std::span<const std::string_vie
 constexpr std::array<std::string_view, 10> kCommands = {
     "table1", "fig6",  "blocks",    "bench", "campaign",
     "worker", "dispatch", "merge", "workloads", "help"};
-constexpr std::array<std::string_view, 28> kFlags = {
+constexpr std::array<std::string_view, 30> kFlags = {
     "--scale", "--jobs",    "--entries", "--capacities", "--workload", "--site",
     "--bits",  "--trials",  "--seed",    "--monitor",    "--json",     "--shard",
     "--out",   "--force",   "--workers", "--shards",     "--transport", "--retries",
     "--timeout", "--dir",   "--quiet",   "--dry-run",    "--exec-per-shard", "--help",
-    "--engine", "--translate-cache", "--checkpoints", "--checkpoint-stride"};
+    "--engine", "--translate-cache", "--checkpoints", "--checkpoint-stride",
+    "--golden-cache", "--ship-golden"};
 
 // `first` is the index of the first flag: 2 for `cicmon <cmd> ...`, 3 for
 // `cicmon dispatch <cmd> ...`.
@@ -371,6 +398,13 @@ Options parse_options(int argc, char** argv, bool allow_positional, int first = 
       const unsigned long long stride = std::strtoull(text, &end, 10);
       if (end == text || *end != '\0') usage(2);
       options.checkpoint_stride = stride;
+    } else if (flag == "--golden-cache") {
+      options.golden_cache = value();
+      if (options.golden_cache.empty()) usage(2);
+    } else if (flag == "--ship-golden") {
+      const std::string_view v = value();
+      if (v != "on" && v != "off") usage(2);
+      options.ship_golden = v == "on";
     } else if (flag == "--help" || flag == "-h") {
       usage(0);
     } else if (allow_positional && (flag.empty() || flag.front() != '-')) {
@@ -667,12 +701,42 @@ int run_sweep_command(const exp::SweepSpec& spec, const Options& options) {
 
 // A sweep spec plus whatever live state its run_cell borrows — the campaign
 // spec captures its CampaignRunner by reference, so the two travel together.
+// For campaigns, golden_key/golden_source record the canonical identity of
+// the golden state and where this process got it (derived, disk cache, or a
+// blob shipped over the session wire).
 struct SweepBundle {
   exp::SweepSpec spec;
   std::unique_ptr<fault::CampaignRunner> keepalive;
+  std::string golden_key;     // campaign only; "" otherwise
+  std::string golden_source;  // "shipped" / "cached" / "derived"; "" otherwise
 };
 
-SweepBundle make_campaign_sweep(const Options& options) {
+// The canonical golden-state identity: every parameter the derived golden
+// state depends on, and nothing else. Execution strategies (engine,
+// translate cache, jobs) are deliberately excluded — they never change the
+// golden state, so a cache or shipment produced under one strategy serves
+// every other.
+std::string campaign_golden_key(const Options& options) {
+  return fault::golden_key({
+      {"workload", options.workload},
+      {"scale", exp::fmt_f64(options.scale)},
+      {"site", options.site},
+      {"bits", std::to_string(options.bits)},
+      {"trials", std::to_string(options.trials)},
+      {"seed", std::to_string(options.seed)},
+      {"monitor", options.monitor ? "on" : "off"},
+      {"checkpoints", options.checkpoints ? "on" : "off"},
+      {"checkpoint_stride", std::to_string(options.checkpoint_stride)},
+  });
+}
+
+// Builds the campaign runner the cheapest honest way available: import a
+// blob `shipped` over the session wire, else the --golden-cache entry, else
+// derive (golden run) and populate the cache. Every failure short of
+// derivation failing is a downgrade, not an error — the artifact checks
+// protect the results, so a corrupt blob or cache file just costs the
+// derivation it was meant to save.
+SweepBundle make_campaign_sweep(const Options& options, const std::string* shipped) {
   // Validate the site and workload before paying for the golden run.
   const fault::FaultSite site = parse_site(options.site);
   try {
@@ -687,9 +751,47 @@ SweepBundle make_campaign_sweep(const Options& options) {
   cpu::CpuConfig config;
   config.monitoring = options.monitor;
   config.cic.iht_entries = 16;
-  auto runner = std::make_unique<fault::CampaignRunner>(
-      image, config,
-      fault::CheckpointConfig{options.checkpoints, options.checkpoint_stride});
+  const fault::CheckpointConfig checkpoints{options.checkpoints, options.checkpoint_stride};
+  const std::string key = campaign_golden_key(options);
+
+  std::unique_ptr<fault::CampaignRunner> runner;
+  std::string source;
+  if (shipped != nullptr) {
+    try {
+      const fault::GoldenState state = fault::decode_golden(*shipped, key);
+      runner = std::make_unique<fault::CampaignRunner>(image, config, checkpoints, state);
+      source = "shipped";
+    } catch (const support::CicError& error) {
+      std::fprintf(stderr, "cicmon: shipped golden state rejected (%s); deriving locally\n",
+                   error.what());
+      runner.reset();
+    }
+  }
+  if (runner == nullptr && !options.golden_cache.empty()) {
+    // load_cached_golden already validated magic/key/checksum; decode can
+    // still reject structure, and a stale or truncated entry is overwritten
+    // below by the fresh derivation.
+    const std::string blob = fault::load_cached_golden(options.golden_cache, key);
+    if (!blob.empty()) {
+      try {
+        const fault::GoldenState state = fault::decode_golden(blob, key);
+        runner = std::make_unique<fault::CampaignRunner>(image, config, checkpoints, state);
+        source = "cached";
+      } catch (const support::CicError& error) {
+        std::fprintf(stderr, "cicmon: cached golden state rejected (%s); deriving locally\n",
+                     error.what());
+        runner.reset();
+      }
+    }
+  }
+  if (runner == nullptr) {
+    runner = std::make_unique<fault::CampaignRunner>(image, config, checkpoints);
+    source = "derived";
+    if (!options.golden_cache.empty()) {
+      fault::store_cached_golden(options.golden_cache, key,
+                                 fault::encode_golden(runner->export_golden(), key));
+    }
+  }
 
   exp::SweepSpec spec = runner->sweep(site, options.bits, options.trials, options.seed);
   // Parameters the runner cannot know but rendering and artifact matching
@@ -700,18 +802,22 @@ SweepBundle make_campaign_sweep(const Options& options) {
   spec.params.emplace_back("monitor", options.monitor ? "on" : "off");
   spec.params.emplace_back("golden_instructions",
                            std::to_string(runner->golden_instructions()));
-  return {std::move(spec), std::move(runner)};
+  return {std::move(spec), std::move(runner), key, std::move(source)};
 }
 
 // The five dispatchable sweeps, by subcommand name. For "campaign" this pays
-// for the golden run up front — dispatch needs the exact params workers will
-// record to validate their artifacts against.
-SweepBundle make_sweep(std::string_view command, const Options& options) {
-  if (command == "table1") return {sim::table1_sweep(options.scale), nullptr};
-  if (command == "fig6") return {sim::fig6_sweep(options.entries, options.scale), nullptr};
-  if (command == "blocks") return {sim::blocks_sweep(options.capacities, options.scale), nullptr};
-  if (command == "bench") return {sim::bench_sweep(options.scale), nullptr};
-  return make_campaign_sweep(options);
+// for the golden derivation up front (wire blob, disk cache, or golden run)
+// — dispatch needs the exact params workers will record to validate their
+// artifacts against, and the derived golden state is what it ships.
+SweepBundle make_sweep(std::string_view command, const Options& options,
+                       const std::string* shipped = nullptr) {
+  if (command == "table1") return {sim::table1_sweep(options.scale), nullptr, "", ""};
+  if (command == "fig6") return {sim::fig6_sweep(options.entries, options.scale), nullptr, "", ""};
+  if (command == "blocks") {
+    return {sim::blocks_sweep(options.capacities, options.scale), nullptr, "", ""};
+  }
+  if (command == "bench") return {sim::bench_sweep(options.scale), nullptr, "", ""};
+  return make_campaign_sweep(options, shipped);
 }
 
 // Campaign counterpart of write_bench_json: the same cicmon-bench-v1 schema,
@@ -767,7 +873,7 @@ int write_campaign_json(const std::string& path, const Options& options,
 }
 
 int cmd_campaign(const Options& options) {
-  const SweepBundle bundle = make_campaign_sweep(options);
+  const SweepBundle bundle = make_campaign_sweep(options, nullptr);
   const fault::CampaignRunner& runner = *bundle.keepalive;
   const auto start = std::chrono::steady_clock::now();
   const int code = run_sweep_command(bundle.spec, options);
@@ -890,6 +996,12 @@ std::vector<std::string> worker_sweep_flags(std::string_view command, const Opti
                   // the same way the user asked the orchestrator to.
                   "--checkpoints", options.checkpoints ? "on" : "off",
                   "--checkpoint-stride", std::to_string(options.checkpoint_stride)});
+    if (!options.golden_cache.empty()) {
+      // Session workers and exec-per-shard workers alike share the disk
+      // cache, so even the exec fallback derives the golden state once per
+      // directory instead of once per shard.
+      flags.insert(flags.end(), {"--golden-cache", options.golden_cache});
+    }
   }
   return flags;
 }
@@ -913,11 +1025,12 @@ std::string_view parse_sweep_subcommand(int argc, char** argv, const char* what)
   return sub;
 }
 
-// `cicmon worker <sweep> ...`: the persistent-session server. Derives the
-// sweep once (for campaigns: pays the golden run once, the cost every
-// exec-per-shard worker used to repeat) and then serves shard assignments
-// over stdin/stdout until the orchestrator shuts it down. stdout belongs to
-// the wire protocol, so this subcommand never renders anything.
+// `cicmon worker <sweep> ...`: the persistent-session server. Sends a light
+// hello (sweep name + golden key), then derives the sweep once — from a
+// golden blob the orchestrator ships, from the --golden-cache, or the hard
+// way — and serves shard assignments over stdin/stdout until the
+// orchestrator shuts it down. stdout belongs to the wire protocol, so this
+// subcommand never renders anything.
 int cmd_worker(int argc, char** argv) {
   const std::string_view sub = parse_sweep_subcommand(argc, argv, "serve");
   const Options options = parse_options(argc, argv, /*allow_positional=*/false, /*first=*/3);
@@ -927,8 +1040,17 @@ int cmd_worker(int argc, char** argv) {
                  "apply (use the plain sweep subcommand for a one-shot shard)\n");
     return 2;
   }
-  const SweepBundle bundle = make_sweep(sub, options);
-  return dist::serve_worker(bundle.spec, options.jobs);
+  SweepBundle bundle;  // outlives serve_worker: the campaign spec borrows it
+  dist::WorkerSweepSource source;
+  source.sweep = std::string(sub);
+  if (sub == "campaign") source.golden_key = campaign_golden_key(options);
+  source.derive = [&bundle, &options, sub](const std::string* shipped,
+                                           std::string* golden_source) {
+    bundle = make_sweep(sub, options, shipped);
+    if (golden_source != nullptr) *golden_source = bundle.golden_source;
+    return bundle.spec;
+  };
+  return dist::serve_worker(source, options.jobs);
 }
 
 // Prints what `cicmon dispatch` *would* launch — the resolved shard grid,
@@ -936,13 +1058,20 @@ int cmd_worker(int argc, char** argv) {
 // debugging aid for ssh/cluster --transport templates: the exact /bin/sh
 // command per shard is shown after placeholder expansion.
 int print_dispatch_plan(const exp::SweepSpec& spec, const dist::WorkerCommand& base,
-                        const dist::DispatchConfig& config, const std::string& transport_text) {
-  const dist::DispatchPlan plan = dist::plan_dispatch(spec, base, config);
+                        const dist::Transport& transport, const dist::DispatchConfig& config,
+                        const std::string& transport_text) {
+  const dist::DispatchPlan plan = dist::plan_dispatch(spec, base, transport, config);
   std::printf("dispatch plan: %s (%zu cells) over %u shards, %u workers, %u jobs/worker\n",
               spec.sweep.c_str(), spec.cells, plan.shards, plan.workers, plan.jobs);
   std::string mode = "exec per shard, local transport";
   if (plan.persistent) {
-    mode = "persistent worker sessions (local pipes)";
+    mode = transport_text.empty()
+               ? "persistent worker sessions (local pipes)"
+               : "persistent worker sessions (template transport '" + transport_text + "')";
+    if (config.golden != nullptr && !config.golden->empty()) {
+      mode += ", golden state shipped (" + std::to_string(config.golden->bytes) + " bytes, " +
+              std::to_string(config.golden->frames.size()) + " chunk(s))";
+    }
   } else if (!transport_text.empty()) {
     mode = "exec per shard, template transport '" + transport_text + "'";
   }
@@ -976,6 +1105,75 @@ int print_dispatch_plan(const exp::SweepSpec& spec, const dist::WorkerCommand& b
   return 0;
 }
 
+// Dispatch counterpart of write_campaign_json: the same cicmon-bench-v1
+// schema and "campaign" object, but the throughput is the whole dispatch
+// (orchestrator wall clock over all trials) and a nested "dispatch" object
+// reports the fleet telemetry — including the summed worker-measured shard
+// wall clock (the useful work) that an honest dispatch-tax number divides
+// by. Everything except the wall-clock figures is deterministic.
+int write_dispatch_campaign_json(const std::string& path, const Options& options,
+                                 const fault::CampaignRunner& runner,
+                                 const dist::DispatchResult& result, double wall_ms) {
+  support::JsonWriter json;
+  json.begin_object();
+  json.key("schema");
+  json.value("cicmon-bench-v1");
+  json.key("campaign");
+  json.begin_object();
+  json.key("workload");
+  json.value(options.workload);
+  json.key("scale");
+  json.value(options.scale);
+  json.key("site");
+  json.value(options.site);
+  json.key("bits");
+  json.value_u64(options.bits);
+  json.key("trials");
+  json.value_u64(options.trials);
+  json.key("seed");
+  json.value_u64(options.seed);
+  json.key("monitor");
+  json.value(options.monitor ? "on" : "off");
+  json.key("engine");
+  json.value(std::string(cpu::engine_name(cpu::default_engine())));
+  json.key("checkpoints");
+  json.value(runner.checkpoints_enabled() ? "on" : "off");
+  json.key("checkpoint_stride");
+  json.value_u64(runner.checkpoint_stride());
+  json.key("snapshots");
+  json.value_u64(runner.snapshot_count());
+  json.key("golden_instructions");
+  json.value_u64(runner.golden_instructions());
+  json.key("dispatch");
+  json.begin_object();
+  json.key("mode");
+  json.value(result.persistent ? "sessions" : "exec");
+  json.key("shards");
+  json.value_u64(result.shard_count);
+  json.key("reused");
+  json.value_u64(result.reused);
+  json.key("launched");
+  json.value_u64(result.launched);
+  json.key("retried");
+  json.value_u64(result.retried);
+  json.key("golden_shipped");
+  json.value_u64(result.golden_shipped);
+  json.key("golden_cached");
+  json.value_u64(result.golden_cached);
+  json.key("golden_derived");
+  json.value_u64(result.golden_derived);
+  json.key("worker_wall_ms");
+  json.value_u64(result.worker_wall_ms);
+  json.end_object();
+  json.key("wall_ms");
+  json.value_fixed(wall_ms, 1);
+  json.key("trials_per_sec");
+  json.value_fixed(static_cast<double>(options.trials) / (wall_ms / 1000.0), 1);
+  json.end_object();
+  json.end_object();
+  return write_json_file(path, json.take());
+}
+
 // `cicmon dispatch <sweep> ...`: scale the sweep out over worker processes
 // via src/dist/, then merge and render through the same funnel as the direct
 // and `merge` paths — stdout is byte-identical to the direct invocation.
@@ -988,10 +1186,8 @@ int cmd_dispatch(int argc, char** argv) {
                  "shards for you (use --shards N and --dir DIR)\n");
     return 2;
   }
-  if (sub == "campaign" && !options.json_path.empty()) {
-    std::fprintf(stderr,
-                 "cicmon: --json on a dispatched campaign is not supported — trials/sec is a "
-                 "one-process measurement; use the direct 'cicmon campaign --json PATH'\n");
+  if (!options.json_path.empty() && sub != "campaign" && sub != "bench") {
+    std::fprintf(stderr, "cicmon: --json applies to dispatched bench and campaign only\n");
     return 2;
   }
 
@@ -1002,10 +1198,11 @@ int cmd_dispatch(int argc, char** argv) {
   base.argv.emplace_back(sub);
   const std::vector<std::string> flags = worker_sweep_flags(sub, options);
   base.argv.insert(base.argv.end(), flags.begin(), flags.end());
-  // Persistent sessions are the default for local workers; a --transport
-  // template has no pipe to speak the protocol over, so it stays on the
-  // exec-per-shard fallback (as does an explicit --exec-per-shard).
-  if (options.transport.empty() && !options.exec_per_shard) {
+  // Persistent sessions are the default; plan_dispatch falls back to
+  // exec-per-shard when the transport cannot forward stdio to the worker
+  // (templates with per-item placeholders) or on an explicit
+  // --exec-per-shard.
+  if (!options.exec_per_shard) {
     base.session_argv.push_back(base.argv.front());
     base.session_argv.emplace_back("worker");
     base.session_argv.emplace_back(sub);
@@ -1021,9 +1218,10 @@ int cmd_dispatch(int argc, char** argv) {
   config.artifact_dir = options.dir.empty() ? "cicmon-dispatch" : options.dir;
   config.force = options.force;
   config.progress = !options.quiet;
-
-  if (options.dry_run) {
-    return print_dispatch_plan(bundle.spec, base, config, options.transport);
+  if (options.ship_golden && bundle.keepalive != nullptr && !bundle.golden_key.empty()) {
+    config.golden = std::make_shared<dist::GoldenShipment>(dist::make_golden_shipment(
+        bundle.golden_key,
+        fault::encode_golden(bundle.keepalive->export_golden(), bundle.golden_key)));
   }
 
   std::unique_ptr<dist::Transport> transport;
@@ -1033,7 +1231,15 @@ int cmd_dispatch(int argc, char** argv) {
     transport = std::make_unique<dist::CommandTemplateTransport>(options.transport);
   }
 
+  if (options.dry_run) {
+    return print_dispatch_plan(bundle.spec, base, *transport, config, options.transport);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
   const dist::DispatchResult result = dist::dispatch_sweep(bundle.spec, base, *transport, config);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
   const char* mode = result.persistent ? "persistent sessions" : "exec per shard";
   if (!result.ok) {
     std::fprintf(stderr,
@@ -1048,13 +1254,26 @@ int cmd_dispatch(int argc, char** argv) {
     }
     return 1;
   }
+  std::string golden_note;
+  if (result.persistent &&
+      result.golden_shipped + result.golden_cached + result.golden_derived > 0) {
+    golden_note = ", golden " + std::to_string(result.golden_shipped) + " shipped/" +
+                  std::to_string(result.golden_cached) + " cached/" +
+                  std::to_string(result.golden_derived) + " derived";
+  }
   std::fprintf(stderr,
                "dispatch: %s over %u shards via %s (%s transport): %zu reused, %zu launched, "
-               "%zu retried\n",
+               "%zu retried%s\n",
                bundle.spec.sweep.c_str(), result.shard_count, mode,
-               transport->describe().c_str(), result.reused, result.launched, result.retried);
-  return render_cells(bundle.spec.sweep, bundle.spec.params, result.cells, options,
-                      /*bench_total_ms=*/-1.0);
+               transport->describe().c_str(), result.reused, result.launched, result.retried,
+               golden_note.c_str());
+  const int code = render_cells(bundle.spec.sweep, bundle.spec.params, result.cells, options,
+                                /*bench_total_ms=*/-1.0);
+  if (code == 0 && sub == "campaign" && !options.json_path.empty()) {
+    return write_dispatch_campaign_json(options.json_path, options, *bundle.keepalive, result,
+                                        wall_ms);
+  }
+  return code;
 }
 
 int cmd_workloads() {

@@ -10,19 +10,23 @@
 //
 // Persistent-session mode (the real `cicmon worker` binary over pipes, plus
 // sh saboteurs speaking just enough of the wire protocol to misbehave):
-// the handshake rejects protocol/spec skew, and every adversarial input the
-// issue names — truncated frame, checksum mismatch, garbage line, oversized
-// record, worker SIGKILLed mid-record — tears the session down, retries the
-// shard on a fresh session, and still merges to exactly the direct run's
-// cells. (CI additionally byte-diffs the rendered stdout of the real
-// `cicmon dispatch` binary against the direct run, including a session-kill
-// pass.)
+// the v2 handshake rejects protocol/spec skew but only *downgrades* on
+// golden-key skew, and every adversarial input the issue names — truncated
+// frame, checksum mismatch, garbage line, oversized record, worker
+// SIGKILLed mid-record or mid-golden-chunk — tears the session down,
+// retries the shard on a fresh session, and still merges to exactly the
+// direct run's cells. The Cli.* tests run the real `cicmon dispatch` binary
+// end to end and byte-diff its stdout against the direct run with golden
+// shipping on, off, cached, and sabotaged. (CI repeats that over a
+// multi-host-style template transport.)
 #include <gtest/gtest.h>
 
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -337,13 +341,34 @@ TEST(Session, MessagesRoundTripThroughEncodeDecode) {
   spec.sweep = "table1";
   spec.params = {{"scale", "0.5"}, {"seed", "7"}};
   spec.cells = 27;
-  const SessionMessage hello = decode_session_message(encode_hello(spec));
+  const SessionMessage hello =
+      decode_session_message(encode_hello("table1", "00deadbeef00face"));
   EXPECT_EQ(hello.type, SessionMessage::Type::kHello);
   EXPECT_EQ(hello.protocol, kSessionProtocolVersion);
   EXPECT_EQ(hello.sweep, "table1");
-  EXPECT_EQ(hello.cells, 27U);
-  EXPECT_EQ(hello.params, spec.params);
+  EXPECT_EQ(hello.golden_key, "00deadbeef00face");
   EXPECT_TRUE(hello_mismatch(hello, spec).empty());
+
+  const SessionMessage offer =
+      decode_session_message(encode_golden_offer("00deadbeef00face", 3'000'000, 3));
+  EXPECT_EQ(offer.type, SessionMessage::Type::kGoldenOffer);
+  EXPECT_EQ(offer.offer_key, "00deadbeef00face");
+  EXPECT_EQ(offer.golden_bytes, 3'000'000U);
+  EXPECT_EQ(offer.golden_chunks, 3U);
+  // The empty offer ("nothing to ship") is a valid record too.
+  EXPECT_EQ(decode_session_message(encode_golden_offer("", 0, 0)).golden_chunks, 0U);
+
+  const SessionMessage ack = decode_session_message(encode_golden_ack(true));
+  EXPECT_EQ(ack.type, SessionMessage::Type::kGoldenAck);
+  EXPECT_TRUE(ack.accept);
+
+  const SessionMessage ready = decode_session_message(encode_ready(spec, "shipped"));
+  EXPECT_EQ(ready.type, SessionMessage::Type::kReady);
+  EXPECT_EQ(ready.sweep, "table1");
+  EXPECT_EQ(ready.cells, 27U);
+  EXPECT_EQ(ready.params, spec.params);
+  EXPECT_EQ(ready.golden_source, "shipped");
+  EXPECT_TRUE(ready_mismatch(ready, spec).empty());
 
   const SessionMessage assign =
       decode_session_message(encode_assign(exp::Shard{2, 5}, "out dir/a.json", true));
@@ -354,9 +379,10 @@ TEST(Session, MessagesRoundTripThroughEncodeDecode) {
   EXPECT_TRUE(assign.force);
 
   const SessionMessage done =
-      decode_session_message(encode_done(exp::Shard{5, 5}, "a.json", true));
+      decode_session_message(encode_done(exp::Shard{5, 5}, "a.json", true, 321));
   EXPECT_EQ(done.type, SessionMessage::Type::kDone);
   EXPECT_TRUE(done.reused);
+  EXPECT_EQ(done.wall_ms, 321U);
 
   const SessionMessage error =
       decode_session_message(encode_session_error(exp::Shard{1, 2}, "disk full"));
@@ -370,16 +396,26 @@ TEST(Session, MessagesRoundTripThroughEncodeDecode) {
   // Out-of-range shard coordinates are a structural violation.
   EXPECT_THROW(decode_session_message(
                    "{\"type\": \"done\", \"shard\": 9, \"shard_count\": 5, "
-                   "\"out\": \"x\", \"reused\": false}"),
+                   "\"out\": \"x\", \"reused\": false, \"wall_ms\": 0}"),
+               support::CicError);
+  // A golden offer whose key and chunk count disagree is structurally bogus:
+  // "something to ship" needs both, "nothing" needs neither.
+  EXPECT_THROW(decode_session_message(
+                   "{\"type\": \"golden_offer\", \"key\": \"\", \"bytes\": 0, "
+                   "\"chunks\": 3}"),
+               support::CicError);
+  EXPECT_THROW(decode_session_message(
+                   "{\"type\": \"golden_offer\", \"key\": \"00deadbeef00face\", "
+                   "\"bytes\": 9, \"chunks\": 0}"),
                support::CicError);
 }
 
-TEST(Session, HelloMismatchCatchesVersionSweepCellsAndParams) {
+TEST(Session, HelloMismatchCatchesProtocolAndSweepButNotGoldenKeySkew) {
   exp::SweepSpec spec;
   spec.sweep = "fig6";
   spec.params = {{"scale", "1"}};
   spec.cells = 9;
-  SessionMessage hello = decode_session_message(encode_hello(spec));
+  SessionMessage hello = decode_session_message(encode_hello("fig6", "1111111111111111"));
   EXPECT_TRUE(hello_mismatch(hello, spec).empty());
   SessionMessage skew = hello;
   skew.protocol = 99;
@@ -387,12 +423,28 @@ TEST(Session, HelloMismatchCatchesVersionSweepCellsAndParams) {
   skew = hello;
   skew.sweep = "table1";
   EXPECT_FALSE(hello_mismatch(skew, spec).empty());
+  // Golden-key skew downgrades shipping; it must never reject the worker.
   skew = hello;
+  skew.golden_key = "2222222222222222";
+  EXPECT_TRUE(hello_mismatch(skew, spec).empty());
+}
+
+TEST(Session, ReadyMismatchCatchesSweepCellsAndParams) {
+  exp::SweepSpec spec;
+  spec.sweep = "fig6";
+  spec.params = {{"scale", "1"}};
+  spec.cells = 9;
+  SessionMessage ready = decode_session_message(encode_ready(spec, "derived"));
+  EXPECT_TRUE(ready_mismatch(ready, spec).empty());
+  SessionMessage skew = ready;
+  skew.sweep = "table1";
+  EXPECT_FALSE(ready_mismatch(skew, spec).empty());
+  skew = ready;
   skew.cells = 10;
-  EXPECT_FALSE(hello_mismatch(skew, spec).empty());
-  skew = hello;
+  EXPECT_FALSE(ready_mismatch(skew, spec).empty());
+  skew = ready;
   skew.params = {{"scale", "2"}};
-  EXPECT_FALSE(hello_mismatch(skew, spec).empty());
+  EXPECT_FALSE(ready_mismatch(skew, spec).empty());
 }
 
 // The persistent-session integration tests run the REAL `cicmon worker`
@@ -454,6 +506,20 @@ TEST(Sessions, FlakyEnvHookKillsWorkerMidRecordAndTheShardIsRetried) {
   EXPECT_TRUE(std::filesystem::exists(dir + "/markers/2of4"));
 }
 
+// The worker half of a v2 handshake, as precomputed frames plus the script
+// lines that replay it: hello out, consume the golden offer (header line +
+// payload line), decline it, report ready — enough for a /bin/sh "worker" to
+// reach the assignment loop exactly as the real binary does.
+std::string scripted_handshake(const std::string& dir, const exp::SweepSpec& spec) {
+  write_file(dir + "/hello.bin", support::wire_frame(encode_hello(spec.sweep, "")));
+  write_file(dir + "/ack.bin", support::wire_frame(encode_golden_ack(false)));
+  write_file(dir + "/ready.bin", support::wire_frame(encode_ready(spec, "derived")));
+  return "cat \"" + dir + "/hello.bin\"\n"
+         "read offer_header; read offer_payload\n"
+         "cat \"" + dir + "/ack.bin\"\n"
+         "cat \"" + dir + "/ready.bin\"\n";
+}
+
 TEST(Sessions, IdleSessionIsNotKilledByItsCompletedAssignmentsDeadline) {
   // Regression: completing an assignment must clear its deadline. A session
   // idling after a fast shard (while a peer grinds the long-tail one) must
@@ -462,14 +528,14 @@ TEST(Sessions, IdleSessionIsNotKilledByItsCompletedAssignmentsDeadline) {
   const std::string dir = make_test_dir("sessions_idle");
   const exp::SweepSpec spec = session_sweep();
   const std::string artifact = dir + "/a.json";
-  write_file(dir + "/hello.bin", support::wire_frame(encode_hello(spec)));
   write_file(dir + "/done.bin",
-             support::wire_frame(encode_done(exp::Shard{1, 2}, artifact, false)));
+             support::wire_frame(encode_done(exp::Shard{1, 2}, artifact, false, 3)));
   const std::string path = dir + "/idle.sh";
-  write_file(path, "cat \"" + dir + "/hello.bin\"\nread assign\ncat \"" + dir +
+  write_file(path, scripted_handshake(dir, spec) + "read assign_header\ncat \"" + dir +
                        "/done.bin\"\nexec sleep 30\n");
   using Clock = WorkerSession::Clock;
-  WorkerSession session({"/bin/sh", path}, Clock::now() + std::chrono::seconds(10),
+  WorkerSession session(support::spawn_process_piped({"/bin/sh", path}), nullptr,
+                        Clock::now() + std::chrono::seconds(10),
                         /*grace_seconds=*/0.1);
   auto pump_until = [&](WorkerSession::Event::Kind kind) {
     const Clock::time_point give_up = Clock::now() + std::chrono::seconds(10);
@@ -503,11 +569,11 @@ TEST(Sessions, FailedAssignWriteLeavesTheItemWithTheCaller) {
   // Regression: assign() must not consume the item when the pipe write
   // fails — the caller re-enqueues it, artifact path and all.
   const std::string dir = make_test_dir("sessions_deadpipe");
-  write_file(dir + "/hello.bin", support::wire_frame(encode_hello(session_sweep())));
   const std::string path = dir + "/hello-then-die.sh";
-  write_file(path, "cat \"" + dir + "/hello.bin\"\nexit 0\n");
+  write_file(path, scripted_handshake(dir, session_sweep()) + "exit 0\n");
   using Clock = WorkerSession::Clock;
-  WorkerSession session({"/bin/sh", path}, Clock::now() + std::chrono::seconds(10),
+  WorkerSession session(support::spawn_process_piped({"/bin/sh", path}), nullptr,
+                        Clock::now() + std::chrono::seconds(10),
                         /*grace_seconds=*/0.1);
   const Clock::time_point give_up = Clock::now() + std::chrono::seconds(10);
   while (session.state() != WorkerSession::State::kIdle && Clock::now() < give_up) {
@@ -526,19 +592,18 @@ TEST(Sessions, FailedAssignWriteLeavesTheItemWithTheCaller) {
   EXPECT_EQ(item.shard.index, 1U);
 }
 
-// A saboteur session: speaks a valid hello (precomputed by the test), waits
-// for its first assignment, emits `sabotage` as the response, and exits.
-// Every later launch (the mkdir is atomic, so exactly one saboteur fires)
-// execs the real worker binary, which serves the retried shard properly.
+// A saboteur session: speaks a valid v2 handshake (precomputed by the test,
+// declining the golden offer), waits for its first assignment, emits
+// `sabotage` as the response, and exits. Every later launch (the mkdir is
+// atomic, so exactly one saboteur fires) execs the real worker binary, which
+// serves the retried shard properly.
 WorkerCommand saboteur_command(const std::string& dir, const std::string& sabotage) {
   const exp::SweepSpec spec = session_sweep();
-  std::ofstream hello(dir + "/hello.bin", std::ios::binary);
-  hello << support::wire_frame(encode_hello(spec));
-  hello.close();
+  const std::string handshake = scripted_handshake(dir, spec);
   const std::string path = dir + "/session.sh";
   write_file(path,
-             "if mkdir \"" + dir + "/sabotaged\" 2> /dev/null; then\n"
-             "  cat \"" + dir + "/hello.bin\"\n"
+             "if mkdir \"" + dir + "/sabotaged\" 2> /dev/null; then\n" +
+                 handshake +
              "  read assign_header\n" +  // sync: an assignment is in flight
                  sabotage + "\n"
              "  exit 0\n"
@@ -561,7 +626,7 @@ void expect_sabotage_recovered(const char* tag, const std::string& sabotage_temp
   // complete done-record frame; bad.bin is the same frame with one payload
   // bit flipped (framing intact, checksum wrong).
   const std::string done_frame =
-      support::wire_frame(encode_done(exp::Shard{1, 3}, "ignored.json", false));
+      support::wire_frame(encode_done(exp::Shard{1, 3}, "ignored.json", false, 2));
   std::ofstream done(dir + "/done.bin", std::ios::binary);
   done << done_frame;
   done.close();
@@ -613,8 +678,8 @@ TEST(Sessions, ProtocolVersionSkewIsASetupErrorNotARetryLoop) {
   const std::string dir = make_test_dir("sessions_protocol");
   const exp::SweepSpec spec = session_sweep();
   // A "worker" from the future: hello with protocol 99, every launch.
-  std::string hello = encode_hello(spec);
-  const std::string::size_type pos = hello.find("\"protocol\": 1");
+  std::string hello = encode_hello(spec.sweep, "");
+  const std::string::size_type pos = hello.find("\"protocol\": 2");
   ASSERT_NE(pos, std::string::npos);
   hello.replace(pos, 13, "\"protocol\": 99");
   std::ofstream out(dir + "/hello.bin", std::ios::binary);
@@ -654,20 +719,137 @@ TEST(Sessions, ExecPerShardRemainsTheFallbackWhenNoSessionCommandIsGiven) {
   EXPECT_EQ(result.cells, session_direct_cells());
 }
 
+TEST(Sessions, TemplateTransportCarriesSessionsWhenItForwardsStdio) {
+  // The ssh-style case: a template with no per-item placeholders wraps the
+  // session command once per worker slot and forwards stdio, so a multi-host
+  // fleet gets persistent sessions (and golden shipping) instead of falling
+  // back to exec-per-shard.
+  const std::string dir = make_test_dir("sessions_template");
+  CommandTemplateTransport transport("echo launched >> " + dir + "/launches.txt && {cmd}");
+  const DispatchResult result =
+      dispatch_sweep(session_sweep(), cli_worker_command(), transport, test_config(dir, 2, 5));
+  ASSERT_TRUE(result.ok) << (result.failures.empty() ? "?" : result.failures.front().reason);
+  EXPECT_TRUE(result.persistent);
+  EXPECT_EQ(result.launched, 2U);  // sessions, not five exec workers
+  EXPECT_EQ(result.cells, session_direct_cells());
+  EXPECT_TRUE(std::filesystem::exists(dir + "/launches.txt"));
+}
+
+TEST(Sessions, GoldenKeySkewDowngradesShippingNotTheWorker) {
+  // The orchestrator has golden state but the worker's hello reports a
+  // different (here: empty — table1 ships nothing) key: the offer is
+  // withheld, the worker derives locally, and the run still merges to the
+  // direct cells. Skew must never look like a broken worker.
+  const std::string dir = make_test_dir("sessions_keyskew");
+  DispatchConfig config = test_config(dir, 2, 4);
+  config.golden = std::make_shared<GoldenShipment>(
+      make_golden_shipment("1234567890abcdef", "not-a-real-golden-blob"));
+  LocalProcessTransport transport;
+  const DispatchResult result =
+      dispatch_sweep(session_sweep(), cli_worker_command(), transport, config);
+  ASSERT_TRUE(result.ok) << (result.failures.empty() ? "?" : result.failures.front().reason);
+  EXPECT_EQ(result.golden_shipped, 0U);
+  EXPECT_EQ(result.cells, session_direct_cells());
+}
+
+// --- the real CLI end to end: golden shipping on the dispatch path ---------
+
+int run_cli(const std::string& shell_command) {
+  return support::spawn_process({"/bin/sh", "-c", shell_command}).wait();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+// One tiny campaign, used by every CLI-level test below.
+std::string campaign_flags() {
+  return " --workload bitcount --scale 0.02 --site memory-text --trials 48 --seed 9";
+}
+
+TEST(Cli, DispatchedCampaignGoldenShippingIsByteIdenticalToTheDirectRun) {
+  const std::string dir = make_test_dir("cli_golden");
+  const std::string cli = CICMON_CLI_PATH;
+  ASSERT_TRUE(support::exit_ok(
+      run_cli(cli + " campaign" + campaign_flags() + " > " + dir + "/direct.txt 2>/dev/null")));
+  const std::string direct = read_file(dir + "/direct.txt");
+  ASSERT_FALSE(direct.empty());
+
+  // Shipping on (the default), with a disk cache.
+  ASSERT_TRUE(support::exit_ok(run_cli(
+      cli + " dispatch campaign" + campaign_flags() + " --workers 2 --shards 4 --quiet" +
+      " --dir " + dir + "/a1 --golden-cache " + dir + "/cache > " + dir + "/ship.txt 2> " +
+      dir + "/ship.err")));
+  EXPECT_EQ(read_file(dir + "/ship.txt"), direct);
+  // Both workers took the wire shipment instead of paying a golden run.
+  EXPECT_NE(read_file(dir + "/ship.err").find("2 shipped"), std::string::npos)
+      << read_file(dir + "/ship.err");
+  // The orchestrator's derivation landed in the content-addressed cache.
+  bool cached = false;
+  for (const auto& entry : std::filesystem::directory_iterator(dir + "/cache")) {
+    cached |= entry.path().string().ends_with(".golden");
+  }
+  EXPECT_TRUE(cached);
+
+  // Shipping off: every worker derives locally — byte-identical output.
+  ASSERT_TRUE(support::exit_ok(run_cli(
+      cli + " dispatch campaign" + campaign_flags() + " --workers 2 --shards 4 --quiet" +
+      " --ship-golden off --dir " + dir + "/a2 > " + dir + "/noship.txt 2> " + dir +
+      "/noship.err")));
+  EXPECT_EQ(read_file(dir + "/noship.txt"), direct);
+  EXPECT_NE(read_file(dir + "/noship.err").find("2 derived"), std::string::npos)
+      << read_file(dir + "/noship.err");
+
+  // A rerun against the same cache starts from the cached blob (orchestrator
+  // side) and still ships — and still matches byte for byte.
+  ASSERT_TRUE(support::exit_ok(run_cli(
+      cli + " dispatch campaign" + campaign_flags() + " --workers 2 --shards 4 --quiet" +
+      " --dir " + dir + "/a3 --golden-cache " + dir + "/cache > " + dir + "/cachehit.txt 2> " +
+      dir + "/cachehit.err")));
+  EXPECT_EQ(read_file(dir + "/cachehit.txt"), direct);
+}
+
+TEST(Cli, WorkerKilledMidGoldenChunkIsReplacedAndStillMergesByteIdentical) {
+  const std::string dir = make_test_dir("cli_golden_kill");
+  const std::string cli = CICMON_CLI_PATH;
+  ASSERT_TRUE(support::exit_ok(
+      run_cli(cli + " campaign" + campaign_flags() + " > " + dir + "/direct.txt 2>/dev/null")));
+  // The first worker to have a golden chunk in hand SIGKILLs itself
+  // mid-stream; the orchestrator must tear that session down (handshake
+  // failure, not a lost shard) and the replacement worker finishes the run.
+  ASSERT_TRUE(support::exit_ok(run_cli(
+      "CICMON_WORKER_FLAKY_GOLDEN=1 CICMON_WORKER_FLAKY_MARKER=" + dir + "/markers " + cli +
+      " dispatch campaign" + campaign_flags() + " --workers 2 --shards 4 --quiet --dir " +
+      dir + "/a1 > " + dir + "/killed.txt 2> " + dir + "/killed.err")));
+  EXPECT_EQ(read_file(dir + "/killed.txt"), read_file(dir + "/direct.txt"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/markers/golden"))
+      << read_file(dir + "/killed.err");
+}
+
 TEST(Dispatch, PlanResolvesCountsAndSessionMode) {
   const exp::SweepSpec spec = synthetic_sweep(10);
   DispatchConfig config;
   config.workers = 3;
   WorkerCommand base{{"sh"}, {"sh", "worker"}};
-  DispatchPlan plan = plan_dispatch(spec, base, config);
+  LocalProcessTransport local;
+  DispatchPlan plan = plan_dispatch(spec, base, local, config);
   EXPECT_EQ(plan.workers, 3U);
   EXPECT_EQ(plan.shards, 10U);  // 4x workers capped at the cell count
   EXPECT_TRUE(plan.persistent);
   config.persistent = false;
-  EXPECT_FALSE(plan_dispatch(spec, base, config).persistent);
+  EXPECT_FALSE(plan_dispatch(spec, base, local, config).persistent);
   config.persistent = true;
+  // A stdio-forwarding template carries sessions; per-item placeholders pin
+  // the template to exec-per-shard.
+  CommandTemplateTransport forwarding("ssh host {cmd}");
+  EXPECT_TRUE(forwarding.supports_sessions());
+  EXPECT_TRUE(plan_dispatch(spec, base, forwarding, config).persistent);
+  CommandTemplateTransport pinned("run {cmd} --shard {shard} --out {out}");
+  EXPECT_FALSE(pinned.supports_sessions());
+  EXPECT_FALSE(plan_dispatch(spec, base, pinned, config).persistent);
   base.session_argv.clear();
-  EXPECT_FALSE(plan_dispatch(spec, base, config).persistent);
+  EXPECT_FALSE(plan_dispatch(spec, base, local, config).persistent);
   // exec_worker_argv is the exact sharded-run invocation.
   const WorkItem item{exp::Shard{2, 5}, "runs/synthetic-2of5.shard.json", 0};
   EXPECT_EQ(exec_worker_argv(base, 2, item, true),

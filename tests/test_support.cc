@@ -359,5 +359,94 @@ TEST(Wire, ChecksumDetectsTranspositionAndIsStable) {
   EXPECT_THROW(wire_frame(std::string(kMaxWirePayload + 1, 'x')), CicError);
 }
 
+// --- chunked bulk records ------------------------------------------------
+
+// Reassembles a payload sequence, expecting it to complete cleanly.
+std::string assemble(const std::vector<std::string>& payloads) {
+  ChunkAssembler assembler;
+  std::string error;
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    const ChunkAssembler::Status status = assembler.feed(payloads[i], &error);
+    if (i + 1 < payloads.size()) {
+      EXPECT_EQ(status, ChunkAssembler::Status::kChunk) << error;
+    } else {
+      EXPECT_EQ(status, ChunkAssembler::Status::kDone) << error;
+    }
+  }
+  return assembler.blob();
+}
+
+TEST(Chunks, SplitAndReassembleRoundTripAtEverySize) {
+  // Empty, small, exactly at a boundary-ish size, and a blob big enough to
+  // need several chunks — with binary bytes, newlines, and NULs throughout.
+  std::string big(2 * kMaxWirePayload + 12345, '\0');
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<char>((i * 131) ^ (i >> 7));
+  }
+  for (const std::string& blob : {std::string(), std::string("tiny\nblob\0x", 11), big}) {
+    const std::vector<std::string> payloads = chunk_payloads(blob);
+    ASSERT_GE(payloads.size(), 1U);
+    for (const std::string& payload : payloads) {
+      EXPECT_LE(payload.size(), kMaxWirePayload);  // every chunk frames legally
+      EXPECT_TRUE(payload.starts_with(kChunkMagic));
+      EXPECT_NO_THROW(wire_frame(payload));
+    }
+    EXPECT_EQ(assemble(payloads), blob);
+  }
+}
+
+TEST(Chunks, AssemblerRejectsEverySequenceViolationStickily) {
+  std::string blob(3 * kMaxWirePayload / 2, 'z');  // two chunks
+  const std::vector<std::string> payloads = chunk_payloads(blob);
+  ASSERT_EQ(payloads.size(), 2U);
+
+  // Reordered.
+  {
+    ChunkAssembler assembler;
+    std::string error;
+    EXPECT_EQ(assembler.feed(payloads[1], &error), ChunkAssembler::Status::kBad);
+    EXPECT_EQ(assembler.feed(payloads[0], &error), ChunkAssembler::Status::kBad);  // sticky
+  }
+  // Duplicated.
+  {
+    ChunkAssembler assembler;
+    std::string error;
+    EXPECT_EQ(assembler.feed(payloads[0], &error), ChunkAssembler::Status::kChunk);
+    EXPECT_EQ(assembler.feed(payloads[0], &error), ChunkAssembler::Status::kBad);
+  }
+  // Trailing chunk after completion.
+  {
+    ChunkAssembler assembler;
+    std::string error;
+    EXPECT_EQ(assembler.feed(payloads[0], &error), ChunkAssembler::Status::kChunk);
+    EXPECT_EQ(assembler.feed(payloads[1], &error), ChunkAssembler::Status::kDone);
+    EXPECT_EQ(assembler.feed(payloads[1], &error), ChunkAssembler::Status::kBad);
+  }
+  // Inconsistent total: a chunk from a different (single-chunk) sequence.
+  {
+    ChunkAssembler assembler;
+    std::string error;
+    EXPECT_EQ(assembler.feed(payloads[0], &error), ChunkAssembler::Status::kChunk);
+    EXPECT_EQ(assembler.feed(chunk_payloads("other")[0], &error),
+              ChunkAssembler::Status::kBad);
+  }
+  // Corrupt data under an intact header: the per-chunk checksum catches what
+  // the framing layer no longer covers.
+  {
+    std::string corrupt = payloads[0];
+    corrupt[corrupt.size() - 1] ^= 0x01;
+    ChunkAssembler assembler;
+    std::string error;
+    EXPECT_EQ(assembler.feed(corrupt, &error), ChunkAssembler::Status::kBad);
+    EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+  }
+  // Garbage that is not a chunk at all.
+  {
+    ChunkAssembler assembler;
+    std::string error;
+    EXPECT_EQ(assembler.feed("definitely not a chunk", &error), ChunkAssembler::Status::kBad);
+  }
+}
+
 }  // namespace
 }  // namespace cicmon::support
