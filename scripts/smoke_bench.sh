@@ -148,6 +148,46 @@ if [[ -x ${build_dir}/cicmon ]]; then
   rm -rf "${shard_dir}"
 fi
 
+# Telemetry A/B: collection is compiled in and always on, so the gate here
+# is the *emission* path — a run with --trace + --metrics must render the
+# same stdout bytes and stay within noise of the plain run. The wall-clock
+# bound is deliberately generous (2x + 250 ms) because smoke-scale runs are
+# milliseconds and scheduler jitter dominates; BENCH_PR9.json carries the
+# honest full-scale overhead numbers.
+telemetry_off_ms=0
+telemetry_on_ms=0
+if [[ -x ${build_dir}/cicmon ]]; then
+  echo "--- cicmon telemetry A/B (trace off vs on)"
+  telem_dir=$(mktemp -d)
+  base="campaign --workload bitcount --scale 0.02 --trials 200"
+  t0=$(date +%s%3N)
+  ${build_dir}/cicmon ${base} 2> /dev/null > "${telem_dir}/off.txt"
+  t1=$(date +%s%3N)
+  ${build_dir}/cicmon ${base} --trace "${telem_dir}/trace.jsonl" --metrics json \
+    2> /dev/null > "${telem_dir}/on.txt"
+  t2=$(date +%s%3N)
+  telemetry_off_ms=$((t1 - t0))
+  telemetry_on_ms=$((t2 - t1))
+  if ! diff "${telem_dir}/off.txt" "${telem_dir}/on.txt"; then
+    echo "--- cicmon telemetry: --trace/--metrics moved stdout" >&2
+    failures=$((failures + 1))
+  elif [[ ! -s ${telem_dir}/trace.jsonl ]] ||
+     ! grep -q '"schema":"cicmon-trace-v1"' "${telem_dir}/trace.jsonl"; then
+    echo "--- cicmon telemetry: trace file missing or malformed" >&2
+    failures=$((failures + 1))
+  elif command -v python3 > /dev/null 2>&1 &&
+     ! python3 "$(dirname "$0")/check_trace.py" "${telem_dir}/trace.jsonl" > /dev/null; then
+    echo "--- cicmon telemetry: check_trace.py rejected the trace" >&2
+    failures=$((failures + 1))
+  elif [[ ${telemetry_on_ms} -gt $((telemetry_off_ms * 2 + 250)) ]]; then
+    echo "--- cicmon telemetry: traced run took ${telemetry_on_ms} ms vs ${telemetry_off_ms} ms plain" >&2
+    failures=$((failures + 1))
+  else
+    echo "    plain ${telemetry_off_ms} ms, traced ${telemetry_on_ms} ms"
+  fi
+  rm -rf "${telem_dir}"
+fi
+
 # Dispatch must reproduce the direct run byte for byte in every mode —
 # persistent worker sessions with golden-state shipping (the default),
 # sessions with shipping off (every worker derives locally), and the
@@ -194,8 +234,9 @@ if [[ -x ${build_dir}/cicmon ]]; then
   else
     echo "    direct ${direct_ms} ms, sessions ${session_ms} ms (ship-golden off ${noship_ms} ms), exec-per-shard ${exec_ms} ms (3 workers, 7 shards)"
     if [[ -n ${CICMON_DISPATCH_BENCH_JSON:-} ]]; then
-      printf '{\n  "schema": "cicmon-dispatch-bench-v3",\n  "command": "cicmon dispatch campaign --workload bitcount --scale 0.02 --trials 200 --workers 3 --shards 7",\n  "direct_ms": %s,\n  "session_ms": %s,\n  "session_noship_ms": %s,\n  "exec_ms": %s\n}\n' \
-        "${direct_ms}" "${session_ms}" "${noship_ms}" "${exec_ms}" > "${CICMON_DISPATCH_BENCH_JSON}"
+      printf '{\n  "schema": "cicmon-dispatch-bench-v4",\n  "command": "cicmon dispatch campaign --workload bitcount --scale 0.02 --trials 200 --workers 3 --shards 7",\n  "direct_ms": %s,\n  "session_ms": %s,\n  "session_noship_ms": %s,\n  "exec_ms": %s,\n  "telemetry_off_ms": %s,\n  "telemetry_on_ms": %s\n}\n' \
+        "${direct_ms}" "${session_ms}" "${noship_ms}" "${exec_ms}" \
+        "${telemetry_off_ms}" "${telemetry_on_ms}" > "${CICMON_DISPATCH_BENCH_JSON}"
     fi
   fi
   # The --dry-run plan must print the grid without creating anything.

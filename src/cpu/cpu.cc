@@ -1,5 +1,6 @@
 #include "cpu/cpu.h"
 
+#include "obs/metrics.h"
 #include "support/bitops.h"
 #include "support/error.h"
 
@@ -461,6 +462,7 @@ std::optional<RunResult> Cpu::step() {
   if (!predecode_.empty()) {
     Predecoded& slot = predecode_[(addr - text_base_) / 4];
     if (slot.program == nullptr || slot.word != word) {
+      ++predecode_misses_;
       slot.word = word;
       slot.instr = isa::decode(word);
       slot.program = &spec_->program(slot.instr.mnemonic);
@@ -514,6 +516,34 @@ RunResult Cpu::finish_result() {
   return result_;
 }
 
+void Cpu::publish_metrics() const {
+  static const obs::CounterId k_runs = obs::counter("engine.runs");
+  static const obs::CounterId k_instructions = obs::counter("engine.instructions");
+  static const obs::CounterId k_predecode_misses = obs::counter("engine.predecode.misses");
+  static const obs::CounterId k_predecode_hits = obs::counter("engine.predecode.hits");
+  static const obs::CounterId k_tcache_hits = obs::counter("engine.tcache.hits");
+  static const obs::CounterId k_tcache_translations = obs::counter("engine.tcache.translations");
+  static const obs::CounterId k_tcache_invalidations = obs::counter("engine.tcache.invalidations");
+  static const obs::CounterId k_tcache_mismatches = obs::counter("engine.tcache.mismatches");
+  obs::bump(k_runs);
+  obs::bump(k_instructions, result_.instructions);
+  if (!predecode_.empty()) {
+    obs::bump(k_predecode_misses, predecode_misses_);
+    // Hits are derived, not counted: a per-hit bump on the hottest branch in
+    // the interpreter would be the whole telemetry overhead budget.
+    obs::bump(k_predecode_hits, result_.instructions > predecode_misses_
+                                    ? result_.instructions - predecode_misses_
+                                    : 0);
+  }
+  if (tcache_ != nullptr) {
+    const uop::TranslationCache::Stats& stats = tcache_->stats();
+    obs::bump(k_tcache_hits, stats.hits);
+    obs::bump(k_tcache_translations, stats.translations);
+    obs::bump(k_tcache_invalidations, stats.invalidations);
+    obs::bump(k_tcache_mismatches, tcache_mismatches_);
+  }
+}
+
 RunResult Cpu::run() {
   if (threaded_) return run_threaded();
   while (running_) {
@@ -557,6 +587,7 @@ Cpu::FusedFlow Cpu::tampered_entry(std::uint32_t word) {
   // pipeline actually carries through the interpreter (its program carries
   // the monitoring extension, so flow control still checks the block), then
   // return to the block loop, which retranslates from current text.
+  ++tcache_mismatches_;
   tcache_->invalidate(cur_block_start_);
   ctx_.instr = isa::decode(word);
   return exec_stages(&spec_->program(ctx_.instr.mnemonic)) == ExecStatus::kTerminated

@@ -232,6 +232,15 @@ class Cpu final : private uop::Datapath {
   // Null unless the threaded engine is active (its stats expose translation /
   // hit / invalidation counts for the tamper tests).
   const uop::TranslationCache* translation_cache() const { return tcache_.get(); }
+  // Predecode-cache fills (cold slots or tag-mismatch redecodes). Hits are
+  // instructions minus misses when the cache is on, so the hot path never
+  // pays a per-hit count.
+  std::uint64_t predecode_misses() const { return predecode_misses_; }
+  // Translation-tag mismatches the threaded engine replayed via interpreter.
+  std::uint64_t tcache_mismatches() const { return tcache_mismatches_; }
+  // Folds this run's engine counters (engine.* names) into the obs registry;
+  // called once per finished run by the experiment and campaign layers.
+  void publish_metrics() const;
 
  private:
   // The devirtualized interpreter drives the Datapath members below through
@@ -310,6 +319,8 @@ class Cpu final : private uop::Datapath {
     isa::Instruction instr;
   };
   std::vector<Predecoded> predecode_;
+  std::uint64_t predecode_misses_ = 0;
+  std::uint64_t tcache_mismatches_ = 0;
 
   // True when the shared IF program structurally matches the canonical
   // Figure 1 shape (plus the Figure 3(b) monitoring tail when monitoring is

@@ -4,11 +4,14 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <map>
 #include <memory>
 #include <thread>
 #include <utility>
 
 #include "dist/session.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/error.h"
 #include "support/parallel.h"
 #include "support/subprocess.h"
@@ -44,6 +47,27 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+// One dispatch.shard span per completed assignment: everything the report
+// needs to reconstruct the per-worker timeline (who ran it, how long it
+// waited in the queue, the worker-measured run wall, resume status).
+void trace_shard_span(const WorkItem& item, std::uint64_t worker_id,
+                      std::uint64_t assign_t_us, double queue_wait_ms,
+                      std::uint64_t wall_ms, bool reused) {
+  if (!obs::trace_enabled()) return;
+  obs::TraceArgs args;
+  args.add("shard", std::to_string(item.shard.index) + "/" +
+                        std::to_string(item.shard.count));
+  args.add("worker", worker_id);
+  args.add("queue_wait_ms", queue_wait_ms);
+  args.add("wall_ms", wall_ms);
+  args.add("reused", reused);
+  obs::trace_span("dispatch.shard", assign_t_us, args);
+}
+
 Clock::time_point deadline_after(double seconds) {
   return seconds > 0 ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                           std::chrono::duration<double>(seconds))
@@ -65,6 +89,8 @@ struct RunState {
   Clock::time_point last_progress = start;
   std::size_t computed = 0;      // completions that actually ran a worker (for ETA)
   std::size_t resumed_done = 0;  // shards merged by the resume pre-pass (never queued)
+  // Fleet-wide counter totals folded from the workers' done.metrics records.
+  std::map<std::string, std::uint64_t> fleet;
 
   RunState(const exp::SweepSpec& spec_, const DispatchConfig& config_,
            const DispatchPlan& plan_, DispatchResult& result_)
@@ -102,7 +128,28 @@ struct RunState {
   }
 
   void fail_or_retry(WorkItem item, std::string reason) {
-    if (queue.retry(std::move(item), std::move(reason))) ++result.retried;
+    if (queue.retry(std::move(item), std::move(reason))) {
+      static const obs::CounterId k_retries = obs::counter("dispatch.retries");
+      obs::bump(k_retries);
+      ++result.retried;
+    }
+  }
+
+  // Books one finished assignment into the telemetry: timers, totals, and
+  // the dispatch.shard trace span. `run_ms` is the orchestrator-observed
+  // assignment wall; `wall_ms` the worker-measured one (equal in exec mode).
+  void observe_assignment(const WorkItem& item, std::uint64_t worker_id,
+                          std::uint64_t assign_t_us, double queue_wait_ms, double run_ms,
+                          std::uint64_t wall_ms, bool reused) {
+    static const obs::TimerId k_wait = obs::timer("dispatch.queue_wait_ms");
+    static const obs::TimerId k_run = obs::timer("dispatch.shard_ms");
+    static const obs::CounterId k_assignments = obs::counter("dispatch.assignments");
+    obs::record(k_wait, queue_wait_ms);
+    obs::record(k_run, run_ms);
+    obs::bump(k_assignments);
+    result.queue_wait_ms += static_cast<std::uint64_t>(queue_wait_ms);
+    result.busy_ms += static_cast<std::uint64_t>(run_ms);
+    trace_shard_span(item, worker_id, assign_t_us, queue_wait_ms, wall_ms, reused);
   }
 
   // A validated artifact for `item` streams straight into the merge.
@@ -122,6 +169,10 @@ struct RunningExec {
   WorkItem item;
   support::ChildProcess child;
   Clock::time_point deadline;
+  Clock::time_point started;
+  std::uint64_t worker_id = 0;   // launch ordinal, stable across the run
+  std::uint64_t assign_t_us = 0; // trace clock at launch
+  double queue_wait_ms = 0.0;
 };
 
 void run_exec(RunState& state, const WorkerCommand& base, Transport& transport) {
@@ -144,8 +195,13 @@ void run_exec(RunState& state, const WorkerCommand& base, Transport& transport) 
         continue;
       }
       ++state.result.launched;
-      running.push_back(RunningExec{std::move(item), std::move(child),
-                                    deadline_after(state.config.timeout_seconds)});
+      RunningExec slot{std::move(item), std::move(child),
+                       deadline_after(state.config.timeout_seconds)};
+      slot.started = Clock::now();
+      slot.worker_id = state.result.launched;
+      slot.assign_t_us = obs::trace_now_us();
+      slot.queue_wait_ms = ms_since(slot.item.enqueued_at);
+      running.push_back(std::move(slot));
     }
     if (running.empty() && state.queue.pending() == 0) break;
 
@@ -173,10 +229,17 @@ void run_exec(RunState& state, const WorkerCommand& base, Transport& transport) 
       }
       reaped = true;
       WorkItem item = std::move(slot.item);
+      const double run_ms = ms_since(slot.started);
+      const std::uint64_t worker_id = slot.worker_id;
+      const std::uint64_t assign_t_us = slot.assign_t_us;
+      const double queue_wait_ms = slot.queue_wait_ms;
       running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
       std::string why;
       exp::ShardArtifact artifact;
       if (artifact_is_valid(item.artifact_path, state.spec, item.shard, &artifact, &why)) {
+        state.observe_assignment(item, worker_id, assign_t_us, queue_wait_ms, run_ms,
+                                 static_cast<std::uint64_t>(run_ms), /*reused=*/false);
+        state.result.worker_wall_ms += static_cast<std::uint64_t>(run_ms);
         state.complete(item, std::move(artifact), /*counts_as_computed=*/true, running.size());
       } else {
         std::string reason =
@@ -195,10 +258,20 @@ void run_exec(RunState& state, const WorkerCommand& base, Transport& transport) 
 
 // --- persistent-session mode ----------------------------------------------
 
+// One fleet slot: the session plus the orchestrator-side telemetry of its
+// current assignment (the session itself only knows protocol state).
+struct SessionSlot {
+  std::unique_ptr<WorkerSession> session;
+  std::uint64_t worker_id = 0;     // launch ordinal, stable across the run
+  Clock::time_point assigned_at{}; // when the current assignment went out
+  std::uint64_t assign_t_us = 0;   // trace clock at assignment
+  double queue_wait_ms = 0.0;      // the current assignment's queue wait
+};
+
 void run_sessions(RunState& state, const WorkerCommand& base, Transport& transport) {
   WorkerCommand command = base;
   command.session_argv = session_worker_argv(base, state.plan.jobs);
-  std::vector<std::unique_ptr<WorkerSession>> sessions;
+  std::vector<SessionSlot> sessions;
   sessions.reserve(state.plan.workers);
   // A session that dies before completing a handshake is not tied to any
   // work item, so the per-item retry budget cannot bound it. This counter
@@ -209,15 +282,16 @@ void run_sessions(RunState& state, const WorkerCommand& base, Transport& transpo
 
   auto spawn_ready_count = [&] {
     std::size_t n = 0;
-    for (const auto& session : sessions) {
-      if (session->pre_ready() || session->state() == WorkerSession::State::kIdle) ++n;
+    for (const auto& slot : sessions) {
+      if (slot.session->pre_ready() || slot.session->state() == WorkerSession::State::kIdle)
+        ++n;
     }
     return n;
   };
   auto busy_count = [&] {
     std::size_t n = 0;
-    for (const auto& session : sessions) {
-      if (session->state() == WorkerSession::State::kBusy) ++n;
+    for (const auto& slot : sessions) {
+      if (slot.session->state() == WorkerSession::State::kBusy) ++n;
     }
     return n;
   };
@@ -227,7 +301,7 @@ void run_sessions(RunState& state, const WorkerCommand& base, Transport& transpo
       // The worker command itself is broken (wrong binary, version skew,
       // crash at startup): no amount of per-item retrying can make
       // progress. Tear the fleet down before surfacing the setup error.
-      for (auto& session : sessions) session->shutdown(state.config.shutdown_grace);
+      for (auto& slot : sessions) slot.session->shutdown(state.config.shutdown_grace);
       throw support::CicError("persistent workers failed " +
                               std::to_string(handshake_failures) +
                               " consecutive handshakes; last: " + last_handshake_error);
@@ -239,10 +313,13 @@ void run_sessions(RunState& state, const WorkerCommand& base, Transport& transpo
     while (sessions.size() < state.plan.workers &&
            spawn_ready_count() < state.queue.pending()) {
       try {
-        sessions.push_back(std::make_unique<WorkerSession>(
+        SessionSlot slot;
+        slot.session = std::make_unique<WorkerSession>(
             transport.launch_session(command), state.config.golden.get(),
-            deadline_after(state.config.timeout_seconds), state.config.shutdown_grace));
+            deadline_after(state.config.timeout_seconds), state.config.shutdown_grace);
         ++state.result.launched;
+        slot.worker_id = state.result.launched;
+        sessions.push_back(std::move(slot));
       } catch (const support::CicError& error) {
         ++handshake_failures;
         last_handshake_error = std::string("spawn failed: ") + error.what();
@@ -251,43 +328,67 @@ void run_sessions(RunState& state, const WorkerCommand& base, Transport& transpo
     }
 
     // Hand pending items to idle sessions.
-    for (auto& session : sessions) {
-      if (session->state() != WorkerSession::State::kIdle) continue;
+    for (auto& slot : sessions) {
+      if (slot.session->state() != WorkerSession::State::kIdle) continue;
       WorkItem item;
       if (!state.queue.try_pop(&item)) break;
-      if (!session->assign(item, state.config.force,
-                           deadline_after(state.config.timeout_seconds))) {
+      const double queue_wait_ms = ms_since(item.enqueued_at);
+      if (!slot.session->assign(item, state.config.force,
+                                deadline_after(state.config.timeout_seconds))) {
         // The write failed, so the item never reached the worker; assign()
         // left it with us — put it back through the budget.
         state.fail_or_retry(std::move(item), "session pipe write failed");
+        continue;
       }
+      slot.assigned_at = Clock::now();
+      slot.assign_t_us = obs::trace_now_us();
+      slot.queue_wait_ms = queue_wait_ms;
     }
 
     // Pump every session; react to at most one event each per iteration.
     bool advanced = false;
     const Clock::time_point now = Clock::now();
-    for (auto& session : sessions) {
-      if (session->state() == WorkerSession::State::kDead) continue;
-      const bool was_pre_ready = session->pre_ready();
-      WorkerSession::Event event = session->pump(state.spec, now);
+    for (auto& slot : sessions) {
+      WorkerSession& session = *slot.session;
+      if (session.state() == WorkerSession::State::kDead) continue;
+      const bool was_pre_ready = session.pre_ready();
+      WorkerSession::Event event = session.pump(state.spec, now);
       switch (event.kind) {
         case WorkerSession::Event::Kind::kNone:
           break;
-        case WorkerSession::Event::Kind::kReady:
+        case WorkerSession::Event::Kind::kReady: {
           advanced = true;
           handshake_failures = 0;
+          static const obs::CounterId k_golden[3] = {
+              obs::counter("dispatch.golden.shipped"),
+              obs::counter("dispatch.golden.cached"),
+              obs::counter("dispatch.golden.derived")};
           if (event.golden == "shipped") {
+            obs::bump(k_golden[0]);
             ++state.result.golden_shipped;
           } else if (event.golden == "cached") {
+            obs::bump(k_golden[1]);
             ++state.result.golden_cached;
           } else if (event.golden == "derived") {
+            obs::bump(k_golden[2]);
             ++state.result.golden_derived;
           }
+          if (obs::trace_enabled()) {
+            obs::TraceArgs args;
+            args.add("worker", slot.worker_id);
+            args.add("golden", event.golden);
+            obs::trace_instant("session.ready", args);
+          }
           break;
+        }
         case WorkerSession::Event::Kind::kDone: {
           advanced = true;
           state.result.worker_wall_ms += event.wall_ms;
-          WorkItem item = session->take_item();
+          for (const auto& [name, value] : event.metrics) state.fleet[name] += value;
+          WorkItem item = session.take_item();
+          state.observe_assignment(item, slot.worker_id, slot.assign_t_us,
+                                   slot.queue_wait_ms, ms_since(slot.assigned_at),
+                                   event.wall_ms, event.reused);
           std::string why;
           exp::ShardArtifact artifact;
           if (artifact_is_valid(item.artifact_path, state.spec, item.shard, &artifact, &why)) {
@@ -304,25 +405,36 @@ void run_sessions(RunState& state, const WorkerCommand& base, Transport& transpo
         }
         case WorkerSession::Event::Kind::kError:
           advanced = true;
-          state.fail_or_retry(session->take_item(), std::move(event.reason));
+          state.fail_or_retry(session.take_item(), std::move(event.reason));
           break;
-        case WorkerSession::Event::Kind::kFailed:
+        case WorkerSession::Event::Kind::kFailed: {
           advanced = true;
+          static const obs::CounterId k_teardowns[2] = {
+              obs::counter("dispatch.session.handshake_failures"),
+              obs::counter("dispatch.session.teardowns")};
+          obs::bump(was_pre_ready ? k_teardowns[0] : k_teardowns[1]);
+          if (obs::trace_enabled()) {
+            obs::TraceArgs args;
+            args.add("worker", slot.worker_id);
+            args.add("reason", event.reason);
+            obs::trace_instant("session.failed", args);
+          }
           if (was_pre_ready) {
             ++handshake_failures;
             last_handshake_error = event.reason;
           }
-          if (session->has_item()) {
-            state.fail_or_retry(session->take_item(),
+          if (session.has_item()) {
+            state.fail_or_retry(session.take_item(),
                                 "session failed mid-assignment: " + event.reason);
           }
           break;
+        }
       }
     }
 
     // Cull the dead; replacements spawn at the top of the next iteration.
-    std::erase_if(sessions, [](const std::unique_ptr<WorkerSession>& session) {
-      return session->state() == WorkerSession::State::kDead;
+    std::erase_if(sessions, [](const SessionSlot& slot) {
+      return slot.session->state() == WorkerSession::State::kDead;
     });
 
     if (!advanced) {
@@ -331,7 +443,7 @@ void run_sessions(RunState& state, const WorkerCommand& base, Transport& transpo
     }
   }
 
-  for (auto& session : sessions) session->shutdown(state.config.shutdown_grace);
+  for (auto& slot : sessions) slot.session->shutdown(state.config.shutdown_grace);
 }
 
 }  // namespace
@@ -425,6 +537,16 @@ DispatchResult dispatch_sweep(const exp::SweepSpec& spec, const WorkerCommand& b
     }
   }
   state.progress(true, 0);
+
+  result.elapsed_ms = static_cast<std::uint64_t>(ms_since(state.start));
+  result.workers_planned = plan.workers;
+  // Republish the fleet totals into the local registry under a fleet. prefix
+  // so --metrics and the trace footer report worker-side activity alongside
+  // the orchestrator's own counters. Cold path: once per dispatch.
+  for (const auto& [name, value] : state.fleet) {
+    result.fleet_metrics.emplace_back(name, value);
+    obs::bump("fleet." + name, value);
+  }
 
   result.failures = state.queue.failures();
   result.ok = result.failures.empty();

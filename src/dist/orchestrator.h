@@ -48,6 +48,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dist/session.h"
@@ -91,6 +92,19 @@ struct DispatchResult {
   std::size_t golden_cached = 0;
   std::size_t golden_derived = 0;
   std::uint64_t worker_wall_ms = 0;
+  // Both modes: summed orchestrator-observed assignment run wall, summed
+  // assign-time queue waits, the dispatch's own elapsed wall, and the fleet
+  // size it ran with — the inputs of the final summary's worker-utilization
+  // and queue-wait-vs-run-wall split.
+  std::uint64_t busy_ms = 0;
+  std::uint64_t queue_wait_ms = 0;
+  std::uint64_t elapsed_ms = 0;
+  unsigned workers_planned = 0;
+  // Fleet-wide counter totals folded from the workers' done.metrics records
+  // (session mode only; name-sorted). Also republished into the local obs
+  // registry under a fleet. prefix so --metrics and the trace footer see
+  // them.
+  std::vector<std::pair<std::string, std::uint64_t>> fleet_metrics;
   std::vector<WorkFailure> failures;  // non-empty iff !ok
 };
 

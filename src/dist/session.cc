@@ -12,6 +12,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "obs/metrics.h"
 #include "support/error.h"
 #include "support/json.h"
 
@@ -198,7 +199,8 @@ std::string encode_assign(const exp::Shard& shard, const std::string& out, bool 
 }
 
 std::string encode_done(const exp::Shard& shard, const std::string& out, bool reused,
-                        std::uint64_t wall_ms) {
+                        std::uint64_t wall_ms,
+                        const std::vector<std::pair<std::string, std::uint64_t>>& metrics) {
   support::JsonWriter json = begin("done");
   encode_shard(json, shard);
   json.key("out");
@@ -207,6 +209,15 @@ std::string encode_done(const exp::Shard& shard, const std::string& out, bool re
   json.value(reused);
   json.key("wall_ms");
   json.value_u64(wall_ms);
+  if (!metrics.empty()) {
+    json.key("metrics");
+    json.begin_object();
+    for (const auto& [name, value] : metrics) {
+      json.key(name);
+      json.value_u64(value);
+    }
+    json.end_object();
+  }
   return finish(json);
 }
 
@@ -266,6 +277,12 @@ SessionMessage decode_session_message(std::string_view payload) {
     msg.artifact_path = root.at("out").as_string();
     msg.reused = root.at("reused").as_bool();
     msg.wall_ms = root.at("wall_ms").as_u64();
+    // Additive v2 field: absent in records from pre-telemetry peers.
+    if (const support::JsonValue* metrics = root.find("metrics")) {
+      for (const auto& [name, value] : metrics->as_object()) {
+        msg.metrics.emplace_back(name, value.as_u64());
+      }
+    }
   } else if (type == "error") {
     msg.type = SessionMessage::Type::kError;
     msg.shard = decode_shard(root);
@@ -439,12 +456,18 @@ int serve_worker(const WorkerSweepSource& source, unsigned jobs) {
     std::string ack;
     try {
       bool reused = false;
+      // Per-assignment counter deltas ride the done record so the
+      // orchestrator can fold worker-side engine/campaign activity into its
+      // fleet totals. All parallel work joins inside run_or_load_shard, so
+      // the after-snapshot observes every bump from this assignment.
+      const std::vector<std::uint64_t> before = obs::counter_values();
       const auto started = std::chrono::steady_clock::now();
       exp::run_or_load_shard(spec, msg.shard, jobs, msg.artifact_path, msg.force, &reused);
       const auto wall = std::chrono::steady_clock::now() - started;
       const auto wall_ms = static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::milliseconds>(wall).count());
-      ack = encode_done(msg.shard, msg.artifact_path, reused, wall_ms);
+      ack = encode_done(msg.shard, msg.artifact_path, reused, wall_ms,
+                        obs::counter_delta(before));
       ++served;
     } catch (const support::CicError& err) {
       // A shard-level failure is the orchestrator's retry decision, not a
@@ -598,6 +621,7 @@ WorkerSession::Event WorkerSession::pump(const exp::SweepSpec& spec, Clock::time
             event.kind = Event::Kind::kDone;
             event.reused = msg.reused;
             event.wall_ms = msg.wall_ms;
+            event.metrics = std::move(msg.metrics);
           } else {
             event.kind = Event::Kind::kError;
             event.reason = "worker reported: " + msg.message;

@@ -49,6 +49,7 @@
 #include <functional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "dist/work_queue.h"
@@ -98,6 +99,10 @@ struct SessionMessage {
   bool reused = false;        // done
   std::uint64_t wall_ms = 0;  // done: worker-measured shard wall clock
   std::string message;        // error
+  // done: the worker's obs counter increments for this assignment, sorted by
+  // name. Additive v2 field — absent in records from older peers (decoded as
+  // empty) and ignored by older decoders.
+  std::vector<std::pair<std::string, std::uint64_t>> metrics;
 };
 
 // Record encoders (payloads; wrap with support::wire_frame to transmit).
@@ -108,7 +113,8 @@ std::string encode_golden_ack(bool accept);
 std::string encode_ready(const exp::SweepSpec& spec, const std::string& golden_source);
 std::string encode_assign(const exp::Shard& shard, const std::string& out, bool force);
 std::string encode_done(const exp::Shard& shard, const std::string& out, bool reused,
-                        std::uint64_t wall_ms);
+                        std::uint64_t wall_ms,
+                        const std::vector<std::pair<std::string, std::uint64_t>>& metrics = {});
 std::string encode_session_error(const exp::Shard& shard, const std::string& message);
 std::string encode_shutdown();
 
@@ -209,6 +215,9 @@ class WorkerSession {
     std::uint64_t wall_ms = 0;  // kDone: worker-measured shard wall clock
     std::string golden;         // kReady: how the worker obtained golden state
     std::string reason;         // kError / kFailed
+    // kDone: the worker's per-assignment counter deltas (empty from old
+    // peers); the orchestrator folds them into its fleet.* totals.
+    std::vector<std::pair<std::string, std::uint64_t>> metrics;
   };
 
   // Adopts a worker spawned with piped stdin/stdout (Transport::

@@ -12,6 +12,7 @@ WorkQueue::WorkQueue(unsigned max_attempts) : max_attempts_(max_attempts) {
 
 void WorkQueue::push(WorkItem item) {
   ++total_;
+  item.enqueued_at = std::chrono::steady_clock::now();
   pending_.push_back(std::move(item));
 }
 
@@ -30,6 +31,7 @@ bool WorkQueue::retry(WorkItem item, std::string reason) {
     failures_.push_back({std::move(item), std::move(reason)});
     return false;
   }
+  item.enqueued_at = std::chrono::steady_clock::now();
   pending_.push_back(std::move(item));
   return true;
 }

@@ -14,6 +14,7 @@
 // processes, not here.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <deque>
 #include <string>
@@ -29,6 +30,9 @@ struct WorkItem {
   exp::Shard shard;
   std::string artifact_path;
   unsigned attempts = 0;  // worker spawns so far (incremented on pop)
+  // When the item (re-)entered the queue; the orchestrator reports the
+  // assign-time difference as the shard's queue wait.
+  std::chrono::steady_clock::time_point enqueued_at{};
 };
 
 // An item whose attempt budget ran out, with the last failure observed.

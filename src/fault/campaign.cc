@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "support/bitops.h"
 #include "support/error.h"
 #include "uop/monitor_pass.h"
@@ -211,6 +212,10 @@ TrialResult CampaignRunner::run_trial(const FaultSpec& spec) const {
       cpu.restore_snapshot(*snapshot);
       restores_.fetch_add(1, std::memory_order_relaxed);
       skipped_instructions_.fetch_add(snapshot->instructions, std::memory_order_relaxed);
+      static const obs::CounterId k_restores = obs::counter("campaign.snapshot_restores");
+      static const obs::CounterId k_skipped = obs::counter("campaign.skipped_instructions");
+      obs::bump(k_restores);
+      obs::bump(k_skipped, snapshot->instructions);
     }
   }
 
@@ -263,6 +268,12 @@ TrialResult CampaignRunner::run_trial(const FaultSpec& spec) const {
     }
   }
   if (!result.has_value()) result = cpu.run();
+
+  static const obs::CounterId k_trials = obs::counter("campaign.trials");
+  static const obs::CounterId k_cow_pages = obs::counter("campaign.cow_pages_copied");
+  obs::bump(k_trials);
+  obs::bump(k_cow_pages, cpu.memory().cow_pages_copied());
+  cpu.publish_metrics();
 
   TrialResult out;
   out.spec = spec;

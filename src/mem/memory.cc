@@ -43,7 +43,10 @@ Memory::Page& Memory::ensure_page(std::uint32_t address) {
     // Copy-on-write: materialize the base page (or a zero page) privately.
     if (base_) {
       auto bit = base_->find(key);
-      if (bit != base_->end()) page = bit->second;
+      if (bit != base_->end()) {
+        page = bit->second;
+        ++cow_pages_copied_;
+      }
     }
     if (page.empty()) page.resize(kPageSize, 0);
     // Either MRU slot may still point at the superseded base page; retarget

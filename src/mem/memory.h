@@ -122,6 +122,10 @@ class Memory {
   // Overlay pages only; base pages are shared, not allocations of this Memory.
   std::size_t pages_allocated() const { return pages_.size(); }
 
+  // How many base pages this overlay copied on first write — the campaign
+  // layer publishes it per trial as campaign.cow_pages_copied.
+  std::uint64_t cow_pages_copied() const { return cow_pages_copied_; }
+
  private:
   const Page* find_page(std::uint32_t address) const {
     const std::uint32_t key = address >> kPageBits;
@@ -139,6 +143,7 @@ class Memory {
   }
 
   PageMap pages_;  // private overlay (all pages when there is no base)
+  std::uint64_t cow_pages_copied_ = 0;
   // Shared immutable post-loader image; null when this Memory stands alone.
   // Reads fall through to it, the first write to one of its pages copies the
   // page into the overlay (copy-on-write).

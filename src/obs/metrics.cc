@@ -1,0 +1,253 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "support/json.h"
+#include "support/table.h"
+
+namespace cicmon::obs {
+namespace {
+
+// One thread's private accumulators, indexed densely by id. Vectors grow
+// lazily on first bump so registration order never forces allocation on
+// threads that stay quiet.
+struct Shard {
+  std::vector<std::uint64_t> counters;
+  std::vector<support::RunningStat> timers;
+  std::vector<support::Histogram> histograms;
+
+  void fold_into(Shard& into) const {
+    if (into.counters.size() < counters.size()) into.counters.resize(counters.size(), 0);
+    for (std::size_t i = 0; i < counters.size(); ++i) into.counters[i] += counters[i];
+    if (into.timers.size() < timers.size()) into.timers.resize(timers.size());
+    for (std::size_t i = 0; i < timers.size(); ++i) into.timers[i].merge(timers[i]);
+    if (into.histograms.size() < histograms.size()) into.histograms.resize(histograms.size());
+    for (std::size_t i = 0; i < histograms.size(); ++i) into.histograms[i].merge(histograms[i]);
+  }
+
+  void zero() {
+    std::fill(counters.begin(), counters.end(), 0);
+    std::fill(timers.begin(), timers.end(), support::RunningStat{});
+    std::fill(histograms.begin(), histograms.end(), support::Histogram{});
+  }
+};
+
+class Registry {
+ public:
+  // Leaked singleton: thread-local shard holders retire into the registry
+  // on thread exit, including the main thread's during shutdown, so the
+  // registry must never be destroyed first.
+  static Registry& get() {
+    static Registry* g = new Registry;
+    return *g;
+  }
+
+  std::uint32_t intern(int kind, std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& names = names_[kind];
+    auto& ids = ids_[kind];
+    auto it = ids.find(name);
+    if (it != ids.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(names.size());
+    names.emplace_back(name);
+    ids.emplace(names.back(), id);
+    return id;
+  }
+
+  void register_shard(Shard* shard) {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_.push_back(shard);
+  }
+
+  void retire_shard(Shard* shard) {
+    std::lock_guard<std::mutex> lock(mu_);
+    shard->fold_into(retired_);
+    live_.erase(std::remove(live_.begin(), live_.end(), shard), live_.end());
+  }
+
+  // Callers hold the quiesce contract from the header: live shards other
+  // than the caller's are not being bumped concurrently.
+  Shard merged() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    Shard out = retired_;
+    for (const Shard* shard : live_) shard->fold_into(out);
+    return out;
+  }
+
+  std::vector<std::string> names(int kind) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return names_[kind];
+  }
+
+  void reset_values() {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired_.zero();
+    for (Shard* shard : live_) shard->zero();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> names_[3];
+  std::map<std::string, std::uint32_t, std::less<>> ids_[3];
+  Shard retired_;
+  std::vector<Shard*> live_;
+};
+
+constexpr int kCounter = 0;
+constexpr int kTimer = 1;
+constexpr int kHist = 2;
+
+struct ShardHolder {
+  Shard shard;
+  ShardHolder() { Registry::get().register_shard(&shard); }
+  ~ShardHolder() { Registry::get().retire_shard(&shard); }
+};
+
+Shard& local_shard() {
+  thread_local ShardHolder holder;
+  return holder.shard;
+}
+
+}  // namespace
+
+CounterId counter(std::string_view name) { return Registry::get().intern(kCounter, name); }
+TimerId timer(std::string_view name) { return Registry::get().intern(kTimer, name); }
+HistId histogram(std::string_view name) { return Registry::get().intern(kHist, name); }
+
+void bump(CounterId id, std::uint64_t amount) {
+  Shard& shard = local_shard();
+  if (shard.counters.size() <= id) shard.counters.resize(id + 1, 0);
+  shard.counters[id] += amount;
+}
+
+void record(TimerId id, double value) {
+  Shard& shard = local_shard();
+  if (shard.timers.size() <= id) shard.timers.resize(id + 1);
+  shard.timers[id].add(value);
+}
+
+void observe(HistId id, std::int64_t key, std::uint64_t weight) {
+  Shard& shard = local_shard();
+  if (shard.histograms.size() <= id) shard.histograms.resize(id + 1);
+  shard.histograms[id].add(key, weight);
+}
+
+void bump(std::string_view name, std::uint64_t amount) { bump(counter(name), amount); }
+void record(std::string_view name, double value) { record(timer(name), value); }
+
+MetricsSnapshot snapshot() {
+  Registry& reg = Registry::get();
+  const Shard merged = reg.merged();
+  MetricsSnapshot snap;
+  const auto counter_names = reg.names(kCounter);
+  for (std::size_t i = 0; i < merged.counters.size(); ++i) {
+    if (merged.counters[i] != 0) snap.counters.emplace_back(counter_names[i], merged.counters[i]);
+  }
+  const auto timer_names = reg.names(kTimer);
+  for (std::size_t i = 0; i < merged.timers.size(); ++i) {
+    if (merged.timers[i].count() != 0) snap.timers.emplace_back(timer_names[i], merged.timers[i]);
+  }
+  const auto hist_names = reg.names(kHist);
+  for (std::size_t i = 0; i < merged.histograms.size(); ++i) {
+    if (merged.histograms[i].total() != 0) {
+      snap.histograms.emplace_back(hist_names[i], merged.histograms[i]);
+    }
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.timers.begin(), snap.timers.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+std::vector<std::uint64_t> counter_values() { return Registry::get().merged().counters; }
+
+std::vector<std::pair<std::string, std::uint64_t>> counter_delta(
+    const std::vector<std::uint64_t>& before) {
+  const std::vector<std::uint64_t> now = counter_values();
+  const auto names = Registry::get().names(kCounter);
+  std::vector<std::pair<std::string, std::uint64_t>> delta;
+  for (std::size_t i = 0; i < now.size(); ++i) {
+    const std::uint64_t prev = i < before.size() ? before[i] : 0;
+    if (now[i] > prev) delta.emplace_back(names[i], now[i] - prev);
+  }
+  std::sort(delta.begin(), delta.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return delta;
+}
+
+std::string render_metrics_json(const MetricsSnapshot& snap, std::string_view command) {
+  support::JsonWriter writer;
+  writer.begin_object();
+  writer.key("schema");
+  writer.value("cicmon-metrics-v1");
+  writer.key("command");
+  writer.value(command);
+  writer.key("counters");
+  writer.begin_object();
+  for (const auto& [name, value] : snap.counters) {
+    writer.key(name);
+    writer.value_u64(value);
+  }
+  writer.end_object();
+  writer.key("timers");
+  writer.begin_object();
+  for (const auto& [name, stat] : snap.timers) {
+    writer.key(name);
+    writer.begin_object();
+    writer.key("count");
+    writer.value_u64(stat.count());
+    writer.key("total");
+    writer.value_fixed(stat.sum(), 3);
+    writer.key("mean");
+    writer.value_fixed(stat.mean(), 3);
+    writer.key("min");
+    writer.value_fixed(stat.min(), 3);
+    writer.key("max");
+    writer.value_fixed(stat.max(), 3);
+    writer.end_object();
+  }
+  writer.end_object();
+  writer.key("histograms");
+  writer.begin_object();
+  for (const auto& [name, hist] : snap.histograms) {
+    writer.key(name);
+    writer.begin_object();
+    for (const auto& [key, weight] : hist.bins()) {
+      writer.key(std::to_string(key));
+      writer.value_u64(weight);
+    }
+    writer.end_object();
+  }
+  writer.end_object();
+  writer.end_object();
+  return writer.take();
+}
+
+std::string render_metrics_table(const MetricsSnapshot& snap) {
+  std::string out;
+  if (!snap.counters.empty()) {
+    support::Table counters({"counter", "value"});
+    for (const auto& [name, value] : snap.counters) {
+      counters.add_row({name, support::Table::fmt_u64(value)});
+    }
+    out += counters.render();
+  }
+  if (!snap.timers.empty()) {
+    if (!out.empty()) out += "\n";
+    support::Table timers({"timer", "count", "total", "mean", "min", "max"});
+    for (const auto& [name, stat] : snap.timers) {
+      timers.add_row({name, support::Table::fmt_u64(stat.count()), support::Table::fmt(stat.sum(), 3),
+                      support::Table::fmt(stat.mean(), 3), support::Table::fmt(stat.min(), 3),
+                      support::Table::fmt(stat.max(), 3)});
+    }
+    out += timers.render();
+  }
+  return out;
+}
+
+void reset_for_tests() { Registry::get().reset_values(); }
+
+}  // namespace cicmon::obs

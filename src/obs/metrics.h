@@ -1,0 +1,83 @@
+// Process-wide metrics registry: interned-name counters, timers, and
+// histograms with thread-local shards, aggregated deterministically at
+// flush.
+//
+// Instrumentation sites intern a name once (any thread, mutex-protected)
+// and then bump through the returned dense id — one thread-local vector
+// index per event, no lock, no map walk. Each thread accumulates into its
+// own shard; a thread that exits folds its shard into a retired base under
+// the registry mutex, so TaskPool churn never grows the live set without
+// bound.
+//
+// Aggregation contract: `snapshot`, `counter_values`, and `counter_delta`
+// merge the retired base with every live shard and must be called from a
+// quiesce point — after the parallel regions whose threads bumped have
+// joined (every `parallel_for` joins before returning, so the main thread
+// after a sweep/campaign/worker assignment is such a point). Output is
+// sorted by name, so flushing the same events always renders the same
+// bytes.
+//
+// Collection is always on: every instrumented site is a cold path (cache
+// misses, per-run publishes, wire records), so the disabled cost is a few
+// relaxed adds per simulated *run*, not per instruction. Emission — the
+// trace file, the `cicmon-metrics-v1` summary — is what the CLI flags gate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/stats.h"
+
+namespace cicmon::obs {
+
+using CounterId = std::uint32_t;
+using TimerId = std::uint32_t;
+using HistId = std::uint32_t;
+
+// Interning: returns the stable dense id for `name`, registering it on
+// first sight. Ids are process-lifetime; intern once (function-local
+// static) and bump forever.
+CounterId counter(std::string_view name);
+TimerId timer(std::string_view name);
+HistId histogram(std::string_view name);
+
+// Hot-path recording: O(1) on the calling thread's shard.
+void bump(CounterId id, std::uint64_t amount = 1);
+void record(TimerId id, double value);
+void observe(HistId id, std::int64_t key, std::uint64_t weight = 1);
+
+// Cold-path string forms (intern + record in one call).
+void bump(std::string_view name, std::uint64_t amount = 1);
+void record(std::string_view name, double value);
+
+// A deterministic aggregate of everything recorded so far: retired shards
+// plus every live one, sorted by name. Zero counters and empty timers /
+// histograms are elided, so untouched registrations never show up.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, support::RunningStat>> timers;
+  std::vector<std::pair<std::string, support::Histogram>> histograms;
+};
+MetricsSnapshot snapshot();
+
+// Dense counter totals indexed by CounterId — the cheap capture half of a
+// delta. `counter_delta(before)` returns the name-sorted nonzero increments
+// since `before` was captured (ids registered after the capture read as
+// zero-before). This is how a session worker ships exactly one
+// assignment's worth of counters in its done record.
+std::vector<std::uint64_t> counter_values();
+std::vector<std::pair<std::string, std::uint64_t>> counter_delta(
+    const std::vector<std::uint64_t>& before);
+
+// Renders a snapshot as the `cicmon-metrics-v1` JSON document / as an
+// aligned ASCII table pair (counters + timers).
+std::string render_metrics_json(const MetricsSnapshot& snap, std::string_view command);
+std::string render_metrics_table(const MetricsSnapshot& snap);
+
+// Zeroes every recorded value (names and ids survive). Test isolation only.
+void reset_for_tests();
+
+}  // namespace cicmon::obs

@@ -1,0 +1,173 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "support/error.h"
+#include "support/json.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace cicmon::obs {
+namespace {
+
+// The per-assignment span the orchestrator emits; args carry the shard
+// label, worker slot, and the queue-wait/run-wall split.
+constexpr std::string_view kShardSpan = "dispatch.shard";
+
+struct ShardRow {
+  std::string shard;
+  std::uint64_t worker = 0;
+  bool has_worker = false;
+  double dur_ms = 0.0;
+  double queue_wait_ms = 0.0;
+  bool reused = false;
+};
+
+double arg_f64(const support::JsonValue& args, std::string_view key) {
+  const support::JsonValue* v = args.find(key);
+  return v == nullptr ? 0.0 : v->as_f64();
+}
+
+}  // namespace
+
+std::string render_report(std::string_view trace_jsonl) {
+  std::string command = "?";
+  std::map<std::string, support::RunningStat> phases;
+  std::vector<ShardRow> shards;
+  std::map<std::uint64_t, support::RunningStat> worker_busy;  // per worker slot, ms
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::uint64_t events = 0;
+  std::uint64_t end_us = 0;
+  bool saw_header = false;
+  bool saw_metrics = false;
+
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  while (pos < trace_jsonl.size()) {
+    std::size_t eol = trace_jsonl.find('\n', pos);
+    if (eol == std::string_view::npos) eol = trace_jsonl.size();
+    const std::string_view line = trace_jsonl.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    const support::JsonValue record = support::parse_json(line);
+    if (!saw_header) {
+      const support::JsonValue* schema = record.find("schema");
+      support::check(schema != nullptr && schema->as_string() == "cicmon-trace-v1",
+                     "not a cicmon-trace-v1 log (bad or missing header line)");
+      command = record.at("command").as_string();
+      saw_header = true;
+      continue;
+    }
+    const std::string& ev = record.at("ev").as_string();
+    ++events;
+    if (ev == "metrics") {
+      for (const auto& [name, value] : record.at("counters").as_object()) {
+        counters.emplace_back(name, value.as_u64());
+      }
+      saw_metrics = true;
+      continue;
+    }
+    const std::uint64_t t_us = record.at("t_us").as_u64();
+    std::uint64_t dur_us = 0;
+    if (ev == "span") dur_us = record.at("dur_us").as_u64();
+    end_us = std::max(end_us, t_us + dur_us);
+    if (ev != "span") continue;
+    const std::string& name = record.at("name").as_string();
+    const double dur_ms = static_cast<double>(dur_us) / 1000.0;
+    phases[name].add(dur_ms);
+    if (name == kShardSpan) {
+      ShardRow row;
+      row.dur_ms = dur_ms;
+      if (const support::JsonValue* args = record.find("args")) {
+        if (const support::JsonValue* shard = args->find("shard")) row.shard = shard->as_string();
+        if (const support::JsonValue* worker = args->find("worker")) {
+          row.worker = worker->as_u64();
+          row.has_worker = true;
+        }
+        if (const support::JsonValue* reused = args->find("reused")) row.reused = reused->as_bool();
+        row.queue_wait_ms = arg_f64(*args, "queue_wait_ms");
+      }
+      if (row.has_worker) worker_busy[row.worker].add(dur_ms);
+      shards.push_back(std::move(row));
+    }
+  }
+  support::check(saw_header, "empty trace");
+
+  std::string out;
+  {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "trace: %s — %llu event(s), %.3f s\n\n", command.c_str(),
+                  static_cast<unsigned long long>(events),
+                  static_cast<double>(end_us) / 1e6);
+    out += buf;
+  }
+
+  if (!phases.empty()) {
+    support::Table table({"phase", "count", "total ms", "mean ms", "min ms", "max ms"});
+    // Heaviest phase first; name breaks ties so equal-weight phases render
+    // in a stable order.
+    std::vector<std::pair<std::string, support::RunningStat>> rows(phases.begin(), phases.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      if (a.second.sum() != b.second.sum()) return a.second.sum() > b.second.sum();
+      return a.first < b.first;
+    });
+    for (const auto& [name, stat] : rows) {
+      table.add_row({name, support::Table::fmt_u64(stat.count()), support::Table::fmt(stat.sum(), 2),
+                     support::Table::fmt(stat.mean(), 2), support::Table::fmt(stat.min(), 2),
+                     support::Table::fmt(stat.max(), 2)});
+    }
+    out += table.render();
+  }
+
+  if (!worker_busy.empty()) {
+    const double trace_ms = static_cast<double>(end_us) / 1000.0;
+    support::Table table({"worker", "shards", "busy ms", "queue-wait ms", "util %"});
+    for (const auto& [worker, busy] : worker_busy) {
+      double wait_ms = 0.0;
+      for (const ShardRow& row : shards) {
+        if (row.has_worker && row.worker == worker) wait_ms += row.queue_wait_ms;
+      }
+      table.add_row({support::Table::fmt_u64(worker), support::Table::fmt_u64(busy.count()),
+                     support::Table::fmt(busy.sum(), 2), support::Table::fmt(wait_ms, 2),
+                     support::Table::fmt_pct(trace_ms > 0.0 ? busy.sum() / trace_ms : 0.0)});
+    }
+    out += "\n";
+    out += table.render();
+  }
+
+  if (!shards.empty()) {
+    std::vector<const ShardRow*> slow;
+    slow.reserve(shards.size());
+    for (const ShardRow& row : shards) slow.push_back(&row);
+    std::sort(slow.begin(), slow.end(), [](const ShardRow* a, const ShardRow* b) {
+      if (a->dur_ms != b->dur_ms) return a->dur_ms > b->dur_ms;
+      return a->shard < b->shard;
+    });
+    if (slow.size() > 10) slow.resize(10);
+    support::Table table({"slowest shard", "worker", "run ms", "queue-wait ms", "reused"});
+    for (const ShardRow* row : slow) {
+      table.add_row({row->shard, row->has_worker ? support::Table::fmt_u64(row->worker) : "-",
+                     support::Table::fmt(row->dur_ms, 2), support::Table::fmt(row->queue_wait_ms, 2),
+                     row->reused ? "yes" : "no"});
+    }
+    out += "\n";
+    out += table.render();
+  }
+
+  if (saw_metrics && !counters.empty()) {
+    support::Table table({"counter", "value"});
+    for (const auto& [name, value] : counters) {
+      table.add_row({name, support::Table::fmt_u64(value)});
+    }
+    out += "\n";
+    out += table.render();
+  }
+
+  return out;
+}
+
+}  // namespace cicmon::obs

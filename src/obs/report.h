@@ -1,0 +1,15 @@
+// `cicmon report` — renders a `cicmon-trace-v1` JSONL log as per-phase and
+// per-worker breakdown tables plus a slowest-shard list and the final
+// counter flush. Pure text-in/text-out so tests drive it on synthetic
+// traces without touching the filesystem.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace cicmon::obs {
+
+// Throws support::CicError on a malformed or non-trace document.
+std::string render_report(std::string_view trace_jsonl);
+
+}  // namespace cicmon::obs

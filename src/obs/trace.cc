@@ -1,0 +1,198 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace cicmon::obs {
+namespace {
+
+struct TraceSink {
+  std::mutex mu;
+  std::FILE* file = nullptr;
+  std::chrono::steady_clock::time_point t0;
+  std::atomic<bool> enabled{false};
+};
+
+// Leaked for the same reason as the metrics registry: spans may close from
+// thread-local destructors during shutdown.
+TraceSink& sink() {
+  static TraceSink* g = new TraceSink;
+  return *g;
+}
+
+// Compact JSON string escape (JsonWriter pretty-prints; trace lines must
+// stay single-line).
+void append_escaped(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_args(std::string& out, const TraceArgs& args) {
+  if (args.empty()) return;
+  out += ",\"args\":{";
+  bool first = true;
+  for (const auto& [key, token] : args.rendered()) {
+    if (!first) out += ',';
+    first = false;
+    append_escaped(out, key);
+    out += ':';
+    out += token;
+  }
+  out += '}';
+}
+
+void write_line(const std::string& line) {
+  TraceSink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.file == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), s.file);
+  std::fputc('\n', s.file);
+}
+
+}  // namespace
+
+TraceArgs& TraceArgs::add(std::string_view key, std::string_view value) {
+  std::string token;
+  append_escaped(token, value);
+  rendered_.emplace_back(std::string(key), std::move(token));
+  return *this;
+}
+
+TraceArgs& TraceArgs::add(std::string_view key, std::uint64_t value) {
+  rendered_.emplace_back(std::string(key), std::to_string(value));
+  return *this;
+}
+
+TraceArgs& TraceArgs::add(std::string_view key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", value);
+  rendered_.emplace_back(std::string(key), buf);
+  return *this;
+}
+
+TraceArgs& TraceArgs::add(std::string_view key, bool value) {
+  rendered_.emplace_back(std::string(key), value ? "true" : "false");
+  return *this;
+}
+
+bool open_trace(const std::string& path, std::string_view command) {
+  TraceSink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.file != nullptr) return true;
+  s.file = std::fopen(path.c_str(), "wb");
+  if (s.file == nullptr) return false;
+  s.t0 = std::chrono::steady_clock::now();
+  s.enabled.store(true, std::memory_order_release);
+  std::string line = "{\"schema\":\"cicmon-trace-v1\",\"command\":";
+  append_escaped(line, command);
+  line += '}';
+  std::fwrite(line.data(), 1, line.size(), s.file);
+  std::fputc('\n', s.file);
+  return true;
+}
+
+void close_trace() {
+  if (!trace_enabled()) return;
+  // Snapshot outside the sink lock: the registry has its own mutex.
+  const MetricsSnapshot snap = snapshot();
+  std::string line = "{\"ev\":\"metrics\",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) line += ',';
+    first = false;
+    append_escaped(line, name);
+    line += ':';
+    line += std::to_string(value);
+  }
+  line += "},\"timers\":{";
+  first = true;
+  for (const auto& [name, stat] : snap.timers) {
+    if (!first) line += ',';
+    first = false;
+    append_escaped(line, name);
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  ":{\"count\":%llu,\"total\":%.3f,\"mean\":%.3f,\"min\":%.3f,\"max\":%.3f}",
+                  static_cast<unsigned long long>(stat.count()), stat.sum(), stat.mean(),
+                  stat.min(), stat.max());
+    line += buf;
+  }
+  line += "}}";
+  TraceSink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.enabled.store(false, std::memory_order_release);
+  if (s.file == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), s.file);
+  std::fputc('\n', s.file);
+  std::fclose(s.file);
+  s.file = nullptr;
+}
+
+bool trace_enabled() { return sink().enabled.load(std::memory_order_acquire); }
+
+std::uint64_t trace_now_us() {
+  if (!trace_enabled()) return 0;
+  const auto dt = std::chrono::steady_clock::now() - sink().t0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(dt).count());
+}
+
+void trace_instant(std::string_view name, const TraceArgs& args) {
+  if (!trace_enabled()) return;
+  std::string line = "{\"ev\":\"instant\",\"name\":";
+  append_escaped(line, name);
+  line += ",\"t_us\":";
+  line += std::to_string(trace_now_us());
+  append_args(line, args);
+  line += '}';
+  write_line(line);
+}
+
+void trace_span(std::string_view name, std::uint64_t start_us, const TraceArgs& args) {
+  if (!trace_enabled()) return;
+  const std::uint64_t now = trace_now_us();
+  std::string line = "{\"ev\":\"span\",\"name\":";
+  append_escaped(line, name);
+  line += ",\"t_us\":";
+  line += std::to_string(start_us);
+  line += ",\"dur_us\":";
+  line += std::to_string(now > start_us ? now - start_us : 0);
+  append_args(line, args);
+  line += '}';
+  write_line(line);
+}
+
+Span::Span(std::string_view name) : name_(name) {
+  if (trace_enabled()) start_us_ = trace_now_us();
+}
+
+Span::~Span() { close(); }
+
+void Span::close() {
+  if (closed_) return;
+  closed_ = true;
+  if (trace_enabled()) trace_span(name_, start_us_, args_);
+}
+
+}  // namespace cicmon::obs

@@ -1,0 +1,83 @@
+// Scoped trace spans and instant events, emitted as a `cicmon-trace-v1`
+// JSONL log (one compact JSON object per line):
+//
+//   {"schema":"cicmon-trace-v1","command":"dispatch"}        header, line 1
+//   {"ev":"span","name":"sweep.run","t_us":12,"dur_us":3456,"args":{...}}
+//   {"ev":"instant","name":"session.ready","t_us":78,"args":{...}}
+//   {"ev":"metrics","counters":{...},"timers":{...}}         final line
+//
+// Timestamps are microseconds on the steady clock since `open_trace` — a
+// host measurement, never part of the determinism surface. Tracing is off
+// unless `open_trace` succeeded (the CLI's `--trace FILE`); every emit
+// helper is a cheap no-op when disabled, so instrumentation sites don't
+// guard. Writes are mutex-serialized whole lines, so spans closing on
+// worker threads never interleave bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cicmon::obs {
+
+// Key/value payload for one event. Values are rendered to JSON tokens at
+// add() time (strings quoted+escaped, numbers bare) so emitting a span is
+// one buffer concatenation.
+class TraceArgs {
+ public:
+  TraceArgs& add(std::string_view key, std::string_view value);
+  TraceArgs& add(std::string_view key, const char* value) {
+    return add(key, std::string_view(value));
+  }
+  TraceArgs& add(std::string_view key, std::uint64_t value);
+  TraceArgs& add(std::string_view key, double value);  // fixed 3 decimals
+  TraceArgs& add(std::string_view key, bool value);
+
+  bool empty() const { return rendered_.empty(); }
+  const std::vector<std::pair<std::string, std::string>>& rendered() const { return rendered_; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> rendered_;
+};
+
+// Opens `path` and writes the header line; returns false (tracing stays
+// off) when the file cannot be created. `command` names the subcommand.
+bool open_trace(const std::string& path, std::string_view command);
+
+// Appends the final `metrics` event (the registry snapshot at close) and
+// closes the file. Safe to call when tracing never opened.
+void close_trace();
+
+bool trace_enabled();
+
+// Microseconds since open_trace; 0 when tracing is off.
+std::uint64_t trace_now_us();
+
+void trace_instant(std::string_view name, const TraceArgs& args = {});
+
+// Emits a span that started at `start_us` (from trace_now_us) and ends now.
+void trace_span(std::string_view name, std::uint64_t start_us, const TraceArgs& args = {});
+
+// RAII span: times construction → destruction (or an explicit close(), for
+// spans that should end before the enclosing scope does). Args may be
+// attached any time before the span ends.
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  TraceArgs& args() { return args_; }
+  void close();  // emits now; the destructor becomes a no-op
+
+ private:
+  std::string name_;
+  std::uint64_t start_us_ = 0;
+  bool closed_ = false;
+  TraceArgs args_;
+};
+
+}  // namespace cicmon::obs

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "cfg/fht.h"
+#include "obs/metrics.h"
 #include "support/error.h"
 
 namespace cicmon::sim {
@@ -31,6 +32,7 @@ cpu::RunResult run_workload(std::string_view workload, const cpu::CpuConfig& con
   const casm_::Image image = workloads::build_workload(workload, options);
   cpu::Cpu cpu(config, image);
   const cpu::RunResult result = cpu.run();
+  cpu.publish_metrics();
   support::check(result.reason == cpu::ExitReason::kExit,
                  std::string(workload) + ": workload did not exit cleanly (" +
                      std::string(cpu::exit_reason_name(result.reason)) + ")");
@@ -184,6 +186,7 @@ BlockStats characterize_blocks(std::string_view workload,
     where[key] = recency.begin();
   });
   const cpu::RunResult result = cpu.run();
+  cpu.publish_metrics();
   support::check(result.reason == cpu::ExitReason::kExit,
                  std::string(workload) + ": characterisation run did not exit cleanly");
 
@@ -280,6 +283,12 @@ exp::SweepSpec bench_sweep(double scale) {
     const double wall_ms =
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
             .count();
+    static const obs::TimerId k_cell_ms = obs::timer("bench.cell_ms");
+    static const obs::TimerId k_mips = obs::timer("bench.run_mips");
+    obs::record(k_cell_ms, wall_ms);
+    if (wall_ms > 0.0) {
+      obs::record(k_mips, static_cast<double>(run.instructions) / (wall_ms * 1000.0));
+    }
     exp::CellResult result;
     result.u64 = {run.instructions, run.cycles};
     result.f64 = {wall_ms};

@@ -21,10 +21,29 @@ class RunningStat {
     max_ = (count_ == 1) ? x : std::max(max_, x);
   }
 
+  // Combine another accumulator into this one (parallel Welford / Chan et
+  // al.), as if every sample fed to `other` had been fed here too.
+  void merge(const RunningStat& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const std::uint64_t n = count_ + other.count_;
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                           static_cast<double>(other.count_) / static_cast<double>(n);
+    mean_ += delta * static_cast<double>(other.count_) / static_cast<double>(n);
+    count_ = n;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
   std::uint64_t count() const { return count_; }
   double mean() const { return mean_; }
   double min() const { return min_; }
   double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
   double variance() const { return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0; }
 
  private:
@@ -39,6 +58,11 @@ class RunningStat {
 class Histogram {
  public:
   void add(std::int64_t key, std::uint64_t weight = 1) { bins_[key] += weight; }
+
+  // Bin-wise accumulation of another histogram into this one.
+  void merge(const Histogram& other) {
+    for (const auto& [k, v] : other.bins_) bins_[k] += v;
+  }
 
   std::uint64_t total() const {
     std::uint64_t t = 0;
@@ -65,17 +89,51 @@ class Histogram {
 };
 
 // Named monotonically increasing event counters, used for simulator stats.
+//
+// Two access paths: the string API walks the name map on every call (fine
+// for cold paths and reads), while `intern` returns a stable dense Id whose
+// `bump(Id, n)` is one vector index — register once, bump O(1) forever.
 class CounterSet {
  public:
-  void bump(const std::string& name, std::uint64_t amount = 1) { counters_[name] += amount; }
-  std::uint64_t value(const std::string& name) const {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+  class Id {
+   public:
+    Id() = default;
+
+   private:
+    friend class CounterSet;
+    explicit Id(std::size_t index) : index_(index) {}
+    std::size_t index_ = static_cast<std::size_t>(-1);
+  };
+
+  // Returns a dense handle for `name`, creating the counter (at zero) on
+  // first sight. Handles stay valid for the CounterSet's lifetime.
+  Id intern(const std::string& name) {
+    auto [it, inserted] = ids_.try_emplace(name, by_id_.size());
+    if (inserted) {
+      by_id_.push_back(0);
+      names_.push_back(name);
+    }
+    return Id(it->second);
   }
-  const std::map<std::string, std::uint64_t>& all() const { return counters_; }
+
+  void bump(Id id, std::uint64_t amount = 1) { by_id_[id.index_] += amount; }
+  std::uint64_t value(Id id) const { return by_id_[id.index_]; }
+
+  void bump(const std::string& name, std::uint64_t amount = 1) { by_id_[intern(name).index_] += amount; }
+  std::uint64_t value(const std::string& name) const {
+    auto it = ids_.find(name);
+    return it == ids_.end() ? 0 : by_id_[it->second];
+  }
+  std::map<std::string, std::uint64_t> all() const {
+    std::map<std::string, std::uint64_t> out;
+    for (std::size_t i = 0; i < by_id_.size(); ++i) out.emplace(names_[i], by_id_[i]);
+    return out;
+  }
 
  private:
-  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::size_t> ids_;
+  std::vector<std::string> names_;
+  std::vector<std::uint64_t> by_id_;
 };
 
 }  // namespace cicmon::support

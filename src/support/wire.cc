@@ -2,10 +2,38 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "support/error.h"
 
 namespace cicmon::support {
 namespace {
+
+// Wire-layer telemetry. Counted here — the one chokepoint every frame and
+// chunk passes through — so the session and orchestrator layers never have
+// to remember to count their sends and receives.
+void count_frame_sent(std::size_t frame_bytes) {
+  static const obs::CounterId k_frames = obs::counter("wire.frames.sent");
+  static const obs::CounterId k_bytes = obs::counter("wire.bytes.sent");
+  obs::bump(k_frames);
+  obs::bump(k_bytes, frame_bytes);
+}
+
+void count_frame_received(std::size_t frame_bytes) {
+  static const obs::CounterId k_frames = obs::counter("wire.frames.received");
+  static const obs::CounterId k_bytes = obs::counter("wire.bytes.received");
+  obs::bump(k_frames);
+  obs::bump(k_bytes, frame_bytes);
+}
+
+void count_violation() {
+  static const obs::CounterId k_violations = obs::counter("wire.violations");
+  obs::bump(k_violations);
+}
+
+void count_checksum_failure() {
+  static const obs::CounterId k_checksum = obs::counter("wire.checksum_failures");
+  obs::bump(k_checksum);
+}
 
 // The header line is tiny ("cicmon-wire-1 <= 7 digits, 16 hex"); a buffer
 // with no newline in this many bytes is not a frame header at all.
@@ -85,12 +113,14 @@ std::string wire_frame(std::string_view payload) {
   frame += '\n';
   frame += payload;
   frame += '\n';
+  count_frame_sent(frame.size());
   return frame;
 }
 
 void FrameReader::feed(std::string_view bytes) { buffer_.append(bytes); }
 
 FrameReader::Status FrameReader::fail(std::string* error, std::string why) {
+  count_violation();
   dead_ = true;
   dead_reason_ = std::move(why);
   buffer_.clear();
@@ -149,11 +179,13 @@ FrameReader::Status FrameReader::next(std::string* payload, std::string* error) 
   const std::string_view body = std::string_view(buffer_).substr(newline + 1, length);
   const std::uint64_t actual = wire_checksum(body);
   if (actual != expected) {
+    count_checksum_failure();
     return fail(error, "frame checksum mismatch (expected " + hex16(expected) + ", got " +
                            hex16(actual) + ")");
   }
   payload->assign(body);
   buffer_.erase(0, frame_end);
+  count_frame_received(frame_end);
   return Status::kFrame;
 }
 
@@ -187,10 +219,13 @@ std::vector<std::string> chunk_payloads(std::string_view blob) {
     payload.append(data);
     chunks.push_back(std::move(payload));
   }
+  static const obs::CounterId k_chunks = obs::counter("wire.chunks.sent");
+  obs::bump(k_chunks, total);
   return chunks;
 }
 
 ChunkAssembler::Status ChunkAssembler::fail(std::string* error, std::string why) {
+  count_violation();
   dead_ = true;
   dead_reason_ = std::move(why);
   blob_.clear();
@@ -253,10 +288,13 @@ ChunkAssembler::Status ChunkAssembler::feed(std::string_view payload, std::strin
   const std::string_view data = payload.substr(newline + 1);
   const std::uint64_t actual = wire_checksum(data);
   if (actual != expected) {
+    count_checksum_failure();
     return fail(error, "chunk checksum mismatch (expected " + hex16(expected) +
                            ", got " + hex16(actual) + ")");
   }
 
+  static const obs::CounterId k_chunks = obs::counter("wire.chunks.received");
+  obs::bump(k_chunks);
   blob_.append(data);
   ++received_;
   if (received_ == total_) {

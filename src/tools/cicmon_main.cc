@@ -64,6 +64,9 @@
 #include "dist/transport.h"
 #include "exp/sweep.h"
 #include "fault/campaign.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "sim/experiment.h"
 #include "support/error.h"
 #include "support/json.h"
@@ -76,6 +79,14 @@
 namespace {
 
 using namespace cicmon;
+
+// Telemetry destinations, set at parse time like the --engine process-global:
+// every subcommand takes --trace/--metrics/--metrics-out, and main() emits
+// the summary after the command returns. Telemetry never writes to stdout —
+// the determinism contract covers it.
+std::string g_command;       // argv[1], recorded in trace/metrics headers
+std::string g_metrics_mode;  // "" (off), "json", or "table"
+std::string g_metrics_out;   // metrics sidecar path; "" = stderr
 
 struct Options {
   double scale = 1.0;
@@ -137,7 +148,18 @@ struct Options {
       "  worker      persistent dispatch worker (serves shards over stdin/stdout;\n"
       "              spawned by dispatch, not meant for interactive use)\n"
       "  merge       aggregate cicmon-shard-v1 artifacts into the full output\n"
+      "  report      render a cicmon-trace-v1 event log (--trace output) as\n"
+      "              per-phase/per-worker breakdown tables\n"
       "  workloads   list the benchmark kernels\n"
+      "\n"
+      "telemetry (every command; see docs/telemetry.md):\n"
+      "  --trace FILE     append cicmon-trace-v1 JSONL events (spans, instants,\n"
+      "                   final counter snapshot) to FILE; never touches stdout\n"
+      "  --metrics json|table\n"
+      "                   after the command, emit a cicmon-metrics-v1 summary of\n"
+      "                   every counter/timer to stderr\n"
+      "  --metrics-out PATH\n"
+      "                   write the --metrics summary to PATH instead of stderr\n"
       "\n"
       "options:\n"
       "  --scale S        workload scale factor (default 1.0)\n"
@@ -285,16 +307,16 @@ std::string did_you_mean(std::string_view given, std::span<const std::string_vie
   return "; did you mean '" + std::string(best) + "'?";
 }
 
-constexpr std::array<std::string_view, 10> kCommands = {
-    "table1", "fig6",  "blocks",    "bench", "campaign",
-    "worker", "dispatch", "merge", "workloads", "help"};
-constexpr std::array<std::string_view, 30> kFlags = {
+constexpr std::array<std::string_view, 11> kCommands = {
+    "table1", "fig6",  "blocks",    "bench", "campaign", "worker",
+    "dispatch", "merge", "report", "workloads", "help"};
+constexpr std::array<std::string_view, 33> kFlags = {
     "--scale", "--jobs",    "--entries", "--capacities", "--workload", "--site",
     "--bits",  "--trials",  "--seed",    "--monitor",    "--json",     "--shard",
     "--out",   "--force",   "--workers", "--shards",     "--transport", "--retries",
     "--timeout", "--dir",   "--quiet",   "--dry-run",    "--exec-per-shard", "--help",
     "--engine", "--translate-cache", "--checkpoints", "--checkpoint-stride",
-    "--golden-cache", "--ship-golden"};
+    "--golden-cache", "--ship-golden", "--trace", "--metrics", "--metrics-out"};
 
 // `first` is the index of the first flag: 2 for `cicmon <cmd> ...`, 3 for
 // `cicmon dispatch <cmd> ...`.
@@ -405,6 +427,22 @@ Options parse_options(int argc, char** argv, bool allow_positional, int first = 
       const std::string_view v = value();
       if (v != "on" && v != "off") usage(2);
       options.ship_golden = v == "on";
+    } else if (flag == "--trace") {
+      const char* path = value();
+      if (path[0] == '\0') usage(2);
+      // Opened at parse time, like --engine: the header event lands before
+      // any span the command emits.
+      if (!obs::open_trace(path, g_command)) {
+        std::fprintf(stderr, "cicmon: cannot open trace file '%s'\n", path);
+        std::exit(1);
+      }
+    } else if (flag == "--metrics") {
+      const std::string_view v = value();
+      if (v != "json" && v != "table") usage(2);
+      g_metrics_mode = v;
+    } else if (flag == "--metrics-out") {
+      g_metrics_out = value();
+      if (g_metrics_out.empty()) usage(2);
     } else if (flag == "--help" || flag == "-h") {
       usage(0);
     } else if (allow_positional && (flag.empty() || flag.front() != '-')) {
@@ -692,10 +730,19 @@ int run_sweep_command(const exp::SweepSpec& spec, const Options& options) {
     return 0;
   }
   const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t run_t_us = obs::trace_now_us();
   const std::vector<exp::CellResult> cells = exp::run_all(spec, options.jobs);
   const double total_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
           .count();
+  if (obs::trace_enabled()) {
+    obs::TraceArgs args;
+    args.add("sweep", spec.sweep);
+    args.add("cells", static_cast<std::uint64_t>(spec.cells));
+    args.add("jobs", static_cast<std::uint64_t>(support::resolve_jobs(options.jobs)));
+    obs::trace_span("sweep.run", run_t_us, args);
+  }
+  obs::Span render_span("sweep.render");
   return render_cells(spec.sweep, spec.params, cells, options, total_ms);
 }
 
@@ -754,6 +801,9 @@ SweepBundle make_campaign_sweep(const Options& options, const std::string* shipp
   const fault::CheckpointConfig checkpoints{options.checkpoints, options.checkpoint_stride};
   const std::string key = campaign_golden_key(options);
 
+  // Covers the whole golden acquisition: wire import, cache load, or the
+  // golden run itself; the args say which way it went.
+  obs::Span golden_span("campaign.golden");
   std::unique_ptr<fault::CampaignRunner> runner;
   std::string source;
   if (shipped != nullptr) {
@@ -792,6 +842,9 @@ SweepBundle make_campaign_sweep(const Options& options, const std::string* shipp
                                  fault::encode_golden(runner->export_golden(), key));
     }
   }
+
+  golden_span.args().add("source", source);
+  golden_span.close();
 
   exp::SweepSpec spec = runner->sweep(site, options.bits, options.trials, options.seed);
   // Parameters the runner cannot know but rendering and artifact matching
@@ -895,14 +948,38 @@ int cmd_campaign(const Options& options) {
     const double ms =
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
             .count();
+    const double trials_per_sec = static_cast<double>(options.trials) / (ms / 1000.0);
+    static const obs::TimerId k_trials_per_sec = obs::timer("campaign.trials_per_sec");
+    obs::record(k_trials_per_sec, trials_per_sec);
     std::fprintf(stderr, "campaign: %u jobs, %.0f ms wall (%.1f trials/s)\n",
-                 support::resolve_jobs(options.jobs), ms,
-                 static_cast<double>(options.trials) / (ms / 1000.0));
+                 support::resolve_jobs(options.jobs), ms, trials_per_sec);
     if (code == 0 && !options.json_path.empty()) {
       return write_campaign_json(options.json_path, options, runner, ms);
     }
   }
   return code;
+}
+
+// `cicmon report <trace.jsonl>`: renders a --trace event log as per-phase /
+// per-worker breakdown tables (obs/report.h).
+int cmd_report(const Options& options) {
+  if (options.inputs.size() != 1) {
+    std::fprintf(stderr, "cicmon: report needs exactly one cicmon-trace-v1 file\n");
+    usage(2);
+  }
+  const std::string& path = options.inputs.front();
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    std::fprintf(stderr, "cicmon: cannot read trace file '%s'\n", path.c_str());
+    return 1;
+  }
+  std::string text;
+  char buffer[65536];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, in)) > 0) text.append(buffer, got);
+  std::fclose(in);
+  std::fputs(obs::render_report(text).c_str(), stdout);
+  return 0;
 }
 
 // True for names dispatch and the sharded subcommands produce by default:
@@ -1164,6 +1241,12 @@ int write_dispatch_campaign_json(const std::string& path, const Options& options
   json.value_u64(result.golden_derived);
   json.key("worker_wall_ms");
   json.value_u64(result.worker_wall_ms);
+  json.key("busy_ms");
+  json.value_u64(result.busy_ms);
+  json.key("queue_wait_ms");
+  json.value_u64(result.queue_wait_ms);
+  json.key("elapsed_ms");
+  json.value_u64(result.elapsed_ms);
   json.end_object();
   json.key("wall_ms");
   json.value_fixed(wall_ms, 1);
@@ -1219,9 +1302,11 @@ int cmd_dispatch(int argc, char** argv) {
   config.force = options.force;
   config.progress = !options.quiet;
   if (options.ship_golden && bundle.keepalive != nullptr && !bundle.golden_key.empty()) {
+    obs::Span encode_span("dispatch.golden_encode");
     config.golden = std::make_shared<dist::GoldenShipment>(dist::make_golden_shipment(
         bundle.golden_key,
         fault::encode_golden(bundle.keepalive->export_golden(), bundle.golden_key)));
+    encode_span.args().add("bytes", config.golden->bytes);
   }
 
   std::unique_ptr<dist::Transport> transport;
@@ -1236,10 +1321,19 @@ int cmd_dispatch(int argc, char** argv) {
   }
 
   const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t run_t_us = obs::trace_now_us();
   const dist::DispatchResult result = dist::dispatch_sweep(bundle.spec, base, *transport, config);
   const double wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
           .count();
+  if (obs::trace_enabled()) {
+    obs::TraceArgs args;
+    args.add("sweep", bundle.spec.sweep);
+    args.add("shards", static_cast<std::uint64_t>(result.shard_count));
+    args.add("workers", static_cast<std::uint64_t>(result.workers_planned));
+    args.add("mode", result.persistent ? "sessions" : "exec");
+    obs::trace_span("dispatch.run", run_t_us, args);
+  }
   const char* mode = result.persistent ? "persistent sessions" : "exec per shard";
   if (!result.ok) {
     std::fprintf(stderr,
@@ -1267,6 +1361,21 @@ int cmd_dispatch(int argc, char** argv) {
                bundle.spec.sweep.c_str(), result.shard_count, mode,
                transport->describe().c_str(), result.reused, result.launched, result.retried,
                golden_note.c_str());
+  if (result.elapsed_ms > 0 && result.workers_planned > 0 && result.busy_ms > 0) {
+    // Worker utilization: summed assignment run wall over the fleet's total
+    // slot time; plus how each shard's life split between waiting in the
+    // queue and running on a worker.
+    const double slot_ms =
+        static_cast<double>(result.elapsed_ms) * static_cast<double>(result.workers_planned);
+    std::fprintf(stderr,
+                 "dispatch: workers %s utilized (%llu ms run vs %llu ms queue-wait across "
+                 "%u slots, %llu ms elapsed)\n",
+                 support::Table::fmt_pct(static_cast<double>(result.busy_ms) / slot_ms).c_str(),
+                 static_cast<unsigned long long>(result.busy_ms),
+                 static_cast<unsigned long long>(result.queue_wait_ms),
+                 result.workers_planned,
+                 static_cast<unsigned long long>(result.elapsed_ms));
+  }
   const int code = render_cells(bundle.spec.sweep, bundle.spec.params, result.cells, options,
                                 /*bench_total_ms=*/-1.0);
   if (code == 0 && sub == "campaign" && !options.json_path.empty()) {
@@ -1285,33 +1394,70 @@ int cmd_workloads() {
   return 0;
 }
 
+int run_command(int argc, char** argv, std::string_view command) {
+  // dispatch/worker re-parse with their sweep subcommand at argv[2].
+  if (command == "dispatch") return cmd_dispatch(argc, argv);
+  if (command == "worker") return cmd_worker(argc, argv);
+  const Options options = parse_options(
+      argc, argv, /*allow_positional=*/command == "merge" || command == "report");
+  if (command == "table1") return run_sweep_command(sim::table1_sweep(options.scale), options);
+  if (command == "fig6") {
+    return run_sweep_command(sim::fig6_sweep(options.entries, options.scale), options);
+  }
+  if (command == "blocks") {
+    return run_sweep_command(sim::blocks_sweep(options.capacities, options.scale), options);
+  }
+  if (command == "bench") return run_sweep_command(sim::bench_sweep(options.scale), options);
+  if (command == "campaign") return cmd_campaign(options);
+  if (command == "merge") return cmd_merge(options);
+  if (command == "report") return cmd_report(options);
+  if (command == "workloads") return cmd_workloads();
+  if (command == "help" || command == "--help" || command == "-h") usage(0);
+  std::fprintf(stderr, "cicmon: unknown command '%s'%s\n", argv[1],
+               did_you_mean(command, kCommands).c_str());
+  usage(2);
+}
+
+// The --metrics summary, emitted after the command returns (every parallel
+// region has joined by then, so the snapshot is complete). Destination is
+// stderr or the --metrics-out sidecar — never stdout.
+int emit_metrics_summary() {
+  if (g_metrics_mode.empty()) return 0;
+  const obs::MetricsSnapshot snap = obs::snapshot();
+  const std::string text = g_metrics_mode == "json"
+                               ? obs::render_metrics_json(snap, g_command)
+                               : obs::render_metrics_table(snap);
+  if (g_metrics_out.empty()) {
+    std::fputs(text.c_str(), stderr);
+    return 0;
+  }
+  std::FILE* out = std::fopen(g_metrics_out.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cicmon: cannot write metrics to '%s'\n", g_metrics_out.c_str());
+    return 1;
+  }
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fclose(out);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage(2);
   const std::string_view command = argv[1];
+  g_command = command;
+  int code = 0;
   try {
-    // dispatch/worker re-parse with their sweep subcommand at argv[2].
-    if (command == "dispatch") return cmd_dispatch(argc, argv);
-    if (command == "worker") return cmd_worker(argc, argv);
-    const Options options = parse_options(argc, argv, /*allow_positional=*/command == "merge");
-    if (command == "table1") return run_sweep_command(sim::table1_sweep(options.scale), options);
-    if (command == "fig6") {
-      return run_sweep_command(sim::fig6_sweep(options.entries, options.scale), options);
-    }
-    if (command == "blocks") {
-      return run_sweep_command(sim::blocks_sweep(options.capacities, options.scale), options);
-    }
-    if (command == "bench") return run_sweep_command(sim::bench_sweep(options.scale), options);
-    if (command == "campaign") return cmd_campaign(options);
-    if (command == "merge") return cmd_merge(options);
-    if (command == "workloads") return cmd_workloads();
-    if (command == "help" || command == "--help" || command == "-h") usage(0);
-    std::fprintf(stderr, "cicmon: unknown command '%s'%s\n", argv[1],
-                 did_you_mean(command, kCommands).c_str());
-    usage(2);
+    code = run_command(argc, argv, command);
   } catch (const cicmon::support::CicError& error) {
     std::fprintf(stderr, "cicmon: %s\n", error.what());
-    return 1;
+    code = 1;
   }
+  // Telemetry epilogue: the metrics summary and the trace footer still land
+  // (and report what happened) when the command failed.
+  const int telemetry_code = emit_metrics_summary();
+  obs::close_trace();
+  if (code == 0 && telemetry_code != 0) code = telemetry_code;
+  return code;
 }

@@ -383,6 +383,25 @@ TEST(Session, MessagesRoundTripThroughEncodeDecode) {
   EXPECT_EQ(done.type, SessionMessage::Type::kDone);
   EXPECT_TRUE(done.reused);
   EXPECT_EQ(done.wall_ms, 321U);
+  EXPECT_TRUE(done.metrics.empty());  // no metrics argument -> field elided
+
+  // The additive metrics field round-trips name/value pairs exactly.
+  const SessionMessage done_metrics = decode_session_message(encode_done(
+      exp::Shard{1, 3}, "b.json", false, 12,
+      {{"engine.runs", 7}, {"campaign.trials", 250}}));
+  EXPECT_EQ(done_metrics.type, SessionMessage::Type::kDone);
+  ASSERT_EQ(done_metrics.metrics.size(), 2U);
+  EXPECT_EQ(done_metrics.metrics[0].first, "engine.runs");
+  EXPECT_EQ(done_metrics.metrics[0].second, 7U);
+  EXPECT_EQ(done_metrics.metrics[1].first, "campaign.trials");
+  EXPECT_EQ(done_metrics.metrics[1].second, 250U);
+
+  // A done record from a pre-telemetry peer (no metrics key) still decodes.
+  const SessionMessage old_done = decode_session_message(
+      "{\"type\": \"done\", \"shard\": 1, \"shard_count\": 2, "
+      "\"out\": \"x\", \"reused\": false, \"wall_ms\": 5}");
+  EXPECT_EQ(old_done.type, SessionMessage::Type::kDone);
+  EXPECT_TRUE(old_done.metrics.empty());
 
   const SessionMessage error =
       decode_session_message(encode_session_error(exp::Shard{1, 2}, "disk full"));

@@ -1,0 +1,222 @@
+// Unit tests for the obs:: telemetry layer: the metrics registry (interning,
+// thread-shard aggregation, deltas, rendering) and the cicmon-trace-v1 sink
+// plus its report renderer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "support/error.h"
+#include "support/json.h"
+#include "support/parallel.h"
+
+namespace cicmon::obs {
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset_for_tests(); }
+  void TearDown() override { reset_for_tests(); }
+};
+
+TEST_F(ObsTest, InternReturnsStableIds) {
+  const CounterId a = counter("test.a");
+  const CounterId b = counter("test.b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(counter("test.a"), a);  // re-interning is idempotent
+  // The three kinds have independent id spaces; the same name may appear in
+  // each without collision.
+  const TimerId t = timer("test.a");
+  bump(a, 2);
+  record(t, 1.5);
+  const MetricsSnapshot snap = snapshot();
+  ASSERT_EQ(snap.counters.size(), 1U);
+  EXPECT_EQ(snap.counters[0].first, "test.a");
+  EXPECT_EQ(snap.counters[0].second, 2U);
+  ASSERT_EQ(snap.timers.size(), 1U);
+  EXPECT_EQ(snap.timers[0].first, "test.a");
+  EXPECT_EQ(snap.timers[0].second.count(), 1U);
+}
+
+TEST_F(ObsTest, SnapshotIsNameSortedAndElidesZeroes) {
+  bump(counter("test.zebra"), 1);
+  bump(counter("test.alpha"), 3);
+  counter("test.untouched");  // registered, never bumped -> elided
+  const MetricsSnapshot snap = snapshot();
+  ASSERT_EQ(snap.counters.size(), 2U);
+  EXPECT_EQ(snap.counters[0].first, "test.alpha");
+  EXPECT_EQ(snap.counters[1].first, "test.zebra");
+}
+
+TEST_F(ObsTest, StringFormsInternOnTheFly) {
+  bump("test.cold", 5);
+  record("test.cold_timer", 2.0);
+  const MetricsSnapshot snap = snapshot();
+  ASSERT_EQ(snap.counters.size(), 1U);
+  EXPECT_EQ(snap.counters[0].second, 5U);
+  ASSERT_EQ(snap.timers.size(), 1U);
+  EXPECT_DOUBLE_EQ(snap.timers[0].second.mean(), 2.0);
+}
+
+TEST_F(ObsTest, ThreadShardsAggregateExactly) {
+  // Bumps from a parallel region must sum exactly once the region joins,
+  // regardless of which pool thread (or how many) did the work — including
+  // shards folded into the retired base when pool threads exit.
+  const CounterId hits = counter("test.parallel.hits");
+  const TimerId wait = timer("test.parallel.wait");
+  constexpr std::size_t kN = 10'000;
+  support::parallel_for(kN, 8, [&](std::size_t i) {
+    bump(hits);
+    if (i % 100 == 0) record(wait, static_cast<double>(i));
+  });
+  const MetricsSnapshot snap = snapshot();
+  ASSERT_EQ(snap.counters.size(), 1U);
+  EXPECT_EQ(snap.counters[0].second, kN);
+  ASSERT_EQ(snap.timers.size(), 1U);
+  EXPECT_EQ(snap.timers[0].second.count(), kN / 100);
+  // Welford merge across shards: the moments match the closed form for
+  // {0, 100, ..., 9900}.
+  EXPECT_DOUBLE_EQ(snap.timers[0].second.mean(), 4950.0);
+  EXPECT_DOUBLE_EQ(snap.timers[0].second.min(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.timers[0].second.max(), 9900.0);
+}
+
+TEST_F(ObsTest, HistogramObserve) {
+  const HistId h = histogram("test.hist");
+  observe(h, -1, 2);
+  observe(h, 5);
+  support::parallel_for(100, 4, [&](std::size_t) { observe(h, 7); });
+  const MetricsSnapshot snap = snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1U);
+  EXPECT_EQ(snap.histograms[0].second.total(), 103U);
+}
+
+TEST_F(ObsTest, CounterDeltaReportsOnlyIncrements) {
+  const CounterId a = counter("test.delta.a");
+  const CounterId b = counter("test.delta.b");
+  bump(a, 10);
+  const std::vector<std::uint64_t> before = counter_values();
+  bump(a, 3);
+  // A counter registered after the capture reads as zero-before.
+  const CounterId late = counter("test.delta.late");
+  bump(late, 7);
+  (void)b;  // never bumped -> not in the delta
+  const auto delta = counter_delta(before);
+  ASSERT_EQ(delta.size(), 2U);
+  EXPECT_EQ(delta[0].first, "test.delta.a");
+  EXPECT_EQ(delta[0].second, 3U);
+  EXPECT_EQ(delta[1].first, "test.delta.late");
+  EXPECT_EQ(delta[1].second, 7U);
+}
+
+TEST_F(ObsTest, RenderMetricsJsonIsValid) {
+  bump(counter("test.render.count"), 4);
+  record(timer("test.render.ms"), 2.5);
+  const std::string text = render_metrics_json(snapshot(), "unit");
+  const support::JsonValue root = support::parse_json(text);
+  EXPECT_EQ(root.at("schema").as_string(), "cicmon-metrics-v1");
+  EXPECT_EQ(root.at("command").as_string(), "unit");
+  EXPECT_EQ(root.at("counters").at("test.render.count").as_u64(), 4U);
+  EXPECT_EQ(root.at("timers").at("test.render.ms").at("count").as_u64(), 1U);
+}
+
+TEST_F(ObsTest, RenderMetricsTableListsEverything) {
+  bump(counter("test.table.c"), 9);
+  record(timer("test.table.t"), 1.0);
+  const std::string text = render_metrics_table(snapshot());
+  EXPECT_NE(text.find("test.table.c"), std::string::npos);
+  EXPECT_NE(text.find("test.table.t"), std::string::npos);
+  EXPECT_NE(text.find("9"), std::string::npos);
+}
+
+TEST_F(ObsTest, TraceProducesValidJsonl) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cicmon-test-trace.jsonl").string();
+  ASSERT_TRUE(open_trace(path, "unit"));
+  EXPECT_TRUE(trace_enabled());
+  bump(counter("test.trace.events"), 2);
+  trace_instant("unit.instant", TraceArgs().add("key", "va\"lue").add("n", std::uint64_t{7}));
+  const std::uint64_t start = trace_now_us();
+  Span span("unit.span");
+  span.args().add("ratio", 0.25).add("flag", true);
+  span.close();
+  trace_span("unit.manual", start);
+  close_trace();
+  EXPECT_FALSE(trace_enabled());
+
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(in, nullptr);
+  std::string text;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, in)) > 0) text.append(buffer, got);
+  std::fclose(in);
+  std::remove(path.c_str());
+
+  // Every line parses as JSON; the header and final metrics line frame the
+  // events; the escaped arg survives the round trip.
+  std::vector<support::JsonValue> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    lines.push_back(support::parse_json(text.substr(pos, eol - pos)));
+    pos = eol + 1;
+  }
+  ASSERT_EQ(lines.size(), 5U);
+  EXPECT_EQ(lines[0].at("schema").as_string(), "cicmon-trace-v1");
+  EXPECT_EQ(lines[0].at("command").as_string(), "unit");
+  EXPECT_EQ(lines[1].at("ev").as_string(), "instant");
+  EXPECT_EQ(lines[1].at("args").at("key").as_string(), "va\"lue");
+  EXPECT_EQ(lines[2].at("ev").as_string(), "span");
+  EXPECT_EQ(lines[2].at("name").as_string(), "unit.span");
+  EXPECT_TRUE(lines[2].at("args").at("flag").as_bool());
+  EXPECT_EQ(lines[3].at("name").as_string(), "unit.manual");
+  EXPECT_EQ(lines[4].at("ev").as_string(), "metrics");
+  EXPECT_EQ(lines[4].at("counters").at("test.trace.events").as_u64(), 2U);
+}
+
+TEST_F(ObsTest, EmitsAreNoOpsWhenDisabled) {
+  EXPECT_FALSE(trace_enabled());
+  EXPECT_EQ(trace_now_us(), 0U);
+  trace_instant("ignored");
+  trace_span("ignored", 0);
+  Span span("ignored");  // destructor must not crash or write
+}
+
+TEST_F(ObsTest, RenderReportBreaksDownPhasesAndWorkers) {
+  const std::string trace =
+      "{\"schema\":\"cicmon-trace-v1\",\"command\":\"dispatch\"}\n"
+      "{\"ev\":\"instant\",\"name\":\"session.ready\",\"t_us\":10,"
+      "\"args\":{\"worker\":1,\"golden\":\"shipped\"}}\n"
+      "{\"ev\":\"span\",\"name\":\"dispatch.shard\",\"t_us\":100,\"dur_us\":4000,"
+      "\"args\":{\"shard\":\"1/2\",\"worker\":1,\"queue_wait_ms\":0.500,"
+      "\"wall_ms\":4,\"reused\":false}}\n"
+      "{\"ev\":\"span\",\"name\":\"dispatch.shard\",\"t_us\":200,\"dur_us\":8000,"
+      "\"args\":{\"shard\":\"2/2\",\"worker\":2,\"queue_wait_ms\":1.250,"
+      "\"wall_ms\":8,\"reused\":true}}\n"
+      "{\"ev\":\"span\",\"name\":\"dispatch.run\",\"t_us\":0,\"dur_us\":9000}\n"
+      "{\"ev\":\"metrics\",\"counters\":{\"dispatch.retries\":1},\"timers\":{}}\n";
+  const std::string report = render_report(trace);
+  EXPECT_NE(report.find("trace: dispatch"), std::string::npos);
+  EXPECT_NE(report.find("dispatch.shard"), std::string::npos);
+  EXPECT_NE(report.find("dispatch.run"), std::string::npos);
+  // Both workers appear with their shard; the reused flag renders.
+  EXPECT_NE(report.find("2/2"), std::string::npos);
+  EXPECT_NE(report.find("yes"), std::string::npos);
+  EXPECT_NE(report.find("dispatch.retries"), std::string::npos);
+}
+
+TEST_F(ObsTest, RenderReportRejectsGarbage) {
+  EXPECT_THROW(render_report(""), support::CicError);
+  EXPECT_THROW(render_report("{\"schema\":\"wrong\"}\n"), support::CicError);
+  EXPECT_THROW(render_report("not json at all\n"), support::CicError);
+}
+
+}  // namespace
+}  // namespace cicmon::obs

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "support/bitops.h"
 #include "support/error.h"
@@ -156,6 +157,90 @@ TEST(Stats, CounterSet) {
   c.bump("x", 2);
   EXPECT_EQ(c.value("x"), 3U);
   EXPECT_EQ(c.value("missing"), 0U);
+}
+
+TEST(Stats, CounterSetInternedIds) {
+  CounterSet c;
+  const CounterSet::Id x = c.intern("x");
+  const CounterSet::Id y = c.intern("y");
+  c.bump(x);
+  c.bump(x, 4);
+  c.bump(y, 2);
+  EXPECT_EQ(c.value(x), 5U);
+  EXPECT_EQ(c.value(y), 2U);
+  // Re-interning returns the same id; the string and id APIs share storage.
+  c.bump(c.intern("x"));
+  EXPECT_EQ(c.value("x"), 6U);
+  c.bump("y");
+  EXPECT_EQ(c.value(y), 3U);
+  const auto all = c.all();
+  EXPECT_EQ(all.at("x"), 6U);
+  EXPECT_EQ(all.at("y"), 3U);
+}
+
+TEST(Stats, RunningStatMergeMatchesSequential) {
+  // merge(a, b) must reproduce the moments of feeding every sample into one
+  // accumulator, for uneven split sizes including empty halves.
+  const std::vector<double> samples = {3.5, -1.25, 0.0, 7.75, 2.5, -4.0, 9.125, 0.5};
+  for (std::size_t split = 0; split <= samples.size(); ++split) {
+    RunningStat left;
+    RunningStat right;
+    RunningStat sequential;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      (i < split ? left : right).add(samples[i]);
+      sequential.add(samples[i]);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), sequential.count()) << "split " << split;
+    EXPECT_NEAR(left.mean(), sequential.mean(), 1e-12) << "split " << split;
+    EXPECT_NEAR(left.variance(), sequential.variance(), 1e-9) << "split " << split;
+    EXPECT_DOUBLE_EQ(left.min(), sequential.min()) << "split " << split;
+    EXPECT_DOUBLE_EQ(left.max(), sequential.max()) << "split " << split;
+  }
+}
+
+TEST(Stats, RunningStatMergeEmptyIsIdentity) {
+  RunningStat a;
+  a.add(2.0);
+  a.add(4.0);
+  RunningStat empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2U);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  RunningStat b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2U);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(b.min(), 2.0);
+  EXPECT_DOUBLE_EQ(b.max(), 4.0);
+}
+
+TEST(Stats, RunningStatSum) {
+  RunningStat s;
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+  s.add(1.5);
+  s.add(2.5);
+  EXPECT_DOUBLE_EQ(s.sum(), 4.0);
+}
+
+TEST(Stats, HistogramMerge) {
+  Histogram a;
+  a.add(1, 2);
+  a.add(5);
+  Histogram b;
+  b.add(1);
+  b.add(9, 3);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 7U);
+  EXPECT_DOUBLE_EQ(a.cdf_at(1), 3.0 / 7.0);
+  EXPECT_DOUBLE_EQ(a.cdf_at(5), 4.0 / 7.0);
+  EXPECT_DOUBLE_EQ(a.cdf_at(9), 1.0);
+  // Merging an empty histogram is the identity, both ways.
+  Histogram empty;
+  a.merge(empty);
+  EXPECT_EQ(a.total(), 7U);
+  empty.merge(a);
+  EXPECT_EQ(empty.total(), 7U);
 }
 
 TEST(Table, RendersAlignedColumns) {
