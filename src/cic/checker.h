@@ -9,6 +9,16 @@
 // raises a miss exception, the OS handler needs (start, end, dynamic hash)
 // to search the FHT — in hardware these values are exactly what was driven
 // onto the CAM's match lines, so latching them costs three registers.
+//
+// Chained block edges do not change what the CIC observes. The threaded
+// engine's superblock chaining only short-circuits the software dispatch
+// loop between translated blocks; the Figure 4 monitoring head still runs at
+// every flow-control instruction (IHT lookup on <STA, PPC, RHASH>, then
+// STA/RHASH reset), and the successor block's first fetch still latches STA
+// and folds into RHASH through the real fetch path, whether control arrived
+// via a chain link or via the dispatch loop. Per-region hash coverage, IHT
+// contention, and exception timing are therefore identical with chaining on
+// or off — enforced by the chain on/off byte-identity tests and CI axis.
 #pragma once
 
 #include <cstdint>

@@ -23,6 +23,7 @@ Engine g_default_engine =
     Engine::kSwitch;
 #endif
 bool g_default_translate_cache = true;
+bool g_default_chain = true;
 
 constexpr unsigned kV0 = 2;
 constexpr unsigned kA0 = 4;
@@ -77,6 +78,10 @@ void set_default_engine(Engine engine) { g_default_engine = engine; }
 bool default_translate_cache() { return g_default_translate_cache; }
 
 void set_default_translate_cache(bool enabled) { g_default_translate_cache = enabled; }
+
+bool default_chain() { return g_default_chain; }
+
+void set_default_chain(bool enabled) { g_default_chain = enabled; }
 
 std::string_view engine_name(Engine engine) {
   return engine == Engine::kThreaded ? "threaded" : "switch";
@@ -536,11 +541,17 @@ void Cpu::publish_metrics() const {
                                     : 0);
   }
   if (tcache_ != nullptr) {
+    static const obs::CounterId k_chain_follows = obs::counter("engine.chain.follows");
+    static const obs::CounterId k_chain_breaks = obs::counter("engine.chain.breaks");
+    static const obs::CounterId k_chain_severed = obs::counter("engine.chain.severed");
     const uop::TranslationCache::Stats& stats = tcache_->stats();
     obs::bump(k_tcache_hits, stats.hits);
     obs::bump(k_tcache_translations, stats.translations);
     obs::bump(k_tcache_invalidations, stats.invalidations);
     obs::bump(k_tcache_mismatches, tcache_mismatches_);
+    obs::bump(k_chain_follows, chain_follows_);
+    obs::bump(k_chain_breaks, chain_breaks_);
+    obs::bump(k_chain_severed, stats.chain_severed);
   }
 }
 
@@ -707,7 +718,16 @@ Cpu::FusedFlow Cpu::fused_step(const uop::TransEntry& e) {
     ++result_.instructions;
     ++result_.cycles;
     account_hazards_entry(e);
-    return FusedFlow::kRestart;
+    // Direct edges report which way the block exited so the block loop can
+    // follow (or install) the matching chain link; the indirect jump-register
+    // edge always returns to the loop for a fresh lookup.
+    if constexpr (K == FK::kBranch2 || K == FK::kBranch1) {
+      return pc_redirected_ ? FusedFlow::kTaken : FusedFlow::kFall;
+    } else if constexpr (K == FK::kJump) {
+      return FusedFlow::kTaken;
+    } else {
+      return FusedFlow::kRestart;
+    }
   } else if constexpr (K == FK::kSyscall) {
     syscall();
     if (!running_) return FusedFlow::kDone;
@@ -724,9 +744,13 @@ Cpu::FusedFlow Cpu::fused_step(const uop::TransEntry& e) {
     static_assert(K == FK::kGeneric);
     // Unmatched program shape (or a force-terminated block tail): run the
     // instruction through the interpreter, sharing exec_stages with step().
+    // A retire without a PC redirect is a fall-through to the next word —
+    // the chainable edge resolve_edges precomputed for generic terminators.
     ctx_.instr = e.instr;
-    return exec_stages(e.program) == ExecStatus::kTerminated ? FusedFlow::kDone
-                                                             : FusedFlow::kRestart;
+    const ExecStatus status = exec_stages(e.program);
+    if (status == ExecStatus::kTerminated) return FusedFlow::kDone;
+    if (status == ExecStatus::kRolledBack) return FusedFlow::kRestart;
+    return pc_redirected_ ? FusedFlow::kRestart : FusedFlow::kFall;
   }
 
   // Straight-line kinds retire here and fall through to the next entry.
@@ -736,7 +760,130 @@ Cpu::FusedFlow Cpu::fused_step(const uop::TransEntry& e) {
   return FusedFlow::kNext;
 }
 
+void Cpu::flush_batch(const uop::TransEntry* next) {
+  // Entries [batch_base_, next) retired through the fast handlers: one
+  // instruction and one base cycle each, plus the dynamic stalls (I-cache,
+  // load-use, muldiv) accumulated in batch_extra_. The stat breakdown
+  // counters (icache_stall_cycles, load_use_stalls, muldiv_stalls) were
+  // bumped as they happened — only the aggregates were deferred.
+  const std::uint64_t retired = static_cast<std::uint64_t>(next - batch_base_);
+  result_.instructions += retired;
+  result_.cycles += retired + batch_extra_;
+  batch_base_ = next;
+  batch_extra_ = 0;
+}
+
+std::uint64_t Cpu::batched_cycles(const uop::TransEntry* e) const {
+  // The cycle count the slow path would show right after entry `e` retires
+  // (base cycle per batched entry, dynamic stalls in batch_extra_) — the
+  // clock the muldiv latency model runs on.
+  return result_.cycles + static_cast<std::uint64_t>(e - batch_base_ + 1) + batch_extra_;
+}
+
+template <uop::FusedKind K>
+Cpu::FusedFlow Cpu::fused_fast(const uop::TransEntry& e) {
+  using FK = uop::FusedKind;
+  static_assert(!uop::is_block_terminator(K));
+
+  // Batched prologue. The per-block precheck in run_threaded proved the
+  // watchdog cannot trip inside the straight-line run, no post-ID fault
+  // lands on one of its dynamic indices, and recovery checkpointing is off;
+  // straight-line kinds never redirect, raise, or read PPC/instr_addr. So
+  // the per-entry watchdog/recovery/post-ID checks and the instr_addr/PPC/
+  // pc_redirected_ stores are all skipped. The real fetch path and the tag
+  // compare are NOT skipped — tamper safety stays per dynamic instruction.
+  const std::uint32_t word = fetch_.fetch(e.addr);
+  special_[sp(uop::SpecialReg::kIReg)] = word;
+  special_[sp(uop::SpecialReg::kCpc)] = e.addr + 4;
+  [[maybe_unused]] std::uint32_t sta_before = 0, old_hash = 0, new_hash = 0;
+  if (spec_->monitoring_embedded) {
+    sta_before = special_[sp(uop::SpecialReg::kSta)];
+    if (sta_before == 0) special_[sp(uop::SpecialReg::kSta)] = e.addr;
+    old_hash = special_[sp(uop::SpecialReg::kRhash)];
+    new_hash = cic_->hash_step(old_hash, word);
+    special_[sp(uop::SpecialReg::kRhash)] = new_hash;
+  }
+  if (const std::uint64_t icache_stall = fetch_.take_stall_cycles(); icache_stall != 0) {
+    batch_extra_ += icache_stall;
+    result_.icache_stall_cycles += icache_stall;
+  }
+
+  if (word != e.word) [[unlikely]] {
+    // Same fallback as the slow handler: rebuild the IF temps the fallback
+    // program may read, fold the batched prefix into result_ (this entry has
+    // not retired), and replay the word through the interpreter.
+    ctx_.instr_addr = e.addr;
+    auto& t = ctx_.temps;
+    t[0] = e.addr;
+    t[1] = word;
+    t[2] = 4;
+    t[3] = e.addr + 4;
+    if (spec_->monitoring_embedded) {
+      t[uop::MonitorTemps::kStartIf] = sta_before;
+      t[uop::MonitorTemps::kOldHash] = old_hash;
+      t[uop::MonitorTemps::kNewHash] = new_hash;
+    }
+    flush_batch(&e);
+    return tampered_entry(word);
+  }
+
+  if constexpr (K == FK::kAluRR) {
+    write_gpr(e.dst, uop::alu_eval(e.alu, gpr_[e.a], gpr_[e.b]));
+  } else if constexpr (K == FK::kAluRI) {
+    write_gpr(e.dst, uop::alu_eval(e.alu, gpr_[e.a], e.imm));
+  } else if constexpr (K == FK::kImmWrite) {
+    write_gpr(e.dst, e.imm);
+  } else if constexpr (K == FK::kLoad) {
+    write_gpr(e.dst, load(gpr_[e.a] + e.imm, e.width, e.sign_extend));
+  } else if constexpr (K == FK::kStore) {
+    store(gpr_[e.a] + e.imm, e.width, gpr_[e.b]);
+  } else if constexpr (K == FK::kMulDiv) {
+    const uop::HiLo r = uop::muldiv_eval(e.muldiv, gpr_[e.a], gpr_[e.b]);
+    special_[sp(uop::SpecialReg::kHi)] = r.hi;
+    special_[sp(uop::SpecialReg::kLo)] = r.lo;
+  } else if constexpr (K == FK::kHiLoRead) {
+    write_gpr(e.dst, special_[e.hilo]);
+  } else {
+    static_assert(K == FK::kHiLoWrite);
+    special_[e.hilo] = gpr_[e.a];
+  }
+
+  // account_hazards_entry against the deferred clock: stalls accumulate in
+  // batch_extra_, the latency model reads batched_cycles (== what the slow
+  // path's result_.cycles would be here), and the breakdown counters are
+  // exact. No redirect bubble: straight-line kinds never redirect.
+  if (prev_load_dst_ != 0 &&
+      (prev_load_dst_ == e.early_a || prev_load_dst_ == e.early_b)) {
+    batch_extra_ += config_.timing.load_use_stall;
+    result_.load_use_stalls += config_.timing.load_use_stall;
+  }
+  prev_load_dst_ = e.load_dst;
+  if constexpr (K == FK::kMulDiv) {
+    hilo_ready_cycle_ = batched_cycles(&e) + (e.muldiv_lat == 2 ? config_.timing.div_latency
+                                                                : config_.timing.mult_latency);
+  }
+  if constexpr (K == FK::kHiLoRead) {
+    if (const std::uint64_t now = batched_cycles(&e); e.is_mfhilo && now < hilo_ready_cycle_) {
+      const std::uint64_t stall = hilo_ready_cycle_ - now;
+      batch_extra_ += stall;
+      result_.muldiv_stalls += stall;
+    }
+  }
+  return FusedFlow::kNext;
+}
+
 RunResult Cpu::run_threaded() {
+  // Chaining requires a persistent cache: scratch blocks are re-used by the
+  // next translation, so disabled-cache mode never links.
+  const bool chain_on = config_.chain && tcache_->enabled();
+  // Recovery checkpoints key on "STA == 0 at fetch", a per-instruction
+  // predicate the batched prologue elides — recovery runs force the slow
+  // handlers for every entry.
+  const bool slow_only = config_.recovery.enabled && config_.monitoring;
+  // A direct-edge block exit whose successor was not yet linked: the link is
+  // installed right after the next lookup/translate produces that successor.
+  uop::TranslatedBlock* link_from = nullptr;
+  bool link_taken = false;
   while (running_) {
     if (result_.instructions >= config_.max_instructions) {
       terminate(ExitReason::kWatchdog, 0);
@@ -748,7 +895,7 @@ RunResult Cpu::run_threaded() {
       break;
     }
 
-    const uop::TranslatedBlock* block = tcache_->lookup(addr);
+    uop::TranslatedBlock* block = tcache_->lookup(addr);
     if (block == nullptr) {
       // Translation peeks words straight out of memory: no bus traffic, no
       // I-cache fills, no hash folding. All architectural fetch effects
@@ -756,70 +903,159 @@ RunResult Cpu::run_threaded() {
       block = tcache_->translate(
           addr, *spec_, fused_, [this](std::uint32_t a) { return memory_.read32(a); });
     }
-    cur_block_start_ = addr;
-    const uop::TransEntry* e = block->entries.data();
+    if (link_from != nullptr) {
+      // chain() re-verifies that this block really is the recorded edge
+      // target before installing the link.
+      if (chain_on) tcache_->chain(link_from, link_taken, block);
+      link_from = nullptr;
+    }
+
+    FusedFlow flow = FusedFlow::kRestart;
+    const uop::TransEntry* e;
+    bool use_fast;
+  enter_block:
+    cur_block_start_ = block->start;
+    e = block->entries.data();
+    // Batched accounting is only valid when nothing can interrupt the
+    // straight-line prefix: the watchdog must not trip inside it, no post-ID
+    // fault may land on one of its dynamic indices, and recovery is off. The
+    // terminator always runs its slow handler, which re-checks everything
+    // against the flushed counters.
+    use_fast = !slow_only &&
+               result_.instructions + block->straight_len <= config_.max_instructions &&
+               (!post_id_fault_.has_value() ||
+                post_id_fault_->index < result_.instructions ||
+                post_id_fault_->index >= result_.instructions + block->straight_len);
+    batch_base_ = e;
 
 #if CICMON_THREADED_COMPUTED_GOTO
     {
       // Threaded dispatch: each handler jumps straight to the next entry's
       // handler. Blocks always end in a terminator entry (the translator
       // force-converts capped tails to kGeneric), so ++e never runs off the
-      // end. The label table must match the FusedKind enumerator order.
-      static const void* const kLabels[uop::kNumFusedKinds] = {
+      // end. Both label tables must match the FusedKind enumerator order.
+      static const void* const kSlowLabels[uop::kNumFusedKinds] = {
           &&l_alu_rr,  &&l_alu_ri,    &&l_imm_write,  &&l_load,    &&l_store,
           &&l_muldiv,  &&l_hilo_read, &&l_hilo_write, &&l_branch2, &&l_branch1,
           &&l_jump,    &&l_jump_reg,  &&l_syscall,    &&l_illegal, &&l_generic};
-      goto* kLabels[static_cast<unsigned>(e->kind)];
-#define CICMON_HANDLE(label, fk)                                    \
+      // Fast table: batched handlers for the eight straight-line kinds; the
+      // seven terminator kinds detour through l_flush, which folds the batch
+      // into result_ and re-dispatches to the slow handler.
+      static const void* const kFastLabels[uop::kNumFusedKinds] = {
+          &&f_alu_rr,  &&f_alu_ri,    &&f_imm_write,  &&f_load,    &&f_store,
+          &&f_muldiv,  &&f_hilo_read, &&f_hilo_write, &&l_flush,   &&l_flush,
+          &&l_flush,   &&l_flush,     &&l_flush,      &&l_flush,   &&l_flush};
+      const void* const* labels = use_fast ? kFastLabels : kSlowLabels;
+      goto* labels[static_cast<unsigned>(e->kind)];
+#define CICMON_HANDLE(label, fn, fk)                                \
   label:                                                            \
-  if (fused_step<uop::FusedKind::fk>(*e) == FusedFlow::kNext) {     \
+  flow = fn<uop::FusedKind::fk>(*e);                                \
+  if (flow == FusedFlow::kNext) {                                   \
     ++e;                                                            \
-    goto* kLabels[static_cast<unsigned>(e->kind)];                  \
+    goto* labels[static_cast<unsigned>(e->kind)];                   \
   }                                                                 \
   goto block_done
-      CICMON_HANDLE(l_alu_rr, kAluRR);
-      CICMON_HANDLE(l_alu_ri, kAluRI);
-      CICMON_HANDLE(l_imm_write, kImmWrite);
-      CICMON_HANDLE(l_load, kLoad);
-      CICMON_HANDLE(l_store, kStore);
-      CICMON_HANDLE(l_muldiv, kMulDiv);
-      CICMON_HANDLE(l_hilo_read, kHiLoRead);
-      CICMON_HANDLE(l_hilo_write, kHiLoWrite);
-      CICMON_HANDLE(l_branch2, kBranch2);
-      CICMON_HANDLE(l_branch1, kBranch1);
-      CICMON_HANDLE(l_jump, kJump);
-      CICMON_HANDLE(l_jump_reg, kJumpReg);
-      CICMON_HANDLE(l_syscall, kSyscall);
-      CICMON_HANDLE(l_illegal, kIllegal);
-      CICMON_HANDLE(l_generic, kGeneric);
+      CICMON_HANDLE(l_alu_rr, fused_step, kAluRR);
+      CICMON_HANDLE(l_alu_ri, fused_step, kAluRI);
+      CICMON_HANDLE(l_imm_write, fused_step, kImmWrite);
+      CICMON_HANDLE(l_load, fused_step, kLoad);
+      CICMON_HANDLE(l_store, fused_step, kStore);
+      CICMON_HANDLE(l_muldiv, fused_step, kMulDiv);
+      CICMON_HANDLE(l_hilo_read, fused_step, kHiLoRead);
+      CICMON_HANDLE(l_hilo_write, fused_step, kHiLoWrite);
+      CICMON_HANDLE(l_branch2, fused_step, kBranch2);
+      CICMON_HANDLE(l_branch1, fused_step, kBranch1);
+      CICMON_HANDLE(l_jump, fused_step, kJump);
+      CICMON_HANDLE(l_jump_reg, fused_step, kJumpReg);
+      CICMON_HANDLE(l_syscall, fused_step, kSyscall);
+      CICMON_HANDLE(l_illegal, fused_step, kIllegal);
+      CICMON_HANDLE(l_generic, fused_step, kGeneric);
+      CICMON_HANDLE(f_alu_rr, fused_fast, kAluRR);
+      CICMON_HANDLE(f_alu_ri, fused_fast, kAluRI);
+      CICMON_HANDLE(f_imm_write, fused_fast, kImmWrite);
+      CICMON_HANDLE(f_load, fused_fast, kLoad);
+      CICMON_HANDLE(f_store, fused_fast, kStore);
+      CICMON_HANDLE(f_muldiv, fused_fast, kMulDiv);
+      CICMON_HANDLE(f_hilo_read, fused_fast, kHiLoRead);
+      CICMON_HANDLE(f_hilo_write, fused_fast, kHiLoWrite);
 #undef CICMON_HANDLE
+    l_flush:
+      flush_batch(e);
+      goto* kSlowLabels[static_cast<unsigned>(e->kind)];
     block_done:;
     }
 #else
-    // Devirtualized fallback: a handler table over the same fused_step
-    // instantiations, so the two dispatch strategies cannot diverge.
-    using Handler = FusedFlow (Cpu::*)(const uop::TransEntry&);
-    static constexpr Handler kHandlers[uop::kNumFusedKinds] = {
-        &Cpu::fused_step<uop::FusedKind::kAluRR>,
-        &Cpu::fused_step<uop::FusedKind::kAluRI>,
-        &Cpu::fused_step<uop::FusedKind::kImmWrite>,
-        &Cpu::fused_step<uop::FusedKind::kLoad>,
-        &Cpu::fused_step<uop::FusedKind::kStore>,
-        &Cpu::fused_step<uop::FusedKind::kMulDiv>,
-        &Cpu::fused_step<uop::FusedKind::kHiLoRead>,
-        &Cpu::fused_step<uop::FusedKind::kHiLoWrite>,
-        &Cpu::fused_step<uop::FusedKind::kBranch2>,
-        &Cpu::fused_step<uop::FusedKind::kBranch1>,
-        &Cpu::fused_step<uop::FusedKind::kJump>,
-        &Cpu::fused_step<uop::FusedKind::kJumpReg>,
-        &Cpu::fused_step<uop::FusedKind::kSyscall>,
-        &Cpu::fused_step<uop::FusedKind::kIllegal>,
-        &Cpu::fused_step<uop::FusedKind::kGeneric>};
-    for (;;) {
-      if ((this->*kHandlers[static_cast<unsigned>(e->kind)])(*e) != FusedFlow::kNext) break;
-      ++e;
+    // Devirtualized fallback: handler tables over the same fused_step /
+    // fused_fast instantiations, so the two dispatch strategies cannot
+    // diverge.
+    {
+      using Handler = FusedFlow (Cpu::*)(const uop::TransEntry&);
+      static constexpr Handler kSlowHandlers[uop::kNumFusedKinds] = {
+          &Cpu::fused_step<uop::FusedKind::kAluRR>,
+          &Cpu::fused_step<uop::FusedKind::kAluRI>,
+          &Cpu::fused_step<uop::FusedKind::kImmWrite>,
+          &Cpu::fused_step<uop::FusedKind::kLoad>,
+          &Cpu::fused_step<uop::FusedKind::kStore>,
+          &Cpu::fused_step<uop::FusedKind::kMulDiv>,
+          &Cpu::fused_step<uop::FusedKind::kHiLoRead>,
+          &Cpu::fused_step<uop::FusedKind::kHiLoWrite>,
+          &Cpu::fused_step<uop::FusedKind::kBranch2>,
+          &Cpu::fused_step<uop::FusedKind::kBranch1>,
+          &Cpu::fused_step<uop::FusedKind::kJump>,
+          &Cpu::fused_step<uop::FusedKind::kJumpReg>,
+          &Cpu::fused_step<uop::FusedKind::kSyscall>,
+          &Cpu::fused_step<uop::FusedKind::kIllegal>,
+          &Cpu::fused_step<uop::FusedKind::kGeneric>};
+      // Fast handlers cover only the eight straight-line kinds (enumerator
+      // indices 0..7); terminators flush the batch and run slow.
+      static constexpr Handler kFastHandlers[8] = {
+          &Cpu::fused_fast<uop::FusedKind::kAluRR>,
+          &Cpu::fused_fast<uop::FusedKind::kAluRI>,
+          &Cpu::fused_fast<uop::FusedKind::kImmWrite>,
+          &Cpu::fused_fast<uop::FusedKind::kLoad>,
+          &Cpu::fused_fast<uop::FusedKind::kStore>,
+          &Cpu::fused_fast<uop::FusedKind::kMulDiv>,
+          &Cpu::fused_fast<uop::FusedKind::kHiLoRead>,
+          &Cpu::fused_fast<uop::FusedKind::kHiLoWrite>};
+      for (;;) {
+        const auto kind = static_cast<unsigned>(e->kind);
+        if (use_fast) {
+          if (uop::is_block_terminator(e->kind)) {
+            flush_batch(e);
+            flow = (this->*kSlowHandlers[kind])(*e);
+          } else {
+            flow = (this->*kFastHandlers[kind])(*e);
+          }
+        } else {
+          flow = (this->*kSlowHandlers[kind])(*e);
+        }
+        if (flow != FusedFlow::kNext) break;
+        ++e;
+      }
     }
 #endif
+
+    if (flow == FusedFlow::kTaken || flow == FusedFlow::kFall) {
+      const bool taken = flow == FusedFlow::kTaken;
+      uop::TranslatedBlock* next = taken ? block->taken : block->fall;
+      if (next != nullptr) {
+        // Chain follow: flow straight into the successor. The watchdog is
+        // covered by the per-block precheck plus the slow terminator
+        // handlers, and the link target was verified to be a text address
+        // when the edge was resolved — the outer loop's checks are
+        // subsumed, not skipped.
+        ++chain_follows_;
+        block = next;
+        goto enter_block;
+      }
+      if (chain_on) {
+        ++chain_breaks_;
+        if (taken ? block->has_taken : block->has_fall) {
+          link_from = block;
+          link_taken = taken;
+        }
+      }
+    }
   }
   return finish_result();
 }

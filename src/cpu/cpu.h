@@ -69,6 +69,8 @@ Engine default_engine();
 void set_default_engine(Engine engine);
 bool default_translate_cache();
 void set_default_translate_cache(bool enabled);
+bool default_chain();
+void set_default_chain(bool enabled);
 
 std::string_view engine_name(Engine engine);
 
@@ -116,6 +118,12 @@ struct CpuConfig {
   // and exists for the same A/B byte-identity tests.
   Engine engine = default_engine();
   bool translate_cache = default_translate_cache();
+  // Superblock chaining: cache verified taken/fall-through links between
+  // translated blocks so the threaded engine flows block-to-block without a
+  // dispatch-loop round trip. Pure execution strategy — byte-identical on or
+  // off; every link is severed when either endpoint invalidates (tamper
+  // safety). Off exists for the same A/B byte-identity tests.
+  bool chain = default_chain();
 };
 
 enum class ExitReason : std::uint8_t {
@@ -238,6 +246,10 @@ class Cpu final : private uop::Datapath {
   std::uint64_t predecode_misses() const { return predecode_misses_; }
   // Translation-tag mismatches the threaded engine replayed via interpreter.
   std::uint64_t tcache_mismatches() const { return tcache_mismatches_; }
+  // Block transitions that flowed through a cached chain link, and direct-edge
+  // block exits that returned to the dispatch loop instead (unlinked edge).
+  std::uint64_t chain_follows() const { return chain_follows_; }
+  std::uint64_t chain_breaks() const { return chain_breaks_; }
   // Folds this run's engine counters (engine.* names) into the obs registry;
   // called once per finished run by the experiment and campaign layers.
   void publish_metrics() const;
@@ -287,11 +299,26 @@ class Cpu final : private uop::Datapath {
 
   // --- Threaded engine (fused superinstruction handlers) ---
   // What the block driver does after one fused entry: fall through to the
-  // next entry, return to the block loop (block ended, PC redirected, block
-  // rolled back, or tag mismatch handled), or stop (program terminated).
-  enum class FusedFlow : std::uint8_t { kNext, kRestart, kDone };
+  // next entry, leave the block along its taken or fall-through edge (the
+  // chain-follow candidates), return to the block loop (indirect edge, PC
+  // redirect by a generic program, rollback, or tag mismatch handled), or
+  // stop (program terminated).
+  enum class FusedFlow : std::uint8_t { kNext, kTaken, kFall, kRestart, kDone };
   template <uop::FusedKind K>
   FusedFlow fused_step(const uop::TransEntry& entry);
+  // Batched-accounting twin of fused_step for the straight-line kinds only:
+  // skips the per-entry watchdog/recovery/post-ID checks (proven impossible
+  // by the per-block precheck in run_threaded) and defers the retire/cycle
+  // bump to flush_batch. The real fetch path and the tag compare are NOT
+  // skipped — tamper safety stays per dynamic instruction.
+  template <uop::FusedKind K>
+  FusedFlow fused_fast(const uop::TransEntry& entry);
+  // Folds the batched straight-line prefix ending just before `next` into
+  // result_ (one retired instruction and one base cycle per entry, plus the
+  // accumulated dynamic stalls in batch_extra_).
+  CICMON_HOT_INLINE void flush_batch(const uop::TransEntry* next);
+  // True cycle count after entry `e` retires, while its batch is unflushed.
+  CICMON_HOT_INLINE std::uint64_t batched_cycles(const uop::TransEntry* e) const;
   FusedFlow tampered_entry(std::uint32_t word);
   void monitor_block_end();
   RunResult run_threaded();
@@ -339,6 +366,14 @@ class Cpu final : private uop::Datapath {
   std::unique_ptr<uop::TranslationCache> tcache_;
   bool threaded_ = false;
   std::uint32_t cur_block_start_ = 0;
+  // Batched accounting state: start of the unflushed straight-line run and
+  // the dynamic stall cycles (I-cache, load-use, muldiv) it accumulated.
+  const uop::TransEntry* batch_base_ = nullptr;
+  std::uint64_t batch_extra_ = 0;
+  // Chain telemetry: block transitions that flowed through a cached link vs
+  // direct-edge exits that had to return to the dispatch loop.
+  std::uint64_t chain_follows_ = 0;
+  std::uint64_t chain_breaks_ = 0;
 
   std::array<std::uint32_t, isa::kNumGpr> gpr_{};
   std::array<std::uint32_t, 7> special_{};  // indexed by SpecialReg

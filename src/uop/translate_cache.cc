@@ -81,4 +81,77 @@ TransEntry make_entry(std::uint32_t addr, std::uint32_t word, const IsaUopSpec& 
   return e;
 }
 
+void TranslationCache::resolve_edges(TranslatedBlock* block) const {
+  const auto in_text = [this](std::uint32_t t) {
+    return t >= text_base_ && t < text_end_ && (t & 3U) == 0;
+  };
+  const TransEntry& last = block->entries.back();
+  switch (last.kind) {
+    case FusedKind::kBranch2:
+    case FusedKind::kBranch1:
+      // Direct conditional branch: both edges are static.
+      block->has_taken = in_text(last.imm);
+      block->taken_target = last.imm;
+      block->has_fall = in_text(last.addr + 4);
+      block->fall_target = last.addr + 4;
+      break;
+    case FusedKind::kJump:
+      block->has_taken = in_text(last.imm);
+      block->taken_target = last.imm;
+      break;
+    case FusedKind::kGeneric:
+      // Force-split tails and unmatched shapes execute through the
+      // interpreter; when they retire without redirecting the PC, the
+      // successor is the next word. (A redirecting generic returns to the
+      // dispatch loop instead — the engine reports kRestart, not kFall.)
+      block->has_fall = in_text(last.addr + 4);
+      block->fall_target = last.addr + 4;
+      break;
+    case FusedKind::kJumpReg:
+    case FusedKind::kSyscall:
+    case FusedKind::kIllegal:
+    default:
+      break;  // indirect or terminating: no static successor
+  }
+}
+
+void TranslationCache::chain(TranslatedBlock* from, bool taken_edge, TranslatedBlock* to) {
+  if (!enabled_) return;
+  if (taken_edge) {
+    if (!from->has_taken || from->taken != nullptr || to->start != from->taken_target) return;
+    from->taken = to;
+  } else {
+    if (!from->has_fall || from->fall != nullptr || to->start != from->fall_target) return;
+    from->fall = to;
+  }
+  to->preds.emplace_back(from, taken_edge);
+}
+
+void TranslationCache::sever_links(TranslatedBlock* block) {
+  // Outbound: the dying block must vanish from its successors' pred lists so
+  // no successor ever holds a pointer to freed memory. (A self-loop shows up
+  // in its own preds and is handled here, before the inbound walk.)
+  const auto drop_outbound = [this, block](TranslatedBlock* succ, bool taken_edge) {
+    if (succ == nullptr) return;
+    std::erase(succ->preds, std::pair<TranslatedBlock*, bool>{block, taken_edge});
+    ++stats_.chain_severed;
+  };
+  drop_outbound(block->taken, true);
+  drop_outbound(block->fall, false);
+  block->taken = nullptr;
+  block->fall = nullptr;
+  // Inbound: every predecessor whose edge points here loses the link — the
+  // next execution of that edge goes back through lookup/translate and
+  // re-verifies before re-chaining.
+  for (const auto& [pred, taken_edge] : block->preds) {
+    if (taken_edge) {
+      if (pred->taken == block) pred->taken = nullptr;
+    } else {
+      if (pred->fall == block) pred->fall = nullptr;
+    }
+    ++stats_.chain_severed;
+  }
+  block->preds.clear();
+}
+
 }  // namespace cicmon::uop

@@ -13,9 +13,23 @@
 // the tag, invalidates the block, executes that one instruction through the
 // interpreter on the word the pipeline actually carries, and retranslates.
 //
+// Superblock chaining: a block whose terminator has statically known
+// successors (direct branches: taken target and fall-through; jumps: target;
+// generic straight-line tails: fall-through) records those edge addresses at
+// translation time. Once both blocks exist in the cache, the engine links
+// them (`chain`) and later executions flow straight from the terminator into
+// the successor without a dispatch-loop round trip or a cache lookup. The
+// severing invariant that keeps this tamper-safe: a non-null link always
+// points at a live cached block whose start equals the verified edge target.
+// `invalidate` (and any slot replacement) severs every inbound and outbound
+// link of the dying block first — a stale chain pointer into retranslated
+// text would be a correctness bug, not a slow path. Indirect edges
+// (jump-register, syscall, illegal) always return to the dispatch loop.
+//
 // Disabled mode (`CpuConfig::translate_cache = false`) translates every block
 // into a scratch slot and never caches: the A/B configuration for the
-// byte-identity tests, exactly like `predecode_cache = false`.
+// byte-identity tests, exactly like `predecode_cache = false`. Scratch blocks
+// are never chained (their storage is reused by the next translation).
 #pragma once
 
 #include <cstdint>
@@ -64,6 +78,23 @@ struct TransEntry {
 struct TranslatedBlock {
   std::uint32_t start = 0;
   std::vector<TransEntry> entries;
+  // Entries before the terminator (= entries.size() - 1): the straight-line
+  // run whose per-instruction retire/cycle contribution is statically known,
+  // the basis of the engine's per-block batched accounting.
+  std::uint32_t straight_len = 0;
+  // Statically resolved successor edges of the terminator. `has_*` marks an
+  // edge whose target is a valid text address; `*_target` is that address.
+  // `taken`/`fall` are the live chain links — null until `chain` verifies
+  // and installs them, nulled again whenever either endpoint invalidates.
+  bool has_taken = false;
+  bool has_fall = false;
+  std::uint32_t taken_target = 0;
+  std::uint32_t fall_target = 0;
+  TranslatedBlock* taken = nullptr;
+  TranslatedBlock* fall = nullptr;
+  // Inbound links: every (pred, is-taken-edge) whose `taken`/`fall` points
+  // here, so invalidation can sever them in O(inbound degree).
+  std::vector<std::pair<TranslatedBlock*, bool>> preds;
 };
 
 // Translates one word at `addr`: decode, fused-table lookup, operand
@@ -77,6 +108,7 @@ class TranslationCache {
     std::uint64_t translations = 0;   // blocks translated
     std::uint64_t hits = 0;           // block lookups served from the cache
     std::uint64_t invalidations = 0;  // blocks dropped on a tag mismatch
+    std::uint64_t chain_severed = 0;  // chain links cut by invalidations
   };
 
   TranslationCache(std::uint32_t text_base, std::uint32_t text_end, bool enabled)
@@ -86,9 +118,9 @@ class TranslationCache {
 
   // Returns the cached block starting at `addr`, or nullptr (always nullptr
   // when caching is disabled — every block retranslates).
-  const TranslatedBlock* lookup(std::uint32_t addr) {
+  TranslatedBlock* lookup(std::uint32_t addr) {
     if (!enabled_) return nullptr;
-    const TranslatedBlock* block = slots_[index(addr)].get();
+    TranslatedBlock* block = slots_[index(addr)].get();
     if (block != nullptr) ++stats_.hits;
     return block;
   }
@@ -98,8 +130,8 @@ class TranslationCache {
   // it (cached, or scratch when caching is disabled). `addr` must be a valid
   // text address.
   template <typename PeekFn>
-  const TranslatedBlock* translate(std::uint32_t addr, const IsaUopSpec& spec,
-                                   const FusedTable& fused, PeekFn&& peek) {
+  TranslatedBlock* translate(std::uint32_t addr, const IsaUopSpec& spec,
+                             const FusedTable& fused, PeekFn&& peek) {
     TranslatedBlock block;
     block.start = addr;
     for (std::uint32_t a = addr;; a += 4) {
@@ -112,23 +144,39 @@ class TranslationCache {
         break;
       }
     }
+    block.straight_len = static_cast<std::uint32_t>(block.entries.size() - 1);
     ++stats_.translations;
     if (!enabled_) {
       scratch_ = std::move(block);
       return &scratch_;
     }
+    resolve_edges(&block);
     auto& slot = slots_[index(addr)];
+    // A live block in this slot (it should have been invalidated first, but
+    // never trust that) must drop out of the chain before it is freed.
+    if (slot != nullptr) sever_links(slot.get());
     slot = std::make_unique<TranslatedBlock>(std::move(block));
     return slot.get();
   }
 
+  // Links `from`'s taken or fall-through edge to `to`, after verifying that
+  // the edge exists, is not already linked, and that `to` really is the
+  // block at the precomputed target address. No-op when caching is disabled
+  // (scratch blocks must never be linked — their storage is reused).
+  void chain(TranslatedBlock* from, bool taken_edge, TranslatedBlock* to);
+
   // Drops the block starting at `block_start` (a tag mismatched during its
-  // execution). Other cached blocks overlapping the rewritten word are caught
-  // by their own entry tags when they next execute.
+  // execution), severing every chain link into and out of it first. Other
+  // cached blocks overlapping the rewritten word are caught by their own
+  // entry tags when they next execute.
   void invalidate(std::uint32_t block_start) {
     ++stats_.invalidations;
     if (!enabled_) return;
-    slots_[index(block_start)].reset();
+    auto& slot = slots_[index(block_start)];
+    if (slot != nullptr) {
+      sever_links(slot.get());
+      slot.reset();
+    }
   }
 
   bool enabled() const { return enabled_; }
@@ -136,6 +184,11 @@ class TranslationCache {
 
  private:
   std::size_t index(std::uint32_t addr) const { return (addr - text_base_) / 4; }
+
+  // Computes the terminator's static successor edges (translate-time).
+  void resolve_edges(TranslatedBlock* block) const;
+  // Cuts every inbound and outbound chain link of `block` (invalidation).
+  void sever_links(TranslatedBlock* block);
 
   std::uint32_t text_base_;
   std::uint32_t text_end_;

@@ -209,7 +209,9 @@ TEST(Campaign, ThreadedEngineDoesNotChangeCampaignResults) {
   // rewrites, per-fetch bus flips, post-ID latch faults, cache-resident
   // flips through a live I-cache), the fused handlers and the block
   // translation cache must reproduce the interpreter's outcome counts bit
-  // for bit — translation cache on or off.
+  // for bit — translation cache on or off, block chaining on or off (every
+  // injected fault that lands on a chained block must sever its links and
+  // replay through the interpreter identically).
   const casm_::Image image = workloads::build_workload("bitcount", {0.02, 42});
   cpu::CpuConfig interp = monitored_config();
   interp.icache.enabled = true;
@@ -217,18 +219,24 @@ TEST(Campaign, ThreadedEngineDoesNotChangeCampaignResults) {
   cpu::CpuConfig threaded = interp;
   threaded.engine = cpu::Engine::kThreaded;
   threaded.translate_cache = true;
+  threaded.chain = true;
+  cpu::CpuConfig unchained = threaded;
+  unchained.chain = false;
   cpu::CpuConfig uncached = threaded;
   uncached.translate_cache = false;
   CampaignRunner a(image, interp);
   CampaignRunner b(image, threaded);
+  CampaignRunner b2(image, unchained);
   CampaignRunner c(image, uncached);
   for (const FaultSite site :
        {FaultSite::kMemoryText, FaultSite::kFetchBus, FaultSite::kPostIdLatch,
         FaultSite::kICacheLine}) {
     const CampaignSummary sa = a.run_random(site, 1, 60, 13);
     const CampaignSummary sb = b.run_random(site, 1, 60, 13);
+    const CampaignSummary sb2 = b2.run_random(site, 1, 60, 13);
     const CampaignSummary sc = c.run_random(site, 1, 60, 13);
-    EXPECT_TRUE(summaries_identical(sa, sb)) << fault_site_name(site) << " (cached)";
+    EXPECT_TRUE(summaries_identical(sa, sb)) << fault_site_name(site) << " (chained)";
+    EXPECT_TRUE(summaries_identical(sa, sb2)) << fault_site_name(site) << " (chain off)";
     EXPECT_TRUE(summaries_identical(sa, sc)) << fault_site_name(site) << " (uncached)";
   }
 }

@@ -463,12 +463,13 @@ casm_::Image checked_sum_loop() {
   return a.finalize();
 }
 
-cpu::CpuConfig engine_config(cpu::Engine engine, bool translate_cache) {
+cpu::CpuConfig engine_config(cpu::Engine engine, bool translate_cache, bool chain = true) {
   cpu::CpuConfig config;
   config.monitoring = true;
   config.cic.iht_entries = 8;
   config.engine = engine;
   config.translate_cache = translate_cache;
+  config.chain = chain;
   return config;
 }
 
@@ -544,11 +545,13 @@ TEST(TranslationCache, BusTamperMidRunInvalidatesAndMatchesInterpreter) {
   // the corrupted word through the interpreter, and be detected exactly as
   // on the switch engine.
   const casm_::Image image = checked_sum_loop();
-  cpu::RunResult results[3];
-  const cpu::CpuConfig configs[3] = {engine_config(cpu::Engine::kSwitch, true),
-                                     engine_config(cpu::Engine::kThreaded, true),
-                                     engine_config(cpu::Engine::kThreaded, false)};
-  for (int i = 0; i < 3; ++i) {
+  cpu::RunResult results[4];
+  const cpu::CpuConfig configs[4] = {
+      engine_config(cpu::Engine::kSwitch, true),
+      engine_config(cpu::Engine::kThreaded, true),
+      engine_config(cpu::Engine::kThreaded, true, /*chain=*/false),
+      engine_config(cpu::Engine::kThreaded, false)};
+  for (int i = 0; i < 4; ++i) {
     cpu::Cpu cpu(configs[i], image);
     OneShotTamper tamper(/*trigger=*/9, /*mask=*/1U << 11);  // mid-loop fetch
     cpu.fetch_path().set_bus_tamper(&tamper);
@@ -556,10 +559,16 @@ TEST(TranslationCache, BusTamperMidRunInvalidatesAndMatchesInterpreter) {
     if (cpu.translation_cache() != nullptr) {
       EXPECT_GE(cpu.translation_cache()->stats().invalidations, 1U);
     }
+    if (i == 1) {
+      // By transfer 9 the loop block is chained (its predecessor's taken
+      // edge and its own self-loop): invalidation must sever those links.
+      EXPECT_GE(cpu.translation_cache()->stats().chain_severed, 2U);
+    }
   }
   EXPECT_EQ(results[0].reason, cpu::ExitReason::kMonitorTerminated);
   expect_runs_identical(results[0], results[1]);
   expect_runs_identical(results[0], results[2]);
+  expect_runs_identical(results[0], results[3]);
 }
 
 TEST(TranslationCache, TextRewriteDetectionIdenticalAcrossEngines) {
@@ -567,11 +576,13 @@ TEST(TranslationCache, TextRewriteDetectionIdenticalAcrossEngines) {
   // matches what the pipeline fetches), and the monitored detection — the
   // hash mismatch at block end — lands exactly like the interpreter's.
   const casm_::Image image = checked_sum_loop();
-  cpu::RunResult results[3];
-  const cpu::CpuConfig configs[3] = {engine_config(cpu::Engine::kSwitch, true),
-                                     engine_config(cpu::Engine::kThreaded, true),
-                                     engine_config(cpu::Engine::kThreaded, false)};
-  for (int i = 0; i < 3; ++i) {
+  cpu::RunResult results[4];
+  const cpu::CpuConfig configs[4] = {
+      engine_config(cpu::Engine::kSwitch, true),
+      engine_config(cpu::Engine::kThreaded, true),
+      engine_config(cpu::Engine::kThreaded, true, /*chain=*/false),
+      engine_config(cpu::Engine::kThreaded, false)};
+  for (int i = 0; i < 4; ++i) {
     cpu::Cpu cpu(configs[i], image);
     const std::uint32_t addr = casm_::kTextBase + 8;
     cpu.memory().write32(addr, cpu.memory().read32(addr) ^ (1U << 11));
@@ -580,6 +591,7 @@ TEST(TranslationCache, TextRewriteDetectionIdenticalAcrossEngines) {
   EXPECT_EQ(results[0].reason, cpu::ExitReason::kMonitorTerminated);
   expect_runs_identical(results[0], results[1]);
   expect_runs_identical(results[0], results[2]);
+  expect_runs_identical(results[0], results[3]);
 }
 
 TEST(TranslationCache, ICacheResidentFlipMidRunIdenticalAcrossEngines) {
@@ -589,11 +601,13 @@ TEST(TranslationCache, ICacheResidentFlipMidRunIdenticalAcrossEngines) {
   // poisoned line's words diverge from the translation tags at fetch time
   // and must be handled exactly like the interpreter handles them.
   const casm_::Image image = checked_sum_loop();
-  cpu::RunResult results[3];
-  cpu::CpuConfig configs[3] = {engine_config(cpu::Engine::kSwitch, true),
-                               engine_config(cpu::Engine::kThreaded, true),
-                               engine_config(cpu::Engine::kThreaded, false)};
-  for (int i = 0; i < 3; ++i) {
+  cpu::RunResult results[4];
+  cpu::CpuConfig configs[4] = {
+      engine_config(cpu::Engine::kSwitch, true),
+      engine_config(cpu::Engine::kThreaded, true),
+      engine_config(cpu::Engine::kThreaded, true, /*chain=*/false),
+      engine_config(cpu::Engine::kThreaded, false)};
+  for (int i = 0; i < 4; ++i) {
     configs[i].icache.enabled = true;
     cpu::Cpu cpu(configs[i], image);
     for (int s = 0; s < 8; ++s) cpu.step();
@@ -607,6 +621,7 @@ TEST(TranslationCache, ICacheResidentFlipMidRunIdenticalAcrossEngines) {
   EXPECT_NE(results[0].reason, cpu::ExitReason::kExit);  // the flips bite
   expect_runs_identical(results[0], results[1]);
   expect_runs_identical(results[0], results[2]);
+  expect_runs_identical(results[0], results[3]);
 }
 
 TEST(TranslationCache, PostIdFaultIdenticalAcrossEngines) {
@@ -614,11 +629,13 @@ TEST(TranslationCache, PostIdFaultIdenticalAcrossEngines) {
   // tag holds the clean word, so the fused handler must miss, fall back, and
   // reproduce the (undetected) wrong-output outcome of §3.2 bit for bit.
   const casm_::Image image = checked_sum_loop();
-  cpu::RunResult results[3];
-  const cpu::CpuConfig configs[3] = {engine_config(cpu::Engine::kSwitch, true),
-                                     engine_config(cpu::Engine::kThreaded, true),
-                                     engine_config(cpu::Engine::kThreaded, false)};
-  for (int i = 0; i < 3; ++i) {
+  cpu::RunResult results[4];
+  const cpu::CpuConfig configs[4] = {
+      engine_config(cpu::Engine::kSwitch, true),
+      engine_config(cpu::Engine::kThreaded, true),
+      engine_config(cpu::Engine::kThreaded, true, /*chain=*/false),
+      engine_config(cpu::Engine::kThreaded, false)};
+  for (int i = 0; i < 4; ++i) {
     cpu::Cpu cpu(configs[i], image);
     cpu.set_post_id_fault({4, 1U << 16});
     results[i] = cpu.run();
@@ -629,6 +646,97 @@ TEST(TranslationCache, PostIdFaultIdenticalAcrossEngines) {
   EXPECT_EQ(results[0].iht.mismatches, 0U);  // escaped the monitor (§3.2)
   expect_runs_identical(results[0], results[1]);
   expect_runs_identical(results[0], results[2]);
+  expect_runs_identical(results[0], results[3]);
+}
+
+// --- Superblock chaining ----------------------------------------------------
+
+TEST(TranslationCache, ChainOnOffByteIdenticalAndLinksFollowed) {
+  // `--chain` is a pure execution strategy: with it off, every block exit
+  // returns to the dispatch loop and pays a cache lookup; with it on, the
+  // loop's bnez links to its own block once and every later iteration flows
+  // straight through. Both must be byte-identical with the interpreter.
+  const casm_::Image image = checked_sum_loop();
+  cpu::Cpu interp(engine_config(cpu::Engine::kSwitch, true), image);
+  cpu::Cpu chained(engine_config(cpu::Engine::kThreaded, true), image);
+  cpu::Cpu unchained(engine_config(cpu::Engine::kThreaded, true, /*chain=*/false), image);
+  const cpu::RunResult a = interp.run();
+  const cpu::RunResult b = chained.run();
+  const cpu::RunResult c = unchained.run();
+  expect_runs_identical(a, b);
+  expect_runs_identical(a, c);
+  EXPECT_GT(chained.chain_follows(), 0U);
+  EXPECT_EQ(unchained.chain_follows(), 0U);
+  EXPECT_EQ(unchained.chain_breaks(), 0U);
+  // The follows replace dispatch-loop lookups one for one.
+  EXPECT_GT(unchained.translation_cache()->stats().hits,
+            chained.translation_cache()->stats().hits);
+  EXPECT_EQ(chained.translation_cache()->stats().chain_severed, 0U);
+}
+
+TEST(TranslationCache, InvalidateSeversInboundAndOutboundLinks) {
+  // Cache-level check of the severing invariant: links installed by chain()
+  // must be cut from both endpoints when either block invalidates — a stale
+  // pointer into retranslated text would be a correctness bug.
+  const IsaUopSpec spec = build_isa_uops();
+  const FusedTable fused = build_fused_table(spec);
+  const std::uint32_t base = 0x00400000;
+  const std::uint32_t words[3] = {
+      isa::encode_i(isa::Mnemonic::kBeq, 0, 0, 1),   // taken base+8, fall base+4
+      isa::encode_r(isa::Mnemonic::kJr, 0, 31, 0),   // indirect: no static edges
+      isa::encode_r(isa::Mnemonic::kAddu, 9, 9, 8),  // forced-generic text tail
+  };
+  const auto peek = [&](std::uint32_t a) { return words[(a - base) / 4]; };
+  TranslationCache tc(base, base + 12, /*enabled=*/true);
+  TranslatedBlock* branch = tc.translate(base, spec, fused, peek);
+  TranslatedBlock* target = tc.translate(base + 8, spec, fused, peek);
+  TranslatedBlock* skipped = tc.translate(base + 4, spec, fused, peek);
+  ASSERT_TRUE(branch->has_taken);
+  EXPECT_EQ(branch->taken_target, base + 8);
+  ASSERT_TRUE(branch->has_fall);
+  EXPECT_EQ(branch->fall_target, base + 4);
+  EXPECT_FALSE(skipped->has_taken);  // jr is indirect, never chained
+  EXPECT_FALSE(skipped->has_fall);
+  EXPECT_FALSE(target->has_fall);  // its fall-through would leave text
+
+  tc.chain(branch, /*taken_edge=*/true, target);
+  tc.chain(branch, /*taken_edge=*/false, skipped);
+  EXPECT_EQ(branch->taken, target);
+  EXPECT_EQ(branch->fall, skipped);
+  ASSERT_EQ(target->preds.size(), 1U);
+  ASSERT_EQ(skipped->preds.size(), 1U);
+
+  // Invalidating the taken successor severs the inbound link...
+  tc.invalidate(base + 8);
+  EXPECT_EQ(branch->taken, nullptr);
+  EXPECT_EQ(branch->fall, skipped);  // the other edge survives
+  EXPECT_EQ(tc.lookup(base + 8), nullptr);
+  EXPECT_EQ(tc.stats().chain_severed, 1U);
+  // ...and invalidating the predecessor severs its outbound link.
+  tc.invalidate(base);
+  EXPECT_TRUE(skipped->preds.empty());
+  EXPECT_EQ(tc.stats().chain_severed, 2U);
+}
+
+TEST(TranslationCache, SelfLoopChainSeversCleanly) {
+  // A one-instruction loop links its own taken edge to itself: invalidation
+  // must cut both directions of that link without touching freed storage.
+  const IsaUopSpec spec = build_isa_uops();
+  const FusedTable fused = build_fused_table(spec);
+  const std::uint32_t base = 0x00400000;
+  const std::uint32_t word =
+      isa::encode_i(isa::Mnemonic::kBeq, 0, 0, 0xFFFF);  // beq $0, $0, .
+  TranslationCache tc(base, base + 8, /*enabled=*/true);
+  TranslatedBlock* loop =
+      tc.translate(base, spec, fused, [&](std::uint32_t) { return word; });
+  ASSERT_TRUE(loop->has_taken);
+  EXPECT_EQ(loop->taken_target, base);
+  tc.chain(loop, /*taken_edge=*/true, loop);
+  EXPECT_EQ(loop->taken, loop);
+  ASSERT_EQ(loop->preds.size(), 1U);
+  tc.invalidate(base);
+  EXPECT_EQ(tc.lookup(base), nullptr);
+  EXPECT_EQ(tc.stats().chain_severed, 1U);
 }
 
 }  // namespace
